@@ -1,0 +1,130 @@
+// Perf-7 (paper §V): analysis costs — offline rule evaluation over a job
+// archive, online per-point rule updates, signature building and decision
+// tree classification.
+
+#include <benchmark/benchmark.h>
+
+#include "lms/analysis/online.hpp"
+#include "lms/analysis/patterns.hpp"
+#include "lms/analysis/report.hpp"
+#include "lms/analysis/rules.hpp"
+#include "lms/cluster/harness.hpp"
+
+namespace {
+
+using namespace lms;
+
+constexpr util::TimeNs kMin = util::kNanosPerMinute;
+constexpr util::TimeNs kSec = util::kNanosPerSecond;
+
+/// One finished 4-node compute_break job's worth of data.
+struct Archive {
+  std::unique_ptr<cluster::ClusterHarness> harness;
+  int job = 0;
+  const cluster::ClusterHarness::JobRecord* record = nullptr;
+
+  Archive() {
+    cluster::ClusterHarness::Options opts;
+    opts.nodes = 4;
+    harness = std::make_unique<cluster::ClusterHarness>(opts);
+    job = harness->submit("compute_break", "alice", 4, 40 * kMin);
+    harness->run_until_done(job, 90 * kMin);
+    record = harness->job_record(job);
+  }
+};
+
+Archive& archive() {
+  static Archive a;
+  return a;
+}
+
+void BM_OfflineRuleEvaluation(benchmark::State& state) {
+  Archive& a = archive();
+  analysis::RuleEngine engine(a.harness->fetcher());
+  for (auto& r : analysis::builtin_rules()) engine.add_rule(std::move(r));
+  for (auto _ : state) {
+    auto findings = engine.evaluate_job(a.record->nodes, std::to_string(a.job),
+                                        a.record->start_time, a.record->end_time);
+    benchmark::DoNotOptimize(findings);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("4 rules x 4 nodes x 40 min");
+}
+BENCHMARK(BM_OfflineRuleEvaluation)->Unit(benchmark::kMillisecond);
+
+void BM_OnlineObservePoint(benchmark::State& state) {
+  analysis::OnlineRuleEngine engine(analysis::builtin_rules());
+  lineproto::Point p;
+  p.measurement = "likwid_mem_dp";
+  p.set_tag("hostname", "h1");
+  p.set_tag("jobid", "1");
+  p.add_field("dp_mflop_per_s", 2000.0);
+  p.add_field("memory_bandwidth_mbytes_per_s", 8000.0);
+  p.add_field("cpi", 0.5);
+  p.normalize();
+  util::TimeNs t = 0;
+  for (auto _ : state) {
+    p.timestamp = (t += 10 * kSec);
+    engine.observe(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OnlineObservePoint);
+
+void BM_OnlineObserveBatchLines(benchmark::State& state) {
+  analysis::OnlineRuleEngine engine(analysis::builtin_rules());
+  std::string batch;
+  for (int h = 0; h < 16; ++h) {
+    batch += "likwid_mem_dp,hostname=node" + std::to_string(h) +
+             ",jobid=1 dp_mflop_per_s=2000,memory_bandwidth_mbytes_per_s=8000 " +
+             std::to_string(1000000 + h) + "\n";
+  }
+  for (auto _ : state) {
+    engine.observe_lines(batch);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_OnlineObserveBatchLines);
+
+void BM_SignatureFromDb(benchmark::State& state) {
+  Archive& a = archive();
+  for (auto _ : state) {
+    auto sig = analysis::signature_from_db(a.harness->fetcher(), a.record->nodes,
+                                           std::to_string(a.job), a.record->start_time,
+                                           a.record->end_time, *a.harness->options().arch);
+    benchmark::DoNotOptimize(sig);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SignatureFromDb)->Unit(benchmark::kMillisecond);
+
+void BM_DecisionTreeClassify(benchmark::State& state) {
+  analysis::JobSignature sig;
+  sig.cpu_load = 0.9;
+  sig.ipc = 1.2;
+  sig.flops_dp_fraction = 0.2;
+  sig.mem_bw_fraction = 0.4;
+  sig.vectorization_ratio = 0.5;
+  sig.branch_miss_ratio = 0.02;
+  sig.load_imbalance_cv = 0.1;
+  for (auto _ : state) {
+    auto c = analysis::DecisionTree::default_tree().classify(sig);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecisionTreeClassify);
+
+void BM_FullJobEvaluation(benchmark::State& state) {
+  Archive& a = archive();
+  for (auto _ : state) {
+    auto eval = a.harness->reporter().evaluate(std::to_string(a.job), a.record->nodes,
+                                               a.record->start_time, a.record->end_time);
+    benchmark::DoNotOptimize(eval);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("Fig.2 header: checks+rules+classification");
+}
+BENCHMARK(BM_FullJobEvaluation)->Unit(benchmark::kMillisecond);
+
+}  // namespace

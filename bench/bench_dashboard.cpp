@@ -1,0 +1,98 @@
+// Perf-6 (paper §III-D): dashboard generation from templates — substitution,
+// per-host row expansion, and full job-dashboard generation (including the
+// analysis header and app-metric discovery) as a function of job size.
+
+#include <benchmark/benchmark.h>
+
+#include "lms/cluster/harness.hpp"
+#include "lms/dashboard/templates.hpp"
+
+namespace {
+
+using namespace lms;
+
+constexpr util::TimeNs kMin = util::kNanosPerMinute;
+
+void BM_Substitute(benchmark::State& state) {
+  dashboard::TemplateStore store;
+  const json::Value* tpl = store.find("system_row");
+  const dashboard::VarMap vars{{"HOST", "node17"}, {"JOB_ID", "42"},   {"DB", "lms"},
+                               {"FROM", "0"},      {"TO", "86400000"}};
+  for (auto _ : state) {
+    auto v = dashboard::substitute(*tpl, vars);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Substitute);
+
+void BM_ExpandPerHostRows(benchmark::State& state) {
+  const int hosts_n = static_cast<int>(state.range(0));
+  dashboard::TemplateStore store;
+  json::Object dash;
+  dash["title"] = "Job ${JOB_ID}";
+  dash["rows"] = json::Array{*store.find("system_row")};
+  const json::Value tpl{std::move(dash)};
+  std::vector<std::string> hosts;
+  for (int i = 0; i < hosts_n; ++i) hosts.push_back("node" + std::to_string(i));
+  const dashboard::VarMap vars{{"JOB_ID", "42"}, {"DB", "lms"}, {"FROM", "0"}, {"TO", "1"}};
+  for (auto _ : state) {
+    auto v = dashboard::expand_dashboard(tpl, vars, hosts);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(hosts_n) + " hosts");
+}
+BENCHMARK(BM_ExpandPerHostRows)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// Full job dashboard generation against live data — what the agent does
+/// each refresh for each running job.
+void BM_GenerateJobDashboard(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  cluster::ClusterHarness::Options opts;
+  opts.nodes = nodes;
+  cluster::ClusterHarness harness(opts);
+  harness.submit("minimd", "alice", nodes, 60 * kMin);
+  harness.run_for(5 * kMin);
+  const auto jobs = harness.router().running_jobs();
+  for (auto _ : state) {
+    auto dash = harness.dashboards().generate_job_dashboard(jobs[0], harness.now());
+    benchmark::DoNotOptimize(dash);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(nodes) + "-node job");
+}
+BENCHMARK(BM_GenerateJobDashboard)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_AdminOverview(benchmark::State& state) {
+  cluster::ClusterHarness::Options opts;
+  opts.nodes = 8;
+  cluster::ClusterHarness harness(opts);
+  for (int i = 0; i < 8; ++i) harness.submit("dgemm", "user" + std::to_string(i), 1, 60 * kMin);
+  harness.run_for(2 * kMin);
+  const auto jobs = harness.router().running_jobs();
+  for (auto _ : state) {
+    auto dash = harness.dashboards().generate_admin_dashboard(jobs, harness.now());
+    benchmark::DoNotOptimize(dash);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(jobs.size()) + " running jobs");
+}
+BENCHMARK(BM_AdminOverview);
+
+void BM_DashboardJsonSerialize(benchmark::State& state) {
+  cluster::ClusterHarness::Options opts;
+  opts.nodes = 4;
+  cluster::ClusterHarness harness(opts);
+  harness.submit("minimd", "alice", 4, 60 * kMin);
+  harness.run_for(5 * kMin);
+  const auto jobs = harness.router().running_jobs();
+  const auto dash = harness.dashboards().generate_job_dashboard(jobs[0], harness.now());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dash.dump_pretty());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DashboardJsonSerialize);
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Perf-5 (paper §V, §II): the HPM layer — derived-metric formula
+// compilation/evaluation, counter simulation, full group sampling and the
+// cost of multiplexing more groups.
+
+#include <benchmark/benchmark.h>
+
+#include "lms/hpm/monitor.hpp"
+#include "lms/hpm/perfgroup.hpp"
+#include "lms/hpm/simulator.hpp"
+
+namespace {
+
+using namespace lms;
+using namespace lms::hpm;
+
+constexpr util::TimeNs kSec = util::kNanosPerSecond;
+
+void BM_FormulaCompile(benchmark::State& state) {
+  const std::string text = "1.0E-06*(PMC0*2.0+PMC1+PMC2*4.0)/time";
+  for (auto _ : state) {
+    auto f = Formula::compile(text);
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FormulaCompile);
+
+void BM_FormulaEvaluate(benchmark::State& state) {
+  auto f = Formula::compile("1.0E-06*(PMC0*2.0+PMC1+PMC2*4.0)/time").take();
+  const VarMap vars{{"PMC0", 1e8}, {"PMC1", 5e7}, {"PMC2", 2e8}, {"time", 10.0}};
+  for (auto _ : state) {
+    auto v = f.evaluate(vars);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FormulaEvaluate);
+
+void BM_GroupParse(benchmark::State& state) {
+  const auto text = builtin_group_text("MEM_DP");
+  for (auto _ : state) {
+    auto g = PerfGroup::parse("MEM_DP", text, simx86());
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GroupParse);
+
+void BM_SimulatorAdvance(benchmark::State& state) {
+  CounterSimulator sim(simx86(), 1, 0.01);
+  NodeLoad load = idle_load(simx86());
+  for (auto& core : load.cores) {
+    core.active_fraction = 0.9;
+    core.clock_ghz = 2.3;
+    core.ipc = 2.0;
+    core.flops_dp_per_sec = 1e10;
+    core.dp_simd_fraction = 0.8;
+  }
+  for (auto _ : state) {
+    sim.advance(load, kSec);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("16 cores, 2 sockets, all events");
+}
+BENCHMARK(BM_SimulatorAdvance);
+
+/// One full monitor sample: snapshot all counters, compute deltas with
+/// wrap handling, evaluate every metric of the active group.
+void BM_MonitorSample(benchmark::State& state) {
+  GroupRegistry registry(simx86());
+  CounterSimulator sim(simx86(), 1, 0.01);
+  HpmMonitor::Options opts;
+  opts.groups = {"MEM_DP"};
+  opts.hostname = "node1";
+  auto monitor = HpmMonitor::create(registry, sim, opts).take();
+  NodeLoad load = idle_load(simx86());
+  util::TimeNs now = 0;
+  monitor.sample(now);
+  for (auto _ : state) {
+    sim.advance(load, kSec);
+    now += kSec;
+    auto points = monitor.sample(now);
+    benchmark::DoNotOptimize(points);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MonitorSample);
+
+/// Multiplexing sweep: per-sample cost is flat in the number of configured
+/// groups (only the active group is evaluated) — the reason likwid-style
+/// agents can multiplex many groups cheaply.
+void BM_MonitorMultiplexSweep(benchmark::State& state) {
+  GroupRegistry registry(simx86());
+  CounterSimulator sim(simx86(), 1, 0.01);
+  const std::vector<std::string> all = {"MEM_DP", "FLOPS_DP", "FLOPS_SP", "BRANCH",
+                                        "L2",     "L3",       "DATA",     "ENERGY"};
+  HpmMonitor::Options opts;
+  opts.groups.assign(all.begin(), all.begin() + state.range(0));
+  opts.hostname = "node1";
+  auto monitor = HpmMonitor::create(registry, sim, opts).take();
+  NodeLoad load = idle_load(simx86());
+  util::TimeNs now = 0;
+  monitor.sample(now);
+  for (auto _ : state) {
+    sim.advance(load, kSec);
+    now += kSec;
+    auto points = monitor.sample(now);
+    benchmark::DoNotOptimize(points);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(state.range(0)) + " multiplexed groups");
+}
+BENCHMARK(BM_MonitorMultiplexSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_AllBuiltinGroupsEvaluate(benchmark::State& state) {
+  GroupRegistry registry(simx86());
+  CounterSimulator sim(simx86(), 1, 0.0);
+  HpmMonitor::Options opts;
+  opts.groups = builtin_group_names();
+  auto monitor = HpmMonitor::create(registry, sim, opts).take();
+  NodeLoad load = idle_load(simx86());
+  sim.advance(load, kSec);
+  const auto before = monitor.snapshot();
+  sim.advance(load, kSec);
+  const auto after = monitor.snapshot();
+  const auto names = builtin_group_names();
+  for (auto _ : state) {
+    for (const auto& name : names) {
+      auto point = monitor.evaluate_group(*registry.find(name), before, after, 0, kSec);
+      benchmark::DoNotOptimize(point);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(names.size()));
+}
+BENCHMARK(BM_AllBuiltinGroupsEvaluate);
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Fig. 1 / end-to-end: the whole stack (agents -> router -> DB, scheduler
+// signals, PUB/SUB analyzer) driven on virtual time. Measures sustainable
+// simulation throughput and how the per-step cost scales with node count —
+// the "small- to medium-sized commodity cluster" target of the paper.
+
+#include <benchmark/benchmark.h>
+
+#include "lms/cluster/harness.hpp"
+
+namespace {
+
+using namespace lms;
+
+constexpr util::TimeNs kMin = util::kNanosPerMinute;
+
+/// Simulate one minute of cluster time per iteration with all nodes busy.
+void BM_FullStackMinutePerNodeCount(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  cluster::ClusterHarness::Options opts;
+  opts.nodes = nodes;
+  cluster::ClusterHarness harness(opts);
+  harness.submit("dgemm", "alice", nodes, 100000 * kMin);
+  harness.run_for(kMin);  // warmup: job started, baselines set
+  for (auto _ : state) {
+    harness.run_for(kMin);
+  }
+  state.SetItemsProcessed(state.iterations() * 60);  // simulated seconds
+  const auto stats = harness.router().stats();
+  state.counters["points_total"] = static_cast<double>(stats.points_out);
+  state.SetLabel(std::to_string(nodes) + " nodes");
+}
+BENCHMARK(BM_FullStackMinutePerNodeCount)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+/// Same, with the miniMD app-level reporting active on top.
+void BM_FullStackWithAppMetrics(benchmark::State& state) {
+  cluster::ClusterHarness::Options opts;
+  opts.nodes = 4;
+  cluster::ClusterHarness harness(opts);
+  harness.submit("minimd", "alice", 4, 100000 * kMin);
+  harness.run_for(kMin);
+  for (auto _ : state) {
+    harness.run_for(kMin);
+  }
+  state.SetItemsProcessed(state.iterations() * 60);
+}
+BENCHMARK(BM_FullStackWithAppMetrics)->Unit(benchmark::kMillisecond);
+
+/// Scheduler churn: many short jobs flowing through the queue, with the
+/// full signal path (notifier -> router -> DB annotations) active.
+void BM_SchedulerChurn(benchmark::State& state) {
+  cluster::ClusterHarness::Options opts;
+  opts.nodes = 8;
+  cluster::ClusterHarness harness(opts);
+  int user = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 4; ++i) {
+      harness.submit("dgemm", "user" + std::to_string(++user), 2, 2 * kMin);
+    }
+    harness.run_for(5 * kMin);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);  // jobs
+  state.SetLabel("4 jobs per 5 simulated minutes, 8 nodes");
+}
+BENCHMARK(BM_SchedulerChurn)->Unit(benchmark::kMillisecond);
+
+/// Duplication ablation at the stack level (DESIGN.md §4.2): per-user DB
+/// duplication roughly doubles DB write work.
+void BM_FullStackDuplicationAblation(benchmark::State& state) {
+  cluster::ClusterHarness::Options opts;
+  opts.nodes = 4;
+  opts.duplicate_per_user = state.range(0) != 0;
+  cluster::ClusterHarness harness(opts);
+  harness.submit("dgemm", "alice", 4, 100000 * kMin);
+  harness.run_for(kMin);
+  for (auto _ : state) {
+    harness.run_for(kMin);
+  }
+  state.SetItemsProcessed(state.iterations() * 60);
+  state.SetLabel(opts.duplicate_per_user ? "with per-user duplication" : "primary only");
+}
+BENCHMARK(BM_FullStackDuplicationAblation)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// The §II data-volume claim: with 5-minute rollups + a 15-minute raw
+/// retention window, the stored sample count stays bounded as the cluster
+/// runs on, instead of growing linearly.
+void BM_DataVolumeControl(benchmark::State& state) {
+  const bool rollups = state.range(0) != 0;
+  for (auto _ : state) {
+    cluster::ClusterHarness::Options opts;
+    opts.nodes = 4;
+    opts.enable_rollups = rollups;
+    opts.retention = rollups ? 15 * kMin : 0;
+    cluster::ClusterHarness harness(opts);
+    harness.submit("dgemm", "alice", 4, 100000 * kMin);
+    harness.run_for(60 * kMin);
+    tsdb::Database* db = harness.storage().find_database("lms");
+    state.counters["stored_samples"] =
+        static_cast<double>(db != nullptr ? db->sample_count() : 0);
+  }
+  state.SetLabel(rollups ? "rollups + 15 min raw retention" : "raw forever");
+}
+BENCHMARK(BM_DataVolumeControl)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace

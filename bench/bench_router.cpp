@@ -1,0 +1,164 @@
+// Perf-2 (paper §III-B): router cost — tag-store enrichment as a function of
+// attached tag count, forwarding, per-user duplication (~2x write cost), and
+// the PUB/SUB publication path. The design claim under test: tagging is an
+// O(1) hash lookup per point keyed by hostname.
+
+#include <benchmark/benchmark.h>
+
+#include <limits>
+#include <mutex>
+
+#include "lms/core/router.hpp"
+#include "lms/core/tagstore.hpp"
+#include "lms/lineproto/codec.hpp"
+#include "lms/tsdb/http_api.hpp"
+#include "lms/util/rng.hpp"
+
+namespace {
+
+using namespace lms;
+
+std::string metric_batch(int points, int hosts) {
+  util::Rng rng(7);
+  std::vector<lineproto::Point> batch;
+  for (int i = 0; i < points; ++i) {
+    // Unstamped (timestamp 0): the router assigns its current time, so
+    // repeated writes of this batch stay append-ordered in the storage —
+    // re-sending literal old timestamps would instead measure the
+    // out-of-order insert path.
+    batch.push_back(lineproto::make_point(
+        "cpu", "user_percent", rng.uniform(0, 100), 0,
+        {{"hostname", "node" + std::to_string(i % hosts)}}));
+  }
+  return lineproto::serialize_batch(batch);
+}
+
+/// Full router stack against an in-proc TSDB. The storage is truncated
+/// whenever it grows past a bound so accumulated state cannot skew
+/// comparisons between benchmark arms.
+struct RouterRig {
+  tsdb::Storage storage;
+  util::SimClock clock{1'000'000'000};
+  tsdb::HttpApi db_api{storage, clock};
+  net::InprocNetwork network;
+  net::InprocHttpClient client{network};
+  net::PubSubBroker broker;
+  std::unique_ptr<core::MetricsRouter> router;
+
+  explicit RouterRig(bool duplicate, bool publish = true) {
+    network.bind("tsdb", db_api.handler());
+    core::MetricsRouter::Options opts;
+    opts.db_url = "inproc://tsdb";
+    opts.duplicate_per_user = duplicate;
+    opts.publish = publish;
+    router = std::make_unique<core::MetricsRouter>(client, clock, opts, &broker);
+  }
+
+  void bound_state(benchmark::State& state) {
+    tsdb::Database* db = storage.find_database("lms");
+    if (db == nullptr) return;
+    bool too_big = false;
+    {
+      const std::shared_lock<std::shared_mutex> lock(storage.mutex());
+      too_big = db->sample_count() > 200'000;
+    }
+    if (too_big) {
+      state.PauseTiming();
+      storage.drop_before(std::numeric_limits<tsdb::TimeNs>::max());
+      state.ResumeTiming();
+    }
+  }
+};
+
+void BM_TagStoreEnrich(benchmark::State& state) {
+  core::TagStore store;
+  const int tags = static_cast<int>(state.range(0));
+  std::vector<lineproto::Tag> job_tags;
+  for (int i = 0; i < tags; ++i) {
+    job_tags.emplace_back("k" + std::to_string(i), "v" + std::to_string(i));
+  }
+  // 64 tagged hosts in the store, like a busy cluster partition.
+  for (int h = 0; h < 64; ++h) store.set_tags("node" + std::to_string(h), job_tags);
+  lineproto::Point base = lineproto::make_point("cpu", "v", 1.0, 1, {{"hostname", "node17"}});
+  for (auto _ : state) {
+    lineproto::Point p = base;
+    benchmark::DoNotOptimize(store.enrich(p));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(tags) + " job tags");
+}
+BENCHMARK(BM_TagStoreEnrich)->Arg(0)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RouterWriteBatch(benchmark::State& state) {
+  RouterRig rig(/*duplicate=*/false, /*publish=*/false);
+  core::JobSignal signal;
+  signal.job_id = "1";
+  signal.user = "alice";
+  for (int h = 0; h < 16; ++h) signal.nodes.push_back("node" + std::to_string(h));
+  (void)rig.router->job_start(signal);
+  const std::string body = metric_batch(static_cast<int>(state.range(0)), 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.router->write_lines(body));
+    rig.bound_state(state);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RouterWriteBatch)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_RouterWithDuplication(benchmark::State& state) {
+  const bool duplicate = state.range(0) != 0;
+  RouterRig rig(duplicate, /*publish=*/false);
+  core::JobSignal signal;
+  signal.job_id = "1";
+  signal.user = "alice";
+  for (int h = 0; h < 16; ++h) signal.nodes.push_back("node" + std::to_string(h));
+  (void)rig.router->job_start(signal);
+  const std::string body = metric_batch(500, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.router->write_lines(body));
+    rig.bound_state(state);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+  state.SetLabel(duplicate ? "with per-user duplication" : "primary DB only");
+}
+BENCHMARK(BM_RouterWithDuplication)->Arg(0)->Arg(1);
+
+void BM_RouterWithPubSub(benchmark::State& state) {
+  const int subscribers = static_cast<int>(state.range(0));
+  RouterRig rig(/*duplicate=*/false, /*publish=*/true);
+  std::vector<std::shared_ptr<net::Subscription>> subs;
+  for (int i = 0; i < subscribers; ++i) {
+    subs.push_back(rig.broker.subscribe("metrics", /*hwm=*/1 << 20));
+  }
+  const std::string body = metric_batch(500, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.router->write_lines(body));
+    rig.bound_state(state);
+    // Drain so the queues do not fill up.
+    for (auto& s : subs) {
+      while (s->try_receive()) {
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+  state.SetLabel(std::to_string(subscribers) + " stream analyzers");
+}
+BENCHMARK(BM_RouterWithPubSub)->Arg(0)->Arg(1)->Arg(4);
+
+void BM_JobSignalRoundTrip(benchmark::State& state) {
+  RouterRig rig(false, false);
+  std::int64_t id = 0;
+  for (auto _ : state) {
+    core::JobSignal signal;
+    signal.job_id = std::to_string(++id);
+    signal.user = "alice";
+    signal.nodes = {"n1", "n2", "n3", "n4"};
+    signal.extra_tags = {{"queue", "batch"}};
+    (void)rig.router->job_start(signal);
+    (void)rig.router->job_end(signal.job_id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JobSignalRoundTrip);
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Perf-4 (paper §IV): libusermetric must be lightweight — the application
+// pays only a buffered append per call; the wire cost is amortized over the
+// batch. Measures per-call cost vs. buffer capacity, the flush path, and
+// the CLI parsing used from batch scripts.
+
+#include <benchmark/benchmark.h>
+
+#include "lms/lineproto/codec.hpp"
+#include "lms/net/transport.hpp"
+#include "lms/usermetric/hooks.hpp"
+#include "lms/usermetric/usermetric.hpp"
+
+namespace {
+
+using namespace lms;
+
+constexpr util::TimeNs kSec = util::kNanosPerSecond;
+
+/// Sink that swallows batches (counts only) — the cost under study is the
+/// client side.
+struct NullSink {
+  net::InprocNetwork network;
+  std::uint64_t batches = 0;
+  std::uint64_t bytes = 0;
+  NullSink() {
+    network.bind("router", [this](const net::HttpRequest& req) {
+      ++batches;
+      bytes += req.body.size();
+      return net::HttpResponse::no_content();
+    });
+  }
+};
+
+usermetric::UserMetricClient::Options options(std::size_t buffer) {
+  usermetric::UserMetricClient::Options o;
+  o.router_url = "inproc://router";
+  o.buffer_capacity = buffer;
+  o.default_tags = {{"jobid", "1"}, {"user", "alice"}, {"hostname", "node1"}};
+  return o;
+}
+
+/// The headline number: amortized cost of one value() call, including the
+/// synchronous flush every `buffer` calls. Larger buffers amortize the wire
+/// cost — the batching claim of §III-A applied to the app level.
+void BM_ValueCallAmortized(benchmark::State& state) {
+  NullSink sink;
+  util::SimClock clock(0);
+  net::InprocHttpClient client(sink.network);
+  usermetric::UserMetricClient um(client, clock,
+                                  options(static_cast<std::size_t>(state.range(0))));
+  double v = 0;
+  for (auto _ : state) {
+    um.value("pressure", v += 0.25);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("buffer=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ValueCallAmortized)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ValueWithTags(benchmark::State& state) {
+  NullSink sink;
+  util::SimClock clock(0);
+  net::InprocHttpClient client(sink.network);
+  usermetric::UserMetricClient um(client, clock, options(1000));
+  for (auto _ : state) {
+    um.value("x", 1.0, {{"tid", "3"}, {"phase", "force"}});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ValueWithTags);
+
+void BM_EventCall(benchmark::State& state) {
+  NullSink sink;
+  util::SimClock clock(0);
+  net::InprocHttpClient client(sink.network);
+  usermetric::UserMetricClient um(client, clock, options(1000));
+  for (auto _ : state) {
+    um.event("phase", "entering force computation");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventCall);
+
+void BM_FlushBatch(benchmark::State& state) {
+  NullSink sink;
+  util::SimClock clock(0);
+  net::InprocHttpClient client(sink.network);
+  const int n = static_cast<int>(state.range(0));
+  usermetric::UserMetricClient um(client, clock,
+                                  options(static_cast<std::size_t>(n) + 1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < n; ++i) um.value("v", i);
+    state.ResumeTiming();
+    um.flush();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlushBatch)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_CliParse(benchmark::State& state) {
+  const std::vector<std::string> args{"pressure", "1.25", "tid=0", "phase=warmup"};
+  for (auto _ : state) {
+    auto p = usermetric::parse_cli_metric(args, 123);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CliParse);
+
+void BM_AllocTrackerHook(benchmark::State& state) {
+  NullSink sink;
+  util::SimClock clock(0);
+  net::InprocHttpClient client(sink.network);
+  usermetric::UserMetricClient um(client, clock, options(10000));
+  usermetric::AllocTracker tracker(um, 10 * kSec);
+  util::TimeNs t = 0;
+  for (auto _ : state) {
+    tracker.on_allocate(4096, t);
+    tracker.on_free(4096, t);
+    t += 1000;  // 1 us apart: reporting interval rarely hit
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_AllocTrackerHook);
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Deployment-shaped example: the stack's server components as real HTTP
+// services on localhost, wired by an INI config — the "components can be
+// used standalone or integrated into existing infrastructures" claim of the
+// paper. Any InfluxDB-speaking collector (Diamond, curl cronjobs, a Ganglia
+// pulling proxy) can be pointed at the router port.
+//
+// Usage:
+//   lms_daemon                 run a short self-test against the live ports
+//   lms_daemon --serve [secs]  keep serving for `secs` (default 30)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "lms/core/router.hpp"
+#include "lms/net/tcp_http.hpp"
+#include "lms/tsdb/http_api.hpp"
+#include "lms/tsdb/persist.hpp"
+#include "lms/util/config.hpp"
+#include "lms/util/strings.hpp"
+
+using namespace lms;
+
+namespace {
+
+constexpr std::string_view kDefaultConfig = R"(
+[database]
+port = 0           ; 0 = ephemeral
+retention = 24h
+default_db = lms
+
+[router]
+port = 0
+duplicate_per_user = true
+spool_capacity = 10000   ; store-and-forward when the DB is briefly down
+
+[persistence]
+snapshot =               ; path for save/load across restarts (empty = off)
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool serve = argc > 1 && std::strcmp(argv[1], "--serve") == 0;
+  const int serve_seconds = argc > 2 ? std::atoi(argv[2]) : 30;
+
+  auto config = util::Config::parse(kDefaultConfig);
+  if (!config.ok()) {
+    std::fprintf(stderr, "config: %s\n", config.message().c_str());
+    return 1;
+  }
+
+  // Database back-end with its InfluxDB-compatible HTTP API.
+  tsdb::Storage storage;
+  util::WallClock& clock = util::WallClock::instance();
+  tsdb::HttpApi::Options db_opts;
+  db_opts.default_db = config->get_or("database", "default_db", "lms");
+  if (const auto r = config->get("database", "retention")) {
+    if (auto d = tsdb::parse_duration(*r); d.ok()) db_opts.retention = *d;
+  }
+  tsdb::HttpApi db_api(storage, clock, db_opts);
+  const std::string snapshot_path = config->get_or("persistence", "snapshot", "");
+  if (!snapshot_path.empty()) {
+    if (auto loaded = tsdb::load_snapshot(storage, snapshot_path); loaded.ok()) {
+      std::printf("restored %zu points from %s\n", *loaded, snapshot_path.c_str());
+    }
+  }
+  net::TcpHttpServer::Options db_srv_opts;
+  db_srv_opts.port = static_cast<int>(config->get_int_or("database", "port", 0));
+  net::TcpHttpServer db_server(db_api.handler(), db_srv_opts);
+  if (auto p = db_server.start(); !p.ok()) {
+    std::fprintf(stderr, "db server: %s\n", p.message().c_str());
+    return 1;
+  }
+
+  // Metrics router in front of it.
+  net::TcpHttpClient db_client;
+  core::MetricsRouter::Options router_opts;
+  router_opts.db_url = db_server.url();
+  router_opts.database = db_opts.default_db;
+  router_opts.duplicate_per_user = config->get_bool_or("router", "duplicate_per_user", false);
+  router_opts.spool_capacity =
+      static_cast<std::size_t>(config->get_int_or("router", "spool_capacity", 0));
+  net::PubSubBroker broker;
+  core::MetricsRouter router(db_client, clock, router_opts, &broker);
+  net::TcpHttpServer::Options router_srv_opts;
+  router_srv_opts.port = static_cast<int>(config->get_int_or("router", "port", 0));
+  net::TcpHttpServer router_server(router.handler(), router_srv_opts);
+  if (auto p = router_server.start(); !p.ok()) {
+    std::fprintf(stderr, "router server: %s\n", p.message().c_str());
+    return 1;
+  }
+
+  std::printf("== LMS daemon ==\n");
+  std::printf("database (InfluxDB-compatible): %s\n", db_server.url().c_str());
+  std::printf("metrics router:                 %s\n", router_server.url().c_str());
+  std::printf("\ntry, from any shell:\n");
+  std::printf("  curl -XPOST '%s/job/start' -d "
+              "'{\"jobid\":\"1\",\"user\":\"me\",\"nodes\":[\"$(hostname)\"]}'\n",
+              router_server.url().c_str());
+  std::printf("  curl -XPOST '%s/write?db=lms' --data-binary "
+              "'cpu,hostname='$(hostname)' user_percent=42'\n",
+              router_server.url().c_str());
+  std::printf("  curl '%s/query?db=lms&q=SELECT%%20user_percent%%20FROM%%20cpu'\n\n",
+              db_server.url().c_str());
+
+  if (serve) {
+    std::printf("serving for %d seconds...\n", serve_seconds);
+    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+  } else {
+    // Self-test: exactly the curl sequence above, over the live TCP ports.
+    net::TcpHttpClient client;
+    bool ok = true;
+    auto check = [&](const char* what, bool cond) {
+      std::printf("  %-34s %s\n", what, cond ? "ok" : "FAILED");
+      ok = ok && cond;
+    };
+    auto resp = client.post(router_server.url() + "/job/start",
+                            R"({"jobid":"1","user":"me","nodes":["selftest-host"]})",
+                            "application/json");
+    check("job start signal", resp.ok() && resp->status == 204);
+    resp = client.post(router_server.url() + "/write?db=lms",
+                       "cpu,hostname=selftest-host user_percent=42\n", "text/plain");
+    check("metric write through router", resp.ok() && resp->status == 204);
+    resp = client.get(db_server.url() + "/query?db=lms&q=" +
+                      util::url_encode("SELECT user_percent FROM cpu WHERE jobid='1'"));
+    check("enriched query via DB API",
+          resp.ok() && resp->status == 200 &&
+              resp->body.find("42") != std::string::npos);
+    resp = client.post(router_server.url() + "/job/end", R"({"jobid":"1"})",
+                       "application/json");
+    check("job end signal", resp.ok() && resp->status == 204);
+    std::printf("self-test %s\n", ok ? "passed" : "failed");
+    if (!ok) return 1;
+  }
+
+  router_server.stop();
+  db_server.stop();
+  if (!snapshot_path.empty()) {
+    if (auto status = tsdb::save_snapshot(storage, snapshot_path); status.ok()) {
+      std::printf("snapshot saved to %s\n", snapshot_path.c_str());
+    } else {
+      std::fprintf(stderr, "snapshot failed: %s\n", status.message().c_str());
+    }
+  }
+  return 0;
+}

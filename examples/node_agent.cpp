@@ -1,0 +1,110 @@
+// A real node agent: monitors THIS machine via the live /proc filesystem
+// and ships the metrics to a router/DB over HTTP — the host-agent role of
+// Fig. 1 with nothing simulated. Combined with lms_daemon on another
+// terminal this is a genuine two-process deployment of the stack.
+//
+// Usage:
+//   node_agent --url <router-url> [--hostname <name>] [--interval <sec>]
+//              [--count <n>]
+//   node_agent --once            print one sample of this machine's metrics
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <unistd.h>
+
+#include "lms/collector/agent.hpp"
+#include "lms/collector/plugins.hpp"
+#include "lms/lineproto/codec.hpp"
+#include "lms/net/tcp_http.hpp"
+#include "lms/sysmon/proc.hpp"
+#include "lms/util/clock.hpp"
+
+using namespace lms;
+
+int main(int argc, char** argv) {
+  std::string url;
+  std::string hostname = "localhost";
+  {
+    char buf[256];
+    if (gethostname(buf, sizeof(buf)) == 0) hostname = buf;
+  }
+  int interval_s = 10;
+  int count = 6;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--url") == 0 && i + 1 < argc) {
+      url = argv[++i];
+    } else if (std::strcmp(argv[i], "--hostname") == 0 && i + 1 < argc) {
+      hostname = argv[++i];
+    } else if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
+      interval_s = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
+      count = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    }
+  }
+  if (url.empty() && !once) {
+    std::fprintf(stderr,
+                 "usage: node_agent --url <router-url> [--hostname h] [--interval s] "
+                 "[--count n]\n       node_agent --once\n");
+    return 2;
+  }
+
+  sysmon::ProcKernel kernel;
+  std::printf("monitoring %s: %d cpus, %.1f GiB RAM, load %.2f\n", hostname.c_str(),
+              kernel.cpu_count(),
+              static_cast<double>(kernel.meminfo().total_bytes) / (1ULL << 30),
+              kernel.loadavg1());
+
+  if (once) {
+    // Two samples one second apart so the rate plugins have deltas.
+    collector::CpuPlugin cpu(kernel, hostname);
+    collector::MemoryPlugin mem(kernel, hostname);
+    collector::NetworkPlugin net(kernel, hostname);
+    collector::DiskPlugin disk(kernel, hostname);
+    const util::TimeNs t0 = util::WallClock::instance().now();
+    cpu.collect(t0);
+    net.collect(t0);
+    disk.collect(t0);
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    const util::TimeNs t1 = util::WallClock::instance().now();
+    for (auto* plugin : std::initializer_list<collector::CollectorPlugin*>{
+             &cpu, &mem, &net, &disk}) {
+      for (const auto& p : plugin->collect(t1)) {
+        std::printf("%s\n", lineproto::serialize(p).c_str());
+      }
+    }
+    return 0;
+  }
+
+  net::TcpHttpClient client;
+  collector::HostAgent::Options opts;
+  opts.router_url = url;
+  opts.flush_interval = static_cast<util::TimeNs>(interval_s) * util::kNanosPerSecond;
+  opts.self_monitor_interval = 60 * util::kNanosPerSecond;
+  opts.hostname = hostname;
+  collector::HostAgent agent(client, opts);
+  agent.add_plugin(std::make_unique<collector::CpuPlugin>(kernel, hostname),
+                   opts.flush_interval);
+  agent.add_plugin(std::make_unique<collector::MemoryPlugin>(kernel, hostname),
+                   opts.flush_interval);
+  agent.add_plugin(std::make_unique<collector::NetworkPlugin>(kernel, hostname),
+                   opts.flush_interval);
+  agent.add_plugin(std::make_unique<collector::DiskPlugin>(kernel, hostname),
+                   opts.flush_interval);
+
+  for (int i = 0; i < count; ++i) {
+    agent.tick(util::WallClock::instance().now());
+    agent.flush(util::WallClock::instance().now());
+    const auto& stats = agent.stats();
+    std::printf("tick %d: %llu collected, %llu sent, %llu failures\n", i + 1,
+                static_cast<unsigned long long>(stats.points_collected),
+                static_cast<unsigned long long>(stats.points_sent),
+                static_cast<unsigned long long>(stats.send_failures));
+    if (i + 1 < count) std::this_thread::sleep_for(std::chrono::seconds(interval_s));
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// likwid-perfctr-style tool over the simulated PMU: run a workload on one
+// node and print the derived metrics of a performance group — the classic
+// LIKWID terminal view the whole stack's HPM layer is modeled after. Useful
+// for exploring what each group measures and how the workload models look
+// to the counters.
+//
+// Usage: perfctr [workload] [group] [seconds]
+//   workload: minimd|dgemm|stream|idle|scalar|latency|... (default dgemm)
+//   group:    CLOCK|CPI|FLOPS_DP|MEM|MEM_DP|...           (default FLOPS_DP)
+//   seconds:  measurement duration in simulated seconds    (default 10)
+//
+//        perfctr topology     print the machine topology (likwid-topology)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "lms/analysis/roofline.hpp"
+#include "lms/cluster/workload.hpp"
+#include "lms/hpm/monitor.hpp"
+
+using namespace lms;
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "topology") == 0) {
+    std::printf("%s", hpm::topology_string(hpm::simx86()).c_str());
+    return 0;
+  }
+  const std::string workload_name = argc > 1 ? argv[1] : "dgemm";
+  const std::string group_name = argc > 2 ? argv[2] : "FLOPS_DP";
+  const double seconds = argc > 3 ? std::atof(argv[3]) : 10.0;
+
+  const hpm::CounterArchitecture& arch = hpm::simx86();
+  hpm::GroupRegistry registry(arch);
+  const hpm::PerfGroup* group = registry.find(group_name);
+  if (group == nullptr) {
+    std::fprintf(stderr, "unknown group '%s'. available:", group_name.c_str());
+    for (const auto& name : registry.names()) std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  auto workload = cluster::make_workload(workload_name, 42);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s'. available:", workload_name.c_str());
+    for (const auto& name : cluster::workload_names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  std::printf("--------------------------------------------------------------------\n");
+  std::printf("CPU:    %s\n", arch.cpu_model.c_str());
+  std::printf("Group:  %s — %s\n", group->name().c_str(),
+              group->short_description().c_str());
+  std::printf("Run:    %s for %.1f s (simulated)\n", workload_name.c_str(), seconds);
+  std::printf("--------------------------------------------------------------------\n");
+  std::printf("Event set:\n");
+  for (const auto& ea : group->events()) {
+    std::printf("  %-8s %s\n", ea.slot.c_str(), ea.event.c_str());
+  }
+
+  // Drive the simulated PMU with the workload.
+  hpm::CounterSimulator sim(arch, 42, 0.01);
+  hpm::HpmMonitor::Options mon_opts;
+  mon_opts.groups = {group_name};
+  auto monitor = hpm::HpmMonitor::create(registry, sim, mon_opts).take();
+  util::Rng rng(42);
+  util::TimeNs now = 0;
+  monitor.sample(now);  // baseline
+  const auto steps = static_cast<int>(seconds * 10);
+  for (int i = 0; i < steps; ++i) {
+    const cluster::NodeActivity act =
+        workload->activity(0, 1, now, arch, rng);
+    sim.advance(act.hpm, util::kNanosPerSecond / 10);
+    now += util::kNanosPerSecond / 10;
+  }
+  const auto points = monitor.sample(now);
+  if (points.empty()) {
+    std::fprintf(stderr, "no measurement produced\n");
+    return 1;
+  }
+
+  std::printf("\n+-----------------------------------------+--------------------+\n");
+  std::printf("| %-39s | %-18s |\n", "Metric", "Value");
+  std::printf("+-----------------------------------------+--------------------+\n");
+  for (const auto& metric : group->metrics()) {
+    const lineproto::FieldValue* v = points[0].field(metric.field_key);
+    if (v == nullptr) continue;
+    std::printf("| %-39s | %18.4f |\n", metric.name.c_str(), v->as_double());
+  }
+  std::printf("+-----------------------------------------+--------------------+\n");
+
+  // Roofline position when the combined group was measured.
+  const lineproto::FieldValue* flops = points[0].field("dp_mflop_per_s");
+  const lineproto::FieldValue* bw = points[0].field("memory_bandwidth_mbytes_per_s");
+  if (flops != nullptr && bw != nullptr) {
+    const auto roofline = analysis::roofline_evaluate(flops->as_double() * 1e6,
+                                                      bw->as_double() * 1e6, arch);
+    std::printf("\n%s", analysis::roofline_chart(roofline).c_str());
+  }
+  return 0;
+}

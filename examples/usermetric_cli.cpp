@@ -1,0 +1,80 @@
+// The libusermetric command line tool (paper §IV, Fig. 3): "For use in
+// batch scripts, a command line application can send metrics and events
+// from the shell." Job prologs/epilogs bracket runs with events; scripts
+// report values between stages.
+//
+// Usage:
+//   usermetric_cli --url <router-url> [--db <name>] <name> <value> [tag=v ...]
+//   usermetric_cli --url <router-url> --event <name> <text> [tag=v ...]
+//   usermetric_cli --dry-run <metric args...>     print the line, send nothing
+//
+// Example (a batch script):
+//   usermetric_cli --url http://router:8086 --event job "start" jobid=$SLURM_JOB_ID
+//   usermetric_cli --url http://router:8086 stage_runtime 12.5 stage=preprocess
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lms/lineproto/codec.hpp"
+#include "lms/net/tcp_http.hpp"
+#include "lms/usermetric/usermetric.hpp"
+#include "lms/util/clock.hpp"
+
+using namespace lms;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: usermetric_cli --url <router-url> [--db <name>] <name> <value> "
+               "[tag=v ...]\n"
+               "       usermetric_cli --url <router-url> --event <name> <text> [tag=v ...]\n"
+               "       usermetric_cli --dry-run <metric args...>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string url;
+  std::string db = "lms";
+  bool dry_run = false;
+  std::vector<std::string> metric_args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--url") == 0 && i + 1 < argc) {
+      url = argv[++i];
+    } else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
+      db = argv[++i];
+    } else if (std::strcmp(argv[i], "--dry-run") == 0) {
+      dry_run = true;
+    } else {
+      metric_args.emplace_back(argv[i]);
+    }
+  }
+  if (metric_args.empty() || (url.empty() && !dry_run)) return usage();
+
+  const util::TimeNs now = util::WallClock::instance().now();
+  auto point = usermetric::parse_cli_metric(metric_args, now);
+  if (!point.ok()) {
+    std::fprintf(stderr, "error: %s\n", point.message().c_str());
+    return 2;
+  }
+  const std::string line = lineproto::serialize(*point);
+  if (dry_run) {
+    std::printf("%s\n", line.c_str());
+    return 0;
+  }
+  net::TcpHttpClient client;
+  auto resp = client.post(url + "/write?db=" + db, line + "\n", "text/plain");
+  if (!resp.ok()) {
+    std::fprintf(stderr, "send failed: %s\n", resp.message().c_str());
+    return 1;
+  }
+  if (!resp->ok()) {
+    std::fprintf(stderr, "router rejected: HTTP %d %s\n", resp->status, resp->body.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "lms/analysis/fetch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <set>
+
+namespace lms::analysis {
+
+double MetricSeries::mean() const {
+  if (values.empty()) return 0.0;
+  double sum = 0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double MetricSeries::min() const {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double MetricSeries::max() const {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+double MetricSeries::stddev() const {
+  if (values.size() < 2) return 0.0;
+  const double m = mean();
+  double ss = 0;
+  for (const double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double MetricSeries::fraction_below(double threshold) const {
+  if (values.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const double v : values) {
+    if (v < threshold) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(values.size());
+}
+
+double MetricSeries::fraction_above(double threshold) const {
+  if (values.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const double v : values) {
+    if (v > threshold) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(values.size());
+}
+
+MetricFetcher::MetricFetcher(tsdb::Storage& storage, std::string database)
+    : storage_(storage), database_(std::move(database)) {}
+
+util::Result<MetricSeries> MetricFetcher::fetch(const MetricRef& ref,
+                                                const std::vector<lineproto::Tag>& tag_filters,
+                                                util::TimeNs t0, util::TimeNs t1,
+                                                util::TimeNs window) const {
+  tsdb::Statement stmt;
+  stmt.kind = tsdb::StatementKind::kSelect;
+  tsdb::SelectStatement& sel = stmt.select;
+  tsdb::FieldExpr fe;
+  fe.field = ref.field;
+  fe.alias = "value";
+  if (window > 0) {
+    fe.agg = tsdb::Aggregator::kMean;
+    sel.group_by_time = window;
+  }
+  sel.fields.push_back(std::move(fe));
+  sel.measurement = ref.measurement;
+  for (const auto& [k, v] : tag_filters) {
+    sel.tag_conditions.push_back(tsdb::TagCondition{k, v, false});
+  }
+  sel.time_min = t0;
+  sel.time_max = t1;
+
+  const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
+  tsdb::Database* db = storage_.find_database_unlocked(database_);
+  if (db == nullptr) {
+    return util::Result<MetricSeries>::error("database '" + database_ + "' not found");
+  }
+  auto result = tsdb::execute(*db, stmt);
+  if (!result.ok()) return util::Result<MetricSeries>::error(result.message());
+  MetricSeries out;
+  for (const auto& rs : result->series) {
+    for (const auto& row : rs.values) {
+      if (row.size() < 2) continue;
+      if (!row[1].is_numeric()) continue;
+      out.times.push_back(row[0].as_int());
+      out.values.push_back(row[1].as_double());
+    }
+  }
+  return out;
+}
+
+util::Result<MetricSeries> MetricFetcher::fetch_host(const MetricRef& ref,
+                                                     const std::string& hostname,
+                                                     const std::string& job_id, util::TimeNs t0,
+                                                     util::TimeNs t1, util::TimeNs window) const {
+  std::vector<lineproto::Tag> filters;
+  filters.emplace_back("hostname", hostname);
+  if (!job_id.empty()) filters.emplace_back("jobid", job_id);
+  return fetch(ref, filters, t0, t1, window);
+}
+
+std::vector<std::string> MetricFetcher::hosts_of_job(const MetricRef& ref,
+                                                     const std::string& job_id) const {
+  const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
+  tsdb::Database* db = storage_.find_database_unlocked(database_);
+  if (db == nullptr) return {};
+  std::set<std::string> hosts;
+  for (const tsdb::Series* s :
+       db->series_matching(ref.measurement, {{"jobid", job_id}})) {
+    const std::string_view h = s->tag("hostname");
+    if (!h.empty()) hosts.emplace(h);
+  }
+  return {hosts.begin(), hosts.end()};
+}
+
+}  // namespace lms::analysis

@@ -1,0 +1,142 @@
+#include "lms/analysis/online.hpp"
+
+#include "lms/core/router.hpp"
+#include "lms/lineproto/codec.hpp"
+
+namespace lms::analysis {
+
+OnlineRuleEngine::OnlineRuleEngine(std::vector<Rule> rules) : rules_(std::move(rules)) {}
+
+void OnlineRuleEngine::observe(const lineproto::Point& point) {
+  const std::string hostname(point.hostname());
+  if (hostname.empty()) return;
+  const std::string job_id(point.tag("jobid"));
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (job_id.empty()) {
+    // Un-enriched point: the host is not allocated to any job (the router
+    // only tags hosts between the job start and end signals). Pathology
+    // rules are job-specific — drop any state so an idle *unallocated*
+    // node is never attributed to the previous job.
+    if (host_jobs_.erase(hostname) > 0) {
+      for (std::size_t r = 0; r < rules_.size(); ++r) {
+        states_.erase(Key{r, hostname});
+      }
+    }
+    return;
+  }
+  if (auto it = host_jobs_.find(hostname);
+      it != host_jobs_.end() && it->second != job_id) {
+    // A new job took over the host: old rule state must not carry over.
+    for (std::size_t r = 0; r < rules_.size(); ++r) {
+      states_.erase(Key{r, hostname});
+    }
+  }
+  host_jobs_[hostname] = job_id;
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    const Rule& rule = rules_[r];
+    bool touched = false;
+    RuleState& state = states_[Key{r, hostname}];
+    if (state.conditions.size() != rule.conditions.size()) {
+      state.conditions.resize(rule.conditions.size());
+    }
+    for (std::size_t c = 0; c < rule.conditions.size(); ++c) {
+      const Condition& cond = rule.conditions[c];
+      if (cond.metric.measurement != point.measurement) continue;
+      const lineproto::FieldValue* fv = point.field(cond.metric.field);
+      if (fv == nullptr || !fv->is_numeric()) continue;
+      state.conditions[c].last_value = fv->as_double();
+      state.conditions[c].last_update = point.timestamp;
+      state.conditions[c].has_value = true;
+      touched = true;
+    }
+    if (touched) {
+      update_rule(r, hostname, job_id.empty() ? host_jobs_[hostname] : job_id,
+                  point.timestamp);
+    }
+  }
+}
+
+void OnlineRuleEngine::update_rule(std::size_t rule_index, const std::string& hostname,
+                                   const std::string& job_id, util::TimeNs now) {
+  const Rule& rule = rules_[rule_index];
+  RuleState& state = states_[Key{rule_index, hostname}];
+  state.last_seen = now;
+
+  bool all_violated = true;
+  for (std::size_t c = 0; c < rule.conditions.size(); ++c) {
+    const ConditionState& cs = state.conditions[c];
+    // Stale values (older than 3 resolutions) do not count as evidence.
+    if (!cs.has_value || now - cs.last_update > 3 * rule.resolution ||
+        !rule.conditions[c].violated(cs.last_value)) {
+      all_violated = false;
+      break;
+    }
+  }
+  if (!all_violated) {
+    state.violated_since.reset();
+    state.fired = false;
+    return;
+  }
+  if (!state.violated_since) state.violated_since = now;
+  if (!state.fired && now - *state.violated_since >= rule.min_duration) {
+    state.fired = true;
+    Finding f;
+    f.rule = rule.name;
+    f.description = rule.description;
+    f.hostname = hostname;
+    f.job_id = job_id;
+    f.severity = rule.severity;
+    f.start = *state.violated_since;
+    f.end = now;
+    fired_.push_back(std::move(f));
+  }
+}
+
+void OnlineRuleEngine::observe_lines(std::string_view body) {
+  for (const auto& p : lineproto::parse_lenient(body, nullptr)) {
+    observe(p);
+  }
+}
+
+std::vector<Finding> OnlineRuleEngine::take_findings() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Finding> out;
+  out.swap(fired_);
+  return out;
+}
+
+std::vector<Finding> OnlineRuleEngine::active() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Finding> out;
+  for (const auto& [key, state] : states_) {
+    if (!state.fired) continue;
+    const Rule& rule = rules_[key.first];
+    Finding f;
+    f.rule = rule.name;
+    f.description = rule.description;
+    f.hostname = key.second;
+    const auto jit = host_jobs_.find(key.second);
+    f.job_id = jit != host_jobs_.end() ? jit->second : "";
+    f.severity = rule.severity;
+    f.start = state.violated_since.value_or(state.last_seen);
+    f.end = state.last_seen;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+StreamAnalyzer::StreamAnalyzer(net::PubSubBroker& broker, std::vector<Rule> rules)
+    : subscription_(broker.subscribe(std::string(core::MetricsRouter::kTopicMetrics))),
+      engine_(std::move(rules)) {}
+
+std::size_t StreamAnalyzer::pump() {
+  std::size_t n = 0;
+  while (auto msg = subscription_->try_receive()) {
+    engine_.observe_lines(msg->payload);
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace lms::analysis

@@ -1,0 +1,297 @@
+#include "lms/cluster/harness.hpp"
+
+#include "lms/collector/plugins.hpp"
+#include "lms/util/strings.hpp"
+
+namespace lms::cluster {
+
+ClusterHarness::ClusterHarness(Options options)
+    : options_(std::move(options)),
+      clock_(options_.start_time),
+      groups_(*options_.arch),
+      rng_(options_.seed) {
+  client_ = std::make_unique<net::InprocHttpClient>(network_);
+
+  // Database back-end with its InfluxDB-compatible API.
+  db_api_ = std::make_unique<tsdb::HttpApi>(storage_, clock_);
+  network_.bind(kDbEndpoint, db_api_->handler());
+
+  // Metrics router in front of it.
+  core::MetricsRouter::Options router_opts;
+  router_opts.db_url = std::string("inproc://") + kDbEndpoint;
+  router_opts.database = options_.database;
+  router_opts.duplicate_per_user = options_.duplicate_per_user;
+  router_ = std::make_unique<core::MetricsRouter>(*client_, clock_, router_opts, &broker_);
+  network_.bind(kRouterEndpoint, router_->handler());
+
+  // Scheduler with job notifier wired to the router.
+  node_names_.reserve(static_cast<std::size_t>(options_.nodes));
+  for (int i = 1; i <= options_.nodes; ++i) {
+    node_names_.push_back(options_.node_prefix + std::to_string(i));
+  }
+  scheduler_ = std::make_unique<sched::Scheduler>(node_names_);
+  notifier_ = std::make_unique<sched::JobNotifier>(*client_,
+                                                   std::string("inproc://") + kRouterEndpoint);
+  scheduler_->set_on_start([this](const sched::Job& job) {
+    (void)notifier_->notify_start(job);
+    on_job_start(job);
+  });
+  scheduler_->set_on_end([this](const sched::Job& job) {
+    (void)notifier_->notify_end(job);
+    on_job_end(job);
+  });
+
+  // Analysis + dashboards.
+  fetcher_ = std::make_unique<analysis::MetricFetcher>(storage_, options_.database);
+  reporter_ = std::make_unique<analysis::JobReporter>(*fetcher_, *options_.arch);
+  dashboard::DashboardAgent::Options dash_opts;
+  dash_opts.database = options_.database;
+  dashboard_agent_ =
+      std::make_unique<dashboard::DashboardAgent>(storage_, *reporter_, clock_, dash_opts);
+  network_.bind(kDashboardEndpoint, dashboard_agent_->handler());
+
+  // Stream analyzer tapping the router's PUB/SUB (online pathology rules).
+  analyzer_ = std::make_unique<analysis::StreamAnalyzer>(broker_, analysis::builtin_rules());
+
+  // Optional job-level stream aggregator on the same tap.
+  if (options_.enable_aggregator) {
+    analysis::StreamAggregator::Options agg_opts;
+    agg_opts.window = options_.aggregator_window;
+    agg_opts.router_url = std::string("inproc://") + kRouterEndpoint;
+    agg_opts.database = options_.database;
+    aggregator_ = std::make_unique<analysis::StreamAggregator>(broker_, *client_, agg_opts);
+  }
+
+  if (options_.record_findings) {
+    finding_recorder_ = std::make_unique<analysis::FindingRecorder>(
+        *client_, std::string("inproc://") + kRouterEndpoint, options_.database);
+  }
+
+  // Optional downsampling rollups (continuous queries) for the data-volume
+  // story: raw expires with `retention`, rollups persist.
+  if (options_.enable_rollups) {
+    cq_runner_ = std::make_unique<tsdb::CqRunner>(storage_, options_.database);
+    tsdb::ContinuousQuery cpu_cq;
+    cpu_cq.name = "cpu_rollup";
+    cpu_cq.source_measurement = "cpu";
+    cpu_cq.target_measurement = "cpu_rollup";
+    cpu_cq.fields = {{"user_percent", tsdb::Aggregator::kMean},
+                     {"user_percent", tsdb::Aggregator::kMax}};
+    cq_runner_->add(std::move(cpu_cq));
+    tsdb::ContinuousQuery hpm_cq;
+    hpm_cq.name = "mem_dp_rollup";
+    hpm_cq.source_measurement = "likwid_mem_dp";
+    hpm_cq.target_measurement = "likwid_mem_dp_rollup";
+    hpm_cq.fields = {{"dp_mflop_per_s", tsdb::Aggregator::kMean},
+                     {"memory_bandwidth_mbytes_per_s", tsdb::Aggregator::kMean}};
+    cq_runner_->add(std::move(hpm_cq));
+  }
+
+  // Simulated nodes with their host agents.
+  nodes_.reserve(node_names_.size());
+  for (std::size_t i = 0; i < node_names_.size(); ++i) {
+    SimNode node;
+    node.name = node_names_[i];
+    node.kernel = std::make_unique<sysmon::SimulatedKernel>(options_.arch->total_hwthreads(),
+                                                            64ULL << 30);
+    node.counters = std::make_unique<hpm::CounterSimulator>(
+        *options_.arch, options_.seed + 1000 + i, options_.counter_noise_sigma);
+
+    collector::HostAgent::Options agent_opts;
+    agent_opts.router_url = std::string("inproc://") + kRouterEndpoint;
+    agent_opts.database = options_.database;
+    agent_opts.flush_interval = options_.collect_interval;
+    agent_opts.self_monitor_interval = util::kNanosPerMinute;
+    agent_opts.hostname = node.name;
+    node.agent = std::make_unique<collector::HostAgent>(*client_, agent_opts);
+    node.agent->add_plugin(std::make_unique<collector::CpuPlugin>(*node.kernel, node.name),
+                           options_.collect_interval);
+    node.agent->add_plugin(std::make_unique<collector::MemoryPlugin>(*node.kernel, node.name),
+                           options_.collect_interval);
+    node.agent->add_plugin(std::make_unique<collector::NetworkPlugin>(*node.kernel, node.name),
+                           options_.collect_interval);
+    node.agent->add_plugin(std::make_unique<collector::DiskPlugin>(*node.kernel, node.name),
+                           options_.collect_interval);
+    hpm::HpmMonitor::Options mon_opts;
+    mon_opts.groups = options_.hpm_groups;
+    mon_opts.hostname = node.name;
+    auto monitor = hpm::HpmMonitor::create(groups_, *node.counters, mon_opts);
+    if (monitor.ok()) {
+      node.agent->add_plugin(std::make_unique<collector::HpmPlugin>(monitor.take()),
+                             options_.hpm_interval);
+    }
+    nodes_.push_back(std::move(node));
+  }
+  idle_activity_.hpm = hpm::idle_load(*options_.arch);
+  idle_activity_.kernel = sysmon::KernelLoad{};
+  idle_activity_.kernel.cpu_user_fraction = 0.005;
+  idle_activity_.kernel.mem_used_bytes = 2e9;
+}
+
+ClusterHarness::~ClusterHarness() = default;
+
+int ClusterHarness::submit(const std::string& workload, const std::string& user, int nodes,
+                           util::TimeNs duration, util::TimeNs walltime_limit) {
+  auto w = make_workload(workload, rng_.next_u64());
+  if (w == nullptr) return -1;
+  return submit_workload(std::move(w), user, nodes, duration, walltime_limit);
+}
+
+int ClusterHarness::submit_workload(std::unique_ptr<Workload> workload, const std::string& user,
+                                    int nodes, util::TimeNs duration,
+                                    util::TimeNs walltime_limit) {
+  sched::JobSpec spec;
+  spec.name = workload->name();
+  spec.user = user;
+  spec.nodes = nodes;
+  spec.walltime_limit = walltime_limit > 0 ? walltime_limit : duration * 2;
+  spec.tags.emplace_back("queue", "batch");
+  const int id = scheduler_->submit(std::move(spec), duration, clock_.now());
+  pending_workloads_[id] = std::move(workload);
+  return id;
+}
+
+void ClusterHarness::on_job_start(const sched::Job& job) {
+  ActiveJob active;
+  active.record.id = job.id;
+  active.record.workload = job.spec.name;
+  active.record.user = job.spec.user;
+  active.record.nodes = job.assigned_nodes;
+  active.record.start_time = clock_.now();
+  auto wit = pending_workloads_.find(job.id);
+  if (wit != pending_workloads_.end()) {
+    active.workload = std::move(wit->second);
+    pending_workloads_.erase(wit);
+  } else {
+    active.workload = make_workload("idle", 0);
+  }
+  active.rng = rng_.fork(static_cast<std::uint64_t>(job.id));
+
+  // Per-job libusermetric client: default tags identify job, user, host.
+  usermetric::UserMetricClient::Options um_opts;
+  um_opts.router_url = std::string("inproc://") + kRouterEndpoint;
+  um_opts.database = options_.database;
+  um_opts.default_tags = {{"jobid", job.job_id_string()},
+                          {"user", job.spec.user},
+                          {"hostname", job.assigned_nodes.empty() ? std::string("?")
+                                                                  : job.assigned_nodes[0]}};
+  um_opts.buffer_capacity = 100;
+  active.user_client =
+      std::make_unique<usermetric::UserMetricClient>(*client_, clock_, um_opts);
+  active.user_client->event("job", "start of " + job.spec.name);
+
+  // Bind nodes to the job.
+  int index = 0;
+  for (const auto& node_name : job.assigned_nodes) {
+    for (auto& node : nodes_) {
+      if (node.name == node_name) {
+        node.job_id = job.id;
+        node.job_node_index = index;
+        break;
+      }
+    }
+    ++index;
+  }
+  active_jobs_.emplace(job.id, std::move(active));
+}
+
+void ClusterHarness::on_job_end(const sched::Job& job) {
+  const auto it = active_jobs_.find(job.id);
+  if (it == active_jobs_.end()) return;
+  it->second.user_client->event("job", "end of " + job.spec.name);
+  it->second.user_client->flush();
+  it->second.record.end_time = clock_.now();
+  finished_jobs_.emplace(job.id, it->second.record);
+  for (auto& node : nodes_) {
+    if (node.job_id == job.id) {
+      node.job_id = 0;
+      node.job_node_index = 0;
+    }
+  }
+  active_jobs_.erase(it);
+}
+
+const ClusterHarness::JobRecord* ClusterHarness::job_record(int job_id) const {
+  const auto fit = finished_jobs_.find(job_id);
+  if (fit != finished_jobs_.end()) return &fit->second;
+  const auto ait = active_jobs_.find(job_id);
+  if (ait != active_jobs_.end()) return &ait->second.record;
+  return nullptr;
+}
+
+void ClusterHarness::step_once() {
+  const util::TimeNs now = clock_.advance(options_.step);
+  scheduler_->tick(now);
+
+  // Drive node activity from the running jobs.
+  for (auto& node : nodes_) {
+    NodeActivity activity;
+    if (node.job_id != 0) {
+      auto it = active_jobs_.find(node.job_id);
+      if (it != active_jobs_.end()) {
+        ActiveJob& job = it->second;
+        const util::TimeNs elapsed = now - job.record.start_time;
+        activity = job.workload->activity(node.job_node_index,
+                                          static_cast<int>(job.record.nodes.size()), elapsed,
+                                          *options_.arch, job.rng);
+      } else {
+        activity = idle_activity_;
+      }
+    } else {
+      activity = idle_activity_;
+    }
+    node.kernel->advance(activity.kernel, options_.step);
+    node.counters->advance(activity.hpm, options_.step);
+  }
+
+  // Application-level reporting (libusermetric).
+  for (auto& [id, job] : active_jobs_) {
+    const util::TimeNs elapsed = now - job.record.start_time;
+    for (std::size_t i = 0; i < job.record.nodes.size(); ++i) {
+      job.workload->report(*job.user_client, static_cast<int>(i), elapsed, now);
+    }
+    job.user_client->tick(now);
+  }
+
+  // Host agents collect and deliver.
+  for (auto& node : nodes_) {
+    node.agent->tick(now);
+  }
+
+  // Online stream analysis + optional aggregation and alert recording.
+  analyzer_->pump();
+  if (finding_recorder_ != nullptr) {
+    finding_recorder_->record(analyzer_->engine().take_findings());
+  }
+  if (aggregator_ != nullptr) aggregator_->pump(now);
+
+  // Periodic maintenance: continuous queries and retention, once a minute.
+  if (now - last_maintenance_ >= util::kNanosPerMinute) {
+    last_maintenance_ = now;
+    if (cq_runner_ != nullptr) cq_runner_->run(now);
+    if (options_.retention > 0) {
+      // Raw data expires; rollups and job-level aggregates persist.
+      storage_.drop_before_if(now - options_.retention, [](const std::string& m) {
+        return !util::ends_with(m, "_rollup") && !util::ends_with(m, "_job");
+      });
+    }
+  }
+}
+
+void ClusterHarness::run_for(util::TimeNs duration) {
+  const util::TimeNs end = clock_.now() + duration;
+  while (clock_.now() < end) {
+    step_once();
+  }
+}
+
+bool ClusterHarness::run_until_done(int job_id, util::TimeNs max_sim_time) {
+  const util::TimeNs deadline = clock_.now() + max_sim_time;
+  while (clock_.now() < deadline) {
+    step_once();
+    if (finished_jobs_.count(job_id) > 0) return true;
+  }
+  return finished_jobs_.count(job_id) > 0;
+}
+
+}  // namespace lms::cluster

@@ -1,0 +1,136 @@
+#include "lms/cluster/minimd.hpp"
+
+#include <cmath>
+
+namespace lms::cluster {
+
+MiniMd::MiniMd(Params params, std::uint64_t seed) : params_(params) {
+  const int cells = params_.cells_per_side;
+  const int n = 4 * cells * cells * cells;
+  box_ = std::cbrt(static_cast<double>(n) / params_.density);
+  x_.resize(static_cast<std::size_t>(3 * n));
+  v_.resize(static_cast<std::size_t>(3 * n));
+  f_.resize(static_cast<std::size_t>(3 * n));
+  initialize_lattice();
+  initialize_velocities(seed);
+  compute_forces();
+}
+
+void MiniMd::initialize_lattice() {
+  // FCC lattice: 4 basis atoms per cubic cell.
+  static constexpr double kBasis[4][3] = {
+      {0.0, 0.0, 0.0}, {0.5, 0.5, 0.0}, {0.5, 0.0, 0.5}, {0.0, 0.5, 0.5}};
+  const int cells = params_.cells_per_side;
+  const double a = box_ / cells;
+  std::size_t i = 0;
+  for (int cx = 0; cx < cells; ++cx) {
+    for (int cy = 0; cy < cells; ++cy) {
+      for (int cz = 0; cz < cells; ++cz) {
+        for (const auto& b : kBasis) {
+          x_[i++] = (cx + b[0]) * a;
+          x_[i++] = (cy + b[1]) * a;
+          x_[i++] = (cz + b[2]) * a;
+        }
+      }
+    }
+  }
+}
+
+void MiniMd::initialize_velocities(std::uint64_t seed) {
+  util::Rng rng(seed);
+  const int n = natoms();
+  double com[3] = {0, 0, 0};
+  for (int i = 0; i < 3 * n; ++i) {
+    v_[static_cast<std::size_t>(i)] = rng.uniform(-0.5, 0.5);
+    com[i % 3] += v_[static_cast<std::size_t>(i)];
+  }
+  // Remove net momentum.
+  for (int i = 0; i < 3 * n; ++i) {
+    v_[static_cast<std::size_t>(i)] -= com[i % 3] / n;
+  }
+  // Rescale to the target temperature.
+  double ke2 = 0;
+  for (const double vi : v_) ke2 += vi * vi;
+  const double t_now = ke2 / (3.0 * n);
+  const double scale = std::sqrt(params_.temperature / t_now);
+  for (double& vi : v_) vi *= scale;
+}
+
+void MiniMd::compute_forces() {
+  const int n = natoms();
+  const double rc2 = params_.cutoff * params_.cutoff;
+  std::fill(f_.begin(), f_.end(), 0.0);
+  pe_ = 0.0;
+  virial_ = 0.0;
+  for (int i = 0; i < n - 1; ++i) {
+    const double xi = x_[3u * i], yi = x_[3u * i + 1], zi = x_[3u * i + 2];
+    for (int j = i + 1; j < n; ++j) {
+      double dx = xi - x_[3u * j];
+      double dy = yi - x_[3u * j + 1];
+      double dz = zi - x_[3u * j + 2];
+      // Minimum image convention.
+      dx -= box_ * std::round(dx / box_);
+      dy -= box_ * std::round(dy / box_);
+      dz -= box_ * std::round(dz / box_);
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 >= rc2 || r2 <= 0) continue;
+      const double inv_r2 = 1.0 / r2;
+      const double inv_r6 = inv_r2 * inv_r2 * inv_r2;
+      // LJ: U = 4 (r^-12 - r^-6); F = 24 (2 r^-12 - r^-6) / r * rhat
+      const double force_over_r = 24.0 * inv_r2 * inv_r6 * (2.0 * inv_r6 - 1.0);
+      f_[3u * i] += force_over_r * dx;
+      f_[3u * i + 1] += force_over_r * dy;
+      f_[3u * i + 2] += force_over_r * dz;
+      f_[3u * j] -= force_over_r * dx;
+      f_[3u * j + 1] -= force_over_r * dy;
+      f_[3u * j + 2] -= force_over_r * dz;
+      pe_ += 4.0 * inv_r6 * (inv_r6 - 1.0);
+      virial_ += force_over_r * r2;  // r . F for the pair
+    }
+  }
+}
+
+void MiniMd::step(int n_steps) {
+  const double dt = params_.dt;
+  const int n3 = 3 * natoms();
+  for (int s = 0; s < n_steps; ++s) {
+    // Velocity Verlet.
+    for (int i = 0; i < n3; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      v_[idx] += 0.5 * dt * f_[idx];
+      x_[idx] += dt * v_[idx];
+      // Wrap into the box.
+      if (x_[idx] < 0) x_[idx] += box_;
+      if (x_[idx] >= box_) x_[idx] -= box_;
+    }
+    compute_forces();
+    for (int i = 0; i < n3; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      v_[idx] += 0.5 * dt * f_[idx];
+    }
+    ++steps_;
+  }
+}
+
+double MiniMd::kinetic_energy() const {
+  double ke2 = 0;
+  for (const double vi : v_) ke2 += vi * vi;
+  return 0.5 * ke2 / natoms();
+}
+
+double MiniMd::temperature() const {
+  // T = 2 KE_total / (3 N)  (reduced units, kB = 1)
+  return 2.0 * kinetic_energy() / 3.0;
+}
+
+double MiniMd::potential_energy() const { return pe_ / natoms(); }
+
+double MiniMd::total_energy() const { return kinetic_energy() + potential_energy(); }
+
+double MiniMd::pressure() const {
+  const double volume = box_ * box_ * box_;
+  const double rho = natoms() / volume;
+  return rho * temperature() + virial_ / (3.0 * volume);
+}
+
+}  // namespace lms::cluster

@@ -1,0 +1,322 @@
+#include "lms/cluster/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lms/cluster/minimd.hpp"
+#include "lms/usermetric/mpi_profiler.hpp"
+#include "lms/usermetric/omp_profiler.hpp"
+
+namespace lms::cluster {
+
+void Workload::report(usermetric::UserMetricClient&, int, util::TimeNs, util::TimeNs) {}
+
+NodeActivity make_uniform_activity(const hpm::CounterArchitecture& arch, double cpu_fraction,
+                                   double ipc, double flops_dp_fraction_of_peak,
+                                   double simd_fraction, double membw_fraction_of_peak,
+                                   double mem_used_bytes, util::Rng& rng) {
+  NodeActivity act;
+  const int cores = arch.total_hwthreads();
+  act.hpm.cores.resize(static_cast<std::size_t>(cores));
+  act.hpm.sockets.resize(static_cast<std::size_t>(arch.sockets));
+
+  const double per_core_flops = flops_dp_fraction_of_peak * arch.peak_dp_flops_per_core;
+  const double per_socket_bw = membw_fraction_of_peak * arch.peak_mem_bw_per_socket;
+  for (int c = 0; c < cores; ++c) {
+    hpm::CoreLoad& core = act.hpm.cores[static_cast<std::size_t>(c)];
+    const double jitter = rng.normal(1.0, 0.02);
+    core.clock_ghz = arch.nominal_clock_ghz * (cpu_fraction > 0.5 ? 1.05 : 1.0);  // turbo-ish
+    core.active_fraction = std::clamp(cpu_fraction * jitter, 0.0, 1.0);
+    core.ipc = ipc;
+    core.flops_dp_per_sec = std::max(0.0, per_core_flops * jitter);
+    core.dp_simd_fraction = simd_fraction;
+    core.branch_per_instr = 0.12;
+    core.branch_miss_ratio = 0.01;
+    core.loads_per_instr = 0.3;
+    core.stores_per_instr = 0.12;
+    const double core_mem_bw = per_socket_bw / arch.cores_per_socket;
+    core.mem_bw_bytes_per_sec = core_mem_bw;
+    core.l3_bw_bytes_per_sec = core_mem_bw * 1.3;
+    core.l2_bw_bytes_per_sec = core_mem_bw * 2.0 + 1e8 * cpu_fraction;
+    core.dtlb_miss_per_instr = 2e-5;
+  }
+  for (int s = 0; s < arch.sockets; ++s) {
+    hpm::SocketLoad& socket = act.hpm.sockets[static_cast<std::size_t>(s)];
+    socket.mem_read_bw_bytes_per_sec = per_socket_bw * 0.67;
+    socket.mem_write_bw_bytes_per_sec = per_socket_bw * 0.33;
+    // Simple power model: idle floor plus activity- and bandwidth-dependent.
+    socket.package_power_watts =
+        35.0 + 70.0 * cpu_fraction + 20.0 * membw_fraction_of_peak;
+  }
+  act.kernel.cpu_user_fraction = cpu_fraction;
+  act.kernel.cpu_system_fraction = 0.02 * cpu_fraction;
+  act.kernel.mem_used_bytes = mem_used_bytes;
+  act.kernel.runnable_tasks = cpu_fraction * cores;
+  act.kernel.net_rx_bytes_per_sec = 1e4;
+  act.kernel.net_tx_bytes_per_sec = 1e4;
+  act.kernel.net_rx_packets_per_sec = 50;
+  act.kernel.net_tx_packets_per_sec = 50;
+  act.kernel.disk_read_bytes_per_sec = 1e4;
+  act.kernel.disk_write_bytes_per_sec = 5e4;
+  act.kernel.disk_read_ops_per_sec = 2;
+  act.kernel.disk_write_ops_per_sec = 5;
+  return act;
+}
+
+namespace {
+
+/// Add MPI-style halo-exchange network traffic for multi-node jobs.
+void add_mpi_traffic(NodeActivity& act, int node_count, double intensity) {
+  if (node_count <= 1) return;
+  const double bw = intensity * 2e8;  // bytes/s per node
+  act.kernel.net_rx_bytes_per_sec += bw;
+  act.kernel.net_tx_bytes_per_sec += bw;
+  act.kernel.net_rx_packets_per_sec += bw / 8192;
+  act.kernel.net_tx_packets_per_sec += bw / 8192;
+}
+
+class IdleWorkload final : public Workload {
+ public:
+  std::string name() const override { return "idle"; }
+  NodeActivity activity(int, int, util::TimeNs, const hpm::CounterArchitecture& arch,
+                        util::Rng& rng) override {
+    NodeActivity act = make_uniform_activity(arch, 0.01, 0.8, 0.0, 0.0, 0.001, 1.5e9, rng);
+    return act;
+  }
+};
+
+class DgemmWorkload final : public Workload {
+ public:
+  std::string name() const override { return "dgemm"; }
+  NodeActivity activity(int, int node_count, util::TimeNs, const hpm::CounterArchitecture& arch,
+                        util::Rng& rng) override {
+    // Compute-bound: ~75% of peak flops, fully vectorized, cache-friendly.
+    NodeActivity act = make_uniform_activity(arch, 0.98, 2.6, 0.75, 0.97, 0.12, 8e9, rng);
+    add_mpi_traffic(act, node_count, 0.3);
+    return act;
+  }
+};
+
+class StreamWorkload final : public Workload {
+ public:
+  std::string name() const override { return "stream"; }
+  NodeActivity activity(int, int node_count, util::TimeNs, const hpm::CounterArchitecture& arch,
+                        util::Rng& rng) override {
+    // Bandwidth-bound: ~85% of peak memory bandwidth, few flops, vectorized.
+    NodeActivity act = make_uniform_activity(arch, 0.95, 0.7, 0.04, 0.95, 0.85, 24e9, rng);
+    add_mpi_traffic(act, node_count, 0.2);
+    return act;
+  }
+};
+
+class ScalarWorkload final : public Workload {
+ public:
+  std::string name() const override { return "scalar"; }
+  NodeActivity activity(int, int node_count, util::TimeNs, const hpm::CounterArchitecture& arch,
+                        util::Rng& rng) override {
+    // Busy and decently efficient per instruction, but FP work is scalar:
+    // large vectorization headroom (pattern: scalar_code).
+    NodeActivity act = make_uniform_activity(arch, 0.97, 1.8, 0.06, 0.02, 0.10, 6e9, rng);
+    add_mpi_traffic(act, node_count, 0.2);
+    return act;
+  }
+};
+
+class LatencyWorkload final : public Workload {
+ public:
+  std::string name() const override { return "latency"; }
+  NodeActivity activity(int, int, const util::TimeNs, const hpm::CounterArchitecture& arch,
+                        util::Rng& rng) override {
+    // Pointer chasing: core busy but stalled — low IPC, low bandwidth.
+    NodeActivity act = make_uniform_activity(arch, 0.96, 0.25, 0.01, 0.05, 0.06, 12e9, rng);
+    for (auto& core : act.hpm.cores) {
+      core.loads_per_instr = 0.45;
+      core.dtlb_miss_per_instr = 4e-4;
+      core.l2_bw_bytes_per_sec *= 2.5;  // misses everywhere, little reuse
+    }
+    return act;
+  }
+};
+
+class IoHeavyWorkload final : public Workload {
+ public:
+  std::string name() const override { return "io_heavy"; }
+  NodeActivity activity(int, int, util::TimeNs, const hpm::CounterArchitecture& arch,
+                        util::Rng& rng) override {
+    // Checkpoint-dominated phase: cores mostly wait on I/O, the disks and
+    // the network (parallel filesystem) are saturated.
+    NodeActivity act = make_uniform_activity(arch, 0.15, 0.9, 0.02, 0.4, 0.05, 20e9, rng);
+    act.kernel.cpu_iowait_fraction = 0.5;
+    act.kernel.cpu_system_fraction = 0.1;
+    act.kernel.disk_read_bytes_per_sec = 4e8;
+    act.kernel.disk_write_bytes_per_sec = 1.2e9;
+    act.kernel.disk_read_ops_per_sec = 3000;
+    act.kernel.disk_write_ops_per_sec = 9000;
+    act.kernel.net_rx_bytes_per_sec = 6e8;
+    act.kernel.net_tx_bytes_per_sec = 6e8;
+    return act;
+  }
+};
+
+class MemLeakWorkload final : public Workload {
+ public:
+  std::string name() const override { return "memleak"; }
+  NodeActivity activity(int, int, util::TimeNs elapsed, const hpm::CounterArchitecture& arch,
+                        util::Rng& rng) override {
+    NodeActivity act = make_uniform_activity(arch, 0.6, 1.2, 0.05, 0.5, 0.2, 0.0, rng);
+    // Footprint grows ~120 MB per simulated second toward the 64 GB node.
+    const double used = 4e9 + 1.2e8 * util::ns_to_seconds(elapsed);
+    act.kernel.mem_used_bytes = used;
+    return act;
+  }
+};
+
+class ImbalancedWorkload final : public Workload {
+ public:
+  std::string name() const override { return "imbalanced"; }
+  NodeActivity activity(int node_index, int node_count, util::TimeNs,
+                        const hpm::CounterArchitecture& arch, util::Rng& rng) override {
+    // Node 0 does the heavy lifting; the rest wait in MPI most of the time.
+    const bool heavy = node_index == 0;
+    const double cpu = heavy ? 0.97 : 0.35;
+    const double flops = heavy ? 0.55 : 0.08;
+    NodeActivity act = make_uniform_activity(arch, cpu, heavy ? 2.2 : 0.9, flops, 0.9,
+                                             heavy ? 0.45 : 0.08, 10e9, rng);
+    add_mpi_traffic(act, node_count, heavy ? 0.5 : 0.8);
+    return act;
+  }
+
+  void report(usermetric::UserMetricClient& client, int node_index, util::TimeNs elapsed,
+              util::TimeNs now) override {
+    // PMPI-style tooling data (§IV): light ranks spend most of their time
+    // waiting in the Allreduce for rank 0 — the load-imbalance signature
+    // visible from application-level data alone.
+    const auto [it, inserted] =
+        profilers_.try_emplace(node_index, client, node_index, 30 * util::kNanosPerSecond);
+    usermetric::MpiProfiler& profiler = it->second;
+    const bool heavy = node_index == 0;
+    // One halo exchange + Allreduce per simulated second.
+    const util::TimeNs wait =
+        util::seconds_to_ns(heavy ? 0.03 : 0.62);
+    profiler.record(usermetric::MpiCall::kAllreduce, now - wait, wait, 8);
+    profiler.record(usermetric::MpiCall::kIsend, now - wait / 10, wait / 20, 1 << 20);
+    (void)elapsed;
+  }
+
+ private:
+  std::map<int, usermetric::MpiProfiler> profilers_;
+};
+
+class ComputeBreakWorkload final : public Workload {
+ public:
+  /// Compute for `compute_before`, idle for `break_duration`, then compute
+  /// again — the Fig. 4 timeline.
+  ComputeBreakWorkload(util::TimeNs compute_before, util::TimeNs break_duration)
+      : compute_before_(compute_before), break_duration_(break_duration) {}
+
+  std::string name() const override { return "compute_break"; }
+  NodeActivity activity(int, int node_count, util::TimeNs elapsed,
+                        const hpm::CounterArchitecture& arch, util::Rng& rng) override {
+    const bool in_break =
+        elapsed >= compute_before_ && elapsed < compute_before_ + break_duration_;
+    if (in_break) {
+      // Stalled: e.g. waiting on a dead I/O server — CPU spins a little.
+      return make_uniform_activity(arch, 0.03, 0.5, 0.0, 0.0, 0.002, 14e9, rng);
+    }
+    NodeActivity act = make_uniform_activity(arch, 0.96, 2.2, 0.45, 0.9, 0.5, 14e9, rng);
+    add_mpi_traffic(act, node_count, 0.4);
+    return act;
+  }
+
+ private:
+  util::TimeNs compute_before_;
+  util::TimeNs break_duration_;
+};
+
+class MiniMdWorkload final : public Workload {
+ public:
+  explicit MiniMdWorkload(std::uint64_t seed)
+      : engine_(MiniMd::Params{}, seed) {}
+
+  std::string name() const override { return "minimd"; }
+
+  NodeActivity activity(int, int node_count, util::TimeNs, const hpm::CounterArchitecture& arch,
+                        util::Rng& rng) override {
+    // MD force loops: well vectorized, moderate bandwidth, good IPC.
+    NodeActivity act = make_uniform_activity(arch, 0.95, 2.0, 0.35, 0.8, 0.3, 2e9, rng);
+    add_mpi_traffic(act, node_count, 0.4);
+    return act;
+  }
+
+  void report(usermetric::UserMetricClient& client, int node_index, util::TimeNs elapsed,
+              util::TimeNs now) override {
+    if (node_index != 0) return;  // rank 0 reports, like the real proxy app
+    if (omp_ == nullptr) {
+      omp_ = std::make_unique<usermetric::OmpProfiler>(client, 30 * util::kNanosPerSecond);
+    }
+    // Simulated iteration rate: 50 iterations per second of job time.
+    constexpr double kItersPerSecond = 50.0;
+    const auto iterations =
+        static_cast<std::int64_t>(util::ns_to_seconds(elapsed) * kItersPerSecond);
+    while (reported_ + 100 <= iterations) {
+      reported_ += 100;
+      // Evolve real dynamics: a few integrator steps stand in for 100
+      // iterations so the observables fluctuate physically.
+      engine_.step(4);
+      const double runtime_100 = 100.0 / kItersPerSecond * rng_.normal(1.0, 0.03);
+      const std::vector<lineproto::Tag> tags{{"iter", std::to_string(reported_)}};
+      client.value("runtime_100iters", runtime_100, tags, now);
+      client.value("pressure", engine_.pressure(), tags, now);
+      client.value("temperature", engine_.temperature(), tags, now);
+      client.value("energy", engine_.total_energy(), tags, now);
+
+      // OMPT-style region data (§IV): the force loop is the parallel
+      // region, ~85% of the block, well balanced across 16 threads.
+      const util::TimeNs block = util::seconds_to_ns(runtime_100);
+      std::vector<util::TimeNs> busy(16);
+      const util::TimeNs region = block * 85 / 100;
+      for (auto& b : busy) {
+        b = static_cast<util::TimeNs>(static_cast<double>(region) *
+                                      rng_.uniform(0.93, 1.0));
+      }
+      omp_->record_region(now - block, region, busy);
+    }
+  }
+
+ private:
+  MiniMd engine_;
+  std::int64_t reported_ = 0;
+  util::Rng rng_{12345};
+  std::unique_ptr<usermetric::OmpProfiler> omp_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_workload(const std::string& name, std::uint64_t seed) {
+  if (name == "idle") return std::make_unique<IdleWorkload>();
+  if (name == "dgemm") return std::make_unique<DgemmWorkload>();
+  if (name == "stream") return std::make_unique<StreamWorkload>();
+  if (name == "scalar") return std::make_unique<ScalarWorkload>();
+  if (name == "latency") return std::make_unique<LatencyWorkload>();
+  if (name == "memleak") return std::make_unique<MemLeakWorkload>();
+  if (name == "io_heavy") return std::make_unique<IoHeavyWorkload>();
+  if (name == "imbalanced") return std::make_unique<ImbalancedWorkload>();
+  if (name == "compute_break") {
+    return std::make_unique<ComputeBreakWorkload>(10 * util::kNanosPerMinute,
+                                                  12 * util::kNanosPerMinute);
+  }
+  if (name == "minimd") return std::make_unique<MiniMdWorkload>(seed);
+  return nullptr;
+}
+
+std::unique_ptr<Workload> make_compute_break(util::TimeNs compute_before,
+                                             util::TimeNs break_duration) {
+  return std::make_unique<ComputeBreakWorkload>(compute_before, break_duration);
+}
+
+std::vector<std::string> workload_names() {
+  return {"minimd",  "dgemm",      "stream", "idle",    "compute_break",
+          "memleak", "imbalanced", "scalar", "latency", "io_heavy"};
+}
+
+}  // namespace lms::cluster

@@ -1,0 +1,96 @@
+#include "lms/collector/agent.hpp"
+
+#include "lms/lineproto/codec.hpp"
+#include "lms/util/logging.hpp"
+
+namespace lms::collector {
+
+HostAgent::HostAgent(net::HttpClient& client, Options options)
+    : client_(client), options_(std::move(options)) {}
+
+void HostAgent::add_plugin(std::unique_ptr<CollectorPlugin> plugin, util::TimeNs interval) {
+  plugins_.push_back(ScheduledPlugin{std::move(plugin), interval, 0});
+}
+
+std::size_t HostAgent::tick(util::TimeNs now) {
+  std::size_t collected = 0;
+  for (auto& sp : plugins_) {
+    if (now < sp.next_due) continue;
+    sp.next_due = now + sp.interval;
+    std::vector<lineproto::Point> points = sp.plugin->collect(now);
+    collected += points.size();
+    for (auto& p : points) {
+      if (buffer_.size() >= options_.retry_queue_capacity) {
+        buffer_.pop_front();
+        ++stats_.points_dropped;
+      }
+      buffer_.push_back(std::move(p));
+    }
+  }
+  stats_.points_collected += collected;
+  if (options_.self_monitor_interval > 0 && now >= next_self_monitor_) {
+    next_self_monitor_ = now + options_.self_monitor_interval;
+    lineproto::Point p;
+    p.measurement = "agent";
+    if (!options_.hostname.empty()) p.set_tag("hostname", options_.hostname);
+    p.timestamp = now;
+    p.add_field("points_collected", static_cast<std::int64_t>(stats_.points_collected));
+    p.add_field("points_sent", static_cast<std::int64_t>(stats_.points_sent));
+    p.add_field("send_failures", static_cast<std::int64_t>(stats_.send_failures));
+    p.add_field("points_dropped", static_cast<std::int64_t>(stats_.points_dropped));
+    p.add_field("pending_points", static_cast<std::int64_t>(buffer_.size()));
+    p.normalize();
+    if (buffer_.size() >= options_.retry_queue_capacity) {
+      buffer_.pop_front();
+      ++stats_.points_dropped;
+    }
+    buffer_.push_back(std::move(p));
+    ++collected;
+    ++stats_.points_collected;
+  }
+  if (buffer_.size() >= options_.max_batch_points ||
+      (now - last_flush_ >= options_.flush_interval && !buffer_.empty())) {
+    flush(now);
+  }
+  return collected;
+}
+
+void HostAgent::flush(util::TimeNs now) {
+  last_flush_ = now;
+  while (!buffer_.empty()) {
+    const std::size_t n = std::min(buffer_.size(), options_.max_batch_points);
+    std::vector<lineproto::Point> batch(buffer_.begin(),
+                                        buffer_.begin() + static_cast<std::ptrdiff_t>(n));
+    const SendOutcome outcome = send_batch(batch);
+    if (outcome == SendOutcome::kRetryLater) {
+      ++stats_.send_failures;
+      return;  // keep the points queued for the next flush
+    }
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(n));
+    if (outcome == SendOutcome::kSent) {
+      stats_.points_sent += n;
+      ++stats_.batches_sent;
+    } else {
+      stats_.points_dropped += n;
+    }
+  }
+}
+
+HostAgent::SendOutcome HostAgent::send_batch(const std::vector<lineproto::Point>& points) {
+  const std::string body = lineproto::serialize_batch(points);
+  const std::string url = options_.router_url + "/write?db=" + options_.database;
+  auto resp = client_.post(url, body, "text/plain");
+  if (!resp.ok()) {
+    LMS_WARN("agent") << "send failed: " << resp.message();
+    return SendOutcome::kRetryLater;
+  }
+  if (!resp->ok()) {
+    LMS_WARN("agent") << "router rejected batch: HTTP " << resp->status << " " << resp->body;
+    // 4xx means the batch itself is malformed; retrying would loop forever.
+    return resp->status >= 400 && resp->status < 500 ? SendOutcome::kDropBatch
+                                                     : SendOutcome::kRetryLater;
+  }
+  return SendOutcome::kSent;
+}
+
+}  // namespace lms::collector

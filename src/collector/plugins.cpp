@@ -1,0 +1,114 @@
+#include "lms/collector/plugins.hpp"
+
+namespace lms::collector {
+
+using lineproto::Point;
+
+CpuPlugin::CpuPlugin(const sysmon::KernelReader& kernel, std::string hostname)
+    : kernel_(kernel), hostname_(std::move(hostname)) {}
+
+std::vector<Point> CpuPlugin::collect(util::TimeNs now) {
+  const sysmon::CpuTimes cur = kernel_.cpu_times();
+  std::vector<Point> out;
+  if (last_) {
+    const double d_total = cur.total() - last_->total();
+    if (d_total > 0) {
+      Point p;
+      p.measurement = "cpu";
+      p.set_tag("hostname", hostname_);
+      p.timestamp = now;
+      p.add_field("user_percent", 100.0 * (cur.user - last_->user) / d_total);
+      p.add_field("system_percent", 100.0 * (cur.system - last_->system) / d_total);
+      p.add_field("iowait_percent", 100.0 * (cur.iowait - last_->iowait) / d_total);
+      p.add_field("idle_percent", 100.0 * (cur.idle - last_->idle) / d_total);
+      p.add_field("load1", kernel_.loadavg1());
+      p.normalize();
+      out.push_back(std::move(p));
+    }
+  }
+  last_ = cur;
+  return out;
+}
+
+MemoryPlugin::MemoryPlugin(const sysmon::KernelReader& kernel, std::string hostname)
+    : kernel_(kernel), hostname_(std::move(hostname)) {}
+
+std::vector<Point> MemoryPlugin::collect(util::TimeNs now) {
+  const sysmon::MemInfo m = kernel_.meminfo();
+  Point p;
+  p.measurement = "memory";
+  p.set_tag("hostname", hostname_);
+  p.timestamp = now;
+  p.add_field("total_bytes", static_cast<std::int64_t>(m.total_bytes));
+  p.add_field("used_bytes", static_cast<std::int64_t>(m.used_bytes));
+  p.add_field("free_bytes", static_cast<std::int64_t>(m.free_bytes));
+  p.add_field("used_percent",
+              m.total_bytes == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(m.used_bytes) /
+                        static_cast<double>(m.total_bytes));
+  p.normalize();
+  return {std::move(p)};
+}
+
+NetworkPlugin::NetworkPlugin(const sysmon::KernelReader& kernel, std::string hostname)
+    : kernel_(kernel), hostname_(std::move(hostname)) {}
+
+std::vector<Point> NetworkPlugin::collect(util::TimeNs now) {
+  const sysmon::NetCounters cur = kernel_.net_counters();
+  std::vector<Point> out;
+  if (last_ && now > last_time_) {
+    const double dt = util::ns_to_seconds(now - last_time_);
+    Point p;
+    p.measurement = "network";
+    p.set_tag("hostname", hostname_);
+    p.timestamp = now;
+    p.add_field("rx_bytes_per_sec",
+                static_cast<double>(cur.rx_bytes - last_->rx_bytes) / dt);
+    p.add_field("tx_bytes_per_sec",
+                static_cast<double>(cur.tx_bytes - last_->tx_bytes) / dt);
+    p.add_field("rx_packets_per_sec",
+                static_cast<double>(cur.rx_packets - last_->rx_packets) / dt);
+    p.add_field("tx_packets_per_sec",
+                static_cast<double>(cur.tx_packets - last_->tx_packets) / dt);
+    p.normalize();
+    out.push_back(std::move(p));
+  }
+  last_ = cur;
+  last_time_ = now;
+  return out;
+}
+
+DiskPlugin::DiskPlugin(const sysmon::KernelReader& kernel, std::string hostname)
+    : kernel_(kernel), hostname_(std::move(hostname)) {}
+
+std::vector<Point> DiskPlugin::collect(util::TimeNs now) {
+  const sysmon::DiskCounters cur = kernel_.disk_counters();
+  std::vector<Point> out;
+  if (last_ && now > last_time_) {
+    const double dt = util::ns_to_seconds(now - last_time_);
+    Point p;
+    p.measurement = "disk";
+    p.set_tag("hostname", hostname_);
+    p.timestamp = now;
+    p.add_field("read_bytes_per_sec",
+                static_cast<double>(cur.read_bytes - last_->read_bytes) / dt);
+    p.add_field("write_bytes_per_sec",
+                static_cast<double>(cur.write_bytes - last_->write_bytes) / dt);
+    p.add_field("read_ops_per_sec",
+                static_cast<double>(cur.read_ops - last_->read_ops) / dt);
+    p.add_field("write_ops_per_sec",
+                static_cast<double>(cur.write_ops - last_->write_ops) / dt);
+    p.normalize();
+    out.push_back(std::move(p));
+  }
+  last_ = cur;
+  last_time_ = now;
+  return out;
+}
+
+HpmPlugin::HpmPlugin(hpm::HpmMonitor monitor) : monitor_(std::move(monitor)) {}
+
+std::vector<Point> HpmPlugin::collect(util::TimeNs now) { return monitor_.sample(now); }
+
+}  // namespace lms::collector

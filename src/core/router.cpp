@@ -1,0 +1,351 @@
+#include "lms/core/router.hpp"
+
+#include <algorithm>
+
+#include "lms/json/json.hpp"
+#include "lms/lineproto/codec.hpp"
+#include "lms/util/logging.hpp"
+#include "lms/util/strings.hpp"
+
+namespace lms::core {
+
+MetricsRouter::MetricsRouter(net::HttpClient& db_client, const util::Clock& clock,
+                             Options options, net::PubSubBroker* broker)
+    : db_client_(db_client), clock_(clock), options_(std::move(options)), broker_(broker) {}
+
+net::HttpHandler MetricsRouter::handler() {
+  return [this](const net::HttpRequest& req) -> net::HttpResponse {
+    if (req.path == "/ping") return net::HttpResponse::no_content();
+    if (req.path == "/write" && req.method == "POST") return handle_write(req);
+    if (req.path == "/job/start" && req.method == "POST") return handle_job_start(req);
+    if (req.path == "/job/end" && req.method == "POST") return handle_job_end(req);
+    if (req.path == "/jobs") return handle_jobs(req);
+    if (req.path == "/stats") return handle_stats(req);
+    return net::HttpResponse::not_found();
+  };
+}
+
+util::Status MetricsRouter::forward(const std::string& db,
+                                    const std::vector<lineproto::Point>& points) {
+  if (points.empty()) return {};
+  const std::string body = lineproto::serialize_batch(points);
+  auto resp = db_client_.post(options_.db_url + "/write?db=" + util::url_encode(db),
+                              body, "text/plain");
+  if (!resp.ok()) return util::Status::error(resp.message());
+  if (!resp->ok()) {
+    return util::Status::error("db rejected write: HTTP " + std::to_string(resp->status));
+  }
+  return {};
+}
+
+util::Result<std::size_t> MetricsRouter::write_lines(std::string_view body,
+                                                     const std::string& db_override) {
+  std::vector<std::string> errors;
+  std::vector<lineproto::Point> points = lineproto::parse_lenient(body, &errors);
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.points_in += points.size();
+    stats_.parse_errors += errors.size();
+  }
+  if (points.empty() && !errors.empty()) {
+    return util::Result<std::size_t>::error("all lines malformed: " + errors.front());
+  }
+
+  // Enrichment from the tag store, keyed by the hostname tag.
+  const util::TimeNs now = clock_.now();
+  for (auto& p : points) {
+    if (p.timestamp == 0) p.timestamp = now;
+    tags_.enrich(p);
+  }
+
+  const std::string primary_db = db_override.empty() ? options_.database : db_override;
+  // Drain any spooled backlog first so ordering is roughly preserved.
+  if (options_.spool_capacity > 0) flush_spool();
+  if (auto status = forward(primary_db, points); !status.ok()) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.forward_failures;
+    }
+    if (options_.spool_capacity == 0 || !db_override.empty()) {
+      // No spool (or a non-default target DB): the producer keeps the batch.
+      // The "forward failed" prefix lets the HTTP layer answer 503 (retry)
+      // instead of 400 (drop).
+      return util::Result<std::size_t>::error("forward failed: " + status.message());
+    }
+    // Store-and-forward: take responsibility for the points.
+    std::size_t dropped = 0;
+    {
+      const std::lock_guard<std::mutex> lock(spool_mu_);
+      for (const auto& p : points) {
+        if (spool_.size() >= options_.spool_capacity) {
+          spool_.pop_front();
+          ++dropped;
+        }
+        spool_.push_back(p);
+      }
+    }
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.points_spooled += points.size();
+    stats_.spool_dropped += dropped;
+    return points.size();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.points_out += points.size();
+  }
+
+  // Optional duplication into per-user databases, grouped by the user tag
+  // the enrichment just attached.
+  if (options_.duplicate_per_user) {
+    std::map<std::string, std::vector<lineproto::Point>> per_user;
+    for (const auto& p : points) {
+      const std::string_view user = p.tag("user");
+      if (!user.empty()) per_user[std::string(user)].push_back(p);
+    }
+    for (const auto& [user, user_points] : per_user) {
+      if (auto status = forward(options_.user_db_prefix + user, user_points); !status.ok()) {
+        LMS_WARN("router") << "per-user duplication for '" << user
+                           << "' failed: " << status.message();
+        const std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.forward_failures;
+      } else {
+        const std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.points_duplicated += user_points.size();
+      }
+    }
+  }
+
+  // Publish the enriched batch for attached stream analyzers.
+  if (broker_ != nullptr && options_.publish) {
+    broker_->publish(kTopicMetrics, lineproto::serialize_batch(points));
+  }
+  return points.size();
+}
+
+util::Status MetricsRouter::job_start(const JobSignal& signal) {
+  if (signal.job_id.empty()) return util::Status::error("job signal without jobid");
+  const util::TimeNs now = clock_.now();
+  RunningJob job{signal.job_id, signal.user, signal.nodes, signal.extra_tags, now};
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_[signal.job_id] = job;
+  }
+  // Tags piggy-backed onto all measurements from the participating hosts.
+  std::vector<lineproto::Tag> tags;
+  tags.emplace_back("jobid", signal.job_id);
+  if (!signal.user.empty()) tags.emplace_back("user", signal.user);
+  for (const auto& t : signal.extra_tags) tags.push_back(t);
+  for (const auto& node : signal.nodes) {
+    tags_.set_tags(node, tags);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.jobs_started;
+  }
+
+  // Forward the signal into the database as an annotation event.
+  lineproto::Point event;
+  event.measurement = options_.events_measurement;
+  event.set_tag("jobid", signal.job_id);
+  if (!signal.user.empty()) event.set_tag("user", signal.user);
+  event.add_field("type", std::string("job_start"));
+  event.add_field("nodes", util::join(signal.nodes, ","));
+  event.timestamp = now;
+  event.normalize();
+  if (auto status = forward(options_.database, {event}); !status.ok()) {
+    LMS_WARN("router") << "job_start annotation failed: " << status.message();
+  }
+  if (broker_ != nullptr && options_.publish) {
+    json::Object meta;
+    meta["type"] = "job_start";
+    meta["jobid"] = signal.job_id;
+    meta["user"] = signal.user;
+    json::Array nodes;
+    for (const auto& n : signal.nodes) nodes.emplace_back(n);
+    meta["nodes"] = std::move(nodes);
+    meta["time"] = static_cast<std::int64_t>(now);
+    broker_->publish(kTopicJobs, json::Value(std::move(meta)).dump());
+  }
+  return {};
+}
+
+util::Status MetricsRouter::job_end(const std::string& job_id) {
+  RunningJob job;
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    const auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return util::Status::error("unknown job '" + job_id + "'");
+    job = it->second;
+    jobs_.erase(it);
+  }
+  for (const auto& node : job.nodes) {
+    tags_.clear_tags(node);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.jobs_ended;
+  }
+  const util::TimeNs now = clock_.now();
+  lineproto::Point event;
+  event.measurement = options_.events_measurement;
+  event.set_tag("jobid", job_id);
+  if (!job.user.empty()) event.set_tag("user", job.user);
+  event.add_field("type", std::string("job_end"));
+  event.add_field("nodes", util::join(job.nodes, ","));
+  event.timestamp = now;
+  event.normalize();
+  if (auto status = forward(options_.database, {event}); !status.ok()) {
+    LMS_WARN("router") << "job_end annotation failed: " << status.message();
+  }
+  if (broker_ != nullptr && options_.publish) {
+    json::Object meta;
+    meta["type"] = "job_end";
+    meta["jobid"] = job_id;
+    meta["user"] = job.user;
+    meta["time"] = static_cast<std::int64_t>(now);
+    broker_->publish(kTopicJobs, json::Value(std::move(meta)).dump());
+  }
+  return {};
+}
+
+std::vector<RunningJob> MetricsRouter::running_jobs() const {
+  const std::lock_guard<std::mutex> lock(jobs_mu_);
+  std::vector<RunningJob> out;
+  out.reserve(jobs_.size());
+  for (const auto& [_, job] : jobs_) out.push_back(job);
+  return out;
+}
+
+std::optional<RunningJob> MetricsRouter::find_job(const std::string& job_id) const {
+  const std::lock_guard<std::mutex> lock(jobs_mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+MetricsRouter::Stats MetricsRouter::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+std::size_t MetricsRouter::flush_spool() {
+  std::vector<lineproto::Point> batch;
+  {
+    const std::lock_guard<std::mutex> lock(spool_mu_);
+    if (spool_.empty()) return 0;
+    batch.assign(spool_.begin(), spool_.end());
+  }
+  if (auto status = forward(options_.database, batch); !status.ok()) {
+    return 0;  // still down; keep the spool
+  }
+  {
+    const std::lock_guard<std::mutex> lock(spool_mu_);
+    // Concurrent writers may have appended while we forwarded; remove only
+    // what we actually sent.
+    const std::size_t n = std::min(batch.size(), spool_.size());
+    spool_.erase(spool_.begin(), spool_.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.points_out += batch.size();
+  }
+  return batch.size();
+}
+
+std::size_t MetricsRouter::spool_size() const {
+  const std::lock_guard<std::mutex> lock(spool_mu_);
+  return spool_.size();
+}
+
+net::HttpResponse MetricsRouter::handle_write(const net::HttpRequest& req) {
+  auto result = write_lines(req.body, req.query.get_or("db", ""));
+  if (!result.ok()) {
+    // A malformed batch is the producer's fault (400, do not retry); a
+    // back-end outage is not (503, retry later).
+    if (util::starts_with(result.message(), "forward failed")) {
+      return net::HttpResponse::text(503, result.message());
+    }
+    return net::HttpResponse::bad_request(result.message());
+  }
+  return net::HttpResponse::no_content();
+}
+
+namespace {
+
+util::Result<JobSignal> signal_from_json(std::string_view body) {
+  auto parsed = json::parse(body);
+  if (!parsed.ok()) return util::Result<JobSignal>::error(parsed.message());
+  const json::Value& v = *parsed;
+  JobSignal s;
+  s.job_id = v["jobid"].as_string();
+  s.user = v["user"].as_string();
+  if (v["nodes"].is_array()) {
+    for (const auto& n : v["nodes"].get_array()) {
+      s.nodes.push_back(n.as_string());
+    }
+  }
+  if (v["tags"].is_object()) {
+    for (const auto& [k, tv] : v["tags"].get_object()) {
+      s.extra_tags.emplace_back(k, tv.as_string());
+    }
+  }
+  if (s.job_id.empty()) return util::Result<JobSignal>::error("missing 'jobid'");
+  return s;
+}
+
+}  // namespace
+
+net::HttpResponse MetricsRouter::handle_job_start(const net::HttpRequest& req) {
+  auto signal = signal_from_json(req.body);
+  if (!signal.ok()) return net::HttpResponse::bad_request(signal.message());
+  if (auto status = job_start(*signal); !status.ok()) {
+    return net::HttpResponse::bad_request(status.message());
+  }
+  return net::HttpResponse::no_content();
+}
+
+net::HttpResponse MetricsRouter::handle_job_end(const net::HttpRequest& req) {
+  auto parsed = json::parse(req.body);
+  if (!parsed.ok()) return net::HttpResponse::bad_request(parsed.message());
+  const std::string job_id = (*parsed)["jobid"].as_string();
+  if (auto status = job_end(job_id); !status.ok()) {
+    return net::HttpResponse::bad_request(status.message());
+  }
+  return net::HttpResponse::no_content();
+}
+
+net::HttpResponse MetricsRouter::handle_jobs(const net::HttpRequest&) {
+  json::Array jobs;
+  for (const auto& job : running_jobs()) {
+    json::Object j;
+    j["jobid"] = job.job_id;
+    j["user"] = job.user;
+    json::Array nodes;
+    for (const auto& n : job.nodes) nodes.emplace_back(n);
+    j["nodes"] = std::move(nodes);
+    j["start_time"] = static_cast<std::int64_t>(job.start_time);
+    json::Object extra;
+    for (const auto& [k, v] : job.extra_tags) extra[k] = v;
+    j["tags"] = std::move(extra);
+    jobs.emplace_back(std::move(j));
+  }
+  json::Object top;
+  top["jobs"] = std::move(jobs);
+  return net::HttpResponse::json(200, json::Value(std::move(top)).dump());
+}
+
+net::HttpResponse MetricsRouter::handle_stats(const net::HttpRequest&) {
+  const Stats s = stats();
+  json::Object o;
+  o["points_in"] = static_cast<std::int64_t>(s.points_in);
+  o["points_out"] = static_cast<std::int64_t>(s.points_out);
+  o["points_duplicated"] = static_cast<std::int64_t>(s.points_duplicated);
+  o["parse_errors"] = static_cast<std::int64_t>(s.parse_errors);
+  o["forward_failures"] = static_cast<std::int64_t>(s.forward_failures);
+  o["jobs_started"] = static_cast<std::int64_t>(s.jobs_started);
+  o["jobs_ended"] = static_cast<std::int64_t>(s.jobs_ended);
+  o["tagged_hosts"] = static_cast<std::int64_t>(tags_.host_count());
+  return net::HttpResponse::json(200, json::Value(std::move(o)).dump());
+}
+
+}  // namespace lms::core

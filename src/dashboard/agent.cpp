@@ -1,0 +1,248 @@
+#include "lms/dashboard/agent.hpp"
+
+#include <set>
+
+#include "lms/util/strings.hpp"
+
+namespace lms::dashboard {
+
+DashboardAgent::DashboardAgent(tsdb::Storage& storage, const analysis::JobReporter& reporter,
+                               const util::Clock& clock, Options options)
+    : storage_(storage), reporter_(reporter), clock_(clock), options_(std::move(options)) {}
+
+std::vector<std::string> DashboardAgent::discover_user_fields(const std::string& job_id) const {
+  const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
+  tsdb::Database* db = storage_.find_database_unlocked(options_.database);
+  if (db == nullptr) return {};
+  std::set<std::string> fields;
+  for (const tsdb::Series* s : db->series_matching("usermetric", {{"jobid", job_id}})) {
+    for (const auto& [field, _] : s->columns) fields.insert(field);
+  }
+  return {fields.begin(), fields.end()};
+}
+
+json::Value DashboardAgent::generate_job_dashboard(const core::RunningJob& job,
+                                                   util::TimeNs now) {
+  VarMap vars;
+  vars["JOB_ID"] = job.job_id;
+  vars["USER"] = job.user;
+  vars["DB"] = options_.datasource;
+  vars["FROM"] = std::to_string(job.start_time);
+  vars["TO"] = std::to_string(now);
+
+  const json::Value* tpl = templates_.find("job_dashboard");
+  json::Value dash = tpl != nullptr ? *tpl : json::Value(json::Object{});
+  dash = substitute(dash, vars);
+  if (!dash.is_object()) dash = json::Value(json::Object{});
+  json::Object& dobj = dash.get_object();
+  if (!dobj.contains("rows")) dobj["rows"] = json::Array{};
+
+  // Header: analysis results so badly behaving jobs show on the initial view.
+  const analysis::JobEvaluation eval =
+      reporter_.evaluate(job.job_id, job.nodes, job.start_time, now);
+  json::Object header;
+  header["title"] = "Job evaluation";
+  header["type"] = "table";
+  header["content"] = analysis::to_json(eval);
+  json::Array rows;
+  rows.emplace_back(json::Object{{"title", json::Value("Analysis")},
+                                 {"panels", json::Value(json::Array{json::Value(std::move(header))})}});
+
+  // Templated rows: per-host system metrics and the HPM row.
+  if (const json::Value* row_tpl = templates_.find("system_row")) {
+    for (const auto& host : job.nodes) {
+      VarMap host_vars = vars;
+      host_vars["HOST"] = host;
+      json::Value row = substitute(*row_tpl, host_vars);
+      if (row.is_object()) row.get_object().erase("repeat");
+      rows.push_back(std::move(row));
+    }
+  }
+  if (const json::Value* row_tpl = templates_.find("likwid_row")) {
+    rows.push_back(substitute(*row_tpl, vars));
+  }
+
+  // Application-level metrics discovered from the database (§IV): one panel
+  // per reported field.
+  const std::vector<std::string> user_fields = discover_user_fields(job.job_id);
+  if (!user_fields.empty()) {
+    json::Object row;
+    if (const json::Value* row_tpl = templates_.find("usermetric_row");
+        row_tpl != nullptr && row_tpl->is_object()) {
+      row = substitute(*row_tpl, vars).get_object();
+    } else {
+      row["title"] = "Application metrics";
+    }
+    json::Array panels;
+    for (const auto& field : user_fields) {
+      json::Object panel;
+      panel["title"] = field;
+      panel["type"] = "graph";
+      panel["datasource"] = options_.datasource;
+      json::Object target;
+      target["query"] =
+          substitute(json::Value(panel_query(field, "usermetric", {{"jobid", job.job_id}})),
+                     vars)
+              .as_string();
+      panel["targets"] = json::Array{json::Value(std::move(target))};
+      panels.emplace_back(std::move(panel));
+    }
+    row["panels"] = std::move(panels);
+    rows.emplace_back(std::move(row));
+  }
+
+  dobj["rows"] = std::move(rows);
+  dobj["generated_at"] = static_cast<std::int64_t>(now);
+
+  const std::string uid = dash["uid"].as_string("job-" + job.job_id);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    dashboards_[uid] = dash;
+  }
+  return dash;
+}
+
+json::Value DashboardAgent::generate_admin_dashboard(const std::vector<core::RunningJob>& jobs,
+                                                     util::TimeNs now) {
+  json::Object dash;
+  dash["title"] = "Running jobs (admin)";
+  dash["uid"] = "admin";
+  dash["tags"] = json::Array{json::Value("lms"), json::Value("admin")};
+  dash["generated_at"] = static_cast<std::int64_t>(now);
+  json::Array rows;
+  for (const auto& job : jobs) {
+    json::Object row;
+    row["title"] = "Job " + job.job_id + " (" + job.user + ")";
+    json::Array panels;
+    json::Object info;
+    info["type"] = "text";
+    info["title"] = "info";
+    info["content"] = "nodes: " + util::join(job.nodes, ", ") +
+                      "; running " + util::format_duration(now - job.start_time);
+    panels.emplace_back(std::move(info));
+    // Thumbnails: small graphs referencing the job dashboard's key series.
+    json::Object thumb;
+    thumb["type"] = "graph";
+    thumb["title"] = "DP FLOP rate";
+    thumb["thumbnail"] = true;
+    thumb["dashboard_uid"] = "job-" + job.job_id;
+    json::Object target;
+    target["query"] = "SELECT mean(dp_mflop_per_s) FROM likwid_mem_dp WHERE jobid='" +
+                      job.job_id + "' AND time >= " + std::to_string(job.start_time) +
+                      " GROUP BY time(60s), hostname";
+    thumb["targets"] = json::Array{json::Value(std::move(target))};
+    panels.emplace_back(std::move(thumb));
+    row["panels"] = std::move(panels);
+    rows.emplace_back(std::move(row));
+  }
+  dash["rows"] = std::move(rows);
+  json::Value v(std::move(dash));
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    dashboards_["admin"] = v;
+  }
+  return v;
+}
+
+json::Value DashboardAgent::generate_user_dashboard(const std::string& user,
+                                                    const std::vector<core::RunningJob>& jobs,
+                                                    util::TimeNs now) {
+  json::Object dash;
+  dash["title"] = "Jobs of " + user;
+  dash["uid"] = "user-" + user;
+  dash["tags"] = json::Array{json::Value("lms"), json::Value("user")};
+  dash["generated_at"] = static_cast<std::int64_t>(now);
+  // The per-user database the router duplicates into (when configured);
+  // the user only ever needs access to their own data.
+  const std::string user_db = "user_" + user;
+  const bool has_user_db = [&] {
+    for (const auto& name : storage_.databases()) {
+      if (name == user_db) return true;
+    }
+    return false;
+  }();
+  dash["datasource"] = has_user_db ? user_db : options_.datasource;
+  json::Array rows;
+  for (const auto& job : jobs) {
+    if (job.user != user) continue;
+    json::Object row;
+    row["title"] = "Job " + job.job_id;
+    json::Array panels;
+    json::Object info;
+    info["type"] = "text";
+    info["title"] = "info";
+    info["content"] = "nodes: " + util::join(job.nodes, ", ") + "; running " +
+                      util::format_duration(now - job.start_time);
+    panels.emplace_back(std::move(info));
+    json::Object graph;
+    graph["type"] = "graph";
+    graph["title"] = "DP FLOP rate";
+    graph["dashboard_uid"] = "job-" + job.job_id;
+    json::Object target;
+    target["query"] = "SELECT mean(dp_mflop_per_s) FROM likwid_mem_dp WHERE jobid='" +
+                      job.job_id + "' AND time >= " + std::to_string(job.start_time) +
+                      " GROUP BY time(60s), hostname";
+    graph["targets"] = json::Array{json::Value(std::move(target))};
+    panels.emplace_back(std::move(graph));
+    row["panels"] = std::move(panels);
+    rows.emplace_back(std::move(row));
+  }
+  dash["rows"] = std::move(rows);
+  json::Value v(std::move(dash));
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    dashboards_["user-" + user] = v;
+  }
+  return v;
+}
+
+std::size_t DashboardAgent::refresh(const std::vector<core::RunningJob>& jobs,
+                                    util::TimeNs now) {
+  std::size_t generated = 0;
+  for (const auto& job : jobs) {
+    generate_job_dashboard(job, now);
+    ++generated;
+  }
+  generate_admin_dashboard(jobs, now);
+  return generated + 1;
+}
+
+const json::Value* DashboardAgent::find_dashboard(const std::string& uid) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = dashboards_.find(uid);
+  return it != dashboards_.end() ? &it->second : nullptr;
+}
+
+std::vector<std::string> DashboardAgent::dashboard_uids() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(dashboards_.size());
+  for (const auto& [uid, _] : dashboards_) out.push_back(uid);
+  return out;
+}
+
+net::HttpHandler DashboardAgent::handler() {
+  return [this](const net::HttpRequest& req) -> net::HttpResponse {
+    if (util::starts_with(req.path, "/api/dashboards/uid/")) {
+      const std::string uid = req.path.substr(std::string("/api/dashboards/uid/").size());
+      const std::lock_guard<std::mutex> lock(mu_);
+      const auto it = dashboards_.find(uid);
+      if (it == dashboards_.end()) return net::HttpResponse::not_found();
+      return net::HttpResponse::json(200, it->second.dump());
+    }
+    if (req.path == "/api/search") {
+      json::Array out;
+      const std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [uid, dash] : dashboards_) {
+        json::Object entry;
+        entry["uid"] = uid;
+        entry["title"] = dash["title"].as_string();
+        out.emplace_back(std::move(entry));
+      }
+      return net::HttpResponse::json(200, json::Value(std::move(out)).dump());
+    }
+    return net::HttpResponse::not_found();
+  };
+}
+
+}  // namespace lms::dashboard

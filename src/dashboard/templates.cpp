@@ -1,0 +1,230 @@
+#include "lms/dashboard/templates.hpp"
+
+#include "lms/util/logging.hpp"
+#include "lms/util/strings.hpp"
+
+namespace lms::dashboard {
+
+namespace {
+
+std::string substitute_string(const std::string& s, const VarMap& vars) {
+  std::string out;
+  out.reserve(s.size());
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] == '$' && i + 1 < s.size() && s[i + 1] == '{') {
+      const std::size_t end = s.find('}', i + 2);
+      if (end != std::string::npos) {
+        const std::string name = s.substr(i + 2, end - i - 2);
+        const auto it = vars.find(name);
+        if (it != vars.end()) {
+          out += it->second;
+          i = end + 1;
+          continue;
+        }
+      }
+    }
+    out.push_back(s[i++]);
+  }
+  return out;
+}
+
+}  // namespace
+
+json::Value substitute(const json::Value& tpl, const VarMap& vars) {
+  switch (tpl.type()) {
+    case json::Type::kString:
+      return json::Value(substitute_string(tpl.get_string(), vars));
+    case json::Type::kArray: {
+      json::Array out;
+      out.reserve(tpl.get_array().size());
+      for (const auto& v : tpl.get_array()) out.push_back(substitute(v, vars));
+      return json::Value(std::move(out));
+    }
+    case json::Type::kObject: {
+      json::Object out;
+      for (const auto& [k, v] : tpl.get_object()) {
+        out[substitute_string(k, vars)] = substitute(v, vars);
+      }
+      return json::Value(std::move(out));
+    }
+    default:
+      return tpl;
+  }
+}
+
+json::Value expand_dashboard(const json::Value& tpl, const VarMap& vars,
+                             const std::vector<std::string>& hosts) {
+  // First pass: expand repeated rows, then substitute remaining variables.
+  json::Value result = tpl;
+  if (result.is_object()) {
+    json::Object& obj = result.get_object();
+    if (json::Value* rows = obj.find("rows"); rows != nullptr && rows->is_array()) {
+      json::Array expanded;
+      for (const auto& row : rows->get_array()) {
+        const bool repeat =
+            row.is_object() && row["repeat"].as_string() == "host" && !hosts.empty();
+        if (!repeat) {
+          expanded.push_back(row);
+          continue;
+        }
+        for (const auto& host : hosts) {
+          VarMap host_vars = vars;
+          host_vars["HOST"] = host;
+          json::Value instance = substitute(row, host_vars);
+          if (instance.is_object()) instance.get_object().erase("repeat");
+          expanded.push_back(std::move(instance));
+        }
+      }
+      *rows = json::Value(std::move(expanded));
+    }
+  }
+  return substitute(result, vars);
+}
+
+namespace {
+
+constexpr std::string_view kJobDashboard = R"json({
+  "title": "Job ${JOB_ID} (${USER})",
+  "uid": "job-${JOB_ID}",
+  "tags": ["lms", "job"],
+  "time": {"from": "${FROM}", "to": "${TO}"},
+  "refresh": "30s",
+  "annotations": {
+    "list": [{
+      "name": "job events",
+      "datasource": "${DB}",
+      "query": "SELECT text FROM events WHERE jobid='${JOB_ID}'"
+    }, {
+      "name": "user events",
+      "datasource": "${DB}",
+      "query": "SELECT text FROM userevents WHERE jobid='${JOB_ID}'"
+    }]
+  },
+  "rows": []
+})json";
+
+constexpr std::string_view kSystemRow = R"json({
+  "title": "System metrics ${HOST}",
+  "repeat": "host",
+  "panels": [
+    {
+      "title": "CPU ${HOST}",
+      "type": "graph",
+      "datasource": "${DB}",
+      "targets": [
+        {"query": "SELECT mean(user_percent) FROM cpu WHERE hostname='${HOST}' AND jobid='${JOB_ID}' AND time >= ${FROM} AND time < ${TO} GROUP BY time(30s)"},
+        {"query": "SELECT mean(system_percent) FROM cpu WHERE hostname='${HOST}' AND jobid='${JOB_ID}' AND time >= ${FROM} AND time < ${TO} GROUP BY time(30s)"}
+      ]
+    },
+    {
+      "title": "Memory ${HOST}",
+      "type": "graph",
+      "datasource": "${DB}",
+      "targets": [
+        {"query": "SELECT mean(used_percent) FROM memory WHERE hostname='${HOST}' AND jobid='${JOB_ID}' AND time >= ${FROM} AND time < ${TO} GROUP BY time(30s)"}
+      ]
+    },
+    {
+      "title": "Network ${HOST}",
+      "type": "graph",
+      "datasource": "${DB}",
+      "targets": [
+        {"query": "SELECT mean(rx_bytes_per_sec) FROM network WHERE hostname='${HOST}' AND jobid='${JOB_ID}' AND time >= ${FROM} AND time < ${TO} GROUP BY time(30s)"},
+        {"query": "SELECT mean(tx_bytes_per_sec) FROM network WHERE hostname='${HOST}' AND jobid='${JOB_ID}' AND time >= ${FROM} AND time < ${TO} GROUP BY time(30s)"}
+      ]
+    }
+  ]
+})json";
+
+constexpr std::string_view kLikwidRow = R"json({
+  "title": "Hardware performance monitoring",
+  "panels": [
+    {
+      "title": "DP FLOP rate",
+      "type": "graph",
+      "datasource": "${DB}",
+      "targets": [
+        {"query": "SELECT mean(dp_mflop_per_s) FROM likwid_mem_dp WHERE jobid='${JOB_ID}' AND time >= ${FROM} AND time < ${TO} GROUP BY time(30s), hostname"}
+      ]
+    },
+    {
+      "title": "Memory bandwidth",
+      "type": "graph",
+      "datasource": "${DB}",
+      "targets": [
+        {"query": "SELECT mean(memory_bandwidth_mbytes_per_s) FROM likwid_mem_dp WHERE jobid='${JOB_ID}' AND time >= ${FROM} AND time < ${TO} GROUP BY time(30s), hostname"}
+      ]
+    },
+    {
+      "title": "IPC",
+      "type": "graph",
+      "datasource": "${DB}",
+      "targets": [
+        {"query": "SELECT mean(ipc) FROM likwid_mem_dp WHERE jobid='${JOB_ID}' AND time >= ${FROM} AND time < ${TO} GROUP BY time(30s), hostname"}
+      ]
+    }
+  ]
+})json";
+
+constexpr std::string_view kUsermetricRow = R"json({
+  "title": "Application metrics",
+  "panels": []
+})json";
+
+}  // namespace
+
+TemplateStore::TemplateStore() {
+  struct Builtin {
+    const char* name;
+    std::string_view text;
+  };
+  const Builtin builtins[] = {
+      {"job_dashboard", kJobDashboard},
+      {"system_row", kSystemRow},
+      {"likwid_row", kLikwidRow},
+      {"usermetric_row", kUsermetricRow},
+  };
+  for (const auto& b : builtins) {
+    if (auto status = add(b.name, b.text); !status.ok()) {
+      LMS_ERROR("dashboard") << "builtin template '" << b.name
+                             << "' is invalid: " << status.message();
+    }
+  }
+}
+
+util::Status TemplateStore::add(const std::string& name, std::string_view json_text) {
+  auto parsed = json::parse(json_text);
+  if (!parsed.ok()) return util::Status::error(parsed.message());
+  templates_.insert_or_assign(name, parsed.take());
+  return {};
+}
+
+const json::Value* TemplateStore::find(const std::string& name) const {
+  const auto it = templates_.find(name);
+  return it != templates_.end() ? &it->second : nullptr;
+}
+
+std::vector<std::string> TemplateStore::names() const {
+  std::vector<std::string> out;
+  out.reserve(templates_.size());
+  for (const auto& [name, _] : templates_) out.push_back(name);
+  return out;
+}
+
+std::string panel_query(const std::string& field, const std::string& measurement,
+                        const VarMap& tag_filters, const std::string& agg,
+                        const std::string& window) {
+  std::string q = "SELECT " + agg + "(" + field + ") FROM " + measurement;
+  bool first = true;
+  for (const auto& [k, v] : tag_filters) {
+    q += first ? " WHERE " : " AND ";
+    first = false;
+    q += k + "='" + v + "'";
+  }
+  q += (first ? " WHERE " : " AND ");
+  q += "time >= ${FROM} AND time < ${TO} GROUP BY time(" + window + ")";
+  return q;
+}
+
+}  // namespace lms::dashboard

@@ -1,0 +1,174 @@
+#include "lms/hpm/arch.hpp"
+
+#include <cstdio>
+
+namespace lms::hpm {
+
+const EventDef* CounterArchitecture::find_event(std::string_view event_name) const {
+  for (const auto& e : events) {
+    if (e.name == event_name) return &e;
+  }
+  return nullptr;
+}
+
+const CounterSlotDef* CounterArchitecture::find_slot(std::string_view slot_name) const {
+  for (const auto& s : slots) {
+    if (s.name == slot_name) return &s;
+  }
+  return nullptr;
+}
+
+bool CounterArchitecture::schedulable(const EventDef& event, const CounterSlotDef& slot) const {
+  return event.counter_class == slot.clazz &&
+         ((event.scope == CounterScope::kHwThread && slot.scope == CounterScope::kHwThread) ||
+          (event.scope == CounterScope::kSocket && slot.scope == CounterScope::kSocket));
+}
+
+namespace {
+
+std::vector<CounterSlotDef> standard_slots(int pmc_count, int mbox_count) {
+  std::vector<CounterSlotDef> slots;
+  slots.push_back({"FIXC0", "FIXC", CounterScope::kHwThread});
+  slots.push_back({"FIXC1", "FIXC", CounterScope::kHwThread});
+  slots.push_back({"FIXC2", "FIXC", CounterScope::kHwThread});
+  for (int i = 0; i < pmc_count; ++i) {
+    slots.push_back({"PMC" + std::to_string(i), "PMC", CounterScope::kHwThread});
+  }
+  for (int i = 0; i < mbox_count; ++i) {
+    slots.push_back({"MBOX" + std::to_string(i / 2) + "C" + std::to_string(i % 2), "MBOX",
+                     CounterScope::kSocket});
+  }
+  slots.push_back({"PWR0", "PWR", CounterScope::kSocket});
+  return slots;
+}
+
+std::vector<EventDef> standard_events() {
+  return {
+      {"INSTR_RETIRED_ANY", EventKind::kInstructionsRetired, CounterScope::kHwThread, "FIXC"},
+      {"CPU_CLK_UNHALTED_CORE", EventKind::kCoreCyclesUnhalted, CounterScope::kHwThread, "FIXC"},
+      {"CPU_CLK_UNHALTED_REF", EventKind::kRefCyclesUnhalted, CounterScope::kHwThread, "FIXC"},
+      {"FP_ARITH_INST_RETIRED_SCALAR_DOUBLE", EventKind::kFlopsScalarDp, CounterScope::kHwThread,
+       "PMC"},
+      {"FP_ARITH_INST_RETIRED_128B_PACKED_DOUBLE", EventKind::kFlopsPacked128Dp,
+       CounterScope::kHwThread, "PMC"},
+      {"FP_ARITH_INST_RETIRED_256B_PACKED_DOUBLE", EventKind::kFlopsPacked256Dp,
+       CounterScope::kHwThread, "PMC"},
+      {"FP_ARITH_INST_RETIRED_SCALAR_SINGLE", EventKind::kFlopsScalarSp, CounterScope::kHwThread,
+       "PMC"},
+      {"FP_ARITH_INST_RETIRED_128B_PACKED_SINGLE", EventKind::kFlopsPacked128Sp,
+       CounterScope::kHwThread, "PMC"},
+      {"FP_ARITH_INST_RETIRED_256B_PACKED_SINGLE", EventKind::kFlopsPacked256Sp,
+       CounterScope::kHwThread, "PMC"},
+      {"BR_INST_RETIRED_ALL_BRANCHES", EventKind::kBranchesRetired, CounterScope::kHwThread,
+       "PMC"},
+      {"BR_MISP_RETIRED_ALL_BRANCHES", EventKind::kBranchesMispredicted, CounterScope::kHwThread,
+       "PMC"},
+      {"L1D_REPLACEMENT", EventKind::kL1DReplacement, CounterScope::kHwThread, "PMC"},
+      {"L2_LINES_IN_ALL", EventKind::kL2LinesIn, CounterScope::kHwThread, "PMC"},
+      {"L3_LINES_IN_ALL", EventKind::kL3LinesIn, CounterScope::kHwThread, "PMC"},
+      {"MEM_INST_RETIRED_ALL_LOADS", EventKind::kLoadsRetired, CounterScope::kHwThread, "PMC"},
+      {"MEM_INST_RETIRED_ALL_STORES", EventKind::kStoresRetired, CounterScope::kHwThread, "PMC"},
+      {"DTLB_LOAD_MISSES_WALK_COMPLETED", EventKind::kDtlbWalkCompleted, CounterScope::kHwThread,
+       "PMC"},
+      {"CAS_COUNT_RD", EventKind::kCasReadUncore, CounterScope::kSocket, "MBOX"},
+      {"CAS_COUNT_WR", EventKind::kCasWriteUncore, CounterScope::kSocket, "MBOX"},
+      {"PWR_PKG_ENERGY", EventKind::kPkgEnergyUncore, CounterScope::kSocket, "PWR"},
+  };
+}
+
+}  // namespace
+
+const CounterArchitecture& simx86() {
+  static const CounterArchitecture arch = [] {
+    CounterArchitecture a;
+    a.name = "simx86";
+    a.cpu_model = "Simulated x86_64 server (AVX2, 2S x 8C)";
+    a.sockets = 2;
+    a.cores_per_socket = 8;
+    a.threads_per_core = 1;
+    a.nominal_clock_ghz = 2.3;
+    // AVX2 FMA: 2 FMA units * 4 DP lanes * 2 flops = 16 DP flop/cycle.
+    a.peak_dp_flops_per_core = 16.0 * a.nominal_clock_ghz * 1e9;
+    // 4 DDR4-2400 channels per socket ~ 76.8 GB/s theoretical.
+    a.peak_mem_bw_per_socket = 76.8e9;
+    a.slots = standard_slots(/*pmc_count=*/4, /*mbox_count=*/8);
+    a.events = standard_events();
+    return a;
+  }();
+  return arch;
+}
+
+const CounterArchitecture& simx86_small() {
+  static const CounterArchitecture arch = [] {
+    CounterArchitecture a;
+    a.name = "simx86-small";
+    a.cpu_model = "Simulated x86_64 desktop (AVX2, 1S x 4C)";
+    a.sockets = 1;
+    a.cores_per_socket = 4;
+    a.threads_per_core = 1;
+    a.nominal_clock_ghz = 3.5;
+    a.peak_dp_flops_per_core = 16.0 * a.nominal_clock_ghz * 1e9;
+    a.peak_mem_bw_per_socket = 38.4e9;  // 2 channels DDR4-2400
+    a.slots = standard_slots(/*pmc_count=*/4, /*mbox_count=*/4);
+    a.events = standard_events();
+    return a;
+  }();
+  return arch;
+}
+
+const CounterArchitecture* find_architecture(std::string_view name) {
+  if (name == simx86().name) return &simx86();
+  if (name == simx86_small().name) return &simx86_small();
+  return nullptr;
+}
+
+std::string topology_string(const CounterArchitecture& arch) {
+  char buf[256];
+  std::string out;
+  out += "--------------------------------------------------------------------\n";
+  out += "CPU name:       " + arch.cpu_model + "\n";
+  out += "Architecture:   " + arch.name + "\n";
+  std::snprintf(buf, sizeof(buf), "Sockets:        %d\n", arch.sockets);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "Cores/socket:   %d (%d threads/core, %d hwthreads total)\n",
+                arch.cores_per_socket, arch.threads_per_core, arch.total_hwthreads());
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "Nominal clock:  %.2f GHz\n", arch.nominal_clock_ghz);
+  out += buf;
+  out += "--------------------------------------------------------------------\n";
+  std::snprintf(buf, sizeof(buf), "L1d cache:      %d KiB per core\n", arch.l1d_kib_per_core);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "L2 cache:       %d KiB per core\n", arch.l2_kib_per_core);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "L3 cache:       %d MiB per socket (shared)\n",
+                arch.l3_mib_per_socket);
+  out += buf;
+  out += "--------------------------------------------------------------------\n";
+  int fixc = 0;
+  int pmc = 0;
+  int mbox = 0;
+  int pwr = 0;
+  for (const auto& slot : arch.slots) {
+    if (slot.clazz == "FIXC") ++fixc;
+    if (slot.clazz == "PMC") ++pmc;
+    if (slot.clazz == "MBOX") ++mbox;
+    if (slot.clazz == "PWR") ++pwr;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "Counters:       %d fixed + %d general per hwthread, %d MBOX + %d PWR per "
+                "socket\n",
+                fixc, pmc, mbox, pwr);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "Peak DP:        %.1f GFLOP/s per core, %.1f GFLOP/s node\n",
+                arch.peak_dp_flops_per_core / 1e9,
+                arch.peak_dp_flops_per_core * arch.total_cores() / 1e9);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "Peak mem bw:    %.1f GB/s per socket, %.1f GB/s node\n",
+                arch.peak_mem_bw_per_socket / 1e9,
+                arch.peak_mem_bw_per_socket * arch.sockets / 1e9);
+  out += buf;
+  out += "--------------------------------------------------------------------\n";
+  return out;
+}
+
+}  // namespace lms::hpm

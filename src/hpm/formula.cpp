@@ -1,0 +1,320 @@
+#include "lms/hpm/formula.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <stack>
+
+namespace lms::hpm {
+
+namespace {
+
+enum class TokKind { kNumber, kIdent, kOp, kLParen, kRParen, kComma, kEnd };
+
+struct Token {
+  TokKind kind;
+  double number = 0.0;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  util::Result<Token> next() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return Token{TokKind::kEnd, 0.0, ""};
+    const char c = text_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '.') {
+      std::size_t j = pos_;
+      while (j < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[j])) != 0 || text_[j] == '.')) {
+        ++j;
+      }
+      // Scientific notation: 1.0E-06, 2e9.
+      if (j < text_.size() && (text_[j] == 'e' || text_[j] == 'E')) {
+        std::size_t k = j + 1;
+        if (k < text_.size() && (text_[k] == '+' || text_[k] == '-')) ++k;
+        if (k < text_.size() && std::isdigit(static_cast<unsigned char>(text_[k])) != 0) {
+          while (k < text_.size() &&
+                 std::isdigit(static_cast<unsigned char>(text_[k])) != 0) {
+            ++k;
+          }
+          j = k;
+        }
+      }
+      const std::string tok(text_.substr(pos_, j - pos_));
+      pos_ = j;
+      try {
+        return Token{TokKind::kNumber, std::stod(tok), tok};
+      } catch (...) {
+        return util::Result<Token>::error("formula: bad number '" + tok + "'");
+      }
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t j = pos_;
+      while (j < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[j])) != 0 || text_[j] == '_' ||
+              text_[j] == ':')) {
+        ++j;
+      }
+      Token t{TokKind::kIdent, 0.0, std::string(text_.substr(pos_, j - pos_))};
+      pos_ = j;
+      return t;
+    }
+    ++pos_;
+    switch (c) {
+      case '+':
+      case '-':
+      case '*':
+      case '/':
+      case '^':
+        return Token{TokKind::kOp, 0.0, std::string(1, c)};
+      case '(':
+        return Token{TokKind::kLParen, 0.0, ""};
+      case ')':
+        return Token{TokKind::kRParen, 0.0, ""};
+      case ',':
+        return Token{TokKind::kComma, 0.0, ""};
+      default:
+        return util::Result<Token>::error(std::string("formula: unexpected character '") + c +
+                                          "'");
+    }
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+int precedence(const std::string& op) {
+  if (op == "^") return 4;
+  if (op == "u-") return 3;
+  if (op == "*" || op == "/") return 2;
+  return 1;  // + -
+}
+
+bool right_assoc(const std::string& op) { return op == "^" || op == "u-"; }
+
+}  // namespace
+
+util::Result<Formula> Formula::compile(std::string_view text) {
+  Formula f;
+  f.text_ = std::string(text);
+  Lexer lexer(text);
+
+  // Shunting-yard with function support (min/max/abs).
+  std::vector<std::string> op_stack;  // operators, "(", function names
+  std::vector<Instr>& out = f.program_;
+  std::map<std::string, int, std::less<>> var_indices;
+
+  auto emit_op = [&](const std::string& op) -> util::Status {
+    if (op == "+") {
+      out.push_back({OpCode::kAdd});
+    } else if (op == "-") {
+      out.push_back({OpCode::kSub});
+    } else if (op == "*") {
+      out.push_back({OpCode::kMul});
+    } else if (op == "/") {
+      out.push_back({OpCode::kDiv});
+    } else if (op == "^") {
+      out.push_back({OpCode::kPow});
+    } else if (op == "u-") {
+      out.push_back({OpCode::kNeg});
+    } else if (op == "min") {
+      out.push_back({OpCode::kMin});
+    } else if (op == "max") {
+      out.push_back({OpCode::kMax});
+    } else if (op == "abs") {
+      out.push_back({OpCode::kAbs});
+    } else {
+      return util::Status::error("formula: unknown function '" + op + "'");
+    }
+    return {};
+  };
+
+  bool expect_operand = true;
+  while (true) {
+    auto tok = lexer.next();
+    if (!tok.ok()) return util::Result<Formula>::error(tok.message());
+    const Token& t = *tok;
+    if (t.kind == TokKind::kEnd) break;
+    switch (t.kind) {
+      case TokKind::kNumber: {
+        Instr i{OpCode::kPush};
+        i.literal = t.number;
+        out.push_back(i);
+        expect_operand = false;
+        break;
+      }
+      case TokKind::kIdent: {
+        const std::string lower = [&] {
+          std::string s = t.text;
+          for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+          return s;
+        }();
+        if (lower == "min" || lower == "max" || lower == "abs") {
+          op_stack.push_back(lower);
+        } else {
+          auto [it, inserted] = var_indices.emplace(t.text, static_cast<int>(f.variables_.size()));
+          if (inserted) f.variables_.push_back(t.text);
+          Instr i{OpCode::kLoad};
+          i.var_index = it->second;
+          out.push_back(i);
+        }
+        expect_operand = lower == "min" || lower == "max" || lower == "abs";
+        break;
+      }
+      case TokKind::kOp: {
+        std::string op = t.text;
+        if (op == "-" && expect_operand) op = "u-";
+        if (op == "+" && expect_operand) break;  // unary plus: no-op
+        while (!op_stack.empty() && op_stack.back() != "(") {
+          const std::string& top = op_stack.back();
+          const bool is_func = top == "min" || top == "max" || top == "abs";
+          if (is_func || precedence(top) > precedence(op) ||
+              (precedence(top) == precedence(op) && !right_assoc(op))) {
+            if (auto s = emit_op(top); !s.ok()) return util::Result<Formula>::error(s.message());
+            op_stack.pop_back();
+          } else {
+            break;
+          }
+        }
+        op_stack.push_back(op);
+        expect_operand = true;
+        break;
+      }
+      case TokKind::kLParen:
+        op_stack.push_back("(");
+        expect_operand = true;
+        break;
+      case TokKind::kComma:
+        while (!op_stack.empty() && op_stack.back() != "(") {
+          if (auto s = emit_op(op_stack.back()); !s.ok()) {
+            return util::Result<Formula>::error(s.message());
+          }
+          op_stack.pop_back();
+        }
+        if (op_stack.empty()) {
+          return util::Result<Formula>::error("formula: misplaced ','");
+        }
+        expect_operand = true;
+        break;
+      case TokKind::kRParen: {
+        while (!op_stack.empty() && op_stack.back() != "(") {
+          if (auto s = emit_op(op_stack.back()); !s.ok()) {
+            return util::Result<Formula>::error(s.message());
+          }
+          op_stack.pop_back();
+        }
+        if (op_stack.empty()) return util::Result<Formula>::error("formula: unbalanced ')'");
+        op_stack.pop_back();  // '('
+        // A function name directly below the paren applies to its contents.
+        if (!op_stack.empty() &&
+            (op_stack.back() == "min" || op_stack.back() == "max" || op_stack.back() == "abs")) {
+          if (auto s = emit_op(op_stack.back()); !s.ok()) {
+            return util::Result<Formula>::error(s.message());
+          }
+          op_stack.pop_back();
+        }
+        expect_operand = false;
+        break;
+      }
+      case TokKind::kEnd:
+        break;
+    }
+  }
+  while (!op_stack.empty()) {
+    if (op_stack.back() == "(") return util::Result<Formula>::error("formula: unbalanced '('");
+    if (auto s = emit_op(op_stack.back()); !s.ok()) {
+      return util::Result<Formula>::error(s.message());
+    }
+    op_stack.pop_back();
+  }
+  if (out.empty()) return util::Result<Formula>::error("formula: empty expression");
+
+  // Validate stack discipline so evaluate() can run unchecked.
+  int depth = 0;
+  for (const auto& instr : out) {
+    switch (instr.op) {
+      case OpCode::kPush:
+      case OpCode::kLoad:
+        ++depth;
+        break;
+      case OpCode::kNeg:
+      case OpCode::kAbs:
+        if (depth < 1) return util::Result<Formula>::error("formula: malformed expression");
+        break;
+      default:
+        if (depth < 2) return util::Result<Formula>::error("formula: malformed expression");
+        --depth;
+        break;
+    }
+  }
+  if (depth != 1) return util::Result<Formula>::error("formula: malformed expression");
+  return f;
+}
+
+util::Result<double> Formula::evaluate(const VarMap& vars) const {
+  // program_ is validated at compile time; use a small fixed stack.
+  double stack[64];
+  std::size_t sp = 0;
+  // Resolve variables once per call.
+  for (const auto& instr : program_) {
+    switch (instr.op) {
+      case OpCode::kPush:
+        if (sp >= 64) return util::Result<double>::error("formula: expression too deep");
+        stack[sp++] = instr.literal;
+        break;
+      case OpCode::kLoad: {
+        if (sp >= 64) return util::Result<double>::error("formula: expression too deep");
+        const auto it = vars.find(variables_[static_cast<std::size_t>(instr.var_index)]);
+        if (it == vars.end()) {
+          return util::Result<double>::error(
+              "formula: unbound variable '" +
+              variables_[static_cast<std::size_t>(instr.var_index)] + "'");
+        }
+        stack[sp++] = it->second;
+        break;
+      }
+      case OpCode::kAdd:
+        stack[sp - 2] += stack[sp - 1];
+        --sp;
+        break;
+      case OpCode::kSub:
+        stack[sp - 2] -= stack[sp - 1];
+        --sp;
+        break;
+      case OpCode::kMul:
+        stack[sp - 2] *= stack[sp - 1];
+        --sp;
+        break;
+      case OpCode::kDiv:
+        stack[sp - 2] = stack[sp - 1] == 0.0 ? 0.0 : stack[sp - 2] / stack[sp - 1];
+        --sp;
+        break;
+      case OpCode::kPow:
+        stack[sp - 2] = std::pow(stack[sp - 2], stack[sp - 1]);
+        --sp;
+        break;
+      case OpCode::kNeg:
+        stack[sp - 1] = -stack[sp - 1];
+        break;
+      case OpCode::kMin:
+        stack[sp - 2] = std::min(stack[sp - 2], stack[sp - 1]);
+        --sp;
+        break;
+      case OpCode::kMax:
+        stack[sp - 2] = std::max(stack[sp - 2], stack[sp - 1]);
+        --sp;
+        break;
+      case OpCode::kAbs:
+        stack[sp - 1] = std::fabs(stack[sp - 1]);
+        break;
+    }
+  }
+  return stack[0];
+}
+
+}  // namespace lms::hpm

@@ -1,0 +1,240 @@
+#include "lms/hpm/perfgroup.hpp"
+
+// Built-in performance groups in the LIKWID text format. These mirror the
+// groups the paper's metric list (§V) draws on: CPU load comes from sysmon,
+// IPC and FP rates from CLOCK/CPI/FLOPS_*, memory bandwidth from MEM, and
+// the combined MEM_DP group feeds the pathological-job detection of Fig. 4
+// (DP FP rate and memory bandwidth sampled together).
+
+namespace lms::hpm {
+
+namespace {
+
+constexpr std::string_view kClock = R"(SHORT Clock frequency and IPC
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+FIXC2 CPU_CLK_UNHALTED_REF
+METRICS
+Runtime (RDTSC) [s] time
+Clock [MHz] 1.0E-06*(FIXC1/FIXC2)/inverseClock
+CPI FIXC1/FIXC0
+IPC FIXC0/FIXC1
+LONG
+Clock derives the average unhalted frequency from the ratio of core to
+reference cycles. IPC/CPI use retired instructions.
+)";
+
+constexpr std::string_view kCpi = R"(SHORT Cycles per instruction
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+METRICS
+Runtime (RDTSC) [s] time
+CPI FIXC1/FIXC0
+IPC FIXC0/FIXC1
+Instructions [MInstr/s] 1.0E-06*FIXC0/time
+LONG
+Basic efficiency group: retired instruction throughput.
+)";
+
+constexpr std::string_view kFlopsDp = R"(SHORT Double precision MFLOP/s
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+FIXC2 CPU_CLK_UNHALTED_REF
+PMC0 FP_ARITH_INST_RETIRED_128B_PACKED_DOUBLE
+PMC1 FP_ARITH_INST_RETIRED_SCALAR_DOUBLE
+PMC2 FP_ARITH_INST_RETIRED_256B_PACKED_DOUBLE
+METRICS
+Runtime (RDTSC) [s] time
+Clock [MHz] 1.0E-06*(FIXC1/FIXC2)/inverseClock
+CPI FIXC1/FIXC0
+DP [MFLOP/s] 1.0E-06*(PMC0*2.0+PMC1+PMC2*4.0)/time
+AVX DP [MFLOP/s] 1.0E-06*(PMC2*4.0)/time
+Packed [MUOPS/s] 1.0E-06*(PMC0+PMC2)/time
+Scalar [MUOPS/s] 1.0E-06*PMC1/time
+Vectorization ratio [%] 100.0*(PMC0+PMC2)/(PMC0+PMC1+PMC2)
+LONG
+DP FLOP rates from the FP_ARITH_INST_RETIRED events: 128-bit packed
+instructions count 2 flops, 256-bit packed 4 flops, scalar 1.
+)";
+
+constexpr std::string_view kFlopsSp = R"(SHORT Single precision MFLOP/s
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+FIXC2 CPU_CLK_UNHALTED_REF
+PMC0 FP_ARITH_INST_RETIRED_128B_PACKED_SINGLE
+PMC1 FP_ARITH_INST_RETIRED_SCALAR_SINGLE
+PMC2 FP_ARITH_INST_RETIRED_256B_PACKED_SINGLE
+METRICS
+Runtime (RDTSC) [s] time
+Clock [MHz] 1.0E-06*(FIXC1/FIXC2)/inverseClock
+CPI FIXC1/FIXC0
+SP [MFLOP/s] 1.0E-06*(PMC0*4.0+PMC1+PMC2*8.0)/time
+AVX SP [MFLOP/s] 1.0E-06*(PMC2*8.0)/time
+Vectorization ratio [%] 100.0*(PMC0+PMC2)/(PMC0+PMC1+PMC2)
+LONG
+SP FLOP rates: 128-bit packed counts 4 flops, 256-bit packed 8, scalar 1.
+)";
+
+constexpr std::string_view kMem = R"(SHORT Main memory bandwidth
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+MBOX0C0 CAS_COUNT_RD
+MBOX0C1 CAS_COUNT_WR
+METRICS
+Runtime (RDTSC) [s] time
+Memory read bandwidth [MBytes/s] 1.0E-06*MBOX0C0*64.0/time
+Memory read data volume [GBytes] 1.0E-09*MBOX0C0*64.0
+Memory write bandwidth [MBytes/s] 1.0E-06*MBOX0C1*64.0/time
+Memory write data volume [GBytes] 1.0E-09*MBOX0C1*64.0
+Memory bandwidth [MBytes/s] 1.0E-06*(MBOX0C0+MBOX0C1)*64.0/time
+Memory data volume [GBytes] 1.0E-09*(MBOX0C0+MBOX0C1)*64.0
+LONG
+Memory controller CAS counts times the cache line size. Counted per socket
+on the uncore; values are summed over sockets.
+)";
+
+constexpr std::string_view kMemDp = R"(SHORT Memory bandwidth and DP FLOP rate (roofline)
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+FIXC2 CPU_CLK_UNHALTED_REF
+PMC0 FP_ARITH_INST_RETIRED_128B_PACKED_DOUBLE
+PMC1 FP_ARITH_INST_RETIRED_SCALAR_DOUBLE
+PMC2 FP_ARITH_INST_RETIRED_256B_PACKED_DOUBLE
+MBOX0C0 CAS_COUNT_RD
+MBOX0C1 CAS_COUNT_WR
+METRICS
+Runtime (RDTSC) [s] time
+Clock [MHz] 1.0E-06*(FIXC1/FIXC2)/inverseClock
+CPI FIXC1/FIXC0
+IPC FIXC0/FIXC1
+DP [MFLOP/s] 1.0E-06*(PMC0*2.0+PMC1+PMC2*4.0)/time
+Memory bandwidth [MBytes/s] 1.0E-06*(MBOX0C0+MBOX0C1)*64.0/time
+Memory data volume [GBytes] 1.0E-09*(MBOX0C0+MBOX0C1)*64.0
+Operational intensity [FLOP/Byte] (PMC0*2.0+PMC1+PMC2*4.0)/((MBOX0C0+MBOX0C1)*64.0)
+LONG
+Combined group for roofline-style analysis and for the pathological job
+detection: the DP FP rate and the memory bandwidth are measured in the same
+interval, so threshold rules can evaluate both without multiplexing skew.
+)";
+
+constexpr std::string_view kL2 = R"(SHORT L2 cache bandwidth
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+PMC0 L1D_REPLACEMENT
+METRICS
+Runtime (RDTSC) [s] time
+L2 load bandwidth [MBytes/s] 1.0E-06*PMC0*64.0/time
+L2 load data volume [GBytes] 1.0E-09*PMC0*64.0
+L2 miss rate PMC0/FIXC0
+LONG
+L1 data cache line replacements from L2 times line size.
+)";
+
+constexpr std::string_view kL3 = R"(SHORT L3 cache bandwidth
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+PMC0 L2_LINES_IN_ALL
+METRICS
+Runtime (RDTSC) [s] time
+L3 load bandwidth [MBytes/s] 1.0E-06*PMC0*64.0/time
+L3 load data volume [GBytes] 1.0E-09*PMC0*64.0
+L3 miss rate PMC0/FIXC0
+LONG
+L2 cache line refills from L3 times line size.
+)";
+
+constexpr std::string_view kBranch = R"(SHORT Branch prediction
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+PMC0 BR_INST_RETIRED_ALL_BRANCHES
+PMC1 BR_MISP_RETIRED_ALL_BRANCHES
+METRICS
+Runtime (RDTSC) [s] time
+Branch rate PMC0/FIXC0
+Branch misprediction rate PMC1/FIXC0
+Branch misprediction ratio PMC1/PMC0
+Instructions per branch FIXC0/PMC0
+LONG
+Branch and misprediction rates relative to all retired instructions.
+)";
+
+constexpr std::string_view kData = R"(SHORT Load to store ratio
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+PMC0 MEM_INST_RETIRED_ALL_LOADS
+PMC1 MEM_INST_RETIRED_ALL_STORES
+METRICS
+Runtime (RDTSC) [s] time
+Load to store ratio PMC0/PMC1
+Load rate PMC0/FIXC0
+Store rate PMC1/FIXC0
+LONG
+Ratio of retired load to store instructions.
+)";
+
+constexpr std::string_view kEnergy = R"(SHORT Power and energy consumption
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+FIXC2 CPU_CLK_UNHALTED_REF
+PWR0 PWR_PKG_ENERGY
+METRICS
+Runtime (RDTSC) [s] time
+Clock [MHz] 1.0E-06*(FIXC1/FIXC2)/inverseClock
+Energy [J] PWR0
+Power [W] PWR0/time
+LONG
+RAPL package energy; the raw 32-bit counter is scaled by the architecture
+energy unit before formula evaluation.
+)";
+
+constexpr std::string_view kTlbData = R"(SHORT Data TLB misses
+EVENTSET
+FIXC0 INSTR_RETIRED_ANY
+FIXC1 CPU_CLK_UNHALTED_CORE
+PMC0 DTLB_LOAD_MISSES_WALK_COMPLETED
+METRICS
+Runtime (RDTSC) [s] time
+L1 DTLB load misses PMC0
+L1 DTLB load miss rate PMC0/FIXC0
+LONG
+Completed page walks caused by data loads.
+)";
+
+struct BuiltinGroup {
+  std::string_view name;
+  std::string_view text;
+};
+
+constexpr BuiltinGroup kBuiltins[] = {
+    {"CLOCK", kClock},   {"CPI", kCpi},       {"FLOPS_DP", kFlopsDp}, {"FLOPS_SP", kFlopsSp},
+    {"MEM", kMem},       {"MEM_DP", kMemDp},  {"L2", kL2},            {"L3", kL3},
+    {"BRANCH", kBranch}, {"DATA", kData},     {"ENERGY", kEnergy},    {"TLB_DATA", kTlbData},
+};
+
+}  // namespace
+
+std::string_view builtin_group_text(std::string_view name) {
+  for (const auto& g : kBuiltins) {
+    if (g.name == name) return g.text;
+  }
+  return {};
+}
+
+std::vector<std::string> builtin_group_names() {
+  std::vector<std::string> out;
+  for (const auto& g : kBuiltins) out.emplace_back(g.name);
+  return out;
+}
+
+}  // namespace lms::hpm

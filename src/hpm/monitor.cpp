@@ -1,0 +1,126 @@
+#include "lms/hpm/monitor.hpp"
+
+#include <algorithm>
+
+#include "lms/util/logging.hpp"
+
+namespace lms::hpm {
+
+util::Result<HpmMonitor> HpmMonitor::create(const GroupRegistry& registry,
+                                            const CounterSimulator& sim, Options options) {
+  if (options.groups.empty()) {
+    return util::Result<HpmMonitor>::error("HpmMonitor: no groups configured");
+  }
+  std::vector<ActiveGroup> groups;
+  for (const auto& name : options.groups) {
+    const PerfGroup* g = registry.find(name);
+    if (g == nullptr) {
+      return util::Result<HpmMonitor>::error("HpmMonitor: unknown group '" + name + "'");
+    }
+    groups.push_back(ActiveGroup{g});
+  }
+  return HpmMonitor(registry, sim, std::move(options), std::move(groups));
+}
+
+HpmMonitor::HpmMonitor(const GroupRegistry& registry, const CounterSimulator& sim,
+                       Options options, std::vector<ActiveGroup> groups)
+    : registry_(registry), sim_(sim), options_(std::move(options)), groups_(std::move(groups)) {}
+
+std::vector<std::vector<std::uint64_t>> HpmMonitor::snapshot() const {
+  constexpr int kKinds = static_cast<int>(EventKind::kPkgEnergyUncore) + 1;
+  std::vector<std::vector<std::uint64_t>> snap(kKinds);
+  for (int k = 0; k < kKinds; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    const int units = sim_.units_for(kind);
+    auto& row = snap[static_cast<std::size_t>(k)];
+    row.resize(static_cast<std::size_t>(units));
+    for (int u = 0; u < units; ++u) {
+      row[static_cast<std::size_t>(u)] = sim_.read(kind, u);
+    }
+  }
+  return snap;
+}
+
+lineproto::Point HpmMonitor::evaluate_group(
+    const PerfGroup& group, const std::vector<std::vector<std::uint64_t>>& before,
+    const std::vector<std::vector<std::uint64_t>>& after, util::TimeNs t0, util::TimeNs t1,
+    int socket) const {
+  const CounterArchitecture& arch = sim_.architecture();
+  const int threads_per_socket = arch.cores_per_socket * arch.threads_per_core;
+  VarMap vars;
+  vars["time"] = util::ns_to_seconds(t1 - t0);
+  vars["inverseClock"] = 1.0 / (arch.nominal_clock_ghz * 1e9);
+  vars["num_hwthreads"] =
+      static_cast<double>(socket < 0 ? arch.total_hwthreads() : threads_per_socket);
+  vars["num_sockets"] = socket < 0 ? static_cast<double>(arch.sockets) : 1.0;
+
+  for (const auto& assignment : group.events()) {
+    const EventDef* event = arch.find_event(assignment.event);
+    if (event == nullptr) continue;  // validated at group parse time
+    const auto kind_index = static_cast<std::size_t>(event->kind);
+    const std::uint64_t mask = event->kind == EventKind::kPkgEnergyUncore
+                                   ? CounterSimulator::kEnergyCounterMask
+                                   : CounterSimulator::kCoreCounterMask;
+    const auto& row_before = before[kind_index];
+    const auto& row_after = after[kind_index];
+    // Unit range: whole node, or one socket's cores / uncore unit.
+    std::size_t u_begin = 0;
+    std::size_t u_end = row_after.size();
+    if (socket >= 0) {
+      if (event->scope == CounterScope::kSocket) {
+        u_begin = static_cast<std::size_t>(socket);
+        u_end = u_begin + 1;
+      } else {
+        u_begin = static_cast<std::size_t>(socket * threads_per_socket);
+        u_end = u_begin + static_cast<std::size_t>(threads_per_socket);
+      }
+      u_end = std::min(u_end, row_after.size());
+    }
+    double total = 0.0;
+    for (std::size_t u = u_begin; u < u_end; ++u) {
+      total += static_cast<double>(
+          CounterSimulator::wrap_delta(row_after[u], u < row_before.size() ? row_before[u] : 0,
+                                       mask));
+    }
+    // RAPL slots deliver joules to the formulas.
+    if (event->kind == EventKind::kPkgEnergyUncore) total *= arch.energy_unit_joules;
+    vars[assignment.slot] = total;
+  }
+
+  lineproto::Point point;
+  point.measurement = group.measurement();
+  if (!options_.hostname.empty()) point.set_tag("hostname", options_.hostname);
+  if (socket >= 0) point.set_tag("socket", std::to_string(socket));
+  point.timestamp = t1;
+  for (const auto& metric : group.metrics()) {
+    const auto value = metric.formula.evaluate(vars);
+    if (!value.ok()) {
+      LMS_WARN("hpm") << "metric '" << metric.name << "' failed: " << value.message();
+      continue;
+    }
+    point.add_field(metric.field_key, *value);
+  }
+  point.normalize();
+  return point;
+}
+
+std::vector<lineproto::Point> HpmMonitor::sample(util::TimeNs now) {
+  auto current = snapshot();
+  std::vector<lineproto::Point> points;
+  if (has_baseline_ && now > last_time_) {
+    const PerfGroup& group = *groups_[active_].group;
+    points.push_back(evaluate_group(group, last_counts_, current, last_time_, now));
+    if (options_.per_socket_fields) {
+      for (int s = 0; s < sim_.architecture().sockets; ++s) {
+        points.push_back(evaluate_group(group, last_counts_, current, last_time_, now, s));
+      }
+    }
+    active_ = (active_ + 1) % groups_.size();
+  }
+  last_counts_ = std::move(current);
+  last_time_ = now;
+  has_baseline_ = true;
+  return points;
+}
+
+}  // namespace lms::hpm

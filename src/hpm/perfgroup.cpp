@@ -1,0 +1,158 @@
+#include "lms/hpm/perfgroup.hpp"
+
+#include <cctype>
+
+#include "lms/util/strings.hpp"
+
+namespace lms::hpm {
+
+std::string sanitize_field_key(std::string_view metric_name) {
+  std::string out;
+  out.reserve(metric_name.size());
+  bool last_underscore = true;  // suppress leading underscore
+  for (std::size_t i = 0; i < metric_name.size(); ++i) {
+    const char c = metric_name[i];
+    if (c == '[' || c == ']' || c == '(' || c == ')' || c == '%') continue;
+    if (c == '/') {
+      if (!last_underscore) out.push_back('_');
+      out += "per_";
+      last_underscore = false;
+      continue;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+      last_underscore = false;
+    } else if (!last_underscore) {
+      out.push_back('_');
+      last_underscore = true;
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+util::Result<PerfGroup> PerfGroup::parse(std::string_view name, std::string_view text,
+                                         const CounterArchitecture& arch) {
+  PerfGroup g;
+  g.name_ = std::string(name);
+  enum class Section { kNone, kEventset, kMetrics, kLong };
+  Section section = Section::kNone;
+  auto fail = [&](std::string why) {
+    return util::Result<PerfGroup>::error("group " + g.name_ + ": " + std::move(why));
+  };
+
+  for (const auto& raw : util::split(text, '\n')) {
+    const std::string_view line = util::trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    if (util::starts_with(line, "SHORT")) {
+      g.short_ = std::string(util::trim(line.substr(5)));
+      continue;
+    }
+    if (line == "EVENTSET") {
+      section = Section::kEventset;
+      continue;
+    }
+    if (line == "METRICS") {
+      section = Section::kMetrics;
+      continue;
+    }
+    if (line == "LONG") {
+      section = Section::kLong;
+      continue;
+    }
+    switch (section) {
+      case Section::kEventset: {
+        const auto tokens = util::split_trimmed(line, ' ');
+        if (tokens.size() != 2) return fail("bad EVENTSET line '" + std::string(line) + "'");
+        const CounterSlotDef* slot = arch.find_slot(tokens[0]);
+        if (slot == nullptr) return fail("unknown counter slot '" + tokens[0] + "'");
+        const EventDef* event = arch.find_event(tokens[1]);
+        if (event == nullptr) return fail("unknown event '" + tokens[1] + "'");
+        if (!arch.schedulable(*event, *slot)) {
+          return fail("event '" + tokens[1] + "' not schedulable on '" + tokens[0] + "'");
+        }
+        for (const auto& existing : g.events_) {
+          if (existing.slot == tokens[0]) {
+            return fail("counter slot '" + tokens[0] + "' assigned twice");
+          }
+        }
+        g.events_.push_back(EventAssignment{tokens[0], tokens[1]});
+        break;
+      }
+      case Section::kMetrics: {
+        // Formula is the last whitespace token; the rest is the name.
+        const std::size_t split_pos = line.find_last_of(" \t");
+        if (split_pos == std::string_view::npos) {
+          return fail("bad METRICS line '" + std::string(line) + "'");
+        }
+        const std::string metric_name(util::trim(line.substr(0, split_pos)));
+        const std::string formula_text(util::trim(line.substr(split_pos + 1)));
+        auto formula = Formula::compile(formula_text);
+        if (!formula.ok()) {
+          return fail("metric '" + metric_name + "': " + formula.message());
+        }
+        // Validate variables: counter slots from the event set or built-ins.
+        for (const auto& var : formula->variables()) {
+          if (var == "time" || var == "inverseClock" || var == "num_hwthreads" ||
+              var == "num_sockets") {
+            continue;
+          }
+          bool found = false;
+          for (const auto& ea : g.events_) {
+            if (ea.slot == var) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            return fail("metric '" + metric_name + "' references unassigned counter '" + var +
+                        "'");
+          }
+        }
+        GroupMetric m{metric_name, sanitize_field_key(metric_name), formula.take()};
+        g.metrics_.push_back(std::move(m));
+        break;
+      }
+      case Section::kLong:
+        if (!g.long_.empty()) g.long_ += "\n";
+        g.long_ += std::string(line);
+        break;
+      case Section::kNone:
+        return fail("content before any section: '" + std::string(line) + "'");
+    }
+  }
+  if (g.events_.empty()) return fail("empty EVENTSET");
+  if (g.metrics_.empty()) return fail("no METRICS");
+  return g;
+}
+
+std::string PerfGroup::measurement() const { return "likwid_" + util::to_lower(name_); }
+
+GroupRegistry::GroupRegistry(const CounterArchitecture& arch) : arch_(arch) {
+  for (const auto& name : builtin_group_names()) {
+    const auto status = add(name, builtin_group_text(name));
+    // Built-ins are validated by tests against every shipped architecture.
+    (void)status;
+  }
+}
+
+util::Status GroupRegistry::add(std::string_view name, std::string_view text) {
+  auto g = PerfGroup::parse(name, text, arch_);
+  if (!g.ok()) return util::Status::error(g.message());
+  groups_.insert_or_assign(std::string(name), g.take());
+  return {};
+}
+
+const PerfGroup* GroupRegistry::find(std::string_view name) const {
+  const auto it = groups_.find(name);
+  return it != groups_.end() ? &it->second : nullptr;
+}
+
+std::vector<std::string> GroupRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(groups_.size());
+  for (const auto& [name, _] : groups_) out.push_back(name);
+  return out;
+}
+
+}  // namespace lms::hpm

@@ -1,0 +1,144 @@
+#include "lms/hpm/simulator.hpp"
+
+#include <cmath>
+
+namespace lms::hpm {
+
+NodeLoad idle_load(const CounterArchitecture& arch) {
+  NodeLoad load;
+  load.cores.resize(static_cast<std::size_t>(arch.total_hwthreads()));
+  load.sockets.resize(static_cast<std::size_t>(arch.sockets));
+  for (auto& core : load.cores) {
+    // OS housekeeping: a whisper of activity at low frequency.
+    core.clock_ghz = arch.nominal_clock_ghz * 0.5;
+    core.active_fraction = 0.005;
+    core.ipc = 0.8;
+    core.branch_per_instr = 0.2;
+    core.branch_miss_ratio = 0.05;
+    core.loads_per_instr = 0.25;
+    core.stores_per_instr = 0.1;
+    core.l2_bw_bytes_per_sec = 5e6;
+    core.l3_bw_bytes_per_sec = 1e6;
+    core.mem_bw_bytes_per_sec = 0.5e6;
+    core.dtlb_miss_per_instr = 1e-5;
+  }
+  for (auto& socket : load.sockets) {
+    socket.mem_read_bw_bytes_per_sec = 2e6;
+    socket.mem_write_bw_bytes_per_sec = 1e6;
+    socket.package_power_watts = 35.0;  // idle package power
+  }
+  return load;
+}
+
+CounterSimulator::CounterSimulator(const CounterArchitecture& arch, std::uint64_t seed,
+                                   double noise_sigma)
+    : arch_(arch), rng_(seed), noise_sigma_(noise_sigma) {
+  // One row per EventKind; sized for the widest unit domain.
+  constexpr int kKinds = static_cast<int>(EventKind::kPkgEnergyUncore) + 1;
+  counts_.resize(kKinds);
+  for (int k = 0; k < kKinds; ++k) {
+    counts_[static_cast<std::size_t>(k)].assign(
+        static_cast<std::size_t>(units_for(static_cast<EventKind>(k))), 0.0);
+  }
+}
+
+int CounterSimulator::units_for(EventKind kind) const {
+  switch (kind) {
+    case EventKind::kCasReadUncore:
+    case EventKind::kCasWriteUncore:
+    case EventKind::kPkgEnergyUncore:
+      return arch_.sockets;
+    default:
+      return arch_.total_hwthreads();
+  }
+}
+
+double& CounterSimulator::cell(EventKind kind, int unit) {
+  return counts_[static_cast<std::size_t>(kind)][static_cast<std::size_t>(unit)];
+}
+
+double CounterSimulator::cell_value(EventKind kind, int unit) const {
+  return counts_[static_cast<std::size_t>(kind)][static_cast<std::size_t>(unit)];
+}
+
+double CounterSimulator::noise() {
+  if (noise_sigma_ <= 0.0) return 1.0;
+  const double f = rng_.normal(1.0, noise_sigma_);
+  return f < 0.0 ? 0.0 : f;
+}
+
+void CounterSimulator::advance(const NodeLoad& load, util::TimeNs dt_ns) {
+  const double dt = util::ns_to_seconds(dt_ns);
+  if (dt <= 0) return;
+  const int cores = arch_.total_hwthreads();
+  for (int c = 0; c < cores; ++c) {
+    const CoreLoad& cl =
+        c < static_cast<int>(load.cores.size()) ? load.cores[static_cast<std::size_t>(c)]
+                                                : CoreLoad{};
+    const double active_seconds = dt * cl.active_fraction;
+    const double cycles = cl.clock_ghz * 1e9 * active_seconds;
+    const double ref_cycles = arch_.nominal_clock_ghz * 1e9 * active_seconds;
+    const double instr = cycles * cl.ipc;
+    cell(EventKind::kCoreCyclesUnhalted, c) += cycles * noise();
+    cell(EventKind::kRefCyclesUnhalted, c) += ref_cycles * noise();
+    cell(EventKind::kInstructionsRetired, c) += instr * noise();
+
+    // DP flops: simd fraction executed as 256-bit packed (4 flops/instr),
+    // the rest scalar.
+    const double dp_flops = cl.flops_dp_per_sec * dt;
+    cell(EventKind::kFlopsPacked256Dp, c) += dp_flops * cl.dp_simd_fraction / 4.0 * noise();
+    cell(EventKind::kFlopsScalarDp, c) += dp_flops * (1.0 - cl.dp_simd_fraction) * noise();
+    const double sp_flops = cl.flops_sp_per_sec * dt;
+    cell(EventKind::kFlopsPacked256Sp, c) += sp_flops * cl.sp_simd_fraction / 8.0 * noise();
+    cell(EventKind::kFlopsScalarSp, c) += sp_flops * (1.0 - cl.sp_simd_fraction) * noise();
+
+    const double branches = instr * cl.branch_per_instr;
+    cell(EventKind::kBranchesRetired, c) += branches * noise();
+    cell(EventKind::kBranchesMispredicted, c) += branches * cl.branch_miss_ratio * noise();
+    cell(EventKind::kLoadsRetired, c) += instr * cl.loads_per_instr * noise();
+    cell(EventKind::kStoresRetired, c) += instr * cl.stores_per_instr * noise();
+    cell(EventKind::kDtlbWalkCompleted, c) += instr * cl.dtlb_miss_per_instr * noise();
+
+    cell(EventKind::kL1DReplacement, c) +=
+        cl.l2_bw_bytes_per_sec * dt / arch_.cacheline_bytes * noise();
+    cell(EventKind::kL2LinesIn, c) +=
+        cl.l3_bw_bytes_per_sec * dt / arch_.cacheline_bytes * noise();
+    cell(EventKind::kL3LinesIn, c) +=
+        cl.mem_bw_bytes_per_sec * dt / arch_.cacheline_bytes * noise();
+  }
+  for (int s = 0; s < arch_.sockets; ++s) {
+    const SocketLoad& sl =
+        s < static_cast<int>(load.sockets.size()) ? load.sockets[static_cast<std::size_t>(s)]
+                                                  : SocketLoad{};
+    cell(EventKind::kCasReadUncore, s) +=
+        sl.mem_read_bw_bytes_per_sec * dt / arch_.cacheline_bytes * noise();
+    cell(EventKind::kCasWriteUncore, s) +=
+        sl.mem_write_bw_bytes_per_sec * dt / arch_.cacheline_bytes * noise();
+    // RAPL counts in energy units.
+    cell(EventKind::kPkgEnergyUncore, s) +=
+        sl.package_power_watts * dt / arch_.energy_unit_joules * noise();
+  }
+}
+
+std::uint64_t CounterSimulator::read(EventKind kind, int unit) const {
+  const double raw = cell_value(kind, unit);
+  const std::uint64_t mask =
+      kind == EventKind::kPkgEnergyUncore ? kEnergyCounterMask : kCoreCounterMask;
+  // Wrap exactly like a fixed-width up-counter.
+  const double wrapped = std::fmod(raw, static_cast<double>(mask) + 1.0);
+  return static_cast<std::uint64_t>(wrapped) & mask;
+}
+
+std::uint64_t CounterSimulator::read_total(EventKind kind) const {
+  std::uint64_t total = 0;
+  const int units = units_for(kind);
+  for (int u = 0; u < units; ++u) total += read(kind, u);
+  return total;
+}
+
+std::uint64_t CounterSimulator::wrap_delta(std::uint64_t now, std::uint64_t before,
+                                           std::uint64_t mask) {
+  return (now - before) & mask;
+}
+
+}  // namespace lms::hpm

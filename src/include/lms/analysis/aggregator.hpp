@@ -1,0 +1,92 @@
+#pragma once
+
+// Stream aggregator (paper §III-B): "In order to attach other tools like
+// aggregators and stream analyzers to the router, the meta information and
+// the metrics can be published via ZeroMQ."
+//
+// The aggregator subscribes to the router's metric stream and maintains
+// windowed cross-node aggregates per (job, measurement, field): mean, min,
+// max and node count. At each window boundary it emits one point per
+// aggregate into the router under "<measurement>_job" with the jobid tag —
+// giving dashboards cheap job-level series (e.g. total DP FLOP rate of a
+// 64-node job) without querying 64 raw series.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lms/lineproto/point.hpp"
+#include "lms/net/pubsub.hpp"
+#include "lms/net/transport.hpp"
+#include "lms/util/clock.hpp"
+
+namespace lms::analysis {
+
+class StreamAggregator {
+ public:
+  struct Options {
+    /// Aggregation window; one output point per (job, measurement, field)
+    /// per window.
+    util::TimeNs window = util::kNanosPerMinute;
+    /// Where to push the aggregate points ("/write" is appended).
+    std::string router_url;
+    std::string database = "lms";
+    /// Only measurements matching one of these globs are aggregated
+    /// (empty = all). Aggregate measurements themselves are always skipped.
+    std::vector<std::string> measurement_globs;
+    /// Suffix for the emitted measurement name.
+    std::string suffix = "_job";
+  };
+
+  StreamAggregator(net::PubSubBroker& broker, net::HttpClient& client, Options options);
+
+  /// Drain the subscription and emit any completed windows. Returns the
+  /// number of aggregate points emitted.
+  std::size_t pump(util::TimeNs now);
+
+  /// Force-emit all open windows (end of run).
+  std::size_t flush(util::TimeNs now);
+
+  struct Stats {
+    std::uint64_t points_consumed = 0;
+    std::uint64_t points_emitted = 0;
+    std::uint64_t send_failures = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct WindowState {
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    std::size_t count = 0;
+    std::set<std::string> hosts;
+  };
+  /// Key: (jobid, measurement, field, window start).
+  struct Key {
+    std::string job;
+    std::string measurement;
+    std::string field;
+    util::TimeNs window_start;
+    bool operator<(const Key& other) const {
+      return std::tie(job, measurement, field, window_start) <
+             std::tie(other.job, other.measurement, other.field, other.window_start);
+    }
+  };
+
+  void consume(const lineproto::Point& point);
+  std::size_t emit_completed(util::TimeNs now, bool force);
+  bool measurement_selected(const std::string& measurement) const;
+
+  std::shared_ptr<net::Subscription> subscription_;
+  net::HttpClient& client_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<Key, WindowState> windows_;
+  Stats stats_;
+};
+
+}  // namespace lms::analysis

@@ -1,0 +1,67 @@
+#pragma once
+
+// Typed access to job metric series stored in the TSDB, shared by the rule
+// engine, the job report and the pattern classifier. Queries are built
+// programmatically against the query engine (no string round-trip).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lms/tsdb/query.hpp"
+#include "lms/tsdb/storage.hpp"
+
+namespace lms::analysis {
+
+/// One numeric time series.
+struct MetricSeries {
+  std::vector<util::TimeNs> times;
+  std::vector<double> values;
+
+  bool empty() const { return times.empty(); }
+  std::size_t size() const { return times.size(); }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  /// Fraction of samples below/above a threshold.
+  double fraction_below(double threshold) const;
+  double fraction_above(double threshold) const;
+};
+
+/// A metric address: measurement + field, e.g. {"likwid_mem_dp","dp_mflop_per_s"}.
+struct MetricRef {
+  std::string measurement;
+  std::string field;
+
+  std::string to_string() const { return measurement + "." + field; }
+};
+
+class MetricFetcher {
+ public:
+  MetricFetcher(tsdb::Storage& storage, std::string database);
+
+  /// Fetch a series for one metric, filtered by tag equalities, within
+  /// [t0, t1). When `window` > 0 the series is the per-window mean.
+  util::Result<MetricSeries> fetch(const MetricRef& ref,
+                                   const std::vector<lineproto::Tag>& tag_filters,
+                                   util::TimeNs t0, util::TimeNs t1,
+                                   util::TimeNs window = 0) const;
+
+  /// Convenience: series of one metric for one host of one job.
+  util::Result<MetricSeries> fetch_host(const MetricRef& ref, const std::string& hostname,
+                                        const std::string& job_id, util::TimeNs t0,
+                                        util::TimeNs t1, util::TimeNs window = 0) const;
+
+  /// Hostnames that reported any sample of `ref` for the given job.
+  std::vector<std::string> hosts_of_job(const MetricRef& ref, const std::string& job_id) const;
+
+  const std::string& database() const { return database_; }
+
+ private:
+  tsdb::Storage& storage_;
+  std::string database_;
+};
+
+}  // namespace lms::analysis

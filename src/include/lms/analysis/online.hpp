@@ -1,0 +1,81 @@
+#pragma once
+
+// Online (streaming) rule evaluation for instant user feedback (paper §I,
+// §V): the engine consumes the enriched metric stream — directly or via the
+// router's PUB/SUB tap — and raises a finding the moment a rule's
+// conditions have held continuously for the rule's min_duration. This is
+// the "badly behaving jobs detected directly" path; the offline RuleEngine
+// re-derives the same findings from the database afterwards.
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lms/analysis/rules.hpp"
+#include "lms/net/pubsub.hpp"
+
+namespace lms::analysis {
+
+class OnlineRuleEngine {
+ public:
+  explicit OnlineRuleEngine(std::vector<Rule> rules);
+
+  /// Feed one enriched point (must carry hostname; jobid optional).
+  void observe(const lineproto::Point& point);
+
+  /// Feed a raw line-protocol batch (e.g. a PUB/SUB "metrics" payload).
+  void observe_lines(std::string_view body);
+
+  /// Collect findings that fired since the last call.
+  std::vector<Finding> take_findings();
+
+  /// Findings currently in progress (conditions held long enough and still
+  /// violated).
+  std::vector<Finding> active() const;
+
+  const std::vector<Rule>& rules() const { return rules_; }
+
+ private:
+  struct ConditionState {
+    double last_value = 0.0;
+    util::TimeNs last_update = 0;
+    bool has_value = false;
+  };
+  struct RuleState {
+    std::optional<util::TimeNs> violated_since;
+    bool fired = false;
+    util::TimeNs last_seen = 0;
+    std::vector<ConditionState> conditions;
+  };
+  // key: (rule index, hostname)
+  using Key = std::pair<std::size_t, std::string>;
+
+  void update_rule(std::size_t rule_index, const std::string& hostname,
+                   const std::string& job_id, util::TimeNs now);
+
+  std::vector<Rule> rules_;
+  mutable std::mutex mu_;
+  std::map<Key, RuleState> states_;
+  std::map<std::string, std::string> host_jobs_;  // hostname -> last seen jobid
+  std::vector<Finding> fired_;
+};
+
+/// Convenience: a thread-less pump that drains a PUB/SUB subscription into
+/// an OnlineRuleEngine (call pump() from the owner's loop).
+class StreamAnalyzer {
+ public:
+  StreamAnalyzer(net::PubSubBroker& broker, std::vector<Rule> rules);
+
+  /// Drain pending messages; returns the number processed.
+  std::size_t pump();
+
+  OnlineRuleEngine& engine() { return engine_; }
+
+ private:
+  std::shared_ptr<net::Subscription> subscription_;
+  OnlineRuleEngine engine_;
+};
+
+}  // namespace lms::analysis

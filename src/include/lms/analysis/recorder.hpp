@@ -1,0 +1,39 @@
+#pragma once
+
+// Finding recorder: closes the feedback loop of the paper's Fig. 2/Fig. 4
+// story by writing pathology findings back into the stack as annotation
+// events ("alerts" measurement). Dashboards render them on the job views;
+// queries like SELECT text FROM alerts WHERE jobid='…' give users and
+// admins the alert history.
+
+#include <string>
+#include <vector>
+
+#include "lms/analysis/rules.hpp"
+#include "lms/net/transport.hpp"
+
+namespace lms::analysis {
+
+class FindingRecorder {
+ public:
+  FindingRecorder(net::HttpClient& client, std::string router_url,
+                  std::string database = "lms",
+                  std::string measurement = "alerts");
+
+  /// Write findings as event points (one per finding). Returns the number
+  /// successfully recorded.
+  std::size_t record(const std::vector<Finding>& findings);
+
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t failures() const { return failures_; }
+
+ private:
+  net::HttpClient& client_;
+  std::string router_url_;
+  std::string database_;
+  std::string measurement_;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace lms::analysis

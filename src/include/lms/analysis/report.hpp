@@ -1,0 +1,87 @@
+#pragma once
+
+// The online job evaluation header (paper Fig. 2): a table shown at the top
+// of a job dashboard with one row per resource-utilization check and one
+// column per node, with data from the start of the job until the dashboard
+// is loaded, so badly behaving jobs are visible on the initial view.
+
+#include <string>
+#include <vector>
+
+#include <optional>
+
+#include "lms/analysis/fetch.hpp"
+#include "lms/analysis/patterns.hpp"
+#include "lms/analysis/roofline.hpp"
+#include "lms/analysis/rules.hpp"
+#include "lms/json/json.hpp"
+
+namespace lms::analysis {
+
+enum class Verdict { kOk, kWarning, kCritical, kNoData };
+std::string_view verdict_name(Verdict v);
+
+/// Direction of badness for a check.
+enum class CheckDirection { kLowIsBad, kHighIsBad, kInfoOnly };
+
+struct ReportCheck {
+  std::string label;  // "CPU load"
+  std::string unit;   // "%"
+  MetricRef metric;
+  CheckDirection direction = CheckDirection::kInfoOnly;
+  double warn_threshold = 0.0;
+  double crit_threshold = 0.0;
+};
+
+/// The default check set, mirroring the paper's §V metric list: CPU load,
+/// IPC, FP rate, memory size, memory bandwidth, network I/O, file I/O.
+std::vector<ReportCheck> default_checks();
+
+struct ReportCell {
+  double value = 0.0;
+  Verdict verdict = Verdict::kNoData;
+};
+
+struct ReportRow {
+  ReportCheck check;
+  std::vector<ReportCell> cells;  // one per host, host order of the report
+  Verdict overall = Verdict::kNoData;
+};
+
+struct JobEvaluation {
+  std::string job_id;
+  std::vector<std::string> hosts;
+  util::TimeNs t0 = 0;
+  util::TimeNs t1 = 0;
+  std::vector<ReportRow> rows;
+  std::vector<Finding> findings;
+  Classification classification;
+  std::optional<RooflineResult> roofline;  ///< set when MEM_DP data exists
+};
+
+class JobReporter {
+ public:
+  JobReporter(const MetricFetcher& fetcher, const hpm::CounterArchitecture& arch);
+
+  void set_checks(std::vector<ReportCheck> checks) { checks_ = std::move(checks); }
+  void set_rules(std::vector<Rule> rules);
+
+  /// Evaluate a job: fill the per-node check table, run the pathology rules
+  /// and classify the job's performance pattern.
+  JobEvaluation evaluate(const std::string& job_id, const std::vector<std::string>& hosts,
+                         util::TimeNs t0, util::TimeNs t1) const;
+
+ private:
+  const MetricFetcher& fetcher_;
+  const hpm::CounterArchitecture& arch_;
+  std::vector<ReportCheck> checks_;
+  RuleEngine rule_engine_;
+};
+
+/// Fixed-width text rendering of the evaluation (the Fig. 2 view).
+std::string render_text(const JobEvaluation& eval);
+
+/// JSON rendering for the dashboard agent's header panel.
+json::Value to_json(const JobEvaluation& eval);
+
+}  // namespace lms::analysis

@@ -1,0 +1,51 @@
+#pragma once
+
+// Roofline analysis on top of the MEM_DP combined group. The paper's
+// optimization-potential judgement (§V) builds on the performance-pattern
+// work of the same authors; the roofline model is its quantitative core:
+// with the measured operational intensity OI [flop/byte] and the machine's
+// peak FLOP rate and memory bandwidth, the attainable performance is
+//
+//   P_attainable(OI) = min(P_peak, OI * BW_peak)
+//
+// and the ratio measured/attainable says how much headroom a job has *given
+// its current algorithmic intensity* — a sharper statement than "FP rate is
+// low".
+
+#include <string>
+
+#include "lms/analysis/fetch.hpp"
+#include "lms/hpm/arch.hpp"
+
+namespace lms::analysis {
+
+struct RooflineResult {
+  double operational_intensity = 0.0;  ///< flop/byte
+  double measured_gflops = 0.0;        ///< per node
+  double attainable_gflops = 0.0;      ///< roofline ceiling at this OI
+  double peak_gflops = 0.0;            ///< compute roof (per node)
+  double peak_bandwidth_gbs = 0.0;     ///< memory roof (per node)
+  double ridge_intensity = 0.0;        ///< OI where the roofs meet
+  bool memory_bound = false;           ///< OI below the ridge point
+  /// measured / attainable, in [0, ~1]; low = headroom at this OI.
+  double efficiency = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Evaluate the roofline position from raw numbers (per node).
+RooflineResult roofline_evaluate(double measured_flops_per_sec, double measured_bytes_per_sec,
+                                 const hpm::CounterArchitecture& arch);
+
+/// Evaluate from stored job metrics (node-averaged over [t0, t1)).
+util::Result<RooflineResult> roofline_from_db(const MetricFetcher& fetcher,
+                                              const std::vector<std::string>& hosts,
+                                              const std::string& job_id, util::TimeNs t0,
+                                              util::TimeNs t1,
+                                              const hpm::CounterArchitecture& arch);
+
+/// ASCII rendering of the roofline with the job's point marked — the
+/// log-log plot performance engineers expect.
+std::string roofline_chart(const RooflineResult& result, int width = 60, int height = 14);
+
+}  // namespace lms::analysis

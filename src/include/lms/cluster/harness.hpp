@@ -1,0 +1,171 @@
+#pragma once
+
+// Full-stack simulation harness: the Fig. 1 architecture in one process.
+//
+//   nodes (kernel + HPM counters + host agent)
+//      -> metrics router (tag store, enrichment, duplication, PUB/SUB)
+//      -> time-series database (InfluxDB-compatible HTTP API)
+//   scheduler -> job notifier -> router job signals
+//   dashboard agent <- database, router job list
+//   stream analyzer <- router PUB/SUB (online pathology detection)
+//
+// Everything runs on a virtual clock over the in-process transport, so an
+// hour of cluster time simulates in well under a second and every test and
+// bench is deterministic.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lms/analysis/aggregator.hpp"
+#include "lms/analysis/online.hpp"
+#include "lms/analysis/recorder.hpp"
+#include "lms/analysis/report.hpp"
+#include "lms/cluster/workload.hpp"
+#include "lms/collector/agent.hpp"
+#include "lms/core/router.hpp"
+#include "lms/dashboard/agent.hpp"
+#include "lms/hpm/monitor.hpp"
+#include "lms/sched/scheduler.hpp"
+#include "lms/tsdb/continuous.hpp"
+#include "lms/tsdb/http_api.hpp"
+
+namespace lms::cluster {
+
+class ClusterHarness {
+ public:
+  struct Options {
+    int nodes = 4;
+    std::string node_prefix = "h";  ///< hosts h1..hN, like Fig. 4
+    const hpm::CounterArchitecture* arch = &hpm::simx86();
+    util::TimeNs step = util::kNanosPerSecond;          ///< simulation step
+    util::TimeNs collect_interval = 10 * util::kNanosPerSecond;
+    util::TimeNs hpm_interval = 10 * util::kNanosPerSecond;
+    std::vector<std::string> hpm_groups = {"MEM_DP", "FLOPS_DP", "BRANCH", "ENERGY"};
+    std::string database = "lms";
+    bool duplicate_per_user = false;
+    double counter_noise_sigma = 0.01;
+    std::uint64_t seed = 42;
+    util::TimeNs start_time = 1'500'000'000LL * util::kNanosPerSecond;  // epoch offset
+    /// Attach a job-level stream aggregator to the PUB/SUB tap (§III-B).
+    bool enable_aggregator = false;
+    util::TimeNs aggregator_window = util::kNanosPerMinute;
+    /// Downsample cpu + likwid_mem_dp into 5-minute rollups and expire raw
+    /// data older than `retention` (0 = keep raw forever).
+    bool enable_rollups = false;
+    util::TimeNs retention = 0;
+    /// Record online findings as "alerts" annotation events in the DB.
+    /// Note: this drains the online engine's findings each step; read them
+    /// from the alerts measurement instead of take_findings().
+    bool record_findings = false;
+  };
+
+  explicit ClusterHarness(Options options);
+  ~ClusterHarness();
+  ClusterHarness(const ClusterHarness&) = delete;
+  ClusterHarness& operator=(const ClusterHarness&) = delete;
+
+  /// Submit a job running the named workload (see make_workload) on `nodes`
+  /// nodes for `duration`. Returns the scheduler job id.
+  int submit(const std::string& workload, const std::string& user, int nodes,
+             util::TimeNs duration, util::TimeNs walltime_limit = 0);
+
+  /// Submit with an explicit workload instance.
+  int submit_workload(std::unique_ptr<Workload> workload, const std::string& user, int nodes,
+                      util::TimeNs duration, util::TimeNs walltime_limit = 0);
+
+  /// Advance the simulation by `duration` in steps of options.step.
+  void run_for(util::TimeNs duration);
+
+  /// Advance until the given job finished (bounded by `max_sim_time`).
+  bool run_until_done(int job_id, util::TimeNs max_sim_time);
+
+  // ---- component access ----
+  util::SimClock& clock() { return clock_; }
+  util::TimeNs now() const { return clock_.now(); }
+  tsdb::Storage& storage() { return storage_; }
+  tsdb::HttpApi& db_api() { return *db_api_; }
+  core::MetricsRouter& router() { return *router_; }
+  sched::Scheduler& scheduler() { return *scheduler_; }
+  dashboard::DashboardAgent& dashboards() { return *dashboard_agent_; }
+  analysis::OnlineRuleEngine& online_engine() { return analyzer_->engine(); }
+  analysis::StreamAggregator* aggregator() { return aggregator_.get(); }
+  tsdb::CqRunner* cq_runner() { return cq_runner_.get(); }
+  const analysis::MetricFetcher& fetcher() const { return *fetcher_; }
+  const analysis::JobReporter& reporter() const { return *reporter_; }
+  net::PubSubBroker& broker() { return broker_; }
+  net::InprocNetwork& network() { return network_; }
+  net::HttpClient& client() { return *client_; }
+  const Options& options() const { return options_; }
+
+  /// Hostnames of the simulated nodes.
+  const std::vector<std::string>& node_names() const { return node_names_; }
+
+  /// Job metadata for analysis after completion.
+  struct JobRecord {
+    int id = 0;
+    std::string workload;
+    std::string user;
+    std::vector<std::string> nodes;
+    util::TimeNs start_time = 0;
+    util::TimeNs end_time = 0;  ///< 0 while running
+  };
+  const JobRecord* job_record(int job_id) const;
+
+  /// In-process endpoint names.
+  static constexpr const char* kDbEndpoint = "tsdb";
+  static constexpr const char* kRouterEndpoint = "router";
+  static constexpr const char* kDashboardEndpoint = "grafana";
+
+ private:
+  struct SimNode {
+    std::string name;
+    std::unique_ptr<sysmon::SimulatedKernel> kernel;
+    std::unique_ptr<hpm::CounterSimulator> counters;
+    std::unique_ptr<collector::HostAgent> agent;
+    int job_id = 0;       ///< 0 = idle
+    int job_node_index = 0;
+  };
+  struct ActiveJob {
+    JobRecord record;
+    std::unique_ptr<Workload> workload;
+    std::unique_ptr<usermetric::UserMetricClient> user_client;
+    util::Rng rng;
+  };
+
+  void on_job_start(const sched::Job& job);
+  void on_job_end(const sched::Job& job);
+  void step_once();
+
+  Options options_;
+  util::SimClock clock_;
+  net::InprocNetwork network_;
+  std::unique_ptr<net::InprocHttpClient> client_;
+
+  tsdb::Storage storage_;
+  std::unique_ptr<tsdb::HttpApi> db_api_;
+  net::PubSubBroker broker_;
+  std::unique_ptr<core::MetricsRouter> router_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  std::unique_ptr<sched::JobNotifier> notifier_;
+  std::unique_ptr<analysis::MetricFetcher> fetcher_;
+  std::unique_ptr<analysis::JobReporter> reporter_;
+  std::unique_ptr<dashboard::DashboardAgent> dashboard_agent_;
+  std::unique_ptr<analysis::StreamAnalyzer> analyzer_;
+  std::unique_ptr<analysis::StreamAggregator> aggregator_;
+  std::unique_ptr<analysis::FindingRecorder> finding_recorder_;
+  std::unique_ptr<tsdb::CqRunner> cq_runner_;
+  util::TimeNs last_maintenance_ = 0;
+
+  hpm::GroupRegistry groups_;
+  std::vector<std::string> node_names_;
+  std::vector<SimNode> nodes_;
+  std::map<int, ActiveJob> active_jobs_;
+  std::map<int, JobRecord> finished_jobs_;
+  std::map<int, std::unique_ptr<Workload>> pending_workloads_;
+  NodeActivity idle_activity_;
+  util::Rng rng_;
+};
+
+}  // namespace lms::cluster

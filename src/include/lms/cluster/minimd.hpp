@@ -1,0 +1,57 @@
+#pragma once
+
+// A small molecular-dynamics proxy application in the spirit of Mantevo's
+// miniMD: Lennard-Jones particles in a periodic box integrated with velocity
+// Verlet, reduced units. It is a real (tiny) MD engine — the thermodynamic
+// observables it reports through libusermetric (Fig. 3: runtime per 100
+// iterations, pressure, temperature, energy) come from actual dynamics, so
+// their time series have the right physical shape (equilibration transient,
+// then fluctuation around steady values).
+
+#include <cstdint>
+#include <vector>
+
+#include "lms/util/rng.hpp"
+
+namespace lms::cluster {
+
+class MiniMd {
+ public:
+  struct Params {
+    int cells_per_side = 4;     ///< N = 4 * cells^3 atoms (fcc lattice)
+    double density = 0.8442;    ///< reduced density
+    double temperature = 1.44;  ///< initial reduced temperature
+    double cutoff = 2.5;        ///< LJ cutoff radius
+    double dt = 0.005;          ///< integration time step
+  };
+
+  MiniMd(Params params, std::uint64_t seed);
+
+  /// Integrate `n` velocity-Verlet steps.
+  void step(int n = 1);
+
+  int natoms() const { return static_cast<int>(x_.size() / 3); }
+  std::int64_t steps_done() const { return steps_; }
+  double box_length() const { return box_; }
+
+  // Observables (reduced units).
+  double temperature() const;
+  double kinetic_energy() const;      ///< per atom
+  double potential_energy() const;    ///< per atom
+  double total_energy() const;        ///< per atom
+  double pressure() const;
+
+ private:
+  void compute_forces();
+  void initialize_lattice();
+  void initialize_velocities(std::uint64_t seed);
+
+  Params params_;
+  double box_ = 0.0;
+  std::vector<double> x_, v_, f_;  // 3N each
+  double pe_ = 0.0;                // total potential energy
+  double virial_ = 0.0;            // sum r.F over pairs
+  std::int64_t steps_ = 0;
+};
+
+}  // namespace lms::cluster

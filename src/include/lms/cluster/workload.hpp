@@ -1,0 +1,74 @@
+#pragma once
+
+// Workload models: what runs inside the jobs of the simulated cluster.
+//
+// A Workload maps (node, elapsed time) to a NodeActivity — the execution
+// profile that drives the HPM counter simulator and the simulated kernel —
+// and may report application-level metrics through libusermetric. The
+// library covers the application classes the paper's analysis section must
+// distinguish: well-behaved compute- and bandwidth-bound codes, the miniMD
+// proxy app of Fig. 3, and the pathological cases of §V/Fig. 4 (idle job,
+// computation break, exceeded memory, load imbalance, scalar/latency-bound
+// codes with optimization potential).
+
+#include <memory>
+#include <string>
+
+#include "lms/hpm/simulator.hpp"
+#include "lms/sysmon/kernel.hpp"
+#include "lms/usermetric/usermetric.hpp"
+#include "lms/util/rng.hpp"
+
+namespace lms::cluster {
+
+/// Everything a node "does" during one simulation step.
+struct NodeActivity {
+  hpm::NodeLoad hpm;
+  sysmon::KernelLoad kernel;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual std::string name() const = 0;
+
+  /// Activity of `node_index` (of `node_count`) at `elapsed` since job start.
+  virtual NodeActivity activity(int node_index, int node_count, util::TimeNs elapsed,
+                                const hpm::CounterArchitecture& arch, util::Rng& rng) = 0;
+
+  /// Application-level reporting hook, called once per simulation step per
+  /// node with the job's libusermetric client. Default: no app-level data.
+  virtual void report(usermetric::UserMetricClient& client, int node_index,
+                      util::TimeNs elapsed, util::TimeNs now);
+};
+
+/// Fill an activity with a homogeneous compute profile; the building block
+/// the concrete workloads start from.
+NodeActivity make_uniform_activity(const hpm::CounterArchitecture& arch, double cpu_fraction,
+                                   double ipc, double flops_dp_fraction_of_peak,
+                                   double simd_fraction, double membw_fraction_of_peak,
+                                   double mem_used_bytes, util::Rng& rng);
+
+// ---------------------------------------------------------------- factory
+
+/// Create a workload by name:
+///  "minimd"         miniMD proxy (Fig. 3) — MD loop with app-level metrics
+///  "dgemm"          compute-bound, highly vectorized
+///  "stream"         memory-bandwidth-bound (triad)
+///  "idle"           allocated but idle (pathological)
+///  "compute_break"  compute with a long idle break in the middle (Fig. 4)
+///  "memleak"        memory footprint grows to node capacity (pathological)
+///  "imbalanced"     node 0 carries most of the work (load imbalance)
+///  "scalar"         unvectorized compute (optimization potential)
+///  "latency"        pointer-chasing, latency-bound
+std::unique_ptr<Workload> make_workload(const std::string& name, std::uint64_t seed);
+
+/// Parameterized Fig. 4 workload: compute for `compute_before`, stall for
+/// `break_duration`, then compute again. ("compute_break" uses 10/12 min.)
+std::unique_ptr<Workload> make_compute_break(util::TimeNs compute_before,
+                                             util::TimeNs break_duration);
+
+/// All registered workload names.
+std::vector<std::string> workload_names();
+
+}  // namespace lms::cluster

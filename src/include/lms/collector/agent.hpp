@@ -1,0 +1,83 @@
+#pragma once
+
+// The node-level data acquisition agent. Owns a set of collector plugins,
+// polls each at its interval, batches the resulting points (the line
+// protocol concatenates lines precisely for this, paper §III-A) and posts
+// them to the metrics router. Failed sends go to a bounded retry queue so a
+// router restart loses as little data as possible without unbounded memory
+// growth on the node.
+//
+// The agent is externally clocked: the owner calls tick(now) — a real
+// deployment loop drives it with wall time, the cluster simulator with
+// virtual time. This keeps every test deterministic.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lms/collector/plugin.hpp"
+#include "lms/net/transport.hpp"
+
+namespace lms::collector {
+
+class HostAgent {
+ public:
+  struct Options {
+    std::string router_url;      ///< e.g. "inproc://router" or "http://host:8086"
+    std::string database = "lms";
+    util::TimeNs flush_interval = 10 * util::kNanosPerSecond;
+    std::size_t max_batch_points = 500;
+    std::size_t retry_queue_capacity = 5000;  ///< points kept across failures
+    /// Self-monitoring: emit the agent's own counters as an "agent"
+    /// measurement at this interval (0 = off). Monitoring the monitoring is
+    /// how operators notice silently failing collectors.
+    util::TimeNs self_monitor_interval = 0;
+    std::string hostname;  ///< tag for self-monitoring points
+  };
+
+  HostAgent(net::HttpClient& client, Options options);
+
+  /// Register a plugin polled every `interval`.
+  void add_plugin(std::unique_ptr<CollectorPlugin> plugin, util::TimeNs interval);
+
+  /// Poll due plugins and flush if a batch is ready. Returns the number of
+  /// points collected this tick.
+  std::size_t tick(util::TimeNs now);
+
+  /// Force a flush of all buffered points.
+  void flush(util::TimeNs now);
+
+  struct Stats {
+    std::uint64_t points_collected = 0;
+    std::uint64_t points_sent = 0;
+    std::uint64_t batches_sent = 0;
+    std::uint64_t send_failures = 0;
+    std::uint64_t points_dropped = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::size_t plugin_count() const { return plugins_.size(); }
+  std::size_t pending_points() const { return buffer_.size(); }
+
+ private:
+  enum class SendOutcome { kSent, kRetryLater, kDropBatch };
+  SendOutcome send_batch(const std::vector<lineproto::Point>& points);
+
+  struct ScheduledPlugin {
+    std::unique_ptr<CollectorPlugin> plugin;
+    util::TimeNs interval;
+    util::TimeNs next_due;
+  };
+
+  net::HttpClient& client_;
+  Options options_;
+  std::vector<ScheduledPlugin> plugins_;
+  std::deque<lineproto::Point> buffer_;
+  util::TimeNs last_flush_ = 0;
+  util::TimeNs next_self_monitor_ = 0;
+  Stats stats_;
+};
+
+}  // namespace lms::collector

@@ -1,0 +1,28 @@
+#pragma once
+
+// Host-agent plugin interface (the Diamond-collector role, paper §III-A).
+// A plugin produces line-protocol points when polled; the HostAgent
+// schedules plugins at their configured intervals, batches the points and
+// delivers them to the metrics router over HTTP.
+
+#include <string>
+#include <vector>
+
+#include "lms/lineproto/point.hpp"
+#include "lms/util/clock.hpp"
+
+namespace lms::collector {
+
+class CollectorPlugin {
+ public:
+  virtual ~CollectorPlugin() = default;
+
+  /// Plugin name, used in logs and the agent's self-metrics.
+  virtual std::string name() const = 0;
+
+  /// Collect the current metric points. `now` is the sampling timestamp the
+  /// plugin should stamp points with.
+  virtual std::vector<lineproto::Point> collect(util::TimeNs now) = 0;
+};
+
+}  // namespace lms::collector

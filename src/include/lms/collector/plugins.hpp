@@ -1,0 +1,84 @@
+#pragma once
+
+// The stock collector plugins covering the paper's elementary resource
+// utilization metrics (§V): CPU load, allocated memory, network I/O and
+// file I/O from the (simulated) kernel, plus the HPM plugin wrapping the
+// LIKWID-style monitor for IPC, FP rates and memory bandwidth.
+//
+// Rate plugins keep the previous counter snapshot and emit deltas/rates —
+// the same computation a Diamond collector performs on /proc counters.
+
+#include <memory>
+#include <optional>
+
+#include "lms/collector/plugin.hpp"
+#include "lms/hpm/monitor.hpp"
+#include "lms/sysmon/kernel.hpp"
+
+namespace lms::collector {
+
+/// "cpu" measurement: user/system/iowait/idle percentages + loadavg.
+class CpuPlugin final : public CollectorPlugin {
+ public:
+  CpuPlugin(const sysmon::KernelReader& kernel, std::string hostname);
+  std::string name() const override { return "cpu"; }
+  std::vector<lineproto::Point> collect(util::TimeNs now) override;
+
+ private:
+  const sysmon::KernelReader& kernel_;
+  std::string hostname_;
+  std::optional<sysmon::CpuTimes> last_;
+};
+
+/// "memory" measurement: total/used/free bytes and used percentage.
+class MemoryPlugin final : public CollectorPlugin {
+ public:
+  MemoryPlugin(const sysmon::KernelReader& kernel, std::string hostname);
+  std::string name() const override { return "memory"; }
+  std::vector<lineproto::Point> collect(util::TimeNs now) override;
+
+ private:
+  const sysmon::KernelReader& kernel_;
+  std::string hostname_;
+};
+
+/// "network" measurement: rx/tx byte and packet rates.
+class NetworkPlugin final : public CollectorPlugin {
+ public:
+  NetworkPlugin(const sysmon::KernelReader& kernel, std::string hostname);
+  std::string name() const override { return "network"; }
+  std::vector<lineproto::Point> collect(util::TimeNs now) override;
+
+ private:
+  const sysmon::KernelReader& kernel_;
+  std::string hostname_;
+  std::optional<sysmon::NetCounters> last_;
+  util::TimeNs last_time_ = 0;
+};
+
+/// "disk" measurement: read/write byte and op rates.
+class DiskPlugin final : public CollectorPlugin {
+ public:
+  DiskPlugin(const sysmon::KernelReader& kernel, std::string hostname);
+  std::string name() const override { return "disk"; }
+  std::vector<lineproto::Point> collect(util::TimeNs now) override;
+
+ private:
+  const sysmon::KernelReader& kernel_;
+  std::string hostname_;
+  std::optional<sysmon::DiskCounters> last_;
+  util::TimeNs last_time_ = 0;
+};
+
+/// HPM plugin: delegates to an HpmMonitor (multiplexed perf groups).
+class HpmPlugin final : public CollectorPlugin {
+ public:
+  explicit HpmPlugin(hpm::HpmMonitor monitor);
+  std::string name() const override { return "likwid"; }
+  std::vector<lineproto::Point> collect(util::TimeNs now) override;
+
+ private:
+  hpm::HpmMonitor monitor_;
+};
+
+}  // namespace lms::collector

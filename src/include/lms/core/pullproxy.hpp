@@ -1,0 +1,73 @@
+#pragma once
+
+// Pulling proxy (paper §III-B): some data sources cannot push — notably
+// Ganglia's gmond, which exposes cluster state as an XML document that must
+// be pulled. The proxy polls such a source, converts its metrics into line
+// protocol and pushes them into the router like any other collector.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lms/lineproto/point.hpp"
+#include "lms/net/transport.hpp"
+#include "lms/util/clock.hpp"
+
+namespace lms::core {
+
+/// A pullable source: returns points when polled.
+class PullSource {
+ public:
+  virtual ~PullSource() = default;
+  virtual std::string name() const = 0;
+  virtual util::Result<std::vector<lineproto::Point>> pull(util::TimeNs now) = 0;
+};
+
+/// Parses a gmond-style GANGLIA_XML document into points:
+///   <GANGLIA_XML><CLUSTER NAME="c"><HOST NAME="h1">
+///     <METRIC NAME="load_one" VAL="0.5" TYPE="double" UNITS=""/>...
+/// Each METRIC becomes measurement "ganglia" with field <NAME> and the
+/// hostname tag; string-typed metrics become string fields (events).
+util::Result<std::vector<lineproto::Point>> parse_ganglia_xml(std::string_view xml,
+                                                              util::TimeNs now);
+
+/// PullSource over an HTTP endpoint serving gmond XML.
+class GangliaXmlSource final : public PullSource {
+ public:
+  GangliaXmlSource(net::HttpClient& client, std::string url);
+  std::string name() const override { return "ganglia"; }
+  util::Result<std::vector<lineproto::Point>> pull(util::TimeNs now) override;
+
+ private:
+  net::HttpClient& client_;
+  std::string url_;
+};
+
+/// The proxy: polls every source and pushes the result into the router.
+class PullProxy {
+ public:
+  PullProxy(net::HttpClient& router_client, std::string router_url,
+            std::string database = "lms");
+
+  void add_source(std::unique_ptr<PullSource> source, util::TimeNs interval);
+
+  /// Poll due sources; returns the number of points pushed.
+  std::size_t tick(util::TimeNs now);
+
+  std::uint64_t pull_failures() const { return pull_failures_; }
+
+ private:
+  struct Scheduled {
+    std::unique_ptr<PullSource> source;
+    util::TimeNs interval;
+    util::TimeNs next_due = 0;
+  };
+  net::HttpClient& client_;
+  std::string router_url_;
+  std::string database_;
+  std::vector<Scheduled> sources_;
+  std::uint64_t pull_failures_ = 0;
+};
+
+}  // namespace lms::core

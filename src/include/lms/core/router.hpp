@@ -1,0 +1,139 @@
+#pragma once
+
+// The metrics router (paper §III-B) — the heart of the LIKWID Monitoring
+// Stack. It mimics the HTTP interface of an InfluxDB database so any
+// existing collector can point at it unchanged, and adds:
+//   - a job signal endpoint: (de)allocation signals from the scheduler carry
+//     tags that are attached to all measurements from the job's hosts,
+//   - enrichment: every incoming point is tagged from the tag store (keyed
+//     by the mandatory hostname tag),
+//   - forwarding to the database back-end plus optional duplication into
+//     per-user databases,
+//   - job signals forwarded into the DB as annotation events,
+//   - publication of metrics and meta information over PUB/SUB for attached
+//     stream analyzers (the ZeroMQ role).
+//
+// Endpoints:
+//   POST /write?db=<name>       line protocol; enrich + forward
+//   POST /job/start             JSON: {"jobid","user","nodes":[...],"tags":{}}
+//   POST /job/end               JSON: {"jobid"}
+//   GET  /jobs                  JSON list of running jobs
+//   GET  /ping                  204
+//   GET  /stats                 router counters
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lms/core/tagstore.hpp"
+#include "lms/net/pubsub.hpp"
+#include "lms/net/transport.hpp"
+#include "lms/util/clock.hpp"
+
+namespace lms::core {
+
+/// A job (de)allocation signal, as delivered by the scheduler integration.
+struct JobSignal {
+  std::string job_id;
+  std::string user;
+  std::vector<std::string> nodes;
+  std::vector<lineproto::Tag> extra_tags;  // e.g. queue, account, jobname
+};
+
+/// A running job as tracked by the router.
+struct RunningJob {
+  std::string job_id;
+  std::string user;
+  std::vector<std::string> nodes;
+  std::vector<lineproto::Tag> extra_tags;
+  util::TimeNs start_time = 0;
+};
+
+class MetricsRouter {
+ public:
+  struct Options {
+    std::string db_url;              ///< back-end base URL, e.g. "inproc://tsdb"
+    std::string database = "lms";    ///< primary database name
+    bool duplicate_per_user = false; ///< also write into "user_<user>" databases
+    std::string user_db_prefix = "user_";
+    std::string events_measurement = "events";
+    bool publish = true;  ///< publish to the broker when one is attached
+    /// Store-and-forward: when > 0, points that cannot be forwarded (DB
+    /// down) are spooled — bounded, oldest dropped first — and the write is
+    /// acknowledged to the producer; the spool drains on later writes or an
+    /// explicit flush_spool(). 0 disables spooling: forward failures are
+    /// reported back to the producer, which keeps its own retry queue.
+    std::size_t spool_capacity = 0;
+  };
+
+  MetricsRouter(net::HttpClient& db_client, const util::Clock& clock, Options options,
+                net::PubSubBroker* broker = nullptr);
+
+  /// HTTP entry point (bind to inproc or TCP).
+  net::HttpHandler handler();
+
+  // ---- programmatic API (each HTTP endpoint delegates here) ----
+
+  /// Ingest a line-protocol batch. Returns the number of accepted points.
+  util::Result<std::size_t> write_lines(std::string_view body,
+                                        const std::string& db_override = {});
+
+  /// Register a job start: tag store update + DB annotation + publication.
+  util::Status job_start(const JobSignal& signal);
+
+  /// Register a job end.
+  util::Status job_end(const std::string& job_id);
+
+  std::vector<RunningJob> running_jobs() const;
+  std::optional<RunningJob> find_job(const std::string& job_id) const;
+
+  const TagStore& tag_store() const { return tags_; }
+
+  struct Stats {
+    std::uint64_t points_in = 0;
+    std::uint64_t points_out = 0;
+    std::uint64_t points_duplicated = 0;
+    std::uint64_t parse_errors = 0;
+    std::uint64_t forward_failures = 0;
+    std::uint64_t jobs_started = 0;
+    std::uint64_t jobs_ended = 0;
+    std::uint64_t points_spooled = 0;
+    std::uint64_t spool_dropped = 0;
+  };
+  Stats stats() const;
+
+  /// Attempt to forward everything spooled; returns points drained.
+  std::size_t flush_spool();
+  std::size_t spool_size() const;
+
+  /// PUB/SUB topics used.
+  static constexpr std::string_view kTopicMetrics = "metrics";
+  static constexpr std::string_view kTopicJobs = "jobs";
+
+ private:
+  util::Status forward(const std::string& db, const std::vector<lineproto::Point>& points);
+  net::HttpResponse handle_write(const net::HttpRequest& req);
+  net::HttpResponse handle_job_start(const net::HttpRequest& req);
+  net::HttpResponse handle_job_end(const net::HttpRequest& req);
+  net::HttpResponse handle_jobs(const net::HttpRequest& req);
+  net::HttpResponse handle_stats(const net::HttpRequest& req);
+
+  net::HttpClient& db_client_;
+  const util::Clock& clock_;
+  Options options_;
+  net::PubSubBroker* broker_;
+  TagStore tags_;
+  mutable std::mutex jobs_mu_;
+  std::map<std::string, RunningJob> jobs_;
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+  mutable std::mutex spool_mu_;
+  std::deque<lineproto::Point> spool_;  // primary-db points awaiting retry
+};
+
+}  // namespace lms::core

@@ -1,0 +1,40 @@
+#pragma once
+
+// The router's tag store (paper §III-A/B): a hash table keyed by hostname —
+// the one mandatory tag on every metric — holding the tags to piggy-back
+// onto all measurements and events from that host while a job runs there.
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lms/lineproto/point.hpp"
+
+namespace lms::core {
+
+class TagStore {
+ public:
+  /// Attach `tags` to every future metric from `hostname`.
+  void set_tags(std::string_view hostname, std::vector<lineproto::Tag> tags);
+
+  /// Remove all tags for a host (job deallocation).
+  void clear_tags(std::string_view hostname);
+
+  /// Tags currently registered for a host (empty if none).
+  std::vector<lineproto::Tag> tags_for(std::string_view hostname) const;
+
+  /// Enrich a point in place: append stored tags for the point's hostname
+  /// without overwriting tags the producer already set. Returns the number
+  /// of tags added.
+  std::size_t enrich(lineproto::Point& point) const;
+
+  std::size_t host_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<lineproto::Tag>, std::less<>> tags_;
+};
+
+}  // namespace lms::core

@@ -1,0 +1,76 @@
+#pragma once
+
+// The dashboard (Grafana) agent, paper §III-D: generates dashboards out of
+// templates, based on the available databases and the metrics in them.
+// For every running job it combines the dashboard/row/panel templates,
+// discovers application-level metrics the job reported (§IV adds metrics the
+// templates cannot know in advance) and prepends the analysis results header
+// (Fig. 2). The main administrator view lists all running jobs with
+// references to their dashboards.
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lms/analysis/report.hpp"
+#include "lms/core/router.hpp"
+#include "lms/dashboard/templates.hpp"
+#include "lms/net/transport.hpp"
+#include "lms/tsdb/storage.hpp"
+
+namespace lms::dashboard {
+
+class DashboardAgent {
+ public:
+  struct Options {
+    std::string database = "lms";
+    std::string datasource = "lms";  ///< name of the Grafana datasource
+  };
+
+  DashboardAgent(tsdb::Storage& storage, const analysis::JobReporter& reporter,
+                 const util::Clock& clock, Options options);
+
+  TemplateStore& templates() { return templates_; }
+
+  /// Generate (and store) the dashboard for one job.
+  json::Value generate_job_dashboard(const core::RunningJob& job, util::TimeNs now);
+
+  /// Generate (and store) the admin overview of all running jobs.
+  json::Value generate_admin_dashboard(const std::vector<core::RunningJob>& jobs,
+                                       util::TimeNs now);
+
+  /// Generate (and store) the per-user view ("live job performance
+  /// profiling ... per user"): that user's running jobs, backed by the
+  /// user's duplicated database when the router maintains one.
+  json::Value generate_user_dashboard(const std::string& user,
+                                      const std::vector<core::RunningJob>& jobs,
+                                      util::TimeNs now);
+
+  /// Refresh dashboards for every running job plus the admin view.
+  /// Returns the number of dashboards generated.
+  std::size_t refresh(const std::vector<core::RunningJob>& jobs, util::TimeNs now);
+
+  /// Stored dashboard JSON by uid ("job-<id>" or "admin"); nullptr if absent.
+  const json::Value* find_dashboard(const std::string& uid) const;
+  std::vector<std::string> dashboard_uids() const;
+
+  /// HTTP façade mimicking the relevant Grafana API surface:
+  ///   GET  /api/dashboards/uid/<uid>  -> dashboard JSON
+  ///   GET  /api/search                -> [{uid,title}]
+  net::HttpHandler handler();
+
+ private:
+  /// Discover application-level metric fields the job reported.
+  std::vector<std::string> discover_user_fields(const std::string& job_id) const;
+
+  tsdb::Storage& storage_;
+  const analysis::JobReporter& reporter_;
+  const util::Clock& clock_;
+  Options options_;
+  TemplateStore templates_;
+  mutable std::mutex mu_;
+  std::map<std::string, json::Value> dashboards_;  // uid -> JSON
+};
+
+}  // namespace lms::dashboard

@@ -1,0 +1,53 @@
+#pragma once
+
+// Dashboard templating (paper §III-D): Grafana is not configured manually —
+// an agent generates dashboards from templates plus the metrics actually
+// present in the database. Templates are JSON documents (the shape Grafana
+// exports) with two extensions:
+//   - ${VAR} placeholders substituted from a variable map
+//     (JOB_ID, USER, DB, FROM, TO, HOST, ...)
+//   - a row object with "repeat": "host" is instantiated once per job host,
+//     with ${HOST} bound to the hostname.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lms/json/json.hpp"
+#include "lms/util/status.hpp"
+
+namespace lms::dashboard {
+
+using VarMap = std::map<std::string, std::string>;
+
+/// Substitute ${VAR} placeholders in every string of a JSON document.
+/// Unknown variables are left untouched (so nested Grafana syntax survives).
+json::Value substitute(const json::Value& tpl, const VarMap& vars);
+
+/// Expand a dashboard template: variable substitution plus per-host row
+/// repetition. `hosts` binds ${HOST} for repeated rows.
+json::Value expand_dashboard(const json::Value& tpl, const VarMap& vars,
+                             const std::vector<std::string>& hosts);
+
+/// Template storage: named JSON templates (dashboard, row and panel level).
+class TemplateStore {
+ public:
+  /// Creates the store preloaded with the built-in templates:
+  /// "job_dashboard", "system_row", "likwid_row", "usermetric_row".
+  TemplateStore();
+
+  util::Status add(const std::string& name, std::string_view json_text);
+  const json::Value* find(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, json::Value> templates_;
+};
+
+/// Helper used by templates and the agent: build the InfluxQL query string
+/// for a panel target.
+std::string panel_query(const std::string& field, const std::string& measurement,
+                        const VarMap& tag_filters, const std::string& agg = "mean",
+                        const std::string& window = "30s");
+
+}  // namespace lms::dashboard

@@ -1,0 +1,111 @@
+#pragma once
+
+// Counter architecture model — the hardware side of the LIKWID abstraction.
+//
+// A CounterArchitecture describes a CPU's performance monitoring unit the way
+// LIKWID sees it: fixed-purpose counters (FIXC0..2), general-purpose core
+// counters (PMC0..N-1), per-socket uncore counters (MBOX* for the memory
+// controller, PWR0 for RAPL energy), the nominal clock and topology. Events
+// are identified by name and carry a simulation semantic (EventKind) that
+// tells the counter simulator how to derive counts from a workload profile.
+//
+// Two architectures are built in ("simx86" and "simx86-sp" below) to prove
+// the portability claim of the paper: the analysis layer only consumes
+// derived metrics from performance groups, never raw events, so swapping the
+// architecture requires no change above the HPM layer.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lms::hpm {
+
+/// What a counter event measures — drives the simulation model.
+enum class EventKind {
+  kInstructionsRetired,
+  kCoreCyclesUnhalted,
+  kRefCyclesUnhalted,
+  kFlopsScalarDp,
+  kFlopsPacked128Dp,
+  kFlopsPacked256Dp,
+  kFlopsScalarSp,
+  kFlopsPacked128Sp,
+  kFlopsPacked256Sp,
+  kBranchesRetired,
+  kBranchesMispredicted,
+  kL1DReplacement,   // L1 refills from L2 (per cache line)
+  kL2LinesIn,        // L2 refills from L3
+  kL3LinesIn,        // L3 refills from memory (per core, demand)
+  kLoadsRetired,
+  kStoresRetired,
+  kDtlbWalkCompleted,
+  kCasReadUncore,    // memory controller read transactions (per socket)
+  kCasWriteUncore,   // memory controller write transactions (per socket)
+  kPkgEnergyUncore,  // RAPL package energy, in energy units (per socket)
+};
+
+/// Where an event can be counted.
+enum class CounterScope { kHwThread, kSocket };
+
+struct EventDef {
+  std::string name;        // e.g. "FP_ARITH_INST_RETIRED_SCALAR_DOUBLE"
+  EventKind kind;
+  CounterScope scope;
+  /// Counter class prefix this event is schedulable on ("FIXC" fixed,
+  /// "PMC" general purpose, "MBOX" memory box, "PWR" energy).
+  std::string counter_class;
+};
+
+struct CounterSlotDef {
+  std::string name;   // "PMC0", "FIXC1", "MBOX0C0", "PWR0"
+  std::string clazz;  // "PMC", "FIXC", "MBOX", "PWR"
+  CounterScope scope;
+};
+
+struct CounterArchitecture {
+  std::string name;            // "simx86"
+  std::string cpu_model;       // human-readable
+  int sockets = 2;
+  int cores_per_socket = 8;
+  int threads_per_core = 1;
+  double nominal_clock_ghz = 2.3;
+  double energy_unit_joules = 6.103515625e-05;  // RAPL 1/16384 J
+  double cacheline_bytes = 64.0;
+
+  /// Theoretical peaks (used by analysis for saturation checks).
+  double peak_dp_flops_per_core = 0.0;   // per core, at nominal clock
+  double peak_mem_bw_per_socket = 0.0;   // bytes/s
+
+  /// Cache hierarchy (for the topology view and cache-related groups).
+  int l1d_kib_per_core = 32;
+  int l2_kib_per_core = 256;
+  int l3_mib_per_socket = 20;
+
+  std::vector<CounterSlotDef> slots;
+  std::vector<EventDef> events;
+
+  int total_cores() const { return sockets * cores_per_socket; }
+  int total_hwthreads() const { return total_cores() * threads_per_core; }
+
+  const EventDef* find_event(std::string_view event_name) const;
+  const CounterSlotDef* find_slot(std::string_view slot_name) const;
+
+  /// True if `event` may be programmed on `slot` (class + scope match).
+  bool schedulable(const EventDef& event, const CounterSlotDef& slot) const;
+};
+
+/// Built-in simulated architectures.
+const CounterArchitecture& simx86();        ///< 2-socket, AVX2-class server CPU
+const CounterArchitecture& simx86_small();  ///< 1-socket, 4-core desktop-class
+
+/// Architecture registry lookup by name; nullptr if unknown.
+const CounterArchitecture* find_architecture(std::string_view name);
+
+/// Render a likwid-topology-style description of the machine: sockets,
+/// cores, cache hierarchy, counter resources and peaks.
+std::string topology_string(const CounterArchitecture& arch);
+
+}  // namespace lms::hpm

@@ -1,0 +1,53 @@
+#pragma once
+
+// Arithmetic formula evaluator for derived HPM metrics.
+//
+// LIKWID performance groups define derived metrics as infix formulas over
+// counter slot names, e.g.
+//   "1.0E-06*(PMC0*2.0+PMC1*4.0+PMC2)/time"
+// This module compiles such formulas once (shunting-yard to RPN) and
+// evaluates them against a variable binding per measurement interval.
+// Supported: + - * / ^, unary minus, parentheses, numeric literals
+// (including scientific notation), identifiers, and min/max/abs calls.
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lms/util/status.hpp"
+
+namespace lms::hpm {
+
+/// Variable bindings for evaluation.
+using VarMap = std::map<std::string, double, std::less<>>;
+
+/// A compiled formula.
+class Formula {
+ public:
+  /// Compile an infix expression. Fails on syntax errors.
+  static util::Result<Formula> compile(std::string_view text);
+
+  /// Evaluate with the given variables. Unbound variables fail; division by
+  /// zero yields 0 (LIKWID semantics: metrics from zero counts read as 0).
+  util::Result<double> evaluate(const VarMap& vars) const;
+
+  /// Names of all variables referenced by the formula.
+  const std::vector<std::string>& variables() const { return variables_; }
+
+  /// The original source text.
+  const std::string& text() const { return text_; }
+
+ private:
+  enum class OpCode { kPush, kLoad, kAdd, kSub, kMul, kDiv, kPow, kNeg, kMin, kMax, kAbs };
+  struct Instr {
+    OpCode op;
+    double literal = 0.0;
+    int var_index = -1;
+  };
+  std::string text_;
+  std::vector<Instr> program_;
+  std::vector<std::string> variables_;
+};
+
+}  // namespace lms::hpm

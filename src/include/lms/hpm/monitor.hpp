@@ -1,0 +1,73 @@
+#pragma once
+
+// The HPM monitor: the likwid-agent equivalent that periodically reads
+// counters for a performance group, computes the group's derived metrics and
+// emits them as line-protocol points ("likwid_<group>" measurements).
+//
+// When several groups are configured they are multiplexed round-robin, one
+// group per sampling interval — exactly how LIKWID time-shares the limited
+// PMC slots. The MEM_DP combined group exists so the pathology rules never
+// pay multiplexing skew between FP rate and memory bandwidth.
+
+#include <string>
+#include <vector>
+
+#include "lms/hpm/perfgroup.hpp"
+#include "lms/hpm/simulator.hpp"
+#include "lms/lineproto/point.hpp"
+
+namespace lms::hpm {
+
+class HpmMonitor {
+ public:
+  struct Options {
+    std::vector<std::string> groups;  ///< groups to multiplex, in order
+    std::string hostname;
+    /// Additionally emit one point per socket (tag "socket"="0"/"1"/...)
+    /// with the group's metrics evaluated over that socket's cores and
+    /// uncore — makes NUMA imbalance visible.
+    bool per_socket_fields = false;
+  };
+
+  /// Fails if any configured group is unknown in the registry.
+  static util::Result<HpmMonitor> create(const GroupRegistry& registry,
+                                         const CounterSimulator& sim, Options options);
+
+  /// Read counters for the active group over the interval since the last
+  /// sample, rotate to the next group, and return the metric points.
+  /// The first call only establishes the baseline and returns no points.
+  std::vector<lineproto::Point> sample(util::TimeNs now);
+
+  /// Group that will be reported by the next sample() call.
+  const std::string& active_group() const { return groups_[active_].group->name(); }
+
+  /// Evaluate one group over an explicit counter delta window without
+  /// touching the rotation state (used by tests and the analysis layer).
+  /// `socket` restricts the evaluation to one socket's cores and uncore
+  /// units (-1 = whole node).
+  lineproto::Point evaluate_group(const PerfGroup& group,
+                                  const std::vector<std::vector<std::uint64_t>>& before,
+                                  const std::vector<std::vector<std::uint64_t>>& after,
+                                  util::TimeNs t0, util::TimeNs t1, int socket = -1) const;
+
+  /// Snapshot all counters (indexed [EventKind][unit]).
+  std::vector<std::vector<std::uint64_t>> snapshot() const;
+
+ private:
+  struct ActiveGroup {
+    const PerfGroup* group;
+  };
+  HpmMonitor(const GroupRegistry& registry, const CounterSimulator& sim, Options options,
+             std::vector<ActiveGroup> groups);
+
+  const GroupRegistry& registry_;
+  const CounterSimulator& sim_;
+  Options options_;
+  std::vector<ActiveGroup> groups_;
+  std::size_t active_ = 0;
+  bool has_baseline_ = false;
+  util::TimeNs last_time_ = 0;
+  std::vector<std::vector<std::uint64_t>> last_counts_;
+};
+
+}  // namespace lms::hpm

@@ -1,0 +1,95 @@
+#pragma once
+
+// Performance groups — the portability layer of LIKWID (paper §II): a named
+// set of counter slot -> event assignments plus derived-metric formulas.
+// Group definitions use the LIKWID text format:
+//
+//   SHORT Double Precision MFLOP/s
+//   EVENTSET
+//   FIXC0 INSTR_RETIRED_ANY
+//   PMC0  FP_ARITH_INST_RETIRED_256B_PACKED_DOUBLE
+//   METRICS
+//   Runtime (RDTSC) [s] time
+//   DP [MFLOP/s] 1.0E-06*(PMC0*4.0+PMC1)/time
+//   LONG
+//   Formulas: ...
+//
+// A metric line is "<name tokens...> <formula>", formula = last token.
+// Formula variables: counter slots, plus time [s], inverseClock [s],
+// num_hwthreads, num_sockets.
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lms/hpm/arch.hpp"
+#include "lms/hpm/formula.hpp"
+#include "lms/util/status.hpp"
+
+namespace lms::hpm {
+
+struct GroupMetric {
+  std::string name;       // "DP [MFLOP/s]"
+  std::string field_key;  // sanitized: "dp_mflop_per_s"
+  Formula formula;
+};
+
+struct EventAssignment {
+  std::string slot;   // "PMC0"
+  std::string event;  // "FP_ARITH_INST_RETIRED_256B_PACKED_DOUBLE"
+};
+
+class PerfGroup {
+ public:
+  /// Parse the LIKWID text format and validate against an architecture.
+  static util::Result<PerfGroup> parse(std::string_view name, std::string_view text,
+                                       const CounterArchitecture& arch);
+
+  const std::string& name() const { return name_; }
+  const std::string& short_description() const { return short_; }
+  const std::string& long_description() const { return long_; }
+  const std::vector<EventAssignment>& events() const { return events_; }
+  const std::vector<GroupMetric>& metrics() const { return metrics_; }
+
+  /// Measurement name used when publishing ("likwid_flops_dp").
+  std::string measurement() const;
+
+ private:
+  std::string name_;
+  std::string short_;
+  std::string long_;
+  std::vector<EventAssignment> events_;
+  std::vector<GroupMetric> metrics_;
+};
+
+/// Convert a metric display name to a line-protocol field key.
+std::string sanitize_field_key(std::string_view metric_name);
+
+/// Registry of groups for one architecture, preloaded with the built-ins:
+/// CLOCK, CPI, FLOPS_DP, FLOPS_SP, MEM, MEM_DP, L2, L3, BRANCH, DATA,
+/// ENERGY, TLB_DATA.
+class GroupRegistry {
+ public:
+  explicit GroupRegistry(const CounterArchitecture& arch);
+
+  /// Add or replace a group from its text definition.
+  util::Status add(std::string_view name, std::string_view text);
+
+  const PerfGroup* find(std::string_view name) const;
+  std::vector<std::string> names() const;
+  const CounterArchitecture& architecture() const { return arch_; }
+
+ private:
+  const CounterArchitecture& arch_;
+  std::map<std::string, PerfGroup, std::less<>> groups_;
+};
+
+/// Raw text of a built-in group (empty if unknown); exposed for tests and
+/// for sites that want to derive custom groups from the shipped ones.
+std::string_view builtin_group_text(std::string_view name);
+
+/// Names of all built-in groups.
+std::vector<std::string> builtin_group_names();
+
+}  // namespace lms::hpm

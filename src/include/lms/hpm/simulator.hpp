@@ -1,0 +1,99 @@
+#pragma once
+
+// Counter simulation — the substitute for MSR access (see DESIGN.md §1).
+//
+// The cluster workload models produce a NodeLoad: per-core execution rates
+// and per-socket memory/power activity. The CounterSimulator integrates
+// those rates over simulated time into monotonically increasing hardware
+// event counts, with the same quirks real counters have:
+//   - core counters are 48 bits wide and wrap,
+//   - the RAPL energy counter is 32 bits wide and wraps much faster,
+//   - counts carry multiplicative measurement noise.
+// Everything above the HPM layer (monitor, collector, analysis) is identical
+// to what would run against real MSRs.
+
+#include <cstdint>
+#include <vector>
+
+#include "lms/hpm/arch.hpp"
+#include "lms/util/clock.hpp"
+#include "lms/util/rng.hpp"
+
+namespace lms::hpm {
+
+/// Execution profile of one core over an interval.
+struct CoreLoad {
+  double clock_ghz = 0.0;        ///< effective core clock while active
+  double active_fraction = 0.0;  ///< fraction of wall time unhalted [0,1]
+  double ipc = 0.0;              ///< retired instructions per active cycle
+  double flops_dp_per_sec = 0.0;
+  double dp_simd_fraction = 0.0;  ///< fraction of DP flops from 256-bit packed
+  double flops_sp_per_sec = 0.0;
+  double sp_simd_fraction = 0.0;
+  double branch_per_instr = 0.0;
+  double branch_miss_ratio = 0.0;
+  double loads_per_instr = 0.0;
+  double stores_per_instr = 0.0;
+  double l2_bw_bytes_per_sec = 0.0;   ///< L1 refills from L2
+  double l3_bw_bytes_per_sec = 0.0;   ///< L2 refills from L3
+  double mem_bw_bytes_per_sec = 0.0;  ///< demand misses to memory from this core
+  double dtlb_miss_per_instr = 0.0;
+};
+
+/// Socket-level activity over an interval.
+struct SocketLoad {
+  double mem_read_bw_bytes_per_sec = 0.0;
+  double mem_write_bw_bytes_per_sec = 0.0;
+  double package_power_watts = 0.0;
+};
+
+/// Activity of one node over an interval.
+struct NodeLoad {
+  std::vector<CoreLoad> cores;      // size = arch.total_hwthreads()
+  std::vector<SocketLoad> sockets;  // size = arch.sockets
+};
+
+/// An idle NodeLoad shaped for the architecture (baseline OS noise).
+NodeLoad idle_load(const CounterArchitecture& arch);
+
+class CounterSimulator {
+ public:
+  static constexpr std::uint64_t kCoreCounterMask = (1ULL << 48) - 1;
+  static constexpr std::uint64_t kEnergyCounterMask = (1ULL << 32) - 1;
+
+  /// `noise_sigma` is the relative standard deviation of per-interval count
+  /// noise (0 = exact).
+  CounterSimulator(const CounterArchitecture& arch, std::uint64_t seed,
+                   double noise_sigma = 0.01);
+
+  const CounterArchitecture& architecture() const { return arch_; }
+
+  /// Integrate `load` over `dt_ns` of simulated time.
+  void advance(const NodeLoad& load, util::TimeNs dt_ns);
+
+  /// Raw counter value for an event on one unit (hwthread or socket index),
+  /// already wrapped to the counter width.
+  std::uint64_t read(EventKind kind, int unit) const;
+
+  /// Sum of an event over all of its units, wrapped per unit.
+  std::uint64_t read_total(EventKind kind) const;
+
+  /// Units carrying this event kind (cores or sockets).
+  int units_for(EventKind kind) const;
+
+  /// Delta between two raw readings, accounting for wrap-around.
+  static std::uint64_t wrap_delta(std::uint64_t now, std::uint64_t before, std::uint64_t mask);
+
+ private:
+  double& cell(EventKind kind, int unit);
+  double cell_value(EventKind kind, int unit) const;
+  double noise();
+
+  const CounterArchitecture& arch_;
+  util::Rng rng_;
+  double noise_sigma_;
+  // counts[kind][unit], stored exactly as doubles and wrapped on read.
+  std::vector<std::vector<double>> counts_;
+};
+
+}  // namespace lms::hpm

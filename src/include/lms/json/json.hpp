@@ -1,0 +1,132 @@
+#pragma once
+
+// Small self-contained JSON library. Used by the dashboard agent (Grafana
+// template JSON), the router's job signal endpoint and the TSDB query API.
+//
+// Design: one Value type over a tagged union; object member order is
+// preserved (Grafana dashboard JSON is order-sensitive for humans diffing
+// templates). Parsing is strict RFC 8259 except that duplicate keys keep the
+// last occurrence.
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "lms/util/status.hpp"
+
+namespace lms::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Member = std::pair<std::string, Value>;
+
+/// Order-preserving JSON object.
+class Object {
+ public:
+  Object() = default;
+  Object(std::initializer_list<Member> members);
+
+  /// Pointer to the member value, or nullptr.
+  const Value* find(std::string_view key) const;
+  Value* find(std::string_view key);
+
+  /// Access or insert (like std::map::operator[]).
+  Value& operator[](std::string_view key);
+
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+  std::size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+  /// Remove a key if present; returns true if removed.
+  bool erase(std::string_view key);
+
+  auto begin() { return members_.begin(); }
+  auto end() { return members_.end(); }
+  auto begin() const { return members_.begin(); }
+  auto end() const { return members_.end(); }
+
+ private:
+  std::vector<Member> members_;
+};
+
+enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+class Value {
+ public:
+  Value() : type_(Type::kNull) {}
+  Value(std::nullptr_t) : type_(Type::kNull) {}                     // NOLINT
+  Value(bool b) : type_(Type::kBool), bool_(b) {}                   // NOLINT
+  Value(int i) : type_(Type::kInt), int_(i) {}                      // NOLINT
+  Value(std::int64_t i) : type_(Type::kInt), int_(i) {}             // NOLINT
+  Value(double d) : type_(Type::kDouble), double_(d) {}             // NOLINT
+  Value(const char* s) : type_(Type::kString), string_(s) {}        // NOLINT
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Value(std::string_view s) : type_(Type::kString), string_(s) {}   // NOLINT
+  Value(Array a) : type_(Type::kArray), array_(std::move(a)) {}     // NOLINT
+  Value(Object o) : type_(Type::kObject), object_(std::move(o)) {}  // NOLINT
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_double() const { return type_ == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors. Preconditions checked with assert; the as_* variants
+  /// return fallbacks on type mismatch for tolerant template processing.
+  bool get_bool() const;
+  std::int64_t get_int() const;
+  double get_double() const;  ///< int promotes to double
+  const std::string& get_string() const;
+  const Array& get_array() const;
+  Array& get_array();
+  const Object& get_object() const;
+  Object& get_object();
+
+  bool as_bool(bool fallback = false) const;
+  std::int64_t as_int(std::int64_t fallback = 0) const;
+  double as_double(double fallback = 0.0) const;
+  std::string as_string(std::string_view fallback = {}) const;
+
+  /// Object member lookup; returns a shared null for missing keys/non-objects.
+  const Value& operator[](std::string_view key) const;
+  /// Array element; shared null when out of range/non-array.
+  const Value& operator[](std::size_t index) const;
+
+  /// Deep path lookup "a.b.c".
+  const Value& at_path(std::string_view dotted_path) const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Compact serialization.
+  std::string dump() const;
+  /// Pretty serialization with 2-space indent.
+  std::string dump_pretty() const;
+
+ private:
+  friend std::string dump_impl(const Value&, int indent, int depth);
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Strict JSON parse of the whole input.
+util::Result<Value> parse(std::string_view text);
+
+/// Escape a string for embedding into a JSON document (without quotes).
+std::string escape(std::string_view s);
+
+}  // namespace lms::json

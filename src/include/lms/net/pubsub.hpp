@@ -1,0 +1,87 @@
+#pragma once
+
+// Topic-based PUB/SUB used by the metrics router to publish metrics and job
+// meta-information to attached stream analyzers (the ZeroMQ role in the
+// paper, §III-B). Semantics mirror ZeroMQ PUB/SUB:
+//   - subscribers filter by topic prefix,
+//   - a slow subscriber does not block the publisher: when its queue (the
+//     "high-water mark") is full, messages for it are dropped and counted,
+//   - subscribing is dynamic; publishers are unaware of subscribers.
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lms/util/queue.hpp"
+
+namespace lms::net {
+
+struct PubSubMessage {
+  std::string topic;
+  std::string payload;
+};
+
+class PubSubBroker;
+
+/// A live subscription. Destroying it unsubscribes.
+class Subscription {
+ public:
+  ~Subscription();
+  Subscription(const Subscription&) = delete;
+  Subscription& operator=(const Subscription&) = delete;
+
+  /// Blocking pop; nullopt after close().
+  std::optional<PubSubMessage> receive();
+  /// Pop with timeout.
+  std::optional<PubSubMessage> receive_for(util::TimeNs timeout);
+  /// Non-blocking pop.
+  std::optional<PubSubMessage> try_receive();
+
+  /// Messages dropped because this subscriber was too slow (HWM reached).
+  std::uint64_t dropped() const { return dropped_.load(); }
+
+  const std::string& topic_prefix() const { return prefix_; }
+
+ private:
+  friend class PubSubBroker;
+  Subscription(PubSubBroker* broker, std::string prefix, std::size_t hwm)
+      : broker_(broker), prefix_(std::move(prefix)), queue_(hwm) {}
+
+  PubSubBroker* broker_;
+  std::string prefix_;
+  util::BoundedQueue<PubSubMessage> queue_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// The in-process broker: publishers call publish(), subscribers hold
+/// Subscription handles.
+class PubSubBroker {
+ public:
+  /// Default high-water mark per subscriber queue.
+  static constexpr std::size_t kDefaultHwm = 1000;
+
+  /// Subscribe to all topics starting with `topic_prefix` ("" = everything).
+  std::shared_ptr<Subscription> subscribe(std::string topic_prefix,
+                                          std::size_t hwm = kDefaultHwm);
+
+  /// Deliver to every matching subscriber. Never blocks; drops on full
+  /// queues. Returns the number of subscribers that received the message.
+  std::size_t publish(std::string_view topic, std::string_view payload);
+
+  std::size_t subscriber_count() const;
+
+  /// Total messages published (delivered or not).
+  std::uint64_t published() const { return published_.load(); }
+
+ private:
+  friend class Subscription;
+  void unsubscribe(Subscription* sub);
+
+  mutable std::mutex mu_;
+  std::vector<Subscription*> subscribers_;
+  std::atomic<std::uint64_t> published_{0};
+};
+
+}  // namespace lms::net

@@ -1,0 +1,77 @@
+#pragma once
+
+// Real-socket HTTP transport: a small threaded HTTP/1.1 server and a
+// blocking client. Used for the deployable binaries and the socket
+// integration tests; the simulator uses the in-process transport instead.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lms/net/transport.hpp"
+
+namespace lms::net {
+
+/// Threaded TCP HTTP server. Accepts on a listener thread, serves each
+/// connection on a worker thread (bounded), supports keep-alive.
+class TcpHttpServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    int port = 0;  ///< 0 = pick an ephemeral port
+    std::size_t max_connections = 64;
+    std::size_t max_request_bytes = 64 * 1024 * 1024;
+  };
+
+  explicit TcpHttpServer(HttpHandler handler);
+  TcpHttpServer(HttpHandler handler, Options options);
+  ~TcpHttpServer();
+  TcpHttpServer(const TcpHttpServer&) = delete;
+  TcpHttpServer& operator=(const TcpHttpServer&) = delete;
+
+  /// Bind + listen + start the accept thread. Returns the bound port.
+  util::Result<int> start();
+
+  /// Stop accepting and join all threads.
+  void stop();
+
+  int port() const { return port_; }
+  std::string url() const;  ///< "http://127.0.0.1:<port>"
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  HttpHandler handler_;
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::size_t> active_connections_{0};
+};
+
+/// Blocking HTTP client over TCP ("http://" scheme). One connection per
+/// request (Connection: close) — simple and adequate for agent batching.
+class TcpHttpClient final : public HttpClient {
+ public:
+  struct Options {
+    int connect_timeout_ms = 2000;
+    int io_timeout_ms = 5000;
+    std::size_t max_response_bytes = 64 * 1024 * 1024;
+  };
+
+  TcpHttpClient() = default;
+  explicit TcpHttpClient(Options options) : options_(options) {}
+
+  util::Result<HttpResponse> send(const std::string& url, HttpRequest req) override;
+
+ private:
+  Options options_ = Options();
+};
+
+}  // namespace lms::net

@@ -1,0 +1,112 @@
+#pragma once
+
+// Batch scheduler simulator. The paper's stack is deliberately
+// scheduler-agnostic (§I): all it needs is a job (de)allocation signal with
+// tags. This module provides the scheduler side of that contract: a node
+// pool, a submission queue with FCFS + EASY-backfill allocation, walltime
+// enforcement, and start/end callbacks that the JobNotifier turns into the
+// router's /job/start and /job/end HTTP signals (the prolog/epilog role).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lms/lineproto/point.hpp"
+#include "lms/net/transport.hpp"
+#include "lms/util/clock.hpp"
+
+namespace lms::sched {
+
+enum class JobState { kPending, kRunning, kCompleted, kTimeout, kCancelled };
+
+std::string_view job_state_name(JobState s);
+
+struct JobSpec {
+  std::string name;
+  std::string user;
+  int nodes = 1;
+  util::TimeNs walltime_limit = util::kNanosPerHour;
+  /// Higher runs first; equal priorities keep submit order (FCFS).
+  int priority = 0;
+  std::vector<lineproto::Tag> tags;  // queue, account, ...
+};
+
+struct Job {
+  int id = 0;
+  JobSpec spec;
+  JobState state = JobState::kPending;
+  util::TimeNs submit_time = 0;
+  util::TimeNs start_time = 0;
+  util::TimeNs end_time = 0;
+  util::TimeNs actual_duration = 0;  ///< simulation: when the job "finishes"
+  std::vector<std::string> assigned_nodes;
+
+  std::string job_id_string() const { return std::to_string(id); }
+};
+
+class Scheduler {
+ public:
+  using JobCallback = std::function<void(const Job&)>;
+
+  explicit Scheduler(std::vector<std::string> node_names);
+
+  /// Submit a job; `actual_duration` is how long it would run unconstrained
+  /// (the walltime limit may cut it short). Returns the job id.
+  int submit(JobSpec spec, util::TimeNs actual_duration, util::TimeNs now);
+
+  /// Cancel a pending or running job.
+  bool cancel(int job_id, util::TimeNs now);
+
+  /// Advance scheduling: finish due jobs, then start queued jobs
+  /// (FCFS head + EASY backfill behind it).
+  void tick(util::TimeNs now);
+
+  void set_on_start(JobCallback cb) { on_start_ = std::move(cb); }
+  void set_on_end(JobCallback cb) { on_end_ = std::move(cb); }
+
+  std::vector<const Job*> pending() const;
+  std::vector<const Job*> running() const;
+  std::vector<const Job*> finished() const;
+  const Job* find(int job_id) const;
+
+  std::size_t free_node_count() const { return free_nodes_.size(); }
+  std::size_t node_count() const { return node_names_.size(); }
+
+ private:
+  void start_job(Job& job, util::TimeNs now);
+  void end_job(Job& job, util::TimeNs now, JobState final_state);
+  bool try_start(Job& job, util::TimeNs now);
+
+  std::vector<std::string> node_names_;
+  std::set<std::string> free_nodes_;
+  std::map<int, Job> jobs_;
+  std::vector<int> queue_;  // pending job ids in submit order
+  int next_id_ = 1;
+  JobCallback on_start_;
+  JobCallback on_end_;
+};
+
+/// Turns scheduler callbacks into router job signals over HTTP.
+class JobNotifier {
+ public:
+  JobNotifier(net::HttpClient& client, std::string router_url);
+
+  /// Wire both callbacks of a scheduler to this notifier.
+  void attach(Scheduler& scheduler);
+
+  util::Status notify_start(const Job& job);
+  util::Status notify_end(const Job& job);
+
+  std::uint64_t failures() const { return failures_; }
+
+ private:
+  net::HttpClient& client_;
+  std::string router_url_;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace lms::sched

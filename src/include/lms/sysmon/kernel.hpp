@@ -1,0 +1,47 @@
+#pragma once
+
+// Simulated node kernel — the /proc stand-in the system-metric collectors
+// read. The cluster workload drives it with a KernelLoad (utilization
+// fractions and I/O rates); the kernel integrates those into the cumulative
+// counters a real Linux kernel exposes (/proc/stat jiffies, /proc/meminfo,
+// /proc/net/dev, /proc/diskstats, loadavg), so the collectors perform the
+// same delta/rate computations a Diamond plugin would.
+
+#include <cstdint>
+
+#include "lms/sysmon/reader.hpp"
+#include "lms/util/clock.hpp"
+
+namespace lms::sysmon {
+
+class SimulatedKernel final : public KernelReader {
+ public:
+  /// `cpu_count` scales the CPU time accounting; `mem_total` is RAM size.
+  SimulatedKernel(int cpu_count, std::uint64_t mem_total_bytes);
+
+  /// Integrate `load` over `dt_ns` of simulated time.
+  void advance(const KernelLoad& load, util::TimeNs dt_ns);
+
+  int cpu_count() const override { return cpu_count_; }
+  CpuTimes cpu_times() const override { return cpu_; }
+  MemInfo meminfo() const override;
+  NetCounters net_counters() const override { return net_; }
+  DiskCounters disk_counters() const override { return disk_; }
+
+  /// 1-minute exponentially damped load average (like the kernel's).
+  double loadavg1() const override { return loadavg1_; }
+
+ private:
+  int cpu_count_;
+  std::uint64_t mem_total_bytes_;
+  double mem_used_bytes_ = 0.0;
+  CpuTimes cpu_;
+  NetCounters net_;
+  DiskCounters disk_;
+  double loadavg1_ = 0.0;
+  // Fractional accumulation so slow rates are not lost to truncation.
+  double net_rx_acc_ = 0, net_tx_acc_ = 0, net_rxp_acc_ = 0, net_txp_acc_ = 0;
+  double disk_rb_acc_ = 0, disk_wb_acc_ = 0, disk_ro_acc_ = 0, disk_wo_acc_ = 0;
+};
+
+}  // namespace lms::sysmon

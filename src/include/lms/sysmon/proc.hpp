@@ -1,0 +1,60 @@
+#pragma once
+
+// Real Linux kernel statistics: a KernelReader over the /proc filesystem.
+// This is the one substrate of the stack that can be fully real in any
+// Linux environment — a node agent built on ProcKernel monitors the actual
+// machine while the rest of the stack stays unchanged.
+//
+// The parsers are pure functions over file contents (unit-testable against
+// fixtures); ProcKernel wires them to the live files.
+
+#include <string>
+#include <string_view>
+
+#include "lms/sysmon/reader.hpp"
+#include "lms/util/status.hpp"
+
+namespace lms::sysmon {
+
+/// Parse the aggregate "cpu " line of /proc/stat into seconds (USER_HZ=100).
+util::Result<CpuTimes> parse_proc_stat(std::string_view text);
+
+/// Parse /proc/meminfo (MemTotal/MemAvailable, kB units).
+util::Result<MemInfo> parse_meminfo(std::string_view text);
+
+/// Parse /proc/net/dev, summing all interfaces except "lo".
+util::Result<NetCounters> parse_net_dev(std::string_view text);
+
+/// Parse /proc/diskstats, summing whole devices (sdX, vdX, nvmeXnY, xvdX),
+/// skipping partitions and virtual devices (loop, ram, dm-). Sector = 512 B.
+util::Result<DiskCounters> parse_diskstats(std::string_view text);
+
+/// Parse /proc/loadavg (first field).
+util::Result<double> parse_loadavg(std::string_view text);
+
+/// Count "processor" entries in /proc/cpuinfo, or parse "cpu<N>" lines of
+/// /proc/stat; whichever text is handed in.
+int count_cpus_in_proc_stat(std::string_view text);
+
+/// KernelReader over the live /proc. Reads the files on every call; on read
+/// or parse failure the previous (or zero) values are returned — a
+/// monitoring agent must not die because one pseudo-file hiccupped.
+class ProcKernel final : public KernelReader {
+ public:
+  /// `root` defaults to "/proc"; tests point it at a fixture directory.
+  explicit ProcKernel(std::string root = "/proc");
+
+  int cpu_count() const override;
+  CpuTimes cpu_times() const override;
+  MemInfo meminfo() const override;
+  NetCounters net_counters() const override;
+  DiskCounters disk_counters() const override;
+  double loadavg1() const override;
+
+ private:
+  std::string read_file(const char* name) const;
+  std::string root_;
+  int cpu_count_;
+};
+
+}  // namespace lms::sysmon

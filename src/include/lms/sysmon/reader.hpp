@@ -1,0 +1,26 @@
+#pragma once
+
+// The kernel-statistics interface the collector plugins program against.
+// Two implementations exist:
+//   - SimulatedKernel (kernel.hpp): driven by the cluster workload models,
+//   - ProcKernel (proc.hpp): parses the real Linux /proc filesystem.
+// A deployed node agent uses ProcKernel; tests and the simulator use
+// SimulatedKernel. The plugins are identical in both cases — the same
+// delta/rate computations over the same cumulative counters.
+
+#include "lms/sysmon/stats.hpp"
+
+namespace lms::sysmon {
+
+class KernelReader {
+ public:
+  virtual ~KernelReader() = default;
+  virtual int cpu_count() const = 0;
+  virtual CpuTimes cpu_times() const = 0;
+  virtual MemInfo meminfo() const = 0;
+  virtual NetCounters net_counters() const = 0;
+  virtual DiskCounters disk_counters() const = 0;
+  virtual double loadavg1() const = 0;
+};
+
+}  // namespace lms::sysmon

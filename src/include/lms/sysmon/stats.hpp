@@ -1,0 +1,57 @@
+#pragma once
+
+// Kernel statistics value types shared by the simulated kernel, the real
+// /proc reader and the collector plugins.
+
+#include <cstdint>
+
+namespace lms::sysmon {
+
+/// Instantaneous node activity, as supplied by the workload model.
+struct KernelLoad {
+  double cpu_user_fraction = 0.0;    ///< [0,1] of total CPU capacity
+  double cpu_system_fraction = 0.0;  ///< [0,1]
+  double cpu_iowait_fraction = 0.0;  ///< [0,1]
+  double mem_used_bytes = 0.0;       ///< absolute, incl. page cache pressure
+  double net_rx_bytes_per_sec = 0.0;
+  double net_tx_bytes_per_sec = 0.0;
+  double net_rx_packets_per_sec = 0.0;
+  double net_tx_packets_per_sec = 0.0;
+  double disk_read_bytes_per_sec = 0.0;
+  double disk_write_bytes_per_sec = 0.0;
+  double disk_read_ops_per_sec = 0.0;
+  double disk_write_ops_per_sec = 0.0;
+  double runnable_tasks = 0.0;  ///< drives the load average
+};
+
+/// Cumulative CPU times in seconds (the /proc/stat view, node aggregate).
+struct CpuTimes {
+  double user = 0.0;
+  double system = 0.0;
+  double iowait = 0.0;
+  double idle = 0.0;
+
+  double total() const { return user + system + iowait + idle; }
+};
+
+struct NetCounters {
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_packets = 0;
+};
+
+struct DiskCounters {
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t read_ops = 0;
+  std::uint64_t write_ops = 0;
+};
+
+struct MemInfo {
+  std::uint64_t total_bytes = 0;
+  std::uint64_t used_bytes = 0;
+  std::uint64_t free_bytes = 0;
+};
+
+}  // namespace lms::sysmon

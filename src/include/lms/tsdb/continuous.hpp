@@ -1,0 +1,66 @@
+#pragma once
+
+// Continuous queries — the InfluxDB mechanism the paper's deployment relies
+// on to keep "the generated data volume under control" (§II): periodically
+// downsample raw measurements into coarser rollup measurements, so raw data
+// can be expired by a short retention window while rollups are kept.
+//
+// A ContinuousQuery is the moral equivalent of
+//   CREATE CONTINUOUS QUERY cq ON db BEGIN
+//     SELECT mean(f) INTO m_rollup FROM m GROUP BY time(5m), hostname
+//   END
+// The CqRunner executes due queries against new data only (watermark per
+// query, with a configurable lag so late points are included).
+
+#include <string>
+#include <vector>
+
+#include "lms/tsdb/query.hpp"
+#include "lms/tsdb/storage.hpp"
+
+namespace lms::tsdb {
+
+struct ContinuousQuery {
+  std::string name;
+  std::string source_measurement;
+  std::string target_measurement;
+  /// Field aggregations; output field key is "<field>_<agg>" (e.g.
+  /// "user_percent_mean").
+  std::vector<std::pair<std::string, Aggregator>> fields;
+  TimeNs window = 5 * util::kNanosPerMinute;
+  /// Tags preserved on the rollup series (grouped by).
+  std::vector<std::string> group_tags = {"hostname", "jobid"};
+};
+
+class CqRunner {
+ public:
+  struct Options {
+    /// Windows are only processed once `lag` past their end, so straggling
+    /// points still land in the right rollup.
+    TimeNs lag = 30 * util::kNanosPerSecond;
+  };
+
+  CqRunner(Storage& storage, std::string database);
+  CqRunner(Storage& storage, std::string database, Options options);
+
+  void add(ContinuousQuery query);
+  std::vector<ContinuousQuery> queries() const;
+
+  /// Execute every query over (watermark, now - lag], writing rollup points
+  /// back into the database. Returns the number of rollup points written.
+  std::size_t run(TimeNs now);
+
+ private:
+  struct Registered {
+    ContinuousQuery query;
+    TimeNs watermark = 0;  ///< everything before this is processed
+  };
+  std::size_t run_one(Registered& registered, TimeNs now);
+
+  Storage& storage_;
+  std::string database_;
+  Options options_;
+  std::vector<Registered> queries_;
+};
+
+}  // namespace lms::tsdb

@@ -1,0 +1,61 @@
+#pragma once
+
+// InfluxDB-compatible HTTP façade over the storage engine. This is the
+// interface every other component of the stack programs against, so existing
+// collectors (Diamond, curl cronjobs, Ganglia proxies — paper §III-A) can be
+// pointed at it unchanged:
+//   POST /write?db=<name>[&precision=ns]   body: line protocol batch
+//   GET/POST /query?db=<name>&q=<influxql> -> InfluxDB JSON
+//   GET  /ping                             -> 204
+//   GET  /stats                            -> JSON engine statistics
+
+#include <memory>
+#include <string>
+
+#include "lms/net/transport.hpp"
+#include "lms/tsdb/query.hpp"
+#include "lms/tsdb/storage.hpp"
+#include "lms/util/clock.hpp"
+
+namespace lms::tsdb {
+
+class HttpApi {
+ public:
+  struct Options {
+    /// Retention window; 0 = keep everything.
+    TimeNs retention = 0;
+    /// Database auto-created for writes without ?db=.
+    std::string default_db = "lms";
+  };
+
+  HttpApi(Storage& storage, const util::Clock& clock);
+  HttpApi(Storage& storage, const util::Clock& clock, Options options);
+
+  /// The HTTP entry point; bind to an InprocNetwork or a TcpHttpServer.
+  net::HttpHandler handler();
+
+  /// Apply the retention policy now (drops samples older than now-retention).
+  std::size_t enforce_retention();
+
+  /// Counters.
+  std::uint64_t points_written() const { return points_written_.load(); }
+  std::uint64_t write_requests() const { return write_requests_.load(); }
+  std::uint64_t query_requests() const { return query_requests_.load(); }
+  std::uint64_t parse_errors() const { return parse_errors_.load(); }
+
+ private:
+  net::HttpResponse handle_write(const net::HttpRequest& req);
+  net::HttpResponse handle_query(const net::HttpRequest& req);
+  net::HttpResponse handle_stats(const net::HttpRequest& req);
+
+  Storage& storage_;
+  const util::Clock& clock_;
+  Options options_;
+  Engine engine_;
+  std::atomic<std::uint64_t> points_written_{0};
+  std::atomic<std::uint64_t> write_requests_{0};
+  std::atomic<std::uint64_t> query_requests_{0};
+  std::atomic<std::uint64_t> parse_errors_{0};
+};
+
+}  // namespace lms::tsdb

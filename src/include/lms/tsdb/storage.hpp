@@ -1,0 +1,157 @@
+#pragma once
+
+// Embedded time-series storage engine — the InfluxDB stand-in (§III-C).
+//
+// Model (matches InfluxDB 1.x):
+//   database -> measurement -> series (unique tag set) -> field columns
+// A series holds one column per field key; a column is a pair of parallel
+// vectors (timestamps, values). Values can be floats, ints, bools or strings
+// (events are string-valued points). Writes are typically time-ordered per
+// series; out-of-order writes are handled by sorted insertion.
+//
+// Thread-safety: Storage is guarded by a shared_mutex — concurrent queries,
+// exclusive writes. The HTTP façade in http_api.hpp exposes this engine with
+// the InfluxDB wire API the rest of the stack expects.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lms/lineproto/point.hpp"
+#include "lms/util/status.hpp"
+
+namespace lms::tsdb {
+
+using lineproto::FieldValue;
+using lineproto::Point;
+using lineproto::Tag;
+using util::TimeNs;
+
+/// One timestamped value inside a field column.
+struct Sample {
+  TimeNs t = 0;
+  FieldValue v;
+};
+
+/// A field column: parallel (timestamp, value) vectors sorted by time.
+class Column {
+ public:
+  void append(TimeNs t, FieldValue v);
+  std::size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+
+  const std::vector<TimeNs>& times() const { return times_; }
+  const std::vector<FieldValue>& values() const { return values_; }
+
+  /// Index of the first sample with time >= t.
+  std::size_t lower_bound(TimeNs t) const;
+
+  /// Drop all samples with time < cutoff; returns number dropped.
+  std::size_t drop_before(TimeNs cutoff);
+
+ private:
+  std::vector<TimeNs> times_;
+  std::vector<FieldValue> values_;
+};
+
+/// A series: one measurement + unique sorted tag set.
+struct Series {
+  std::string measurement;
+  std::vector<Tag> tags;  // sorted by key
+  std::map<std::string, Column> columns;
+
+  std::string_view tag(std::string_view key) const;
+};
+
+/// A single database.
+class Database {
+ public:
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Ingest one normalized point. Points with timestamp 0 get `default_time`.
+  void write(const Point& point, TimeNs default_time);
+
+  /// All series of a measurement (pointers remain valid until retention runs).
+  std::vector<const Series*> series_of(std::string_view measurement) const;
+
+  /// Series of a measurement filtered by required tag equalities.
+  std::vector<const Series*> series_matching(
+      std::string_view measurement, const std::vector<Tag>& required_tags) const;
+
+  std::vector<std::string> measurements() const;
+  std::vector<std::string> field_keys(std::string_view measurement) const;
+  std::vector<std::string> tag_keys(std::string_view measurement) const;
+  std::vector<std::string> tag_values(std::string_view measurement,
+                                      std::string_view tag_key) const;
+
+  /// Total stored samples across all columns.
+  std::size_t sample_count() const;
+  std::size_t series_count() const;
+
+  /// Retention: drop samples older than cutoff; removes emptied series.
+  std::size_t drop_before(TimeNs cutoff);
+
+  /// Retention limited to measurements selected by `pred` — lets raw data
+  /// expire while downsampled rollups persist (the §II data-volume story).
+  std::size_t drop_before_if(TimeNs cutoff,
+                             const std::function<bool(const std::string&)>& pred);
+
+ private:
+  struct SeriesKey {
+    std::string measurement;
+    std::vector<Tag> tags;
+    bool operator<(const SeriesKey& other) const {
+      if (measurement != other.measurement) return measurement < other.measurement;
+      return tags < other.tags;
+    }
+  };
+  std::string name_;
+  std::map<SeriesKey, std::unique_ptr<Series>> series_;
+  // measurement -> tag key -> tag value -> series pointers
+  std::map<std::string, std::map<std::string, std::map<std::string, std::set<Series*>>>> index_;
+  std::map<std::string, std::set<Series*>> by_measurement_;
+};
+
+/// Multi-database storage with a global lock, the unit the HTTP API serves.
+class Storage {
+ public:
+  /// Get or create a database.
+  Database& database(const std::string& name);
+
+  /// Database lookup without creation.
+  Database* find_database(const std::string& name);
+
+  /// Lookup without taking the lock; the caller must already hold mutex().
+  Database* find_database_unlocked(const std::string& name);
+
+  /// Write a batch into a database (created on demand). Points without
+  /// timestamps are stamped with `default_time`.
+  void write(const std::string& db, const std::vector<Point>& points, TimeNs default_time);
+
+  std::vector<std::string> databases() const;
+
+  /// Apply retention to every database.
+  std::size_t drop_before(TimeNs cutoff);
+
+  /// Apply measurement-filtered retention to every database.
+  std::size_t drop_before_if(TimeNs cutoff,
+                             const std::function<bool(const std::string&)>& pred);
+
+  /// Shared lock for readers executing queries against Database pointers.
+  std::shared_mutex& mutex() { return mu_; }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<Database>> dbs_;
+};
+
+}  // namespace lms::tsdb

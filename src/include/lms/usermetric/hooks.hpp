@@ -1,0 +1,58 @@
+#pragma once
+
+// Application-transparent monitoring hooks (paper §IV): LMS ships preloadable
+// libraries that overload common functions for thread affinity and data
+// allocation so applications report monitoring data without code changes.
+// In this reproduction the hooks are explicit wrapper objects the workload
+// models call — the *reporting* path (what data flows, in which format) is
+// identical to the LD_PRELOAD variant; only the interception mechanism
+// differs (see DESIGN.md §1).
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+#include "lms/usermetric/usermetric.hpp"
+
+namespace lms::usermetric {
+
+/// Tracks heap allocation volume the way a preloaded malloc/free pair would,
+/// reporting the current allocated size and cumulative churn.
+class AllocTracker {
+ public:
+  AllocTracker(UserMetricClient& client, util::TimeNs report_interval);
+
+  /// Called in place of malloc/new interposition.
+  void on_allocate(std::size_t bytes, util::TimeNs now);
+  /// Called in place of free/delete interposition.
+  void on_free(std::size_t bytes, util::TimeNs now);
+
+  std::int64_t current_bytes() const;
+  std::uint64_t total_allocated() const;
+
+ private:
+  void maybe_report(util::TimeNs now);
+
+  UserMetricClient& client_;
+  util::TimeNs interval_;
+  mutable std::mutex mu_;
+  std::int64_t current_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t alloc_calls_ = 0;
+  util::TimeNs last_report_ = 0;
+};
+
+/// Reports thread affinity decisions the way a preloaded
+/// pthread_setaffinity_np would.
+class AffinityReporter {
+ public:
+  explicit AffinityReporter(UserMetricClient& client);
+
+  /// Called in place of the affinity-call interposition.
+  void on_set_affinity(int thread_id, int cpu, util::TimeNs now);
+
+ private:
+  UserMetricClient& client_;
+};
+
+}  // namespace lms::usermetric

@@ -1,0 +1,91 @@
+#pragma once
+
+// MPI tooling-interface integration (paper §IV: "further information is
+// planned to be gathered through the tooling interfaces of common
+// parallelization solutions like MPI or OpenMP"). This implements that
+// planned feature: an PMPI-shim-shaped profiler that records time spent and
+// bytes moved inside MPI calls per rank and periodically reports derived
+// metrics through libusermetric:
+//
+//   mpi_time_fraction   fraction of wall time inside MPI in the interval
+//   mpi_calls_per_sec   call rate
+//   mpi_bytes_per_sec   payload rate (pt2pt + collectives)
+//   mpi_sync_fraction   share of MPI time in synchronizing calls
+//                       (Barrier/Wait/Allreduce) — the load-imbalance smell
+//
+// In a real deployment the on_enter/on_exit pairs are called from PMPI
+// wrappers; the simulated workloads call them directly (same reporting
+// path, different interception — DESIGN.md §1).
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "lms/usermetric/usermetric.hpp"
+
+namespace lms::usermetric {
+
+enum class MpiCall {
+  kSend,
+  kRecv,
+  kIsend,
+  kIrecv,
+  kWait,
+  kBarrier,
+  kBcast,
+  kAllreduce,
+  kAlltoall,
+};
+
+std::string_view mpi_call_name(MpiCall call);
+
+/// True for calls whose duration is predominantly waiting on other ranks.
+bool mpi_call_is_synchronizing(MpiCall call);
+
+class MpiProfiler {
+ public:
+  /// `rank` is attached as a tag to every report.
+  MpiProfiler(UserMetricClient& client, int rank, util::TimeNs report_interval);
+
+  /// Record entry into an MPI call; `bytes` is the payload size (0 for
+  /// metadata-only calls). Calls do not nest (MPI semantics).
+  void on_enter(MpiCall call, util::TimeNs now, std::size_t bytes = 0);
+
+  /// Record return from the current MPI call; reports if the interval
+  /// elapsed.
+  void on_exit(util::TimeNs now);
+
+  /// Convenience for simulated callers: a whole call at once.
+  void record(MpiCall call, util::TimeNs start, util::TimeNs duration, std::size_t bytes = 0);
+
+  /// Flush a report for the current interval now (e.g. at MPI_Finalize).
+  void report(util::TimeNs now);
+
+  // Interval-independent counters (for tests).
+  std::uint64_t total_calls() const;
+  util::TimeNs total_mpi_time() const;
+
+ private:
+  void report_locked(util::TimeNs now);
+
+  UserMetricClient& client_;
+  const std::string rank_;
+  const util::TimeNs interval_;
+  mutable std::mutex mu_;
+  // Current call.
+  bool in_call_ = false;
+  MpiCall current_call_ = MpiCall::kSend;
+  util::TimeNs current_enter_ = 0;
+  std::size_t current_bytes_ = 0;
+  // Interval accumulators.
+  util::TimeNs interval_start_ = 0;
+  util::TimeNs mpi_time_ = 0;
+  util::TimeNs sync_time_ = 0;
+  std::uint64_t calls_ = 0;
+  std::uint64_t bytes_ = 0;
+  // Lifetime totals.
+  std::uint64_t total_calls_ = 0;
+  util::TimeNs total_mpi_time_ = 0;
+};
+
+}  // namespace lms::usermetric

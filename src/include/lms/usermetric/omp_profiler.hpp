@@ -1,0 +1,51 @@
+#pragma once
+
+// OpenMP tooling-interface integration — the second half of the paper's §IV
+// plan ("tooling interfaces of common parallelization solutions like MPI or
+// OpenMP"). Shaped like an OMPT callback client: the host runtime reports
+// parallel-region begin/end with per-thread busy times; the profiler
+// derives and periodically reports:
+//
+//   omp_parallel_fraction  share of wall time inside parallel regions
+//   omp_regions_per_sec    parallel region rate
+//   omp_load_efficiency    mean(thread busy) / max(thread busy) in regions
+//                          (1.0 = perfectly balanced threads)
+//   omp_avg_threads        average team size
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "lms/usermetric/usermetric.hpp"
+
+namespace lms::usermetric {
+
+class OmpProfiler {
+ public:
+  OmpProfiler(UserMetricClient& client, util::TimeNs report_interval);
+
+  /// Record one completed parallel region: wall `duration` and the busy
+  /// time of each team thread (size = team size).
+  void record_region(util::TimeNs start, util::TimeNs duration,
+                     const std::vector<util::TimeNs>& thread_busy);
+
+  /// Flush a report for the current interval.
+  void report(util::TimeNs now);
+
+  std::uint64_t total_regions() const;
+
+ private:
+  void report_locked(util::TimeNs now);
+
+  UserMetricClient& client_;
+  const util::TimeNs interval_;
+  mutable std::mutex mu_;
+  util::TimeNs interval_start_ = 0;
+  util::TimeNs parallel_time_ = 0;
+  double efficiency_weighted_ = 0;  // sum(duration * region efficiency)
+  std::uint64_t regions_ = 0;
+  std::uint64_t thread_sum_ = 0;
+  std::uint64_t total_regions_ = 0;
+};
+
+}  // namespace lms::usermetric

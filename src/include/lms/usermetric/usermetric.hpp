@@ -1,0 +1,86 @@
+#pragma once
+
+// libusermetric (paper §IV): the lightweight application-level monitoring
+// library. Applications report values and events; the library buffers them
+// and sends batched line-protocol messages to the router. Default tags are
+// attached to every message; arbitrary per-message tags (e.g. a thread
+// identifier) can be supplied. A command-line front-end (see
+// parse_cli_metric) covers batch scripts.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lms/lineproto/point.hpp"
+#include "lms/net/transport.hpp"
+#include "lms/util/clock.hpp"
+
+namespace lms::usermetric {
+
+class UserMetricClient {
+ public:
+  struct Options {
+    std::string router_url;            ///< destination /write endpoint base
+    std::string database = "lms";
+    std::string measurement = "usermetric";       ///< for numeric values
+    std::string event_measurement = "userevents"; ///< for string events
+    std::vector<lineproto::Tag> default_tags;     ///< attached to every point
+    std::size_t buffer_capacity = 1000;  ///< flush when this many buffered
+    util::TimeNs flush_interval = 5 * util::kNanosPerSecond;
+    bool drop_when_full = false;  ///< true: drop instead of synchronous flush
+  };
+
+  UserMetricClient(net::HttpClient& client, const util::Clock& clock, Options options);
+  ~UserMetricClient();
+  UserMetricClient(const UserMetricClient&) = delete;
+  UserMetricClient& operator=(const UserMetricClient&) = delete;
+
+  /// Report a numeric metric. `timestamp` 0 = now.
+  void value(std::string_view name, double v, std::vector<lineproto::Tag> tags = {},
+             util::TimeNs timestamp = 0);
+
+  /// Report an event (string payload, drawn as an annotation in the views).
+  void event(std::string_view name, std::string_view text,
+             std::vector<lineproto::Tag> tags = {}, util::TimeNs timestamp = 0);
+
+  /// Send everything buffered now. Returns false if the send failed (points
+  /// stay buffered).
+  bool flush();
+
+  /// Called periodically by the owner; flushes when the interval elapsed.
+  void tick(util::TimeNs now);
+
+  struct Stats {
+    std::uint64_t values_reported = 0;
+    std::uint64_t events_reported = 0;
+    std::uint64_t points_sent = 0;
+    std::uint64_t batches_sent = 0;
+    std::uint64_t send_failures = 0;
+    std::uint64_t points_dropped = 0;
+  };
+  Stats stats() const;
+
+  std::size_t buffered() const;
+
+ private:
+  void enqueue(lineproto::Point point);
+  bool flush_locked();
+
+  net::HttpClient& client_;
+  const util::Clock& clock_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::vector<lineproto::Point> buffer_;
+  util::TimeNs last_flush_ = 0;
+  Stats stats_;
+};
+
+/// Parse a command-line metric specification, the libusermetric CLI format:
+///   <name> <value> [tag=value ...]      -> numeric point
+///   --event <name> <text> [tag=value..] -> event point
+/// Returns the point (without default tags — the client adds those).
+util::Result<lineproto::Point> parse_cli_metric(const std::vector<std::string>& args,
+                                                util::TimeNs now);
+
+}  // namespace lms::usermetric

@@ -1,0 +1,32 @@
+#pragma once
+
+// Terminal chart rendering for the figure-regeneration benches: the paper's
+// figures are time-series plots, so the benches draw the regenerated series
+// as ASCII charts — the "shape" evidence (drop-outs, transients, plateaus)
+// is visible directly in the bench output.
+
+#include <string>
+#include <vector>
+
+namespace lms::util {
+
+struct AsciiChartOptions {
+  int width = 72;    ///< plot columns (samples are resampled to fit)
+  int height = 12;   ///< plot rows
+  std::string title;
+  std::string y_unit;
+  /// Optional marker rows: e.g. a threshold line drawn as '-'.
+  double threshold = 0.0;
+  bool show_threshold = false;
+};
+
+/// Render one series as an ASCII chart with a y-axis scale.
+std::string ascii_chart(const std::vector<double>& values, const AsciiChartOptions& options);
+
+/// Render several series in one chart; each series uses its label's first
+/// character as the plot glyph. All series share the y scale.
+std::string ascii_chart_multi(const std::vector<std::string>& labels,
+                              const std::vector<std::vector<double>>& series,
+                              const AsciiChartOptions& options);
+
+}  // namespace lms::util

@@ -1,0 +1,80 @@
+#pragma once
+
+// Time handling for the LIKWID Monitoring Stack reproduction.
+//
+// All timestamps in the stack are int64 nanoseconds since the Unix epoch
+// (the native resolution of the InfluxDB line protocol). Components never
+// call std::chrono directly; they take a Clock& so that tests and the
+// cluster simulator can drive hour-long jobs in milliseconds with a
+// SimClock while production-style integration keeps WallClock semantics.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace lms::util {
+
+/// Nanoseconds since the Unix epoch.
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kNanosPerMicro = 1'000;
+inline constexpr TimeNs kNanosPerMilli = 1'000'000;
+inline constexpr TimeNs kNanosPerSecond = 1'000'000'000;
+inline constexpr TimeNs kNanosPerMinute = 60 * kNanosPerSecond;
+inline constexpr TimeNs kNanosPerHour = 60 * kNanosPerMinute;
+
+/// Convert seconds (double) to nanoseconds, saturating on overflow.
+TimeNs seconds_to_ns(double seconds);
+
+/// Convert nanoseconds to seconds as a double.
+double ns_to_seconds(TimeNs ns);
+
+/// Render a timestamp as "YYYY-MM-DDTHH:MM:SS.mmmZ" (UTC).
+std::string format_utc(TimeNs ns);
+
+/// Render a duration as a compact human string, e.g. "1h02m", "12.5s".
+std::string format_duration(TimeNs ns);
+
+/// Abstract time source. Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in nanoseconds since the Unix epoch.
+  virtual TimeNs now() const = 0;
+};
+
+/// Real wall-clock time (CLOCK_REALTIME).
+class WallClock final : public Clock {
+ public:
+  TimeNs now() const override;
+  /// Process-wide singleton for call sites that have no injected clock.
+  static WallClock& instance();
+};
+
+/// Manually advanced clock for deterministic tests and simulation.
+///
+/// Thread-safe: `advance` and `set` publish with seq_cst so reader threads
+/// observe monotonic time.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(TimeNs start = 0) : now_ns_(start) {}
+
+  TimeNs now() const override { return now_ns_.load(std::memory_order_seq_cst); }
+
+  /// Advance by `delta` nanoseconds; returns the new time.
+  TimeNs advance(TimeNs delta) { return now_ns_.fetch_add(delta) + delta; }
+
+  /// Advance by a number of (possibly fractional) seconds.
+  TimeNs advance_seconds(double s) { return advance(seconds_to_ns(s)); }
+
+  /// Jump to an absolute time. Must not move backwards.
+  void set(TimeNs t);
+
+ private:
+  std::atomic<TimeNs> now_ns_;
+};
+
+/// Monotonic nanosecond counter for measuring real elapsed time in benches.
+TimeNs monotonic_now_ns();
+
+}  // namespace lms::util

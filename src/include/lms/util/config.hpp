@@ -1,0 +1,65 @@
+#pragma once
+
+// INI-style configuration used by the deployable components (router,
+// collector, dashboard agent). Matches the "simple interface scripts"
+// philosophy of the paper: flat [section] key = value files.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lms/util/status.hpp"
+
+namespace lms::util {
+
+class Config {
+ public:
+  /// Parse from INI text. Lines: "[section]", "key = value", "#"/";" comments.
+  static Result<Config> parse(std::string_view text);
+
+  /// True if the section/key pair exists.
+  bool has(std::string_view section, std::string_view key) const;
+
+  std::optional<std::string> get(std::string_view section, std::string_view key) const;
+  std::string get_or(std::string_view section, std::string_view key,
+                     std::string_view fallback) const;
+  std::optional<std::int64_t> get_int(std::string_view section, std::string_view key) const;
+  std::int64_t get_int_or(std::string_view section, std::string_view key,
+                          std::int64_t fallback) const;
+  std::optional<double> get_double(std::string_view section, std::string_view key) const;
+  double get_double_or(std::string_view section, std::string_view key, double fallback) const;
+  std::optional<bool> get_bool(std::string_view section, std::string_view key) const;
+  bool get_bool_or(std::string_view section, std::string_view key, bool fallback) const;
+
+  /// Comma-separated list value; empty vector when absent.
+  std::vector<std::string> get_list(std::string_view section, std::string_view key) const;
+
+  /// Set or overwrite a value programmatically.
+  void set(std::string_view section, std::string_view key, std::string_view value);
+
+  /// All section names, in insertion order.
+  std::vector<std::string> sections() const;
+
+  /// All keys within a section, in insertion order.
+  std::vector<std::string> keys(std::string_view section) const;
+
+  /// Serialize back to INI text.
+  std::string to_string() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+  struct Section {
+    std::string name;
+    std::vector<Entry> entries;
+  };
+  const Entry* find(std::string_view section, std::string_view key) const;
+  std::vector<Section> sections_;
+};
+
+}  // namespace lms::util

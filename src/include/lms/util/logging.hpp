@@ -1,0 +1,70 @@
+#pragma once
+
+// Minimal leveled logger. Components log through a per-process registry so
+// tests can capture and silence output. Not a substrate of the paper, just
+// operational plumbing.
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace lms::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+std::string_view log_level_name(LogLevel level);
+
+/// Process-wide logging configuration.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view component, std::string_view msg)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// Replace the output sink (default writes to stderr). Pass nullptr to
+  /// restore the default sink.
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view component, std::string_view msg);
+
+ private:
+  Logger();
+  mutable std::mutex mu_;
+  LogLevel level_;
+  Sink sink_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  ~LogLine() { Logger::instance().log(level_, component_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace lms::util
+
+#define LMS_LOG(level, component) \
+  ::lms::util::detail::LogLine(::lms::util::LogLevel::level, component)
+#define LMS_DEBUG(component) LMS_LOG(kDebug, component)
+#define LMS_INFO(component) LMS_LOG(kInfo, component)
+#define LMS_WARN(component) LMS_LOG(kWarn, component)
+#define LMS_ERROR(component) LMS_LOG(kError, component)

@@ -1,0 +1,104 @@
+#pragma once
+
+// Bounded thread-safe MPMC queue used between agent threads (collector ->
+// sender, router -> pub/sub subscribers). Blocking pop with timeout plus a
+// close() for clean shutdown: a closed queue rejects pushes and drains.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "lms/util/clock.hpp"
+
+namespace lms::util {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Push; blocks while full. Returns false if the queue is closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. Returns false when full or closed (item dropped).
+  bool try_push(T item) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Pop; blocks until an item is available or the queue is closed and empty.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return pop_locked();
+  }
+
+  /// Pop with a timeout (real time). Returns nullopt on timeout or drained
+  /// close.
+  std::optional<T> pop_for(TimeNs timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, std::chrono::nanoseconds(timeout),
+                        [&] { return closed_ || !items_.empty(); });
+    return pop_locked();
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Close the queue: pushes fail, pops drain remaining items then return
+  /// nullopt.
+  void close() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::optional<T> pop_locked() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace lms::util

@@ -1,0 +1,54 @@
+#pragma once
+
+// Deterministic random number generation for the counter simulator and the
+// workload models. xoshiro256** seeded via SplitMix64: fast, reproducible
+// across platforms (unlike std::normal_distribution, whose output is
+// implementation-defined — we implement our own transforms).
+
+#include <cstdint>
+
+namespace lms::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal sample: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Fork a decorrelated child generator (stable for a given label).
+  Rng fork(std::uint64_t label) const;
+
+ private:
+  std::uint64_t state_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace lms::util

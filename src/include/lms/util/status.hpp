@@ -1,0 +1,84 @@
+#pragma once
+
+// Lightweight error handling for the stack's parsing and I/O layers.
+//
+// Components that cross trust or process boundaries (line protocol parsing,
+// HTTP, query language) report recoverable failures as Status/Result values
+// instead of exceptions; programming errors still throw.
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace lms::util {
+
+/// Success-or-error result of an operation that yields no value.
+class Status {
+ public:
+  /// Successful status.
+  Status() = default;
+
+  /// Failed status carrying a human-readable message.
+  static Status error(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const { return !message_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Error message; empty string when ok().
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return message_ ? *message_ : kEmpty;
+  }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::optional<std::string> message_;
+};
+
+/// Success-carrying-T or error-carrying-message result.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  static Result error(std::string message) { return Result(Error{std::move(message)}); }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return error_ ? error_->message : kEmpty;
+  }
+
+  /// Access the value. Precondition: ok().
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Move the value out. Precondition: ok().
+  T take() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  struct Error {
+    std::string message;
+  };
+  explicit Result(Error e) : error_(std::move(e)) {}
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+}  // namespace lms::util

@@ -1,0 +1,57 @@
+#pragma once
+
+// Small string utilities shared across the stack. All functions are pure.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lms::util {
+
+/// Split `s` on `sep`, keeping empty segments.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split `s` on `sep`, dropping empty segments and trimming whitespace.
+std::vector<std::string> split_trimmed(std::string_view s, char sep);
+
+/// Split into at most two pieces at the first `sep`; second is empty if absent.
+std::pair<std::string_view, std::string_view> split_once(std::string_view s, char sep);
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Join the range with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Parse a whole string as a number; nullopt on any trailing garbage.
+std::optional<double> parse_double(std::string_view s);
+std::optional<std::int64_t> parse_int64(std::string_view s);
+
+/// Format a double the way the line protocol and JSON layers expect:
+/// shortest representation that round-trips, never scientific for integers.
+std::string format_double(double v);
+
+/// Percent-decode a URL component ("%2F" -> "/", "+" -> " ").
+std::string url_decode(std::string_view s);
+
+/// Percent-encode a URL component.
+std::string url_encode(std::string_view s);
+
+/// Very small glob: '*' matches any run of characters, '?' one character.
+bool glob_match(std::string_view pattern, std::string_view text);
+
+/// Replace all occurrences of `from` in `s` with `to`.
+std::string replace_all(std::string_view s, std::string_view from, std::string_view to);
+
+}  // namespace lms::util

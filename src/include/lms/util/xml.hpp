@@ -1,0 +1,39 @@
+#pragma once
+
+// Minimal XML subset parser, sufficient for the gmond-style XML the pulling
+// proxy consumes (paper §III-B): elements, attributes, text, comments and
+// declarations. No entities beyond the five predefined ones, no namespaces.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lms/util/status.hpp"
+
+namespace lms::util {
+
+struct XmlElement {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::vector<XmlElement> children;
+  std::string text;  // concatenated character data directly inside this element
+
+  /// First direct child with the given element name, or nullptr.
+  const XmlElement* child(std::string_view child_name) const;
+
+  /// All direct children with the given element name.
+  std::vector<const XmlElement*> children_named(std::string_view child_name) const;
+
+  /// Attribute value or empty string.
+  std::string attr(std::string_view key) const;
+};
+
+/// Parse a document; returns the root element.
+Result<XmlElement> xml_parse(std::string_view text);
+
+/// Escape text for inclusion in XML character data or attribute values.
+std::string xml_escape(std::string_view s);
+
+}  // namespace lms::util

@@ -1,0 +1,491 @@
+#include "lms/json/json.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "lms/util/strings.hpp"
+
+namespace lms::json {
+
+namespace {
+const Value& shared_null() {
+  static const Value null;
+  return null;
+}
+}  // namespace
+
+Object::Object(std::initializer_list<Member> members) : members_(members) {}
+
+const Value* Object::find(std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value* Object::find(std::string_view key) {
+  for (auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value& Object::operator[](std::string_view key) {
+  if (Value* v = find(key)) return *v;
+  members_.emplace_back(std::string(key), Value());
+  return members_.back().second;
+}
+
+bool Object::erase(std::string_view key) {
+  for (auto it = members_.begin(); it != members_.end(); ++it) {
+    if (it->first == key) {
+      members_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Value::get_bool() const {
+  assert(is_bool());
+  return bool_;
+}
+
+std::int64_t Value::get_int() const {
+  assert(is_int());
+  return int_;
+}
+
+double Value::get_double() const {
+  assert(is_number());
+  return is_int() ? static_cast<double>(int_) : double_;
+}
+
+const std::string& Value::get_string() const {
+  assert(is_string());
+  return string_;
+}
+
+const Array& Value::get_array() const {
+  assert(is_array());
+  return array_;
+}
+
+Array& Value::get_array() {
+  assert(is_array());
+  return array_;
+}
+
+const Object& Value::get_object() const {
+  assert(is_object());
+  return object_;
+}
+
+Object& Value::get_object() {
+  assert(is_object());
+  return object_;
+}
+
+bool Value::as_bool(bool fallback) const { return is_bool() ? bool_ : fallback; }
+
+std::int64_t Value::as_int(std::int64_t fallback) const {
+  if (is_int()) return int_;
+  if (is_double()) return static_cast<std::int64_t>(double_);
+  return fallback;
+}
+
+double Value::as_double(double fallback) const { return is_number() ? get_double() : fallback; }
+
+std::string Value::as_string(std::string_view fallback) const {
+  return is_string() ? string_ : std::string(fallback);
+}
+
+const Value& Value::operator[](std::string_view key) const {
+  if (!is_object()) return shared_null();
+  const Value* v = object_.find(key);
+  return v != nullptr ? *v : shared_null();
+}
+
+const Value& Value::operator[](std::size_t index) const {
+  if (!is_array() || index >= array_.size()) return shared_null();
+  return array_[index];
+}
+
+const Value& Value::at_path(std::string_view dotted_path) const {
+  const Value* cur = this;
+  std::size_t start = 0;
+  while (start <= dotted_path.size()) {
+    const std::size_t dot = dotted_path.find('.', start);
+    const std::string_view key =
+        dotted_path.substr(start, dot == std::string_view::npos ? dotted_path.size() - start
+                                                                : dot - start);
+    cur = &(*cur)[key];
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return *cur;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_number() && other.is_number()) {
+    if (is_int() && other.is_int()) return int_ == other.int_;
+    return get_double() == other.get_double();
+  }
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray: {
+      if (array_.size() != other.array_.size()) return false;
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (array_[i] != other.array_[i]) return false;
+      }
+      return true;
+    }
+    case Type::kObject: {
+      if (object_.size() != other.object_.size()) return false;
+      for (const auto& [k, v] : object_) {
+        const Value* ov = other.object_.find(k);
+        if (ov == nullptr || *ov != v) return false;
+      }
+      return true;
+    }
+    default:
+      return false;  // numbers handled above
+  }
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string dump_impl(const Value& v, int indent, int depth) {
+  const std::string pad = indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                                       (static_cast<std::size_t>(depth) + 1),
+                                                   ' ')
+                                     : std::string();
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+                               ' ')
+                 : std::string();
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* colon = indent > 0 ? ": " : ":";
+  switch (v.type()) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return v.get_bool() ? "true" : "false";
+    case Type::kInt:
+      return std::to_string(v.get_int());
+    case Type::kDouble: {
+      const double d = v.get_double();
+      if (std::isnan(d) || std::isinf(d)) return "null";  // JSON has no non-finite numbers
+      return util::format_double(d);
+    }
+    case Type::kString:
+      return "\"" + escape(v.get_string()) + "\"";
+    case Type::kArray: {
+      const auto& arr = v.get_array();
+      if (arr.empty()) return "[]";
+      std::string out = "[";
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        out += nl + pad + dump_impl(arr[i], indent, depth + 1);
+        if (i + 1 < arr.size()) out += ",";
+      }
+      out += nl + close_pad + "]";
+      return out;
+    }
+    case Type::kObject: {
+      const auto& obj = v.get_object();
+      if (obj.empty()) return "{}";
+      std::string out = "{";
+      std::size_t i = 0;
+      for (const auto& [k, val] : obj) {
+        out += nl + pad + "\"" + escape(k) + "\"" + colon + dump_impl(val, indent, depth + 1);
+        if (++i < obj.size()) out += ",";
+      }
+      out += nl + close_pad + "}";
+      return out;
+    }
+  }
+  return "null";
+}
+
+std::string Value::dump() const { return dump_impl(*this, 0, 0); }
+std::string Value::dump_pretty() const { return dump_impl(*this, 2, 0); }
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  util::Result<Value> parse() {
+    auto v = parse_value();
+    if (!v.ok()) return v;
+    skip_ws();
+    if (pos_ != text_.size()) return err("trailing content");
+    return v;
+  }
+
+ private:
+  util::Result<Value> err(std::string_view what) const {
+    return util::Result<Value>::error("json: " + std::string(what) + " at offset " +
+                                      std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  util::Result<Value> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return err("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s.ok()) return util::Result<Value>::error(s.message());
+        return Value(s.take());
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          return Value(true);
+        }
+        return err("bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          return Value(false);
+        }
+        return err("bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          return Value(nullptr);
+        }
+        return err("bad literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  util::Result<std::string> parse_string() {
+    if (!consume('"')) {
+      return util::Result<std::string>::error("json: expected '\"' at offset " +
+                                              std::to_string(pos_));
+    }
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return util::Result<std::string>::error("json: unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return util::Result<std::string>::error("json: dangling escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return util::Result<std::string>::error("json: bad \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return util::Result<std::string>::error("json: bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs folded naively).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return util::Result<std::string>::error("json: unknown escape");
+      }
+    }
+  }
+
+  util::Result<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+      ++pos_;
+    }
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+        ++pos_;
+      }
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") return err("bad number");
+    if (!is_double) {
+      if (const auto i = util::parse_int64(tok)) return Value(*i);
+    }
+    if (const auto d = util::parse_double(tok)) return Value(*d);
+    return err("bad number");
+  }
+
+  util::Result<Value> parse_array() {
+    consume('[');
+    Array arr;
+    skip_ws();
+    if (consume(']')) return Value(std::move(arr));
+    while (true) {
+      auto v = parse_value();
+      if (!v.ok()) return v;
+      arr.push_back(v.take());
+      skip_ws();
+      if (consume(']')) return Value(std::move(arr));
+      if (!consume(',')) return err("expected ',' or ']'");
+    }
+  }
+
+  util::Result<Value> parse_object() {
+    consume('{');
+    Object obj;
+    skip_ws();
+    if (consume('}')) return Value(std::move(obj));
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key.ok()) return util::Result<Value>::error(key.message());
+      skip_ws();
+      if (!consume(':')) return err("expected ':'");
+      auto v = parse_value();
+      if (!v.ok()) return v;
+      obj[key.value()] = v.take();
+      skip_ws();
+      if (consume('}')) return Value(std::move(obj));
+      if (!consume(',')) return err("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<Value> parse(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace lms::json

@@ -1,0 +1,253 @@
+#include "lms/lineproto/codec.hpp"
+
+#include <cctype>
+
+#include "lms/util/strings.hpp"
+
+namespace lms::lineproto {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s, std::string_view special) {
+  for (const char c : s) {
+    if (special.find(c) != std::string_view::npos || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+void append_field_value(std::string& out, const FieldValue& v) {
+  if (v.is_double()) {
+    out += util::format_double(v.as_double());
+  } else if (v.is_int()) {
+    out += std::to_string(v.as_int());
+    out.push_back('i');
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else {
+    out.push_back('"');
+    for (const char c : v.as_string()) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+}
+
+}  // namespace
+
+std::string serialize(const Point& point) {
+  std::string out;
+  out.reserve(64 + point.measurement.size());
+  append_escaped(out, point.measurement, ", ");
+  for (const auto& [k, v] : point.tags) {
+    out.push_back(',');
+    append_escaped(out, k, ",= ");
+    out.push_back('=');
+    append_escaped(out, v, ",= ");
+  }
+  out.push_back(' ');
+  bool first = true;
+  for (const auto& [k, v] : point.fields) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_escaped(out, k, ",= ");
+    out.push_back('=');
+    append_field_value(out, v);
+  }
+  if (point.timestamp != 0) {
+    out.push_back(' ');
+    out += std::to_string(point.timestamp);
+  }
+  return out;
+}
+
+std::string serialize_batch(const std::vector<Point>& points) {
+  std::string out;
+  for (const auto& p : points) {
+    out += serialize(p);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+namespace {
+
+/// Incremental tokenizer over one line honoring backslash escapes.
+class LineScanner {
+ public:
+  explicit LineScanner(std::string_view line) : line_(line) {}
+
+  bool eof() const { return pos_ >= line_.size(); }
+  char peek() const { return line_[pos_]; }
+  void advance() { ++pos_; }
+  std::size_t pos() const { return pos_; }
+
+  /// Read characters until an unescaped stop character; the stop char is not
+  /// consumed. Unescapes as it goes.
+  std::string read_until(std::string_view stops) {
+    std::string out;
+    while (!eof()) {
+      const char c = line_[pos_];
+      if (c == '\\' && pos_ + 1 < line_.size()) {
+        const char next = line_[pos_ + 1];
+        // Line protocol escapes only the special characters; a backslash
+        // before anything else is literal.
+        if (stops.find(next) != std::string_view::npos || next == '\\' || next == ',' ||
+            next == '=' || next == ' ' || next == '"') {
+          out.push_back(next);
+          pos_ += 2;
+          continue;
+        }
+      }
+      if (stops.find(c) != std::string_view::npos) return out;
+      out.push_back(c);
+      ++pos_;
+    }
+    return out;
+  }
+
+ private:
+  std::string_view line_;
+  std::size_t pos_ = 0;
+};
+
+util::Result<FieldValue> parse_field_value(LineScanner& sc) {
+  if (sc.eof()) return util::Result<FieldValue>::error("missing field value");
+  if (sc.peek() == '"') {
+    sc.advance();
+    std::string out;
+    bool closed = false;
+    while (!sc.eof()) {
+      const char c = sc.peek();
+      sc.advance();
+      if (c == '\\' && !sc.eof() && (sc.peek() == '"' || sc.peek() == '\\')) {
+        out.push_back(sc.peek());
+        sc.advance();
+        continue;
+      }
+      if (c == '"') {
+        closed = true;
+        break;
+      }
+      out.push_back(c);
+    }
+    if (!closed) return util::Result<FieldValue>::error("unterminated string field");
+    return FieldValue(std::move(out));
+  }
+  const std::string token = sc.read_until(", ");
+  if (token.empty()) return util::Result<FieldValue>::error("empty field value");
+  if (token == "t" || token == "T" || token == "true" || token == "True" || token == "TRUE") {
+    return FieldValue(true);
+  }
+  if (token == "f" || token == "F" || token == "false" || token == "False" ||
+      token == "FALSE") {
+    return FieldValue(false);
+  }
+  if (token.back() == 'i') {
+    const auto i = util::parse_int64(std::string_view(token).substr(0, token.size() - 1));
+    if (!i) return util::Result<FieldValue>::error("bad integer field '" + token + "'");
+    return FieldValue(*i);
+  }
+  const auto d = util::parse_double(token);
+  if (!d) return util::Result<FieldValue>::error("bad field value '" + token + "'");
+  return FieldValue(*d);
+}
+
+}  // namespace
+
+util::Result<Point> parse_line(std::string_view line) {
+  LineScanner sc(line);
+  Point p;
+  p.measurement = sc.read_until(", ");
+  if (p.measurement.empty()) return util::Result<Point>::error("empty measurement");
+
+  // Tag set.
+  while (!sc.eof() && sc.peek() == ',') {
+    sc.advance();
+    std::string key = sc.read_until("=, ");
+    if (sc.eof() || sc.peek() != '=') {
+      return util::Result<Point>::error("tag '" + key + "' missing '='");
+    }
+    sc.advance();
+    std::string value = sc.read_until(", ");
+    if (key.empty() || value.empty()) {
+      return util::Result<Point>::error("empty tag key or value");
+    }
+    p.tags.emplace_back(std::move(key), std::move(value));
+  }
+  if (sc.eof() || sc.peek() != ' ') {
+    return util::Result<Point>::error("missing field set");
+  }
+  while (!sc.eof() && sc.peek() == ' ') sc.advance();
+
+  // Field set.
+  while (true) {
+    std::string key = sc.read_until("=, ");
+    if (key.empty()) return util::Result<Point>::error("empty field key");
+    if (sc.eof() || sc.peek() != '=') {
+      return util::Result<Point>::error("field '" + key + "' missing '='");
+    }
+    sc.advance();
+    auto value = parse_field_value(sc);
+    if (!value.ok()) return util::Result<Point>::error(value.message());
+    p.fields.emplace_back(std::move(key), value.take());
+    if (!sc.eof() && sc.peek() == ',') {
+      sc.advance();
+      continue;
+    }
+    break;
+  }
+
+  // Optional timestamp.
+  if (!sc.eof() && sc.peek() == ' ') {
+    while (!sc.eof() && sc.peek() == ' ') sc.advance();
+    if (!sc.eof()) {
+      const std::string ts = sc.read_until(" ");
+      const auto t = util::parse_int64(ts);
+      if (!t) return util::Result<Point>::error("bad timestamp '" + ts + "'");
+      p.timestamp = *t;
+      while (!sc.eof() && sc.peek() == ' ') sc.advance();
+      if (!sc.eof()) return util::Result<Point>::error("trailing content after timestamp");
+    }
+  }
+  p.normalize();
+  return p;
+}
+
+util::Result<std::vector<Point>> parse(std::string_view text) {
+  std::vector<Point> points;
+  std::size_t line_no = 0;
+  for (const auto& raw : util::split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = util::trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    auto p = parse_line(line);
+    if (!p.ok()) {
+      return util::Result<std::vector<Point>>::error("line " + std::to_string(line_no) + ": " +
+                                                     p.message());
+    }
+    points.push_back(p.take());
+  }
+  return points;
+}
+
+std::vector<Point> parse_lenient(std::string_view text, std::vector<std::string>* errors) {
+  std::vector<Point> points;
+  std::size_t line_no = 0;
+  for (const auto& raw : util::split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = util::trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    auto p = parse_line(line);
+    if (!p.ok()) {
+      if (errors != nullptr) {
+        errors->push_back("line " + std::to_string(line_no) + ": " + p.message());
+      }
+      continue;
+    }
+    points.push_back(p.take());
+  }
+  return points;
+}
+
+}  // namespace lms::lineproto

@@ -1,0 +1,57 @@
+#include "lms/net/pubsub.hpp"
+
+#include "lms/util/strings.hpp"
+
+namespace lms::net {
+
+Subscription::~Subscription() {
+  if (broker_ != nullptr) broker_->unsubscribe(this);
+}
+
+std::optional<PubSubMessage> Subscription::receive() { return queue_.pop(); }
+
+std::optional<PubSubMessage> Subscription::receive_for(util::TimeNs timeout) {
+  return queue_.pop_for(timeout);
+}
+
+std::optional<PubSubMessage> Subscription::try_receive() { return queue_.try_pop(); }
+
+std::shared_ptr<Subscription> PubSubBroker::subscribe(std::string topic_prefix, std::size_t hwm) {
+  // make_shared not usable: private constructor.
+  std::shared_ptr<Subscription> sub(new Subscription(this, std::move(topic_prefix), hwm));
+  const std::lock_guard<std::mutex> lock(mu_);
+  subscribers_.push_back(sub.get());
+  return sub;
+}
+
+std::size_t PubSubBroker::publish(std::string_view topic, std::string_view payload) {
+  published_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t delivered = 0;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (Subscription* sub : subscribers_) {
+    if (!util::starts_with(topic, sub->prefix_)) continue;
+    if (sub->queue_.try_push(PubSubMessage{std::string(topic), std::string(payload)})) {
+      ++delivered;
+    } else {
+      sub->dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return delivered;
+}
+
+std::size_t PubSubBroker::subscriber_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return subscribers_.size();
+}
+
+void PubSubBroker::unsubscribe(Subscription* sub) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = subscribers_.begin(); it != subscribers_.end(); ++it) {
+    if (*it == sub) {
+      subscribers_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace lms::net

@@ -1,0 +1,97 @@
+#include "lms/net/transport.hpp"
+
+#include "lms/util/strings.hpp"
+
+namespace lms::net {
+
+void HttpDispatcher::handle(std::string method, std::string path, HttpHandler handler) {
+  routes_.push_back(Route{std::move(method), std::move(path), std::move(handler)});
+}
+
+HttpResponse HttpDispatcher::dispatch(const HttpRequest& req) const {
+  bool path_matched = false;
+  for (const auto& route : routes_) {
+    const bool wildcard = util::ends_with(route.path, "/*");
+    const bool match =
+        wildcard ? util::starts_with(req.path, route.path.substr(0, route.path.size() - 1))
+                 : req.path == route.path;
+    if (!match) continue;
+    path_matched = true;
+    if (route.method == req.method || route.method == "*") {
+      return route.handler(req);
+    }
+  }
+  if (path_matched) return HttpResponse::text(405, "method not allowed");
+  return HttpResponse::not_found();
+}
+
+HttpHandler HttpDispatcher::as_handler() const {
+  return [this](const HttpRequest& req) { return dispatch(req); };
+}
+
+util::Result<HttpResponse> HttpClient::post(const std::string& url, std::string body,
+                                            std::string_view content_type) {
+  return send(url, HttpRequest::post("/", std::move(body), content_type));
+}
+
+util::Result<HttpResponse> HttpClient::get(const std::string& url) {
+  return send(url, HttpRequest::get("/"));
+}
+
+void InprocNetwork::bind(const std::string& name, HttpHandler handler) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  endpoints_[name] = std::move(handler);
+}
+
+void InprocNetwork::unbind(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  endpoints_.erase(name);
+}
+
+bool InprocNetwork::has(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return endpoints_.count(name) > 0;
+}
+
+util::Result<HttpResponse> InprocNetwork::request(const std::string& name,
+                                                  const HttpRequest& req) const {
+  HttpHandler handler;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = endpoints_.find(name);
+    if (it == endpoints_.end()) {
+      return util::Result<HttpResponse>::error("inproc endpoint '" + name + "' not bound");
+    }
+    handler = it->second;
+  }
+  try {
+    return handler(req);
+  } catch (const std::exception& e) {
+    return HttpResponse::text(500, std::string("handler error: ") + e.what());
+  }
+}
+
+void apply_url_target(const Url& url, HttpRequest& req) {
+  if (req.path == "/" || req.path.empty()) {
+    req.path = url.path.empty() ? "/" : url.path;
+    if (!url.query.empty()) {
+      // Merge: URL params first, request params override.
+      QueryParams merged = QueryParams::parse(url.query);
+      for (const auto& [k, v] : req.query.items()) merged.set(k, v);
+      req.query = std::move(merged);
+    }
+  }
+}
+
+util::Result<HttpResponse> InprocHttpClient::send(const std::string& url, HttpRequest req) {
+  auto parsed = Url::parse(url);
+  if (!parsed.ok()) return util::Result<HttpResponse>::error(parsed.message());
+  if (parsed->scheme != "inproc") {
+    return util::Result<HttpResponse>::error("InprocHttpClient: unsupported scheme '" +
+                                             parsed->scheme + "'");
+  }
+  apply_url_target(*parsed, req);
+  return network_.request(parsed->host, req);
+}
+
+}  // namespace lms::net

@@ -1,0 +1,234 @@
+#include "lms/sched/scheduler.hpp"
+
+#include <algorithm>
+
+#include "lms/json/json.hpp"
+#include "lms/util/logging.hpp"
+
+namespace lms::sched {
+
+std::string_view job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kPending:
+      return "pending";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kTimeout:
+      return "timeout";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(std::vector<std::string> node_names)
+    : node_names_(std::move(node_names)), free_nodes_(node_names_.begin(), node_names_.end()) {}
+
+int Scheduler::submit(JobSpec spec, util::TimeNs actual_duration, util::TimeNs now) {
+  Job job;
+  job.id = next_id_++;
+  job.spec = std::move(spec);
+  job.submit_time = now;
+  job.actual_duration = actual_duration;
+  const int id = job.id;
+  jobs_.emplace(id, std::move(job));
+  queue_.push_back(id);
+  return id;
+}
+
+bool Scheduler::cancel(int job_id, util::TimeNs now) {
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return false;
+  Job& job = it->second;
+  if (job.state == JobState::kPending) {
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), job_id), queue_.end());
+    job.state = JobState::kCancelled;
+    job.end_time = now;
+    return true;
+  }
+  if (job.state == JobState::kRunning) {
+    end_job(job, now, JobState::kCancelled);
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::start_job(Job& job, util::TimeNs now) {
+  job.state = JobState::kRunning;
+  job.start_time = now;
+  auto it = free_nodes_.begin();
+  for (int i = 0; i < job.spec.nodes && it != free_nodes_.end(); ++i) {
+    job.assigned_nodes.push_back(*it);
+    it = free_nodes_.erase(it);
+  }
+  if (on_start_) on_start_(job);
+}
+
+void Scheduler::end_job(Job& job, util::TimeNs now, JobState final_state) {
+  job.state = final_state;
+  job.end_time = now;
+  for (const auto& node : job.assigned_nodes) free_nodes_.insert(node);
+  if (on_end_) on_end_(job);
+}
+
+bool Scheduler::try_start(Job& job, util::TimeNs now) {
+  if (static_cast<int>(free_nodes_.size()) < job.spec.nodes) return false;
+  start_job(job, now);
+  return true;
+}
+
+void Scheduler::tick(util::TimeNs now) {
+  // 1. Finish running jobs that completed or hit their walltime.
+  for (auto& [id, job] : jobs_) {
+    if (job.state != JobState::kRunning) continue;
+    const util::TimeNs elapsed = now - job.start_time;
+    if (elapsed >= job.actual_duration) {
+      end_job(job, now, JobState::kCompleted);
+    } else if (elapsed >= job.spec.walltime_limit) {
+      end_job(job, now, JobState::kTimeout);
+    }
+  }
+
+  // 2. Order the queue by priority (stable: FCFS within a priority), then
+  // start head(s) while they fit.
+  std::stable_sort(queue_.begin(), queue_.end(), [this](int a, int b) {
+    return jobs_.at(a).spec.priority > jobs_.at(b).spec.priority;
+  });
+  std::size_t qi = 0;
+  while (qi < queue_.size()) {
+    Job& head = jobs_.at(queue_[qi]);
+    if (!try_start(head, now)) break;
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(qi));
+  }
+  if (qi >= queue_.size()) return;
+
+  // 3. EASY backfill: the head job cannot start. Compute its shadow time —
+  // the earliest instant enough nodes are free, assuming running jobs end at
+  // their walltime limit — and let later jobs run ahead only if they fit in
+  // the spare nodes and finish (by their walltime) before the shadow time.
+  Job& head = jobs_.at(queue_[0]);
+  struct Release {
+    util::TimeNs at;
+    int nodes;
+  };
+  std::vector<Release> releases;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state != JobState::kRunning) continue;
+    releases.push_back(
+        Release{job.start_time + job.spec.walltime_limit, job.spec.nodes});
+  }
+  std::sort(releases.begin(), releases.end(),
+            [](const Release& a, const Release& b) { return a.at < b.at; });
+  int available = static_cast<int>(free_nodes_.size());
+  util::TimeNs shadow_time = now;
+  int shadow_free = available;
+  for (const auto& r : releases) {
+    shadow_free += r.nodes;
+    if (shadow_free >= head.spec.nodes) {
+      shadow_time = r.at;
+      break;
+    }
+  }
+  // Nodes that will still be spare at shadow time once the head job starts.
+  const int extra = shadow_free - head.spec.nodes;
+
+  for (std::size_t i = 1; i < queue_.size();) {
+    Job& job = jobs_.at(queue_[i]);
+    const bool fits_now = job.spec.nodes <= available;
+    const bool ends_before_shadow =
+        now + job.spec.walltime_limit <= shadow_time;
+    const bool fits_spare = job.spec.nodes <= extra;
+    if (fits_now && (ends_before_shadow || fits_spare)) {
+      start_job(job, now);
+      available -= job.spec.nodes;
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+std::vector<const Job*> Scheduler::pending() const {
+  std::vector<const Job*> out;
+  for (const int id : queue_) out.push_back(&jobs_.at(id));
+  return out;
+}
+
+std::vector<const Job*> Scheduler::running() const {
+  std::vector<const Job*> out;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kRunning) out.push_back(&job);
+  }
+  return out;
+}
+
+std::vector<const Job*> Scheduler::finished() const {
+  std::vector<const Job*> out;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kCompleted || job.state == JobState::kTimeout ||
+        job.state == JobState::kCancelled) {
+      out.push_back(&job);
+    }
+  }
+  return out;
+}
+
+const Job* Scheduler::find(int job_id) const {
+  const auto it = jobs_.find(job_id);
+  return it != jobs_.end() ? &it->second : nullptr;
+}
+
+JobNotifier::JobNotifier(net::HttpClient& client, std::string router_url)
+    : client_(client), router_url_(std::move(router_url)) {}
+
+void JobNotifier::attach(Scheduler& scheduler) {
+  scheduler.set_on_start([this](const Job& job) {
+    if (auto s = notify_start(job); !s.ok()) {
+      LMS_WARN("notifier") << "start signal for job " << job.id << " failed: " << s.message();
+    }
+  });
+  scheduler.set_on_end([this](const Job& job) {
+    if (auto s = notify_end(job); !s.ok()) {
+      LMS_WARN("notifier") << "end signal for job " << job.id << " failed: " << s.message();
+    }
+  });
+}
+
+util::Status JobNotifier::notify_start(const Job& job) {
+  json::Object o;
+  o["jobid"] = job.job_id_string();
+  o["user"] = job.spec.user;
+  json::Array nodes;
+  for (const auto& n : job.assigned_nodes) nodes.emplace_back(n);
+  o["nodes"] = std::move(nodes);
+  json::Object tags;
+  tags["jobname"] = job.spec.name;
+  for (const auto& [k, v] : job.spec.tags) tags[k] = v;
+  o["tags"] = std::move(tags);
+  auto resp = client_.post(router_url_ + "/job/start", json::Value(std::move(o)).dump(),
+                           "application/json");
+  if (!resp.ok() || !resp->ok()) {
+    ++failures_;
+    return util::Status::error(resp.ok() ? "HTTP " + std::to_string(resp->status)
+                                         : resp.message());
+  }
+  return {};
+}
+
+util::Status JobNotifier::notify_end(const Job& job) {
+  json::Object o;
+  o["jobid"] = job.job_id_string();
+  o["state"] = std::string(job_state_name(job.state));
+  auto resp = client_.post(router_url_ + "/job/end", json::Value(std::move(o)).dump(),
+                           "application/json");
+  if (!resp.ok() || !resp->ok()) {
+    ++failures_;
+    return util::Status::error(resp.ok() ? "HTTP " + std::to_string(resp->status)
+                                         : resp.message());
+  }
+  return {};
+}
+
+}  // namespace lms::sched

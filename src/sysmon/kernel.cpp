@@ -1,0 +1,55 @@
+#include "lms/sysmon/kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lms::sysmon {
+
+SimulatedKernel::SimulatedKernel(int cpu_count, std::uint64_t mem_total_bytes)
+    : cpu_count_(cpu_count), mem_total_bytes_(mem_total_bytes) {
+  mem_used_bytes_ = static_cast<double>(mem_total_bytes) * 0.03;  // kernel + daemons
+}
+
+void SimulatedKernel::advance(const KernelLoad& load, util::TimeNs dt_ns) {
+  const double dt = util::ns_to_seconds(dt_ns);
+  if (dt <= 0) return;
+  const double capacity = static_cast<double>(cpu_count_) * dt;  // cpu-seconds available
+  const double user = std::clamp(load.cpu_user_fraction, 0.0, 1.0) * capacity;
+  const double system = std::clamp(load.cpu_system_fraction, 0.0, 1.0) * capacity;
+  const double iowait = std::clamp(load.cpu_iowait_fraction, 0.0, 1.0) * capacity;
+  cpu_.user += user;
+  cpu_.system += system;
+  cpu_.iowait += iowait;
+  cpu_.idle += std::max(0.0, capacity - user - system - iowait);
+
+  mem_used_bytes_ = std::clamp(load.mem_used_bytes, 0.0, static_cast<double>(mem_total_bytes_));
+
+  auto accumulate = [dt](double rate, double& acc, std::uint64_t& counter) {
+    acc += rate * dt;
+    const double whole = std::floor(acc);
+    counter += static_cast<std::uint64_t>(whole);
+    acc -= whole;
+  };
+  accumulate(load.net_rx_bytes_per_sec, net_rx_acc_, net_.rx_bytes);
+  accumulate(load.net_tx_bytes_per_sec, net_tx_acc_, net_.tx_bytes);
+  accumulate(load.net_rx_packets_per_sec, net_rxp_acc_, net_.rx_packets);
+  accumulate(load.net_tx_packets_per_sec, net_txp_acc_, net_.tx_packets);
+  accumulate(load.disk_read_bytes_per_sec, disk_rb_acc_, disk_.read_bytes);
+  accumulate(load.disk_write_bytes_per_sec, disk_wb_acc_, disk_.write_bytes);
+  accumulate(load.disk_read_ops_per_sec, disk_ro_acc_, disk_.read_ops);
+  accumulate(load.disk_write_ops_per_sec, disk_wo_acc_, disk_.write_ops);
+
+  // Kernel-style exponential damping toward the instantaneous run queue.
+  const double decay = std::exp(-dt / 60.0);
+  loadavg1_ = loadavg1_ * decay + load.runnable_tasks * (1.0 - decay);
+}
+
+MemInfo SimulatedKernel::meminfo() const {
+  MemInfo m;
+  m.total_bytes = mem_total_bytes_;
+  m.used_bytes = static_cast<std::uint64_t>(mem_used_bytes_);
+  m.free_bytes = mem_total_bytes_ - m.used_bytes;
+  return m;
+}
+
+}  // namespace lms::sysmon

@@ -1,0 +1,196 @@
+#include "lms/sysmon/proc.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "lms/util/strings.hpp"
+
+namespace lms::sysmon {
+
+namespace {
+constexpr double kUserHz = 100.0;  // jiffies per second on virtually all Linux
+constexpr std::uint64_t kSectorBytes = 512;
+}  // namespace
+
+util::Result<CpuTimes> parse_proc_stat(std::string_view text) {
+  for (const auto& line : util::split(text, '\n')) {
+    if (!util::starts_with(line, "cpu ")) continue;
+    // cpu user nice system idle iowait irq softirq steal guest guest_nice
+    const auto fields = util::split_trimmed(line, ' ');
+    if (fields.size() < 6) {
+      return util::Result<CpuTimes>::error("proc/stat: short cpu line");
+    }
+    auto jiffies = [&](std::size_t i) -> double {
+      const auto v = util::parse_int64(fields[i]);
+      return v ? static_cast<double>(*v) / kUserHz : 0.0;
+    };
+    CpuTimes t;
+    t.user = jiffies(1) + jiffies(2);  // user + nice
+    t.system = jiffies(3);
+    if (fields.size() > 6) t.system += jiffies(6) + jiffies(7);  // irq + softirq
+    t.idle = jiffies(4);
+    t.iowait = jiffies(5);
+    return t;
+  }
+  return util::Result<CpuTimes>::error("proc/stat: no aggregate cpu line");
+}
+
+util::Result<MemInfo> parse_meminfo(std::string_view text) {
+  std::uint64_t total_kb = 0;
+  std::uint64_t available_kb = 0;
+  std::uint64_t free_kb = 0;
+  for (const auto& line : util::split(text, '\n')) {
+    const auto [key, rest] = util::split_once(line, ':');
+    const auto fields = util::split_trimmed(rest, ' ');
+    if (fields.empty()) continue;
+    const auto value = util::parse_int64(fields[0]);
+    if (!value) continue;
+    if (key == "MemTotal") total_kb = static_cast<std::uint64_t>(*value);
+    if (key == "MemAvailable") available_kb = static_cast<std::uint64_t>(*value);
+    if (key == "MemFree") free_kb = static_cast<std::uint64_t>(*value);
+  }
+  if (total_kb == 0) return util::Result<MemInfo>::error("meminfo: no MemTotal");
+  if (available_kb == 0) available_kb = free_kb;  // pre-3.14 kernels
+  MemInfo m;
+  m.total_bytes = total_kb * 1024;
+  m.free_bytes = available_kb * 1024;
+  m.used_bytes = m.total_bytes > m.free_bytes ? m.total_bytes - m.free_bytes : 0;
+  return m;
+}
+
+util::Result<NetCounters> parse_net_dev(std::string_view text) {
+  NetCounters total;
+  bool any = false;
+  for (const auto& line : util::split(text, '\n')) {
+    const auto [iface_raw, rest] = util::split_once(line, ':');
+    const std::string_view iface = util::trim(iface_raw);
+    if (rest.empty() || iface.empty() || iface.find(' ') != std::string_view::npos) {
+      continue;  // header lines
+    }
+    if (iface == "lo") continue;
+    // rx: bytes packets errs drop fifo frame compressed multicast, then tx.
+    const auto fields = util::split_trimmed(rest, ' ');
+    if (fields.size() < 16) continue;
+    auto u64 = [&](std::size_t i) {
+      const auto v = util::parse_int64(fields[i]);
+      return v ? static_cast<std::uint64_t>(*v) : 0ULL;
+    };
+    total.rx_bytes += u64(0);
+    total.rx_packets += u64(1);
+    total.tx_bytes += u64(8);
+    total.tx_packets += u64(9);
+    any = true;
+  }
+  if (!any) return util::Result<NetCounters>::error("net/dev: no interfaces");
+  return total;
+}
+
+namespace {
+
+bool is_whole_disk(std::string_view name) {
+  if (util::starts_with(name, "loop") || util::starts_with(name, "ram") ||
+      util::starts_with(name, "dm-") || util::starts_with(name, "sr") ||
+      util::starts_with(name, "zram") || util::starts_with(name, "md")) {
+    return false;
+  }
+  if (util::starts_with(name, "nvme")) {
+    // nvme0n1 is the whole disk, nvme0n1p2 a partition: a trailing
+    // "p<digits>" marks the partition.
+    const std::size_t p = name.rfind('p');
+    if (p == std::string_view::npos || p + 1 >= name.size()) return true;
+    for (std::size_t i = p + 1; i < name.size(); ++i) {
+      if (std::isdigit(static_cast<unsigned char>(name[i])) == 0) return true;
+    }
+    return false;
+  }
+  // sdX / vdX / xvdX / hdX: partitions end in a digit.
+  return !name.empty() && (std::isdigit(static_cast<unsigned char>(name.back())) == 0);
+}
+
+}  // namespace
+
+util::Result<DiskCounters> parse_diskstats(std::string_view text) {
+  DiskCounters total;
+  bool any = false;
+  for (const auto& line : util::split(text, '\n')) {
+    // major minor name reads reads_merged sectors_read ms writes
+    // writes_merged sectors_written ...
+    const auto fields = util::split_trimmed(line, ' ');
+    if (fields.size() < 10) continue;
+    const std::string& name = fields[2];
+    if (!is_whole_disk(name)) continue;
+    auto u64 = [&](std::size_t i) {
+      const auto v = util::parse_int64(fields[i]);
+      return v ? static_cast<std::uint64_t>(*v) : 0ULL;
+    };
+    total.read_ops += u64(3);
+    total.read_bytes += u64(5) * kSectorBytes;
+    total.write_ops += u64(7);
+    total.write_bytes += u64(9) * kSectorBytes;
+    any = true;
+  }
+  if (!any) return util::Result<DiskCounters>::error("diskstats: no whole disks");
+  return total;
+}
+
+util::Result<double> parse_loadavg(std::string_view text) {
+  const auto fields = util::split_trimmed(text, ' ');
+  if (fields.empty()) return util::Result<double>::error("loadavg: empty");
+  const auto v = util::parse_double(fields[0]);
+  if (!v) return util::Result<double>::error("loadavg: bad first field");
+  return *v;
+}
+
+int count_cpus_in_proc_stat(std::string_view text) {
+  int n = 0;
+  for (const auto& line : util::split(text, '\n')) {
+    if (util::starts_with(line, "cpu") && line.size() > 3 &&
+        std::isdigit(static_cast<unsigned char>(line[3])) != 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+ProcKernel::ProcKernel(std::string root) : root_(std::move(root)) {
+  cpu_count_ = count_cpus_in_proc_stat(read_file("stat"));
+  if (cpu_count_ <= 0) cpu_count_ = 1;
+}
+
+std::string ProcKernel::read_file(const char* name) const {
+  std::ifstream file(root_ + "/" + name);
+  if (!file) return {};
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+int ProcKernel::cpu_count() const { return cpu_count_; }
+
+CpuTimes ProcKernel::cpu_times() const {
+  auto r = parse_proc_stat(read_file("stat"));
+  return r.ok() ? *r : CpuTimes{};
+}
+
+MemInfo ProcKernel::meminfo() const {
+  auto r = parse_meminfo(read_file("meminfo"));
+  return r.ok() ? *r : MemInfo{};
+}
+
+NetCounters ProcKernel::net_counters() const {
+  auto r = parse_net_dev(read_file("net/dev"));
+  return r.ok() ? *r : NetCounters{};
+}
+
+DiskCounters ProcKernel::disk_counters() const {
+  auto r = parse_diskstats(read_file("diskstats"));
+  return r.ok() ? *r : DiskCounters{};
+}
+
+double ProcKernel::loadavg1() const {
+  auto r = parse_loadavg(read_file("loadavg"));
+  return r.ok() ? *r : 0.0;
+}
+
+}  // namespace lms::sysmon

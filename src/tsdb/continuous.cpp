@@ -1,0 +1,113 @@
+#include "lms/tsdb/continuous.hpp"
+
+#include <mutex>
+
+#include "lms/util/logging.hpp"
+
+namespace lms::tsdb {
+
+CqRunner::CqRunner(Storage& storage, std::string database)
+    : CqRunner(storage, std::move(database), Options()) {}
+
+CqRunner::CqRunner(Storage& storage, std::string database, Options options)
+    : storage_(storage), database_(std::move(database)), options_(options) {}
+
+void CqRunner::add(ContinuousQuery query) {
+  queries_.push_back(Registered{std::move(query), 0});
+}
+
+std::vector<ContinuousQuery> CqRunner::queries() const {
+  std::vector<ContinuousQuery> view;
+  view.reserve(queries_.size());
+  for (const auto& r : queries_) view.push_back(r.query);
+  return view;
+}
+
+std::size_t CqRunner::run(TimeNs now) {
+  std::size_t written = 0;
+  for (auto& registered : queries_) {
+    written += run_one(registered, now);
+  }
+  return written;
+}
+
+std::size_t CqRunner::run_one(Registered& registered, TimeNs now) {
+  const ContinuousQuery& cq = registered.query;
+  // Process only complete windows that are `lag` old.
+  const TimeNs horizon = ((now - options_.lag) / cq.window) * cq.window;
+  if (horizon <= registered.watermark) return 0;
+
+  Statement stmt;
+  stmt.kind = StatementKind::kSelect;
+  SelectStatement& sel = stmt.select;
+  for (const auto& [field, agg] : cq.fields) {
+    FieldExpr fe;
+    fe.agg = agg;
+    fe.field = field;
+    fe.alias = field;  // aggregator name appended below per output field
+    sel.fields.push_back(std::move(fe));
+  }
+  sel.measurement = cq.source_measurement;
+  sel.time_min = registered.watermark;
+  sel.time_max = horizon;
+  sel.group_by_time = cq.window;
+  sel.group_by_tags = cq.group_tags;
+
+  QueryResult result;
+  {
+    const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
+    Database* db = storage_.find_database_unlocked(database_);
+    if (db == nullptr) return 0;
+    auto r = execute(*db, stmt);
+    if (!r.ok()) {
+      LMS_WARN("cq") << cq.name << ": " << r.message();
+      return 0;
+    }
+    result = r.take();
+  }
+
+  std::vector<lineproto::Point> rollups;
+  for (const auto& series : result.series) {
+    for (const auto& row : series.values) {
+      if (row.empty()) continue;
+      lineproto::Point p;
+      p.measurement = cq.target_measurement;
+      for (const auto& [k, v] : series.tags) {
+        if (!v.empty()) p.set_tag(k, v);
+      }
+      p.timestamp = row[0].as_int();
+      for (std::size_t c = 0; c < cq.fields.size() && c + 1 < row.size(); ++c) {
+        if (is_null_cell(row[c + 1])) continue;
+        const std::string key =
+            cq.fields[c].first + "_" +
+            [&] {
+              switch (cq.fields[c].second) {
+                case Aggregator::kMean:
+                  return "mean";
+                case Aggregator::kMax:
+                  return "max";
+                case Aggregator::kMin:
+                  return "min";
+                case Aggregator::kSum:
+                  return "sum";
+                case Aggregator::kCount:
+                  return "count";
+                default:
+                  return "agg";
+              }
+            }();
+        p.add_field(key, row[c + 1]);
+      }
+      if (!p.fields.empty()) {
+        p.normalize();
+        rollups.push_back(std::move(p));
+      }
+    }
+  }
+  registered.watermark = horizon;
+  if (rollups.empty()) return 0;
+  storage_.write(database_, rollups, now);
+  return rollups.size();
+}
+
+}  // namespace lms::tsdb

@@ -1,0 +1,96 @@
+#include "lms/tsdb/http_api.hpp"
+
+#include "lms/json/json.hpp"
+#include "lms/lineproto/codec.hpp"
+#include "lms/tsdb/persist.hpp"
+#include "lms/util/logging.hpp"
+
+namespace lms::tsdb {
+
+HttpApi::HttpApi(Storage& storage, const util::Clock& clock)
+    : HttpApi(storage, clock, Options()) {}
+
+HttpApi::HttpApi(Storage& storage, const util::Clock& clock, Options options)
+    : storage_(storage), clock_(clock), options_(std::move(options)), engine_(storage) {}
+
+net::HttpHandler HttpApi::handler() {
+  return [this](const net::HttpRequest& req) -> net::HttpResponse {
+    if (req.path == "/ping") return net::HttpResponse::no_content();
+    if (req.path == "/write" && req.method == "POST") return handle_write(req);
+    if (req.path == "/query") return handle_query(req);
+    if (req.path == "/stats") return handle_stats(req);
+    if (req.path == "/dump") {
+      const std::string db_name = req.query.get_or("db", options_.default_db);
+      Database* db = storage_.find_database(db_name);
+      if (db == nullptr) {
+        return net::HttpResponse::json(404, influx_error_json("database not found"));
+      }
+      const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
+      return net::HttpResponse::text(200, dump_database(*db));
+    }
+    return net::HttpResponse::not_found();
+  };
+}
+
+net::HttpResponse HttpApi::handle_write(const net::HttpRequest& req) {
+  write_requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::string db = req.query.get_or("db", options_.default_db);
+  std::vector<std::string> errors;
+  std::vector<Point> points = lineproto::parse_lenient(req.body, &errors);
+  parse_errors_.fetch_add(errors.size(), std::memory_order_relaxed);
+  if (points.empty() && !errors.empty()) {
+    return net::HttpResponse::json(400, influx_error_json(errors.front()));
+  }
+  storage_.write(db, points, clock_.now());
+  points_written_.fetch_add(points.size(), std::memory_order_relaxed);
+  if (!errors.empty()) {
+    LMS_WARN("tsdb") << errors.size() << " malformed lines dropped in /write";
+  }
+  return net::HttpResponse::no_content();
+}
+
+net::HttpResponse HttpApi::handle_query(const net::HttpRequest& req) {
+  query_requests_.fetch_add(1, std::memory_order_relaxed);
+  std::string q = req.query.get_or("q", "");
+  if (q.empty() && !req.body.empty()) {
+    // Accept form-encoded body: q=...
+    q = net::QueryParams::parse(req.body).get_or("q", "");
+  }
+  if (q.empty()) {
+    return net::HttpResponse::json(400, influx_error_json("missing query parameter 'q'"));
+  }
+  const std::string db = req.query.get_or("db", options_.default_db);
+  auto result = engine_.query(db, q, clock_.now());
+  if (!result.ok()) {
+    return net::HttpResponse::json(400, influx_error_json(result.message()));
+  }
+  return net::HttpResponse::json(200, to_influx_json(*result));
+}
+
+net::HttpResponse HttpApi::handle_stats(const net::HttpRequest&) {
+  json::Object stats;
+  stats["points_written"] = static_cast<std::int64_t>(points_written_.load());
+  stats["write_requests"] = static_cast<std::int64_t>(write_requests_.load());
+  stats["query_requests"] = static_cast<std::int64_t>(query_requests_.load());
+  stats["parse_errors"] = static_cast<std::int64_t>(parse_errors_.load());
+  json::Array dbs;
+  for (const auto& name : storage_.databases()) {
+    Database* db = storage_.find_database(name);
+    if (db == nullptr) continue;
+    json::Object d;
+    d["name"] = name;
+    const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
+    d["series"] = static_cast<std::int64_t>(db->series_count());
+    d["samples"] = static_cast<std::int64_t>(db->sample_count());
+    dbs.emplace_back(std::move(d));
+  }
+  stats["databases"] = std::move(dbs);
+  return net::HttpResponse::json(200, json::Value(std::move(stats)).dump());
+}
+
+std::size_t HttpApi::enforce_retention() {
+  if (options_.retention <= 0) return 0;
+  return storage_.drop_before(clock_.now() - options_.retention);
+}
+
+}  // namespace lms::tsdb

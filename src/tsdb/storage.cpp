@@ -1,0 +1,239 @@
+#include "lms/tsdb/storage.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace lms::tsdb {
+
+void Column::append(TimeNs t, FieldValue v) {
+  if (times_.empty() || t >= times_.back()) {
+    times_.push_back(t);
+    values_.push_back(std::move(v));
+    return;
+  }
+  // Out-of-order write: sorted insert (rare path).
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const auto idx = static_cast<std::size_t>(it - times_.begin());
+  times_.insert(it, t);
+  values_.insert(values_.begin() + static_cast<std::ptrdiff_t>(idx), std::move(v));
+}
+
+std::size_t Column::lower_bound(TimeNs t) const {
+  return static_cast<std::size_t>(std::lower_bound(times_.begin(), times_.end(), t) -
+                                  times_.begin());
+}
+
+std::size_t Column::drop_before(TimeNs cutoff) {
+  const std::size_t n = lower_bound(cutoff);
+  if (n == 0) return 0;
+  times_.erase(times_.begin(), times_.begin() + static_cast<std::ptrdiff_t>(n));
+  values_.erase(values_.begin(), values_.begin() + static_cast<std::ptrdiff_t>(n));
+  return n;
+}
+
+std::string_view Series::tag(std::string_view key) const {
+  for (const auto& [k, v] : tags) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+void Database::write(const Point& point, TimeNs default_time) {
+  SeriesKey key{point.measurement, point.tags};
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    auto s = std::make_unique<Series>();
+    s->measurement = point.measurement;
+    s->tags = point.tags;
+    Series* raw = s.get();
+    it = series_.emplace(std::move(key), std::move(s)).first;
+    by_measurement_[point.measurement].insert(raw);
+    auto& meas_index = index_[point.measurement];
+    for (const auto& [tk, tv] : point.tags) {
+      meas_index[tk][tv].insert(raw);
+    }
+  }
+  Series& s = *it->second;
+  const TimeNs t = point.timestamp != 0 ? point.timestamp : default_time;
+  for (const auto& [fk, fv] : point.fields) {
+    s.columns[fk].append(t, fv);
+  }
+}
+
+std::vector<const Series*> Database::series_of(std::string_view measurement) const {
+  std::vector<const Series*> out;
+  const auto it = by_measurement_.find(std::string(measurement));
+  if (it == by_measurement_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  return out;
+}
+
+std::vector<const Series*> Database::series_matching(
+    std::string_view measurement, const std::vector<Tag>& required_tags) const {
+  std::vector<const Series*> out;
+  if (required_tags.empty()) return series_of(measurement);
+  const auto mit = index_.find(std::string(measurement));
+  if (mit == index_.end()) return out;
+  // Intersect the per-tag posting sets, starting from the smallest.
+  std::vector<const std::set<Series*>*> postings;
+  for (const auto& [tk, tv] : required_tags) {
+    const auto kit = mit->second.find(tk);
+    if (kit == mit->second.end()) return out;
+    const auto vit = kit->second.find(tv);
+    if (vit == kit->second.end()) return out;
+    postings.push_back(&vit->second);
+  }
+  std::sort(postings.begin(), postings.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  for (Series* candidate : *postings.front()) {
+    bool in_all = true;
+    for (std::size_t i = 1; i < postings.size(); ++i) {
+      if (postings[i]->count(candidate) == 0) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) out.push_back(candidate);
+  }
+  return out;
+}
+
+std::vector<std::string> Database::measurements() const {
+  std::vector<std::string> out;
+  out.reserve(by_measurement_.size());
+  for (const auto& [m, _] : by_measurement_) out.push_back(m);
+  return out;
+}
+
+std::vector<std::string> Database::field_keys(std::string_view measurement) const {
+  std::set<std::string> keys;
+  for (const Series* s : series_of(measurement)) {
+    for (const auto& [k, _] : s->columns) keys.insert(k);
+  }
+  return {keys.begin(), keys.end()};
+}
+
+std::vector<std::string> Database::tag_keys(std::string_view measurement) const {
+  std::vector<std::string> out;
+  const auto it = index_.find(std::string(measurement));
+  if (it == index_.end()) return out;
+  for (const auto& [k, _] : it->second) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> Database::tag_values(std::string_view measurement,
+                                              std::string_view tag_key) const {
+  std::vector<std::string> out;
+  const auto it = index_.find(std::string(measurement));
+  if (it == index_.end()) return out;
+  const auto kit = it->second.find(std::string(tag_key));
+  if (kit == it->second.end()) return out;
+  for (const auto& [v, series_set] : kit->second) {
+    if (!series_set.empty()) out.push_back(v);
+  }
+  return out;
+}
+
+std::size_t Database::sample_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, s] : series_) {
+    for (const auto& [__, col] : s->columns) n += col.size();
+  }
+  return n;
+}
+
+std::size_t Database::series_count() const { return series_.size(); }
+
+std::size_t Database::drop_before(TimeNs cutoff) {
+  return drop_before_if(cutoff, [](const std::string&) { return true; });
+}
+
+std::size_t Database::drop_before_if(TimeNs cutoff,
+                                     const std::function<bool(const std::string&)>& pred) {
+  std::size_t dropped = 0;
+  for (auto it = series_.begin(); it != series_.end();) {
+    Series& s = *it->second;
+    if (!pred(s.measurement)) {
+      ++it;
+      continue;
+    }
+    bool all_empty = true;
+    for (auto cit = s.columns.begin(); cit != s.columns.end();) {
+      dropped += cit->second.drop_before(cutoff);
+      if (cit->second.empty()) {
+        cit = s.columns.erase(cit);
+      } else {
+        all_empty = false;
+        ++cit;
+      }
+    }
+    if (all_empty) {
+      Series* raw = it->second.get();
+      by_measurement_[s.measurement].erase(raw);
+      auto& meas_index = index_[s.measurement];
+      for (const auto& [tk, tv] : s.tags) {
+        meas_index[tk][tv].erase(raw);
+      }
+      it = series_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+Database& Storage::database(const std::string& name) {
+  const std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = dbs_.find(name);
+  if (it == dbs_.end()) {
+    it = dbs_.emplace(name, std::make_unique<Database>(name)).first;
+  }
+  return *it->second;
+}
+
+Database* Storage::find_database(const std::string& name) {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  return find_database_unlocked(name);
+}
+
+Database* Storage::find_database_unlocked(const std::string& name) {
+  const auto it = dbs_.find(name);
+  return it != dbs_.end() ? it->second.get() : nullptr;
+}
+
+void Storage::write(const std::string& db, const std::vector<Point>& points,
+                    TimeNs default_time) {
+  const std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = dbs_.find(db);
+  if (it == dbs_.end()) {
+    it = dbs_.emplace(db, std::make_unique<Database>(db)).first;
+  }
+  for (const auto& p : points) {
+    it->second->write(p, default_time);
+  }
+}
+
+std::vector<std::string> Storage::databases() const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(dbs_.size());
+  for (const auto& [name, _] : dbs_) out.push_back(name);
+  return out;
+}
+
+std::size_t Storage::drop_before(TimeNs cutoff) {
+  const std::unique_lock<std::shared_mutex> lock(mu_);
+  std::size_t dropped = 0;
+  for (auto& [_, db] : dbs_) dropped += db->drop_before(cutoff);
+  return dropped;
+}
+
+std::size_t Storage::drop_before_if(TimeNs cutoff,
+                                    const std::function<bool(const std::string&)>& pred) {
+  const std::unique_lock<std::shared_mutex> lock(mu_);
+  std::size_t dropped = 0;
+  for (auto& [_, db] : dbs_) dropped += db->drop_before_if(cutoff, pred);
+  return dropped;
+}
+
+}  // namespace lms::tsdb

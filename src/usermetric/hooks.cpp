@@ -1,0 +1,62 @@
+#include "lms/usermetric/hooks.hpp"
+
+namespace lms::usermetric {
+
+AllocTracker::AllocTracker(UserMetricClient& client, util::TimeNs report_interval)
+    : client_(client), interval_(report_interval) {}
+
+void AllocTracker::on_allocate(std::size_t bytes, util::TimeNs now) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    current_ += static_cast<std::int64_t>(bytes);
+    total_ += bytes;
+    ++alloc_calls_;
+  }
+  maybe_report(now);
+}
+
+void AllocTracker::on_free(std::size_t bytes, util::TimeNs now) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    current_ -= static_cast<std::int64_t>(bytes);
+    if (current_ < 0) current_ = 0;
+  }
+  maybe_report(now);
+}
+
+void AllocTracker::maybe_report(util::TimeNs now) {
+  std::int64_t current = 0;
+  std::uint64_t total = 0;
+  std::uint64_t calls = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (now - last_report_ < interval_) return;
+    last_report_ = now;
+    current = current_;
+    total = total_;
+    calls = alloc_calls_;
+  }
+  client_.value("allocated_bytes", static_cast<double>(current), {}, now);
+  client_.value("allocated_total_bytes", static_cast<double>(total), {}, now);
+  client_.value("allocation_calls", static_cast<double>(calls), {}, now);
+}
+
+std::int64_t AllocTracker::current_bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+std::uint64_t AllocTracker::total_allocated() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+AffinityReporter::AffinityReporter(UserMetricClient& client) : client_(client) {}
+
+void AffinityReporter::on_set_affinity(int thread_id, int cpu, util::TimeNs now) {
+  client_.event("set_affinity",
+                "thread " + std::to_string(thread_id) + " -> cpu " + std::to_string(cpu),
+                {{"tid", std::to_string(thread_id)}}, now);
+}
+
+}  // namespace lms::usermetric

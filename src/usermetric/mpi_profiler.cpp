@@ -1,0 +1,111 @@
+#include "lms/usermetric/mpi_profiler.hpp"
+
+namespace lms::usermetric {
+
+std::string_view mpi_call_name(MpiCall call) {
+  switch (call) {
+    case MpiCall::kSend:
+      return "MPI_Send";
+    case MpiCall::kRecv:
+      return "MPI_Recv";
+    case MpiCall::kIsend:
+      return "MPI_Isend";
+    case MpiCall::kIrecv:
+      return "MPI_Irecv";
+    case MpiCall::kWait:
+      return "MPI_Wait";
+    case MpiCall::kBarrier:
+      return "MPI_Barrier";
+    case MpiCall::kBcast:
+      return "MPI_Bcast";
+    case MpiCall::kAllreduce:
+      return "MPI_Allreduce";
+    case MpiCall::kAlltoall:
+      return "MPI_Alltoall";
+  }
+  return "?";
+}
+
+bool mpi_call_is_synchronizing(MpiCall call) {
+  switch (call) {
+    case MpiCall::kWait:
+    case MpiCall::kBarrier:
+    case MpiCall::kAllreduce:
+    case MpiCall::kRecv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+MpiProfiler::MpiProfiler(UserMetricClient& client, int rank, util::TimeNs report_interval)
+    : client_(client), rank_(std::to_string(rank)), interval_(report_interval) {}
+
+void MpiProfiler::on_enter(MpiCall call, util::TimeNs now, std::size_t bytes) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (interval_start_ == 0) interval_start_ = now;
+  in_call_ = true;
+  current_call_ = call;
+  current_enter_ = now;
+  current_bytes_ = bytes;
+}
+
+void MpiProfiler::on_exit(util::TimeNs now) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!in_call_) return;
+  in_call_ = false;
+  const util::TimeNs duration = now - current_enter_;
+  mpi_time_ += duration;
+  if (mpi_call_is_synchronizing(current_call_)) sync_time_ += duration;
+  ++calls_;
+  bytes_ += current_bytes_;
+  ++total_calls_;
+  total_mpi_time_ += duration;
+  if (now - interval_start_ >= interval_) report_locked(now);
+}
+
+void MpiProfiler::record(MpiCall call, util::TimeNs start, util::TimeNs duration,
+                         std::size_t bytes) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (interval_start_ == 0) interval_start_ = start;
+  }
+  on_enter(call, start, bytes);
+  on_exit(start + duration);
+}
+
+void MpiProfiler::report(util::TimeNs now) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  report_locked(now);
+}
+
+void MpiProfiler::report_locked(util::TimeNs now) {
+  const double window = util::ns_to_seconds(now - interval_start_);
+  if (window <= 0) return;
+  const std::vector<lineproto::Tag> tags{{"rank", rank_}};
+  client_.value("mpi_time_fraction", util::ns_to_seconds(mpi_time_) / window, tags, now);
+  client_.value("mpi_sync_fraction",
+                mpi_time_ > 0
+                    ? static_cast<double>(sync_time_) / static_cast<double>(mpi_time_)
+                    : 0.0,
+                tags, now);
+  client_.value("mpi_calls_per_sec", static_cast<double>(calls_) / window, tags, now);
+  client_.value("mpi_bytes_per_sec", static_cast<double>(bytes_) / window, tags, now);
+  interval_start_ = now;
+  mpi_time_ = 0;
+  sync_time_ = 0;
+  calls_ = 0;
+  bytes_ = 0;
+}
+
+std::uint64_t MpiProfiler::total_calls() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_calls_;
+}
+
+util::TimeNs MpiProfiler::total_mpi_time() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_mpi_time_;
+}
+
+}  // namespace lms::usermetric

@@ -1,0 +1,73 @@
+#include "lms/usermetric/omp_profiler.hpp"
+
+#include <algorithm>
+
+namespace lms::usermetric {
+
+OmpProfiler::OmpProfiler(UserMetricClient& client, util::TimeNs report_interval)
+    : client_(client), interval_(report_interval) {}
+
+void OmpProfiler::record_region(util::TimeNs start, util::TimeNs duration,
+                                const std::vector<util::TimeNs>& thread_busy) {
+  util::TimeNs report_at = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (interval_start_ == 0) interval_start_ = start;
+    parallel_time_ += duration;
+    ++regions_;
+    ++total_regions_;
+    thread_sum_ += thread_busy.size();
+    if (!thread_busy.empty()) {
+      util::TimeNs max_busy = 0;
+      util::TimeNs sum_busy = 0;
+      for (const util::TimeNs t : thread_busy) {
+        max_busy = std::max(max_busy, t);
+        sum_busy += t;
+      }
+      const double efficiency =
+          max_busy > 0 ? static_cast<double>(sum_busy) /
+                             (static_cast<double>(max_busy) *
+                              static_cast<double>(thread_busy.size()))
+                       : 1.0;
+      efficiency_weighted_ += efficiency * static_cast<double>(duration);
+    }
+    const util::TimeNs end = start + duration;
+    if (end - interval_start_ >= interval_) report_at = end;
+  }
+  if (report_at != 0) report(report_at);
+}
+
+void OmpProfiler::report(util::TimeNs now) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  report_locked(now);
+}
+
+void OmpProfiler::report_locked(util::TimeNs now) {
+  const double window = util::ns_to_seconds(now - interval_start_);
+  if (window <= 0) return;
+  client_.value("omp_parallel_fraction", util::ns_to_seconds(parallel_time_) / window, {},
+                now);
+  client_.value("omp_regions_per_sec", static_cast<double>(regions_) / window, {}, now);
+  client_.value("omp_load_efficiency",
+                parallel_time_ > 0
+                    ? efficiency_weighted_ / static_cast<double>(parallel_time_)
+                    : 1.0,
+                {}, now);
+  client_.value("omp_avg_threads",
+                regions_ > 0
+                    ? static_cast<double>(thread_sum_) / static_cast<double>(regions_)
+                    : 0.0,
+                {}, now);
+  interval_start_ = now;
+  parallel_time_ = 0;
+  efficiency_weighted_ = 0;
+  regions_ = 0;
+  thread_sum_ = 0;
+}
+
+std::uint64_t OmpProfiler::total_regions() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_regions_;
+}
+
+}  // namespace lms::usermetric

@@ -1,0 +1,133 @@
+#include "lms/util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "lms/util/strings.hpp"
+
+namespace lms::util {
+
+namespace {
+
+/// Resample `values` to exactly `width` columns (mean per bucket).
+std::vector<double> resample(const std::vector<double>& values, int width) {
+  std::vector<double> out;
+  if (values.empty() || width <= 0) return out;
+  out.reserve(static_cast<std::size_t>(width));
+  const double step = static_cast<double>(values.size()) / width;
+  for (int c = 0; c < width; ++c) {
+    const auto begin = static_cast<std::size_t>(c * step);
+    auto end = static_cast<std::size_t>((c + 1) * step);
+    if (end <= begin) end = begin + 1;
+    end = std::min(end, values.size());
+    double sum = 0;
+    for (std::size_t i = begin; i < end; ++i) sum += values[i];
+    out.push_back(sum / static_cast<double>(end - begin));
+  }
+  return out;
+}
+
+std::string format_axis_value(double v) {
+  char buf[32];
+  if (std::fabs(v) >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%9.3g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%9.1f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string ascii_chart_multi(const std::vector<std::string>& labels,
+                              const std::vector<std::vector<double>>& series,
+                              const AsciiChartOptions& options) {
+  std::string out;
+  if (!options.title.empty()) {
+    out += options.title + "\n";
+  }
+  if (series.empty()) return out + "(no data)\n";
+
+  // Common y range across all series (and the threshold if drawn).
+  double lo = options.show_threshold ? options.threshold : 0;
+  double hi = lo;
+  bool first = true;
+  for (const auto& s : series) {
+    for (const double v : s) {
+      if (first) {
+        lo = hi = v;
+        first = false;
+      }
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (first) return out + "(no data)\n";
+  if (options.show_threshold) {
+    lo = std::min(lo, options.threshold);
+    hi = std::max(hi, options.threshold);
+  }
+  if (hi == lo) hi = lo + 1.0;
+
+  const int width = std::max(8, options.width);
+  const int height = std::max(3, options.height);
+  std::vector<std::vector<double>> cols;
+  cols.reserve(series.size());
+  for (const auto& s : series) cols.push_back(resample(s, width));
+
+  // Grid rows, top (hi) to bottom (lo).
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  auto row_of = [&](double v) {
+    const double norm = (v - lo) / (hi - lo);
+    int row = height - 1 - static_cast<int>(std::lround(norm * (height - 1)));
+    return std::clamp(row, 0, height - 1);
+  };
+  if (options.show_threshold) {
+    const int tr = row_of(options.threshold);
+    for (int c = 0; c < width; ++c) grid[static_cast<std::size_t>(tr)][static_cast<std::size_t>(c)] = '-';
+  }
+  for (std::size_t s = 0; s < cols.size(); ++s) {
+    const char glyph =
+        s < labels.size() && !labels[s].empty() ? labels[s][0] : static_cast<char>('1' + s);
+    for (int c = 0; c < static_cast<int>(cols[s].size()); ++c) {
+      grid[static_cast<std::size_t>(row_of(cols[s][static_cast<std::size_t>(c)]))]
+          [static_cast<std::size_t>(c)] = glyph;
+    }
+  }
+
+  // Assemble with a y axis: top, middle and bottom tick labels.
+  for (int r = 0; r < height; ++r) {
+    std::string label(10, ' ');
+    if (r == 0) {
+      label = format_axis_value(hi) + " ";
+    } else if (r == height - 1) {
+      label = format_axis_value(lo) + " ";
+    } else if (r == height / 2) {
+      label = format_axis_value((hi + lo) / 2) + " ";
+    }
+    out += label + "|" + grid[static_cast<std::size_t>(r)] + "\n";
+  }
+  out += std::string(10, ' ') + "+" + std::string(static_cast<std::size_t>(width), '-') + "\n";
+  if (!labels.empty()) {
+    out += std::string(11, ' ');
+    std::vector<std::string> legend;
+    for (const auto& l : labels) {
+      if (!l.empty()) legend.push_back(std::string(1, l[0]) + "=" + l);
+    }
+    out += join(legend, "  ");
+    if (options.show_threshold) {
+      out += "  -=threshold(" + format_double(options.threshold) + ")";
+    }
+    if (!options.y_unit.empty()) out += "  [" + options.y_unit + "]";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ascii_chart(const std::vector<double>& values, const AsciiChartOptions& options) {
+  return ascii_chart_multi({"*"}, {values}, options);
+}
+
+}  // namespace lms::util

@@ -1,0 +1,89 @@
+#include "lms/util/clock.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <limits>
+#include <stdexcept>
+
+namespace lms::util {
+
+TimeNs seconds_to_ns(double seconds) {
+  const double ns = seconds * static_cast<double>(kNanosPerSecond);
+  if (ns >= static_cast<double>(std::numeric_limits<TimeNs>::max())) {
+    return std::numeric_limits<TimeNs>::max();
+  }
+  if (ns <= static_cast<double>(std::numeric_limits<TimeNs>::min())) {
+    return std::numeric_limits<TimeNs>::min();
+  }
+  return static_cast<TimeNs>(std::llround(ns));
+}
+
+double ns_to_seconds(TimeNs ns) {
+  return static_cast<double>(ns) / static_cast<double>(kNanosPerSecond);
+}
+
+std::string format_utc(TimeNs ns) {
+  const std::time_t secs = static_cast<std::time_t>(ns / kNanosPerSecond);
+  const int millis = static_cast<int>((ns % kNanosPerSecond) / kNanosPerMilli);
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
+  return buf;
+}
+
+std::string format_duration(TimeNs ns) {
+  char buf[48];
+  if (ns < 0) return "-" + format_duration(-ns);
+  if (ns < kNanosPerMicro) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", ns);
+  } else if (ns < kNanosPerMilli) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / kNanosPerMicro);
+  } else if (ns < kNanosPerSecond) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(ns) / kNanosPerMilli);
+  } else if (ns < kNanosPerMinute) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", ns_to_seconds(ns));
+  } else if (ns < kNanosPerHour) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "m%02" PRId64 "s", ns / kNanosPerMinute,
+                  (ns % kNanosPerMinute) / kNanosPerSecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "h%02" PRId64 "m", ns / kNanosPerHour,
+                  (ns % kNanosPerHour) / kNanosPerMinute);
+  }
+  return buf;
+}
+
+TimeNs WallClock::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+WallClock& WallClock::instance() {
+  static WallClock clock;
+  return clock;
+}
+
+void SimClock::set(TimeNs t) {
+  TimeNs cur = now_ns_.load();
+  while (true) {
+    if (t < cur) {
+      throw std::invalid_argument("SimClock::set would move time backwards");
+    }
+    if (now_ns_.compare_exchange_weak(cur, t)) return;
+  }
+}
+
+TimeNs monotonic_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace lms::util

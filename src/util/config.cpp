@@ -1,0 +1,152 @@
+#include "lms/util/config.hpp"
+
+#include "lms/util/strings.hpp"
+
+namespace lms::util {
+
+Result<Config> Config::parse(std::string_view text) {
+  Config cfg;
+  Section* current = nullptr;
+  int line_no = 0;
+  for (const auto& raw_line : split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = trim(raw_line);
+    if (line.empty() || line[0] == '#' || line[0] == ';') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        return Result<Config>::error("config line " + std::to_string(line_no) +
+                                     ": malformed section header");
+      }
+      const std::string name(trim(line.substr(1, line.size() - 2)));
+      cfg.sections_.push_back(Section{name, {}});
+      current = &cfg.sections_.back();
+      continue;
+    }
+    const auto [key_sv, value_sv] = split_once(line, '=');
+    if (value_sv.data() == nullptr && line.find('=') == std::string_view::npos) {
+      return Result<Config>::error("config line " + std::to_string(line_no) +
+                                   ": expected key = value");
+    }
+    if (current == nullptr) {
+      cfg.sections_.push_back(Section{"", {}});
+      current = &cfg.sections_.back();
+    }
+    current->entries.push_back(
+        Entry{std::string(trim(key_sv)), std::string(trim(value_sv))});
+  }
+  return cfg;
+}
+
+const Config::Entry* Config::find(std::string_view section, std::string_view key) const {
+  for (const auto& sec : sections_) {
+    if (sec.name != section) continue;
+    for (const auto& e : sec.entries) {
+      if (e.key == key) return &e;
+    }
+  }
+  return nullptr;
+}
+
+bool Config::has(std::string_view section, std::string_view key) const {
+  return find(section, key) != nullptr;
+}
+
+std::optional<std::string> Config::get(std::string_view section, std::string_view key) const {
+  const Entry* e = find(section, key);
+  if (e == nullptr) return std::nullopt;
+  return e->value;
+}
+
+std::string Config::get_or(std::string_view section, std::string_view key,
+                           std::string_view fallback) const {
+  const Entry* e = find(section, key);
+  return e != nullptr ? e->value : std::string(fallback);
+}
+
+std::optional<std::int64_t> Config::get_int(std::string_view section,
+                                            std::string_view key) const {
+  const Entry* e = find(section, key);
+  if (e == nullptr) return std::nullopt;
+  return parse_int64(e->value);
+}
+
+std::int64_t Config::get_int_or(std::string_view section, std::string_view key,
+                                std::int64_t fallback) const {
+  return get_int(section, key).value_or(fallback);
+}
+
+std::optional<double> Config::get_double(std::string_view section, std::string_view key) const {
+  const Entry* e = find(section, key);
+  if (e == nullptr) return std::nullopt;
+  return parse_double(e->value);
+}
+
+double Config::get_double_or(std::string_view section, std::string_view key,
+                             double fallback) const {
+  return get_double(section, key).value_or(fallback);
+}
+
+std::optional<bool> Config::get_bool(std::string_view section, std::string_view key) const {
+  const Entry* e = find(section, key);
+  if (e == nullptr) return std::nullopt;
+  const std::string v = to_lower(e->value);
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  return std::nullopt;
+}
+
+bool Config::get_bool_or(std::string_view section, std::string_view key, bool fallback) const {
+  return get_bool(section, key).value_or(fallback);
+}
+
+std::vector<std::string> Config::get_list(std::string_view section, std::string_view key) const {
+  const Entry* e = find(section, key);
+  if (e == nullptr) return {};
+  return split_trimmed(e->value, ',');
+}
+
+void Config::set(std::string_view section, std::string_view key, std::string_view value) {
+  for (auto& sec : sections_) {
+    if (sec.name != section) continue;
+    for (auto& e : sec.entries) {
+      if (e.key == key) {
+        e.value = std::string(value);
+        return;
+      }
+    }
+    sec.entries.push_back(Entry{std::string(key), std::string(value)});
+    return;
+  }
+  sections_.push_back(Section{std::string(section), {Entry{std::string(key), std::string(value)}}});
+}
+
+std::vector<std::string> Config::sections() const {
+  std::vector<std::string> out;
+  out.reserve(sections_.size());
+  for (const auto& sec : sections_) out.push_back(sec.name);
+  return out;
+}
+
+std::vector<std::string> Config::keys(std::string_view section) const {
+  std::vector<std::string> out;
+  for (const auto& sec : sections_) {
+    if (sec.name != section) continue;
+    for (const auto& e : sec.entries) out.push_back(e.key);
+  }
+  return out;
+}
+
+std::string Config::to_string() const {
+  std::string out;
+  for (const auto& sec : sections_) {
+    if (!sec.name.empty()) {
+      out += "[" + sec.name + "]\n";
+    }
+    for (const auto& e : sec.entries) {
+      out += e.key + " = " + e.value + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace lms::util

@@ -1,0 +1,61 @@
+#include "lms/util/logging.hpp"
+
+#include <cstdio>
+
+namespace lms::util {
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() : level_(LogLevel::kWarn), sink_(nullptr) {}
+
+void Logger::set_level(LogLevel level) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return level_;
+}
+
+void Logger::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view msg) {
+  Sink sink;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (level < level_) return;
+    sink = sink_;
+  }
+  if (sink) {
+    sink(level, component, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n", static_cast<int>(log_level_name(level).size()),
+               log_level_name(level).data(), static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace lms::util

@@ -1,0 +1,232 @@
+#include "lms/util/xml.hpp"
+
+#include <cctype>
+
+namespace lms::util {
+
+const XmlElement* XmlElement::child(std::string_view child_name) const {
+  for (const auto& c : children) {
+    if (c.name == child_name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlElement*> XmlElement::children_named(std::string_view child_name) const {
+  std::vector<const XmlElement*> out;
+  for (const auto& c : children) {
+    if (c.name == child_name) out.push_back(&c);
+  }
+  return out;
+}
+
+std::string XmlElement::attr(std::string_view key) const {
+  const auto it = attributes.find(std::string(key));
+  return it != attributes.end() ? it->second : std::string();
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<XmlElement> parse() {
+    skip_prolog();
+    auto root = parse_element();
+    if (!root.ok()) return root;
+    skip_ws_and_comments();
+    if (pos_ != text_.size()) {
+      return Result<XmlElement>::error("xml: trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  bool consume(std::string_view s) {
+    if (text_.substr(pos_, s.size()) == s) {
+      pos_ += s.size();
+      return true;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek())) != 0) ++pos_;
+  }
+
+  void skip_ws_and_comments() {
+    while (true) {
+      skip_ws();
+      if (consume("<!--")) {
+        const std::size_t end = text_.find("-->", pos_);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 3;
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_prolog() {
+    while (true) {
+      skip_ws_and_comments();
+      if (consume("<?")) {
+        const std::size_t end = text_.find("?>", pos_);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 2;
+      } else if (consume("<!DOCTYPE")) {
+        const std::size_t end = text_.find('>', pos_);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 1;
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool is_name_char(char c) {
+    return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_' || c == '-' ||
+           c == '.' || c == ':';
+  }
+
+  std::string parse_name() {
+    std::string name;
+    while (!eof() && is_name_char(peek())) name.push_back(text_[pos_++]);
+    return name;
+  }
+
+  static std::string unescape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] != '&') {
+        out.push_back(s[i]);
+        continue;
+      }
+      const std::string_view rest = s.substr(i);
+      if (rest.substr(0, 4) == "&lt;") {
+        out.push_back('<');
+        i += 3;
+      } else if (rest.substr(0, 4) == "&gt;") {
+        out.push_back('>');
+        i += 3;
+      } else if (rest.substr(0, 5) == "&amp;") {
+        out.push_back('&');
+        i += 4;
+      } else if (rest.substr(0, 6) == "&quot;") {
+        out.push_back('"');
+        i += 5;
+      } else if (rest.substr(0, 6) == "&apos;") {
+        out.push_back('\'');
+        i += 5;
+      } else {
+        out.push_back('&');
+      }
+    }
+    return out;
+  }
+
+  Result<XmlElement> parse_element() {
+    skip_ws_and_comments();
+    if (eof() || !consume("<")) {
+      return Result<XmlElement>::error("xml: expected '<' at offset " + std::to_string(pos_));
+    }
+    XmlElement el;
+    el.name = parse_name();
+    if (el.name.empty()) {
+      return Result<XmlElement>::error("xml: empty element name at offset " +
+                                       std::to_string(pos_));
+    }
+    // Attributes.
+    while (true) {
+      skip_ws();
+      if (eof()) return Result<XmlElement>::error("xml: unexpected end inside <" + el.name + ">");
+      if (consume("/>")) return el;
+      if (consume(">")) break;
+      const std::string key = parse_name();
+      if (key.empty()) {
+        return Result<XmlElement>::error("xml: bad attribute in <" + el.name + ">");
+      }
+      skip_ws();
+      if (!consume("=")) {
+        return Result<XmlElement>::error("xml: attribute '" + key + "' missing '='");
+      }
+      skip_ws();
+      if (eof() || (peek() != '"' && peek() != '\'')) {
+        return Result<XmlElement>::error("xml: attribute '" + key + "' missing quote");
+      }
+      const char quote = text_[pos_++];
+      const std::size_t end = text_.find(quote, pos_);
+      if (end == std::string_view::npos) {
+        return Result<XmlElement>::error("xml: unterminated attribute value for '" + key + "'");
+      }
+      el.attributes[key] = unescape(text_.substr(pos_, end - pos_));
+      pos_ = end + 1;
+    }
+    // Content.
+    while (true) {
+      if (eof()) {
+        return Result<XmlElement>::error("xml: missing close tag for <" + el.name + ">");
+      }
+      if (consume("<!--")) {
+        const std::size_t end = text_.find("-->", pos_);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 3;
+        continue;
+      }
+      if (consume("</")) {
+        const std::string close = parse_name();
+        skip_ws();
+        if (close != el.name || !consume(">")) {
+          return Result<XmlElement>::error("xml: mismatched close tag </" + close +
+                                           "> for <" + el.name + ">");
+        }
+        return el;
+      }
+      if (!eof() && peek() == '<') {
+        auto child = parse_element();
+        if (!child.ok()) return child;
+        el.children.push_back(child.take());
+        continue;
+      }
+      const std::size_t end = text_.find('<', pos_);
+      const std::size_t stop = end == std::string_view::npos ? text_.size() : end;
+      el.text += unescape(text_.substr(pos_, stop - pos_));
+      pos_ = stop;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<XmlElement> xml_parse(std::string_view text) { return Parser(text).parse(); }
+
+std::string xml_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace lms::util

@@ -1,0 +1,235 @@
+// Tests for the cluster module: the miniMD proxy's physics, the workload
+// library's profiles, and the harness's basic lifecycle.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lms/cluster/harness.hpp"
+#include "lms/cluster/minimd.hpp"
+#include "lms/cluster/workload.hpp"
+
+namespace lms::cluster {
+namespace {
+
+using util::kNanosPerMinute;
+using util::kNanosPerSecond;
+
+// ---------------------------------------------------------------- minimd
+
+TEST(MiniMdTest, InitialConditions) {
+  MiniMd md(MiniMd::Params{}, 1);
+  EXPECT_EQ(md.natoms(), 4 * 4 * 4 * 4);  // fcc, 4 cells/side
+  // Initial kinetic temperature matches the requested one.
+  EXPECT_NEAR(md.temperature(), 1.44, 1e-9);
+  // LJ fcc lattice at rho=0.8442 has large negative potential energy.
+  EXPECT_LT(md.potential_energy(), -4.0);
+  EXPECT_GT(md.box_length(), 0.0);
+}
+
+TEST(MiniMdTest, VelocityVerletConservesEnergyApproximately) {
+  MiniMd md(MiniMd::Params{}, 2);
+  md.step(20);  // settle past the first few steps
+  const double e0 = md.total_energy();
+  md.step(100);
+  const double e1 = md.total_energy();
+  // Reduced-unit LJ with dt=0.005: drift well under 1% over 100 steps.
+  EXPECT_NEAR(e1, e0, std::abs(e0) * 0.01);
+  EXPECT_EQ(md.steps_done(), 120);
+}
+
+TEST(MiniMdTest, EquilibratesToPositiveObservables) {
+  MiniMd md(MiniMd::Params{}, 3);
+  md.step(150);
+  // After equilibration half the initial kinetic energy went into potential;
+  // temperature stays positive and finite, pressure is finite.
+  EXPECT_GT(md.temperature(), 0.2);
+  EXPECT_LT(md.temperature(), 2.0);
+  EXPECT_TRUE(std::isfinite(md.pressure()));
+  EXPECT_TRUE(std::isfinite(md.total_energy()));
+}
+
+TEST(MiniMdTest, DeterministicForSeed) {
+  MiniMd a(MiniMd::Params{}, 7);
+  MiniMd b(MiniMd::Params{}, 7);
+  a.step(50);
+  b.step(50);
+  EXPECT_DOUBLE_EQ(a.total_energy(), b.total_energy());
+  EXPECT_DOUBLE_EQ(a.pressure(), b.pressure());
+}
+
+// ---------------------------------------------------------------- workloads
+
+TEST(WorkloadFactory, AllNamesConstruct) {
+  for (const auto& name : workload_names()) {
+    auto w = make_workload(name, 1);
+    ASSERT_NE(w, nullptr) << name;
+    EXPECT_EQ(w->name(), name);
+  }
+  EXPECT_EQ(make_workload("not_a_workload", 1), nullptr);
+}
+
+TEST(WorkloadProfiles, MatchIntent) {
+  const auto& arch = hpm::simx86();
+  util::Rng rng(1);
+  const util::TimeNs t = kNanosPerMinute;
+
+  auto act = make_workload("dgemm", 1)->activity(0, 1, t, arch, rng);
+  // Compute bound: high flops, low membw.
+  EXPECT_GT(act.hpm.cores[0].flops_dp_per_sec, 0.5 * arch.peak_dp_flops_per_core);
+  EXPECT_LT(act.hpm.sockets[0].mem_read_bw_bytes_per_sec +
+                act.hpm.sockets[0].mem_write_bw_bytes_per_sec,
+            0.3 * arch.peak_mem_bw_per_socket);
+
+  act = make_workload("stream", 1)->activity(0, 1, t, arch, rng);
+  EXPECT_GT(act.hpm.sockets[0].mem_read_bw_bytes_per_sec +
+                act.hpm.sockets[0].mem_write_bw_bytes_per_sec,
+            0.7 * arch.peak_mem_bw_per_socket);
+
+  act = make_workload("idle", 1)->activity(0, 1, t, arch, rng);
+  EXPECT_LT(act.kernel.cpu_user_fraction, 0.05);
+
+  act = make_workload("scalar", 1)->activity(0, 1, t, arch, rng);
+  EXPECT_LT(act.hpm.cores[0].dp_simd_fraction, 0.1);
+
+  act = make_workload("latency", 1)->activity(0, 1, t, arch, rng);
+  EXPECT_LT(act.hpm.cores[0].ipc, 0.5);
+}
+
+TEST(WorkloadProfiles, ComputeBreakPhases) {
+  auto w = make_workload("compute_break", 1);
+  const auto& arch = hpm::simx86();
+  util::Rng rng(1);
+  // Break is minutes 10..22.
+  auto before = w->activity(0, 4, 5 * kNanosPerMinute, arch, rng);
+  auto during = w->activity(0, 4, 15 * kNanosPerMinute, arch, rng);
+  auto after = w->activity(0, 4, 30 * kNanosPerMinute, arch, rng);
+  EXPECT_GT(before.kernel.cpu_user_fraction, 0.9);
+  EXPECT_LT(during.kernel.cpu_user_fraction, 0.1);
+  EXPECT_GT(after.kernel.cpu_user_fraction, 0.9);
+  EXPECT_LT(during.hpm.cores[0].flops_dp_per_sec, 1.0);
+}
+
+TEST(WorkloadProfiles, ImbalancedNodeZeroHeavy) {
+  auto w = make_workload("imbalanced", 1);
+  const auto& arch = hpm::simx86();
+  util::Rng rng(1);
+  auto heavy = w->activity(0, 4, kNanosPerMinute, arch, rng);
+  auto light = w->activity(2, 4, kNanosPerMinute, arch, rng);
+  EXPECT_GT(heavy.hpm.cores[0].flops_dp_per_sec, 3 * light.hpm.cores[0].flops_dp_per_sec);
+}
+
+TEST(WorkloadProfiles, MemleakGrowsOverTime) {
+  auto w = make_workload("memleak", 1);
+  const auto& arch = hpm::simx86();
+  util::Rng rng(1);
+  auto early = w->activity(0, 1, kNanosPerMinute, arch, rng);
+  auto late = w->activity(0, 1, 100 * kNanosPerMinute, arch, rng);
+  EXPECT_GT(late.kernel.mem_used_bytes, early.kernel.mem_used_bytes + 1e9);
+}
+
+// ---------------------------------------------------------------- harness
+
+TEST(HarnessTest, JobLifecycleAndRecords) {
+  ClusterHarness::Options opts;
+  opts.nodes = 3;
+  ClusterHarness harness(opts);
+  EXPECT_EQ(harness.node_names(), (std::vector<std::string>{"h1", "h2", "h3"}));
+
+  const int job = harness.submit("dgemm", "alice", 2, 3 * kNanosPerMinute);
+  EXPECT_GT(job, 0);
+  EXPECT_EQ(harness.submit("not_a_workload", "x", 1, kNanosPerMinute), -1);
+
+  ASSERT_TRUE(harness.run_until_done(job, 10 * kNanosPerMinute));
+  const auto* record = harness.job_record(job);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->workload, "dgemm");
+  EXPECT_EQ(record->user, "alice");
+  EXPECT_EQ(record->nodes.size(), 2u);
+  EXPECT_GT(record->end_time, record->start_time);
+  // ~3 simulated minutes.
+  EXPECT_NEAR(util::ns_to_seconds(record->end_time - record->start_time), 180.0, 5.0);
+}
+
+TEST(HarnessTest, MetricsFlowEndToEnd) {
+  ClusterHarness::Options opts;
+  opts.nodes = 2;
+  ClusterHarness harness(opts);
+  const int job = harness.submit("stream", "bob", 2, 5 * kNanosPerMinute);
+  harness.run_for(2 * kNanosPerMinute);
+
+  // System + HPM measurements for the job exist and carry the job tags.
+  tsdb::Database* db = harness.storage().find_database("lms");
+  ASSERT_NE(db, nullptr);
+  const std::string job_str = std::to_string(job);
+  EXPECT_FALSE(db->series_matching("cpu", {{"jobid", job_str}}).empty());
+  EXPECT_FALSE(db->series_matching("memory", {{"jobid", job_str}}).empty());
+  EXPECT_FALSE(db->series_matching("likwid_mem_dp", {{"jobid", job_str}}).empty());
+  EXPECT_FALSE(
+      db->series_matching("likwid_mem_dp", {{"user", "bob"}, {"hostname", "h1"}}).empty());
+  // Job start annotation event present.
+  EXPECT_FALSE(db->series_matching("events", {{"jobid", job_str}}).empty());
+
+  // The bandwidth measured via the full pipeline matches the stream profile
+  // (~85% of peak).
+  const auto series =
+      harness.fetcher().fetch_host({"likwid_mem_dp", "memory_bandwidth_mbytes_per_s"}, "h1",
+                                   job_str, 0, harness.now());
+  ASSERT_TRUE(series.ok());
+  ASSERT_FALSE(series->empty());
+  const auto& arch = *harness.options().arch;
+  const double peak_mb = arch.peak_mem_bw_per_socket * arch.sockets / 1e6;
+  EXPECT_NEAR(series->mean(), 0.85 * peak_mb, 0.08 * peak_mb);
+}
+
+TEST(HarnessTest, QueueingWhenClusterFull) {
+  ClusterHarness::Options opts;
+  opts.nodes = 2;
+  ClusterHarness harness(opts);
+  const int a = harness.submit("dgemm", "alice", 2, 2 * kNanosPerMinute);
+  const int b = harness.submit("stream", "bob", 2, 2 * kNanosPerMinute);
+  harness.run_for(30 * kNanosPerSecond);
+  EXPECT_EQ(harness.scheduler().running().size(), 1u);
+  EXPECT_EQ(harness.scheduler().pending().size(), 1u);
+  ASSERT_TRUE(harness.run_until_done(b, 10 * kNanosPerMinute));
+  EXPECT_NE(harness.job_record(a), nullptr);
+  EXPECT_NE(harness.job_record(b), nullptr);
+  // b started only after a finished.
+  EXPECT_GE(harness.job_record(b)->start_time, harness.job_record(a)->end_time);
+}
+
+TEST(HarnessTest, IdleNodesStayQuiet) {
+  ClusterHarness::Options opts;
+  opts.nodes = 2;
+  ClusterHarness harness(opts);
+  const int job = harness.submit("dgemm", "alice", 1, 5 * kNanosPerMinute);
+  harness.run_for(2 * kNanosPerMinute);
+  // Node h2 idles: its CPU metric is near zero, and unlike h1 it carries no
+  // job tag.
+  const auto busy_host = harness.job_record(job)->nodes[0];
+  const std::string idle_host = busy_host == "h1" ? "h2" : "h1";
+  auto idle_cpu = harness.fetcher().fetch({"cpu", "user_percent"},
+                                          {{"hostname", idle_host}}, 0, harness.now());
+  ASSERT_TRUE(idle_cpu.ok());
+  ASSERT_FALSE(idle_cpu->empty());
+  EXPECT_LT(idle_cpu->mean(), 5.0);
+  tsdb::Database* db = harness.storage().find_database("lms");
+  EXPECT_TRUE(db->series_matching("cpu", {{"hostname", idle_host},
+                                          {"jobid", std::to_string(job)}})
+                  .empty());
+}
+
+TEST(HarnessTest, PerUserDuplicationOption) {
+  ClusterHarness::Options opts;
+  opts.nodes = 2;
+  opts.duplicate_per_user = true;
+  ClusterHarness harness(opts);
+  harness.submit("minimd", "carol", 2, 3 * kNanosPerMinute);
+  harness.run_for(kNanosPerMinute);
+  tsdb::Database* user_db = harness.storage().find_database("user_carol");
+  ASSERT_NE(user_db, nullptr);
+  EXPECT_GT(user_db->sample_count(), 0u);
+}
+
+}  // namespace
+}  // namespace lms::cluster

@@ -1,0 +1,231 @@
+// Tests for the dashboard agent: variable substitution, per-host row
+// repetition, template store, job dashboard generation with app-metric
+// discovery, admin overview, and the Grafana-style HTTP API.
+
+#include <gtest/gtest.h>
+
+#include "lms/cluster/harness.hpp"
+#include "lms/dashboard/agent.hpp"
+#include "lms/dashboard/templates.hpp"
+
+namespace lms::dashboard {
+namespace {
+
+using util::kNanosPerMinute;
+using util::kNanosPerSecond;
+
+// ---------------------------------------------------------------- substitute
+
+TEST(Substitute, ReplacesKnownVariables) {
+  const auto tpl = json::parse(R"({"title":"Job ${JOB_ID}","deep":{"q":["x ${HOST} y"]}})");
+  ASSERT_TRUE(tpl.ok());
+  const json::Value out = substitute(*tpl, {{"JOB_ID", "42"}, {"HOST", "h1"}});
+  EXPECT_EQ(out["title"].as_string(), "Job 42");
+  EXPECT_EQ(out["deep"]["q"][0].as_string(), "x h1 y");
+}
+
+TEST(Substitute, UnknownVariablesLeftIntact) {
+  const auto tpl = json::parse(R"({"a":"${UNKNOWN} and ${KNOWN}"})");
+  const json::Value out = substitute(*tpl, {{"KNOWN", "v"}});
+  EXPECT_EQ(out["a"].as_string(), "${UNKNOWN} and v");
+}
+
+TEST(Substitute, NonStringsUntouched) {
+  const auto tpl = json::parse(R"({"n":42,"b":true,"x":null})");
+  const json::Value out = substitute(*tpl, {{"n", "nope"}});
+  EXPECT_EQ(out["n"].as_int(), 42);
+  EXPECT_TRUE(out["b"].as_bool());
+  EXPECT_TRUE(out["x"].is_null());
+}
+
+TEST(ExpandDashboard, RepeatsRowsPerHost) {
+  const auto tpl = json::parse(R"({
+    "title": "Job ${JOB_ID}",
+    "rows": [
+      {"title": "static row"},
+      {"title": "metrics ${HOST}", "repeat": "host"}
+    ]
+  })");
+  ASSERT_TRUE(tpl.ok());
+  const json::Value out = expand_dashboard(*tpl, {{"JOB_ID", "7"}}, {"h1", "h2", "h3"});
+  const auto& rows = out["rows"].get_array();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0]["title"].as_string(), "static row");
+  EXPECT_EQ(rows[1]["title"].as_string(), "metrics h1");
+  EXPECT_EQ(rows[3]["title"].as_string(), "metrics h3");
+  // The repeat marker is stripped from instances.
+  EXPECT_TRUE(rows[1]["repeat"].is_null());
+  EXPECT_EQ(out["title"].as_string(), "Job 7");
+}
+
+TEST(ExpandDashboard, NoHostsKeepsRowUnexpanded) {
+  const auto tpl = json::parse(R"({"rows":[{"title":"r","repeat":"host"}]})");
+  const json::Value out = expand_dashboard(*tpl, {}, {});
+  EXPECT_EQ(out["rows"].get_array().size(), 1u);
+}
+
+// ---------------------------------------------------------------- templates
+
+TEST(TemplateStoreTest, BuiltinsPresentAndValid) {
+  TemplateStore store;
+  for (const char* name : {"job_dashboard", "system_row", "likwid_row", "usermetric_row"}) {
+    const json::Value* tpl = store.find(name);
+    ASSERT_NE(tpl, nullptr) << name;
+    EXPECT_TRUE(tpl->is_object());
+  }
+  EXPECT_EQ(store.find("nope"), nullptr);
+  EXPECT_FALSE(store.add("bad", "{invalid json").ok());
+  EXPECT_TRUE(store.add("custom", R"({"title":"c"})").ok());
+  EXPECT_NE(store.find("custom"), nullptr);
+}
+
+TEST(PanelQuery, BuildsInfluxQl) {
+  const std::string q = panel_query("user_percent", "cpu", {{"hostname", "h1"}});
+  EXPECT_EQ(q,
+            "SELECT mean(user_percent) FROM cpu WHERE hostname='h1' AND time >= ${FROM} AND "
+            "time < ${TO} GROUP BY time(30s)");
+  const std::string q2 = panel_query("v", "m", {}, "max", "60s");
+  EXPECT_EQ(q2, "SELECT max(v) FROM m WHERE time >= ${FROM} AND time < ${TO} GROUP BY time(60s)");
+}
+
+// ---------------------------------------------------------------- agent
+
+/// Full-stack fixture: runs a short miniMD job so real metrics exist.
+class DashboardAgentTest : public ::testing::Test {
+ protected:
+  DashboardAgentTest() {
+    cluster::ClusterHarness::Options opts;
+    opts.nodes = 2;
+    harness_ = std::make_unique<cluster::ClusterHarness>(opts);
+    job_id_ = harness_->submit("minimd", "alice", 2, 10 * kNanosPerMinute);
+    harness_->run_for(5 * kNanosPerMinute);
+  }
+
+  std::unique_ptr<cluster::ClusterHarness> harness_;
+  int job_id_ = 0;
+};
+
+TEST_F(DashboardAgentTest, JobDashboardStructure) {
+  const auto jobs = harness_->router().running_jobs();
+  ASSERT_EQ(jobs.size(), 1u);
+  const json::Value dash =
+      harness_->dashboards().generate_job_dashboard(jobs[0], harness_->now());
+
+  EXPECT_EQ(dash["uid"].as_string(), "job-" + std::to_string(job_id_));
+  EXPECT_NE(dash["title"].as_string().find("alice"), std::string::npos);
+  const auto& rows = dash["rows"].get_array();
+  // Analysis header + 2 per-host system rows + likwid row + app metrics row.
+  ASSERT_GE(rows.size(), 4u);
+  EXPECT_EQ(rows[0]["title"].as_string(), "Analysis");
+  // The analysis header carries the Fig. 2 evaluation table.
+  const json::Value& header = rows[0]["panels"][0]["content"];
+  EXPECT_EQ(header["jobid"].as_string(), std::to_string(job_id_));
+  EXPECT_FALSE(header["rows"].get_array().empty());
+
+  // Per-host rows got the host substituted into queries.
+  EXPECT_NE(rows[1]["title"].as_string().find("h1"), std::string::npos);
+  const std::string query = rows[1]["panels"][0]["targets"][0]["query"].as_string();
+  EXPECT_NE(query.find("hostname='h1'"), std::string::npos);
+  EXPECT_NE(query.find("jobid='" + std::to_string(job_id_) + "'"), std::string::npos);
+  EXPECT_EQ(query.find("${"), std::string::npos);  // all variables resolved
+}
+
+TEST_F(DashboardAgentTest, DiscoversApplicationMetrics) {
+  const auto jobs = harness_->router().running_jobs();
+  const json::Value dash =
+      harness_->dashboards().generate_job_dashboard(jobs[0], harness_->now());
+  // miniMD reported energy/pressure/temperature/runtime_100iters via
+  // libusermetric; the agent must have discovered them (paper §IV).
+  bool found_app_row = false;
+  for (const auto& row : dash["rows"].get_array()) {
+    if (row["title"].as_string() != "Application metrics") continue;
+    found_app_row = true;
+    std::set<std::string> titles;
+    for (const auto& panel : row["panels"].get_array()) {
+      titles.insert(panel["title"].as_string());
+    }
+    EXPECT_TRUE(titles.count("pressure"));
+    EXPECT_TRUE(titles.count("temperature"));
+    EXPECT_TRUE(titles.count("energy"));
+    EXPECT_TRUE(titles.count("runtime_100iters"));
+  }
+  EXPECT_TRUE(found_app_row);
+}
+
+TEST_F(DashboardAgentTest, AdminOverviewListsRunningJobs) {
+  harness_->submit("stream", "bob", 1, 20 * kNanosPerMinute);
+  // No second node free -> job 2 pending; only job 1 running. Run briefly so
+  // the scheduler ticks.
+  harness_->run_for(30 * kNanosPerSecond);
+  const auto jobs = harness_->router().running_jobs();
+  const json::Value admin =
+      harness_->dashboards().generate_admin_dashboard(jobs, harness_->now());
+  EXPECT_EQ(admin["uid"].as_string(), "admin");
+  const auto& rows = admin["rows"].get_array();
+  ASSERT_EQ(rows.size(), jobs.size());
+  // Thumbnails reference the job dashboards.
+  EXPECT_EQ(rows[0]["panels"][1]["dashboard_uid"].as_string(),
+            "job-" + std::to_string(job_id_));
+}
+
+TEST(UserDashboard, FiltersByUserAndBindsUserDb) {
+  cluster::ClusterHarness::Options hopts;
+  hopts.nodes = 2;
+  hopts.duplicate_per_user = true;
+  cluster::ClusterHarness harness(hopts);
+  harness.submit("dgemm", "alice", 1, 20 * kNanosPerMinute);
+  harness.submit("stream", "bob", 1, 20 * kNanosPerMinute);
+  harness.run_for(2 * kNanosPerMinute);
+  const auto jobs = harness.router().running_jobs();
+  ASSERT_EQ(jobs.size(), 2u);
+
+  const json::Value dash =
+      harness.dashboards().generate_user_dashboard("alice", jobs, harness.now());
+  EXPECT_EQ(dash["uid"].as_string(), "user-alice");
+  // Only alice's job appears, and the view binds her duplicated database.
+  ASSERT_EQ(dash["rows"].get_array().size(), 1u);
+  EXPECT_EQ(dash["datasource"].as_string(), "user_alice");
+  EXPECT_NE(harness.dashboards().find_dashboard("user-alice"), nullptr);
+  // Unknown user: empty view on the global datasource.
+  const json::Value other =
+      harness.dashboards().generate_user_dashboard("mallory", jobs, harness.now());
+  EXPECT_TRUE(other["rows"].get_array().empty());
+  EXPECT_EQ(other["datasource"].as_string(), "lms");
+}
+
+TEST_F(DashboardAgentTest, RefreshAndHttpApi) {
+  const auto jobs = harness_->router().running_jobs();
+  EXPECT_EQ(harness_->dashboards().refresh(jobs, harness_->now()), jobs.size() + 1);
+
+  auto resp = harness_->client().get(std::string("inproc://") +
+                                     cluster::ClusterHarness::kDashboardEndpoint +
+                                     "/api/search");
+  ASSERT_TRUE(resp.ok());
+  const auto list = json::parse(resp->body);
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->get_array().size(), jobs.size() + 1);
+
+  resp = harness_->client().get(std::string("inproc://") +
+                                cluster::ClusterHarness::kDashboardEndpoint +
+                                "/api/dashboards/uid/job-" + std::to_string(job_id_));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_TRUE(json::parse(resp->body).ok());
+
+  resp = harness_->client().get(std::string("inproc://") +
+                                cluster::ClusterHarness::kDashboardEndpoint +
+                                "/api/dashboards/uid/nope");
+  EXPECT_EQ(resp->status, 404);
+}
+
+TEST_F(DashboardAgentTest, CustomTemplateOverridesBuiltin) {
+  harness_->dashboards().templates().add("job_dashboard",
+                                         R"({"title":"Site ${JOB_ID}","uid":"job-${JOB_ID}"})");
+  const auto jobs = harness_->router().running_jobs();
+  const json::Value dash =
+      harness_->dashboards().generate_job_dashboard(jobs[0], harness_->now());
+  EXPECT_EQ(dash["title"].as_string(), "Site " + std::to_string(job_id_));
+}
+
+}  // namespace
+}  // namespace lms::dashboard

@@ -1,0 +1,166 @@
+// Unit and property tests for the JSON module.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lms/json/json.hpp"
+#include "lms/util/rng.hpp"
+
+namespace lms::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null")->is_null());
+  EXPECT_EQ(parse("true")->get_bool(), true);
+  EXPECT_EQ(parse("false")->get_bool(), false);
+  EXPECT_EQ(parse("42")->get_int(), 42);
+  EXPECT_EQ(parse("-7")->get_int(), -7);
+  EXPECT_DOUBLE_EQ(parse("2.5")->get_double(), 2.5);
+  EXPECT_DOUBLE_EQ(parse("1e3")->get_double(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"")->get_string(), "hi");
+}
+
+TEST(JsonParse, Structures) {
+  const auto v = parse(R"({"a": [1, 2, {"b": "c"}], "d": null})");
+  ASSERT_TRUE(v.ok()) << v.message();
+  EXPECT_EQ((*v)["a"][2]["b"].as_string(), "c");
+  EXPECT_TRUE((*v)["d"].is_null());
+  EXPECT_EQ((*v)["a"].get_array().size(), 3u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  const auto v = parse(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->get_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParse, UnicodeEscapeUtf8) {
+  EXPECT_EQ(parse(R"("é")")->get_string(), "\xc3\xa9");      // é
+  EXPECT_EQ(parse(R"("€")")->get_string(), "\xe2\x82\xac");  // €
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_FALSE(parse("").ok());
+  EXPECT_FALSE(parse("{").ok());
+  EXPECT_FALSE(parse("[1,]").ok());
+  EXPECT_FALSE(parse("{\"a\":}").ok());
+  EXPECT_FALSE(parse("tru").ok());
+  EXPECT_FALSE(parse("1 2").ok());
+  EXPECT_FALSE(parse("\"unterminated").ok());
+  EXPECT_FALSE(parse("{\"a\" 1}").ok());
+}
+
+TEST(JsonParse, DuplicateKeysKeepLast) {
+  const auto v = parse(R"({"a": 1, "a": 2})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ((*v)["a"].as_int(), 2);
+  EXPECT_EQ(v->get_object().size(), 1u);
+}
+
+TEST(JsonDump, Compact) {
+  Object o;
+  o["s"] = "x\"y";
+  o["n"] = 3;
+  o["arr"] = Array{Value(1), Value(true), Value(nullptr)};
+  EXPECT_EQ(Value(std::move(o)).dump(), R"({"s":"x\"y","n":3,"arr":[1,true,null]})");
+}
+
+TEST(JsonDump, NonFiniteBecomesNull) {
+  EXPECT_EQ(Value(std::nan("")).dump(), "null");
+  EXPECT_EQ(Value(1.0 / 0.0 * 1.0).dump(), "null");
+}
+
+TEST(JsonDump, PrettyIsReparsable) {
+  const auto v = parse(R"({"a":[1,{"b":2}],"c":"d"})");
+  ASSERT_TRUE(v.ok());
+  const auto re = parse(v->dump_pretty());
+  ASSERT_TRUE(re.ok()) << re.message();
+  EXPECT_EQ(*re, *v);
+}
+
+TEST(JsonObject, OrderPreservedAndOps) {
+  Object o;
+  o["z"] = 1;
+  o["a"] = 2;
+  o["m"] = 3;
+  std::vector<std::string> keys;
+  for (const auto& [k, _] : o) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::string>{"z", "a", "m"}));
+  EXPECT_TRUE(o.erase("a"));
+  EXPECT_FALSE(o.erase("a"));
+  EXPECT_EQ(o.size(), 2u);
+}
+
+TEST(JsonValue, PathLookupAndFallbacks) {
+  const auto v = parse(R"({"a":{"b":{"c":7}}})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->at_path("a.b.c").as_int(), 7);
+  EXPECT_TRUE(v->at_path("a.x.c").is_null());
+  EXPECT_EQ(v->at_path("a.x.c").as_string("fb"), "fb");
+  EXPECT_EQ((*v)["missing"].as_double(1.5), 1.5);
+}
+
+TEST(JsonValue, Equality) {
+  EXPECT_EQ(*parse("{\"a\":1,\"b\":2}"), *parse("{\"b\":2,\"a\":1}"));  // order-insensitive
+  EXPECT_NE(*parse("[1,2]"), *parse("[2,1]"));
+  EXPECT_EQ(Value(1), Value(1.0));  // numeric cross-type equality
+}
+
+// ------------------------------------------------------ property: roundtrip
+
+Value random_value(util::Rng& rng, int depth) {
+  const int kind = static_cast<int>(rng.uniform_int(0, depth <= 0 ? 4 : 6));
+  switch (kind) {
+    case 0:
+      return Value(nullptr);
+    case 1:
+      return Value(rng.bernoulli(0.5));
+    case 2:
+      return Value(rng.uniform_int(-1'000'000, 1'000'000));
+    case 3:
+      return Value(rng.normal(0, 1e6));
+    case 4: {
+      std::string s;
+      const int len = static_cast<int>(rng.uniform_int(0, 12));
+      for (int i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+      }
+      return Value(std::move(s));
+    }
+    case 5: {
+      Array arr;
+      const int len = static_cast<int>(rng.uniform_int(0, 4));
+      for (int i = 0; i < len; ++i) arr.push_back(random_value(rng, depth - 1));
+      return Value(std::move(arr));
+    }
+    default: {
+      Object obj;
+      const int len = static_cast<int>(rng.uniform_int(0, 4));
+      for (int i = 0; i < len; ++i) {
+        obj["k" + std::to_string(i)] = random_value(rng, depth - 1);
+      }
+      return Value(std::move(obj));
+    }
+  }
+}
+
+class JsonRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonRoundTrip, DumpParseIdentity) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 50; ++i) {
+    const Value v = random_value(rng, 3);
+    const auto reparsed = parse(v.dump());
+    ASSERT_TRUE(reparsed.ok()) << v.dump() << " -> " << reparsed.message();
+    EXPECT_EQ(*reparsed, v) << v.dump();
+    const auto repretty = parse(v.dump_pretty());
+    ASSERT_TRUE(repretty.ok());
+    EXPECT_EQ(*repretty, v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTrip, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace lms::json

@@ -1,0 +1,328 @@
+// Cross-cutting property tests:
+//   - formula evaluator vs. an independent reference interpreter on random
+//     expressions,
+//   - query engine invariants on random data (aggregator algebra, ordering,
+//     limit/desc semantics),
+//   - HTTP and line-protocol parser robustness against mutated input
+//     (never crash; either parse or reject),
+//   - tag-store enrichment idempotence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lms/core/tagstore.hpp"
+#include "lms/hpm/formula.hpp"
+#include "lms/lineproto/codec.hpp"
+#include "lms/net/http.hpp"
+#include "lms/tsdb/query.hpp"
+#include "lms/util/rng.hpp"
+#include "lms/util/strings.hpp"
+
+namespace lms {
+namespace {
+
+using util::Rng;
+
+// --------------------------------------------------- formula differential
+
+/// Independent reference: build a random expression tree, render it to text
+/// for the production compiler, and evaluate the tree directly.
+struct ExprNode {
+  enum Kind { kConst, kVar, kAdd, kSub, kMul, kDiv, kNeg } kind;
+  double value = 0;
+  std::string var;
+  std::unique_ptr<ExprNode> lhs, rhs;
+
+  double eval(const hpm::VarMap& vars) const {
+    switch (kind) {
+      case kConst:
+        return value;
+      case kVar:
+        return vars.at(var);
+      case kAdd:
+        return lhs->eval(vars) + rhs->eval(vars);
+      case kSub:
+        return lhs->eval(vars) - rhs->eval(vars);
+      case kMul:
+        return lhs->eval(vars) * rhs->eval(vars);
+      case kDiv: {
+        const double d = rhs->eval(vars);
+        return d == 0.0 ? 0.0 : lhs->eval(vars) / d;  // production semantics
+      }
+      case kNeg:
+        return -lhs->eval(vars);
+    }
+    return 0;
+  }
+
+  std::string render() const {
+    switch (kind) {
+      case kConst:
+        return util::format_double(value);
+      case kVar:
+        return var;
+      case kAdd:
+        return "(" + lhs->render() + "+" + rhs->render() + ")";
+      case kSub:
+        return "(" + lhs->render() + "-" + rhs->render() + ")";
+      case kMul:
+        return "(" + lhs->render() + "*" + rhs->render() + ")";
+      case kDiv:
+        return "(" + lhs->render() + "/" + rhs->render() + ")";
+      case kNeg:
+        return "(-" + lhs->render() + ")";
+    }
+    return "0";
+  }
+};
+
+std::unique_ptr<ExprNode> random_expr(Rng& rng, int depth) {
+  auto node = std::make_unique<ExprNode>();
+  const int kind = depth <= 0 ? static_cast<int>(rng.uniform_int(0, 1))
+                              : static_cast<int>(rng.uniform_int(0, 6));
+  switch (kind) {
+    case 0:
+      node->kind = ExprNode::kConst;
+      node->value = std::round(rng.uniform(-100, 100) * 4.0) / 4.0;
+      break;
+    case 1:
+      node->kind = ExprNode::kVar;
+      node->var = "V" + std::to_string(rng.uniform_int(0, 3));
+      break;
+    case 2:
+    case 3:
+    case 4:
+    case 5: {
+      node->kind = static_cast<ExprNode::Kind>(ExprNode::kAdd + (kind - 2));
+      node->lhs = random_expr(rng, depth - 1);
+      node->rhs = random_expr(rng, depth - 1);
+      break;
+    }
+    default:
+      node->kind = ExprNode::kNeg;
+      node->lhs = random_expr(rng, depth - 1);
+      break;
+  }
+  return node;
+}
+
+class FormulaDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(FormulaDifferential, MatchesReferenceInterpreter) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const hpm::VarMap vars{{"V0", 2.5}, {"V1", -3.0}, {"V2", 0.0}, {"V3", 1e6}};
+  for (int i = 0; i < 200; ++i) {
+    const auto tree = random_expr(rng, 4);
+    const std::string text = tree->render();
+    auto compiled = hpm::Formula::compile(text);
+    ASSERT_TRUE(compiled.ok()) << text << ": " << compiled.message();
+    auto got = compiled->evaluate(vars);
+    ASSERT_TRUE(got.ok()) << text;
+    const double want = tree->eval(vars);
+    if (std::isfinite(want) && std::fabs(want) < 1e300) {
+      EXPECT_NEAR(*got, want, std::max(1e-9, std::fabs(want) * 1e-12)) << text;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormulaDifferential, ::testing::Range(1, 7));
+
+// ------------------------------------------------------- query invariants
+
+class QueryInvariants : public ::testing::TestWithParam<int> {
+ protected:
+  QueryInvariants() : db_("prop") {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+    n_ = 200 + static_cast<int>(rng.uniform_int(0, 300));
+    for (int i = 0; i < n_; ++i) {
+      const std::string host = "h" + std::to_string(rng.uniform_int(1, 4));
+      db_.write(lineproto::make_point("m", "v", rng.normal(50, 20),
+                                      rng.uniform_int(1, 1000) * util::kNanosPerSecond,
+                                      {{"hostname", host}}),
+                0);
+    }
+  }
+
+  tsdb::QueryResult run(const std::string& q) {
+    auto stmt = tsdb::parse_query(q, 0);
+    EXPECT_TRUE(stmt.ok()) << q << ": " << stmt.message();
+    auto r = tsdb::execute(db_, *stmt);
+    EXPECT_TRUE(r.ok()) << q;
+    return r.take();
+  }
+
+  tsdb::Database db_;
+  int n_ = 0;
+};
+
+TEST_P(QueryInvariants, AggregatorAlgebra) {
+  // sum == mean * count; min <= mean <= max; count equals written points.
+  const auto r = run("SELECT sum(v), mean(v), count(v), min(v), max(v) FROM m");
+  ASSERT_EQ(r.series.size(), 1u);
+  const auto& row = r.series[0].values[0];
+  const double sum = row[1].as_double();
+  const double mean = row[2].as_double();
+  const auto count = row[3].as_int();
+  const double mn = row[4].as_double();
+  const double mx = row[5].as_double();
+  EXPECT_EQ(count, n_);
+  EXPECT_NEAR(sum, mean * static_cast<double>(count), std::fabs(sum) * 1e-9 + 1e-9);
+  EXPECT_LE(mn, mean);
+  EXPECT_LE(mean, mx);
+}
+
+TEST_P(QueryInvariants, GroupByTagPartitionsCount) {
+  const auto total = run("SELECT count(v) FROM m");
+  const auto grouped = run("SELECT count(v) FROM m GROUP BY hostname");
+  std::int64_t sum = 0;
+  for (const auto& s : grouped.series) sum += s.values[0][1].as_int();
+  EXPECT_EQ(sum, total.series[0].values[0][1].as_int());
+}
+
+TEST_P(QueryInvariants, RawRowsSortedAndLimited) {
+  const auto r = run("SELECT v FROM m WHERE hostname='h1'");
+  for (const auto& series : r.series) {
+    for (std::size_t i = 1; i < series.values.size(); ++i) {
+      EXPECT_LE(series.values[i - 1][0].as_int(), series.values[i][0].as_int());
+    }
+  }
+  const auto desc = run("SELECT v FROM m WHERE hostname='h1' ORDER BY time DESC LIMIT 7");
+  for (const auto& series : desc.series) {
+    EXPECT_LE(series.values.size(), 7u);
+    for (std::size_t i = 1; i < series.values.size(); ++i) {
+      EXPECT_GE(series.values[i - 1][0].as_int(), series.values[i][0].as_int());
+    }
+  }
+}
+
+TEST_P(QueryInvariants, PercentileBounds) {
+  const auto r = run("SELECT percentile(v, 1), median(v), percentile(v, 99), min(v), max(v) "
+                     "FROM m");
+  const auto& row = r.series[0].values[0];
+  const double p1 = row[1].as_double();
+  const double med = row[2].as_double();
+  const double p99 = row[3].as_double();
+  const double mn = row[4].as_double();
+  const double mx = row[5].as_double();
+  EXPECT_LE(mn, p1);
+  EXPECT_LE(p1, med);
+  EXPECT_LE(med, p99);
+  EXPECT_LE(p99, mx);
+}
+
+TEST_P(QueryInvariants, WindowMeansBoundedByGlobalExtrema) {
+  const auto bounds = run("SELECT min(v), max(v) FROM m");
+  const double mn = bounds.series[0].values[0][1].as_double();
+  const double mx = bounds.series[0].values[0][2].as_double();
+  const auto windows = run("SELECT mean(v) FROM m GROUP BY time(100s)");
+  for (const auto& series : windows.series) {
+    for (const auto& row : series.values) {
+      EXPECT_GE(row[1].as_double(), mn - 1e-9);
+      EXPECT_LE(row[1].as_double(), mx + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryInvariants, ::testing::Range(1, 6));
+
+// ------------------------------------------------------ parser robustness
+
+class ParserRobustness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserRobustness, MutatedHttpNeverCrashes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337);
+  const std::string base =
+      net::HttpRequest::post("/write?db=lms", "cpu,hostname=h1 v=1 100\n", "text/plain")
+          .serialize();
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = base;
+    const int mutations = 1 + static_cast<int>(rng.uniform_int(0, 4));
+    for (int m = 0; m < mutations; ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      switch (rng.uniform_int(0, 2)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.uniform_int(0, 255));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(rng.uniform_int(32, 126)));
+          break;
+      }
+    }
+    std::size_t consumed = 0;
+    auto req = net::parse_request(mutated, &consumed);  // must not crash
+    if (req.ok()) {
+      EXPECT_LE(consumed, mutated.size());
+    }
+    auto resp = net::parse_response(mutated, &consumed);
+    (void)resp;
+  }
+}
+
+TEST_P(ParserRobustness, MutatedLineProtocolNeverCrashes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537);
+  const std::string base =
+      R"(cpu,hostname=h1,jobid=7 user=42.5,s="text \" here",n=3i,b=true 1500000000)";
+  for (int i = 0; i < 500; ++i) {
+    std::string mutated = base;
+    for (int m = 0; m < 3; ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      mutated[pos] = static_cast<char>(rng.uniform_int(1, 255));
+    }
+    auto p = lineproto::parse_line(mutated);  // must not crash
+    if (p.ok()) {
+      // Whatever parsed must re-serialize and re-parse to the same point.
+      auto again = lineproto::parse_line(lineproto::serialize(*p));
+      ASSERT_TRUE(again.ok()) << mutated;
+      EXPECT_EQ(*again, *p);
+    }
+  }
+}
+
+TEST_P(ParserRobustness, MutatedQueriesNeverCrash) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 49921);
+  tsdb::Database db("fuzz");
+  db.write(lineproto::make_point("m", "v", 1.0, 100, {{"hostname", "h1"}}), 0);
+  const std::string base =
+      "SELECT mean(v) FROM m WHERE hostname='h1' AND time >= 0 GROUP BY time(10s) "
+      "fill(previous) ORDER BY time DESC LIMIT 3";
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = base;
+    for (int m = 0; m < 2; ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      mutated[pos] = static_cast<char>(rng.uniform_int(32, 126));
+    }
+    auto stmt = tsdb::parse_query(mutated, 0);
+    if (stmt.ok()) {
+      auto r = tsdb::execute(db, *stmt);  // must not crash either way
+      (void)r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustness, ::testing::Range(1, 5));
+
+// ------------------------------------------------------------- tag store
+
+TEST(TagStoreProperty, EnrichmentIsIdempotent) {
+  Rng rng(11);
+  core::TagStore store;
+  store.set_tags("h1", {{"jobid", "7"}, {"user", "alice"}, {"queue", "batch"}});
+  for (int i = 0; i < 100; ++i) {
+    lineproto::Point p = lineproto::make_point(
+        "m", "v", rng.uniform(0, 1), 1, {{"hostname", "h1"}, {"extra", "x"}});
+    store.enrich(p);
+    lineproto::Point once = p;
+    store.enrich(p);
+    EXPECT_EQ(p, once);  // enriching twice changes nothing
+  }
+}
+
+}  // namespace
+}  // namespace lms

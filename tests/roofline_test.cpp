@@ -1,0 +1,137 @@
+// Tests for the roofline analysis, the topology view and the io_heavy
+// workload added on top of the core reproduction.
+
+#include <gtest/gtest.h>
+
+#include "lms/analysis/roofline.hpp"
+#include "lms/cluster/harness.hpp"
+#include "lms/cluster/workload.hpp"
+
+namespace lms::analysis {
+namespace {
+
+using util::kNanosPerMinute;
+
+constexpr util::TimeNs kMin = kNanosPerMinute;
+
+TEST(Roofline, MachineModel) {
+  const auto& arch = hpm::simx86();
+  const RooflineResult r = roofline_evaluate(0.0, 1.0, arch);
+  EXPECT_NEAR(r.peak_gflops, 588.8, 0.1);
+  EXPECT_NEAR(r.peak_bandwidth_gbs, 153.6, 0.1);
+  EXPECT_NEAR(r.ridge_intensity, 588.8 / 153.6, 1e-6);
+}
+
+TEST(Roofline, MemoryBoundPoint) {
+  const auto& arch = hpm::simx86();
+  // 20 GF/s at 100 GB/s -> OI 0.2, attainable 0.2*153.6 = 30.7 GF/s.
+  const RooflineResult r = roofline_evaluate(20e9, 100e9, arch);
+  EXPECT_NEAR(r.operational_intensity, 0.2, 1e-9);
+  EXPECT_TRUE(r.memory_bound);
+  EXPECT_NEAR(r.attainable_gflops, 30.72, 0.01);
+  EXPECT_NEAR(r.efficiency, 20.0 / 30.72, 1e-3);
+}
+
+TEST(Roofline, ComputeBoundPoint) {
+  const auto& arch = hpm::simx86();
+  // 400 GF/s at 10 GB/s -> OI 40, attainable = compute roof.
+  const RooflineResult r = roofline_evaluate(400e9, 10e9, arch);
+  EXPECT_FALSE(r.memory_bound);
+  EXPECT_NEAR(r.attainable_gflops, r.peak_gflops, 1e-9);
+  EXPECT_NEAR(r.efficiency, 400.0 / 588.8, 1e-3);
+}
+
+TEST(Roofline, DegenerateInputs) {
+  const auto& arch = hpm::simx86();
+  const RooflineResult zero = roofline_evaluate(0.0, 0.0, arch);
+  EXPECT_EQ(zero.operational_intensity, 0.0);
+  EXPECT_EQ(zero.efficiency, 0.0);
+  EXPECT_TRUE(zero.memory_bound);
+  EXPECT_FALSE(zero.to_string().empty());
+}
+
+TEST(Roofline, ChartContainsJobAndRoof) {
+  const RooflineResult r = roofline_evaluate(20e9, 100e9, hpm::simx86());
+  const std::string chart = roofline_chart(r);
+  EXPECT_NE(chart.find('X'), std::string::npos);
+  EXPECT_NE(chart.find('_'), std::string::npos);
+  EXPECT_NE(chart.find('+'), std::string::npos);
+  EXPECT_NE(chart.find("memory-bound"), std::string::npos);
+}
+
+TEST(Roofline, FromDbMatchesWorkload) {
+  cluster::ClusterHarness::Options opts;
+  opts.nodes = 2;
+  cluster::ClusterHarness harness(opts);
+  const int job = harness.submit("stream", "alice", 2, 10 * kMin);
+  ASSERT_TRUE(harness.run_until_done(job, 30 * kMin));
+  const auto* record = harness.job_record(job);
+  auto r = roofline_from_db(harness.fetcher(), record->nodes, std::to_string(job),
+                            record->start_time, record->end_time, *harness.options().arch);
+  ASSERT_TRUE(r.ok()) << r.message();
+  // STREAM: firmly memory bound and close to its attainable roof.
+  EXPECT_TRUE(r->memory_bound);
+  EXPECT_GT(r->efficiency, 0.7);
+  EXPECT_LT(r->operational_intensity, 1.0);
+  // No data -> error.
+  EXPECT_FALSE(roofline_from_db(harness.fetcher(), {"h9"}, "999", 0, kMin,
+                                *harness.options().arch)
+                   .ok());
+}
+
+TEST(Roofline, InEvaluationReport) {
+  cluster::ClusterHarness::Options opts;
+  opts.nodes = 2;
+  cluster::ClusterHarness harness(opts);
+  const int job = harness.submit("dgemm", "alice", 2, 8 * kMin);
+  ASSERT_TRUE(harness.run_until_done(job, 30 * kMin));
+  const auto* record = harness.job_record(job);
+  const auto eval = harness.reporter().evaluate(std::to_string(job), record->nodes,
+                                                record->start_time, record->end_time);
+  ASSERT_TRUE(eval.roofline.has_value());
+  EXPECT_FALSE(eval.roofline->memory_bound);  // dgemm is compute bound
+  EXPECT_NE(render_text(eval).find("roofline:"), std::string::npos);
+  const json::Value j = to_json(eval);
+  EXPECT_TRUE(j["roofline"]["memory_bound"].is_bool());
+  EXPECT_GT(j["roofline"]["efficiency"].as_double(), 0.5);
+}
+
+TEST(Topology, DescribesBothArchitectures) {
+  for (const hpm::CounterArchitecture* arch : {&hpm::simx86(), &hpm::simx86_small()}) {
+    const std::string t = hpm::topology_string(*arch);
+    EXPECT_NE(t.find(arch->cpu_model), std::string::npos);
+    EXPECT_NE(t.find("L3 cache"), std::string::npos);
+    EXPECT_NE(t.find("Peak DP"), std::string::npos);
+    EXPECT_NE(t.find("Counters"), std::string::npos);
+  }
+  EXPECT_NE(hpm::topology_string(hpm::simx86()).find("Sockets:        2"),
+            std::string::npos);
+}
+
+TEST(IoHeavyWorkload, ProfileAndDetection) {
+  auto w = cluster::make_workload("io_heavy", 1);
+  ASSERT_NE(w, nullptr);
+  util::Rng rng(1);
+  const auto act = w->activity(0, 1, kMin, hpm::simx86(), rng);
+  EXPECT_GT(act.kernel.cpu_iowait_fraction, 0.3);
+  EXPECT_GT(act.kernel.disk_write_bytes_per_sec, 1e9);
+  EXPECT_LT(act.hpm.cores[0].flops_dp_per_sec, 0.1 * hpm::simx86().peak_dp_flops_per_core);
+
+  // End to end: the File I/O row in the report shows the write rate.
+  cluster::ClusterHarness::Options opts;
+  opts.nodes = 1;
+  cluster::ClusterHarness harness(opts);
+  const int job = harness.submit("io_heavy", "alice", 1, 8 * kMin);
+  ASSERT_TRUE(harness.run_until_done(job, 30 * kMin));
+  const auto* record = harness.job_record(job);
+  const auto eval = harness.reporter().evaluate(std::to_string(job), record->nodes,
+                                                record->start_time, record->end_time);
+  for (const auto& row : eval.rows) {
+    if (row.check.label != "File I/O") continue;
+    ASSERT_EQ(row.cells.size(), 1u);
+    EXPECT_NEAR(row.cells[0].value, 1200.0, 120.0);  // ~1.2 GB/s in MB/s
+  }
+}
+
+}  // namespace
+}  // namespace lms::analysis

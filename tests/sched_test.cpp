@@ -1,0 +1,219 @@
+// Tests for the batch scheduler simulator and its router integration: FCFS
+// allocation, EASY backfill, walltime enforcement, cancellation, and the
+// prolog/epilog job notifier signals.
+
+#include <gtest/gtest.h>
+
+#include "lms/core/router.hpp"
+#include "lms/sched/scheduler.hpp"
+#include "lms/tsdb/http_api.hpp"
+
+namespace lms::sched {
+namespace {
+
+using util::kNanosPerMinute;
+using util::kNanosPerSecond;
+
+constexpr util::TimeNs kMin = kNanosPerMinute;
+
+JobSpec spec(const std::string& user, int nodes, util::TimeNs walltime) {
+  JobSpec s;
+  s.name = "job-" + user;
+  s.user = user;
+  s.nodes = nodes;
+  s.walltime_limit = walltime;
+  return s;
+}
+
+std::vector<std::string> four_nodes() { return {"h1", "h2", "h3", "h4"}; }
+
+TEST(SchedulerTest, FcfsStartsWhenNodesFree) {
+  Scheduler sched(four_nodes());
+  const int a = sched.submit(spec("alice", 2, 60 * kMin), 10 * kMin, 0);
+  const int b = sched.submit(spec("bob", 2, 60 * kMin), 10 * kMin, 0);
+  const int c = sched.submit(spec("carol", 2, 60 * kMin), 10 * kMin, 0);
+  sched.tick(0);
+  EXPECT_EQ(sched.find(a)->state, JobState::kRunning);
+  EXPECT_EQ(sched.find(b)->state, JobState::kRunning);
+  EXPECT_EQ(sched.find(c)->state, JobState::kPending);  // no nodes left
+  EXPECT_EQ(sched.free_node_count(), 0u);
+  // When a finishes, c starts.
+  sched.tick(10 * kMin);
+  EXPECT_EQ(sched.find(a)->state, JobState::kCompleted);
+  EXPECT_EQ(sched.find(c)->state, JobState::kRunning);
+}
+
+TEST(SchedulerTest, AssignsDistinctNodes) {
+  Scheduler sched(four_nodes());
+  const int a = sched.submit(spec("alice", 3, 60 * kMin), 10 * kMin, 0);
+  sched.tick(0);
+  const Job* job = sched.find(a);
+  ASSERT_EQ(job->assigned_nodes.size(), 3u);
+  std::set<std::string> unique(job->assigned_nodes.begin(), job->assigned_nodes.end());
+  EXPECT_EQ(unique.size(), 3u);
+  EXPECT_EQ(sched.free_node_count(), 1u);
+}
+
+TEST(SchedulerTest, WalltimeTimeout) {
+  Scheduler sched(four_nodes());
+  const int a = sched.submit(spec("alice", 1, 5 * kMin), 60 * kMin, 0);  // runs long
+  sched.tick(0);
+  sched.tick(4 * kMin);
+  EXPECT_EQ(sched.find(a)->state, JobState::kRunning);
+  sched.tick(5 * kMin);
+  EXPECT_EQ(sched.find(a)->state, JobState::kTimeout);
+  EXPECT_EQ(sched.free_node_count(), 4u);
+}
+
+TEST(SchedulerTest, EasyBackfillRunsSmallJobAhead) {
+  Scheduler sched(four_nodes());
+  // A occupies 3 nodes for up to 30 min.
+  sched.submit(spec("alice", 3, 30 * kMin), 30 * kMin, 0);
+  sched.tick(0);
+  // B needs all 4 -> must wait for A (shadow time = 30 min).
+  const int b = sched.submit(spec("bob", 4, 30 * kMin), 10 * kMin, 0);
+  // C fits in the 1 spare node and its walltime (10 min) ends before the
+  // shadow time -> backfilled.
+  const int c = sched.submit(spec("carol", 1, 10 * kMin), 5 * kMin, 0);
+  sched.tick(1 * kMin);
+  EXPECT_EQ(sched.find(b)->state, JobState::kPending);
+  EXPECT_EQ(sched.find(c)->state, JobState::kRunning);
+  // D would fit the spare node but would outlive the shadow time AND it
+  // needs the node B reserves -> no backfill.
+  const int d = sched.submit(spec("dave", 1, 60 * kMin), 50 * kMin, 0);
+  sched.tick(2 * kMin);
+  EXPECT_EQ(sched.find(d)->state, JobState::kPending);
+}
+
+TEST(SchedulerTest, BackfillSparesReservedNodes) {
+  std::vector<std::string> nodes{"h1", "h2", "h3", "h4", "h5", "h6"};
+  Scheduler sched(nodes);
+  // A: 4 nodes, 30 min walltime.
+  sched.submit(spec("alice", 4, 30 * kMin), 30 * kMin, 0);
+  sched.tick(0);
+  // B (head): needs 4 -> shadow time 30 min, at which point 4+2 free, so
+  // 2 nodes are spare even when B starts.
+  sched.submit(spec("bob", 4, 30 * kMin), 10 * kMin, 0);
+  // C: 2 nodes, long walltime — fits the spare-noded backfill.
+  const int c = sched.submit(spec("carol", 2, 120 * kMin), 100 * kMin, 0);
+  sched.tick(1 * kMin);
+  EXPECT_EQ(sched.find(c)->state, JobState::kRunning);
+}
+
+TEST(SchedulerTest, PriorityOrdersQueue) {
+  Scheduler sched(four_nodes());
+  // Fill the machine so everything below queues.
+  sched.submit(spec("running", 4, 60 * kMin), 10 * kMin, 0);
+  sched.tick(0);
+  JobSpec low = spec("low", 4, 60 * kMin);
+  low.priority = 0;
+  JobSpec high = spec("high", 4, 60 * kMin);
+  high.priority = 10;
+  const int low_id = sched.submit(low, 5 * kMin, 1 * kMin);
+  const int high_id = sched.submit(high, 5 * kMin, 2 * kMin);  // submitted later
+  sched.tick(10 * kMin);  // first job done: high priority starts first
+  EXPECT_EQ(sched.find(high_id)->state, JobState::kRunning);
+  EXPECT_EQ(sched.find(low_id)->state, JobState::kPending);
+  sched.tick(15 * kMin);
+  EXPECT_EQ(sched.find(low_id)->state, JobState::kRunning);
+}
+
+TEST(SchedulerTest, EqualPriorityKeepsFcfs) {
+  Scheduler sched(four_nodes());
+  sched.submit(spec("running", 4, 60 * kMin), 10 * kMin, 0);
+  sched.tick(0);
+  const int first = sched.submit(spec("first", 4, 60 * kMin), 5 * kMin, 1 * kMin);
+  const int second = sched.submit(spec("second", 4, 60 * kMin), 5 * kMin, 2 * kMin);
+  sched.tick(10 * kMin);
+  EXPECT_EQ(sched.find(first)->state, JobState::kRunning);
+  EXPECT_EQ(sched.find(second)->state, JobState::kPending);
+}
+
+TEST(SchedulerTest, CancelPendingAndRunning) {
+  Scheduler sched(four_nodes());
+  const int a = sched.submit(spec("alice", 4, 60 * kMin), 30 * kMin, 0);
+  const int b = sched.submit(spec("bob", 1, 60 * kMin), 30 * kMin, 0);
+  sched.tick(0);
+  EXPECT_EQ(sched.find(b)->state, JobState::kPending);
+  EXPECT_TRUE(sched.cancel(b, kMin));
+  EXPECT_EQ(sched.find(b)->state, JobState::kCancelled);
+  EXPECT_TRUE(sched.cancel(a, 2 * kMin));
+  EXPECT_EQ(sched.find(a)->state, JobState::kCancelled);
+  EXPECT_EQ(sched.free_node_count(), 4u);
+  EXPECT_FALSE(sched.cancel(a, 3 * kMin));  // already finished
+  EXPECT_FALSE(sched.cancel(999, 0));
+}
+
+TEST(SchedulerTest, CallbacksFire) {
+  Scheduler sched(four_nodes());
+  std::vector<std::string> events;
+  sched.set_on_start([&](const Job& j) { events.push_back("start " + j.job_id_string()); });
+  sched.set_on_end([&](const Job& j) {
+    events.push_back("end " + j.job_id_string() + " " + std::string(job_state_name(j.state)));
+  });
+  sched.submit(spec("alice", 2, 60 * kMin), 5 * kMin, 0);
+  sched.tick(0);
+  sched.tick(5 * kMin);
+  EXPECT_EQ(events, (std::vector<std::string>{"start 1", "end 1 completed"}));
+}
+
+TEST(SchedulerTest, QueueAccessors) {
+  Scheduler sched(four_nodes());
+  sched.submit(spec("a", 4, 60 * kMin), 30 * kMin, 0);
+  sched.submit(spec("b", 4, 60 * kMin), 30 * kMin, 0);
+  sched.tick(0);
+  EXPECT_EQ(sched.running().size(), 1u);
+  EXPECT_EQ(sched.pending().size(), 1u);
+  EXPECT_EQ(sched.finished().size(), 0u);
+  sched.tick(30 * kMin);
+  sched.tick(60 * kMin);
+  EXPECT_EQ(sched.finished().size(), 2u);
+}
+
+// ---------------------------------------------------------------- notifier
+
+TEST(NotifierTest, SignalsReachRouter) {
+  tsdb::Storage storage;
+  util::SimClock clock(0);
+  tsdb::HttpApi db(storage, clock);
+  net::InprocNetwork network;
+  network.bind("tsdb", db.handler());
+  net::InprocHttpClient client(network);
+  core::MetricsRouter::Options opts;
+  opts.db_url = "inproc://tsdb";
+  core::MetricsRouter router(client, clock, opts);
+  network.bind("router", router.handler());
+
+  Scheduler sched({"h1", "h2"});
+  JobNotifier notifier(client, "inproc://router");
+  notifier.attach(sched);
+
+  const int a = sched.submit(spec("alice", 2, 60 * kMin), 10 * kMin, 0);
+  sched.tick(0);
+  // Router now tracks the job with the scheduler's id and node list.
+  auto job = router.find_job(std::to_string(a));
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->user, "alice");
+  EXPECT_EQ(job->nodes.size(), 2u);
+  // Extra tags carried the job name.
+  EXPECT_EQ(job->extra_tags.size(), 1u);
+  EXPECT_EQ(job->extra_tags[0].first, "jobname");
+
+  sched.tick(10 * kMin);
+  EXPECT_FALSE(router.find_job(std::to_string(a)).has_value());
+  EXPECT_EQ(notifier.failures(), 0u);
+}
+
+TEST(NotifierTest, CountsFailures) {
+  net::InprocNetwork network;  // nothing bound
+  net::InprocHttpClient client(network);
+  JobNotifier notifier(client, "inproc://router");
+  Job job;
+  job.id = 1;
+  EXPECT_FALSE(notifier.notify_start(job).ok());
+  EXPECT_FALSE(notifier.notify_end(job).ok());
+  EXPECT_EQ(notifier.failures(), 2u);
+}
+
+}  // namespace
+}  // namespace lms::sched

@@ -1,0 +1,290 @@
+// Tests for the simulated kernel, the system-metric collector plugins and
+// the host agent (scheduling, batching, retry behaviour).
+
+#include <gtest/gtest.h>
+
+#include "lms/collector/agent.hpp"
+#include "lms/lineproto/codec.hpp"
+#include "lms/collector/plugins.hpp"
+#include "lms/net/transport.hpp"
+#include "lms/sysmon/kernel.hpp"
+
+namespace lms::collector {
+namespace {
+
+using sysmon::KernelLoad;
+using sysmon::SimulatedKernel;
+using util::kNanosPerSecond;
+
+constexpr util::TimeNs kSec = kNanosPerSecond;
+
+KernelLoad busy_load() {
+  KernelLoad load;
+  load.cpu_user_fraction = 0.6;
+  load.cpu_system_fraction = 0.1;
+  load.cpu_iowait_fraction = 0.05;
+  load.mem_used_bytes = 8e9;
+  load.net_rx_bytes_per_sec = 1e6;
+  load.net_tx_bytes_per_sec = 5e5;
+  load.net_rx_packets_per_sec = 1000;
+  load.net_tx_packets_per_sec = 800;
+  load.disk_read_bytes_per_sec = 2e6;
+  load.disk_write_bytes_per_sec = 4e6;
+  load.disk_read_ops_per_sec = 20;
+  load.disk_write_ops_per_sec = 40;
+  load.runnable_tasks = 10;
+  return load;
+}
+
+// ---------------------------------------------------------------- kernel
+
+TEST(Kernel, CpuTimeAccounting) {
+  SimulatedKernel kernel(16, 64ULL << 30);
+  kernel.advance(busy_load(), 10 * kSec);
+  const auto t = kernel.cpu_times();
+  // 16 cpus * 10 s = 160 cpu-seconds capacity.
+  EXPECT_NEAR(t.user, 96.0, 1e-9);
+  EXPECT_NEAR(t.system, 16.0, 1e-9);
+  EXPECT_NEAR(t.iowait, 8.0, 1e-9);
+  EXPECT_NEAR(t.idle, 40.0, 1e-9);
+  EXPECT_NEAR(t.total(), 160.0, 1e-9);
+}
+
+TEST(Kernel, CountersAccumulateExactly) {
+  SimulatedKernel kernel(4, 8ULL << 30);
+  for (int i = 0; i < 10; ++i) kernel.advance(busy_load(), kSec);
+  EXPECT_EQ(kernel.net_counters().rx_bytes, 10'000'000u);
+  EXPECT_EQ(kernel.net_counters().tx_packets, 8000u);
+  EXPECT_EQ(kernel.disk_counters().write_bytes, 40'000'000u);
+  EXPECT_EQ(kernel.disk_counters().read_ops, 200u);
+}
+
+TEST(Kernel, FractionalRatesNotLost) {
+  SimulatedKernel kernel(1, 1ULL << 30);
+  KernelLoad slow;
+  slow.disk_write_ops_per_sec = 0.25;  // one op per 4 seconds
+  for (int i = 0; i < 40; ++i) kernel.advance(slow, kSec);
+  EXPECT_EQ(kernel.disk_counters().write_ops, 10u);
+}
+
+TEST(Kernel, MemoryClampedToCapacity) {
+  SimulatedKernel kernel(4, 1ULL << 30);
+  KernelLoad load;
+  load.mem_used_bytes = 99e18;
+  kernel.advance(load, kSec);
+  EXPECT_EQ(kernel.meminfo().used_bytes, 1ULL << 30);
+  EXPECT_EQ(kernel.meminfo().free_bytes, 0u);
+}
+
+TEST(Kernel, LoadAverageConvergesToRunnable) {
+  SimulatedKernel kernel(8, 8ULL << 30);
+  KernelLoad load;
+  load.runnable_tasks = 8.0;
+  EXPECT_EQ(kernel.loadavg1(), 0.0);
+  for (int i = 0; i < 300; ++i) kernel.advance(load, kSec);  // 5 minutes
+  EXPECT_NEAR(kernel.loadavg1(), 8.0, 0.1);
+  load.runnable_tasks = 0.0;
+  for (int i = 0; i < 60; ++i) kernel.advance(load, kSec);
+  EXPECT_LT(kernel.loadavg1(), 8.0 * 0.5);  // decayed substantially
+}
+
+// ---------------------------------------------------------------- plugins
+
+TEST(Plugins, CpuPercentagesFromDeltas) {
+  SimulatedKernel kernel(8, 8ULL << 30);
+  CpuPlugin plugin(kernel, "h1");
+  EXPECT_TRUE(plugin.collect(0).empty());  // first sample: baseline only
+  kernel.advance(busy_load(), 10 * kSec);
+  const auto points = plugin.collect(10 * kSec);
+  ASSERT_EQ(points.size(), 1u);
+  const auto& p = points[0];
+  EXPECT_EQ(p.measurement, "cpu");
+  EXPECT_EQ(p.tag("hostname"), "h1");
+  EXPECT_NEAR(p.field("user_percent")->as_double(), 60.0, 1e-9);
+  EXPECT_NEAR(p.field("system_percent")->as_double(), 10.0, 1e-9);
+  EXPECT_NEAR(p.field("idle_percent")->as_double(), 25.0, 1e-9);
+}
+
+TEST(Plugins, MemorySnapshot) {
+  SimulatedKernel kernel(8, 10ULL << 30);
+  KernelLoad load;
+  load.mem_used_bytes = 5.0 * (1ULL << 30);
+  kernel.advance(load, kSec);
+  MemoryPlugin plugin(kernel, "h1");
+  const auto points = plugin.collect(kSec);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_NEAR(points[0].field("used_percent")->as_double(), 50.0, 1.0);
+  EXPECT_EQ(points[0].field("total_bytes")->as_int(),
+            static_cast<std::int64_t>(10ULL << 30));
+}
+
+TEST(Plugins, NetworkAndDiskRates) {
+  SimulatedKernel kernel(8, 8ULL << 30);
+  NetworkPlugin net(kernel, "h1");
+  DiskPlugin disk(kernel, "h1");
+  net.collect(0);
+  disk.collect(0);
+  for (int i = 0; i < 10; ++i) kernel.advance(busy_load(), kSec);
+  const auto np = net.collect(10 * kSec);
+  ASSERT_EQ(np.size(), 1u);
+  EXPECT_NEAR(np[0].field("rx_bytes_per_sec")->as_double(), 1e6, 1.0);
+  EXPECT_NEAR(np[0].field("tx_packets_per_sec")->as_double(), 800, 0.1);
+  const auto dp = disk.collect(10 * kSec);
+  ASSERT_EQ(dp.size(), 1u);
+  EXPECT_NEAR(dp[0].field("write_bytes_per_sec")->as_double(), 4e6, 1.0);
+  EXPECT_NEAR(dp[0].field("read_ops_per_sec")->as_double(), 20, 0.1);
+}
+
+// ---------------------------------------------------------------- agent
+
+/// A plugin emitting one fixed point per collection.
+class FakePlugin final : public CollectorPlugin {
+ public:
+  explicit FakePlugin(std::string measurement) : measurement_(std::move(measurement)) {}
+  std::string name() const override { return measurement_; }
+  std::vector<lineproto::Point> collect(util::TimeNs now) override {
+    ++collections_;
+    return {lineproto::make_point(measurement_, "v", 1.0, now, {{"hostname", "h1"}})};
+  }
+  int collections() const { return collections_; }
+
+ private:
+  std::string measurement_;
+  int collections_ = 0;
+};
+
+/// In-proc write sink counting received points; can simulate failure.
+struct FakeRouter {
+  net::InprocNetwork net;
+  std::atomic<int> points{0};
+  std::atomic<int> requests{0};
+  std::atomic<bool> fail{false};
+  std::atomic<int> reject_status{0};
+
+  FakeRouter() {
+    net.bind("router", [this](const net::HttpRequest& req) {
+      ++requests;
+      if (fail.load()) throw std::runtime_error("down");
+      if (reject_status.load() != 0) {
+        return net::HttpResponse::text(reject_status.load(), "rejected");
+      }
+      const auto pts = lineproto::parse_lenient(req.body, nullptr);
+      points += static_cast<int>(pts.size());
+      return net::HttpResponse::no_content();
+    });
+  }
+};
+
+HostAgent::Options agent_options() {
+  HostAgent::Options o;
+  o.router_url = "inproc://router";
+  o.flush_interval = 10 * kSec;
+  o.max_batch_points = 100;
+  o.retry_queue_capacity = 50;
+  return o;
+}
+
+TEST(Agent, SchedulesPluginsAtIntervals) {
+  FakeRouter router;
+  net::InprocHttpClient client(router.net);
+  HostAgent agent(client, agent_options());
+  auto fast = std::make_unique<FakePlugin>("fast");
+  auto slow = std::make_unique<FakePlugin>("slow");
+  FakePlugin* fast_raw = fast.get();
+  FakePlugin* slow_raw = slow.get();
+  agent.add_plugin(std::move(fast), 10 * kSec);
+  agent.add_plugin(std::move(slow), 30 * kSec);
+  for (int t = 0; t <= 60; t += 10) {
+    agent.tick(static_cast<util::TimeNs>(t) * kSec);
+  }
+  EXPECT_EQ(fast_raw->collections(), 7);  // t=0,10,...,60
+  EXPECT_EQ(slow_raw->collections(), 3);  // t=0,30,60
+}
+
+TEST(Agent, BatchesByFlushInterval) {
+  FakeRouter router;
+  net::InprocHttpClient client(router.net);
+  HostAgent agent(client, agent_options());
+  agent.add_plugin(std::make_unique<FakePlugin>("m"), kSec);
+  // 9 ticks: under the flush interval, nothing sent yet after the first
+  // flush at t=0 (empty), points buffer up.
+  for (int t = 1; t <= 9; ++t) agent.tick(static_cast<util::TimeNs>(t) * kSec);
+  EXPECT_EQ(router.points.load(), 0);
+  EXPECT_EQ(agent.pending_points(), 9u);
+  agent.tick(10 * kSec);  // flush interval reached
+  EXPECT_EQ(router.points.load(), 10);
+  EXPECT_EQ(agent.pending_points(), 0u);
+  EXPECT_EQ(agent.stats().batches_sent, 1u);
+}
+
+TEST(Agent, FlushesWhenBatchFull) {
+  FakeRouter router;
+  net::InprocHttpClient client(router.net);
+  auto opts = agent_options();
+  opts.max_batch_points = 5;
+  opts.flush_interval = 1000 * kSec;
+  HostAgent agent(client, opts);
+  agent.add_plugin(std::make_unique<FakePlugin>("m"), kSec);
+  for (int t = 1; t <= 5; ++t) agent.tick(static_cast<util::TimeNs>(t) * kSec);
+  EXPECT_EQ(router.points.load(), 5);
+}
+
+TEST(Agent, RetriesAfterFailureWithoutLoss) {
+  FakeRouter router;
+  net::InprocHttpClient client(router.net);
+  HostAgent agent(client, agent_options());
+  agent.add_plugin(std::make_unique<FakePlugin>("m"), kSec);
+  router.fail = true;
+  for (int t = 1; t <= 12; ++t) agent.tick(static_cast<util::TimeNs>(t) * kSec);
+  EXPECT_EQ(router.points.load(), 0);
+  EXPECT_GE(agent.stats().send_failures, 1u);
+  const auto buffered = agent.pending_points();
+  EXPECT_GE(buffered, 12u);
+  router.fail = false;
+  agent.flush(13 * kSec);
+  EXPECT_EQ(router.points.load(), static_cast<int>(buffered));
+  EXPECT_EQ(agent.stats().points_dropped, 0u);
+}
+
+TEST(Agent, BoundedRetryQueueDropsOldest) {
+  FakeRouter router;
+  net::InprocHttpClient client(router.net);
+  auto opts = agent_options();
+  opts.retry_queue_capacity = 20;
+  opts.flush_interval = 1000000 * kSec;  // never time-flush
+  opts.max_batch_points = 1000000;       // never size-flush
+  HostAgent agent(client, opts);
+  agent.add_plugin(std::make_unique<FakePlugin>("m"), kSec);
+  router.fail = true;
+  for (int t = 1; t <= 50; ++t) agent.tick(static_cast<util::TimeNs>(t) * kSec);
+  EXPECT_EQ(agent.pending_points(), 20u);
+  EXPECT_EQ(agent.stats().points_dropped, 30u);
+}
+
+TEST(Agent, DropsBatchOn400WithoutRetryLoop) {
+  FakeRouter router;
+  net::InprocHttpClient client(router.net);
+  HostAgent agent(client, agent_options());
+  agent.add_plugin(std::make_unique<FakePlugin>("m"), kSec);
+  router.reject_status = 400;
+  for (int t = 1; t <= 10; ++t) agent.tick(static_cast<util::TimeNs>(t) * kSec);
+  EXPECT_EQ(agent.pending_points(), 0u);  // rejected batches dropped, not retried
+  EXPECT_GT(agent.stats().points_dropped, 0u);
+  EXPECT_EQ(agent.stats().points_sent, 0u);
+}
+
+TEST(Agent, StatsTrackCollectedAndSent) {
+  FakeRouter router;
+  net::InprocHttpClient client(router.net);
+  HostAgent agent(client, agent_options());
+  agent.add_plugin(std::make_unique<FakePlugin>("a"), kSec);
+  agent.add_plugin(std::make_unique<FakePlugin>("b"), kSec);
+  for (int t = 1; t <= 10; ++t) agent.tick(static_cast<util::TimeNs>(t) * kSec);
+  agent.flush(11 * kSec);
+  EXPECT_EQ(agent.stats().points_collected, 20u);
+  EXPECT_EQ(agent.stats().points_sent, 20u);
+  EXPECT_EQ(router.points.load(), 20);
+}
+
+}  // namespace
+}  // namespace lms::collector

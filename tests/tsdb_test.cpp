@@ -1,0 +1,561 @@
+// Tests for the time-series database: storage engine, query language,
+// aggregators, fill modes, retention, and the InfluxDB-compatible HTTP API.
+
+#include <gtest/gtest.h>
+
+#include "lms/json/json.hpp"
+#include "lms/lineproto/codec.hpp"
+#include "lms/net/transport.hpp"
+#include "lms/tsdb/http_api.hpp"
+#include "lms/tsdb/query.hpp"
+#include "lms/tsdb/storage.hpp"
+#include "lms/util/rng.hpp"
+#include "lms/util/strings.hpp"
+
+namespace lms::tsdb {
+namespace {
+
+using lineproto::Point;
+using lineproto::make_point;
+using util::kNanosPerSecond;
+
+constexpr TimeNs kSec = kNanosPerSecond;
+
+Point pt(std::string_view meas, std::string_view host, std::string_view field, double v,
+         TimeNs t) {
+  return make_point(meas, field, v, t, {{"hostname", std::string(host)}});
+}
+
+// ---------------------------------------------------------------- duration
+
+TEST(Duration, ParseFormats) {
+  EXPECT_EQ(*parse_duration("10s"), 10 * kSec);
+  EXPECT_EQ(*parse_duration("5m"), 5 * util::kNanosPerMinute);
+  EXPECT_EQ(*parse_duration("2h"), 2 * util::kNanosPerHour);
+  EXPECT_EQ(*parse_duration("500ms"), 500 * util::kNanosPerMilli);
+  EXPECT_EQ(*parse_duration("250us"), 250 * util::kNanosPerMicro);
+  EXPECT_EQ(*parse_duration("7ns"), 7);
+  EXPECT_EQ(*parse_duration("1d"), 24 * util::kNanosPerHour);
+  EXPECT_EQ(*parse_duration("1h30m"), 90 * util::kNanosPerMinute);
+  EXPECT_FALSE(parse_duration("").ok());
+  EXPECT_FALSE(parse_duration("10x").ok());
+  EXPECT_FALSE(parse_duration("s").ok());
+}
+
+TEST(Duration, FormatLiteral) {
+  EXPECT_EQ(format_duration_literal(10 * kSec), "10s");
+  EXPECT_EQ(format_duration_literal(600 * kSec), "10m");
+  EXPECT_EQ(format_duration_literal(90 * kSec), "90s");
+  EXPECT_EQ(format_duration_literal(1500), "1500ns");
+}
+
+// ---------------------------------------------------------------- storage
+
+TEST(Storage, SeriesIdentityByTagSet) {
+  Database db("test");
+  db.write(pt("cpu", "h1", "v", 1, 10), 0);
+  db.write(pt("cpu", "h1", "v", 2, 20), 0);
+  db.write(pt("cpu", "h2", "v", 3, 10), 0);
+  EXPECT_EQ(db.series_count(), 2u);
+  EXPECT_EQ(db.sample_count(), 3u);
+  EXPECT_EQ(db.measurements(), std::vector<std::string>{"cpu"});
+  EXPECT_EQ(db.field_keys("cpu"), std::vector<std::string>{"v"});
+  EXPECT_EQ(db.tag_keys("cpu"), std::vector<std::string>{"hostname"});
+  EXPECT_EQ(db.tag_values("cpu", "hostname"), (std::vector<std::string>{"h1", "h2"}));
+}
+
+TEST(Storage, TagIndexIntersection) {
+  Database db("test");
+  Point p = make_point("m", "v", 1.0, 10,
+                       {{"hostname", "h1"}, {"jobid", "7"}, {"user", "alice"}});
+  db.write(p, 0);
+  Point q = make_point("m", "v", 2.0, 20, {{"hostname", "h1"}, {"jobid", "8"}});
+  db.write(q, 0);
+  EXPECT_EQ(db.series_matching("m", {{"hostname", "h1"}}).size(), 2u);
+  EXPECT_EQ(db.series_matching("m", {{"hostname", "h1"}, {"jobid", "7"}}).size(), 1u);
+  EXPECT_EQ(db.series_matching("m", {{"jobid", "9"}}).size(), 0u);
+  EXPECT_EQ(db.series_matching("m", {{"nokey", "x"}}).size(), 0u);
+}
+
+TEST(Storage, OutOfOrderWritesSorted) {
+  Database db("test");
+  db.write(pt("m", "h1", "v", 2, 200), 0);
+  db.write(pt("m", "h1", "v", 1, 100), 0);
+  db.write(pt("m", "h1", "v", 3, 300), 0);
+  const auto series = db.series_of("m");
+  ASSERT_EQ(series.size(), 1u);
+  const Column& col = series[0]->columns.at("v");
+  EXPECT_EQ(col.times(), (std::vector<TimeNs>{100, 200, 300}));
+}
+
+TEST(Storage, UnstampedPointsGetDefaultTime) {
+  Database db("test");
+  Point p = make_point("m", "v", 1.0, 0);
+  db.write(p, 555);
+  EXPECT_EQ(db.series_of("m")[0]->columns.at("v").times()[0], 555);
+}
+
+TEST(Storage, RetentionDropsOldAndEmptySeries) {
+  Database db("test");
+  db.write(pt("m", "h1", "v", 1, 100), 0);
+  db.write(pt("m", "h1", "v", 2, 200), 0);
+  db.write(pt("old", "h2", "v", 3, 50), 0);
+  EXPECT_EQ(db.drop_before(150), 2u);
+  EXPECT_EQ(db.sample_count(), 1u);
+  EXPECT_EQ(db.series_count(), 1u);  // "old" series removed entirely
+  EXPECT_TRUE(db.series_of("old").empty());
+  EXPECT_TRUE(db.tag_values("old", "hostname").empty());
+}
+
+TEST(Storage, MultiDatabase) {
+  Storage storage;
+  storage.write("a", {pt("m", "h1", "v", 1, 10)}, 0);
+  storage.write("b", {pt("m", "h1", "v", 2, 10)}, 0);
+  EXPECT_EQ(storage.databases(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_NE(storage.find_database("a"), nullptr);
+  EXPECT_EQ(storage.find_database("c"), nullptr);
+}
+
+// ---------------------------------------------------------------- parsing
+
+TEST(QueryParse, SelectFull) {
+  const auto stmt = parse_query(
+      "SELECT mean(\"user\") AS u, max(idle) FROM cpu WHERE hostname='h1' AND jobid != 'x' "
+      "AND time >= 100 AND time < 200 GROUP BY time(10s), hostname fill(0) "
+      "ORDER BY time DESC LIMIT 5",
+      0);
+  ASSERT_TRUE(stmt.ok()) << stmt.message();
+  const SelectStatement& s = stmt->select;
+  ASSERT_EQ(s.fields.size(), 2u);
+  EXPECT_EQ(s.fields[0].agg, Aggregator::kMean);
+  EXPECT_EQ(s.fields[0].field, "user");
+  EXPECT_EQ(s.fields[0].alias, "u");
+  EXPECT_EQ(s.fields[1].alias, "max");
+  EXPECT_EQ(s.measurement, "cpu");
+  ASSERT_EQ(s.tag_conditions.size(), 2u);
+  EXPECT_FALSE(s.tag_conditions[0].negated);
+  EXPECT_TRUE(s.tag_conditions[1].negated);
+  EXPECT_EQ(s.time_min, 100);
+  EXPECT_EQ(s.time_max, 200);
+  EXPECT_EQ(s.group_by_time, 10 * kSec);
+  EXPECT_EQ(s.group_by_tags, std::vector<std::string>{"hostname"});
+  EXPECT_EQ(s.fill, FillMode::kZero);
+  EXPECT_TRUE(s.order_desc);
+  EXPECT_EQ(s.limit, 5u);
+}
+
+TEST(QueryParse, NowArithmetic) {
+  const TimeNs now = 1000 * kSec;
+  const auto stmt = parse_query("SELECT v FROM m WHERE time >= now() - 10m", now);
+  ASSERT_TRUE(stmt.ok()) << stmt.message();
+  EXPECT_EQ(stmt->select.time_min, now - 10 * util::kNanosPerMinute);
+}
+
+TEST(QueryParse, PercentileAndDerivative) {
+  auto stmt = parse_query("SELECT percentile(v, 99) FROM m", 0);
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select.fields[0].agg, Aggregator::kPercentile);
+  EXPECT_DOUBLE_EQ(stmt->select.fields[0].param, 99.0);
+  stmt = parse_query("SELECT derivative(v, 1s) FROM m", 0);
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select.fields[0].unit, kSec);
+}
+
+TEST(QueryParse, ShowStatements) {
+  EXPECT_EQ(parse_query("SHOW DATABASES", 0)->kind, StatementKind::kShowDatabases);
+  EXPECT_EQ(parse_query("SHOW MEASUREMENTS", 0)->kind, StatementKind::kShowMeasurements);
+  auto stmt = parse_query("SHOW FIELD KEYS FROM cpu", 0);
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind, StatementKind::kShowFieldKeys);
+  EXPECT_EQ(stmt->measurement, "cpu");
+  stmt = parse_query("SHOW TAG VALUES FROM cpu WITH KEY = \"hostname\"", 0);
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind, StatementKind::kShowTagValues);
+  EXPECT_EQ(stmt->with_key, "hostname");
+}
+
+TEST(QueryParse, Rejections) {
+  EXPECT_FALSE(parse_query("", 0).ok());
+  EXPECT_FALSE(parse_query("DELETE FROM m", 0).ok());
+  EXPECT_FALSE(parse_query("SELECT FROM m", 0).ok());
+  EXPECT_FALSE(parse_query("SELECT v", 0).ok());
+  EXPECT_FALSE(parse_query("SELECT v FROM m WHERE tag = noquotes", 0).ok());
+  EXPECT_FALSE(parse_query("SELECT bogus(v) FROM m", 0).ok());
+  EXPECT_FALSE(parse_query("SELECT v FROM m GROUP BY time(0s)", 0).ok());
+  EXPECT_FALSE(parse_query("SELECT v FROM m trailing", 0).ok());
+  EXPECT_FALSE(parse_query("SELECT percentile(v) FROM m", 0).ok());
+}
+
+// ---------------------------------------------------------------- executor
+
+class QueryExec : public ::testing::Test {
+ protected:
+  QueryExec() : db_("test") {
+    // h1: v = 1,2,3,4 at t = 10s,20s,30s,40s; h2: v = 10 at 10s.
+    for (int i = 1; i <= 4; ++i) {
+      db_.write(pt("m", "h1", "v", i, i * 10 * kSec), 0);
+    }
+    db_.write(pt("m", "h2", "v", 10, 10 * kSec), 0);
+  }
+
+  QueryResult run(const std::string& q) {
+    auto stmt = parse_query(q, 0);
+    EXPECT_TRUE(stmt.ok()) << stmt.message();
+    auto r = execute(db_, *stmt);
+    EXPECT_TRUE(r.ok()) << r.message();
+    return r.take();
+  }
+
+  Database db_;
+};
+
+TEST_F(QueryExec, RawSelect) {
+  const auto r = run("SELECT v FROM m WHERE hostname='h1'");
+  ASSERT_EQ(r.series.size(), 1u);
+  EXPECT_EQ(r.series[0].name, "m");
+  EXPECT_EQ(r.series[0].columns, (std::vector<std::string>{"time", "v"}));
+  ASSERT_EQ(r.series[0].values.size(), 4u);
+  EXPECT_EQ(r.series[0].values[0][0].as_int(), 10 * kSec);
+  EXPECT_DOUBLE_EQ(r.series[0].values[3][1].as_double(), 4.0);
+}
+
+TEST_F(QueryExec, WholeRangeAggregates) {
+  const auto r = run("SELECT mean(v), sum(v), min(v), max(v), count(v) FROM m WHERE "
+                     "hostname='h1'");
+  ASSERT_EQ(r.series.size(), 1u);
+  ASSERT_EQ(r.series[0].values.size(), 1u);
+  const auto& row = r.series[0].values[0];
+  EXPECT_DOUBLE_EQ(row[1].as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(row[2].as_double(), 10.0);
+  EXPECT_DOUBLE_EQ(row[3].as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(row[4].as_double(), 4.0);
+  EXPECT_EQ(row[5].as_int(), 4);
+}
+
+TEST_F(QueryExec, StatsAggregates) {
+  const auto r =
+      run("SELECT stddev(v), median(v), spread(v), first(v), last(v) FROM m WHERE hostname='h1'");
+  const auto& row = r.series[0].values[0];
+  EXPECT_NEAR(row[1].as_double(), 1.29099, 1e-4);  // stddev of 1,2,3,4
+  EXPECT_DOUBLE_EQ(row[2].as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(row[3].as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(row[4].as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(row[5].as_double(), 4.0);
+}
+
+TEST_F(QueryExec, Percentile) {
+  const auto r = run("SELECT percentile(v, 50), percentile(v, 100) FROM m WHERE hostname='h1'");
+  const auto& row = r.series[0].values[0];
+  EXPECT_DOUBLE_EQ(row[1].as_double(), 2.0);  // nearest-rank 50% of {1,2,3,4}
+  EXPECT_DOUBLE_EQ(row[2].as_double(), 4.0);
+}
+
+TEST_F(QueryExec, GroupByTimeWindows) {
+  const auto r = run("SELECT mean(v) FROM m WHERE hostname='h1' AND time >= 0 AND time < 50s "
+                     "GROUP BY time(20s)");
+  ASSERT_EQ(r.series.size(), 1u);
+  // Windows: [0,20)={1}, [20,40)={2,3}, [40,60)={4}.
+  ASSERT_EQ(r.series[0].values.size(), 3u);
+  EXPECT_EQ(r.series[0].values[0][0].as_int(), 0);
+  EXPECT_DOUBLE_EQ(r.series[0].values[0][1].as_double(), 1.0);
+  EXPECT_EQ(r.series[0].values[1][0].as_int(), 20 * kSec);
+  EXPECT_DOUBLE_EQ(r.series[0].values[1][1].as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(r.series[0].values[2][1].as_double(), 4.0);
+}
+
+TEST_F(QueryExec, GroupByTag) {
+  const auto r = run("SELECT mean(v) FROM m GROUP BY hostname");
+  ASSERT_EQ(r.series.size(), 2u);
+  // Ordered by tag value: h1 then h2.
+  EXPECT_EQ(r.series[0].tags, (std::vector<lineproto::Tag>{{"hostname", "h1"}}));
+  EXPECT_DOUBLE_EQ(r.series[0].values[0][1].as_double(), 2.5);
+  EXPECT_EQ(r.series[1].tags, (std::vector<lineproto::Tag>{{"hostname", "h2"}}));
+  EXPECT_DOUBLE_EQ(r.series[1].values[0][1].as_double(), 10.0);
+}
+
+TEST_F(QueryExec, NegatedTagCondition) {
+  const auto r = run("SELECT count(v) FROM m WHERE hostname != 'h2'");
+  ASSERT_EQ(r.series.size(), 1u);
+  EXPECT_EQ(r.series[0].values[0][1].as_int(), 4);
+}
+
+TEST_F(QueryExec, FillModes) {
+  // h1 has no sample in [50,60) window; with bounds + fill the grid is full.
+  auto r = run("SELECT mean(v) FROM m WHERE hostname='h1' AND time >= 0 AND time < 60s "
+               "GROUP BY time(10s) fill(0)");
+  ASSERT_EQ(r.series[0].values.size(), 6u);
+  EXPECT_DOUBLE_EQ(r.series[0].values[0][1].as_double(), 0.0);  // [0,10) empty
+  EXPECT_DOUBLE_EQ(r.series[0].values[5][1].as_double(), 0.0);  // [50,60) empty
+
+  r = run("SELECT mean(v) FROM m WHERE hostname='h1' AND time >= 0 AND time < 60s "
+          "GROUP BY time(10s) fill(previous)");
+  EXPECT_DOUBLE_EQ(r.series[0].values[5][1].as_double(), 4.0);
+
+  r = run("SELECT mean(v) FROM m WHERE hostname='h1' AND time >= 0 AND time < 60s "
+          "GROUP BY time(10s) fill(null)");
+  EXPECT_TRUE(is_null_cell(r.series[0].values[0][1]));
+
+  // fill(none): empty windows dropped.
+  r = run("SELECT mean(v) FROM m WHERE hostname='h1' AND time >= 0 AND time < 60s "
+          "GROUP BY time(10s)");
+  EXPECT_EQ(r.series[0].values.size(), 4u);
+}
+
+TEST_F(QueryExec, OrderDescAndLimit) {
+  const auto r = run("SELECT v FROM m WHERE hostname='h1' ORDER BY time DESC LIMIT 2");
+  ASSERT_EQ(r.series[0].values.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.series[0].values[0][1].as_double(), 4.0);
+  EXPECT_DOUBLE_EQ(r.series[0].values[1][1].as_double(), 3.0);
+}
+
+TEST_F(QueryExec, Derivative) {
+  // v goes 1,2,3,4 at 10s spacing -> derivative 0.1/s.
+  const auto r = run("SELECT derivative(v, 1s) FROM m WHERE hostname='h1'");
+  ASSERT_EQ(r.series[0].values.size(), 3u);
+  for (const auto& row : r.series[0].values) {
+    EXPECT_NEAR(row[1].as_double(), 0.1, 1e-12);
+  }
+}
+
+TEST_F(QueryExec, RateClampsNegative) {
+  Database db("t2");
+  db.write(pt("c", "h", "v", 100, 10 * kSec), 0);
+  db.write(pt("c", "h", "v", 50, 20 * kSec), 0);  // counter reset
+  db.write(pt("c", "h", "v", 80, 30 * kSec), 0);
+  auto stmt = parse_query("SELECT rate(v, 1s) FROM c", 0);
+  auto r = execute(db, *stmt);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->series[0].values.size(), 2u);
+  EXPECT_DOUBLE_EQ(r->series[0].values[0][1].as_double(), 0.0);  // clamped
+  EXPECT_DOUBLE_EQ(r->series[0].values[1][1].as_double(), 3.0);
+}
+
+TEST_F(QueryExec, EmptyResultForUnknownMeasurement) {
+  const auto r = run("SELECT v FROM nothere");
+  EXPECT_TRUE(r.series.empty());
+}
+
+TEST_F(QueryExec, TimeEquality) {
+  const auto r = run("SELECT v FROM m WHERE hostname='h1' AND time = 20s");
+  ASSERT_EQ(r.series.size(), 1u);
+  ASSERT_EQ(r.series[0].values.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.series[0].values[0][1].as_double(), 2.0);
+}
+
+TEST_F(QueryExec, TagGlobMatching) {
+  db_.write(pt("m", "node17", "v", 7, 10 * kSec), 0);
+  auto r = run("SELECT count(v) FROM m WHERE hostname =~ 'h*'");
+  ASSERT_EQ(r.series.size(), 1u);
+  EXPECT_EQ(r.series[0].values[0][1].as_int(), 5);  // h1 (4 samples) + h2 (1)
+  r = run("SELECT count(v) FROM m WHERE hostname !~ 'h?'");
+  EXPECT_EQ(r.series[0].values[0][1].as_int(), 1);  // only node17
+  // Glob combined with an indexed equality.
+  r = run("SELECT count(v) FROM m WHERE hostname =~ '*' AND hostname = 'h1'");
+  EXPECT_EQ(r.series[0].values[0][1].as_int(), 4);
+}
+
+TEST_F(QueryExec, ShowSeries) {
+  auto stmt = parse_query("SHOW SERIES FROM m", 0);
+  ASSERT_TRUE(stmt.ok());
+  auto r = execute(db_, *stmt);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->series.size(), 1u);
+  ASSERT_EQ(r->series[0].values.size(), 2u);
+  EXPECT_EQ(r->series[0].values[0][0].as_string(), "m,hostname=h1");
+  EXPECT_EQ(r->series[0].values[1][0].as_string(), "m,hostname=h2");
+  // Without FROM: all measurements.
+  stmt = parse_query("SHOW SERIES", 0);
+  ASSERT_TRUE(stmt.ok());
+  r = execute(db_, *stmt);
+  EXPECT_EQ(r->series[0].values.size(), 2u);
+}
+
+TEST_F(QueryExec, MeasurementGlob) {
+  db_.write(pt("likwid_mem", "h1", "v", 7, 10 * kSec), 0);
+  db_.write(pt("likwid_l2", "h1", "v", 8, 10 * kSec), 0);
+  // Bare trailing star form.
+  auto r = run("SELECT mean(v) FROM likwid_* ");
+  ASSERT_EQ(r.series.size(), 2u);
+  EXPECT_EQ(r.series[0].name, "likwid_l2");
+  EXPECT_EQ(r.series[1].name, "likwid_mem");
+  // Quoted arbitrary glob.
+  r = run("SELECT mean(v) FROM \"likwid_m*\"");
+  ASSERT_EQ(r.series.size(), 1u);
+  EXPECT_EQ(r.series[0].name, "likwid_mem");
+  // Glob with no match: empty result.
+  r = run("SELECT v FROM zz_*");
+  EXPECT_TRUE(r.series.empty());
+}
+
+TEST_F(QueryExec, StringFieldsSelectable) {
+  db_.write(make_point("events", "text", std::string("job start"), 5 * kSec,
+                       {{"jobid", "7"}}),
+            0);
+  const auto r = run("SELECT text FROM events WHERE jobid='7'");
+  ASSERT_EQ(r.series.size(), 1u);
+  EXPECT_EQ(r.series[0].values[0][1].as_string(), "job start");
+}
+
+// Property: windowed counts partition the total count.
+class WindowPartition : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowPartition, CountsSumToTotal) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Database db("prop");
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    db.write(pt("m", "h1", "v", rng.normal(0, 1),
+                rng.uniform_int(0, 1000) * kSec),
+             0);
+  }
+  for (const TimeNs window : {7 * kSec, 10 * kSec, 33 * kSec, 100 * kSec}) {
+    Statement stmt;
+    stmt.select.fields.push_back(FieldExpr{Aggregator::kCount, "v", "count", 0, 0});
+    stmt.select.measurement = "m";
+    stmt.select.time_min = 0;
+    stmt.select.time_max = 1001 * kSec;
+    stmt.select.group_by_time = window;
+    auto r = execute(db, stmt);
+    ASSERT_TRUE(r.ok());
+    std::int64_t total = 0;
+    for (const auto& row : r->series[0].values) total += row[1].as_int();
+    EXPECT_EQ(total, n) << "window " << window;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowPartition, ::testing::Range(1, 6));
+
+// ---------------------------------------------------------------- engine+api
+
+TEST(HttpApiTest, WriteQueryPingStats) {
+  Storage storage;
+  util::SimClock clock(1000 * kSec);
+  HttpApi api(storage, clock);
+  net::InprocNetwork net;
+  net.bind("db", api.handler());
+  net::InprocHttpClient client(net);
+
+  // Write a batch.
+  auto resp = client.post("inproc://db/write?db=lms",
+                          "cpu,hostname=h1 user=42 " + std::to_string(990 * kSec) +
+                              "\ncpu,hostname=h1 user=44 " + std::to_string(995 * kSec) + "\n",
+                          "text/plain");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 204);
+  EXPECT_EQ(api.points_written(), 2u);
+
+  // Ping.
+  EXPECT_EQ(client.get("inproc://db/ping")->status, 204);
+
+  // Query through the API.
+  resp = client.get("inproc://db/query?db=lms&q=" +
+                    util::url_encode("SELECT mean(user) FROM cpu"));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  auto body = json::parse(resp->body);
+  ASSERT_TRUE(body.ok()) << resp->body;
+  EXPECT_DOUBLE_EQ(
+      (*body)["results"][0]["series"][0]["values"][0][1].as_double(), 43.0);
+
+  // Unstamped write gets the clock's now.
+  client.post("inproc://db/write?db=lms", "mem,hostname=h1 used=1", "text/plain");
+  resp = client.get("inproc://db/query?db=lms&q=" + util::url_encode("SELECT used FROM mem"));
+  body = json::parse(resp->body);
+  EXPECT_EQ((*body)["results"][0]["series"][0]["values"][0][0].as_int(), 1000 * kSec);
+
+  // Stats endpoint.
+  resp = client.get("inproc://db/stats");
+  body = json::parse(resp->body);
+  EXPECT_EQ((*body)["points_written"].as_int(), 3);
+}
+
+TEST(HttpApiTest, ErrorsAreInfluxJson) {
+  Storage storage;
+  util::SimClock clock(0);
+  HttpApi api(storage, clock);
+  net::InprocNetwork net;
+  net.bind("db", api.handler());
+  net::InprocHttpClient client(net);
+
+  auto resp = client.get("inproc://db/query?db=lms&q=" + util::url_encode("BOGUS"));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 400);
+  EXPECT_TRUE((*json::parse(resp->body))["error"].is_string());
+
+  resp = client.get("inproc://db/query?db=lms");
+  EXPECT_EQ(resp->status, 400);
+
+  resp = client.post("inproc://db/write?db=lms", "totally broken", "text/plain");
+  EXPECT_EQ(resp->status, 400);
+  EXPECT_EQ(api.parse_errors(), 1u);
+}
+
+TEST(HttpApiTest, LenientWriteKeepsGoodLines) {
+  Storage storage;
+  util::SimClock clock(0);
+  HttpApi api(storage, clock);
+  net::InprocNetwork net;
+  net.bind("db", api.handler());
+  net::InprocHttpClient client(net);
+  auto resp = client.post("inproc://db/write?db=lms", "cpu u=1\nbroken\ncpu u=2", "text/plain");
+  EXPECT_EQ(resp->status, 204);  // good lines stored
+  EXPECT_EQ(api.points_written(), 2u);
+  EXPECT_EQ(api.parse_errors(), 1u);
+}
+
+TEST(HttpApiTest, RetentionEnforcement) {
+  Storage storage;
+  util::SimClock clock(1000 * kSec);
+  HttpApi::Options opts;
+  opts.retention = 100 * kSec;
+  HttpApi api(storage, clock, opts);
+  storage.write("lms", {pt("m", "h1", "v", 1, 800 * kSec), pt("m", "h1", "v", 2, 950 * kSec)},
+                0);
+  EXPECT_EQ(api.enforce_retention(), 1u);  // 800s is older than 1000-100
+  EXPECT_EQ(storage.find_database("lms")->sample_count(), 1u);
+}
+
+TEST(HttpApiTest, DumpEndpointReturnsLineProtocol) {
+  Storage storage;
+  util::SimClock clock(0);
+  HttpApi api(storage, clock);
+  net::InprocNetwork net;
+  net.bind("db", api.handler());
+  net::InprocHttpClient client(net);
+  client.post("inproc://db/write?db=lms", "cpu,hostname=h1 user=42 1000\n", "text/plain");
+  auto resp = client.get("inproc://db/dump?db=lms");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "cpu,hostname=h1 user=42 1000\n");
+  // The dump re-imports cleanly.
+  EXPECT_TRUE(lineproto::parse(resp->body).ok());
+  EXPECT_EQ(client.get("inproc://db/dump?db=missing")->status, 404);
+}
+
+TEST(EngineTest, ShowDatabasesAndMissingDb) {
+  Storage storage;
+  storage.write("alpha", {pt("m", "h", "v", 1, 10)}, 0);
+  Engine engine(storage);
+  auto r = engine.query("ignored", "SHOW DATABASES", 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->series[0].values[0][0].as_string(), "alpha");
+  EXPECT_FALSE(engine.query("missing", "SELECT v FROM m", 0).ok());
+}
+
+TEST(InfluxJson, SerializesTagsAndNulls) {
+  QueryResult qr;
+  ResultSeries rs;
+  rs.name = "m";
+  rs.tags = {{"hostname", "h1"}};
+  rs.columns = {"time", "mean"};
+  rs.values.push_back({FieldValue(std::int64_t{10}), null_cell()});
+  qr.series.push_back(rs);
+  const auto parsed = json::parse(to_influx_json(qr));
+  ASSERT_TRUE(parsed.ok());
+  const auto& series = (*parsed)["results"][0]["series"][0];
+  EXPECT_EQ(series["tags"]["hostname"].as_string(), "h1");
+  EXPECT_TRUE(series["values"][0][1].is_null());
+}
+
+}  // namespace
+}  // namespace lms::tsdb

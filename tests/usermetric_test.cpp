@@ -1,0 +1,238 @@
+// Tests for libusermetric: buffering/batching, default tags, events, the
+// CLI format, flush policies, and the preload-style hooks.
+
+#include <gtest/gtest.h>
+
+#include "lms/lineproto/codec.hpp"
+#include "lms/net/transport.hpp"
+#include "lms/usermetric/hooks.hpp"
+#include "lms/usermetric/usermetric.hpp"
+
+namespace lms::usermetric {
+namespace {
+
+using lineproto::Point;
+using util::kNanosPerSecond;
+
+constexpr util::TimeNs kSec = kNanosPerSecond;
+
+/// Captures everything written to the router endpoint.
+struct CaptureSink {
+  net::InprocNetwork net;
+  std::vector<Point> points;
+  int batches = 0;
+  bool fail = false;
+
+  CaptureSink() {
+    net.bind("router", [this](const net::HttpRequest& req) {
+      if (fail) return net::HttpResponse::text(500, "down");
+      ++batches;
+      auto pts = lineproto::parse_lenient(req.body, nullptr);
+      points.insert(points.end(), pts.begin(), pts.end());
+      return net::HttpResponse::no_content();
+    });
+  }
+};
+
+UserMetricClient::Options options() {
+  UserMetricClient::Options o;
+  o.router_url = "inproc://router";
+  o.default_tags = {{"jobid", "7"}, {"hostname", "h1"}};
+  o.buffer_capacity = 10;
+  o.flush_interval = 5 * kSec;
+  return o;
+}
+
+class UserMetricTest : public ::testing::Test {
+ protected:
+  UserMetricTest() : clock_(100 * kSec), client_(sink_.net) {}
+  CaptureSink sink_;
+  util::SimClock clock_;
+  net::InprocHttpClient client_;
+};
+
+TEST_F(UserMetricTest, ValuesBufferedUntilFlush) {
+  UserMetricClient um(client_, clock_, options());
+  um.value("pressure", 1.5);
+  um.value("temperature", 0.7);
+  EXPECT_EQ(um.buffered(), 2u);
+  EXPECT_TRUE(sink_.points.empty());
+  EXPECT_TRUE(um.flush());
+  ASSERT_EQ(sink_.points.size(), 2u);
+  EXPECT_EQ(sink_.batches, 1);  // batched transmission
+  EXPECT_EQ(sink_.points[0].measurement, "usermetric");
+  EXPECT_DOUBLE_EQ(sink_.points[0].field("pressure")->as_double(), 1.5);
+  // Default tags attached; timestamp from the clock.
+  EXPECT_EQ(sink_.points[0].tag("jobid"), "7");
+  EXPECT_EQ(sink_.points[0].tag("hostname"), "h1");
+  EXPECT_EQ(sink_.points[0].timestamp, 100 * kSec);
+}
+
+TEST_F(UserMetricTest, PerMessageTagsOverrideDefaults) {
+  UserMetricClient um(client_, clock_, options());
+  um.value("x", 1.0, {{"tid", "3"}, {"hostname", "override"}});
+  um.flush();
+  ASSERT_EQ(sink_.points.size(), 1u);
+  EXPECT_EQ(sink_.points[0].tag("tid"), "3");
+  EXPECT_EQ(sink_.points[0].tag("hostname"), "override");
+  EXPECT_EQ(sink_.points[0].tag("jobid"), "7");
+}
+
+TEST_F(UserMetricTest, EventsAreStringPoints) {
+  UserMetricClient um(client_, clock_, options());
+  um.event("phase", "start of equilibration");
+  um.flush();
+  ASSERT_EQ(sink_.points.size(), 1u);
+  EXPECT_EQ(sink_.points[0].measurement, "userevents");
+  EXPECT_EQ(sink_.points[0].tag("event"), "phase");
+  EXPECT_EQ(sink_.points[0].field("text")->as_string(), "start of equilibration");
+}
+
+TEST_F(UserMetricTest, AutoFlushAtCapacity) {
+  UserMetricClient um(client_, clock_, options());
+  for (int i = 0; i < 25; ++i) um.value("v", i);
+  // Capacity 10: two synchronous flushes happened, 5 still buffered.
+  EXPECT_EQ(sink_.points.size(), 20u);
+  EXPECT_EQ(um.buffered(), 5u);
+  EXPECT_EQ(um.stats().batches_sent, 2u);
+}
+
+TEST_F(UserMetricTest, DropWhenFullPolicy) {
+  auto opts = options();
+  opts.drop_when_full = true;
+  opts.buffer_capacity = 5;
+  UserMetricClient um(client_, clock_, opts);
+  for (int i = 0; i < 8; ++i) um.value("v", i);
+  EXPECT_EQ(um.buffered(), 5u);
+  EXPECT_EQ(um.stats().points_dropped, 3u);
+  EXPECT_TRUE(sink_.points.empty());
+}
+
+TEST_F(UserMetricTest, TimedFlushViaTick) {
+  UserMetricClient um(client_, clock_, options());
+  um.value("v", 1.0);
+  um.tick(clock_.now() + 2 * kSec);  // interval (5 s) not reached
+  EXPECT_TRUE(sink_.points.empty());
+  um.tick(clock_.now() + 6 * kSec);
+  EXPECT_EQ(sink_.points.size(), 1u);
+}
+
+TEST_F(UserMetricTest, FailedSendKeepsPoints) {
+  UserMetricClient um(client_, clock_, options());
+  sink_.fail = true;
+  um.value("v", 1.0);
+  EXPECT_FALSE(um.flush());
+  EXPECT_EQ(um.buffered(), 1u);
+  EXPECT_EQ(um.stats().send_failures, 1u);
+  sink_.fail = false;
+  EXPECT_TRUE(um.flush());
+  EXPECT_EQ(sink_.points.size(), 1u);
+}
+
+TEST_F(UserMetricTest, DestructorFlushes) {
+  {
+    UserMetricClient um(client_, clock_, options());
+    um.value("v", 42.0);
+  }
+  ASSERT_EQ(sink_.points.size(), 1u);
+}
+
+TEST_F(UserMetricTest, ExplicitTimestampKept) {
+  UserMetricClient um(client_, clock_, options());
+  um.value("v", 1.0, {}, 55 * kSec);
+  um.flush();
+  EXPECT_EQ(sink_.points[0].timestamp, 55 * kSec);
+}
+
+TEST_F(UserMetricTest, StatsCounters) {
+  UserMetricClient um(client_, clock_, options());
+  um.value("a", 1);
+  um.value("b", 2);
+  um.event("e", "x");
+  um.flush();
+  const auto s = um.stats();
+  EXPECT_EQ(s.values_reported, 2u);
+  EXPECT_EQ(s.events_reported, 1u);
+  EXPECT_EQ(s.points_sent, 3u);
+}
+
+// ---------------------------------------------------------------- cli
+
+TEST(CliMetric, ValueForm) {
+  auto p = parse_cli_metric({"pressure", "1.25", "tid=0", "phase=warmup"}, 99);
+  ASSERT_TRUE(p.ok()) << p.message();
+  EXPECT_EQ(p->measurement, "usermetric");
+  EXPECT_DOUBLE_EQ(p->field("pressure")->as_double(), 1.25);
+  EXPECT_EQ(p->tag("tid"), "0");
+  EXPECT_EQ(p->tag("phase"), "warmup");
+  EXPECT_EQ(p->timestamp, 99);
+}
+
+TEST(CliMetric, EventForm) {
+  auto p = parse_cli_metric({"--event", "job", "started minimd", "jobid=3"}, 99);
+  ASSERT_TRUE(p.ok()) << p.message();
+  EXPECT_EQ(p->measurement, "userevents");
+  EXPECT_EQ(p->tag("event"), "job");
+  EXPECT_EQ(p->field("text")->as_string(), "started minimd");
+  EXPECT_EQ(p->tag("jobid"), "3");
+}
+
+TEST(CliMetric, Rejections) {
+  EXPECT_FALSE(parse_cli_metric({}, 0).ok());
+  EXPECT_FALSE(parse_cli_metric({"name"}, 0).ok());
+  EXPECT_FALSE(parse_cli_metric({"name", "notanumber"}, 0).ok());
+  EXPECT_FALSE(parse_cli_metric({"name", "1.0", "badtag"}, 0).ok());
+  EXPECT_FALSE(parse_cli_metric({"--event", "onlyname"}, 0).ok());
+}
+
+// ---------------------------------------------------------------- hooks
+
+TEST_F(UserMetricTest, AllocTrackerReportsFootprint) {
+  UserMetricClient um(client_, clock_, options());
+  AllocTracker tracker(um, 10 * kSec);
+  util::TimeNs t = clock_.now();
+  tracker.on_allocate(1 << 20, t);  // also triggers the first report
+  t += 20 * kSec;
+  tracker.on_allocate(3 << 20, t);
+  EXPECT_EQ(tracker.current_bytes(), 4 << 20);
+  t += 20 * kSec;
+  tracker.on_free(1 << 20, t);
+  EXPECT_EQ(tracker.current_bytes(), 3 << 20);
+  EXPECT_EQ(tracker.total_allocated(), 4u << 20);
+  um.flush();
+  // Each report emits allocated_bytes/allocated_total_bytes/allocation_calls.
+  int footprint_reports = 0;
+  for (const auto& p : sink_.points) {
+    if (p.field("allocated_bytes") != nullptr) ++footprint_reports;
+  }
+  EXPECT_EQ(footprint_reports, 3);
+}
+
+TEST_F(UserMetricTest, AllocTrackerRespectsInterval) {
+  UserMetricClient um(client_, clock_, options());
+  AllocTracker tracker(um, 100 * kSec);
+  const util::TimeNs t = clock_.now();
+  tracker.on_allocate(100, t);       // first report
+  tracker.on_allocate(100, t + 1);   // within interval: suppressed
+  tracker.on_allocate(100, t + 2);
+  um.flush();
+  int reports = 0;
+  for (const auto& p : sink_.points) {
+    if (p.field("allocated_bytes") != nullptr) ++reports;
+  }
+  EXPECT_EQ(reports, 1);
+}
+
+TEST_F(UserMetricTest, AffinityReporterEmitsEvents) {
+  UserMetricClient um(client_, clock_, options());
+  AffinityReporter reporter(um);
+  reporter.on_set_affinity(3, 12, clock_.now());
+  um.flush();
+  ASSERT_EQ(sink_.points.size(), 1u);
+  EXPECT_EQ(sink_.points[0].tag("event"), "set_affinity");
+  EXPECT_EQ(sink_.points[0].tag("tid"), "3");
+  EXPECT_NE(sink_.points[0].field("text")->as_string().find("cpu 12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lms::usermetric

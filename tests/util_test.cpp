@@ -1,0 +1,431 @@
+// Unit tests for the util module: clock, strings, rng, config, xml, queue.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "lms/util/clock.hpp"
+#include "lms/util/config.hpp"
+#include "lms/util/queue.hpp"
+#include "lms/util/rng.hpp"
+#include "lms/util/status.hpp"
+#include "lms/util/strings.hpp"
+#include "lms/util/ascii_chart.hpp"
+#include "lms/util/xml.hpp"
+
+namespace lms::util {
+namespace {
+
+// ---------------------------------------------------------------- clock
+
+TEST(Clock, SecondsConversionRoundTrip) {
+  EXPECT_EQ(seconds_to_ns(1.5), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(ns_to_seconds(2'500'000'000LL), 2.5);
+  EXPECT_EQ(seconds_to_ns(0.0), 0);
+  EXPECT_EQ(seconds_to_ns(-2.0), -2 * kNanosPerSecond);
+}
+
+TEST(Clock, SecondsConversionSaturates) {
+  EXPECT_EQ(seconds_to_ns(1e30), std::numeric_limits<TimeNs>::max());
+  EXPECT_EQ(seconds_to_ns(-1e30), std::numeric_limits<TimeNs>::min());
+}
+
+TEST(Clock, SimClockAdvances) {
+  SimClock clock(100);
+  EXPECT_EQ(clock.now(), 100);
+  EXPECT_EQ(clock.advance(50), 150);
+  EXPECT_EQ(clock.now(), 150);
+  clock.advance_seconds(1.0);
+  EXPECT_EQ(clock.now(), 150 + kNanosPerSecond);
+}
+
+TEST(Clock, SimClockSetForwardOnly) {
+  SimClock clock(100);
+  clock.set(200);
+  EXPECT_EQ(clock.now(), 200);
+  EXPECT_THROW(clock.set(50), std::invalid_argument);
+}
+
+TEST(Clock, SimClockThreadSafety) {
+  SimClock clock(0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < 1000; ++i) clock.advance(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(clock.now(), 4000);
+}
+
+TEST(Clock, WallClockIsReasonable) {
+  const TimeNs t = WallClock::instance().now();
+  // Past 2020-01-01, before 2100.
+  EXPECT_GT(t, 1'577'836'800LL * kNanosPerSecond);
+  EXPECT_LT(t, 4'102'444'800LL * kNanosPerSecond);
+}
+
+TEST(Clock, FormatUtc) {
+  // 2017-07-14T02:40:00Z = 1500000000 s.
+  EXPECT_EQ(format_utc(1'500'000'000LL * kNanosPerSecond), "2017-07-14T02:40:00.000Z");
+  EXPECT_EQ(format_utc(1'500'000'000LL * kNanosPerSecond + 250 * kNanosPerMilli),
+            "2017-07-14T02:40:00.250Z");
+}
+
+TEST(Clock, FormatDuration) {
+  EXPECT_EQ(format_duration(500), "500ns");
+  EXPECT_EQ(format_duration(1'500), "1.5us");
+  EXPECT_EQ(format_duration(2'500'000), "2.5ms");
+  EXPECT_EQ(format_duration(12'500'000'000LL), "12.5s");
+  EXPECT_EQ(format_duration(90 * kNanosPerSecond), "1m30s");
+  EXPECT_EQ(format_duration(3 * kNanosPerHour + 5 * kNanosPerMinute), "3h05m");
+  EXPECT_EQ(format_duration(-(2 * kNanosPerSecond)), "-2.0s");
+}
+
+// ---------------------------------------------------------------- status
+
+TEST(Status, OkAndError) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.message(), "");
+  Status err = Status::error("boom");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.message(), "boom");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  auto e = Result<int>::error("bad");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.message(), "bad");
+  Result<std::string> s(std::string("hi"));
+  EXPECT_EQ(s.take(), "hi");
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split_trimmed(" a , ,b ", ','), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Strings, SplitOnce) {
+  const auto [a, b] = split_once("key=value=more", '=');
+  EXPECT_EQ(a, "key");
+  EXPECT_EQ(b, "value=more");
+  const auto [c, d] = split_once("nokey", '=');
+  EXPECT_EQ(c, "nokey");
+  EXPECT_EQ(d, "");
+}
+
+TEST(Strings, TrimAndJoin) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, PrefixSuffixCase) {
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_FALSE(starts_with("he", "hello"));
+  EXPECT_TRUE(ends_with("hello", "llo"));
+  EXPECT_TRUE(iequals("Content-Type", "content-type"));
+  EXPECT_FALSE(iequals("a", "ab"));
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+}
+
+TEST(Strings, ParseNumbers) {
+  EXPECT_EQ(parse_double("3.25"), 3.25);
+  EXPECT_EQ(parse_double("-1e3"), -1000.0);
+  EXPECT_FALSE(parse_double("3.25x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_EQ(parse_int64("-42"), -42);
+  EXPECT_FALSE(parse_int64("42.5").has_value());
+}
+
+TEST(Strings, FormatDoubleRoundTrips) {
+  for (const double v : {0.0, 1.0, -2.5, 3.141592653589793, 1e-9, 6.02e23, 205982.89121842667}) {
+    const auto parsed = parse_double(format_double(v));
+    ASSERT_TRUE(parsed.has_value()) << format_double(v);
+    EXPECT_EQ(*parsed, v);
+  }
+}
+
+TEST(Strings, UrlCoding) {
+  EXPECT_EQ(url_encode("a b/c"), "a%20b%2Fc");
+  EXPECT_EQ(url_decode("a%20b%2Fc"), "a b/c");
+  EXPECT_EQ(url_decode("a+b"), "a b");
+  EXPECT_EQ(url_decode(url_encode("SELECT mean(x) FROM m WHERE t='v'")),
+            "SELECT mean(x) FROM m WHERE t='v'");
+  EXPECT_EQ(url_decode("%zz"), "%zz");  // malformed escape passes through
+}
+
+TEST(Strings, GlobMatch) {
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("h?", "h1"));
+  EXPECT_TRUE(glob_match("likwid_*", "likwid_mem_dp"));
+  EXPECT_FALSE(glob_match("likwid_*", "cpu"));
+  EXPECT_TRUE(glob_match("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(glob_match("a*b*c", "aXXbYY"));
+  EXPECT_TRUE(glob_match("", ""));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("x", "", "y"), "x");
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    const double w = rng.uniform(5.0, 6.0);
+    EXPECT_GE(w, 5.0);
+    EXPECT_LT(w, 6.0);
+    const std::int64_t n = rng.uniform_int(-3, 3);
+    EXPECT_GE(n, -3);
+    EXPECT_LE(n, 3);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(99);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng rng(3);
+  Rng a = rng.fork(1);
+  Rng b = rng.fork(2);
+  // Different labels must give different streams.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+// ---------------------------------------------------------------- config
+
+TEST(Config, ParseAndLookup) {
+  const auto cfg = Config::parse(R"(
+# comment
+[router]
+db_url = http://localhost:8086
+duplicate = true
+batch = 500
+timeout = 2.5
+nodes = h1, h2, h3
+
+[agent]
+interval = 10
+)");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->get("router", "db_url"), "http://localhost:8086");
+  EXPECT_EQ(cfg->get_bool("router", "duplicate"), true);
+  EXPECT_EQ(cfg->get_int("router", "batch"), 500);
+  EXPECT_EQ(cfg->get_double("router", "timeout"), 2.5);
+  EXPECT_EQ(cfg->get_list("router", "nodes"),
+            (std::vector<std::string>{"h1", "h2", "h3"}));
+  EXPECT_EQ(cfg->get_int_or("agent", "interval", 0), 10);
+  EXPECT_EQ(cfg->get_or("agent", "missing", "fallback"), "fallback");
+  EXPECT_FALSE(cfg->has("nope", "nothing"));
+  EXPECT_EQ(cfg->sections(), (std::vector<std::string>{"router", "agent"}));
+}
+
+TEST(Config, RejectsMalformedSection) {
+  EXPECT_FALSE(Config::parse("[unclosed\nkey = v").ok());
+}
+
+TEST(Config, SetAndSerializeRoundTrip) {
+  Config cfg;
+  cfg.set("a", "x", "1");
+  cfg.set("a", "y", "2");
+  cfg.set("b", "z", "3");
+  cfg.set("a", "x", "9");  // overwrite
+  const auto reparsed = Config::parse(cfg.to_string());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->get_int("a", "x"), 9);
+  EXPECT_EQ(reparsed->get_int("a", "y"), 2);
+  EXPECT_EQ(reparsed->get_int("b", "z"), 3);
+}
+
+// ---------------------------------------------------------------- xml
+
+TEST(Xml, ParsesGmondStyleDocument) {
+  const auto doc = xml_parse(R"(<?xml version="1.0"?>
+<!DOCTYPE GANGLIA_XML>
+<GANGLIA_XML VERSION="3.7">
+  <CLUSTER NAME="test">
+    <HOST NAME="h1"><METRIC NAME="load_one" VAL="0.5" TYPE="double"/></HOST>
+    <HOST NAME="h2"><METRIC NAME="load_one" VAL="1.5" TYPE="double"/></HOST>
+  </CLUSTER>
+</GANGLIA_XML>)");
+  ASSERT_TRUE(doc.ok()) << doc.message();
+  EXPECT_EQ(doc->name, "GANGLIA_XML");
+  EXPECT_EQ(doc->attr("VERSION"), "3.7");
+  const auto* cluster = doc->child("CLUSTER");
+  ASSERT_NE(cluster, nullptr);
+  const auto hosts = cluster->children_named("HOST");
+  ASSERT_EQ(hosts.size(), 2u);
+  EXPECT_EQ(hosts[1]->attr("NAME"), "h2");
+  EXPECT_EQ(hosts[0]->child("METRIC")->attr("VAL"), "0.5");
+}
+
+TEST(Xml, TextAndEntities) {
+  const auto doc = xml_parse("<a x='1 &amp; 2'>hello &lt;world&gt;<!-- c --></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->attr("x"), "1 & 2");
+  EXPECT_EQ(doc->text, "hello <world>");
+}
+
+TEST(Xml, RejectsMismatchedTags) {
+  EXPECT_FALSE(xml_parse("<a><b></a></b>").ok());
+  EXPECT_FALSE(xml_parse("<a>").ok());
+  EXPECT_FALSE(xml_parse("<a></a><b></b>").ok());
+}
+
+TEST(Xml, EscapeRoundTrip) {
+  const std::string nasty = "<>&\"'";
+  const auto doc = xml_parse("<a v=\"" + xml_escape(nasty) + "\">" + xml_escape(nasty) + "</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->attr("v"), nasty);
+  EXPECT_EQ(doc->text, nasty);
+}
+
+// ---------------------------------------------------------------- chart
+
+TEST(AsciiChart, RendersValuesWithinScale) {
+  AsciiChartOptions opts;
+  opts.width = 20;
+  opts.height = 5;
+  opts.title = "test chart";
+  const std::string out = ascii_chart({0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, opts);
+  EXPECT_NE(out.find("test chart"), std::string::npos);
+  EXPECT_NE(out.find("10.0"), std::string::npos);  // max on the axis
+  EXPECT_NE(out.find("0.0"), std::string::npos);   // min on the axis
+  EXPECT_NE(out.find('*'), std::string::npos);
+  // Every line between title and legend is bounded by the axis width.
+  for (const auto& line : split(out, '\n')) {
+    EXPECT_LE(line.size(), 100u);
+  }
+}
+
+TEST(AsciiChart, MultiSeriesUsesLabelGlyphs) {
+  AsciiChartOptions opts;
+  opts.width = 16;
+  opts.height = 4;
+  opts.threshold = 5.0;
+  opts.show_threshold = true;
+  const std::string out = ascii_chart_multi({"alpha", "beta"},
+                                            {{10, 10, 10, 10}, {1, 1, 1, 1}}, opts);
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+  EXPECT_NE(out.find("threshold"), std::string::npos);
+  EXPECT_NE(out.find("a=alpha"), std::string::npos);
+}
+
+TEST(AsciiChart, HandlesDegenerateInput) {
+  AsciiChartOptions opts;
+  EXPECT_NE(ascii_chart({}, opts).find("no data"), std::string::npos);
+  // Constant series must not divide by zero.
+  const std::string out = ascii_chart({5, 5, 5}, opts);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  // More columns than samples: still renders.
+  opts.width = 50;
+  EXPECT_NE(ascii_chart({1, 2}, opts).find('*'), std::string::npos);
+}
+
+// ---------------------------------------------------------------- queue
+
+TEST(Queue, PushPopOrder) {
+  BoundedQueue<int> q(10);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(Queue, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  q.try_pop();
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(Queue, CloseDrainsAndRejects) {
+  BoundedQueue<int> q(10);
+  q.push(1);
+  q.close();
+  EXPECT_FALSE(q.push(2));
+  EXPECT_EQ(q.pop(), 1);       // drain
+  EXPECT_FALSE(q.pop().has_value());  // then empty-closed
+}
+
+TEST(Queue, PopForTimesOut) {
+  BoundedQueue<int> q(1);
+  const auto t0 = monotonic_now_ns();
+  EXPECT_FALSE(q.pop_for(20 * kNanosPerMilli).has_value());
+  EXPECT_GE(monotonic_now_ns() - t0, 10 * kNanosPerMilli);
+}
+
+TEST(Queue, ProducerConsumerThreads) {
+  BoundedQueue<int> q(16);
+  std::atomic<long> sum{0};
+  std::thread consumer([&] {
+    while (auto v = q.pop()) sum += *v;
+  });
+  std::thread producer([&] {
+    for (int i = 1; i <= 1000; ++i) q.push(i);
+    q.close();
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(sum.load(), 1000L * 1001 / 2);
+}
+
+}  // namespace
+}  // namespace lms::util
