@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dashboard.dir/bench_dashboard.cpp.o"
+  "CMakeFiles/bench_dashboard.dir/bench_dashboard.cpp.o.d"
+  "bench_dashboard"
+  "bench_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_minimd.dir/bench_fig3_minimd.cpp.o"
+  "CMakeFiles/bench_fig3_minimd.dir/bench_fig3_minimd.cpp.o.d"
+  "bench_fig3_minimd"
+  "bench_fig3_minimd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_minimd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

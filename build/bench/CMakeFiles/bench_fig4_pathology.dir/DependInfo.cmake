@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_pathology.cpp" "bench/CMakeFiles/bench_fig4_pathology.dir/bench_fig4_pathology.cpp.o" "gcc" "bench/CMakeFiles/bench_fig4_pathology.dir/bench_fig4_pathology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/lms_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dashboard/CMakeFiles/lms_dashboard.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lms_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/collector/CMakeFiles/lms_collector.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lms_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdb/CMakeFiles/lms_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/usermetric/CMakeFiles/lms_usermetric.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpm/CMakeFiles/lms_hpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysmon/CMakeFiles/lms_sysmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/lms_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/lineproto/CMakeFiles/lms_lineproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

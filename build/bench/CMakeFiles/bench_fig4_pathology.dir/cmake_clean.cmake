@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_pathology.dir/bench_fig4_pathology.cpp.o"
+  "CMakeFiles/bench_fig4_pathology.dir/bench_fig4_pathology.cpp.o.d"
+  "bench_fig4_pathology"
+  "bench_fig4_pathology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_pathology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

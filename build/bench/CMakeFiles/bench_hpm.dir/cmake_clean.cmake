@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hpm.dir/bench_hpm.cpp.o"
+  "CMakeFiles/bench_hpm.dir/bench_hpm.cpp.o.d"
+  "bench_hpm"
+  "bench_hpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

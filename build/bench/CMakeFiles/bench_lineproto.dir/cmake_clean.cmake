@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lineproto.dir/bench_lineproto.cpp.o"
+  "CMakeFiles/bench_lineproto.dir/bench_lineproto.cpp.o.d"
+  "bench_lineproto"
+  "bench_lineproto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lineproto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_usermetric.dir/bench_usermetric.cpp.o"
+  "CMakeFiles/bench_usermetric.dir/bench_usermetric.cpp.o.d"
+  "bench_usermetric"
+  "bench_usermetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_usermetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

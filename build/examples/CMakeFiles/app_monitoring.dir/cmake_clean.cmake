@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_monitoring.dir/app_monitoring.cpp.o"
+  "CMakeFiles/app_monitoring.dir/app_monitoring.cpp.o.d"
+  "app_monitoring"
+  "app_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

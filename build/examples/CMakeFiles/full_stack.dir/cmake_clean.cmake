@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_stack.dir/full_stack.cpp.o"
+  "CMakeFiles/full_stack.dir/full_stack.cpp.o.d"
+  "full_stack"
+  "full_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

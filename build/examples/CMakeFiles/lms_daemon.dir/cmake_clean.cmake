@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lms_daemon.dir/lms_daemon.cpp.o"
+  "CMakeFiles/lms_daemon.dir/lms_daemon.cpp.o.d"
+  "lms_daemon"
+  "lms_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lms_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_agent.dir/node_agent.cpp.o"
+  "CMakeFiles/node_agent.dir/node_agent.cpp.o.d"
+  "node_agent"
+  "node_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfctr.dir/perfctr.cpp.o"
+  "CMakeFiles/perfctr.dir/perfctr.cpp.o.d"
+  "perfctr"
+  "perfctr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfctr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usermetric_cli.dir/usermetric_cli.cpp.o"
+  "CMakeFiles/usermetric_cli.dir/usermetric_cli.cpp.o.d"
+  "usermetric_cli"
+  "usermetric_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usermetric_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("json")
+subdirs("lineproto")
+subdirs("net")
+subdirs("tsdb")
+subdirs("hpm")
+subdirs("sysmon")
+subdirs("usermetric")
+subdirs("collector")
+subdirs("core")
+subdirs("sched")
+subdirs("analysis")
+subdirs("dashboard")
+subdirs("cluster")

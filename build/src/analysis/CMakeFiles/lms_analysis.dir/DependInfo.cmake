@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/aggregator.cpp" "src/analysis/CMakeFiles/lms_analysis.dir/aggregator.cpp.o" "gcc" "src/analysis/CMakeFiles/lms_analysis.dir/aggregator.cpp.o.d"
+  "/root/repo/src/analysis/fetch.cpp" "src/analysis/CMakeFiles/lms_analysis.dir/fetch.cpp.o" "gcc" "src/analysis/CMakeFiles/lms_analysis.dir/fetch.cpp.o.d"
+  "/root/repo/src/analysis/online.cpp" "src/analysis/CMakeFiles/lms_analysis.dir/online.cpp.o" "gcc" "src/analysis/CMakeFiles/lms_analysis.dir/online.cpp.o.d"
+  "/root/repo/src/analysis/patterns.cpp" "src/analysis/CMakeFiles/lms_analysis.dir/patterns.cpp.o" "gcc" "src/analysis/CMakeFiles/lms_analysis.dir/patterns.cpp.o.d"
+  "/root/repo/src/analysis/recorder.cpp" "src/analysis/CMakeFiles/lms_analysis.dir/recorder.cpp.o" "gcc" "src/analysis/CMakeFiles/lms_analysis.dir/recorder.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/lms_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/lms_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/roofline.cpp" "src/analysis/CMakeFiles/lms_analysis.dir/roofline.cpp.o" "gcc" "src/analysis/CMakeFiles/lms_analysis.dir/roofline.cpp.o.d"
+  "/root/repo/src/analysis/rules.cpp" "src/analysis/CMakeFiles/lms_analysis.dir/rules.cpp.o" "gcc" "src/analysis/CMakeFiles/lms_analysis.dir/rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tsdb/CMakeFiles/lms_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpm/CMakeFiles/lms_hpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/lms_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/lineproto/CMakeFiles/lms_lineproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lms_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lms_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

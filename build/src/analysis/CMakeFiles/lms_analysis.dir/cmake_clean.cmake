@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lms_analysis.dir/aggregator.cpp.o"
+  "CMakeFiles/lms_analysis.dir/aggregator.cpp.o.d"
+  "CMakeFiles/lms_analysis.dir/fetch.cpp.o"
+  "CMakeFiles/lms_analysis.dir/fetch.cpp.o.d"
+  "CMakeFiles/lms_analysis.dir/online.cpp.o"
+  "CMakeFiles/lms_analysis.dir/online.cpp.o.d"
+  "CMakeFiles/lms_analysis.dir/patterns.cpp.o"
+  "CMakeFiles/lms_analysis.dir/patterns.cpp.o.d"
+  "CMakeFiles/lms_analysis.dir/recorder.cpp.o"
+  "CMakeFiles/lms_analysis.dir/recorder.cpp.o.d"
+  "CMakeFiles/lms_analysis.dir/report.cpp.o"
+  "CMakeFiles/lms_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/lms_analysis.dir/roofline.cpp.o"
+  "CMakeFiles/lms_analysis.dir/roofline.cpp.o.d"
+  "CMakeFiles/lms_analysis.dir/rules.cpp.o"
+  "CMakeFiles/lms_analysis.dir/rules.cpp.o.d"
+  "liblms_analysis.a"
+  "liblms_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lms_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

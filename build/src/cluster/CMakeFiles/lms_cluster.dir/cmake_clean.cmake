@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lms_cluster.dir/harness.cpp.o"
+  "CMakeFiles/lms_cluster.dir/harness.cpp.o.d"
+  "CMakeFiles/lms_cluster.dir/minimd.cpp.o"
+  "CMakeFiles/lms_cluster.dir/minimd.cpp.o.d"
+  "CMakeFiles/lms_cluster.dir/workloads.cpp.o"
+  "CMakeFiles/lms_cluster.dir/workloads.cpp.o.d"
+  "liblms_cluster.a"
+  "liblms_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lms_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

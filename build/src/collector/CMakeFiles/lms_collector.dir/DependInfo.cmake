@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collector/agent.cpp" "src/collector/CMakeFiles/lms_collector.dir/agent.cpp.o" "gcc" "src/collector/CMakeFiles/lms_collector.dir/agent.cpp.o.d"
+  "/root/repo/src/collector/plugins.cpp" "src/collector/CMakeFiles/lms_collector.dir/plugins.cpp.o" "gcc" "src/collector/CMakeFiles/lms_collector.dir/plugins.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sysmon/CMakeFiles/lms_sysmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpm/CMakeFiles/lms_hpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lineproto/CMakeFiles/lms_lineproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

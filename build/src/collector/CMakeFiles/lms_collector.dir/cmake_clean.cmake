@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lms_collector.dir/agent.cpp.o"
+  "CMakeFiles/lms_collector.dir/agent.cpp.o.d"
+  "CMakeFiles/lms_collector.dir/plugins.cpp.o"
+  "CMakeFiles/lms_collector.dir/plugins.cpp.o.d"
+  "liblms_collector.a"
+  "liblms_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lms_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

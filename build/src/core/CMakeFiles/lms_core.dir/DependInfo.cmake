@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/pullproxy.cpp" "src/core/CMakeFiles/lms_core.dir/pullproxy.cpp.o" "gcc" "src/core/CMakeFiles/lms_core.dir/pullproxy.cpp.o.d"
+  "/root/repo/src/core/router.cpp" "src/core/CMakeFiles/lms_core.dir/router.cpp.o" "gcc" "src/core/CMakeFiles/lms_core.dir/router.cpp.o.d"
+  "/root/repo/src/core/tagstore.cpp" "src/core/CMakeFiles/lms_core.dir/tagstore.cpp.o" "gcc" "src/core/CMakeFiles/lms_core.dir/tagstore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/lms_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/lineproto/CMakeFiles/lms_lineproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lms_core.dir/pullproxy.cpp.o"
+  "CMakeFiles/lms_core.dir/pullproxy.cpp.o.d"
+  "CMakeFiles/lms_core.dir/router.cpp.o"
+  "CMakeFiles/lms_core.dir/router.cpp.o.d"
+  "CMakeFiles/lms_core.dir/tagstore.cpp.o"
+  "CMakeFiles/lms_core.dir/tagstore.cpp.o.d"
+  "liblms_core.a"
+  "liblms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lms_dashboard.dir/agent.cpp.o"
+  "CMakeFiles/lms_dashboard.dir/agent.cpp.o.d"
+  "CMakeFiles/lms_dashboard.dir/templates.cpp.o"
+  "CMakeFiles/lms_dashboard.dir/templates.cpp.o.d"
+  "liblms_dashboard.a"
+  "liblms_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lms_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

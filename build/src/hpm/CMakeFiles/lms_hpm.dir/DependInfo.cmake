@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpm/arch.cpp" "src/hpm/CMakeFiles/lms_hpm.dir/arch.cpp.o" "gcc" "src/hpm/CMakeFiles/lms_hpm.dir/arch.cpp.o.d"
+  "/root/repo/src/hpm/formula.cpp" "src/hpm/CMakeFiles/lms_hpm.dir/formula.cpp.o" "gcc" "src/hpm/CMakeFiles/lms_hpm.dir/formula.cpp.o.d"
+  "/root/repo/src/hpm/groups_builtin.cpp" "src/hpm/CMakeFiles/lms_hpm.dir/groups_builtin.cpp.o" "gcc" "src/hpm/CMakeFiles/lms_hpm.dir/groups_builtin.cpp.o.d"
+  "/root/repo/src/hpm/monitor.cpp" "src/hpm/CMakeFiles/lms_hpm.dir/monitor.cpp.o" "gcc" "src/hpm/CMakeFiles/lms_hpm.dir/monitor.cpp.o.d"
+  "/root/repo/src/hpm/perfgroup.cpp" "src/hpm/CMakeFiles/lms_hpm.dir/perfgroup.cpp.o" "gcc" "src/hpm/CMakeFiles/lms_hpm.dir/perfgroup.cpp.o.d"
+  "/root/repo/src/hpm/simulator.cpp" "src/hpm/CMakeFiles/lms_hpm.dir/simulator.cpp.o" "gcc" "src/hpm/CMakeFiles/lms_hpm.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lineproto/CMakeFiles/lms_lineproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

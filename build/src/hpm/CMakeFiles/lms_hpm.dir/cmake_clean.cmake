@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lms_hpm.dir/arch.cpp.o"
+  "CMakeFiles/lms_hpm.dir/arch.cpp.o.d"
+  "CMakeFiles/lms_hpm.dir/formula.cpp.o"
+  "CMakeFiles/lms_hpm.dir/formula.cpp.o.d"
+  "CMakeFiles/lms_hpm.dir/groups_builtin.cpp.o"
+  "CMakeFiles/lms_hpm.dir/groups_builtin.cpp.o.d"
+  "CMakeFiles/lms_hpm.dir/monitor.cpp.o"
+  "CMakeFiles/lms_hpm.dir/monitor.cpp.o.d"
+  "CMakeFiles/lms_hpm.dir/perfgroup.cpp.o"
+  "CMakeFiles/lms_hpm.dir/perfgroup.cpp.o.d"
+  "CMakeFiles/lms_hpm.dir/simulator.cpp.o"
+  "CMakeFiles/lms_hpm.dir/simulator.cpp.o.d"
+  "liblms_hpm.a"
+  "liblms_hpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lms_hpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

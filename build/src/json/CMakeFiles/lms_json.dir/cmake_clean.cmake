@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lms_json.dir/json.cpp.o"
+  "CMakeFiles/lms_json.dir/json.cpp.o.d"
+  "liblms_json.a"
+  "liblms_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lms_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

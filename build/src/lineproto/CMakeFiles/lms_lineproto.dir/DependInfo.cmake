@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lineproto/codec.cpp" "src/lineproto/CMakeFiles/lms_lineproto.dir/codec.cpp.o" "gcc" "src/lineproto/CMakeFiles/lms_lineproto.dir/codec.cpp.o.d"
+  "/root/repo/src/lineproto/point.cpp" "src/lineproto/CMakeFiles/lms_lineproto.dir/point.cpp.o" "gcc" "src/lineproto/CMakeFiles/lms_lineproto.dir/point.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

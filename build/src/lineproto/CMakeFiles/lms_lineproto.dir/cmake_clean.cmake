@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lms_lineproto.dir/codec.cpp.o"
+  "CMakeFiles/lms_lineproto.dir/codec.cpp.o.d"
+  "CMakeFiles/lms_lineproto.dir/point.cpp.o"
+  "CMakeFiles/lms_lineproto.dir/point.cpp.o.d"
+  "liblms_lineproto.a"
+  "liblms_lineproto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lms_lineproto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/http.cpp" "src/net/CMakeFiles/lms_net.dir/http.cpp.o" "gcc" "src/net/CMakeFiles/lms_net.dir/http.cpp.o.d"
+  "/root/repo/src/net/pubsub.cpp" "src/net/CMakeFiles/lms_net.dir/pubsub.cpp.o" "gcc" "src/net/CMakeFiles/lms_net.dir/pubsub.cpp.o.d"
+  "/root/repo/src/net/tcp_http.cpp" "src/net/CMakeFiles/lms_net.dir/tcp_http.cpp.o" "gcc" "src/net/CMakeFiles/lms_net.dir/tcp_http.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/net/CMakeFiles/lms_net.dir/transport.cpp.o" "gcc" "src/net/CMakeFiles/lms_net.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

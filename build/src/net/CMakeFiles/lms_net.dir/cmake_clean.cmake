@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lms_net.dir/http.cpp.o"
+  "CMakeFiles/lms_net.dir/http.cpp.o.d"
+  "CMakeFiles/lms_net.dir/pubsub.cpp.o"
+  "CMakeFiles/lms_net.dir/pubsub.cpp.o.d"
+  "CMakeFiles/lms_net.dir/tcp_http.cpp.o"
+  "CMakeFiles/lms_net.dir/tcp_http.cpp.o.d"
+  "CMakeFiles/lms_net.dir/transport.cpp.o"
+  "CMakeFiles/lms_net.dir/transport.cpp.o.d"
+  "liblms_net.a"
+  "liblms_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lms_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lms_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/lms_sched.dir/scheduler.cpp.o.d"
+  "liblms_sched.a"
+  "liblms_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lms_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

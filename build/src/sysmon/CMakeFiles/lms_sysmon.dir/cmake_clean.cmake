@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lms_sysmon.dir/kernel.cpp.o"
+  "CMakeFiles/lms_sysmon.dir/kernel.cpp.o.d"
+  "CMakeFiles/lms_sysmon.dir/proc.cpp.o"
+  "CMakeFiles/lms_sysmon.dir/proc.cpp.o.d"
+  "liblms_sysmon.a"
+  "liblms_sysmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lms_sysmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

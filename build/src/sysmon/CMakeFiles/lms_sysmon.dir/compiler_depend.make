@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lms_sysmon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsdb/continuous.cpp" "src/tsdb/CMakeFiles/lms_tsdb.dir/continuous.cpp.o" "gcc" "src/tsdb/CMakeFiles/lms_tsdb.dir/continuous.cpp.o.d"
+  "/root/repo/src/tsdb/http_api.cpp" "src/tsdb/CMakeFiles/lms_tsdb.dir/http_api.cpp.o" "gcc" "src/tsdb/CMakeFiles/lms_tsdb.dir/http_api.cpp.o.d"
+  "/root/repo/src/tsdb/persist.cpp" "src/tsdb/CMakeFiles/lms_tsdb.dir/persist.cpp.o" "gcc" "src/tsdb/CMakeFiles/lms_tsdb.dir/persist.cpp.o.d"
+  "/root/repo/src/tsdb/query.cpp" "src/tsdb/CMakeFiles/lms_tsdb.dir/query.cpp.o" "gcc" "src/tsdb/CMakeFiles/lms_tsdb.dir/query.cpp.o.d"
+  "/root/repo/src/tsdb/storage.cpp" "src/tsdb/CMakeFiles/lms_tsdb.dir/storage.cpp.o" "gcc" "src/tsdb/CMakeFiles/lms_tsdb.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lineproto/CMakeFiles/lms_lineproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/lms_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

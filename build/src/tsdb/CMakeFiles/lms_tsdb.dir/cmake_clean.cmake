@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lms_tsdb.dir/continuous.cpp.o"
+  "CMakeFiles/lms_tsdb.dir/continuous.cpp.o.d"
+  "CMakeFiles/lms_tsdb.dir/http_api.cpp.o"
+  "CMakeFiles/lms_tsdb.dir/http_api.cpp.o.d"
+  "CMakeFiles/lms_tsdb.dir/persist.cpp.o"
+  "CMakeFiles/lms_tsdb.dir/persist.cpp.o.d"
+  "CMakeFiles/lms_tsdb.dir/query.cpp.o"
+  "CMakeFiles/lms_tsdb.dir/query.cpp.o.d"
+  "CMakeFiles/lms_tsdb.dir/storage.cpp.o"
+  "CMakeFiles/lms_tsdb.dir/storage.cpp.o.d"
+  "liblms_tsdb.a"
+  "liblms_tsdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lms_tsdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

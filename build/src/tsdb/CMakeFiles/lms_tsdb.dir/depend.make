@@ -1,0 +1,2 @@
+# Empty dependencies file for lms_tsdb.
+# This may be replaced when dependencies are built.

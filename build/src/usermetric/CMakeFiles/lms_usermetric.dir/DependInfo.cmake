@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/usermetric/hooks.cpp" "src/usermetric/CMakeFiles/lms_usermetric.dir/hooks.cpp.o" "gcc" "src/usermetric/CMakeFiles/lms_usermetric.dir/hooks.cpp.o.d"
+  "/root/repo/src/usermetric/mpi_profiler.cpp" "src/usermetric/CMakeFiles/lms_usermetric.dir/mpi_profiler.cpp.o" "gcc" "src/usermetric/CMakeFiles/lms_usermetric.dir/mpi_profiler.cpp.o.d"
+  "/root/repo/src/usermetric/omp_profiler.cpp" "src/usermetric/CMakeFiles/lms_usermetric.dir/omp_profiler.cpp.o" "gcc" "src/usermetric/CMakeFiles/lms_usermetric.dir/omp_profiler.cpp.o.d"
+  "/root/repo/src/usermetric/usermetric.cpp" "src/usermetric/CMakeFiles/lms_usermetric.dir/usermetric.cpp.o" "gcc" "src/usermetric/CMakeFiles/lms_usermetric.dir/usermetric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lineproto/CMakeFiles/lms_lineproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

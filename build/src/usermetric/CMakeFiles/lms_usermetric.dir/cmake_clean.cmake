@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lms_usermetric.dir/hooks.cpp.o"
+  "CMakeFiles/lms_usermetric.dir/hooks.cpp.o.d"
+  "CMakeFiles/lms_usermetric.dir/mpi_profiler.cpp.o"
+  "CMakeFiles/lms_usermetric.dir/mpi_profiler.cpp.o.d"
+  "CMakeFiles/lms_usermetric.dir/omp_profiler.cpp.o"
+  "CMakeFiles/lms_usermetric.dir/omp_profiler.cpp.o.d"
+  "CMakeFiles/lms_usermetric.dir/usermetric.cpp.o"
+  "CMakeFiles/lms_usermetric.dir/usermetric.cpp.o.d"
+  "liblms_usermetric.a"
+  "liblms_usermetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lms_usermetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

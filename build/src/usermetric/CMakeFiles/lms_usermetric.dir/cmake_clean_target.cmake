@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblms_usermetric.a"
+)

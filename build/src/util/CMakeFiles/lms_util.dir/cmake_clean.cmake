@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lms_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/lms_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/lms_util.dir/clock.cpp.o"
+  "CMakeFiles/lms_util.dir/clock.cpp.o.d"
+  "CMakeFiles/lms_util.dir/config.cpp.o"
+  "CMakeFiles/lms_util.dir/config.cpp.o.d"
+  "CMakeFiles/lms_util.dir/logging.cpp.o"
+  "CMakeFiles/lms_util.dir/logging.cpp.o.d"
+  "CMakeFiles/lms_util.dir/rng.cpp.o"
+  "CMakeFiles/lms_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lms_util.dir/strings.cpp.o"
+  "CMakeFiles/lms_util.dir/strings.cpp.o.d"
+  "CMakeFiles/lms_util.dir/xml.cpp.o"
+  "CMakeFiles/lms_util.dir/xml.cpp.o.d"
+  "liblms_util.a"
+  "liblms_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lms_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpm_test.dir/hpm_test.cpp.o"
+  "CMakeFiles/hpm_test.dir/hpm_test.cpp.o.d"
+  "hpm_test"
+  "hpm_test.pdb"
+  "hpm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

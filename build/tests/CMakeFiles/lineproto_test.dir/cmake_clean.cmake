@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lineproto_test.dir/lineproto_test.cpp.o"
+  "CMakeFiles/lineproto_test.dir/lineproto_test.cpp.o.d"
+  "lineproto_test"
+  "lineproto_test.pdb"
+  "lineproto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lineproto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sysmon_collector_test.cpp" "tests/CMakeFiles/sysmon_collector_test.dir/sysmon_collector_test.cpp.o" "gcc" "tests/CMakeFiles/sysmon_collector_test.dir/sysmon_collector_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collector/CMakeFiles/lms_collector.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysmon/CMakeFiles/lms_sysmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpm/CMakeFiles/lms_hpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lineproto/CMakeFiles/lms_lineproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

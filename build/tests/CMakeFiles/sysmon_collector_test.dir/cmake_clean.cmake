@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysmon_collector_test.dir/sysmon_collector_test.cpp.o"
+  "CMakeFiles/sysmon_collector_test.dir/sysmon_collector_test.cpp.o.d"
+  "sysmon_collector_test"
+  "sysmon_collector_test.pdb"
+  "sysmon_collector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysmon_collector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

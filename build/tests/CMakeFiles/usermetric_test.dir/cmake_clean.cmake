@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usermetric_test.dir/usermetric_test.cpp.o"
+  "CMakeFiles/usermetric_test.dir/usermetric_test.cpp.o.d"
+  "usermetric_test"
+  "usermetric_test.pdb"
+  "usermetric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usermetric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/lineproto_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/tsdb_test[1]_include.cmake")
+include("/root/repo/build/tests/hpm_test[1]_include.cmake")
+include("/root/repo/build/tests/sysmon_collector_test[1]_include.cmake")
+include("/root/repo/build/tests/router_test[1]_include.cmake")
+include("/root/repo/build/tests/usermetric_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/dashboard_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/roofline_test[1]_include.cmake")
+include("/root/repo/build/tests/proc_test[1]_include.cmake")
