@@ -22,6 +22,7 @@ int main() {
   opts.enable_aggregator = true;    // job-level aggregates via the PUB/SUB tap
   opts.enable_rollups = true;       // 5-minute downsampling rollups
   opts.record_findings = true;      // online findings stored as alert events
+  opts.enable_self_scrape = true;   // the stack monitors itself (lms_internal)
   cluster::ClusterHarness harness(opts);
 
   std::printf("== LMS full stack: 8 nodes, mixed job batch ==\n\n");
@@ -54,6 +55,7 @@ int main() {
     harness.run_for(10 * kMin);
     harness.dashboards().refresh(harness.router().running_jobs(), harness.now());
   }
+  harness.dashboards().generate_internals_dashboard(harness.now());
 
   // The alert history, straight from the database ("alerts" measurement).
   std::printf("\n-- alert history (online detection, recorded as events) --\n");
@@ -110,5 +112,24 @@ int main() {
     std::printf(" %s", uid.c_str());
   }
   std::printf("\n");
+
+  // The stack monitoring itself: the self-scrape wrote the shared registry
+  // back through the router, so the pipeline's own health is a measurement
+  // like any other — queryable, chartable, retained.
+  std::printf("\n-- self-monitoring (lms_internal, via obs self-scrape) --\n");
+  std::printf("self-scrape: %llu scrapes, %llu failures\n",
+              static_cast<unsigned long long>(harness.self_scrape()->scrapes()),
+              static_cast<unsigned long long>(harness.self_scrape()->failures()));
+  const char* internal_metrics[] = {"router_points_in", "router_write_ns", "tsdb_samples",
+                                    "http_server_requests"};
+  for (const char* metric : internal_metrics) {
+    const std::string q = std::string("SELECT last(") +
+                          (std::string(metric).find("_ns") != std::string::npos ? "p99" : "value") +
+                          ") FROM lms_internal WHERE metric='" + metric + "'";
+    auto result = tsdb::Engine(harness.storage()).query("lms", q, harness.now());
+    if (!result.ok() || result->series.empty() || result->series[0].values.empty()) continue;
+    std::printf("  %-22s %.0f\n", metric,
+                result->series[0].values[0][1].as_double());
+  }
   return 0;
 }

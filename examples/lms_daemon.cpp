@@ -15,6 +15,8 @@
 
 #include "lms/core/router.hpp"
 #include "lms/net/tcp_http.hpp"
+#include "lms/obs/metrics.hpp"
+#include "lms/obs/selfscrape.hpp"
 #include "lms/tsdb/http_api.hpp"
 #include "lms/tsdb/persist.hpp"
 #include "lms/util/config.hpp"
@@ -51,10 +53,16 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // One shared metrics registry: every component (DB engine, router, HTTP
+  // servers/clients) reports into it, so GET /metrics shows the whole
+  // process and one self-scrape covers the whole stack.
+  obs::Registry registry;
+
   // Database back-end with its InfluxDB-compatible HTTP API.
   tsdb::Storage storage;
   util::WallClock& clock = util::WallClock::instance();
   tsdb::HttpApi::Options db_opts;
+  db_opts.registry = &registry;
   db_opts.default_db = config->get_or("database", "default_db", "lms");
   if (const auto r = config->get("database", "retention")) {
     if (auto d = tsdb::parse_duration(*r); d.ok()) db_opts.retention = *d;
@@ -68,6 +76,7 @@ int main(int argc, char** argv) {
   }
   net::TcpHttpServer::Options db_srv_opts;
   db_srv_opts.port = static_cast<int>(config->get_int_or("database", "port", 0));
+  db_srv_opts.registry = &registry;
   net::TcpHttpServer db_server(db_api.handler(), db_srv_opts);
   if (auto p = db_server.start(); !p.ok()) {
     std::fprintf(stderr, "db server: %s\n", p.message().c_str());
@@ -75,22 +84,47 @@ int main(int argc, char** argv) {
   }
 
   // Metrics router in front of it.
-  net::TcpHttpClient db_client;
+  net::TcpHttpClient::Options db_client_opts;
+  db_client_opts.registry = &registry;
+  net::TcpHttpClient db_client(db_client_opts);
   core::MetricsRouter::Options router_opts;
+  router_opts.registry = &registry;
   router_opts.db_url = db_server.url();
   router_opts.database = db_opts.default_db;
   router_opts.duplicate_per_user = config->get_bool_or("router", "duplicate_per_user", false);
   router_opts.spool_capacity =
       static_cast<std::size_t>(config->get_int_or("router", "spool_capacity", 0));
   net::PubSubBroker broker;
+  broker.set_registry(&registry);
   core::MetricsRouter router(db_client, clock, router_opts, &broker);
   net::TcpHttpServer::Options router_srv_opts;
   router_srv_opts.port = static_cast<int>(config->get_int_or("router", "port", 0));
+  router_srv_opts.registry = &registry;
   net::TcpHttpServer router_server(router.handler(), router_srv_opts);
   if (auto p = router_server.start(); !p.ok()) {
     std::fprintf(stderr, "router server: %s\n", p.message().c_str());
     return 1;
   }
+
+  // Self-scrape: the daemon writes its own registry through the router, so
+  // operators can chart the stack's health ("lms_internal") next to the
+  // cluster data it stores.
+  net::TcpHttpClient scrape_client;  // plain client: no trace/metrics feedback loop
+  obs::SelfScrape::Options ss_opts;
+  ss_opts.tags = {{"hostname", "lms-daemon"}};
+  ss_opts.interval = static_cast<util::TimeNs>(
+      config->get_int_or("observability", "self_scrape_seconds", 5)) *
+      util::kNanosPerSecond;
+  obs::SelfScrape self_scrape(
+      registry, clock,
+      [&](const std::string& body) -> util::Status {
+        auto resp = scrape_client.post(
+            router_server.url() + "/write?db=" + db_opts.default_db, body, "text/plain");
+        if (!resp.ok()) return util::Status::error(resp.message());
+        if (!resp->ok()) return util::Status::error("HTTP " + std::to_string(resp->status));
+        return util::Status();
+      },
+      ss_opts);
 
   std::printf("== LMS daemon ==\n");
   std::printf("database (InfluxDB-compatible): %s\n", db_server.url().c_str());
@@ -102,12 +136,19 @@ int main(int argc, char** argv) {
   std::printf("  curl -XPOST '%s/write?db=lms' --data-binary "
               "'cpu,hostname='$(hostname)' user_percent=42'\n",
               router_server.url().c_str());
-  std::printf("  curl '%s/query?db=lms&q=SELECT%%20user_percent%%20FROM%%20cpu'\n\n",
+  std::printf("  curl '%s/query?db=lms&q=SELECT%%20user_percent%%20FROM%%20cpu'\n",
+              db_server.url().c_str());
+  std::printf("  curl '%s/metrics'          # router self-metrics (text)\n",
+              router_server.url().c_str());
+  std::printf("  curl '%s/metrics'          # DB engine self-metrics (text)\n\n",
               db_server.url().c_str());
 
   if (serve) {
-    std::printf("serving for %d seconds...\n", serve_seconds);
+    self_scrape.start();
+    std::printf("serving for %d seconds (self-scrape every %lld s)...\n", serve_seconds,
+                static_cast<long long>(ss_opts.interval / util::kNanosPerSecond));
     std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+    self_scrape.stop();
   } else {
     // Self-test: exactly the curl sequence above, over the live TCP ports.
     net::TcpHttpClient client;
@@ -131,6 +172,17 @@ int main(int argc, char** argv) {
     resp = client.post(router_server.url() + "/job/end", R"({"jobid":"1"})",
                        "application/json");
     check("job end signal", resp.ok() && resp->status == 204);
+    resp = client.get(router_server.url() + "/metrics");
+    check("router /metrics shows ingest",
+          resp.ok() && resp->status == 200 &&
+              resp->body.find("router_points_in 1") != std::string::npos);
+    check("self-scrape into own TSDB", self_scrape.scrape_once().ok());
+    resp = client.get(db_server.url() + "/query?db=lms&q=" +
+                      util::url_encode(
+                          "SELECT last(value) FROM lms_internal WHERE metric='router_points_in'"));
+    check("lms_internal queryable",
+          resp.ok() && resp->status == 200 &&
+              resp->body.find("lms_internal") != std::string::npos);
     std::printf("self-test %s\n", ok ? "passed" : "failed");
     if (!ok) return 1;
   }

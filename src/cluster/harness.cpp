@@ -12,8 +12,15 @@ ClusterHarness::ClusterHarness(Options options)
       rng_(options_.seed) {
   client_ = std::make_unique<net::InprocHttpClient>(network_);
 
+  // Every component reports into the harness-wide registry so one
+  // self-scrape covers the whole stack.
+  network_.set_registry(&registry_);
+  broker_.set_registry(&registry_);
+
   // Database back-end with its InfluxDB-compatible API.
-  db_api_ = std::make_unique<tsdb::HttpApi>(storage_, clock_);
+  tsdb::HttpApi::Options db_opts;
+  db_opts.registry = &registry_;
+  db_api_ = std::make_unique<tsdb::HttpApi>(storage_, clock_, db_opts);
   network_.bind(kDbEndpoint, db_api_->handler());
 
   // Metrics router in front of it.
@@ -21,6 +28,7 @@ ClusterHarness::ClusterHarness(Options options)
   router_opts.db_url = std::string("inproc://") + kDbEndpoint;
   router_opts.database = options_.database;
   router_opts.duplicate_per_user = options_.duplicate_per_user;
+  router_opts.registry = &registry_;
   router_ = std::make_unique<core::MetricsRouter>(*client_, clock_, router_opts, &broker_);
   network_.bind(kRouterEndpoint, router_->handler());
 
@@ -103,6 +111,7 @@ ClusterHarness::ClusterHarness(Options options)
     agent_opts.flush_interval = options_.collect_interval;
     agent_opts.self_monitor_interval = util::kNanosPerMinute;
     agent_opts.hostname = node.name;
+    agent_opts.registry = &registry_;
     node.agent = std::make_unique<collector::HostAgent>(*client_, agent_opts);
     node.agent->add_plugin(std::make_unique<collector::CpuPlugin>(*node.kernel, node.name),
                            options_.collect_interval);
@@ -122,6 +131,27 @@ ClusterHarness::ClusterHarness(Options options)
     }
     nodes_.push_back(std::move(node));
   }
+  // The stack monitoring itself: scrape the shared registry back through
+  // the router so lms_internal is queryable like any other measurement.
+  if (options_.enable_self_scrape) {
+    obs::SelfScrape::Options ss_opts;
+    ss_opts.tags = {{"hostname", "lms-stack"}};
+    ss_opts.interval = options_.self_scrape_interval;
+    self_scrape_ = std::make_unique<obs::SelfScrape>(
+        registry_, clock_,
+        [this](const std::string& body) -> util::Status {
+          const std::string url = std::string("inproc://") + kRouterEndpoint +
+                                  "/write?db=" + options_.database;
+          auto resp = client_->post(url, body, "text/plain");
+          if (!resp.ok()) return util::Status::error(resp.message());
+          if (!resp->ok()) {
+            return util::Status::error("HTTP " + std::to_string(resp->status));
+          }
+          return util::Status();
+        },
+        ss_opts);
+  }
+
   idle_activity_.hpm = hpm::idle_load(*options_.arch);
   idle_activity_.kernel = sysmon::KernelLoad{};
   idle_activity_.kernel.cpu_user_fraction = 0.005;
@@ -264,6 +294,13 @@ void ClusterHarness::step_once() {
     finding_recorder_->record(analyzer_->engine().take_findings());
   }
   if (aggregator_ != nullptr) aggregator_->pump(now);
+
+  // Self-scrape on its own (sim-clock) cadence.
+  if (self_scrape_ != nullptr &&
+      now - last_self_scrape_ >= options_.self_scrape_interval) {
+    last_self_scrape_ = now;
+    (void)self_scrape_->scrape_once();
+  }
 
   // Periodic maintenance: continuous queries and retention, once a minute.
   if (now - last_maintenance_ >= util::kNanosPerMinute) {

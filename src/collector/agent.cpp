@@ -1,12 +1,38 @@
 #include "lms/collector/agent.hpp"
 
 #include "lms/lineproto/codec.hpp"
+#include "lms/obs/metrics.hpp"
 #include "lms/util/logging.hpp"
 
 namespace lms::collector {
 
+namespace {
+obs::Labels host_labels(const std::string& hostname) {
+  if (hostname.empty()) return {};
+  return {{"hostname", hostname}};
+}
+}  // namespace
+
 HostAgent::HostAgent(net::HttpClient& client, Options options)
-    : client_(client), options_(std::move(options)) {}
+    : client_(client), options_(std::move(options)) {
+  if (options_.registry != nullptr) {
+    const obs::Labels labels = host_labels(options_.hostname);
+    collected_c_ = &options_.registry->counter("collector_points_collected", labels);
+    sent_c_ = &options_.registry->counter("collector_points_sent", labels);
+    batches_c_ = &options_.registry->counter("collector_batches_sent", labels);
+    failures_c_ = &options_.registry->counter("collector_send_failures", labels);
+    dropped_c_ = &options_.registry->counter("collector_points_dropped", labels);
+    options_.registry->gauge_fn("collector_pending_points", labels,
+                                [this] { return static_cast<double>(buffer_.size()); });
+  }
+}
+
+HostAgent::~HostAgent() {
+  if (options_.registry != nullptr) {
+    options_.registry->remove_gauge_fn("collector_pending_points",
+                                       host_labels(options_.hostname));
+  }
+}
 
 void HostAgent::add_plugin(std::unique_ptr<CollectorPlugin> plugin, util::TimeNs interval) {
   plugins_.push_back(ScheduledPlugin{std::move(plugin), interval, 0});
@@ -23,11 +49,13 @@ std::size_t HostAgent::tick(util::TimeNs now) {
       if (buffer_.size() >= options_.retry_queue_capacity) {
         buffer_.pop_front();
         ++stats_.points_dropped;
+        if (dropped_c_ != nullptr) dropped_c_->inc();
       }
       buffer_.push_back(std::move(p));
     }
   }
   stats_.points_collected += collected;
+  if (collected_c_ != nullptr) collected_c_->inc(collected);
   if (options_.self_monitor_interval > 0 && now >= next_self_monitor_) {
     next_self_monitor_ = now + options_.self_monitor_interval;
     lineproto::Point p;
@@ -43,10 +71,12 @@ std::size_t HostAgent::tick(util::TimeNs now) {
     if (buffer_.size() >= options_.retry_queue_capacity) {
       buffer_.pop_front();
       ++stats_.points_dropped;
+      if (dropped_c_ != nullptr) dropped_c_->inc();
     }
     buffer_.push_back(std::move(p));
     ++collected;
     ++stats_.points_collected;
+    if (collected_c_ != nullptr) collected_c_->inc();
   }
   if (buffer_.size() >= options_.max_batch_points ||
       (now - last_flush_ >= options_.flush_interval && !buffer_.empty())) {
@@ -64,14 +94,18 @@ void HostAgent::flush(util::TimeNs now) {
     const SendOutcome outcome = send_batch(batch);
     if (outcome == SendOutcome::kRetryLater) {
       ++stats_.send_failures;
+      if (failures_c_ != nullptr) failures_c_->inc();
       return;  // keep the points queued for the next flush
     }
     buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(n));
     if (outcome == SendOutcome::kSent) {
       stats_.points_sent += n;
       ++stats_.batches_sent;
+      if (sent_c_ != nullptr) sent_c_->inc(n);
+      if (batches_c_ != nullptr) batches_c_->inc();
     } else {
       stats_.points_dropped += n;
+      if (dropped_c_ != nullptr) dropped_c_->inc(n);
     }
   }
 }

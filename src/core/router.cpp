@@ -4,6 +4,7 @@
 
 #include "lms/json/json.hpp"
 #include "lms/lineproto/codec.hpp"
+#include "lms/obs/trace.hpp"
 #include "lms/util/logging.hpp"
 #include "lms/util/strings.hpp"
 
@@ -11,7 +12,38 @@ namespace lms::core {
 
 MetricsRouter::MetricsRouter(net::HttpClient& db_client, const util::Clock& clock,
                              Options options, net::PubSubBroker* broker)
-    : db_client_(db_client), clock_(clock), options_(std::move(options)), broker_(broker) {}
+    : db_client_(db_client),
+      clock_(clock),
+      options_(std::move(options)),
+      broker_(broker),
+      own_registry_(options_.registry == nullptr ? new obs::Registry() : nullptr),
+      registry_(options_.registry != nullptr ? options_.registry : own_registry_.get()),
+      points_in_(registry_->counter("router_points_in")),
+      points_out_(registry_->counter("router_points_out")),
+      points_duplicated_(registry_->counter("router_points_duplicated")),
+      parse_errors_(registry_->counter("router_parse_errors")),
+      forward_failures_(registry_->counter("router_forward_failures")),
+      jobs_started_(registry_->counter("router_jobs_started")),
+      jobs_ended_(registry_->counter("router_jobs_ended")),
+      points_spooled_(registry_->counter("router_points_spooled")),
+      spool_dropped_(registry_->counter("router_spool_dropped")),
+      write_ns_(registry_->histogram("router_write_ns")),
+      forward_ns_(registry_->histogram("router_forward_ns")) {
+  registry_->gauge_fn("router_spool_points", {}, [this] { return double(spool_size()); });
+  registry_->gauge_fn("router_jobs_running", {}, [this] {
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    return double(jobs_.size());
+  });
+  registry_->gauge_fn("router_tagged_hosts", {}, [this] { return double(tags_.host_count()); });
+}
+
+MetricsRouter::~MetricsRouter() {
+  // The registry may outlive this router (shared/global registries); drop
+  // the callbacks that capture `this`.
+  registry_->remove_gauge_fn("router_spool_points");
+  registry_->remove_gauge_fn("router_jobs_running");
+  registry_->remove_gauge_fn("router_tagged_hosts");
+}
 
 net::HttpHandler MetricsRouter::handler() {
   return [this](const net::HttpRequest& req) -> net::HttpResponse {
@@ -21,6 +53,9 @@ net::HttpHandler MetricsRouter::handler() {
     if (req.path == "/job/end" && req.method == "POST") return handle_job_end(req);
     if (req.path == "/jobs") return handle_jobs(req);
     if (req.path == "/stats") return handle_stats(req);
+    if (req.path == "/metrics") {
+      return net::HttpResponse::text(200, obs::render_text(*registry_));
+    }
     return net::HttpResponse::not_found();
   };
 }
@@ -28,11 +63,18 @@ net::HttpHandler MetricsRouter::handler() {
 util::Status MetricsRouter::forward(const std::string& db,
                                     const std::vector<lineproto::Point>& points) {
   if (points.empty()) return {};
+  obs::Span span("router.forward", "router");
+  const util::TimeNs t0 = util::monotonic_now_ns();
   const std::string body = lineproto::serialize_batch(points);
   auto resp = db_client_.post(options_.db_url + "/write?db=" + util::url_encode(db),
                               body, "text/plain");
-  if (!resp.ok()) return util::Status::error(resp.message());
+  forward_ns_.record_since(t0);
+  if (!resp.ok()) {
+    span.set_ok(false);
+    return util::Status::error(resp.message());
+  }
   if (!resp->ok()) {
+    span.set_ok(false);
     return util::Status::error("db rejected write: HTTP " + std::to_string(resp->status));
   }
   return {};
@@ -40,13 +82,12 @@ util::Status MetricsRouter::forward(const std::string& db,
 
 util::Result<std::size_t> MetricsRouter::write_lines(std::string_view body,
                                                      const std::string& db_override) {
+  obs::Span span("router.write", "router");
+  const util::TimeNs t0 = util::monotonic_now_ns();
   std::vector<std::string> errors;
   std::vector<lineproto::Point> points = lineproto::parse_lenient(body, &errors);
-  {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.points_in += points.size();
-    stats_.parse_errors += errors.size();
-  }
+  points_in_.inc(points.size());
+  parse_errors_.inc(errors.size());
   if (points.empty() && !errors.empty()) {
     return util::Result<std::size_t>::error("all lines malformed: " + errors.front());
   }
@@ -62,11 +103,9 @@ util::Result<std::size_t> MetricsRouter::write_lines(std::string_view body,
   // Drain any spooled backlog first so ordering is roughly preserved.
   if (options_.spool_capacity > 0) flush_spool();
   if (auto status = forward(primary_db, points); !status.ok()) {
-    {
-      const std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.forward_failures;
-    }
+    forward_failures_.inc();
     if (options_.spool_capacity == 0 || !db_override.empty()) {
+      span.set_ok(false);
       // No spool (or a non-default target DB): the producer keeps the batch.
       // The "forward failed" prefix lets the HTTP layer answer 503 (retry)
       // instead of 400 (drop).
@@ -84,15 +123,12 @@ util::Result<std::size_t> MetricsRouter::write_lines(std::string_view body,
         spool_.push_back(p);
       }
     }
-    const std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.points_spooled += points.size();
-    stats_.spool_dropped += dropped;
+    points_spooled_.inc(points.size());
+    spool_dropped_.inc(dropped);
+    write_ns_.record_since(t0);
     return points.size();
   }
-  {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.points_out += points.size();
-  }
+  points_out_.inc(points.size());
 
   // Optional duplication into per-user databases, grouped by the user tag
   // the enrichment just attached.
@@ -106,11 +142,9 @@ util::Result<std::size_t> MetricsRouter::write_lines(std::string_view body,
       if (auto status = forward(options_.user_db_prefix + user, user_points); !status.ok()) {
         LMS_WARN("router") << "per-user duplication for '" << user
                            << "' failed: " << status.message();
-        const std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.forward_failures;
+        forward_failures_.inc();
       } else {
-        const std::lock_guard<std::mutex> lock(stats_mu_);
-        stats_.points_duplicated += user_points.size();
+        points_duplicated_.inc(user_points.size());
       }
     }
   }
@@ -119,6 +153,7 @@ util::Result<std::size_t> MetricsRouter::write_lines(std::string_view body,
   if (broker_ != nullptr && options_.publish) {
     broker_->publish(kTopicMetrics, lineproto::serialize_batch(points));
   }
+  write_ns_.record_since(t0);
   return points.size();
 }
 
@@ -130,6 +165,7 @@ util::Status MetricsRouter::job_start(const JobSignal& signal) {
     const std::lock_guard<std::mutex> lock(jobs_mu_);
     jobs_[signal.job_id] = job;
   }
+  jobs_started_.inc();
   // Tags piggy-backed onto all measurements from the participating hosts.
   std::vector<lineproto::Tag> tags;
   tags.emplace_back("jobid", signal.job_id);
@@ -137,10 +173,6 @@ util::Status MetricsRouter::job_start(const JobSignal& signal) {
   for (const auto& t : signal.extra_tags) tags.push_back(t);
   for (const auto& node : signal.nodes) {
     tags_.set_tags(node, tags);
-  }
-  {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.jobs_started;
   }
 
   // Forward the signal into the database as an annotation event.
@@ -181,10 +213,7 @@ util::Status MetricsRouter::job_end(const std::string& job_id) {
   for (const auto& node : job.nodes) {
     tags_.clear_tags(node);
   }
-  {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.jobs_ended;
-  }
+  jobs_ended_.inc();
   const util::TimeNs now = clock_.now();
   lineproto::Point event;
   event.measurement = options_.events_measurement;
@@ -224,8 +253,17 @@ std::optional<RunningJob> MetricsRouter::find_job(const std::string& job_id) con
 }
 
 MetricsRouter::Stats MetricsRouter::stats() const {
-  const std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  Stats s;
+  s.points_in = points_in_.value();
+  s.points_out = points_out_.value();
+  s.points_duplicated = points_duplicated_.value();
+  s.parse_errors = parse_errors_.value();
+  s.forward_failures = forward_failures_.value();
+  s.jobs_started = jobs_started_.value();
+  s.jobs_ended = jobs_ended_.value();
+  s.points_spooled = points_spooled_.value();
+  s.spool_dropped = spool_dropped_.value();
+  return s;
 }
 
 std::size_t MetricsRouter::flush_spool() {
@@ -245,10 +283,7 @@ std::size_t MetricsRouter::flush_spool() {
     const std::size_t n = std::min(batch.size(), spool_.size());
     spool_.erase(spool_.begin(), spool_.begin() + static_cast<std::ptrdiff_t>(n));
   }
-  {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.points_out += batch.size();
-  }
+  points_out_.inc(batch.size());
   return batch.size();
 }
 

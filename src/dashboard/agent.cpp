@@ -196,6 +196,59 @@ json::Value DashboardAgent::generate_user_dashboard(const std::string& user,
   return v;
 }
 
+json::Value DashboardAgent::generate_internals_dashboard(util::TimeNs now) {
+  json::Object dash;
+  dash["title"] = "LMS internals (self-monitoring)";
+  dash["uid"] = "internals";
+  dash["tags"] = json::Array{json::Value("lms"), json::Value("internals")};
+  dash["generated_at"] = static_cast<std::int64_t>(now);
+
+  // Each panel charts one instrument out of the lms_internal measurement
+  // (tag "metric" carries the instrument name, histogram instruments expose
+  // p50/p90/p99 fields).
+  struct PanelSpec {
+    const char* title;
+    const char* metric;
+    const char* field;
+    const char* group_by_extra;  // extra GROUP BY tag ("" = none)
+  };
+  static constexpr PanelSpec kPanels[] = {
+      {"Router ingest rate (points)", "router_points_in", "value", ""},
+      {"Router forwarded (points)", "router_points_out", "value", ""},
+      {"Router write latency p99 (ns)", "router_write_ns", "p99", ""},
+      {"TSDB write latency p99 (ns)", "tsdb_write_ns", "p99", ""},
+      {"TSDB samples stored", "tsdb_samples", "value", ""},
+      {"PubSub messages dropped", "pubsub_dropped", "value", ""},
+      {"Collector pending points", "collector_pending_points", "value", ", hostname"},
+  };
+  json::Array rows;
+  json::Object row;
+  row["title"] = "Pipeline";
+  json::Array panels;
+  for (const PanelSpec& spec : kPanels) {
+    json::Object panel;
+    panel["title"] = spec.title;
+    panel["type"] = "graph";
+    panel["datasource"] = options_.datasource;
+    json::Object target;
+    target["query"] = std::string("SELECT mean(") + spec.field +
+                      ") FROM lms_internal WHERE metric='" + spec.metric +
+                      "' GROUP BY time(60s)" + spec.group_by_extra;
+    panel["targets"] = json::Array{json::Value(std::move(target))};
+    panels.emplace_back(std::move(panel));
+  }
+  row["panels"] = std::move(panels);
+  rows.emplace_back(std::move(row));
+  dash["rows"] = std::move(rows);
+
+  json::Value v(std::move(dash));
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    dashboards_["internals"] = v;
+  }
+  return v;
+}
+
 std::size_t DashboardAgent::refresh(const std::vector<core::RunningJob>& jobs,
                                     util::TimeNs now) {
   std::size_t generated = 0;

@@ -27,6 +27,8 @@
 #include "lms/core/router.hpp"
 #include "lms/dashboard/agent.hpp"
 #include "lms/hpm/monitor.hpp"
+#include "lms/obs/metrics.hpp"
+#include "lms/obs/selfscrape.hpp"
 #include "lms/sched/scheduler.hpp"
 #include "lms/tsdb/continuous.hpp"
 #include "lms/tsdb/http_api.hpp"
@@ -59,6 +61,11 @@ class ClusterHarness {
     /// Note: this drains the online engine's findings each step; read them
     /// from the alerts measurement instead of take_findings().
     bool record_findings = false;
+    /// Periodically write the shared metrics registry back through the
+    /// router as "lms_internal" points — the stack monitoring itself
+    /// (driven from the sim clock, so it is deterministic like the rest).
+    bool enable_self_scrape = false;
+    util::TimeNs self_scrape_interval = util::kNanosPerMinute;
   };
 
   explicit ClusterHarness(Options options);
@@ -97,6 +104,10 @@ class ClusterHarness {
   net::PubSubBroker& broker() { return broker_; }
   net::InprocNetwork& network() { return network_; }
   net::HttpClient& client() { return *client_; }
+  /// The stack-wide metrics registry every component reports into.
+  obs::Registry& registry() { return registry_; }
+  /// Present iff Options::enable_self_scrape.
+  obs::SelfScrape* self_scrape() { return self_scrape_.get(); }
   const Options& options() const { return options_; }
 
   /// Hostnames of the simulated nodes.
@@ -140,6 +151,7 @@ class ClusterHarness {
 
   Options options_;
   util::SimClock clock_;
+  obs::Registry registry_;  // declared before the components that report into it
   net::InprocNetwork network_;
   std::unique_ptr<net::InprocHttpClient> client_;
 
@@ -156,7 +168,9 @@ class ClusterHarness {
   std::unique_ptr<analysis::StreamAggregator> aggregator_;
   std::unique_ptr<analysis::FindingRecorder> finding_recorder_;
   std::unique_ptr<tsdb::CqRunner> cq_runner_;
+  std::unique_ptr<obs::SelfScrape> self_scrape_;
   util::TimeNs last_maintenance_ = 0;
+  util::TimeNs last_self_scrape_ = 0;
 
   hpm::GroupRegistry groups_;
   std::vector<std::string> node_names_;

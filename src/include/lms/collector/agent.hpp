@@ -20,6 +20,11 @@
 #include "lms/collector/plugin.hpp"
 #include "lms/net/transport.hpp"
 
+namespace lms::obs {
+class Registry;
+class Counter;
+}  // namespace lms::obs
+
 namespace lms::collector {
 
 class HostAgent {
@@ -35,9 +40,14 @@ class HostAgent {
     /// how operators notice silently failing collectors.
     util::TimeNs self_monitor_interval = 0;
     std::string hostname;  ///< tag for self-monitoring points
+    /// Optional metrics registry: mirrors Stats as collector_* counters
+    /// (labelled {hostname}) plus a collector_pending_points gauge over the
+    /// retry buffer. nullptr = no mirroring. Must outlive the agent.
+    obs::Registry* registry = nullptr;
   };
 
   HostAgent(net::HttpClient& client, Options options);
+  ~HostAgent();
 
   /// Register a plugin polled every `interval`.
   void add_plugin(std::unique_ptr<CollectorPlugin> plugin, util::TimeNs interval);
@@ -78,6 +88,12 @@ class HostAgent {
   util::TimeNs last_flush_ = 0;
   util::TimeNs next_self_monitor_ = 0;
   Stats stats_;
+  // Registry mirrors (null when Options::registry is null).
+  obs::Counter* collected_c_ = nullptr;
+  obs::Counter* sent_c_ = nullptr;
+  obs::Counter* batches_c_ = nullptr;
+  obs::Counter* failures_c_ = nullptr;
+  obs::Counter* dropped_c_ = nullptr;
 };
 
 }  // namespace lms::collector

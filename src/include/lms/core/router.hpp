@@ -19,12 +19,19 @@
 //   POST /job/end               JSON: {"jobid"}
 //   GET  /jobs                  JSON list of running jobs
 //   GET  /ping                  204
-//   GET  /stats                 router counters
+//   GET  /stats                 router counters (JSON)
+//   GET  /metrics               full registry, Prometheus-style text
+//
+// All counters live in an lms::obs metrics registry ("router_*" instruments)
+// so the self-scrape loop can feed them back into the stack's own TSDB; the
+// legacy Stats struct and the /stats JSON shape are kept as a view over the
+// registry.
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -33,6 +40,7 @@
 #include "lms/core/tagstore.hpp"
 #include "lms/net/pubsub.hpp"
 #include "lms/net/transport.hpp"
+#include "lms/obs/metrics.hpp"
 #include "lms/util/clock.hpp"
 
 namespace lms::core {
@@ -69,10 +77,15 @@ class MetricsRouter {
     /// explicit flush_spool(). 0 disables spooling: forward failures are
     /// reported back to the producer, which keeps its own retry queue.
     std::size_t spool_capacity = 0;
+    /// Metrics registry for the router_* instruments. nullptr = the router
+    /// owns a private registry, so per-instance counts stay exact; pass a
+    /// shared registry to fold the router into a stack-wide self-scrape.
+    obs::Registry* registry = nullptr;
   };
 
   MetricsRouter(net::HttpClient& db_client, const util::Clock& clock, Options options,
                 net::PubSubBroker* broker = nullptr);
+  ~MetricsRouter();
 
   /// HTTP entry point (bind to inproc or TCP).
   net::HttpHandler handler();
@@ -94,6 +107,8 @@ class MetricsRouter {
 
   const TagStore& tag_store() const { return tags_; }
 
+  /// Counter snapshot, read from the metrics registry (kept for the /stats
+  /// JSON shape and programmatic callers).
   struct Stats {
     std::uint64_t points_in = 0;
     std::uint64_t points_out = 0;
@@ -106,6 +121,10 @@ class MetricsRouter {
     std::uint64_t spool_dropped = 0;
   };
   Stats stats() const;
+
+  /// The registry holding the router_* instruments (also what /metrics and
+  /// /stats serve).
+  obs::Registry& registry() { return *registry_; }
 
   /// Attempt to forward everything spooled; returns points drained.
   std::size_t flush_spool();
@@ -130,10 +149,23 @@ class MetricsRouter {
   TagStore tags_;
   mutable std::mutex jobs_mu_;
   std::map<std::string, RunningJob> jobs_;
-  mutable std::mutex stats_mu_;
-  Stats stats_;
   mutable std::mutex spool_mu_;
   std::deque<lineproto::Point> spool_;  // primary-db points awaiting retry
+
+  std::unique_ptr<obs::Registry> own_registry_;  // when Options::registry == nullptr
+  obs::Registry* registry_;
+  // Cached instrument handles: the hot path touches only these atomics.
+  obs::Counter& points_in_;
+  obs::Counter& points_out_;
+  obs::Counter& points_duplicated_;
+  obs::Counter& parse_errors_;
+  obs::Counter& forward_failures_;
+  obs::Counter& jobs_started_;
+  obs::Counter& jobs_ended_;
+  obs::Counter& points_spooled_;
+  obs::Counter& spool_dropped_;
+  obs::Histogram& write_ns_;
+  obs::Histogram& forward_ns_;
 };
 
 }  // namespace lms::core

@@ -47,6 +47,12 @@ class DashboardAgent {
                                       const std::vector<core::RunningJob>& jobs,
                                       util::TimeNs now);
 
+  /// Generate (and store, uid "internals") the self-monitoring view: charts
+  /// over the stack's own "lms_internal" measurement written by the obs
+  /// self-scrape — ingest rates, write-latency percentiles and queue depths
+  /// of the monitoring pipeline itself.
+  json::Value generate_internals_dashboard(util::TimeNs now);
+
   /// Refresh dashboards for every running job plus the admin view.
   /// Returns the number of dashboards generated.
   std::size_t refresh(const std::vector<core::RunningJob>& jobs, util::TimeNs now);

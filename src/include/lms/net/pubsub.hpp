@@ -16,6 +16,10 @@
 
 #include "lms/util/queue.hpp"
 
+namespace lms::obs {
+class Registry;
+}
+
 namespace lms::net {
 
 struct PubSubMessage {
@@ -53,6 +57,7 @@ class Subscription {
   std::string prefix_;
   util::BoundedQueue<PubSubMessage> queue_;
   std::atomic<std::uint64_t> dropped_{0};
+  std::string metric_id_;  ///< label of this subscription's depth gauge ("" = none)
 };
 
 /// The in-process broker: publishers call publish(), subscribers hold
@@ -75,6 +80,12 @@ class PubSubBroker {
   /// Total messages published (delivered or not).
   std::uint64_t published() const { return published_.load(); }
 
+  /// Mirror broker activity into a metrics registry: pubsub_published /
+  /// pubsub_delivered / pubsub_dropped counters plus a per-subscription
+  /// queue-depth gauge (pubsub_queue_depth{topic,sub}). Pass nullptr to
+  /// detach. The registry must outlive the broker.
+  void set_registry(obs::Registry* registry);
+
  private:
   friend class Subscription;
   void unsubscribe(Subscription* sub);
@@ -82,6 +93,8 @@ class PubSubBroker {
   mutable std::mutex mu_;
   std::vector<Subscription*> subscribers_;
   std::atomic<std::uint64_t> published_{0};
+  obs::Registry* registry_ = nullptr;  // guarded by mu_
+  std::uint64_t next_sub_id_ = 0;      // label for per-subscription gauges
 };
 
 }  // namespace lms::net

@@ -12,10 +12,18 @@
 
 #include "lms/net/transport.hpp"
 
+namespace lms::obs {
+class Registry;
+}
+
 namespace lms::net {
 
 /// Threaded TCP HTTP server. Accepts on a listener thread, serves each
 /// connection on a worker thread (bounded), supports keep-alive.
+///
+/// Observability: every request is timed into the configured metrics
+/// registry ("http_server_*" instruments, labeled by route) and served under
+/// a trace span adopted from the X-LMS-Trace request header when present.
 class TcpHttpServer {
  public:
   struct Options {
@@ -23,6 +31,8 @@ class TcpHttpServer {
     int port = 0;  ///< 0 = pick an ephemeral port
     std::size_t max_connections = 64;
     std::size_t max_request_bytes = 64 * 1024 * 1024;
+    /// Metrics registry for http_server_* instruments (nullptr = global).
+    obs::Registry* registry = nullptr;
   };
 
   explicit TcpHttpServer(HttpHandler handler);
@@ -57,12 +67,18 @@ class TcpHttpServer {
 
 /// Blocking HTTP client over TCP ("http://" scheme). One connection per
 /// request (Connection: close) — simple and adequate for agent batching.
+///
+/// Observability: requests run under a client span whose context is injected
+/// as the X-LMS-Trace header (so the receiving server joins the same trace),
+/// and are timed into "http_client_*" instruments.
 class TcpHttpClient final : public HttpClient {
  public:
   struct Options {
     int connect_timeout_ms = 2000;
     int io_timeout_ms = 5000;
     std::size_t max_response_bytes = 64 * 1024 * 1024;
+    /// Metrics registry for http_client_* instruments (nullptr = global).
+    obs::Registry* registry = nullptr;
   };
 
   TcpHttpClient() = default;

@@ -18,6 +18,10 @@
 
 #include "lms/net/http.hpp"
 
+namespace lms::obs {
+class Registry;
+}
+
 namespace lms::net {
 
 /// A service entry point: map request -> response. Must be thread-safe.
@@ -66,12 +70,18 @@ class InprocNetwork {
   void unbind(const std::string& name);
   bool has(const std::string& name) const;
 
-  /// Execute a request against a named endpoint.
+  /// Execute a request against a named endpoint. Adopts the X-LMS-Trace
+  /// context (if present) for the handler's duration and times the request
+  /// into the configured registry, labeled by endpoint.
   util::Result<HttpResponse> request(const std::string& name, const HttpRequest& req) const;
+
+  /// Metrics registry for http_server_* instruments (nullptr = global).
+  void set_registry(obs::Registry* registry) { registry_ = registry; }
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, HttpHandler> endpoints_;
+  obs::Registry* registry_ = nullptr;
 };
 
 /// HttpClient over an InprocNetwork ("inproc://" scheme only).

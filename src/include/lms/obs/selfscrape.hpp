@@ -1,0 +1,83 @@
+#pragma once
+
+// Self-scrape exporter: the stack monitoring itself with itself.
+//
+// Periodically serializes a metrics Registry as line protocol and writes it
+// back into the stack (normally through the metrics router, so the points
+// are enriched and land in the TSDB like any collector batch) under a
+// dedicated measurement, "lms_internal" by default. The dashboard agent can
+// then chart the pipeline's own ingest rates, queue depths and latency
+// percentiles end-to-end — the "monitoring the monitoring" loop.
+//
+// The write target is a callback rather than an HttpClient so this module
+// stays transport-agnostic (obs must not depend on net): pass a lambda that
+// posts to "<router>/write?db=..." or calls MetricsRouter::write_lines()
+// directly.
+//
+// Two driving modes:
+//   - scrape_once(): synchronous, for sim-clocked harnesses and tests,
+//   - start()/stop(): a real-time background thread for deployments.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "lms/obs/metrics.hpp"
+#include "lms/util/clock.hpp"
+#include "lms/util/status.hpp"
+
+namespace lms::obs {
+
+class SelfScrape {
+ public:
+  /// Deliver one serialized line-protocol batch to the stack.
+  using WriteFn = std::function<util::Status(const std::string& lineproto_body)>;
+
+  struct Options {
+    std::string measurement = "lms_internal";
+    /// Tags stamped on every exported point (set at least hostname so the
+    /// router's enrichment and the dashboards can key on it).
+    Labels tags;
+    /// Interval for the background thread (real time).
+    util::TimeNs interval = 10 * util::kNanosPerSecond;
+  };
+
+  SelfScrape(Registry& registry, const util::Clock& clock, WriteFn write, Options options);
+  ~SelfScrape();
+  SelfScrape(const SelfScrape&) = delete;
+  SelfScrape& operator=(const SelfScrape&) = delete;
+
+  /// Collect + serialize + write one snapshot now (timestamped clock.now()).
+  util::Status scrape_once();
+
+  /// Start the periodic background scraper. No-op if already running.
+  void start();
+  /// Stop and join the background thread (also run by the destructor).
+  void stop();
+  bool running() const { return running_.load(); }
+
+  std::uint64_t scrapes() const { return scrapes_.load(); }
+  std::uint64_t failures() const { return failures_.load(); }
+
+ private:
+  void run();
+
+  Registry& registry_;
+  const util::Clock& clock_;
+  WriteFn write_;
+  Options options_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> scrapes_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace lms::obs

@@ -1,0 +1,147 @@
+#pragma once
+
+// Lightweight request tracing across the stack's HTTP hops.
+//
+// Every hop of the LMS pipeline is an HTTP request (paper §III), so a write
+// crosses collector -> router -> TSDB as a chain of client/server handler
+// invocations. A Span is an RAII timed section bound to the calling thread;
+// spans nest, and the active (trace id, span id) pair travels to the next
+// component in the "X-LMS-Trace: <trace16hex>-<span16hex>" request header,
+// which both transports (TCP and in-process) inject on the client side and
+// adopt on the server side. Finished spans land in a bounded in-memory
+// SpanRecorder queryable per trace — enough to answer "where did this write
+// spend its time" without an external tracing backend.
+//
+// Tracing is cheap (two monotonic clock reads, one mutex push per span) and
+// can be disabled process-wide with set_tracing_enabled(false), which turns
+// Span into a no-op and stops header injection.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lms/util/clock.hpp"
+
+namespace lms::obs {
+
+/// Request header carrying the trace context between components.
+inline constexpr std::string_view kTraceHeader = "X-LMS-Trace";
+
+/// The propagated context: which trace this thread is working for, and the
+/// span that is its current parent.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool valid() const { return trace_id != 0; }
+};
+
+/// The active context of the calling thread (invalid when untraced).
+TraceContext current_trace();
+
+/// Generate a fresh non-zero id (splitmix64 over a process-unique counter).
+std::uint64_t new_trace_id();
+
+/// "X-LMS-Trace" value: "<trace_id:016x>-<span_id:016x>".
+std::string format_trace_header(const TraceContext& ctx);
+std::optional<TraceContext> parse_trace_header(std::string_view value);
+
+/// Process-wide tracing switch (default on).
+void set_tracing_enabled(bool enabled);
+bool tracing_enabled();
+
+/// A finished span as stored by the recorder.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;  ///< 0 = root
+  std::string name;                  ///< e.g. "http.server POST /write"
+  std::string component;             ///< e.g. "net", "router", "tsdb"
+  util::TimeNs start_wall_ns = 0;    ///< wall clock at span start
+  std::int64_t duration_ns = 0;      ///< monotonic elapsed
+  bool ok = true;
+  std::string note;                  ///< optional status detail
+};
+
+/// Bounded ring of finished spans (oldest dropped first). Thread-safe.
+class SpanRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit SpanRecorder(std::size_t capacity = kDefaultCapacity);
+
+  /// Process-wide default recorder used by Span unless one is passed in.
+  static SpanRecorder& global();
+
+  void record(SpanRecord record);
+
+  /// All retained spans of one trace, oldest first.
+  std::vector<SpanRecord> by_trace(std::uint64_t trace_id) const;
+
+  /// The most recent `n` spans, oldest first.
+  std::vector<SpanRecord> recent(std::size_t n) const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Total spans ever recorded / evicted by the ring bound.
+  std::uint64_t recorded() const { return recorded_.load(std::memory_order_relaxed); }
+  std::uint64_t evicted() const { return evicted_.load(std::memory_order_relaxed); }
+
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<SpanRecord> ring_;
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+};
+
+/// RAII timed section. Construction makes it the thread's current span
+/// (child of the previous one, or a new root trace); destruction records it
+/// and restores the parent. When tracing is disabled it does nothing.
+class Span {
+ public:
+  Span(std::string name, std::string component, SpanRecorder* recorder = nullptr);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// The context this span propagates ({trace_id, this span's id}).
+  const TraceContext& context() const { return ctx_; }
+  bool active() const { return active_; }
+
+  void set_ok(bool ok) { ok_ = ok; }
+  void set_note(std::string note) { note_ = std::move(note); }
+
+ private:
+  bool active_ = false;
+  SpanRecorder* recorder_ = nullptr;
+  TraceContext prev_;
+  TraceContext ctx_;
+  std::string name_;
+  std::string component_;
+  util::TimeNs start_wall_ = 0;
+  util::TimeNs start_mono_ = 0;
+  bool ok_ = true;
+  std::string note_;
+};
+
+/// RAII adoption of a remote context (server side of a hop): installs `ctx`
+/// as the thread's current context, restores the previous one on exit.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+}  // namespace lms::obs

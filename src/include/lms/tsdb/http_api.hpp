@@ -8,11 +8,17 @@
 //   GET/POST /query?db=<name>&q=<influxql> -> InfluxDB JSON
 //   GET  /ping                             -> 204
 //   GET  /stats                            -> JSON engine statistics
+//   GET  /metrics                          -> tsdb_* registry, text format
+//
+// Engine statistics live in an lms::obs registry ("tsdb_*" instruments):
+// ingest/query counters, write/query latency histograms, and sampled gauges
+// for stored series/sample counts.
 
 #include <memory>
 #include <string>
 
 #include "lms/net/transport.hpp"
+#include "lms/obs/metrics.hpp"
 #include "lms/tsdb/query.hpp"
 #include "lms/tsdb/storage.hpp"
 #include "lms/util/clock.hpp"
@@ -26,10 +32,15 @@ class HttpApi {
     TimeNs retention = 0;
     /// Database auto-created for writes without ?db=.
     std::string default_db = "lms";
+    /// Metrics registry for the tsdb_* instruments. nullptr = private
+    /// registry (exact per-instance counts); pass a shared registry to fold
+    /// the engine into a stack-wide self-scrape.
+    obs::Registry* registry = nullptr;
   };
 
   HttpApi(Storage& storage, const util::Clock& clock);
   HttpApi(Storage& storage, const util::Clock& clock, Options options);
+  ~HttpApi();
 
   /// The HTTP entry point; bind to an InprocNetwork or a TcpHttpServer.
   net::HttpHandler handler();
@@ -37,11 +48,14 @@ class HttpApi {
   /// Apply the retention policy now (drops samples older than now-retention).
   std::size_t enforce_retention();
 
-  /// Counters.
-  std::uint64_t points_written() const { return points_written_.load(); }
-  std::uint64_t write_requests() const { return write_requests_.load(); }
-  std::uint64_t query_requests() const { return query_requests_.load(); }
-  std::uint64_t parse_errors() const { return parse_errors_.load(); }
+  /// Counters (registry-backed).
+  std::uint64_t points_written() const { return points_written_.value(); }
+  std::uint64_t write_requests() const { return write_requests_.value(); }
+  std::uint64_t query_requests() const { return query_requests_.value(); }
+  std::uint64_t parse_errors() const { return parse_errors_.value(); }
+
+  /// The registry holding the tsdb_* instruments.
+  obs::Registry& registry() { return *registry_; }
 
  private:
   net::HttpResponse handle_write(const net::HttpRequest& req);
@@ -52,10 +66,14 @@ class HttpApi {
   const util::Clock& clock_;
   Options options_;
   Engine engine_;
-  std::atomic<std::uint64_t> points_written_{0};
-  std::atomic<std::uint64_t> write_requests_{0};
-  std::atomic<std::uint64_t> query_requests_{0};
-  std::atomic<std::uint64_t> parse_errors_{0};
+  std::unique_ptr<obs::Registry> own_registry_;  // when Options::registry == nullptr
+  obs::Registry* registry_;
+  obs::Counter& points_written_;
+  obs::Counter& write_requests_;
+  obs::Counter& query_requests_;
+  obs::Counter& parse_errors_;
+  obs::Histogram& write_ns_;
+  obs::Histogram& query_ns_;
 };
 
 }  // namespace lms::tsdb

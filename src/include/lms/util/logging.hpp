@@ -4,11 +4,14 @@
 // tests can capture and silence output. Not a substrate of the paper, just
 // operational plumbing.
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace lms::util {
 
@@ -26,8 +29,11 @@ class Logger {
   void set_level(LogLevel level);
   LogLevel level() const;
 
-  /// Replace the output sink (default writes to stderr). Pass nullptr to
-  /// restore the default sink.
+  /// Replace the output sink. Pass nullptr to restore the default sink,
+  /// which writes to stderr as
+  ///   <utc-timestamp> mono=<ns> [LEVEL] component: message
+  /// carrying both wall-clock time (for humans correlating with external
+  /// events) and the monotonic counter (for ordering across clock jumps).
   void set_sink(Sink sink);
 
   void log(LogLevel level, std::string_view component, std::string_view msg);
@@ -37,6 +43,42 @@ class Logger {
   mutable std::mutex mu_;
   LogLevel level_;
   Sink sink_;
+};
+
+/// Bounded in-memory log sink: keeps the most recent `capacity` records and
+/// counts what it had to evict. Useful for tests and for exposing "recent
+/// logs" through a diagnostics endpoint without unbounded growth. Install
+/// with `Logger::instance().set_sink(ring.sink())`; the ring must outlive
+/// the installed sink (restore with `set_sink(nullptr)` before destroying).
+class LogRing {
+ public:
+  struct Entry {
+    LogLevel level;
+    std::string component;
+    std::string message;
+  };
+
+  explicit LogRing(std::size_t capacity = 256);
+
+  /// A sink forwarding into this ring.
+  Logger::Sink sink();
+
+  /// Snapshot of the retained entries, oldest first.
+  std::vector<Entry> entries() const;
+  /// Retained entries formatted as "[LEVEL] component: message".
+  std::vector<std::string> lines() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Records evicted because the ring was full.
+  std::uint64_t dropped() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::deque<Entry> ring_;
+  std::uint64_t dropped_ = 0;
 };
 
 namespace detail {

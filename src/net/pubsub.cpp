@@ -1,5 +1,6 @@
 #include "lms/net/pubsub.hpp"
 
+#include "lms/obs/metrics.hpp"
 #include "lms/util/strings.hpp"
 
 namespace lms::net {
@@ -21,12 +22,22 @@ std::shared_ptr<Subscription> PubSubBroker::subscribe(std::string topic_prefix, 
   std::shared_ptr<Subscription> sub(new Subscription(this, std::move(topic_prefix), hwm));
   const std::lock_guard<std::mutex> lock(mu_);
   subscribers_.push_back(sub.get());
+  if (registry_ != nullptr) {
+    // Depth gauge over the subscriber's bounded queue — the high-water-mark
+    // pressure signal. Sampled at collect time; removed on unsubscribe.
+    sub->metric_id_ = std::to_string(next_sub_id_++);
+    Subscription* raw = sub.get();
+    registry_->gauge_fn("pubsub_queue_depth",
+                        {{"topic", raw->prefix_}, {"sub", raw->metric_id_}},
+                        [raw] { return static_cast<double>(raw->queue_.size()); });
+  }
   return sub;
 }
 
 std::size_t PubSubBroker::publish(std::string_view topic, std::string_view payload) {
   published_.fetch_add(1, std::memory_order_relaxed);
   std::size_t delivered = 0;
+  std::size_t dropped = 0;
   const std::lock_guard<std::mutex> lock(mu_);
   for (Subscription* sub : subscribers_) {
     if (!util::starts_with(topic, sub->prefix_)) continue;
@@ -34,7 +45,13 @@ std::size_t PubSubBroker::publish(std::string_view topic, std::string_view paylo
       ++delivered;
     } else {
       sub->dropped_.fetch_add(1, std::memory_order_relaxed);
+      ++dropped;
     }
+  }
+  if (registry_ != nullptr) {
+    registry_->counter("pubsub_published").inc();
+    if (delivered > 0) registry_->counter("pubsub_delivered").inc(delivered);
+    if (dropped > 0) registry_->counter("pubsub_dropped").inc(dropped);
   }
   return delivered;
 }
@@ -44,8 +61,27 @@ std::size_t PubSubBroker::subscriber_count() const {
   return subscribers_.size();
 }
 
+void PubSubBroker::set_registry(obs::Registry* registry) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  registry_ = registry;
+  if (registry_ != nullptr) {
+    for (Subscription* sub : subscribers_) {
+      if (!sub->metric_id_.empty()) continue;
+      sub->metric_id_ = std::to_string(next_sub_id_++);
+      Subscription* raw = sub;
+      registry_->gauge_fn("pubsub_queue_depth",
+                          {{"topic", raw->prefix_}, {"sub", raw->metric_id_}},
+                          [raw] { return static_cast<double>(raw->queue_.size()); });
+    }
+  }
+}
+
 void PubSubBroker::unsubscribe(Subscription* sub) {
   const std::lock_guard<std::mutex> lock(mu_);
+  if (registry_ != nullptr && !sub->metric_id_.empty()) {
+    registry_->remove_gauge_fn("pubsub_queue_depth",
+                               {{"topic", sub->prefix_}, {"sub", sub->metric_id_}});
+  }
   for (auto it = subscribers_.begin(); it != subscribers_.end(); ++it) {
     if (*it == sub) {
       subscribers_.erase(it);

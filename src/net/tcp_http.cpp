@@ -11,12 +11,23 @@
 #include <cerrno>
 #include <cstring>
 
+#include "lms/obs/metrics.hpp"
+#include "lms/obs/trace.hpp"
 #include "lms/util/logging.hpp"
 #include "lms/util/strings.hpp"
 
 namespace lms::net {
 
 namespace {
+
+obs::Registry& resolve_registry(obs::Registry* registry) {
+  return registry != nullptr ? *registry : obs::Registry::global();
+}
+
+std::string status_class(int status) {
+  if (status <= 0) return "error";
+  return std::to_string(status / 100) + "xx";
+}
 
 void set_timeout(int fd, int ms) {
   timeval tv{};
@@ -156,11 +167,31 @@ void TcpHttpServer::serve_connection(int fd) {
     if (req.ok()) {
       buffer.erase(0, consumed);
       HttpResponse resp;
-      try {
-        resp = handler_(*req);
-      } catch (const std::exception& e) {
-        resp = HttpResponse::text(500, std::string("handler error: ") + e.what());
+      const util::TimeNs t0 = util::monotonic_now_ns();
+      {
+        // Join the caller's trace (X-LMS-Trace) for the handler's duration
+        // and time the request into the registry, labeled by route.
+        obs::TraceContext remote_ctx;
+        if (const auto header = req->headers.get(obs::kTraceHeader)) {
+          if (const auto parsed = obs::parse_trace_header(*header)) remote_ctx = *parsed;
+        }
+        const obs::ScopedTraceContext adopt(remote_ctx);
+        obs::Span span("http.server " + req->method + " " + req->path, "net");
+        try {
+          resp = handler_(*req);
+        } catch (const std::exception& e) {
+          resp = HttpResponse::text(500, std::string("handler error: ") + e.what());
+        }
+        span.set_ok(resp.status < 500);
       }
+      obs::Registry& reg = resolve_registry(options_.registry);
+      const obs::Labels route{{"route", req->path}, {"transport", "tcp"}};
+      reg.counter("http_server_requests",
+                  {{"route", req->path}, {"transport", "tcp"}, {"status", status_class(resp.status)}})
+          .inc();
+      reg.histogram("http_server_request_ns", route).record_since(t0);
+      reg.counter("http_server_request_bytes", route).inc(req->body.size());
+      reg.counter("http_server_response_bytes", route).inc(resp.body.size());
       const bool close_conn =
           util::iequals(req->headers.get_or("Connection", "keep-alive"), "close");
       resp.headers.set("Connection", close_conn ? "close" : "keep-alive");
@@ -179,31 +210,28 @@ void TcpHttpServer::serve_connection(int fd) {
   ::close(fd);
 }
 
-util::Result<HttpResponse> TcpHttpClient::send(const std::string& url, HttpRequest req) {
-  auto parsed = Url::parse(url);
-  if (!parsed.ok()) return util::Result<HttpResponse>::error(parsed.message());
-  if (parsed->scheme != "http") {
-    return util::Result<HttpResponse>::error("TcpHttpClient: unsupported scheme '" +
-                                             parsed->scheme + "'");
-  }
-  apply_url_target(*parsed, req);
-  req.headers.set("Host", parsed->host + ":" + std::to_string(parsed->port));
+namespace {
+
+/// The socket part of a client request: connect, send, read one response.
+util::Result<HttpResponse> tcp_round_trip(const TcpHttpClient::Options& options, const Url& parsed,
+                                          const std::string& url, HttpRequest req) {
+  req.headers.set("Host", parsed.host + ":" + std::to_string(parsed.port));
   req.headers.set("Connection", "close");
 
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
   addrinfo* res = nullptr;
-  const std::string port_str = std::to_string(parsed->port);
-  if (getaddrinfo(parsed->host.c_str(), port_str.c_str(), &hints, &res) != 0 || res == nullptr) {
-    return util::Result<HttpResponse>::error("resolve failed for '" + parsed->host + "'");
+  const std::string port_str = std::to_string(parsed.port);
+  if (getaddrinfo(parsed.host.c_str(), port_str.c_str(), &hints, &res) != 0 || res == nullptr) {
+    return util::Result<HttpResponse>::error("resolve failed for '" + parsed.host + "'");
   }
   const int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
   if (fd < 0) {
     freeaddrinfo(res);
     return util::Result<HttpResponse>::error(std::string("socket(): ") + std::strerror(errno));
   }
-  set_timeout(fd, options_.io_timeout_ms);
+  set_timeout(fd, options.io_timeout_ms);
   const int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
   freeaddrinfo(res);
   if (rc != 0) {
@@ -218,7 +246,7 @@ util::Result<HttpResponse> TcpHttpClient::send(const std::string& url, HttpReque
   }
   std::string buffer;
   char chunk[16384];
-  while (buffer.size() < options_.max_response_bytes) {
+  while (buffer.size() < options.max_response_bytes) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0) {
       ::close(fd);
@@ -240,6 +268,48 @@ util::Result<HttpResponse> TcpHttpClient::send(const std::string& url, HttpReque
   if (resp.ok()) return resp;
   return util::Result<HttpResponse>::error("malformed response from " + url + ": " +
                                            resp.message());
+}
+
+}  // namespace
+
+util::Result<HttpResponse> TcpHttpClient::send(const std::string& url, HttpRequest req) {
+  auto parsed = Url::parse(url);
+  if (!parsed.ok()) return util::Result<HttpResponse>::error(parsed.message());
+  if (parsed->scheme != "http") {
+    return util::Result<HttpResponse>::error("TcpHttpClient: unsupported scheme '" +
+                                             parsed->scheme + "'");
+  }
+  apply_url_target(*parsed, req);
+
+  // Client span: the receiving server adopts the propagated context from the
+  // X-LMS-Trace header, so both ends of the hop share one trace.
+  obs::Span span("http.client " + req.method + " " + req.path, "net");
+  if (span.active() && !req.headers.contains(obs::kTraceHeader)) {
+    req.headers.set(obs::kTraceHeader, obs::format_trace_header(span.context()));
+  }
+  const std::string route = req.path;
+  const std::size_t request_bytes = req.body.size();
+  const util::TimeNs t0 = util::monotonic_now_ns();
+
+  auto result = tcp_round_trip(options_, *parsed, url, std::move(req));
+
+  obs::Registry& reg = resolve_registry(options_.registry);
+  const obs::Labels labels{{"route", route}, {"transport", "tcp"}};
+  reg.counter("http_client_requests",
+              {{"route", route},
+               {"transport", "tcp"},
+               {"status", result.ok() ? status_class(result->status) : "error"}})
+      .inc();
+  reg.histogram("http_client_request_ns", labels).record_since(t0);
+  reg.counter("http_client_request_bytes", labels).inc(request_bytes);
+  if (result.ok()) {
+    reg.counter("http_client_response_bytes", labels).inc(result->body.size());
+    span.set_ok(result->status < 500);
+  } else {
+    span.set_ok(false);
+    span.set_note(result.message());
+  }
+  return result;
 }
 
 }  // namespace lms::net

@@ -1,5 +1,7 @@
 #include "lms/net/transport.hpp"
 
+#include "lms/obs/metrics.hpp"
+#include "lms/obs/trace.hpp"
 #include "lms/util/strings.hpp"
 
 namespace lms::net {
@@ -64,11 +66,30 @@ util::Result<HttpResponse> InprocNetwork::request(const std::string& name,
     }
     handler = it->second;
   }
-  try {
-    return handler(req);
-  } catch (const std::exception& e) {
-    return HttpResponse::text(500, std::string("handler error: ") + e.what());
+  // Server-side observability, mirroring TcpHttpServer: adopt the caller's
+  // trace context and time the handler. Handlers run on the caller's thread,
+  // so adopting from the header (not just inheriting the thread-local)
+  // exercises the same propagation path as the TCP transport.
+  obs::TraceContext remote_ctx;
+  if (const auto header = req.headers.get(obs::kTraceHeader)) {
+    if (const auto parsed = obs::parse_trace_header(*header)) remote_ctx = *parsed;
   }
+  const obs::ScopedTraceContext adopt(remote_ctx);
+  obs::Span span("http.server " + req.method + " " + req.path, "net");
+  const util::TimeNs t0 = util::monotonic_now_ns();
+  util::Result<HttpResponse> result = [&]() -> util::Result<HttpResponse> {
+    try {
+      return handler(req);
+    } catch (const std::exception& e) {
+      return HttpResponse::text(500, std::string("handler error: ") + e.what());
+    }
+  }();
+  obs::Registry& reg = registry_ != nullptr ? *registry_ : obs::Registry::global();
+  const obs::Labels labels{{"endpoint", name}, {"route", req.path}, {"transport", "inproc"}};
+  reg.counter("http_server_requests", labels).inc();
+  reg.histogram("http_server_request_ns", labels).record_since(t0);
+  span.set_ok(result.ok() && result->status < 500);
+  return result;
 }
 
 void apply_url_target(const Url& url, HttpRequest& req) {
@@ -91,7 +112,20 @@ util::Result<HttpResponse> InprocHttpClient::send(const std::string& url, HttpRe
                                              parsed->scheme + "'");
   }
   apply_url_target(*parsed, req);
-  return network_.request(parsed->host, req);
+  // Client span for the hop; the context travels in the X-LMS-Trace header
+  // exactly as over TCP, so recorded traces look the same on both transports.
+  obs::Span span("http.client " + req.method + " " + req.path, "net");
+  if (span.active() && !req.headers.contains(obs::kTraceHeader)) {
+    req.headers.set(obs::kTraceHeader, obs::format_trace_header(span.context()));
+  }
+  auto result = network_.request(parsed->host, req);
+  if (!result.ok()) {
+    span.set_ok(false);
+    span.set_note(result.message());
+  } else {
+    span.set_ok(result->status < 500);
+  }
+  return result;
 }
 
 }  // namespace lms::net

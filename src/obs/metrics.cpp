@@ -1,0 +1,251 @@
+#include "lms/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lms::obs {
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::percentile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  std::array<std::uint64_t, kBuckets> snap{};
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    snap[static_cast<std::size_t>(i)] = buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    total += snap[static_cast<std::size_t>(i)];
+  }
+  if (total == 0) return 0.0;
+  // Rank of the q-quantile in the sorted sample, 1-based.
+  const double rank = q * static_cast<double>(total - 1) + 1.0;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = snap[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    if (static_cast<double>(seen + n) >= rank) {
+      if (i == 0) return 0.0;
+      // Bucket i covers [2^(i-1), 2^i). Interpolate linearly by the rank's
+      // position inside the bucket.
+      const double lo = std::ldexp(1.0, i - 1);
+      const double hi = std::ldexp(1.0, i);
+      const double frac = (rank - static_cast<double>(seen)) / static_cast<double>(n);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    seen += n;
+  }
+  return std::ldexp(1.0, kBuckets - 1);
+}
+
+Histogram::Summary Histogram::summary() const {
+  Summary s;
+  s.count = count();
+  s.sum = sum();
+  s.p50 = percentile(0.50);
+  s.p90 = percentile(0.90);
+  s.p99 = percentile(0.99);
+  return s;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Key Registry::make_key(std::string_view name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return Key{std::string(name), std::move(labels)};
+}
+
+Counter& Registry::counter(std::string_view name, Labels labels) {
+  const Key key = make_key(name, std::move(labels));
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[key];
+  if (!slot) slot.reset(new Counter());
+  return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view name, Labels labels) {
+  const Key key = make_key(name, std::move(labels));
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[key];
+  if (!slot) slot.reset(new Gauge());
+  return *slot;
+}
+
+Histogram& Registry::histogram(std::string_view name, Labels labels) {
+  const Key key = make_key(name, std::move(labels));
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[key];
+  if (!slot) slot.reset(new Histogram());
+  return *slot;
+}
+
+void Registry::gauge_fn(std::string_view name, Labels labels, std::function<double()> fn) {
+  const Key key = make_key(name, std::move(labels));
+  const std::lock_guard<std::mutex> lock(mu_);
+  gauge_fns_[key] = std::move(fn);
+}
+
+void Registry::remove_gauge_fn(std::string_view name, const Labels& labels) {
+  const Key key = make_key(name, labels);
+  const std::lock_guard<std::mutex> lock(mu_);
+  gauge_fns_.erase(key);
+}
+
+std::vector<Sample> Registry::collect() const {
+  // Snapshot the callback list under the lock, but evaluate callbacks
+  // outside it: a sampled gauge may itself take a component lock.
+  std::vector<Sample> out;
+  std::vector<std::pair<Key, std::function<double()>>> fns;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(counters_.size() + gauges_.size() + histograms_.size() + gauge_fns_.size());
+    for (const auto& [key, c] : counters_) {
+      Sample s;
+      s.name = key.name;
+      s.labels = key.labels;
+      s.kind = Sample::Kind::kCounter;
+      s.value = static_cast<double>(c->value());
+      out.push_back(std::move(s));
+    }
+    for (const auto& [key, g] : gauges_) {
+      Sample s;
+      s.name = key.name;
+      s.labels = key.labels;
+      s.kind = Sample::Kind::kGauge;
+      s.value = g->value();
+      out.push_back(std::move(s));
+    }
+    for (const auto& [key, h] : histograms_) {
+      Sample s;
+      s.name = key.name;
+      s.labels = key.labels;
+      s.kind = Sample::Kind::kHistogram;
+      s.histogram = h->summary();
+      out.push_back(std::move(s));
+    }
+    fns.reserve(gauge_fns_.size());
+    for (const auto& [key, fn] : gauge_fns_) fns.emplace_back(key, fn);
+  }
+  for (const auto& [key, fn] : fns) {
+    Sample s;
+    s.name = key.name;
+    s.labels = key.labels;
+    s.kind = Sample::Kind::kGauge;
+    s.value = fn ? fn() : 0.0;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const Sample& a, const Sample& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.labels < b.labels;
+  });
+  return out;
+}
+
+std::size_t Registry::instrument_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size() + gauge_fns_.size();
+}
+
+namespace {
+
+void append_label_escaped(std::string& out, std::string_view v) {
+  for (const char c : v) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+}
+
+void append_series(std::string& out, std::string_view name, const Labels& labels,
+                   std::string_view suffix, double value) {
+  out.append(name);
+  out.append(suffix);
+  if (!labels.empty()) {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.append(k);
+      out.append("=\"");
+      append_label_escaped(out, v);
+      out.push_back('"');
+    }
+    out.push_back('}');
+  }
+  out.push_back(' ');
+  char buf[64];
+  // Counters and bucket-derived values are integral most of the time; print
+  // them without a fractional part for readability.
+  if (value == static_cast<double>(static_cast<std::int64_t>(value))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+  }
+  out.append(buf);
+  out.push_back('\n');
+}
+
+}  // namespace
+
+std::string render_text(const Registry& registry) {
+  std::string out;
+  for (const Sample& s : registry.collect()) {
+    switch (s.kind) {
+      case Sample::Kind::kCounter:
+      case Sample::Kind::kGauge:
+        append_series(out, s.name, s.labels, "", s.value);
+        break;
+      case Sample::Kind::kHistogram:
+        append_series(out, s.name, s.labels, "_count", static_cast<double>(s.histogram.count));
+        append_series(out, s.name, s.labels, "_sum", static_cast<double>(s.histogram.sum));
+        append_series(out, s.name, s.labels, "_p50", s.histogram.p50);
+        append_series(out, s.name, s.labels, "_p90", s.histogram.p90);
+        append_series(out, s.name, s.labels, "_p99", s.histogram.p99);
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<lineproto::Point> to_points(const Registry& registry, std::string_view measurement,
+                                        const Labels& extra_tags, util::TimeNs timestamp) {
+  std::vector<lineproto::Point> points;
+  for (const Sample& s : registry.collect()) {
+    lineproto::Point p;
+    p.measurement = std::string(measurement);
+    for (const auto& [k, v] : extra_tags) p.set_tag(k, v);
+    p.set_tag("metric", s.name);
+    for (const auto& [k, v] : s.labels) p.set_tag(k, v);
+    switch (s.kind) {
+      case Sample::Kind::kCounter:
+        p.add_field("value", static_cast<std::int64_t>(s.value));
+        break;
+      case Sample::Kind::kGauge:
+        p.add_field("value", s.value);
+        break;
+      case Sample::Kind::kHistogram:
+        p.add_field("count", static_cast<std::int64_t>(s.histogram.count));
+        p.add_field("sum", static_cast<std::int64_t>(s.histogram.sum));
+        p.add_field("p50", s.histogram.p50);
+        p.add_field("p90", s.histogram.p90);
+        p.add_field("p99", s.histogram.p99);
+        break;
+    }
+    p.timestamp = timestamp;
+    p.normalize();
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+}  // namespace lms::obs

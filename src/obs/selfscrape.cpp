@@ -1,0 +1,65 @@
+#include "lms/obs/selfscrape.hpp"
+
+#include <chrono>
+
+#include "lms/lineproto/codec.hpp"
+#include "lms/obs/trace.hpp"
+#include "lms/util/logging.hpp"
+
+namespace lms::obs {
+
+SelfScrape::SelfScrape(Registry& registry, const util::Clock& clock, WriteFn write,
+                       Options options)
+    : registry_(registry), clock_(clock), write_(std::move(write)), options_(std::move(options)) {}
+
+SelfScrape::~SelfScrape() { stop(); }
+
+util::Status SelfScrape::scrape_once() {
+  Span span("obs.selfscrape", "obs");
+  const std::vector<lineproto::Point> points =
+      to_points(registry_, options_.measurement, options_.tags, clock_.now());
+  if (points.empty()) return {};
+  util::Status status = write_(lineproto::serialize_batch(points));
+  scrapes_.fetch_add(1, std::memory_order_relaxed);
+  if (!status.ok()) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    span.set_ok(false);
+    span.set_note(status.message());
+    LMS_WARN("obs") << "self-scrape write failed: " << status.message();
+  }
+  return status;
+}
+
+void SelfScrape::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void SelfScrape::stop() {
+  if (!running_.exchange(false)) return;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void SelfScrape::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    const auto wait = std::chrono::nanoseconds(options_.interval > 0 ? options_.interval
+                                                                     : util::kNanosPerSecond);
+    if (cv_.wait_for(lock, wait, [this] { return stop_requested_; })) break;
+    lock.unlock();
+    scrape_once();
+    lock.lock();
+  }
+}
+
+}  // namespace lms::obs

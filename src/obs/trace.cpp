@@ -1,0 +1,155 @@
+#include "lms/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lms::obs {
+
+namespace {
+
+thread_local TraceContext t_current;
+
+std::atomic<bool> g_tracing_enabled{true};
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+TraceContext current_trace() { return t_current; }
+
+std::uint64_t new_trace_id() {
+  static std::atomic<std::uint64_t> counter{
+      static_cast<std::uint64_t>(util::monotonic_now_ns())};
+  std::uint64_t id = 0;
+  while (id == 0) id = splitmix64(counter.fetch_add(1, std::memory_order_relaxed));
+  return id;
+}
+
+std::string format_trace_header(const TraceContext& ctx) {
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "%016llx-%016llx",
+                static_cast<unsigned long long>(ctx.trace_id),
+                static_cast<unsigned long long>(ctx.span_id));
+  return std::string(buf);
+}
+
+namespace {
+
+std::optional<std::uint64_t> parse_hex16(std::string_view s) {
+  if (s.size() != 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<TraceContext> parse_trace_header(std::string_view value) {
+  if (value.size() != 33 || value[16] != '-') return std::nullopt;
+  const auto trace = parse_hex16(value.substr(0, 16));
+  const auto span = parse_hex16(value.substr(17));
+  if (!trace || !span || *trace == 0) return std::nullopt;
+  return TraceContext{*trace, *span};
+}
+
+void set_tracing_enabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() { return g_tracing_enabled.load(std::memory_order_relaxed); }
+
+SpanRecorder::SpanRecorder(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+SpanRecorder& SpanRecorder::global() {
+  static SpanRecorder recorder;
+  return recorder;
+}
+
+void SpanRecorder::record(SpanRecord record) {
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    evicted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ring_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> SpanRecorder::by_trace(std::uint64_t trace_id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  for (const auto& r : ring_) {
+    if (r.trace_id == trace_id) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<SpanRecord> SpanRecorder::recent(std::size_t n) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t count = std::min(n, ring_.size());
+  return std::vector<SpanRecord>(ring_.end() - static_cast<std::ptrdiff_t>(count), ring_.end());
+}
+
+std::size_t SpanRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void SpanRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+Span::Span(std::string name, std::string component, SpanRecorder* recorder) {
+  if (!tracing_enabled()) return;
+  active_ = true;
+  recorder_ = recorder != nullptr ? recorder : &SpanRecorder::global();
+  prev_ = t_current;
+  ctx_.trace_id = prev_.valid() ? prev_.trace_id : new_trace_id();
+  ctx_.span_id = new_trace_id();
+  t_current = ctx_;
+  name_ = std::move(name);
+  component_ = std::move(component);
+  start_wall_ = util::WallClock::instance().now();
+  start_mono_ = util::monotonic_now_ns();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  t_current = prev_;
+  SpanRecord r;
+  r.trace_id = ctx_.trace_id;
+  r.span_id = ctx_.span_id;
+  r.parent_span_id = prev_.trace_id == ctx_.trace_id ? prev_.span_id : 0;
+  r.name = std::move(name_);
+  r.component = std::move(component_);
+  r.start_wall_ns = start_wall_;
+  r.duration_ns = util::monotonic_now_ns() - start_mono_;
+  r.ok = ok_;
+  r.note = std::move(note_);
+  recorder_->record(std::move(r));
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx) : prev_(t_current) {
+  if (ctx.valid()) t_current = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_current = prev_; }
+
+}  // namespace lms::obs

@@ -2,6 +2,7 @@
 
 #include "lms/json/json.hpp"
 #include "lms/lineproto/codec.hpp"
+#include "lms/obs/trace.hpp"
 #include "lms/tsdb/persist.hpp"
 #include "lms/util/logging.hpp"
 
@@ -11,7 +12,48 @@ HttpApi::HttpApi(Storage& storage, const util::Clock& clock)
     : HttpApi(storage, clock, Options()) {}
 
 HttpApi::HttpApi(Storage& storage, const util::Clock& clock, Options options)
-    : storage_(storage), clock_(clock), options_(std::move(options)), engine_(storage) {}
+    : storage_(storage),
+      clock_(clock),
+      options_(std::move(options)),
+      engine_(storage),
+      own_registry_(options_.registry == nullptr ? new obs::Registry() : nullptr),
+      registry_(options_.registry != nullptr ? options_.registry : own_registry_.get()),
+      points_written_(registry_->counter("tsdb_points_written")),
+      write_requests_(registry_->counter("tsdb_write_requests")),
+      query_requests_(registry_->counter("tsdb_query_requests")),
+      parse_errors_(registry_->counter("tsdb_parse_errors")),
+      write_ns_(registry_->histogram("tsdb_write_ns")),
+      query_ns_(registry_->histogram("tsdb_query_ns")) {
+  // Sampled at collect time; enumerate first, then lock for the reads
+  // (databases() takes the storage lock itself).
+  registry_->gauge_fn("tsdb_series", {}, [this] {
+    double total = 0;
+    const std::vector<std::string> names = storage_.databases();
+    const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
+    for (const auto& name : names) {
+      if (Database* db = storage_.find_database_unlocked(name); db != nullptr) {
+        total += static_cast<double>(db->series_count());
+      }
+    }
+    return total;
+  });
+  registry_->gauge_fn("tsdb_samples", {}, [this] {
+    double total = 0;
+    const std::vector<std::string> names = storage_.databases();
+    const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
+    for (const auto& name : names) {
+      if (Database* db = storage_.find_database_unlocked(name); db != nullptr) {
+        total += static_cast<double>(db->sample_count());
+      }
+    }
+    return total;
+  });
+}
+
+HttpApi::~HttpApi() {
+  registry_->remove_gauge_fn("tsdb_series");
+  registry_->remove_gauge_fn("tsdb_samples");
+}
 
 net::HttpHandler HttpApi::handler() {
   return [this](const net::HttpRequest& req) -> net::HttpResponse {
@@ -19,6 +61,9 @@ net::HttpHandler HttpApi::handler() {
     if (req.path == "/write" && req.method == "POST") return handle_write(req);
     if (req.path == "/query") return handle_query(req);
     if (req.path == "/stats") return handle_stats(req);
+    if (req.path == "/metrics") {
+      return net::HttpResponse::text(200, obs::render_text(*registry_));
+    }
     if (req.path == "/dump") {
       const std::string db_name = req.query.get_or("db", options_.default_db);
       Database* db = storage_.find_database(db_name);
@@ -33,24 +78,30 @@ net::HttpHandler HttpApi::handler() {
 }
 
 net::HttpResponse HttpApi::handle_write(const net::HttpRequest& req) {
-  write_requests_.fetch_add(1, std::memory_order_relaxed);
+  obs::Span span("tsdb.write", "tsdb");
+  const util::TimeNs t0 = util::monotonic_now_ns();
+  write_requests_.inc();
   const std::string db = req.query.get_or("db", options_.default_db);
   std::vector<std::string> errors;
   std::vector<Point> points = lineproto::parse_lenient(req.body, &errors);
-  parse_errors_.fetch_add(errors.size(), std::memory_order_relaxed);
+  parse_errors_.inc(errors.size());
   if (points.empty() && !errors.empty()) {
+    span.set_ok(false);
     return net::HttpResponse::json(400, influx_error_json(errors.front()));
   }
   storage_.write(db, points, clock_.now());
-  points_written_.fetch_add(points.size(), std::memory_order_relaxed);
+  points_written_.inc(points.size());
   if (!errors.empty()) {
     LMS_WARN("tsdb") << errors.size() << " malformed lines dropped in /write";
   }
+  write_ns_.record_since(t0);
   return net::HttpResponse::no_content();
 }
 
 net::HttpResponse HttpApi::handle_query(const net::HttpRequest& req) {
-  query_requests_.fetch_add(1, std::memory_order_relaxed);
+  obs::Span span("tsdb.query", "tsdb");
+  const util::TimeNs t0 = util::monotonic_now_ns();
+  query_requests_.inc();
   std::string q = req.query.get_or("q", "");
   if (q.empty() && !req.body.empty()) {
     // Accept form-encoded body: q=...
@@ -61,7 +112,9 @@ net::HttpResponse HttpApi::handle_query(const net::HttpRequest& req) {
   }
   const std::string db = req.query.get_or("db", options_.default_db);
   auto result = engine_.query(db, q, clock_.now());
+  query_ns_.record_since(t0);
   if (!result.ok()) {
+    span.set_ok(false);
     return net::HttpResponse::json(400, influx_error_json(result.message()));
   }
   return net::HttpResponse::json(200, to_influx_json(*result));
@@ -69,10 +122,10 @@ net::HttpResponse HttpApi::handle_query(const net::HttpRequest& req) {
 
 net::HttpResponse HttpApi::handle_stats(const net::HttpRequest&) {
   json::Object stats;
-  stats["points_written"] = static_cast<std::int64_t>(points_written_.load());
-  stats["write_requests"] = static_cast<std::int64_t>(write_requests_.load());
-  stats["query_requests"] = static_cast<std::int64_t>(query_requests_.load());
-  stats["parse_errors"] = static_cast<std::int64_t>(parse_errors_.load());
+  stats["points_written"] = static_cast<std::int64_t>(points_written());
+  stats["write_requests"] = static_cast<std::int64_t>(write_requests());
+  stats["query_requests"] = static_cast<std::int64_t>(query_requests());
+  stats["parse_errors"] = static_cast<std::int64_t>(parse_errors());
   json::Array dbs;
   for (const auto& name : storage_.databases()) {
     Database* db = storage_.find_database(name);

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "lms/util/clock.hpp"
+
 namespace lms::util {
 
 std::string_view log_level_name(LogLevel level) {
@@ -53,9 +55,62 @@ void Logger::log(LogLevel level, std::string_view component, std::string_view ms
     sink(level, component, msg);
     return;
   }
-  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n", static_cast<int>(log_level_name(level).size()),
-               log_level_name(level).data(), static_cast<int>(component.size()), component.data(),
-               static_cast<int>(msg.size()), msg.data());
+  const std::string wall = format_utc(WallClock::instance().now());
+  std::fprintf(stderr, "%s mono=%lld [%.*s] %.*s: %.*s\n", wall.c_str(),
+               static_cast<long long>(monotonic_now_ns()),
+               static_cast<int>(log_level_name(level).size()), log_level_name(level).data(),
+               static_cast<int>(component.size()), component.data(), static_cast<int>(msg.size()),
+               msg.data());
+}
+
+LogRing::LogRing(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+Logger::Sink LogRing::sink() {
+  return [this](LogLevel level, std::string_view component, std::string_view msg) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() >= capacity_) {
+      ring_.pop_front();
+      ++dropped_;
+    }
+    ring_.push_back(Entry{level, std::string(component), std::string(msg)});
+  };
+}
+
+std::vector<LogRing::Entry> LogRing::entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::vector<std::string> LogRing::lines() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(ring_.size());
+  for (const Entry& e : ring_) {
+    std::string line = "[";
+    line += log_level_name(e.level);
+    line += "] ";
+    line += e.component;
+    line += ": ";
+    line += e.message;
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+std::size_t LogRing::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t LogRing::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void LogRing::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  dropped_ = 0;
 }
 
 }  // namespace lms::util

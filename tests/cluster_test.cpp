@@ -231,5 +231,43 @@ TEST(HarnessTest, PerUserDuplicationOption) {
   EXPECT_GT(user_db->sample_count(), 0u);
 }
 
+TEST(HarnessTest, SelfScrapeFeedsLmsInternal) {
+  ClusterHarness::Options opts;
+  opts.nodes = 2;
+  opts.enable_self_scrape = true;
+  ClusterHarness harness(opts);
+  harness.submit("minimd", "alice", 2, 3 * kNanosPerMinute);
+  harness.run_for(5 * kNanosPerMinute);
+
+  ASSERT_NE(harness.self_scrape(), nullptr);
+  EXPECT_GE(harness.self_scrape()->scrapes(), 4u);
+  EXPECT_EQ(harness.self_scrape()->failures(), 0u);
+
+  // The registry snapshots flowed through the router into the lms database
+  // and are queryable like any measurement: the router's own ingest counter
+  // grows over sim time.
+  auto series = tsdb::Engine(harness.storage())
+                    .query("lms",
+                           "SELECT last(value) FROM lms_internal WHERE "
+                           "metric='router_points_in'",
+                           harness.now());
+  ASSERT_TRUE(series.ok());
+  ASSERT_FALSE(series->series.empty());
+  ASSERT_FALSE(series->series[0].values.empty());
+  EXPECT_GT(series->series[0].values[0][1].as_double(), 0.0);
+
+  // Per-node collector gauges carry the hostname label into tags.
+  tsdb::Database* db = harness.storage().find_database("lms");
+  ASSERT_NE(db, nullptr);
+  EXPECT_FALSE(db->series_matching("lms_internal",
+                                   {{"metric", "collector_points_collected"},
+                                    {"hostname", "h1"}})
+                   .empty());
+  // The internals dashboard renders from the same measurement.
+  const auto dash = harness.dashboards().generate_internals_dashboard(harness.now());
+  EXPECT_NE(harness.dashboards().find_dashboard("internals"), nullptr);
+  EXPECT_NE(dash.dump().find("lms_internal"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace lms::cluster

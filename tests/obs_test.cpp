@@ -1,0 +1,444 @@
+// Tests for the lms::obs self-monitoring subsystem: metrics registry,
+// request tracing across transports, and the self-scrape loop that writes
+// the stack's own instruments back into its TSDB.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lms/core/router.hpp"
+#include "lms/lineproto/codec.hpp"
+#include "lms/net/tcp_http.hpp"
+#include "lms/net/transport.hpp"
+#include "lms/obs/metrics.hpp"
+#include "lms/obs/selfscrape.hpp"
+#include "lms/obs/trace.hpp"
+#include "lms/tsdb/http_api.hpp"
+#include "lms/tsdb/storage.hpp"
+#include "lms/util/clock.hpp"
+
+namespace lms::obs {
+namespace {
+
+// ---------------------------------------------------------------- registry
+
+TEST(Registry, CounterIncrementsAndInterns) {
+  Registry reg;
+  Counter& c = reg.counter("requests");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same (name, labels) -> same instrument; label order must not matter.
+  EXPECT_EQ(&reg.counter("requests"), &c);
+  Counter& ab = reg.counter("requests", {{"a", "1"}, {"b", "2"}});
+  Counter& ba = reg.counter("requests", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&ab, &ba);
+  EXPECT_NE(&ab, &c);
+  EXPECT_EQ(reg.instrument_count(), 2u);
+}
+
+TEST(Registry, GaugeSetAndAdd) {
+  Registry reg;
+  Gauge& g = reg.gauge("depth");
+  g.set(10.5);
+  EXPECT_DOUBLE_EQ(g.value(), 10.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+}
+
+TEST(Registry, HistogramPercentilesWithinLogBucketError) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat");
+  // 100 samples 1..100: p50 ~ 50, p99 ~ 99. Log2 buckets bound the relative
+  // error to 2x, so assert the half-to-double bracket.
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  const double p50 = h.percentile(0.5);
+  const double p99 = h.percentile(0.99);
+  EXPECT_GE(p50, 25.0);
+  EXPECT_LE(p50, 100.0);
+  EXPECT_GE(p99, 50.0);
+  EXPECT_LE(p99, 200.0);
+  EXPECT_LE(p50, p99);
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.p50, p50);
+}
+
+TEST(Registry, HistogramZeroAndLargeValues) {
+  Registry reg;
+  Histogram& h = reg.histogram("sizes");
+  h.record(0);
+  h.record(1ULL << 40);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_GE(h.percentile(1.0), static_cast<double>(1ULL << 39));
+}
+
+TEST(Registry, GaugeFnSampledAtCollect) {
+  Registry reg;
+  double depth = 3;
+  reg.gauge_fn("queue_depth", {{"q", "spool"}}, [&depth] { return depth; });
+  auto find = [&]() -> double {
+    for (const Sample& s : reg.collect()) {
+      if (s.name == "queue_depth") return s.value;
+    }
+    return -1;
+  };
+  EXPECT_DOUBLE_EQ(find(), 3.0);
+  depth = 7;
+  EXPECT_DOUBLE_EQ(find(), 7.0);
+  reg.remove_gauge_fn("queue_depth", {{"q", "spool"}});
+  EXPECT_DOUBLE_EQ(find(), -1.0);
+}
+
+TEST(Registry, CounterIsThreadSafe) {
+  Registry reg;
+  Counter& c = reg.counter("hits");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.inc();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), 40000u);
+}
+
+TEST(Registry, RenderTextFormat) {
+  Registry reg;
+  reg.counter("reqs", {{"route", "/write"}}).inc(3);
+  reg.gauge("temp").set(1.5);
+  reg.histogram("lat").record(100);
+  const std::string text = render_text(reg);
+  EXPECT_NE(text.find("reqs{route=\"/write\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("temp 1.5\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_p99 "), std::string::npos);
+}
+
+TEST(Registry, ToPointsCarriesTagsAndFields) {
+  Registry reg;
+  reg.counter("reqs", {{"route", "/write"}}).inc(2);
+  reg.histogram("lat").record(64);
+  const auto points = to_points(reg, "lms_internal", {{"hostname", "h1"}}, 12345);
+  ASSERT_EQ(points.size(), 2u);
+  for (const auto& p : points) {
+    EXPECT_EQ(p.measurement, "lms_internal");
+    EXPECT_EQ(p.tag("hostname"), "h1");
+    EXPECT_EQ(p.timestamp, 12345);
+  }
+  const auto& counter_pt = points[0].tag("metric") == "reqs" ? points[0] : points[1];
+  const auto& hist_pt = points[0].tag("metric") == "lat" ? points[0] : points[1];
+  EXPECT_EQ(counter_pt.tag("route"), "/write");
+  ASSERT_NE(counter_pt.field("value"), nullptr);
+  EXPECT_DOUBLE_EQ(counter_pt.field("value")->as_double(), 2.0);
+  ASSERT_NE(hist_pt.field("count"), nullptr);
+  EXPECT_DOUBLE_EQ(hist_pt.field("count")->as_double(), 1.0);
+  ASSERT_NE(hist_pt.field("p50"), nullptr);
+  EXPECT_GT(hist_pt.field("p50")->as_double(), 0.0);
+}
+
+// ---------------------------------------------------------------- tracing
+
+TEST(Trace, HeaderRoundTrip) {
+  const TraceContext ctx{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  const std::string header = format_trace_header(ctx);
+  EXPECT_EQ(header, "0123456789abcdef-fedcba9876543210");
+  const auto parsed = parse_trace_header(header);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trace_id, ctx.trace_id);
+  EXPECT_EQ(parsed->span_id, ctx.span_id);
+  EXPECT_FALSE(parse_trace_header("").has_value());
+  EXPECT_FALSE(parse_trace_header("zzz").has_value());
+  EXPECT_FALSE(parse_trace_header("0123456789abcdef_fedcba9876543210").has_value());
+}
+
+TEST(Trace, SpanNestingAndParenting) {
+  SpanRecorder recorder(16);
+  std::uint64_t trace_id = 0;
+  std::uint64_t outer_id = 0;
+  {
+    Span outer("outer", "test", &recorder);
+    ASSERT_TRUE(outer.active());
+    trace_id = outer.context().trace_id;
+    outer_id = outer.context().span_id;
+    EXPECT_EQ(current_trace().trace_id, trace_id);
+    {
+      Span inner("inner", "test", &recorder);
+      EXPECT_EQ(inner.context().trace_id, trace_id);  // same trace
+      EXPECT_NE(inner.context().span_id, outer_id);
+    }
+    EXPECT_EQ(current_trace().span_id, outer_id);  // restored
+  }
+  EXPECT_FALSE(current_trace().valid());
+  const auto spans = recorder.by_trace(trace_id);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "inner");  // inner finished first
+  EXPECT_EQ(spans[0].parent_span_id, outer_id);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].parent_span_id, 0u);  // root
+}
+
+TEST(Trace, ScopedContextAdoption) {
+  SpanRecorder recorder(16);
+  const TraceContext remote{new_trace_id(), new_trace_id()};
+  {
+    ScopedTraceContext adopt(remote);
+    Span server("server", "test", &recorder);
+    EXPECT_EQ(server.context().trace_id, remote.trace_id);
+  }
+  EXPECT_FALSE(current_trace().valid());
+  const auto spans = recorder.by_trace(remote.trace_id);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].parent_span_id, remote.span_id);
+}
+
+TEST(Trace, RecorderBoundsAndEviction) {
+  SpanRecorder recorder(4);
+  for (int i = 0; i < 10; ++i) {
+    Span s("s" + std::to_string(i), "test", &recorder);
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.evicted(), 6u);
+  const auto recent = recorder.recent(2);
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[1].name, "s9");
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST(Trace, DisabledTracingIsNoOp) {
+  SpanRecorder recorder(16);
+  set_tracing_enabled(false);
+  {
+    Span s("ghost", "test", &recorder);
+    EXPECT_FALSE(s.active());
+    EXPECT_FALSE(current_trace().valid());
+  }
+  set_tracing_enabled(true);
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+// ------------------------------------------------------- stack integration
+
+/// Router + TSDB over the in-process transport sharing one registry — the
+/// harness topology in miniature.
+struct MiniStack {
+  util::SimClock clock{1'500'000'000LL * util::kNanosPerSecond};
+  Registry registry;
+  net::InprocNetwork network;
+  net::InprocHttpClient client{network};
+  tsdb::Storage storage;
+  std::unique_ptr<tsdb::HttpApi> db_api;
+  std::unique_ptr<core::MetricsRouter> router;
+
+  MiniStack() {
+    network.set_registry(&registry);
+    tsdb::HttpApi::Options db_opts;
+    db_opts.registry = &registry;
+    db_api = std::make_unique<tsdb::HttpApi>(storage, clock, db_opts);
+    network.bind("tsdb", db_api->handler());
+    core::MetricsRouter::Options router_opts;
+    router_opts.db_url = "inproc://tsdb";
+    router_opts.registry = &registry;
+    router = std::make_unique<core::MetricsRouter>(client, clock, router_opts, nullptr);
+    network.bind("router", router->handler());
+  }
+};
+
+TEST(ObsIntegration, TracedWriteSharesOneTraceAcrossHops) {
+  MiniStack stack;
+  SpanRecorder::global().clear();
+
+  auto resp = stack.client.post("inproc://router/write?db=lms",
+                                "cpu,hostname=h1 user_percent=42\n", "text/plain");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 204);
+
+  // Find the innermost span (the TSDB write) and walk its whole trace.
+  std::uint64_t trace_id = 0;
+  for (const auto& s : SpanRecorder::global().recent(64)) {
+    if (s.name == "tsdb.write") trace_id = s.trace_id;
+  }
+  ASSERT_NE(trace_id, 0u);
+  const auto spans = SpanRecorder::global().by_trace(trace_id);
+  // One trace covers: client send -> router server -> router.write ->
+  // router.forward -> client send -> tsdb server -> tsdb.write.
+  std::vector<std::string> names;
+  for (const auto& s : spans) {
+    EXPECT_EQ(s.trace_id, trace_id);
+    names.push_back(s.name);
+  }
+  auto has = [&](const std::string& n) {
+    for (const auto& name : names) {
+      if (name.find(n) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("tsdb.write"));
+  EXPECT_TRUE(has("router.write"));
+  EXPECT_TRUE(has("router.forward"));
+  EXPECT_TRUE(has("http.server"));
+  EXPECT_TRUE(has("http.client"));
+  EXPECT_GE(spans.size(), 5u);
+  // Exactly one root: the originating client span.
+  int roots = 0;
+  for (const auto& s : spans) {
+    if (s.parent_span_id == 0) ++roots;
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+TEST(ObsIntegration, MetricsEndpointShowsIngestAndLatency) {
+  MiniStack stack;
+  for (int i = 0; i < 3; ++i) {
+    auto resp = stack.client.post("inproc://router/write?db=lms",
+                                  "cpu,hostname=h1 user_percent=42\n", "text/plain");
+    ASSERT_TRUE(resp.ok() && resp->status == 204);
+  }
+
+  auto metrics = stack.client.get("inproc://router/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->status, 200);
+  const std::string& body = metrics->body;
+  EXPECT_NE(body.find("router_points_in 3\n"), std::string::npos);
+  EXPECT_NE(body.find("router_points_out 3\n"), std::string::npos);
+  EXPECT_NE(body.find("tsdb_points_written 3\n"), std::string::npos);
+  EXPECT_NE(body.find("router_write_ns_count 3\n"), std::string::npos);
+  // Latency percentiles are present and non-zero.
+  const auto p99_pos = body.find("router_write_ns_p99 ");
+  ASSERT_NE(p99_pos, std::string::npos);
+  EXPECT_GT(std::stod(body.substr(p99_pos + std::string("router_write_ns_p99 ").size())), 0.0);
+  // The shared registry also carries the transport's view of the same traffic.
+  EXPECT_NE(body.find("http_server_requests"), std::string::npos);
+
+  // The TSDB endpoint serves the same registry.
+  auto db_metrics = stack.client.get("inproc://tsdb/metrics");
+  ASSERT_TRUE(db_metrics.ok());
+  EXPECT_NE(db_metrics->body.find("tsdb_points_written 3\n"), std::string::npos);
+}
+
+TEST(ObsIntegration, SelfScrapeLandsInOwnTsdbQueryable) {
+  MiniStack stack;
+  // Produce some traffic so the registry has non-trivial values.
+  for (int i = 0; i < 5; ++i) {
+    auto resp = stack.client.post("inproc://router/write?db=lms",
+                                  "cpu,hostname=h1 user_percent=42\n", "text/plain");
+    ASSERT_TRUE(resp.ok() && resp->status == 204);
+  }
+
+  SelfScrape::Options ss_opts;
+  ss_opts.tags = {{"hostname", "stack"}};
+  SelfScrape scrape(
+      stack.registry, stack.clock,
+      [&](const std::string& body) -> util::Status {
+        auto resp = stack.client.post("inproc://router/write?db=lms", body, "text/plain");
+        if (!resp.ok()) return util::Status::error(resp.message());
+        if (!resp->ok()) return util::Status::error("HTTP " + std::to_string(resp->status));
+        return util::Status();
+      },
+      ss_opts);
+  ASSERT_TRUE(scrape.scrape_once().ok());
+  EXPECT_EQ(scrape.scrapes(), 1u);
+  EXPECT_EQ(scrape.failures(), 0u);
+
+  // The registry snapshot is now a regular measurement in the stack's own
+  // TSDB, queryable through the Influx-compatible API.
+  auto resp = stack.client.get(
+      "inproc://tsdb/query?db=lms&q=SELECT%20last(value)%20FROM%20lms_internal%20WHERE%20"
+      "metric%3D%27router_points_in%27");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_NE(resp->body.find("lms_internal"), std::string::npos);
+  // 5 data writes happened before the scrape snapshot.
+  EXPECT_NE(resp->body.find("5"), std::string::npos);
+
+  // Histogram instruments arrive with percentile fields.
+  auto hist = stack.client.get(
+      "inproc://tsdb/query?db=lms&q=SELECT%20last(p99)%20FROM%20lms_internal%20WHERE%20"
+      "metric%3D%27router_write_ns%27");
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ(hist->status, 200);
+  EXPECT_NE(hist->body.find("lms_internal"), std::string::npos);
+}
+
+TEST(ObsIntegration, SelfScrapeBackgroundThreadWritesPeriodically) {
+  Registry reg;
+  reg.counter("ticks").inc();
+  util::WallClock clock;
+  std::atomic<int> writes{0};
+  SelfScrape::Options ss_opts;
+  ss_opts.interval = 5 * util::kNanosPerMilli;
+  SelfScrape scrape(
+      reg, clock,
+      [&](const std::string& body) -> util::Status {
+        EXPECT_NE(body.find("ticks"), std::string::npos);
+        ++writes;
+        return util::Status();
+      },
+      ss_opts);
+  scrape.start();
+  EXPECT_TRUE(scrape.running());
+  const util::TimeNs deadline = util::monotonic_now_ns() + 2 * util::kNanosPerSecond;
+  while (writes.load() < 2 && util::monotonic_now_ns() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  scrape.stop();
+  EXPECT_FALSE(scrape.running());
+  EXPECT_GE(writes.load(), 2);
+}
+
+TEST(ObsIntegration, TcpTracePropagationAndClientMetrics) {
+  Registry server_reg;
+  net::TcpHttpServer::Options srv_opts;
+  srv_opts.registry = &server_reg;
+  net::TcpHttpServer server(
+      [](const net::HttpRequest&) { return net::HttpResponse::text(200, "ok"); }, srv_opts);
+  ASSERT_TRUE(server.start().ok());
+
+  Registry client_reg;
+  net::TcpHttpClient::Options cl_opts;
+  cl_opts.registry = &client_reg;
+  net::TcpHttpClient client(cl_opts);
+
+  SpanRecorder::global().clear();
+  auto resp = client.get(server.url() + "/hello");
+  server.stop();
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+
+  // Client and server spans (different threads) joined one trace over the
+  // X-LMS-Trace header.
+  std::uint64_t trace_id = 0;
+  for (const auto& s : SpanRecorder::global().recent(16)) {
+    if (s.name.find("http.client") != std::string::npos) trace_id = s.trace_id;
+  }
+  ASSERT_NE(trace_id, 0u);
+  const auto spans = SpanRecorder::global().by_trace(trace_id);
+  bool server_span = false;
+  for (const auto& s : spans) {
+    if (s.name.find("http.server") != std::string::npos) server_span = true;
+  }
+  EXPECT_TRUE(server_span);
+
+  // Both sides counted the request in their registries.
+  bool client_counted = false;
+  for (const Sample& s : client_reg.collect()) {
+    if (s.name == "http_client_requests" && s.value == 1) client_counted = true;
+  }
+  EXPECT_TRUE(client_counted);
+  bool server_counted = false;
+  for (const Sample& s : server_reg.collect()) {
+    if (s.name == "http_server_requests" && s.value == 1) server_counted = true;
+  }
+  EXPECT_TRUE(server_counted);
+}
+
+}  // namespace
+}  // namespace lms::obs

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "lms/util/clock.hpp"
 #include "lms/util/config.hpp"
+#include "lms/util/logging.hpp"
 #include "lms/util/queue.hpp"
 #include "lms/util/rng.hpp"
 #include "lms/util/status.hpp"
@@ -425,6 +427,108 @@ TEST(Queue, ProducerConsumerThreads) {
   producer.join();
   consumer.join();
   EXPECT_EQ(sum.load(), 1000L * 1001 / 2);
+}
+
+TEST(Queue, CloseReleasesBlockedPoppers) {
+  BoundedQueue<int> q(4);
+  std::atomic<int> released{0};
+  std::vector<std::thread> poppers;
+  for (int i = 0; i < 4; ++i) {
+    poppers.emplace_back([&] {
+      if (!q.pop().has_value()) ++released;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (auto& t : poppers) t.join();
+  EXPECT_EQ(released.load(), 4);
+}
+
+TEST(Queue, CloseReleasesBlockedPushers) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(0));  // fill to capacity so further pushes block
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> pushers;
+  for (int i = 0; i < 4; ++i) {
+    pushers.emplace_back([&] {
+      if (!q.push(1)) ++rejected;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (auto& t : pushers) t.join();
+  EXPECT_EQ(rejected.load(), 4);
+}
+
+TEST(Queue, PopForReturnsItemArrivingBeforeTimeout) {
+  BoundedQueue<int> q(1);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.push(7);
+  });
+  const std::optional<int> v = q.pop_for(5 * kNanosPerSecond);
+  producer.join();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(Queue, DrainAfterCloseUnderContention) {
+  // close() racing concurrent producers and a consumer: every item accepted
+  // before the close must still come out, and nothing may hang.
+  BoundedQueue<int> q(64);
+  std::atomic<long> pushed{0};
+  std::atomic<long> popped{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        if (q.try_push(1)) ++pushed;
+      }
+    });
+  }
+  std::thread consumer([&] {
+    while (q.pop().has_value()) ++popped;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.close();
+  for (auto& t : producers) t.join();
+  consumer.join();
+  while (q.try_pop().has_value()) ++popped;  // whatever the consumer left
+  EXPECT_EQ(popped.load(), pushed.load());
+}
+
+// ---------------------------------------------------------------- logging
+
+TEST(Logging, LogRingKeepsMostRecentAndCountsDropped) {
+  LogRing ring(3);
+  auto sink = ring.sink();
+  for (int i = 0; i < 5; ++i) {
+    sink(LogLevel::kInfo, "comp", "m" + std::to_string(i));
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  const std::vector<std::string> lines = ring.lines();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines.front(), "[INFO] comp: m2");
+  EXPECT_EQ(lines.back(), "[INFO] comp: m4");
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(Logging, LogRingCapturesThroughLogger) {
+  LogRing ring(8);
+  const LogLevel prev = Logger::instance().level();
+  Logger::instance().set_sink(ring.sink());
+  Logger::instance().set_level(LogLevel::kInfo);
+  LMS_INFO("test") << "hello " << 42;
+  Logger::instance().set_sink(nullptr);  // restore before the ring dies
+  Logger::instance().set_level(prev);
+  const auto entries = ring.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].level, LogLevel::kInfo);
+  EXPECT_EQ(entries[0].component, "test");
+  EXPECT_EQ(entries[0].message, "hello 42");
 }
 
 }  // namespace
