@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the concurrency-heavy suites. Builds the stack twice
+# (-DLMS_SANITIZE=thread and =address, same flags the CMake presets use) and
+# runs the suites that exercise threads and raw buffers: obs (self-scrape
+# thread, tracing), net (TCP transport, pub/sub HWM), alert (evaluator vs.
+# gauge callbacks), tsdb (storage under shared locks).
+#
+# Usage: ci/sanitize.sh [thread|address|all]   (default: all)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SUITES=(obs_test net_test alert_test tsdb_test)
+MODE="${1:-all}"
+
+run_mode() {
+  local mode="$1" dir
+  if [[ "$mode" == "thread" ]]; then dir=build-tsan; else dir=build-asan; fi
+  echo "=== ${mode} sanitizer: configure + build (${dir}) ==="
+  cmake -B "$dir" -S . -DLMS_SANITIZE="$mode" >/dev/null
+  cmake --build "$dir" -j "$(nproc)" --target "${SUITES[@]}"
+  for suite in "${SUITES[@]}"; do
+    echo "=== ${mode} sanitizer: ${suite} ==="
+    "$dir/tests/$suite"
+  done
+}
+
+case "$MODE" in
+  thread|address) run_mode "$MODE" ;;
+  all)
+    run_mode thread
+    run_mode address
+    ;;
+  *)
+    echo "usage: $0 [thread|address|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "sanitize: all suites clean"

@@ -23,7 +23,22 @@ int main() {
   opts.enable_rollups = true;       // 5-minute downsampling rollups
   opts.record_findings = true;      // online findings stored as alert events
   opts.enable_self_scrape = true;   // the stack monitors itself (lms_internal)
+  opts.enable_alerts = true;        // rule engine + per-host deadman watch
   cluster::ClusterHarness harness(opts);
+
+  // Alert on the stack's own ingest: if the router forwards nothing for a
+  // while the pipeline is broken, whatever the nodes are doing.
+  alert::AlertRule ingest_rule;
+  ingest_rule.name = "router_ingest_stalled";
+  ingest_rule.kind = alert::ConditionKind::kRateOfChange;
+  ingest_rule.measurement = "lms_internal";
+  ingest_rule.field = "value";
+  ingest_rule.tag_filters = {{"metric", "router_points_in"}};
+  ingest_rule.cmp = alert::Comparison::kBelowEq;
+  ingest_rule.threshold = 0;
+  ingest_rule.window = 5 * kMin;
+  ingest_rule.for_duration = 5 * kMin;
+  harness.alerts()->add(ingest_rule);
 
   std::printf("== LMS full stack: 8 nodes, mixed job batch ==\n\n");
 
@@ -50,12 +65,17 @@ int main() {
   }
 
   // Run 90 simulated minutes; refresh dashboards every 10 minutes. With
-  // record_findings on, online alerts land in the DB as they fire.
+  // record_findings on, online alerts land in the DB as they fire. Half way
+  // through, h5's collector agent "crashes" for 10 minutes — the deadman
+  // watch fires and resolves when it comes back.
   for (int epoch = 1; epoch <= 9; ++epoch) {
+    if (epoch == 5) harness.set_node_active("h5", false);
+    if (epoch == 6) harness.set_node_active("h5", true);
     harness.run_for(10 * kMin);
     harness.dashboards().refresh(harness.router().running_jobs(), harness.now());
   }
   harness.dashboards().generate_internals_dashboard(harness.now());
+  harness.dashboards().generate_alerts_dashboard(harness.now());
 
   // The alert history, straight from the database ("alerts" measurement).
   std::printf("\n-- alert history (online detection, recorded as events) --\n");
@@ -66,6 +86,34 @@ int main() {
     for (const auto& v : it->second.values()) {
       std::printf("  %s\n", v.as_string().c_str());
     }
+  }
+
+  // Alert-engine transitions, same storage ("lms_alerts" measurement): the
+  // h5 deadman episode plus anything the rules caught.
+  std::printf("\n-- alert engine (lms_alerts: rule engine + deadman watch) --\n");
+  for (const auto* s : lms_db->series_of("lms_alerts")) {
+    const auto it = s->columns.find("text");
+    if (it == s->columns.end()) continue;
+    for (std::size_t i = 0; i < it->second.values().size(); ++i) {
+      std::printf("  [%s] %-8s %s\n",
+                  util::format_duration(it->second.times()[i] - opts.start_time).c_str(),
+                  std::string(s->tag("state")).c_str(),
+                  it->second.values()[i].as_string().c_str());
+    }
+  }
+  std::printf("evaluator: %llu evaluations, %llu transitions, %zu firing now\n",
+              static_cast<unsigned long long>(harness.alerts()->evaluations()),
+              static_cast<unsigned long long>(harness.alerts()->transitions()),
+              harness.alerts()->firing_count());
+
+  // Every component answers the standard probes.
+  std::printf("\n-- health probes (/health, /ready on every component) --\n");
+  for (const char* target : {"router", "tsdb", "grafana", "agent-h1"}) {
+    auto health = harness.client().get(std::string("inproc://") + target + "/health");
+    auto ready = harness.client().get(std::string("inproc://") + target + "/ready");
+    std::printf("  %-9s health=%d ready=%d  %s\n", target,
+                health.ok() ? health->status : -1, ready.ok() ? ready->status : -1,
+                health.ok() ? health->body.c_str() : "unreachable");
   }
 
   std::printf("\n-- scheduler outcome --\n");

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <thread>
 
+#include "lms/alert/evaluator.hpp"
 #include "lms/core/router.hpp"
 #include "lms/net/tcp_http.hpp"
 #include "lms/obs/metrics.hpp"
@@ -39,6 +40,10 @@ spool_capacity = 10000   ; store-and-forward when the DB is briefly down
 
 [persistence]
 snapshot =               ; path for save/load across restarts (empty = off)
+
+[alerting]
+interval_seconds = 5     ; evaluator cadence while serving
+deadman_seconds = 30     ; fire when a host stops writing this long (0 = off)
 )";
 
 }  // namespace
@@ -126,6 +131,34 @@ int main(int argc, char** argv) {
       },
       ss_opts);
 
+  // Alert evaluator against the same storage, driven from wall time in the
+  // serve loop below: deadman watch over every host that ever wrote, plus a
+  // self-metrics rule; transitions land in lms_alerts and the log.
+  alert::Evaluator::Options alert_opts;
+  alert_opts.database = db_opts.default_db;
+  alert_opts.deadman_window =
+      config->get_int_or("alerting", "deadman_seconds", 30) * util::kNanosPerSecond;
+  alert_opts.registry = &registry;
+  alert::Evaluator alerts(storage, alert_opts);
+  alerts.add_sink(std::make_unique<alert::LogSink>());
+  {
+    // The daemon watches its own spool: sustained growth means the DB
+    // back-end is not keeping up (see router spool store-and-forward).
+    alert::AlertRule spool_rule;
+    spool_rule.name = "router_spool_growing";
+    spool_rule.kind = alert::ConditionKind::kRateOfChange;
+    spool_rule.measurement = "lms_internal";
+    spool_rule.field = "value";
+    spool_rule.tag_filters = {{"metric", "router_spool_depth"}};
+    spool_rule.cmp = alert::Comparison::kAbove;
+    spool_rule.threshold = 0;
+    spool_rule.window = util::kNanosPerMinute;
+    spool_rule.for_duration = util::kNanosPerMinute;
+    alerts.add(spool_rule);
+  }
+  const util::TimeNs alert_interval =
+      config->get_int_or("alerting", "interval_seconds", 5) * util::kNanosPerSecond;
+
   std::printf("== LMS daemon ==\n");
   std::printf("database (InfluxDB-compatible): %s\n", db_server.url().c_str());
   std::printf("metrics router:                 %s\n", router_server.url().c_str());
@@ -140,15 +173,32 @@ int main(int argc, char** argv) {
               db_server.url().c_str());
   std::printf("  curl '%s/metrics'          # router self-metrics (text)\n",
               router_server.url().c_str());
-  std::printf("  curl '%s/metrics'          # DB engine self-metrics (text)\n\n",
+  std::printf("  curl '%s/metrics'          # DB engine self-metrics (text)\n",
               db_server.url().c_str());
+  std::printf("  curl '%s/health'           # liveness (JSON component status)\n",
+              router_server.url().c_str());
+  std::printf("  curl '%s/ready'            # readiness (503 while degraded)\n\n",
+              router_server.url().c_str());
 
   if (serve) {
     self_scrape.start();
-    std::printf("serving for %d seconds (self-scrape every %lld s)...\n", serve_seconds,
-                static_cast<long long>(ss_opts.interval / util::kNanosPerSecond));
-    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+    std::printf("serving for %d seconds (self-scrape every %lld s, alert eval every %lld s, "
+                "deadman %lld s)...\n",
+                serve_seconds,
+                static_cast<long long>(ss_opts.interval / util::kNanosPerSecond),
+                static_cast<long long>(alert_interval / util::kNanosPerSecond),
+                static_cast<long long>(alert_opts.deadman_window / util::kNanosPerSecond));
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(serve_seconds);
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(alert_interval));
+      alerts.run(clock.now());
+    }
     self_scrape.stop();
+    std::printf("alerting: %llu evaluations, %llu transitions, %zu firing at shutdown\n",
+                static_cast<unsigned long long>(alerts.evaluations()),
+                static_cast<unsigned long long>(alerts.transitions()),
+                alerts.firing_count());
   } else {
     // Self-test: exactly the curl sequence above, over the live TCP ports.
     net::TcpHttpClient client;
@@ -183,6 +233,21 @@ int main(int argc, char** argv) {
     check("lms_internal queryable",
           resp.ok() && resp->status == 200 &&
               resp->body.find("lms_internal") != std::string::npos);
+    resp = client.get(router_server.url() + "/health");
+    check("router /health ok JSON",
+          resp.ok() && resp->status == 200 &&
+              resp->body.find("\"status\":\"ok\"") != std::string::npos);
+    resp = client.get(router_server.url() + "/ready");
+    check("router /ready (DB reachable)", resp.ok() && resp->status == 200);
+    resp = client.get(db_server.url() + "/health");
+    check("db /health ok JSON",
+          resp.ok() && resp->status == 200 &&
+              resp->body.find("\"status\":\"ok\"") != std::string::npos);
+    // One evaluation pass: the selftest host just wrote, so the deadman
+    // watch discovers it without firing.
+    alerts.run(clock.now());
+    check("alert evaluation (deadman clear)",
+          alerts.evaluations() > 0 && alerts.firing_count() == 0);
     std::printf("self-test %s\n", ok ? "passed" : "failed");
     if (!ok) return 1;
   }

@@ -1,0 +1,413 @@
+#include "lms/alert/evaluator.hpp"
+
+#include <cstdio>
+
+#include "lms/obs/trace.hpp"
+#include "lms/util/logging.hpp"
+
+namespace lms::alert {
+
+namespace {
+
+std::string fmt_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string aggregator_func(tsdb::Aggregator agg) {
+  using tsdb::Aggregator;
+  switch (agg) {
+    case Aggregator::kSum:
+      return "sum";
+    case Aggregator::kMin:
+      return "min";
+    case Aggregator::kMax:
+      return "max";
+    case Aggregator::kCount:
+      return "count";
+    case Aggregator::kFirst:
+      return "first";
+    case Aggregator::kLast:
+      return "last";
+    case Aggregator::kStddev:
+      return "stddev";
+    case Aggregator::kMedian:
+      return "median";
+    case Aggregator::kSpread:
+      return "spread";
+    default:
+      return "mean";
+  }
+}
+
+std::string instance_key(std::string_view rule, const std::vector<Tag>& labels) {
+  std::string key(rule);
+  key += '|';
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '=';
+    key += v;
+    key += ',';
+  }
+  return key;
+}
+
+std::string describe_labels(const std::vector<Tag>& labels) {
+  if (labels.empty()) return "";
+  std::string out = " {";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=" + labels[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+/// Last row's value in result column `col` (numeric), or nullopt.
+std::optional<double> last_value(const tsdb::ResultSeries& series, std::size_t col) {
+  for (auto it = series.values.rbegin(); it != series.values.rend(); ++it) {
+    if (col >= it->size()) continue;
+    const lineproto::FieldValue& cell = (*it)[col];
+    if (tsdb::is_null_cell(cell) || !cell.is_numeric()) continue;
+    return cell.as_double();
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void LogSink::notify(const AlertEvent& event) {
+  if (event.to == AlertState::kFiring) {
+    LMS_WARN("alert") << event.rule << describe_labels(event.labels)
+                      << " firing: " << event.message;
+  } else {
+    LMS_INFO("alert") << event.rule << describe_labels(event.labels) << " "
+                      << event.transition_name() << ": " << event.message;
+  }
+}
+
+WebhookSink::WebhookSink(net::HttpClient& client, std::string url)
+    : client_(client), url_(std::move(url)) {}
+
+void WebhookSink::notify(const AlertEvent& event) {
+  auto resp = client_.post(url_, event.to_json(), "application/json");
+  if (resp.ok() && resp->ok()) {
+    ++delivered_;
+  } else {
+    ++failed_;
+    LMS_WARN("alert") << "webhook delivery to " << url_ << " failed: "
+                      << (resp.ok() ? "HTTP " + std::to_string(resp->status)
+                                    : resp.message());
+  }
+}
+
+PubSubSink::PubSubSink(net::PubSubBroker& broker, std::string topic)
+    : broker_(broker), topic_(std::move(topic)) {}
+
+void PubSubSink::notify(const AlertEvent& event) {
+  broker_.publish(topic_, event.to_json());
+}
+
+Evaluator::Evaluator(tsdb::Storage& storage, Options options)
+    : storage_(storage), options_(std::move(options)), engine_(storage) {
+  deadman_rule_.name = std::string(kDeadmanRule);
+  deadman_rule_.kind = ConditionKind::kAbsence;
+  deadman_rule_.window = options_.deadman_window;
+  deadman_rule_.for_duration = 0;  // a dead host must fire within one interval
+  deadman_rule_.keep_firing_for = 0;
+  deadman_rule_.severity = options_.deadman_severity;
+  if (options_.registry != nullptr) {
+    evaluations_c_ = &options_.registry->counter("alert_evaluations");
+    transitions_c_ = &options_.registry->counter("alert_transitions");
+    eval_ns_ = &options_.registry->histogram("alert_eval_ns");
+    options_.registry->gauge_fn("alert_firing", {},
+                                [this] { return static_cast<double>(firing_count()); });
+    options_.registry->gauge_fn("alert_rules", {}, [this] {
+      return static_cast<double>(rules_.size() + (options_.deadman_window > 0 ? 1 : 0));
+    });
+  }
+}
+
+Evaluator::~Evaluator() {
+  if (options_.registry != nullptr) {
+    options_.registry->remove_gauge_fn("alert_firing");
+    options_.registry->remove_gauge_fn("alert_rules");
+  }
+}
+
+void Evaluator::add(AlertRule rule) { rules_.push_back(std::move(rule)); }
+
+NotifierSink& Evaluator::add_sink(std::unique_ptr<NotifierSink> sink) {
+  sinks_.push_back(std::move(sink));
+  return *sinks_.back();
+}
+
+void Evaluator::register_host(const std::string& hostname) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  hosts_.emplace(hostname, 0);  // first_seen stamped lazily on the next sweep
+}
+
+std::string Evaluator::build_query(const AlertRule& rule, util::TimeNs now) const {
+  std::string expr;
+  switch (rule.kind) {
+    case ConditionKind::kThreshold:
+      expr = aggregator_func(rule.agg) + "(" + rule.field + ")";
+      break;
+    case ConditionKind::kAbsence:
+      expr = "count(" + rule.field + ")";
+      break;
+    case ConditionKind::kRateOfChange:
+      expr = "first(" + rule.field + "), last(" + rule.field + ")";
+      break;
+  }
+  std::string q = "SELECT " + expr + " FROM " + rule.measurement + " WHERE ";
+  for (const auto& [k, v] : rule.tag_filters) {
+    q += k + "='" + v + "' AND ";
+  }
+  q += "time >= " + std::to_string(now - rule.window);
+  if (!rule.group_by_tags.empty()) {
+    q += " GROUP BY ";
+    for (std::size_t i = 0; i < rule.group_by_tags.size(); ++i) {
+      if (i > 0) q += ", ";
+      q += rule.group_by_tags[i];
+    }
+  }
+  return q;
+}
+
+AlertInstance& Evaluator::instance_for(const AlertRule& rule,
+                                       const std::vector<Tag>& labels) {
+  const std::string key = instance_key(rule.name, labels);
+  auto it = states_.find(key);
+  if (it == states_.end()) {
+    AlertInstance inst;
+    inst.rule = rule.name;
+    inst.labels = labels;
+    it = states_.emplace(key, std::move(inst)).first;
+  }
+  return it->second;
+}
+
+void Evaluator::evaluate_rule(const AlertRule& rule, util::TimeNs now,
+                              std::vector<AlertEvent>& events) {
+  const std::string q = rule.query.empty() ? build_query(rule, now) : rule.query;
+  auto result = engine_.query(options_.database, q, now);
+
+  // (labels key -> value) of every series the query produced. A failed
+  // query (database not created yet, measurement unknown) is simply "no
+  // data": threshold/rate rules stay clear, absence rules breach.
+  struct Present {
+    std::vector<Tag> labels;
+    std::optional<double> value;
+  };
+  std::map<std::string, Present> present;
+  if (result.ok()) {
+    for (const tsdb::ResultSeries& series : result->series) {
+      Present p;
+      p.labels = series.tags;
+      if (rule.kind == ConditionKind::kRateOfChange && rule.query.empty()) {
+        // Columns: time, first, last.
+        const std::optional<double> first = last_value(series, 1);
+        const std::optional<double> last = last_value(series, 2);
+        if (first && last) {
+          const double secs =
+              static_cast<double>(rule.window) / static_cast<double>(util::kNanosPerSecond);
+          p.value = secs > 0 ? (*last - *first) / secs : 0.0;
+        }
+      } else {
+        p.value = last_value(series, 1);
+      }
+      present.emplace(instance_key(rule.name, series.tags), std::move(p));
+    }
+  }
+
+  // Universe: every series present now plus every instance this rule has
+  // seen before (so clears and grouped absences are evaluated too). An
+  // ungrouped absence rule always has its one (label-less) instance.
+  std::set<std::string> universe;
+  for (const auto& [key, _] : present) universe.insert(key);
+  const std::string prefix = rule.name + "|";
+  for (const auto& [key, _] : states_) {
+    if (key.compare(0, prefix.size(), prefix) == 0) universe.insert(key);
+  }
+  if (rule.kind == ConditionKind::kAbsence && rule.group_by_tags.empty()) {
+    universe.insert(instance_key(rule.name, {}));
+  }
+
+  for (const std::string& key : universe) {
+    const auto pit = present.find(key);
+    const bool has_data = pit != present.end() && pit->second.value.has_value();
+    const std::vector<Tag> labels =
+        pit != present.end() ? pit->second.labels
+                             : (states_.count(key) > 0 ? states_[key].labels
+                                                       : std::vector<Tag>{});
+    AlertInstance& inst = instance_for(rule, labels);
+
+    bool breach = false;
+    double value = 0;
+    std::string message;
+    switch (rule.kind) {
+      case ConditionKind::kAbsence: {
+        breach = !has_data || (pit->second.value.has_value() && *pit->second.value <= 0);
+        value = has_data ? *pit->second.value : 0;
+        message = breach
+                      ? "no samples of " + rule.measurement + " in the last " +
+                            util::format_duration(rule.window)
+                      : rule.measurement + " reporting again";
+        break;
+      }
+      case ConditionKind::kThreshold:
+      case ConditionKind::kRateOfChange: {
+        if (!has_data) {
+          breach = false;  // no data is not a threshold breach
+          message = "no data";
+          break;
+        }
+        value = *pit->second.value;
+        breach = compare(rule.cmp, value, rule.threshold);
+        const std::string what =
+            rule.kind == ConditionKind::kRateOfChange
+                ? "rate(" + rule.field + ")"
+                : aggregator_func(rule.agg) + "(" + rule.field + ")";
+        message = what + " of " + rule.measurement + " = " + fmt_num(value) +
+                  (breach ? std::string(" ") + std::string(comparison_symbol(rule.cmp)) +
+                                " " + fmt_num(rule.threshold)
+                          : " back within " + fmt_num(rule.threshold));
+        break;
+      }
+    }
+    if (auto event = step_instance(rule, inst, breach, value, std::move(message), now)) {
+      events.push_back(std::move(*event));
+    }
+  }
+}
+
+util::TimeNs Evaluator::last_write_unlocked(const tsdb::Database& db,
+                                            const std::string& host) const {
+  util::TimeNs last = 0;
+  std::vector<std::string> measurements;
+  if (!options_.deadman_measurement.empty()) {
+    measurements.push_back(options_.deadman_measurement);
+  } else {
+    measurements = db.measurements();
+  }
+  const std::vector<Tag> want = {{"hostname", host}};
+  for (const std::string& m : measurements) {
+    // A deadman transition is itself tagged with the hostname; scanning it
+    // would let a "host silent" event mask the silence it reports.
+    if (m == options_.alerts_measurement) continue;
+    for (const tsdb::Series* series : db.series_matching(m, want)) {
+      for (const auto& [field, column] : series->columns) {
+        if (!column.empty() && column.times().back() > last) {
+          last = column.times().back();
+        }
+      }
+    }
+  }
+  return last;
+}
+
+void Evaluator::evaluate_deadman(util::TimeNs now, std::vector<AlertEvent>& events) {
+  // Learn new hosts from the database so unannounced collectors are watched
+  // too (every enriched point carries a hostname tag).
+  if (options_.deadman_autodiscover) {
+    const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
+    const tsdb::Database* db = storage_.find_database_unlocked(options_.database);
+    if (db != nullptr) {
+      std::vector<std::string> measurements;
+      if (!options_.deadman_measurement.empty()) {
+        measurements.push_back(options_.deadman_measurement);
+      } else {
+        measurements = db->measurements();
+      }
+      for (const std::string& m : measurements) {
+        if (m == options_.alerts_measurement) continue;
+        for (const std::string& host : db->tag_values(m, "hostname")) {
+          hosts_.emplace(host, now);
+        }
+      }
+    }
+  }
+
+  for (auto& [host, first_seen] : hosts_) {
+    if (first_seen == 0) first_seen = now;  // registered before any sweep
+    util::TimeNs last = 0;
+    {
+      const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
+      const tsdb::Database* db = storage_.find_database_unlocked(options_.database);
+      if (db != nullptr) last = last_write_unlocked(*db, host);
+    }
+    const util::TimeNs age = now - (last > 0 ? last : first_seen);
+    const bool breach = age > options_.deadman_window;
+    const double age_s =
+        static_cast<double>(age) / static_cast<double>(util::kNanosPerSecond);
+    std::string message;
+    if (breach) {
+      message = last > 0 ? "host " + host + " silent for " + util::format_duration(age)
+                         : "host " + host + " never reported";
+    } else {
+      message = "host " + host + " reporting again";
+    }
+    AlertInstance& inst = instance_for(deadman_rule_, {{"hostname", host}});
+    if (auto event =
+            step_instance(deadman_rule_, inst, breach, age_s, std::move(message), now)) {
+      events.push_back(std::move(*event));
+    }
+  }
+}
+
+std::size_t Evaluator::run(util::TimeNs now) {
+  obs::Span span("alert.evaluate", "alert");
+  const util::TimeNs t0 = util::monotonic_now_ns();
+  std::vector<AlertEvent> events;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const AlertRule& rule : rules_) {
+      evaluate_rule(rule, now, events);
+    }
+    if (options_.deadman_window > 0) {
+      deadman_rule_.window = options_.deadman_window;
+      evaluate_deadman(now, events);
+    }
+    ++evaluations_;
+    transitions_ += events.size();
+  }
+  if (evaluations_c_ != nullptr) evaluations_c_->inc();
+  if (transitions_c_ != nullptr) transitions_c_->inc(events.size());
+
+  if (!events.empty()) {
+    std::vector<lineproto::Point> points;
+    points.reserve(events.size());
+    for (const AlertEvent& event : events) {
+      points.push_back(event.to_point(options_.alerts_measurement));
+    }
+    storage_.write(options_.database, points, now);
+    for (const auto& sink : sinks_) {
+      for (const AlertEvent& event : events) {
+        sink->notify(event);
+      }
+    }
+  }
+  if (eval_ns_ != nullptr) eval_ns_->record_since(t0);
+  return events.size();
+}
+
+std::vector<AlertInstance> Evaluator::instances() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AlertInstance> out;
+  out.reserve(states_.size());
+  for (const auto& [_, inst] : states_) out.push_back(inst);
+  return out;
+}
+
+std::size_t Evaluator::firing_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [_, inst] : states_) {
+    if (inst.state == AlertState::kFiring) ++n;
+  }
+  return n;
+}
+
+}  // namespace lms::alert

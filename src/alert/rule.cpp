@@ -1,0 +1,134 @@
+#include "lms/alert/rule.hpp"
+
+#include "lms/json/json.hpp"
+
+namespace lms::alert {
+
+std::string_view condition_kind_name(ConditionKind kind) {
+  switch (kind) {
+    case ConditionKind::kThreshold:
+      return "threshold";
+    case ConditionKind::kAbsence:
+      return "absence";
+    case ConditionKind::kRateOfChange:
+      return "rate_of_change";
+  }
+  return "?";
+}
+
+std::string_view comparison_symbol(Comparison cmp) {
+  switch (cmp) {
+    case Comparison::kAbove:
+      return ">";
+    case Comparison::kAboveEq:
+      return ">=";
+    case Comparison::kBelow:
+      return "<";
+    case Comparison::kBelowEq:
+      return "<=";
+  }
+  return "?";
+}
+
+bool compare(Comparison cmp, double value, double threshold) {
+  switch (cmp) {
+    case Comparison::kAbove:
+      return value > threshold;
+    case Comparison::kAboveEq:
+      return value >= threshold;
+    case Comparison::kBelow:
+      return value < threshold;
+    case Comparison::kBelowEq:
+      return value <= threshold;
+  }
+  return false;
+}
+
+std::string_view alert_state_name(AlertState s) {
+  switch (s) {
+    case AlertState::kInactive:
+      return "inactive";
+    case AlertState::kPending:
+      return "pending";
+    case AlertState::kFiring:
+      return "firing";
+  }
+  return "?";
+}
+
+std::string_view AlertEvent::transition_name() const {
+  if (to == AlertState::kFiring) return "firing";
+  if (to == AlertState::kPending) return "pending";
+  return "resolved";
+}
+
+std::string AlertEvent::to_json() const {
+  json::Object o;
+  o["rule"] = rule;
+  o["state"] = std::string(transition_name());
+  o["prev_state"] = std::string(alert_state_name(from));
+  o["severity"] = severity;
+  o["value"] = value;
+  o["message"] = message;
+  o["time"] = static_cast<std::int64_t>(time);
+  json::Object lbl;
+  for (const auto& [k, v] : labels) lbl[k] = v;
+  o["labels"] = std::move(lbl);
+  return json::Value(std::move(o)).dump();
+}
+
+lineproto::Point AlertEvent::to_point(std::string_view measurement) const {
+  lineproto::Point p;
+  p.measurement = std::string(measurement);
+  p.set_tag("rule", rule);
+  p.set_tag("state", std::string(transition_name()));
+  p.set_tag("severity", severity);
+  for (const auto& [k, v] : labels) p.set_tag(k, v);
+  p.add_field("value", value);
+  p.add_field("text", message);
+  p.timestamp = time;
+  p.normalize();
+  return p;
+}
+
+std::optional<AlertEvent> step_instance(const AlertRule& rule, AlertInstance& inst,
+                                        bool breach, double value, std::string message,
+                                        TimeNs now) {
+  const AlertState prev = inst.state;
+  inst.value = value;
+  if (breach) {
+    if (inst.state == AlertState::kInactive) {
+      inst.breach_start = now;
+      inst.state = rule.for_duration > 0 ? AlertState::kPending : AlertState::kFiring;
+    } else if (inst.state == AlertState::kPending &&
+               now - inst.breach_start >= rule.for_duration) {
+      inst.state = AlertState::kFiring;
+    }
+    inst.last_breach = now;
+  } else {
+    if (inst.state == AlertState::kPending) {
+      inst.state = AlertState::kInactive;
+    } else if (inst.state == AlertState::kFiring &&
+               now - inst.last_breach >= rule.keep_firing_for) {
+      inst.state = AlertState::kInactive;
+    }
+  }
+  if (inst.state == prev) return std::nullopt;
+  inst.since = now;
+  // A cancelled pending episode never fired; nothing to notify.
+  if (prev == AlertState::kPending && inst.state == AlertState::kInactive) {
+    return std::nullopt;
+  }
+  AlertEvent event;
+  event.rule = inst.rule;
+  event.labels = inst.labels;
+  event.from = prev;
+  event.to = inst.state;
+  event.value = value;
+  event.severity = rule.severity;
+  event.message = std::move(message);
+  event.time = now;
+  return event;
+}
+
+}  // namespace lms::alert

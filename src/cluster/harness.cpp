@@ -1,6 +1,7 @@
 #include "lms/cluster/harness.hpp"
 
 #include "lms/collector/plugins.hpp"
+#include "lms/obs/trace.hpp"
 #include "lms/util/strings.hpp"
 
 namespace lms::cluster {
@@ -130,6 +131,8 @@ ClusterHarness::ClusterHarness(Options options)
                              options_.hpm_interval);
     }
     nodes_.push_back(std::move(node));
+    // Probe surface per node so the deadman story is inspectable over HTTP.
+    network_.bind(kAgentEndpointPrefix + nodes_.back().name, nodes_.back().agent->handler());
   }
   // The stack monitoring itself: scrape the shared registry back through
   // the router so lms_internal is queryable like any other measurement.
@@ -152,13 +155,41 @@ ClusterHarness::ClusterHarness(Options options)
         ss_opts);
   }
 
+  // Trace-ring visibility: span recorded/evicted counts ride the same
+  // self-scrape as every other instrument.
+  obs::register_trace_metrics(registry_);
+
+  // Alerting: an evaluator over the shared storage, with a deadman watch
+  // per node and transitions published on the "alerts" topic.
+  if (options_.enable_alerts) {
+    alert::Evaluator::Options alert_opts;
+    alert_opts.database = options_.database;
+    alert_opts.deadman_window = options_.deadman_window;
+    // Watch the host agents' own telemetry: job-level streams (usermetric)
+    // keep flowing while an agent is down and must not mask its silence.
+    alert_opts.deadman_measurement = "cpu";
+    alert_opts.registry = &registry_;
+    alert_evaluator_ = std::make_unique<alert::Evaluator>(storage_, alert_opts);
+    for (const auto& name : node_names_) {
+      alert_evaluator_->register_host(name);
+    }
+    alert_evaluator_->add_sink(std::make_unique<alert::LogSink>());
+    alert_evaluator_->add_sink(std::make_unique<alert::PubSubSink>(broker_));
+  }
+
   idle_activity_.hpm = hpm::idle_load(*options_.arch);
   idle_activity_.kernel = sysmon::KernelLoad{};
   idle_activity_.kernel.cpu_user_fraction = 0.005;
   idle_activity_.kernel.mem_used_bytes = 2e9;
 }
 
-ClusterHarness::~ClusterHarness() = default;
+ClusterHarness::~ClusterHarness() { obs::remove_trace_metrics(registry_); }
+
+void ClusterHarness::set_node_active(const std::string& name, bool active) {
+  for (auto& node : nodes_) {
+    if (node.name == name) node.active = active;
+  }
+}
 
 int ClusterHarness::submit(const std::string& workload, const std::string& user, int nodes,
                            util::TimeNs duration, util::TimeNs walltime_limit) {
@@ -283,9 +314,9 @@ void ClusterHarness::step_once() {
     job.user_client->tick(now);
   }
 
-  // Host agents collect and deliver.
+  // Host agents collect and deliver (a crashed agent stops ticking).
   for (auto& node : nodes_) {
-    node.agent->tick(now);
+    if (node.active) node.agent->tick(now);
   }
 
   // Online stream analysis + optional aggregation and alert recording.
@@ -300,6 +331,12 @@ void ClusterHarness::step_once() {
       now - last_self_scrape_ >= options_.self_scrape_interval) {
     last_self_scrape_ = now;
     (void)self_scrape_->scrape_once();
+  }
+
+  // Alert evaluation on its own (sim-clock) cadence.
+  if (alert_evaluator_ != nullptr && now - last_alert_eval_ >= options_.alert_interval) {
+    last_alert_eval_ = now;
+    alert_evaluator_->run(now);
   }
 
   // Periodic maintenance: continuous queries and retention, once a minute.

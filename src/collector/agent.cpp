@@ -39,6 +39,7 @@ void HostAgent::add_plugin(std::unique_ptr<CollectorPlugin> plugin, util::TimeNs
 }
 
 std::size_t HostAgent::tick(util::TimeNs now) {
+  last_tick_ = now;
   std::size_t collected = 0;
   for (auto& sp : plugins_) {
     if (now < sp.next_due) continue;
@@ -92,6 +93,7 @@ void HostAgent::flush(util::TimeNs now) {
     std::vector<lineproto::Point> batch(buffer_.begin(),
                                         buffer_.begin() + static_cast<std::ptrdiff_t>(n));
     const SendOutcome outcome = send_batch(batch);
+    last_send_ok_ = outcome == SendOutcome::kSent;
     if (outcome == SendOutcome::kRetryLater) {
       ++stats_.send_failures;
       if (failures_c_ != nullptr) failures_c_->inc();
@@ -108,6 +110,43 @@ void HostAgent::flush(util::TimeNs now) {
       if (dropped_c_ != nullptr) dropped_c_->inc(n);
     }
   }
+}
+
+net::ComponentHealth HostAgent::health(bool readiness) const {
+  net::ComponentHealth h;
+  h.component = "collector";
+  h.time = last_tick_;
+
+  h.add("plugins", net::HealthStatus::kOk,
+        std::to_string(plugins_.size()) + " plugins registered",
+        static_cast<double>(plugins_.size()));
+
+  const std::size_t pending = buffer_.size();
+  net::HealthStatus queue_status = net::HealthStatus::kOk;
+  std::string queue_detail = std::to_string(pending) + " points awaiting delivery";
+  if (options_.retry_queue_capacity > 0 && pending >= options_.retry_queue_capacity / 2) {
+    queue_status = net::HealthStatus::kDegraded;
+    queue_detail += " (retry queue over half full, capacity " +
+                    std::to_string(options_.retry_queue_capacity) + ")";
+  }
+  h.add("retry_queue", queue_status, std::move(queue_detail),
+        static_cast<double>(pending));
+
+  if (readiness) {
+    h.add("router", last_send_ok_ ? net::HealthStatus::kOk : net::HealthStatus::kDegraded,
+          last_send_ok_ ? "last batch delivered to " + options_.router_url
+                        : "last send to " + options_.router_url + " failed, retrying");
+  }
+  return h;
+}
+
+net::HttpHandler HostAgent::handler() {
+  return [this](const net::HttpRequest& req) -> net::HttpResponse {
+    if (req.path == "/ping") return net::HttpResponse::no_content();
+    if (req.path == "/health") return net::health_response(health(false));
+    if (req.path == "/ready") return net::ready_response(health(true));
+    return net::HttpResponse::not_found();
+  };
 }
 
 HostAgent::SendOutcome HostAgent::send_batch(const std::vector<lineproto::Point>& points) {

@@ -54,8 +54,12 @@ net::HttpHandler MetricsRouter::handler() {
     if (req.path == "/jobs") return handle_jobs(req);
     if (req.path == "/stats") return handle_stats(req);
     if (req.path == "/metrics") {
-      return net::HttpResponse::text(200, obs::render_text(*registry_));
+      auto resp = net::HttpResponse::text(200, obs::render_text(*registry_));
+      resp.headers.set("Content-Type", obs::kTextExpositionContentType);
+      return resp;
     }
+    if (req.path == "/health") return net::health_response(health(false));
+    if (req.path == "/ready") return net::ready_response(health(true));
     return net::HttpResponse::not_found();
   };
 }
@@ -290,6 +294,38 @@ std::size_t MetricsRouter::flush_spool() {
 std::size_t MetricsRouter::spool_size() const {
   const std::lock_guard<std::mutex> lock(spool_mu_);
   return spool_.size();
+}
+
+net::ComponentHealth MetricsRouter::health(bool readiness) {
+  net::ComponentHealth h;
+  h.component = "router";
+  h.time = clock_.now();
+
+  const std::size_t spooled = spool_size();
+  net::HealthStatus spool_status = net::HealthStatus::kOk;
+  std::string spool_detail = std::to_string(spooled) + " points spooled";
+  if (options_.spool_capacity > 0 && spooled >= options_.spool_capacity) {
+    spool_status = net::HealthStatus::kDegraded;
+    spool_detail += " (spool full, oldest points being dropped)";
+  }
+  h.add("spool", spool_status, std::move(spool_detail), static_cast<double>(spooled));
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    h.add("jobs", net::HealthStatus::kOk, std::to_string(jobs_.size()) + " jobs running",
+          static_cast<double>(jobs_.size()));
+  }
+
+  if (readiness) {
+    auto resp = db_client_.get(options_.db_url + "/ping");
+    const bool reachable = resp.ok() && resp->ok();
+    h.add("downstream_db",
+          reachable ? net::HealthStatus::kOk : net::HealthStatus::kDegraded,
+          reachable ? "db back-end reachable at " + options_.db_url
+                    : "db back-end unreachable at " + options_.db_url + ": " +
+                          (resp.ok() ? "HTTP " + std::to_string(resp->status)
+                                     : resp.message()));
+  }
+  return h;
 }
 
 net::HttpResponse MetricsRouter::handle_write(const net::HttpRequest& req) {

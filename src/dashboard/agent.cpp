@@ -249,6 +249,106 @@ json::Value DashboardAgent::generate_internals_dashboard(util::TimeNs now) {
   return v;
 }
 
+json::Value DashboardAgent::generate_alerts_dashboard(util::TimeNs now) {
+  json::Object dash;
+  dash["title"] = "Alerts & health";
+  dash["uid"] = "alerts";
+  dash["tags"] = json::Array{json::Value("lms"), json::Value("alerts")};
+  dash["generated_at"] = static_cast<std::int64_t>(now);
+
+  json::Array rows;
+
+  // Alert history straight out of the lms_alerts measurement.
+  {
+    json::Object row;
+    row["title"] = "Alert history";
+    json::Array panels;
+    struct PanelSpec {
+      const char* title;
+      const char* query;
+    };
+    static constexpr PanelSpec kPanels[] = {
+        {"Transitions by rule and state",
+         "SELECT count(value) FROM lms_alerts GROUP BY time(60s), rule, state"},
+        {"Firing events",
+         "SELECT value FROM lms_alerts WHERE state='firing' ORDER BY time DESC LIMIT 50"},
+        {"Deadman events per host",
+         "SELECT count(value) FROM lms_alerts WHERE rule='deadman' "
+         "GROUP BY time(60s), hostname, state"},
+    };
+    for (const PanelSpec& spec : kPanels) {
+      json::Object panel;
+      panel["title"] = spec.title;
+      panel["type"] = "graph";
+      panel["datasource"] = options_.datasource;
+      json::Object target;
+      target["query"] = spec.query;
+      panel["targets"] = json::Array{json::Value(std::move(target))};
+      panels.emplace_back(std::move(panel));
+    }
+    row["panels"] = std::move(panels);
+    rows.emplace_back(std::move(row));
+  }
+
+  // The alert engine's own instruments, via the self-scrape loop.
+  {
+    json::Object row;
+    row["title"] = "Alert engine";
+    json::Array panels;
+    static constexpr const char* kMetrics[] = {"alert_firing", "alert_transitions",
+                                               "alert_evaluations"};
+    for (const char* metric : kMetrics) {
+      json::Object panel;
+      panel["title"] = metric;
+      panel["type"] = "graph";
+      panel["datasource"] = options_.datasource;
+      json::Object target;
+      target["query"] = std::string("SELECT mean(value) FROM lms_internal WHERE metric='") +
+                        metric + "' GROUP BY time(60s)";
+      panel["targets"] = json::Array{json::Value(std::move(target))};
+      panels.emplace_back(std::move(panel));
+    }
+    row["panels"] = std::move(panels);
+    rows.emplace_back(std::move(row));
+  }
+
+  dash["rows"] = std::move(rows);
+  json::Value v(std::move(dash));
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    dashboards_["alerts"] = v;
+  }
+  return v;
+}
+
+net::ComponentHealth DashboardAgent::health(bool readiness) const {
+  net::ComponentHealth h;
+  h.component = "dashboard";
+  h.time = clock_.now();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    h.add("dashboards", net::HealthStatus::kOk,
+          std::to_string(dashboards_.size()) + " dashboards stored",
+          static_cast<double>(dashboards_.size()));
+  }
+  const std::size_t templates = templates_.names().size();
+  h.add("templates", net::HealthStatus::kOk,
+        std::to_string(templates) + " templates loaded",
+        static_cast<double>(templates));
+  if (readiness) {
+    const bool has_db = [&] {
+      for (const auto& name : storage_.databases()) {
+        if (name == options_.database) return true;
+      }
+      return false;
+    }();
+    h.add("database", has_db ? net::HealthStatus::kOk : net::HealthStatus::kDegraded,
+          has_db ? "database '" + options_.database + "' present"
+                 : "database '" + options_.database + "' not created yet");
+  }
+  return h;
+}
+
 std::size_t DashboardAgent::refresh(const std::vector<core::RunningJob>& jobs,
                                     util::TimeNs now) {
   std::size_t generated = 0;
@@ -294,6 +394,8 @@ net::HttpHandler DashboardAgent::handler() {
       }
       return net::HttpResponse::json(200, json::Value(std::move(out)).dump());
     }
+    if (req.path == "/health") return net::health_response(health(false));
+    if (req.path == "/ready") return net::ready_response(health(true));
     return net::HttpResponse::not_found();
   };
 }

@@ -1,0 +1,157 @@
+#pragma once
+
+// Alert evaluator — scheduled like tsdb::CqRunner, against the same storage.
+//
+// The owner calls run(now) on its own cadence (the cluster harness drives it
+// from the sim clock, lms_daemon from wall time). Each run evaluates every
+// rule over its lookback window, advances the per-instance state machines,
+// and emits every transition twice:
+//   - as a point in the alerts measurement ("lms_alerts"), so alert history
+//     is queryable exactly like any other series, and
+//   - through the attached notifier sinks (logger, webhook POST via the
+//     lms::net HTTP client, PUB/SUB topic for attached stream consumers).
+//
+// Deadman detection: with Options::deadman_window > 0 the evaluator keeps an
+// absence watch per known host — hosts announced via register_host() plus,
+// with deadman_autodiscover, every hostname ever seen in the database. A
+// host whose newest sample is older than the window fires "deadman" within
+// one evaluation interval; it resolves as soon as the host writes again.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lms/alert/rule.hpp"
+#include "lms/net/pubsub.hpp"
+#include "lms/net/transport.hpp"
+#include "lms/obs/metrics.hpp"
+#include "lms/tsdb/query.hpp"
+#include "lms/tsdb/storage.hpp"
+
+namespace lms::alert {
+
+/// Receives every alert-state transition. Sinks must not throw.
+class NotifierSink {
+ public:
+  virtual ~NotifierSink() = default;
+  virtual void notify(const AlertEvent& event) = 0;
+};
+
+/// Logs transitions (firing -> warn, pending/resolved -> info).
+class LogSink final : public NotifierSink {
+ public:
+  void notify(const AlertEvent& event) override;
+};
+
+/// POSTs the AlertEvent JSON payload to a webhook URL.
+class WebhookSink final : public NotifierSink {
+ public:
+  WebhookSink(net::HttpClient& client, std::string url);
+  void notify(const AlertEvent& event) override;
+
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t failed() const { return failed_; }
+
+ private:
+  net::HttpClient& client_;
+  std::string url_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+/// Publishes the JSON payload on a PUB/SUB topic ("alerts" by default).
+class PubSubSink final : public NotifierSink {
+ public:
+  explicit PubSubSink(net::PubSubBroker& broker, std::string topic = "alerts");
+  void notify(const AlertEvent& event) override;
+
+ private:
+  net::PubSubBroker& broker_;
+  std::string topic_;
+};
+
+class Evaluator {
+ public:
+  /// Rule name used for the implicit per-host absence watch.
+  static constexpr std::string_view kDeadmanRule = "deadman";
+
+  struct Options {
+    std::string database = "lms";
+    std::string alerts_measurement = "lms_alerts";
+    /// Deadman: fire when a known host has not written for this long
+    /// (0 = deadman detection off).
+    util::TimeNs deadman_window = 0;
+    /// Restrict the deadman scan to one measurement ("" = any measurement;
+    /// the alerts measurement itself is always excluded so a deadman event
+    /// cannot resolve its own alert).
+    std::string deadman_measurement;
+    /// Also watch every hostname ever seen in the database, not just the
+    /// ones announced via register_host().
+    bool deadman_autodiscover = true;
+    std::string deadman_severity = "critical";
+    /// Registry for the alert_* instruments (evaluations/transitions
+    /// counters, firing gauge, evaluation latency). nullptr = none.
+    obs::Registry* registry = nullptr;
+  };
+
+  Evaluator(tsdb::Storage& storage, Options options);
+  ~Evaluator();
+  Evaluator(const Evaluator&) = delete;
+  Evaluator& operator=(const Evaluator&) = delete;
+
+  void add(AlertRule rule);
+  const std::vector<AlertRule>& rules() const { return rules_; }
+
+  /// Attach a sink; the evaluator owns it. Returns it for post-run queries.
+  NotifierSink& add_sink(std::unique_ptr<NotifierSink> sink);
+
+  /// Announce a host for deadman watching (idempotent).
+  void register_host(const std::string& hostname);
+
+  /// Evaluate everything at `now`; returns the number of transitions.
+  std::size_t run(util::TimeNs now);
+
+  /// Snapshot of all live instances (every state, including inactive).
+  std::vector<AlertInstance> instances() const;
+
+  /// Instances currently firing.
+  std::size_t firing_count() const;
+
+  std::uint64_t evaluations() const { return evaluations_; }
+  std::uint64_t transitions() const { return transitions_; }
+
+ private:
+  std::string build_query(const AlertRule& rule, util::TimeNs now) const;
+  void evaluate_rule(const AlertRule& rule, util::TimeNs now,
+                     std::vector<AlertEvent>& events);
+  void evaluate_deadman(util::TimeNs now, std::vector<AlertEvent>& events);
+  /// Newest sample timestamp written by `host` (0 = never), scanning
+  /// deadman_measurement or, when unset, everything but the alerts
+  /// measurement. The caller must hold the storage lock shared.
+  util::TimeNs last_write_unlocked(const tsdb::Database& db,
+                                   const std::string& host) const;
+  AlertInstance& instance_for(const AlertRule& rule, const std::vector<Tag>& labels);
+
+  tsdb::Storage& storage_;
+  Options options_;
+  tsdb::Engine engine_;
+  std::vector<AlertRule> rules_;
+  std::vector<std::unique_ptr<NotifierSink>> sinks_;
+  AlertRule deadman_rule_;  // the implicit absence rule deadman events use
+
+  mutable std::mutex mu_;  // guards states_ and hosts_ (gauge callbacks read)
+  std::map<std::string, AlertInstance> states_;  // "rule|k=v,..." -> instance
+  std::map<std::string, util::TimeNs> hosts_;    // hostname -> first seen
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t transitions_ = 0;
+
+  obs::Counter* evaluations_c_ = nullptr;
+  obs::Counter* transitions_c_ = nullptr;
+  obs::Histogram* eval_ns_ = nullptr;
+};
+
+}  // namespace lms::alert

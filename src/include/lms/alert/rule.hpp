@@ -1,0 +1,125 @@
+#pragma once
+
+// Alert rule model — the "act on the signals" half of observability.
+//
+// A rule watches one query window over the TSDB (any measurement, including
+// the stack's own lms_internal self-metrics) and drives a small state
+// machine per label set:
+//
+//          breach                 breach for >= for_duration
+//   inactive ----> pending -------------------------------> firing
+//      ^              | clear (silent cancel)                  |
+//      +--------------+          clear for >= keep_firing_for  |
+//      +-------------------------------------------------------+
+//
+// Three condition kinds:
+//   kThreshold    — agg(field) over the window compared to a constant,
+//   kAbsence      — no samples in the window (deadman; see evaluator.hpp
+//                   for the per-host variant),
+//   kRateOfChange — (last - first) / window compared to a constant.
+//
+// `for_duration` suppresses one-sample blips (classic Prometheus `for:`);
+// `keep_firing_for` dampens flapping: once firing, a rule only resolves
+// after the condition has stayed clear that long, so a series oscillating
+// around the threshold produces one alert, not a stream of them.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lms/lineproto/point.hpp"
+#include "lms/tsdb/query.hpp"
+#include "lms/util/clock.hpp"
+
+namespace lms::alert {
+
+using lineproto::Tag;
+using util::TimeNs;
+
+enum class ConditionKind { kThreshold, kAbsence, kRateOfChange };
+
+std::string_view condition_kind_name(ConditionKind kind);
+
+enum class Comparison { kAbove, kAboveEq, kBelow, kBelowEq };
+
+std::string_view comparison_symbol(Comparison cmp);
+
+/// True when `value <cmp> threshold` holds.
+bool compare(Comparison cmp, double value, double threshold);
+
+struct AlertRule {
+  std::string name;
+  ConditionKind kind = ConditionKind::kThreshold;
+
+  // What to watch. Either the structured form (measurement/field/agg/tags,
+  // from which the evaluator builds an InfluxQL query) or a raw `query`
+  // override evaluated verbatim (the window filter must then be part of it).
+  std::string measurement;
+  std::string field = "value";
+  tsdb::Aggregator agg = tsdb::Aggregator::kMean;
+  std::vector<Tag> tag_filters;               ///< WHERE key='value' AND ...
+  std::vector<std::string> group_by_tags;     ///< one alert instance per group
+  std::string query;                          ///< raw InfluxQL override ("" = build)
+
+  // Condition (ignored for kAbsence except the window).
+  Comparison cmp = Comparison::kAbove;
+  double threshold = 0.0;
+  TimeNs window = 5 * util::kNanosPerMinute;  ///< lookback per evaluation
+
+  // State machine tuning.
+  TimeNs for_duration = 0;     ///< breach must persist this long before firing
+  TimeNs keep_firing_for = 0;  ///< flap dampening: min clear time to resolve
+
+  std::string severity = "warning";
+};
+
+enum class AlertState { kInactive, kPending, kFiring };
+
+std::string_view alert_state_name(AlertState s);
+
+/// Live state of one rule × label-set combination.
+struct AlertInstance {
+  std::string rule;
+  std::vector<Tag> labels;      ///< group-by tag values ("hostname" -> "h3")
+  AlertState state = AlertState::kInactive;
+  TimeNs since = 0;             ///< entered the current state
+  TimeNs breach_start = 0;      ///< first breach of the current episode
+  TimeNs last_breach = 0;       ///< most recent breaching evaluation
+  double value = 0;             ///< last evaluated value
+};
+
+/// A state transition, as written into the alerts measurement and delivered
+/// to the notifier sinks.
+struct AlertEvent {
+  std::string rule;
+  std::vector<Tag> labels;
+  AlertState from = AlertState::kInactive;
+  AlertState to = AlertState::kInactive;
+  double value = 0;
+  std::string severity;
+  std::string message;
+  TimeNs time = 0;
+
+  /// "pending" / "firing" / "resolved" — what the transition means, which
+  /// is what sinks and the lms_alerts `state` tag carry.
+  std::string_view transition_name() const;
+
+  /// {"rule":..,"state":..,"prev_state":..,"severity":..,"value":..,
+  ///  "message":..,"time":..,"labels":{..}} — the webhook payload.
+  std::string to_json() const;
+
+  /// Point for the alerts measurement: tags rule/state/severity + labels,
+  /// fields value + text.
+  lineproto::Point to_point(std::string_view measurement) const;
+};
+
+/// Advance `inst` given this evaluation's outcome; returns the transition to
+/// emit, if any. A pending episode that clears cancels silently (it never
+/// fired, so there is nothing to resolve).
+std::optional<AlertEvent> step_instance(const AlertRule& rule, AlertInstance& inst,
+                                        bool breach, double value, std::string message,
+                                        TimeNs now);
+
+}  // namespace lms::alert

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "lms/alert/evaluator.hpp"
 #include "lms/analysis/aggregator.hpp"
 #include "lms/analysis/online.hpp"
 #include "lms/analysis/recorder.hpp"
@@ -66,6 +67,13 @@ class ClusterHarness {
     /// (driven from the sim clock, so it is deterministic like the rest).
     bool enable_self_scrape = false;
     util::TimeNs self_scrape_interval = util::kNanosPerMinute;
+    /// Run an alert::Evaluator against the storage every alert_interval,
+    /// with a deadman absence watch per node (fires when a host stops
+    /// writing for deadman_window). Transitions land in "lms_alerts" and on
+    /// the "alerts" PUB/SUB topic.
+    bool enable_alerts = false;
+    util::TimeNs alert_interval = 30 * util::kNanosPerSecond;
+    util::TimeNs deadman_window = 2 * util::kNanosPerMinute;
   };
 
   explicit ClusterHarness(Options options);
@@ -108,7 +116,14 @@ class ClusterHarness {
   obs::Registry& registry() { return registry_; }
   /// Present iff Options::enable_self_scrape.
   obs::SelfScrape* self_scrape() { return self_scrape_.get(); }
+  /// Present iff Options::enable_alerts.
+  alert::Evaluator* alerts() { return alert_evaluator_.get(); }
   const Options& options() const { return options_; }
+
+  /// Simulate an agent crash: an inactive node's collector stops ticking
+  /// (its kernel keeps running), so its metrics stop arriving and the
+  /// deadman watch fires. Reactivating resumes collection and delivery.
+  void set_node_active(const std::string& name, bool active);
 
   /// Hostnames of the simulated nodes.
   const std::vector<std::string>& node_names() const { return node_names_; }
@@ -124,10 +139,12 @@ class ClusterHarness {
   };
   const JobRecord* job_record(int job_id) const;
 
-  /// In-process endpoint names.
+  /// In-process endpoint names. Each node's agent is additionally bound as
+  /// "<kAgentEndpointPrefix><hostname>" (e.g. "agent-h1") for health probes.
   static constexpr const char* kDbEndpoint = "tsdb";
   static constexpr const char* kRouterEndpoint = "router";
   static constexpr const char* kDashboardEndpoint = "grafana";
+  static constexpr const char* kAgentEndpointPrefix = "agent-";
 
  private:
   struct SimNode {
@@ -137,6 +154,7 @@ class ClusterHarness {
     std::unique_ptr<collector::HostAgent> agent;
     int job_id = 0;       ///< 0 = idle
     int job_node_index = 0;
+    bool active = true;   ///< false = agent crashed (deadman scenario)
   };
   struct ActiveJob {
     JobRecord record;
@@ -169,8 +187,10 @@ class ClusterHarness {
   std::unique_ptr<analysis::FindingRecorder> finding_recorder_;
   std::unique_ptr<tsdb::CqRunner> cq_runner_;
   std::unique_ptr<obs::SelfScrape> self_scrape_;
+  std::unique_ptr<alert::Evaluator> alert_evaluator_;
   util::TimeNs last_maintenance_ = 0;
   util::TimeNs last_self_scrape_ = 0;
+  util::TimeNs last_alert_eval_ = 0;
 
   hpm::GroupRegistry groups_;
   std::vector<std::string> node_names_;

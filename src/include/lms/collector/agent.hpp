@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "lms/collector/plugin.hpp"
+#include "lms/net/health.hpp"
 #include "lms/net/transport.hpp"
 
 namespace lms::obs {
@@ -71,6 +72,14 @@ class HostAgent {
   std::size_t plugin_count() const { return plugins_.size(); }
   std::size_t pending_points() const { return buffer_.size(); }
 
+  /// Component health report. `readiness` adds the delivery check: an agent
+  /// whose last send failed (router down, points queued for retry) is
+  /// degraded — still alive, but not shipping data.
+  net::ComponentHealth health(bool readiness) const;
+
+  /// HTTP probe surface for the agent itself: GET /health and /ready.
+  net::HttpHandler handler();
+
  private:
   enum class SendOutcome { kSent, kRetryLater, kDropBatch };
   SendOutcome send_batch(const std::vector<lineproto::Point>& points);
@@ -86,6 +95,8 @@ class HostAgent {
   std::vector<ScheduledPlugin> plugins_;
   std::deque<lineproto::Point> buffer_;
   util::TimeNs last_flush_ = 0;
+  util::TimeNs last_tick_ = 0;
+  bool last_send_ok_ = true;  ///< outcome of the most recent batch send
   util::TimeNs next_self_monitor_ = 0;
   Stats stats_;
   // Registry mirrors (null when Options::registry is null).

@@ -21,6 +21,8 @@
 //   GET  /ping                  204
 //   GET  /stats                 router counters (JSON)
 //   GET  /metrics               full registry, Prometheus-style text
+//   GET  /health                liveness (spool depth, jobs) as JSON
+//   GET  /ready                 readiness: health + DB back-end reachability
 //
 // All counters live in an lms::obs metrics registry ("router_*" instruments)
 // so the self-scrape loop can feed them back into the stack's own TSDB; the
@@ -38,6 +40,7 @@
 #include <vector>
 
 #include "lms/core/tagstore.hpp"
+#include "lms/net/health.hpp"
 #include "lms/net/pubsub.hpp"
 #include "lms/net/transport.hpp"
 #include "lms/obs/metrics.hpp"
@@ -129,6 +132,10 @@ class MetricsRouter {
   /// Attempt to forward everything spooled; returns points drained.
   std::size_t flush_spool();
   std::size_t spool_size() const;
+
+  /// Component health report. `readiness` adds the DB back-end probe
+  /// (GET <db_url>/ping), so /ready degrades when the TSDB is unreachable.
+  net::ComponentHealth health(bool readiness);
 
   /// PUB/SUB topics used.
   static constexpr std::string_view kTopicMetrics = "metrics";

@@ -16,6 +16,7 @@
 #include "lms/analysis/report.hpp"
 #include "lms/core/router.hpp"
 #include "lms/dashboard/templates.hpp"
+#include "lms/net/health.hpp"
 #include "lms/net/transport.hpp"
 #include "lms/tsdb/storage.hpp"
 
@@ -47,6 +48,11 @@ class DashboardAgent {
                                       const std::vector<core::RunningJob>& jobs,
                                       util::TimeNs now);
 
+  /// Generate (and store, uid "alerts") the alerting view: the lms_alerts
+  /// history (per rule and state), currently firing deadman hosts, and the
+  /// alert engine's own counters out of lms_internal.
+  json::Value generate_alerts_dashboard(util::TimeNs now);
+
   /// Generate (and store, uid "internals") the self-monitoring view: charts
   /// over the stack's own "lms_internal" measurement written by the obs
   /// self-scrape — ingest rates, write-latency percentiles and queue depths
@@ -61,9 +67,14 @@ class DashboardAgent {
   const json::Value* find_dashboard(const std::string& uid) const;
   std::vector<std::string> dashboard_uids() const;
 
+  /// Component health report. `readiness` adds the database check: without
+  /// the backing database the agent cannot generate meaningful dashboards.
+  net::ComponentHealth health(bool readiness) const;
+
   /// HTTP façade mimicking the relevant Grafana API surface:
   ///   GET  /api/dashboards/uid/<uid>  -> dashboard JSON
   ///   GET  /api/search                -> [{uid,title}]
+  ///   GET  /health, /ready            -> JSON component status
   net::HttpHandler handler();
 
  private:

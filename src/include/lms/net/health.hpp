@@ -1,0 +1,68 @@
+#pragma once
+
+// Shared health/readiness model for the stack's HTTP components.
+//
+// Every component (router, TSDB API, collector agent, dashboard agent)
+// answers two probes with one JSON shape:
+//   GET /health  — liveness: "is the process sane" (internal queue depths,
+//                  last activity). 200 unless a check reports kDown.
+//   GET /ready   — readiness: "can it do useful work right now", which adds
+//                  downstream reachability (router -> TSDB, agent -> router).
+//                  200 only when every check is kOk, 503 otherwise, so load
+//                  balancers and the deadman watchdog can steer around a
+//                  degraded component before it starts losing data.
+//
+// The model lives in lms::net (below every component, above json) so the
+// four components share one wire format without new cross-layer deps.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lms/net/http.hpp"
+#include "lms/util/clock.hpp"
+
+namespace lms::net {
+
+enum class HealthStatus {
+  kOk,        ///< fully operational
+  kDegraded,  ///< working but impaired (backlog, downstream unreachable)
+  kDown,      ///< not operational
+};
+
+std::string_view health_status_name(HealthStatus s);
+
+/// The more severe of two statuses (kDown > kDegraded > kOk).
+HealthStatus worse(HealthStatus a, HealthStatus b);
+
+/// One named probe inside a component ("spool", "downstream_db", ...).
+struct HealthCheck {
+  std::string name;
+  HealthStatus status = HealthStatus::kOk;
+  std::string detail;
+  std::optional<double> value;  ///< queue depth, age in seconds, ...
+};
+
+/// A component's full health report; status() is the worst check.
+struct ComponentHealth {
+  std::string component;
+  util::TimeNs time = 0;
+  std::vector<HealthCheck> checks;
+
+  void add(std::string name, HealthStatus status, std::string detail);
+  void add(std::string name, HealthStatus status, std::string detail, double value);
+
+  HealthStatus status() const;
+
+  /// {"component":..,"status":..,"time":..,"checks":[{..},..]}
+  std::string to_json() const;
+};
+
+/// Liveness answer: the report as JSON, 200 unless status() is kDown (503).
+HttpResponse health_response(const ComponentHealth& health);
+
+/// Readiness answer: 200 only when status() is kOk, 503 otherwise.
+HttpResponse ready_response(const ComponentHealth& health);
+
+}  // namespace lms::net

@@ -56,7 +56,7 @@ class TcpHttpServer {
 
   HttpHandler handler_;
   Options options_;
-  int listen_fd_ = -1;
+  std::atomic<int> listen_fd_{-1};  ///< written by stop(), read by the accept thread
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::thread accept_thread_;

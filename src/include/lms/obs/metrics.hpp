@@ -177,6 +177,10 @@ class Registry {
   std::map<Key, std::function<double()>> gauge_fns_;
 };
 
+/// Content-Type of the text exposition format (what Prometheus scrapers
+/// negotiate); every GET /metrics endpoint stamps this on its response.
+inline constexpr std::string_view kTextExpositionContentType = "text/plain; version=0.0.4";
+
 /// Prometheus-style exposition text, served by the GET /metrics endpoints:
 ///   name{label="value",...} value
 /// Histograms expand to _count, _sum, _p50, _p90, _p99 series.

@@ -131,6 +131,16 @@ class Span {
   std::string note_;
 };
 
+class Registry;
+
+/// Expose a recorder's ring statistics as sampled gauges in `registry`:
+/// trace_spans_recorded / trace_spans_evicted (ring overflow — spans lost to
+/// the capacity bound) / trace_spans_retained. The recorder must outlive the
+/// registration; undo with remove_trace_metrics before it dies.
+void register_trace_metrics(Registry& registry);
+void register_trace_metrics(Registry& registry, SpanRecorder& recorder);
+void remove_trace_metrics(Registry& registry);
+
 /// RAII adoption of a remote context (server side of a hop): installs `ctx`
 /// as the thread's current context, restores the previous one on exit.
 class ScopedTraceContext {

@@ -9,6 +9,7 @@
 //   GET  /ping                             -> 204
 //   GET  /stats                            -> JSON engine statistics
 //   GET  /metrics                          -> tsdb_* registry, text format
+//   GET  /health, /ready                   -> JSON component status
 //
 // Engine statistics live in an lms::obs registry ("tsdb_*" instruments):
 // ingest/query counters, write/query latency histograms, and sampled gauges
@@ -17,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "lms/net/health.hpp"
 #include "lms/net/transport.hpp"
 #include "lms/obs/metrics.hpp"
 #include "lms/tsdb/query.hpp"
@@ -47,6 +49,10 @@ class HttpApi {
 
   /// Apply the retention policy now (drops samples older than now-retention).
   std::size_t enforce_retention();
+
+  /// Component health report (storage volume, write-path activity). The
+  /// engine is embedded, so liveness and readiness share the same checks.
+  net::ComponentHealth health() const;
 
   /// Counters (registry-backed).
   std::uint64_t points_written() const { return points_written_.value(); }

@@ -1,0 +1,66 @@
+#include "lms/net/health.hpp"
+
+#include "lms/json/json.hpp"
+
+namespace lms::net {
+
+std::string_view health_status_name(HealthStatus s) {
+  switch (s) {
+    case HealthStatus::kOk:
+      return "ok";
+    case HealthStatus::kDegraded:
+      return "degraded";
+    case HealthStatus::kDown:
+      return "down";
+  }
+  return "?";
+}
+
+HealthStatus worse(HealthStatus a, HealthStatus b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+void ComponentHealth::add(std::string name, HealthStatus status, std::string detail) {
+  checks.push_back(HealthCheck{std::move(name), status, std::move(detail), std::nullopt});
+}
+
+void ComponentHealth::add(std::string name, HealthStatus status, std::string detail,
+                          double value) {
+  checks.push_back(HealthCheck{std::move(name), status, std::move(detail), value});
+}
+
+HealthStatus ComponentHealth::status() const {
+  HealthStatus s = HealthStatus::kOk;
+  for (const auto& check : checks) s = worse(s, check.status);
+  return s;
+}
+
+std::string ComponentHealth::to_json() const {
+  json::Object o;
+  o["component"] = component;
+  o["status"] = std::string(health_status_name(status()));
+  o["time"] = static_cast<std::int64_t>(time);
+  json::Array arr;
+  for (const auto& check : checks) {
+    json::Object c;
+    c["name"] = check.name;
+    c["status"] = std::string(health_status_name(check.status));
+    if (!check.detail.empty()) c["detail"] = check.detail;
+    if (check.value.has_value()) c["value"] = *check.value;
+    arr.emplace_back(std::move(c));
+  }
+  o["checks"] = std::move(arr);
+  return json::Value(std::move(o)).dump();
+}
+
+HttpResponse health_response(const ComponentHealth& health) {
+  const int status = health.status() == HealthStatus::kDown ? 503 : 200;
+  return HttpResponse::json(status, health.to_json());
+}
+
+HttpResponse ready_response(const ComponentHealth& health) {
+  const int status = health.status() == HealthStatus::kOk ? 200 : 503;
+  return HttpResponse::json(status, health.to_json());
+}
+
+}  // namespace lms::net

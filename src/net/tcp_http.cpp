@@ -102,10 +102,10 @@ void TcpHttpServer::stop() {
     if (accept_thread_.joinable()) accept_thread_.join();
     return;
   }
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> workers;
@@ -124,10 +124,12 @@ std::string TcpHttpServer::url() const {
 
 void TcpHttpServer::accept_loop() {
   while (running_.load()) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) return;
+    pollfd pfd{listen_fd, POLLIN, 0};
     const int pr = ::poll(&pfd, 1, 100);
     if (pr <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (!running_.load()) return;
       continue;

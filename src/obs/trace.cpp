@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "lms/obs/metrics.hpp"
+
 namespace lms::obs {
 
 namespace {
@@ -144,6 +146,25 @@ Span::~Span() {
   r.ok = ok_;
   r.note = std::move(note_);
   recorder_->record(std::move(r));
+}
+
+void register_trace_metrics(Registry& registry) {
+  register_trace_metrics(registry, SpanRecorder::global());
+}
+
+void register_trace_metrics(Registry& registry, SpanRecorder& recorder) {
+  registry.gauge_fn("trace_spans_recorded", {},
+                    [&recorder] { return static_cast<double>(recorder.recorded()); });
+  registry.gauge_fn("trace_spans_evicted", {},
+                    [&recorder] { return static_cast<double>(recorder.evicted()); });
+  registry.gauge_fn("trace_spans_retained", {},
+                    [&recorder] { return static_cast<double>(recorder.size()); });
+}
+
+void remove_trace_metrics(Registry& registry) {
+  registry.remove_gauge_fn("trace_spans_recorded");
+  registry.remove_gauge_fn("trace_spans_evicted");
+  registry.remove_gauge_fn("trace_spans_retained");
 }
 
 ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx) : prev_(t_current) {

@@ -62,8 +62,12 @@ net::HttpHandler HttpApi::handler() {
     if (req.path == "/query") return handle_query(req);
     if (req.path == "/stats") return handle_stats(req);
     if (req.path == "/metrics") {
-      return net::HttpResponse::text(200, obs::render_text(*registry_));
+      auto resp = net::HttpResponse::text(200, obs::render_text(*registry_));
+      resp.headers.set("Content-Type", obs::kTextExpositionContentType);
+      return resp;
     }
+    if (req.path == "/health") return net::health_response(health());
+    if (req.path == "/ready") return net::ready_response(health());
     if (req.path == "/dump") {
       const std::string db_name = req.query.get_or("db", options_.default_db);
       Database* db = storage_.find_database(db_name);
@@ -139,6 +143,31 @@ net::HttpResponse HttpApi::handle_stats(const net::HttpRequest&) {
   }
   stats["databases"] = std::move(dbs);
   return net::HttpResponse::json(200, json::Value(std::move(stats)).dump());
+}
+
+net::ComponentHealth HttpApi::health() const {
+  net::ComponentHealth h;
+  h.component = "tsdb";
+  h.time = clock_.now();
+  std::size_t dbs = 0, series = 0, samples = 0;
+  {
+    const std::vector<std::string> names = storage_.databases();
+    const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
+    for (const auto& name : names) {
+      if (Database* db = storage_.find_database_unlocked(name); db != nullptr) {
+        ++dbs;
+        series += db->series_count();
+        samples += db->sample_count();
+      }
+    }
+  }
+  h.add("storage", net::HealthStatus::kOk,
+        std::to_string(dbs) + " databases, " + std::to_string(series) + " series",
+        static_cast<double>(samples));
+  h.add("ingest", net::HealthStatus::kOk,
+        std::to_string(points_written()) + " points written",
+        static_cast<double>(points_written()));
+  return h;
 }
 
 std::size_t HttpApi::enforce_retention() {

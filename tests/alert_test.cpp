@@ -1,0 +1,499 @@
+// Tests for the lms::alert subsystem: rule state machine, evaluator over
+// the TSDB (threshold / absence / rate-of-change), deadman detection for
+// collector agents, notifier sinks, and the /health + /ready probes across
+// the stack.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lms/alert/evaluator.hpp"
+#include "lms/alert/rule.hpp"
+#include "lms/cluster/harness.hpp"
+#include "lms/json/json.hpp"
+#include "lms/net/transport.hpp"
+#include "lms/obs/metrics.hpp"
+#include "lms/tsdb/storage.hpp"
+#include "lms/util/clock.hpp"
+
+namespace lms::alert {
+namespace {
+
+constexpr util::TimeNs kSec = util::kNanosPerSecond;
+constexpr util::TimeNs kT0 = 1'500'000'000LL * kSec;
+
+lineproto::Point make_point(const std::string& measurement, const std::string& host,
+                            const std::string& field, double value, util::TimeNs t) {
+  lineproto::Point p;
+  p.measurement = measurement;
+  p.set_tag("hostname", host);
+  p.add_field(field, value);
+  p.timestamp = t;
+  p.normalize();
+  return p;
+}
+
+// ------------------------------------------------------------ state machine
+
+TEST(StateMachine, PendingThenFiringThenResolved) {
+  AlertRule rule;
+  rule.name = "hot";
+  rule.for_duration = 20 * kSec;
+  AlertInstance inst;
+  inst.rule = rule.name;
+
+  // First breach: inactive -> pending.
+  auto ev = step_instance(rule, inst, true, 95, "hot", kT0);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->transition_name(), "pending");
+  EXPECT_EQ(inst.state, AlertState::kPending);
+
+  // Still breaching but for_duration not yet met: no transition.
+  ev = step_instance(rule, inst, true, 95, "hot", kT0 + 10 * kSec);
+  EXPECT_FALSE(ev.has_value());
+
+  // Breach persisted long enough: pending -> firing.
+  ev = step_instance(rule, inst, true, 96, "hot", kT0 + 20 * kSec);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->transition_name(), "firing");
+
+  // Clear: firing -> inactive, announced as "resolved".
+  ev = step_instance(rule, inst, false, 50, "ok", kT0 + 30 * kSec);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->transition_name(), "resolved");
+  EXPECT_EQ(ev->from, AlertState::kFiring);
+  EXPECT_EQ(inst.state, AlertState::kInactive);
+}
+
+TEST(StateMachine, PendingEpisodeCancelsSilently) {
+  AlertRule rule;
+  rule.name = "blip";
+  rule.for_duration = 60 * kSec;
+  AlertInstance inst;
+  inst.rule = rule.name;
+  ASSERT_TRUE(step_instance(rule, inst, true, 99, "up", kT0).has_value());
+  // One-sample blip clears before for_duration: no "resolved" noise.
+  const auto ev = step_instance(rule, inst, false, 10, "down", kT0 + 10 * kSec);
+  EXPECT_FALSE(ev.has_value());
+  EXPECT_EQ(inst.state, AlertState::kInactive);
+}
+
+TEST(StateMachine, ZeroForDurationFiresImmediately) {
+  AlertRule rule;
+  rule.name = "now";
+  AlertInstance inst;
+  inst.rule = rule.name;
+  const auto ev = step_instance(rule, inst, true, 1, "x", kT0);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->transition_name(), "firing");
+}
+
+TEST(StateMachine, KeepFiringForDampensFlapping) {
+  AlertRule damped;
+  damped.name = "flappy";
+  damped.keep_firing_for = 90 * kSec;  // 3 evaluation intervals of 30s
+
+  AlertInstance inst;
+  inst.rule = damped.name;
+  int transitions = 0;
+  // A series oscillating around the threshold every 30s evaluation.
+  for (int i = 0; i < 10; ++i) {
+    const bool breach = i % 2 == 0;
+    if (step_instance(damped, inst, breach, breach ? 99 : 1, "flap",
+                      kT0 + i * 30 * kSec)) {
+      ++transitions;
+    }
+  }
+  // One firing transition, no resolve while the flapping continues.
+  EXPECT_EQ(transitions, 1);
+  EXPECT_EQ(inst.state, AlertState::kFiring);
+  // Sustained clear finally resolves.
+  const auto ev = step_instance(damped, inst, false, 1, "calm", kT0 + 10 * 30 * kSec + 90 * kSec);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->transition_name(), "resolved");
+
+  // Without dampening the same series resolves (and re-fires) every flip.
+  AlertRule undamped;
+  undamped.name = "flappy2";
+  AlertInstance inst2;
+  inst2.rule = undamped.name;
+  int transitions2 = 0;
+  for (int i = 0; i < 10; ++i) {
+    const bool breach = i % 2 == 0;
+    if (step_instance(undamped, inst2, breach, breach ? 99 : 1, "flap",
+                      kT0 + i * 30 * kSec)) {
+      ++transitions2;
+    }
+  }
+  EXPECT_EQ(transitions2, 10);
+}
+
+// ---------------------------------------------------------------- evaluator
+
+TEST(Evaluator, ThresholdRuleFiresPerHostAndWritesHistory) {
+  tsdb::Storage storage;
+  Evaluator::Options opts;
+  Evaluator eval(storage, opts);
+
+  AlertRule rule;
+  rule.name = "cpu_hot";
+  rule.measurement = "cpu";
+  rule.field = "user_percent";
+  rule.cmp = Comparison::kAbove;
+  rule.threshold = 90;
+  rule.window = 60 * kSec;
+  rule.group_by_tags = {"hostname"};
+  rule.severity = "critical";
+  eval.add(rule);
+
+  for (int i = 0; i < 6; ++i) {
+    storage.write("lms",
+                  {make_point("cpu", "h1", "user_percent", 95, kT0 + i * 10 * kSec),
+                   make_point("cpu", "h2", "user_percent", 20, kT0 + i * 10 * kSec)},
+                  kT0);
+  }
+  const util::TimeNs t1 = kT0 + 60 * kSec;
+  EXPECT_EQ(eval.run(t1), 1u);  // only h1 fires
+
+  // The transition is queryable history in the lms_alerts measurement.
+  const std::shared_lock<std::shared_mutex> lock(storage.mutex());
+  tsdb::Database* db = storage.find_database_unlocked("lms");
+  ASSERT_NE(db, nullptr);
+  const auto series = db->series_matching("lms_alerts", {{"rule", "cpu_hot"}});
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0]->tag("state"), "firing");
+  EXPECT_EQ(series[0]->tag("hostname"), "h1");
+  EXPECT_EQ(series[0]->tag("severity"), "critical");
+}
+
+TEST(Evaluator, EmptyAndNonexistentSeriesAreHandled) {
+  tsdb::Storage storage;
+  Evaluator eval(storage, Evaluator::Options{});
+
+  // Threshold over a measurement that does not exist (and a database that
+  // does not exist yet): no data is not a breach, and nothing crashes.
+  AlertRule threshold;
+  threshold.name = "ghost";
+  threshold.measurement = "no_such_measurement";
+  threshold.field = "value";
+  threshold.threshold = 1;
+  eval.add(threshold);
+  EXPECT_EQ(eval.run(kT0), 0u);
+  EXPECT_EQ(eval.firing_count(), 0u);
+
+  // An ungrouped absence rule over the same nothing *does* fire: that is
+  // the whole point of absence rules.
+  AlertRule absent;
+  absent.name = "heartbeat_missing";
+  absent.measurement = "heartbeat";
+  absent.field = "value";
+  absent.kind = ConditionKind::kAbsence;
+  absent.window = 30 * kSec;
+  eval.add(absent);
+  EXPECT_EQ(eval.run(kT0 + 30 * kSec), 1u);
+  EXPECT_EQ(eval.firing_count(), 1u);
+
+  // Data arriving resolves it.
+  storage.write("lms", {make_point("heartbeat", "h1", "value", 1, kT0 + 50 * kSec)}, kT0);
+  EXPECT_EQ(eval.run(kT0 + 60 * kSec), 1u);
+  EXPECT_EQ(eval.firing_count(), 0u);
+}
+
+TEST(Evaluator, RateOfChangeRule) {
+  tsdb::Storage storage;
+  Evaluator eval(storage, Evaluator::Options{});
+
+  AlertRule rule;
+  rule.name = "queue_growth";
+  rule.kind = ConditionKind::kRateOfChange;
+  rule.measurement = "spool";
+  rule.field = "depth";
+  rule.cmp = Comparison::kAbove;
+  rule.threshold = 5;  // more than 5 points/s of growth
+  rule.window = 60 * kSec;
+  eval.add(rule);
+
+  // Depth grows by 600 over the 60s window -> rate 10/s -> breach.
+  for (int i = 0; i <= 6; ++i) {
+    storage.write("lms", {make_point("spool", "h1", "depth", i * 100.0, kT0 + i * 10 * kSec)},
+                  kT0);
+  }
+  EXPECT_EQ(eval.run(kT0 + 60 * kSec), 1u);
+  const auto instances = eval.instances();
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(instances[0].state, AlertState::kFiring);
+  EXPECT_NEAR(instances[0].value, 10.0, 0.5);
+}
+
+TEST(Evaluator, SelfMetricsRuleOverLmsInternal) {
+  // Rules work over the stack's own self-scrape measurement like any other.
+  tsdb::Storage storage;
+  Evaluator eval(storage, Evaluator::Options{});
+
+  AlertRule rule;
+  rule.name = "router_ingest_stalled";
+  rule.measurement = "lms_internal";
+  rule.field = "value";
+  rule.tag_filters = {{"metric", "router_points_in"}};
+  rule.cmp = Comparison::kBelow;
+  rule.threshold = 1;
+  rule.window = 120 * kSec;
+  eval.add(rule);
+
+  obs::Registry registry;
+  registry.counter("router_points_in").inc(0);  // stalled: stays at 0
+  storage.write("lms",
+                obs::to_points(registry, "lms_internal", {{"hostname", "lms-stack"}}, kT0),
+                kT0);
+  EXPECT_EQ(eval.run(kT0 + 10 * kSec), 1u);
+  EXPECT_EQ(eval.firing_count(), 1u);
+}
+
+TEST(Evaluator, DeadmanFiresAndResolvesOnResume) {
+  tsdb::Storage storage;
+  Evaluator::Options opts;
+  opts.deadman_window = 60 * kSec;
+  Evaluator eval(storage, opts);
+  eval.register_host("h1");
+  eval.register_host("h2");
+
+  // Both hosts writing: nothing fires.
+  storage.write("lms",
+                {make_point("cpu", "h1", "user_percent", 10, kT0),
+                 make_point("cpu", "h2", "user_percent", 10, kT0)},
+                kT0);
+  EXPECT_EQ(eval.run(kT0 + 10 * kSec), 0u);
+
+  // h2 keeps writing, h1 goes silent.
+  storage.write("lms", {make_point("cpu", "h2", "user_percent", 10, kT0 + 70 * kSec)}, kT0);
+  EXPECT_EQ(eval.run(kT0 + 70 * kSec), 1u);
+  auto firing = eval.instances();
+  bool h1_firing = false;
+  for (const auto& inst : firing) {
+    if (inst.rule == "deadman" && !inst.labels.empty() && inst.labels[0].second == "h1") {
+      h1_firing = inst.state == AlertState::kFiring;
+    }
+  }
+  EXPECT_TRUE(h1_firing);
+
+  // h1 resumes: the deadman resolves on the next sweep.
+  storage.write("lms", {make_point("cpu", "h1", "user_percent", 10, kT0 + 95 * kSec)}, kT0);
+  EXPECT_EQ(eval.run(kT0 + 100 * kSec), 1u);
+  EXPECT_EQ(eval.firing_count(), 0u);
+}
+
+TEST(Evaluator, DeadmanAutodiscoversHostsFromDatabase) {
+  tsdb::Storage storage;
+  Evaluator::Options opts;
+  opts.deadman_window = 60 * kSec;
+  Evaluator eval(storage, opts);  // nothing registered explicitly
+
+  storage.write("lms", {make_point("cpu", "h9", "user_percent", 10, kT0)}, kT0);
+  EXPECT_EQ(eval.run(kT0 + 10 * kSec), 0u);  // discovered, still fresh
+  EXPECT_EQ(eval.run(kT0 + 90 * kSec), 1u);  // went silent -> fires
+}
+
+TEST(Evaluator, SinksReceiveTransitions) {
+  tsdb::Storage storage;
+  net::InprocNetwork network;
+  net::InprocHttpClient client(network);
+  std::vector<std::string> hook_bodies;
+  network.bind("hook", [&hook_bodies](const net::HttpRequest& req) {
+    hook_bodies.push_back(req.body);
+    return net::HttpResponse::no_content();
+  });
+  net::PubSubBroker broker;
+  auto sub = broker.subscribe("alerts");
+
+  Evaluator eval(storage, Evaluator::Options{});
+  auto& webhook = static_cast<WebhookSink&>(
+      eval.add_sink(std::make_unique<WebhookSink>(client, "inproc://hook/alert")));
+  eval.add_sink(std::make_unique<PubSubSink>(broker));
+
+  AlertRule rule;
+  rule.name = "disk_full";
+  rule.measurement = "disk";
+  rule.field = "used_percent";
+  rule.threshold = 95;
+  eval.add(rule);
+  storage.write("lms", {make_point("disk", "h1", "used_percent", 99, kT0)}, kT0);
+  EXPECT_EQ(eval.run(kT0 + kSec), 1u);
+
+  ASSERT_EQ(hook_bodies.size(), 1u);
+  EXPECT_EQ(webhook.delivered(), 1u);
+  EXPECT_EQ(webhook.failed(), 0u);
+  auto parsed = json::parse(hook_bodies[0]);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)["rule"].as_string(), "disk_full");
+  EXPECT_EQ((*parsed)["state"].as_string(), "firing");
+  EXPECT_DOUBLE_EQ((*parsed)["value"].as_double(), 99.0);
+
+  const auto msg = sub->try_receive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->topic, "alerts");
+  EXPECT_NE(msg->payload.find("disk_full"), std::string::npos);
+  EXPECT_FALSE(sub->try_receive().has_value());
+}
+
+// ------------------------------------------------- full-stack integration
+
+TEST(AlertIntegration, DeadmanFiresWithinOneIntervalAndNotifiesWebhook) {
+  cluster::ClusterHarness::Options opts;
+  opts.nodes = 3;
+  opts.enable_alerts = true;
+  opts.alert_interval = 30 * kSec;
+  opts.deadman_window = 60 * kSec;
+  cluster::ClusterHarness harness(opts);
+
+  // Webhook endpoint on the harness network capturing every delivery.
+  std::vector<std::string> hook_bodies;
+  harness.network().bind("hook", [&hook_bodies](const net::HttpRequest& req) {
+    hook_bodies.push_back(req.body);
+    return net::HttpResponse::no_content();
+  });
+  harness.alerts()->add_sink(
+      std::make_unique<WebhookSink>(harness.client(), "inproc://hook/alert"));
+
+  harness.run_for(90 * kSec);  // all nodes healthy
+  EXPECT_EQ(harness.alerts()->firing_count(), 0u);
+
+  // Kill h2's collector agent and run until the deadman must have fired:
+  // one deadman window plus at most one evaluation interval (plus a step).
+  const util::TimeNs t_kill = harness.now();
+  harness.set_node_active("h2", false);
+  harness.run_for(opts.deadman_window + opts.alert_interval + 2 * opts.step);
+
+  ASSERT_GE(harness.alerts()->firing_count(), 1u);
+  util::TimeNs fire_time = 0;
+  std::string fired_host;
+  for (const auto& body : hook_bodies) {
+    auto parsed = json::parse(body);
+    ASSERT_TRUE(parsed.ok());
+    if ((*parsed)["rule"].as_string() == "deadman" &&
+        (*parsed)["state"].as_string() == "firing") {
+      fire_time = (*parsed)["time"].as_int();
+      fired_host = (*parsed)["labels"]["hostname"].as_string();
+    }
+  }
+  ASSERT_NE(fire_time, 0) << "deadman firing was not delivered to the webhook";
+  EXPECT_EQ(fired_host, "h2");
+  EXPECT_LE(fire_time, t_kill + opts.deadman_window + opts.alert_interval + 2 * opts.step);
+
+  // The transition is queryable from the lms_alerts measurement.
+  auto resp = harness.client().get(
+      "inproc://tsdb/query?db=lms&q=SELECT%20value%20FROM%20lms_alerts%20WHERE%20"
+      "rule%3D%27deadman%27%20AND%20hostname%3D%27h2%27");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_NE(resp->body.find("lms_alerts"), std::string::npos);
+
+  // The node comes back: the deadman resolves.
+  harness.set_node_active("h2", true);
+  harness.run_for(opts.deadman_window);
+  EXPECT_EQ(harness.alerts()->firing_count(), 0u);
+  bool resolved = false;
+  for (const auto& body : hook_bodies) {
+    if (body.find("\"deadman\"") != std::string::npos &&
+        body.find("\"resolved\"") != std::string::npos) {
+      resolved = true;
+    }
+  }
+  EXPECT_TRUE(resolved);
+}
+
+TEST(AlertIntegration, HealthAndReadyAcrossTheStack) {
+  cluster::ClusterHarness::Options opts;
+  opts.nodes = 2;
+  opts.enable_alerts = true;
+  cluster::ClusterHarness harness(opts);
+  harness.run_for(30 * kSec);  // create the database, deliver some batches
+
+  // All four components answer /health and /ready with ok JSON.
+  for (const std::string target : {"router", "tsdb", "grafana", "agent-h1"}) {
+    for (const std::string probe : {"/health", "/ready"}) {
+      auto resp = harness.client().get("inproc://" + target + probe);
+      ASSERT_TRUE(resp.ok()) << target << probe;
+      EXPECT_EQ(resp->status, 200) << target << probe << ": " << resp->body;
+      EXPECT_EQ(resp->headers.get_or("Content-Type", ""), "application/json");
+      auto parsed = json::parse(resp->body);
+      ASSERT_TRUE(parsed.ok()) << target << probe;
+      EXPECT_EQ((*parsed)["status"].as_string(), "ok") << target << probe << resp->body;
+      EXPECT_FALSE((*parsed)["component"].as_string().empty());
+      EXPECT_TRUE((*parsed)["checks"].is_array());
+    }
+  }
+
+  // Stopping the TSDB flips the router's readiness to degraded (503) while
+  // its liveness stays 200.
+  harness.network().unbind(cluster::ClusterHarness::kDbEndpoint);
+  auto ready = harness.client().get("inproc://router/ready");
+  ASSERT_TRUE(ready.ok());
+  EXPECT_EQ(ready->status, 503);
+  EXPECT_NE(ready->body.find("\"degraded\""), std::string::npos);
+  EXPECT_NE(ready->body.find("downstream_db"), std::string::npos);
+  auto live = harness.client().get("inproc://router/health");
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(live->status, 200);
+
+  // The collector agents notice too once their next flush fails.
+  harness.network().unbind(cluster::ClusterHarness::kRouterEndpoint);
+  harness.run_for(30 * kSec);
+  auto agent_ready = harness.client().get("inproc://agent-h1/ready");
+  ASSERT_TRUE(agent_ready.ok());
+  EXPECT_EQ(agent_ready->status, 503);
+  EXPECT_NE(agent_ready->body.find("\"degraded\""), std::string::npos);
+
+  // Rebinding the back-ends restores readiness.
+  harness.network().bind(cluster::ClusterHarness::kDbEndpoint, harness.db_api().handler());
+  harness.network().bind(cluster::ClusterHarness::kRouterEndpoint, harness.router().handler());
+  auto ready2 = harness.client().get("inproc://router/ready");
+  ASSERT_TRUE(ready2.ok());
+  EXPECT_EQ(ready2->status, 200);
+}
+
+TEST(AlertIntegration, AlertsDashboardGenerated) {
+  cluster::ClusterHarness::Options opts;
+  opts.nodes = 2;
+  opts.enable_alerts = true;
+  cluster::ClusterHarness harness(opts);
+  harness.run_for(10 * kSec);
+
+  harness.dashboards().generate_alerts_dashboard(harness.now());
+  auto resp = harness.client().get("inproc://grafana/api/dashboards/uid/alerts");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_NE(resp->body.find("lms_alerts"), std::string::npos);
+  EXPECT_NE(resp->body.find("deadman"), std::string::npos);
+  EXPECT_NE(resp->body.find("alert_firing"), std::string::npos);
+}
+
+TEST(AlertIntegration, ThresholdRuleOverLiveTraffic) {
+  cluster::ClusterHarness::Options opts;
+  opts.nodes = 2;
+  opts.enable_alerts = true;
+  opts.alert_interval = 30 * kSec;
+  cluster::ClusterHarness harness(opts);
+
+  // The simulated idle kernels report ~0.5% user cpu; a > 0 threshold on
+  // mean(user_percent) therefore fires for every node.
+  AlertRule rule;
+  rule.name = "cpu_above_zero";
+  rule.measurement = "cpu";
+  rule.field = "user_percent";
+  rule.cmp = Comparison::kAbove;
+  rule.threshold = 0.0;
+  rule.window = 60 * kSec;
+  rule.group_by_tags = {"hostname"};
+  harness.alerts()->add(rule);
+
+  harness.run_for(2 * util::kNanosPerMinute);
+  std::size_t firing = 0;
+  for (const auto& inst : harness.alerts()->instances()) {
+    if (inst.rule == "cpu_above_zero" && inst.state == AlertState::kFiring) ++firing;
+  }
+  EXPECT_EQ(firing, 2u);
+}
+
+}  // namespace
+}  // namespace lms::alert

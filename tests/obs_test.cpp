@@ -306,6 +306,8 @@ TEST(ObsIntegration, MetricsEndpointShowsIngestAndLatency) {
   auto metrics = stack.client.get("inproc://router/metrics");
   ASSERT_TRUE(metrics.ok());
   EXPECT_EQ(metrics->status, 200);
+  // Scrapers negotiate on the exposition content type.
+  EXPECT_EQ(metrics->headers.get_or("Content-Type", ""), kTextExpositionContentType);
   const std::string& body = metrics->body;
   EXPECT_NE(body.find("router_points_in 3\n"), std::string::npos);
   EXPECT_NE(body.find("router_points_out 3\n"), std::string::npos);
@@ -321,7 +323,33 @@ TEST(ObsIntegration, MetricsEndpointShowsIngestAndLatency) {
   // The TSDB endpoint serves the same registry.
   auto db_metrics = stack.client.get("inproc://tsdb/metrics");
   ASSERT_TRUE(db_metrics.ok());
+  EXPECT_EQ(db_metrics->headers.get_or("Content-Type", ""), kTextExpositionContentType);
   EXPECT_NE(db_metrics->body.find("tsdb_points_written 3\n"), std::string::npos);
+
+  // JSON endpoints say so.
+  auto stats = stack.client.get("inproc://router/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->headers.get_or("Content-Type", ""), "application/json");
+  auto health = stack.client.get("inproc://router/health");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->headers.get_or("Content-Type", ""), "application/json");
+}
+
+TEST(ObsIntegration, SpanEvictionVisibleInMetrics) {
+  // A small recorder forced to evict, exported through the registry: the
+  // trace_spans_* instruments land in /metrics like any other.
+  Registry registry;
+  SpanRecorder recorder(4);
+  register_trace_metrics(registry, recorder);
+  for (int i = 0; i < 10; ++i) {
+    Span s("s" + std::to_string(i), "test", &recorder);
+  }
+  const std::string text = render_text(registry);
+  EXPECT_NE(text.find("trace_spans_recorded 10\n"), std::string::npos);
+  EXPECT_NE(text.find("trace_spans_evicted 6\n"), std::string::npos);
+  EXPECT_NE(text.find("trace_spans_retained 4\n"), std::string::npos);
+  remove_trace_metrics(registry);
+  EXPECT_EQ(render_text(registry).find("trace_spans_evicted"), std::string::npos);
 }
 
 TEST(ObsIntegration, SelfScrapeLandsInOwnTsdbQueryable) {
