@@ -55,12 +55,9 @@ struct RouterRig {
   }
 
   void bound_state(benchmark::State& state) {
-    tsdb::Database* db = storage.find_database("lms");
-    if (db == nullptr) return;
     bool too_big = false;
-    {
-      const std::shared_lock<std::shared_mutex> lock(storage.mutex());
-      too_big = db->sample_count() > 200'000;
+    if (const tsdb::ReadSnapshot snap = storage.snapshot("lms")) {
+      too_big = snap->sample_count() > 200'000;
     }
     if (too_big) {
       state.PauseTiming();

@@ -78,8 +78,7 @@ void BM_WindowedQueryVsSeriesCount(benchmark::State& state) {
                         "time < 3600s GROUP BY time(60s), hostname",
                         0);
   for (auto _ : state) {
-    const std::shared_lock<std::shared_mutex> lock(storage.mutex());
-    auto r = tsdb::execute(*storage.find_database_unlocked("lms"), *stmt);
+    auto r = tsdb::execute(storage.snapshot("lms"), *stmt);
     benchmark::DoNotOptimize(r);
   }
   state.SetItemsProcessed(state.iterations());
@@ -96,8 +95,7 @@ void BM_TagSelectiveQuery(benchmark::State& state) {
       "time < 3600s GROUP BY time(60s)",
       0);
   for (auto _ : state) {
-    const std::shared_lock<std::shared_mutex> lock(storage.mutex());
-    auto r = tsdb::execute(*storage.find_database_unlocked("lms"), *stmt);
+    auto r = tsdb::execute(storage.snapshot("lms"), *stmt);
     benchmark::DoNotOptimize(r);
   }
   state.SetItemsProcessed(state.iterations());
@@ -149,11 +147,7 @@ void BM_InfluxJsonEncode(benchmark::State& state) {
       "SELECT mean(user_percent) FROM cpu WHERE time >= 0 AND time < 3600s "
       "GROUP BY time(60s), hostname",
       0);
-  tsdb::QueryResult result;
-  {
-    const std::shared_lock<std::shared_mutex> lock(storage.mutex());
-    result = tsdb::execute(*storage.find_database_unlocked("lms"), *stmt).take();
-  }
+  tsdb::QueryResult result = tsdb::execute(storage.snapshot("lms"), *stmt).take();
   for (auto _ : state) {
     benchmark::DoNotOptimize(tsdb::to_influx_json(result));
   }

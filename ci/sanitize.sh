@@ -3,14 +3,15 @@
 # (-DLMS_SANITIZE=thread and =address, same flags the CMake presets use) and
 # runs the suites that exercise threads and raw buffers: obs (self-scrape
 # thread, tracing), net (TCP transport, pub/sub HWM), alert (evaluator vs.
-# gauge callbacks), tsdb (storage under shared locks).
+# gauge callbacks), tsdb (sharded storage under concurrent writers/queries/
+# retention), router (async ingest flusher thread).
 #
 # Usage: ci/sanitize.sh [thread|address|all]   (default: all)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SUITES=(obs_test net_test alert_test tsdb_test)
+SUITES=(obs_test net_test alert_test tsdb_test router_test)
 MODE="${1:-all}"
 
 run_mode() {

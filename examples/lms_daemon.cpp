@@ -37,6 +37,8 @@ default_db = lms
 port = 0
 duplicate_per_user = true
 spool_capacity = 10000   ; store-and-forward when the DB is briefly down
+async_ingest = true      ; batch writes through the ingest queue + flusher
+ingest_queue_points = 8192  ; queued-point cap before writers get HTTP 429
 
 [persistence]
 snapshot =               ; path for save/load across restarts (empty = off)
@@ -99,6 +101,9 @@ int main(int argc, char** argv) {
   router_opts.duplicate_per_user = config->get_bool_or("router", "duplicate_per_user", false);
   router_opts.spool_capacity =
       static_cast<std::size_t>(config->get_int_or("router", "spool_capacity", 0));
+  router_opts.async_ingest = config->get_bool_or("router", "async_ingest", false);
+  router_opts.ingest_queue_capacity =
+      static_cast<std::size_t>(config->get_int_or("router", "ingest_queue_points", 8192));
   net::PubSubBroker broker;
   broker.set_registry(&registry);
   core::MetricsRouter router(db_client, clock, router_opts, &broker);
@@ -155,6 +160,23 @@ int main(int argc, char** argv) {
     spool_rule.window = util::kNanosPerMinute;
     spool_rule.for_duration = util::kNanosPerMinute;
     alerts.add(spool_rule);
+  }
+  {
+    // Ingest backpressure: the async ingest queue sitting near its capacity
+    // means the flusher can't drain as fast as writers produce, and the next
+    // burst will be bounced with HTTP 429. Page before that happens.
+    alert::AlertRule ingest_rule;
+    ingest_rule.name = "router_ingest_backpressure";
+    ingest_rule.kind = alert::ConditionKind::kThreshold;
+    ingest_rule.measurement = "lms_internal";
+    ingest_rule.field = "value";
+    ingest_rule.tag_filters = {{"metric", "router_ingest_queue_points"}};
+    ingest_rule.cmp = alert::Comparison::kAbove;
+    ingest_rule.threshold = 0.8 *
+        static_cast<double>(config->get_int_or("router", "ingest_queue_points", 8192));
+    ingest_rule.window = util::kNanosPerMinute;
+    ingest_rule.for_duration = 30 * util::kNanosPerSecond;
+    alerts.add(ingest_rule);
   }
   const util::TimeNs alert_interval =
       config->get_int_or("alerting", "interval_seconds", 5) * util::kNanosPerSecond;

@@ -283,8 +283,8 @@ void Evaluator::evaluate_rule(const AlertRule& rule, util::TimeNs now,
   }
 }
 
-util::TimeNs Evaluator::last_write_unlocked(const tsdb::Database& db,
-                                            const std::string& host) const {
+util::TimeNs Evaluator::last_write_in(const tsdb::Database& db,
+                                      const std::string& host) const {
   util::TimeNs last = 0;
   std::vector<std::string> measurements;
   if (!options_.deadman_measurement.empty()) {
@@ -312,18 +312,16 @@ void Evaluator::evaluate_deadman(util::TimeNs now, std::vector<AlertEvent>& even
   // Learn new hosts from the database so unannounced collectors are watched
   // too (every enriched point carries a hostname tag).
   if (options_.deadman_autodiscover) {
-    const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
-    const tsdb::Database* db = storage_.find_database_unlocked(options_.database);
-    if (db != nullptr) {
+    if (const tsdb::ReadSnapshot snap = storage_.snapshot(options_.database)) {
       std::vector<std::string> measurements;
       if (!options_.deadman_measurement.empty()) {
         measurements.push_back(options_.deadman_measurement);
       } else {
-        measurements = db->measurements();
+        measurements = snap->measurements();
       }
       for (const std::string& m : measurements) {
         if (m == options_.alerts_measurement) continue;
-        for (const std::string& host : db->tag_values(m, "hostname")) {
+        for (const std::string& host : snap->tag_values(m, "hostname")) {
           hosts_.emplace(host, now);
         }
       }
@@ -333,10 +331,8 @@ void Evaluator::evaluate_deadman(util::TimeNs now, std::vector<AlertEvent>& even
   for (auto& [host, first_seen] : hosts_) {
     if (first_seen == 0) first_seen = now;  // registered before any sweep
     util::TimeNs last = 0;
-    {
-      const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
-      const tsdb::Database* db = storage_.find_database_unlocked(options_.database);
-      if (db != nullptr) last = last_write_unlocked(*db, host);
+    if (const tsdb::ReadSnapshot snap = storage_.snapshot(options_.database)) {
+      last = last_write_in(*snap, host);
     }
     const util::TimeNs age = now - (last > 0 ? last : first_seen);
     const bool breach = age > options_.deadman_window;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <set>
 
 namespace lms::analysis {
@@ -75,12 +74,11 @@ util::Result<MetricSeries> MetricFetcher::fetch(const MetricRef& ref,
   sel.time_min = t0;
   sel.time_max = t1;
 
-  const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
-  tsdb::Database* db = storage_.find_database_unlocked(database_);
-  if (db == nullptr) {
+  const tsdb::ReadSnapshot snap = storage_.snapshot(database_);
+  if (!snap) {
     return util::Result<MetricSeries>::error("database '" + database_ + "' not found");
   }
-  auto result = tsdb::execute(*db, stmt);
+  auto result = tsdb::execute(snap, stmt);
   if (!result.ok()) return util::Result<MetricSeries>::error(result.message());
   MetricSeries out;
   for (const auto& rs : result->series) {
@@ -106,12 +104,11 @@ util::Result<MetricSeries> MetricFetcher::fetch_host(const MetricRef& ref,
 
 std::vector<std::string> MetricFetcher::hosts_of_job(const MetricRef& ref,
                                                      const std::string& job_id) const {
-  const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
-  tsdb::Database* db = storage_.find_database_unlocked(database_);
-  if (db == nullptr) return {};
+  const tsdb::ReadSnapshot snap = storage_.snapshot(database_);
+  if (!snap) return {};
   std::set<std::string> hosts;
   for (const tsdb::Series* s :
-       db->series_matching(ref.measurement, {{"jobid", job_id}})) {
+       snap->series_matching(ref.measurement, {{"jobid", job_id}})) {
     const std::string_view h = s->tag("hostname");
     if (!h.empty()) hosts.emplace(h);
   }

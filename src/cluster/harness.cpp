@@ -29,6 +29,7 @@ ClusterHarness::ClusterHarness(Options options)
   router_opts.db_url = std::string("inproc://") + kDbEndpoint;
   router_opts.database = options_.database;
   router_opts.duplicate_per_user = options_.duplicate_per_user;
+  router_opts.async_ingest = options_.async_ingest;
   router_opts.registry = &registry_;
   router_ = std::make_unique<core::MetricsRouter>(*client_, clock_, router_opts, &broker_);
   network_.bind(kRouterEndpoint, router_->handler());
@@ -318,6 +319,10 @@ void ClusterHarness::step_once() {
   for (auto& node : nodes_) {
     if (node.active) node.agent->tick(now);
   }
+
+  // Land queued writes before anything downstream reads the storage, so a
+  // simulation step behaves the same with and without async ingest.
+  if (options_.async_ingest) (void)router_->flush_ingest();
 
   // Online stream analysis + optional aggregation and alert recording.
   analyzer_->pump();

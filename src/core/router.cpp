@@ -1,14 +1,25 @@
 #include "lms/core/router.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "lms/json/json.hpp"
 #include "lms/lineproto/codec.hpp"
 #include "lms/obs/trace.hpp"
+#include "lms/tsdb/query.hpp"
 #include "lms/util/logging.hpp"
 #include "lms/util/strings.hpp"
 
 namespace lms::core {
+
+namespace {
+// Error-message prefixes are the contract between the programmatic write API
+// and the HTTP layer: they select the status code without a parallel error
+// type. See handle_write().
+constexpr std::string_view kBackpressurePrefix = "backpressure";
+constexpr std::string_view kUnknownDbPrefix = "unknown database:";
+constexpr std::string_view kForwardFailedPrefix = "forward failed";
+}  // namespace
 
 MetricsRouter::MetricsRouter(net::HttpClient& db_client, const util::Clock& clock,
                              Options options, net::PubSubBroker* broker)
@@ -27,22 +38,40 @@ MetricsRouter::MetricsRouter(net::HttpClient& db_client, const util::Clock& cloc
       jobs_ended_(registry_->counter("router_jobs_ended")),
       points_spooled_(registry_->counter("router_points_spooled")),
       spool_dropped_(registry_->counter("router_spool_dropped")),
+      ingest_rejected_(registry_->counter("router_ingest_rejected")),
+      ingest_flushed_(registry_->counter("router_ingest_flushed")),
       write_ns_(registry_->histogram("router_write_ns")),
-      forward_ns_(registry_->histogram("router_forward_ns")) {
+      forward_ns_(registry_->histogram("router_forward_ns")),
+      ingest_flush_ns_(registry_->histogram("router_ingest_flush_ns")) {
   registry_->gauge_fn("router_spool_points", {}, [this] { return double(spool_size()); });
   registry_->gauge_fn("router_jobs_running", {}, [this] {
     const std::lock_guard<std::mutex> lock(jobs_mu_);
     return double(jobs_.size());
   });
   registry_->gauge_fn("router_tagged_hosts", {}, [this] { return double(tags_.host_count()); });
+  registry_->gauge_fn("router_ingest_queue_points", {},
+                      [this] { return double(ingest_queue_points()); });
+  if (options_.async_ingest) {
+    flusher_ = std::thread([this] { flusher_loop(); });
+  }
 }
 
 MetricsRouter::~MetricsRouter() {
+  if (flusher_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(ingest_mu_);
+      ingest_stop_ = true;
+    }
+    ingest_cv_.notify_all();
+    flusher_.join();
+    flush_ingest();  // best-effort final drain
+  }
   // The registry may outlive this router (shared/global registries); drop
   // the callbacks that capture `this`.
   registry_->remove_gauge_fn("router_spool_points");
   registry_->remove_gauge_fn("router_jobs_running");
   registry_->remove_gauge_fn("router_tagged_hosts");
+  registry_->remove_gauge_fn("router_ingest_queue_points");
 }
 
 net::HttpHandler MetricsRouter::handler() {
@@ -64,9 +93,13 @@ net::HttpHandler MetricsRouter::handler() {
   };
 }
 
-util::Status MetricsRouter::forward(const std::string& db,
-                                    const std::vector<lineproto::Point>& points) {
-  if (points.empty()) return {};
+MetricsRouter::ForwardOutcome MetricsRouter::forward(
+    const std::string& db, const std::vector<lineproto::Point>& points) {
+  ForwardOutcome out;
+  if (points.empty()) {
+    out.http_status = 204;
+    return out;
+  }
   obs::Span span("router.forward", "router");
   const util::TimeNs t0 = util::monotonic_now_ns();
   const std::string body = lineproto::serialize_batch(points);
@@ -75,90 +108,264 @@ util::Status MetricsRouter::forward(const std::string& db,
   forward_ns_.record_since(t0);
   if (!resp.ok()) {
     span.set_ok(false);
-    return util::Status::error(resp.message());
+    out.status = util::Status::error(resp.message());
+    return out;
   }
+  out.http_status = resp->status;
+  out.body = resp->body;
   if (!resp->ok()) {
     span.set_ok(false);
-    return util::Status::error("db rejected write: HTTP " + std::to_string(resp->status));
+    out.status = util::Status::error("db rejected write: HTTP " + std::to_string(resp->status));
   }
-  return {};
+  return out;
 }
 
 util::Result<std::size_t> MetricsRouter::write_lines(std::string_view body,
                                                      const std::string& db_override) {
-  obs::Span span("router.write", "router");
-  const util::TimeNs t0 = util::monotonic_now_ns();
   std::vector<std::string> errors;
   std::vector<lineproto::Point> points = lineproto::parse_lenient(body, &errors);
-  points_in_.inc(points.size());
   parse_errors_.inc(errors.size());
   if (points.empty() && !errors.empty()) {
     return util::Result<std::size_t>::error("all lines malformed: " + errors.front());
   }
+  tsdb::WriteBatch batch;
+  batch.db = db_override;  // empty → primary database
+  batch.points = std::move(points);
+  return write_points(std::move(batch));
+}
 
-  // Enrichment from the tag store, keyed by the hostname tag.
-  const util::TimeNs now = clock_.now();
-  for (auto& p : points) {
-    if (p.timestamp == 0) p.timestamp = now;
+util::Result<std::size_t> MetricsRouter::write_points(tsdb::WriteBatch batch) {
+  obs::Span span("router.write", "router");
+  const util::TimeNs t0 = util::monotonic_now_ns();
+  points_in_.inc(batch.points.size());
+  if (batch.db.empty()) batch.db = options_.database;
+
+  // Normalize timestamps (apply the precision multiplier, stamp missing
+  // ones) and enrich from the tag store — one pass over the batch.
+  const util::TimeNs now = batch.default_time != 0 ? batch.default_time : clock_.now();
+  for (auto& p : batch.points) {
+    p.timestamp = p.timestamp != 0 ? p.timestamp * batch.timestamp_scale : now;
     tags_.enrich(p);
   }
+  batch.timestamp_scale = 1;
 
-  const std::string primary_db = db_override.empty() ? options_.database : db_override;
+  if (options_.async_ingest) {
+    auto accepted = enqueue_ingest(batch);
+    if (!accepted.ok()) {
+      span.set_ok(false);
+      return accepted;
+    }
+    // Publish on accept: stream analyzers see the enriched batch as soon as
+    // the router takes responsibility for it, not when the flusher lands it.
+    if (broker_ != nullptr && options_.publish) {
+      broker_->publish(kTopicMetrics, lineproto::serialize_batch(batch.points));
+    }
+    write_ns_.record_since(t0);
+    return accepted;
+  }
+
+  auto result = forward_sync(batch);
+  if (!result.ok()) {
+    span.set_ok(false);
+    return result;
+  }
+  write_ns_.record_since(t0);
+  return result;
+}
+
+util::Result<std::size_t> MetricsRouter::forward_sync(tsdb::WriteBatch& batch) {
   // Drain any spooled backlog first so ordering is roughly preserved.
   if (options_.spool_capacity > 0) flush_spool();
-  if (auto status = forward(primary_db, points); !status.ok()) {
+  if (auto out = forward(batch.db, batch.points); !out.status.ok()) {
     forward_failures_.inc();
-    if (options_.spool_capacity == 0 || !db_override.empty()) {
-      span.set_ok(false);
+    if (out.http_status == 404) {
+      // The back-end does not know the database: a permanent producer-side
+      // error. Pass its body through so both services answer identically.
+      return util::Result<std::size_t>::error(std::string(kUnknownDbPrefix) + out.body);
+    }
+    // Only transport errors and 5xx are worth retrying; other 4xx means the
+    // back-end rejected the batch for good.
+    const bool retryable = out.http_status == 0 || out.http_status >= 500;
+    if (!retryable || options_.spool_capacity == 0 || batch.db != options_.database) {
       // No spool (or a non-default target DB): the producer keeps the batch.
       // The "forward failed" prefix lets the HTTP layer answer 503 (retry)
       // instead of 400 (drop).
-      return util::Result<std::size_t>::error("forward failed: " + status.message());
+      return util::Result<std::size_t>::error(std::string(kForwardFailedPrefix) + ": " +
+                                              out.status.message());
     }
     // Store-and-forward: take responsibility for the points.
-    std::size_t dropped = 0;
-    {
-      const std::lock_guard<std::mutex> lock(spool_mu_);
-      for (const auto& p : points) {
-        if (spool_.size() >= options_.spool_capacity) {
-          spool_.pop_front();
-          ++dropped;
-        }
-        spool_.push_back(p);
-      }
-    }
-    points_spooled_.inc(points.size());
-    spool_dropped_.inc(dropped);
-    write_ns_.record_since(t0);
-    return points.size();
+    spool_points(batch.points);
+    return batch.points.size();
   }
-  points_out_.inc(points.size());
+  points_out_.inc(batch.points.size());
 
   // Optional duplication into per-user databases, grouped by the user tag
   // the enrichment just attached.
   if (options_.duplicate_per_user) {
     std::map<std::string, std::vector<lineproto::Point>> per_user;
-    for (const auto& p : points) {
+    for (const auto& p : batch.points) {
       const std::string_view user = p.tag("user");
       if (!user.empty()) per_user[std::string(user)].push_back(p);
     }
     for (const auto& [user, user_points] : per_user) {
-      if (auto status = forward(options_.user_db_prefix + user, user_points); !status.ok()) {
+      if (auto out = forward(options_.user_db_prefix + user, user_points); !out.status.ok()) {
         LMS_WARN("router") << "per-user duplication for '" << user
-                           << "' failed: " << status.message();
+                           << "' failed: " << out.status.message();
         forward_failures_.inc();
       } else {
         points_duplicated_.inc(user_points.size());
       }
     }
   }
-
-  // Publish the enriched batch for attached stream analyzers.
+  // Publish the enriched batch for attached stream analyzers (a batch that
+  // went to the spool instead of the back-end is not published).
   if (broker_ != nullptr && options_.publish) {
-    broker_->publish(kTopicMetrics, lineproto::serialize_batch(points));
+    broker_->publish(kTopicMetrics, lineproto::serialize_batch(batch.points));
   }
-  write_ns_.record_since(t0);
-  return points.size();
+  return batch.points.size();
+}
+
+util::Result<std::size_t> MetricsRouter::enqueue_ingest(const tsdb::WriteBatch& batch) {
+  // Route once at accept time: the primary destination plus the per-user
+  // duplicates; the flusher only moves bytes after this.
+  std::map<std::string, std::vector<lineproto::Point>> per_user;
+  if (options_.duplicate_per_user) {
+    for (const auto& p : batch.points) {
+      const std::string_view user = p.tag("user");
+      if (!user.empty()) per_user[std::string(user)].push_back(p);
+    }
+  }
+  std::size_t incoming = batch.points.size();
+  for (const auto& [user, pts] : per_user) incoming += pts.size();
+
+  bool wake = false;
+  {
+    const std::lock_guard<std::mutex> lock(ingest_mu_);
+    if (ingest_points_ + incoming > options_.ingest_queue_capacity) {
+      ingest_rejected_.inc(batch.points.size());
+      return util::Result<std::size_t>::error(
+          std::string(kBackpressurePrefix) + ": ingest queue full (" +
+          std::to_string(ingest_points_) + " points queued, capacity " +
+          std::to_string(options_.ingest_queue_capacity) + ")");
+    }
+    IngestBatch& primary = ingest_q_[batch.db];
+    primary.db = batch.db;
+    primary.points.insert(primary.points.end(), batch.points.begin(), batch.points.end());
+    for (auto& [user, pts] : per_user) {
+      IngestBatch& q = ingest_q_[options_.user_db_prefix + user];
+      q.db = options_.user_db_prefix + user;
+      q.duplicate = true;
+      q.points.insert(q.points.end(), std::make_move_iterator(pts.begin()),
+                      std::make_move_iterator(pts.end()));
+    }
+    ingest_points_ += incoming;
+    wake = ingest_points_ >= options_.ingest_max_batch;
+  }
+  if (wake) ingest_cv_.notify_one();
+  return batch.points.size();
+}
+
+std::vector<MetricsRouter::IngestBatch> MetricsRouter::take_ingest_locked(
+    std::size_t max_points) {
+  std::vector<IngestBatch> out;
+  for (auto& [db, q] : ingest_q_) {
+    if (q.points.empty()) continue;
+    IngestBatch taken;
+    taken.db = q.db;
+    taken.duplicate = q.duplicate;
+    if (q.points.size() <= max_points) {
+      taken.points = std::move(q.points);
+      q.points.clear();
+    } else {
+      taken.points.assign(std::make_move_iterator(q.points.begin()),
+                          std::make_move_iterator(q.points.begin() +
+                                                  static_cast<std::ptrdiff_t>(max_points)));
+      q.points.erase(q.points.begin(),
+                     q.points.begin() + static_cast<std::ptrdiff_t>(max_points));
+    }
+    ingest_points_ -= taken.points.size();
+    out.push_back(std::move(taken));
+  }
+  return out;
+}
+
+void MetricsRouter::forward_ingest(IngestBatch batch) {
+  auto out = forward(batch.db, batch.points);
+  if (out.status.ok()) {
+    if (batch.duplicate) {
+      points_duplicated_.inc(batch.points.size());
+    } else {
+      points_out_.inc(batch.points.size());
+    }
+    ingest_flushed_.inc(batch.points.size());
+    return;
+  }
+  forward_failures_.inc();
+  const bool retryable = out.http_status == 0 || out.http_status >= 500;
+  if (retryable && !batch.duplicate && options_.spool_capacity > 0 &&
+      batch.db == options_.database) {
+    spool_points(batch.points);
+    return;
+  }
+  LMS_WARN("router") << "async forward to '" << batch.db << "' dropped "
+                     << batch.points.size() << " points: " << out.status.message();
+}
+
+std::size_t MetricsRouter::flush_ingest() {
+  std::size_t total = 0;
+  for (;;) {
+    std::vector<IngestBatch> batches;
+    {
+      const std::lock_guard<std::mutex> lock(ingest_mu_);
+      batches = take_ingest_locked(options_.ingest_max_batch);
+    }
+    if (batches.empty()) return total;
+    const util::TimeNs t0 = util::monotonic_now_ns();
+    for (auto& b : batches) {
+      total += b.points.size();
+      forward_ingest(std::move(b));
+    }
+    ingest_flush_ns_.record_since(t0);
+  }
+}
+
+void MetricsRouter::flusher_loop() {
+  std::unique_lock<std::mutex> lock(ingest_mu_);
+  while (!ingest_stop_) {
+    ingest_cv_.wait_for(lock, std::chrono::nanoseconds(options_.ingest_flush_interval),
+                        [this] {
+                          return ingest_stop_ || ingest_points_ >= options_.ingest_max_batch;
+                        });
+    if (ingest_stop_) return;
+    auto batches = take_ingest_locked(options_.ingest_max_batch);
+    if (batches.empty()) continue;
+    lock.unlock();
+    const util::TimeNs t0 = util::monotonic_now_ns();
+    for (auto& b : batches) forward_ingest(std::move(b));
+    ingest_flush_ns_.record_since(t0);
+    lock.lock();
+  }
+}
+
+std::size_t MetricsRouter::ingest_queue_points() const {
+  const std::lock_guard<std::mutex> lock(ingest_mu_);
+  return ingest_points_;
+}
+
+void MetricsRouter::spool_points(const std::vector<lineproto::Point>& points) {
+  std::size_t dropped = 0;
+  {
+    const std::lock_guard<std::mutex> lock(spool_mu_);
+    for (const auto& p : points) {
+      if (spool_.size() >= options_.spool_capacity) {
+        spool_.pop_front();
+        ++dropped;
+      }
+      spool_.push_back(p);
+    }
+  }
+  points_spooled_.inc(points.size());
+  spool_dropped_.inc(dropped);
 }
 
 util::Status MetricsRouter::job_start(const JobSignal& signal) {
@@ -188,8 +395,8 @@ util::Status MetricsRouter::job_start(const JobSignal& signal) {
   event.add_field("nodes", util::join(signal.nodes, ","));
   event.timestamp = now;
   event.normalize();
-  if (auto status = forward(options_.database, {event}); !status.ok()) {
-    LMS_WARN("router") << "job_start annotation failed: " << status.message();
+  if (auto out = forward(options_.database, {event}); !out.status.ok()) {
+    LMS_WARN("router") << "job_start annotation failed: " << out.status.message();
   }
   if (broker_ != nullptr && options_.publish) {
     json::Object meta;
@@ -227,8 +434,8 @@ util::Status MetricsRouter::job_end(const std::string& job_id) {
   event.add_field("nodes", util::join(job.nodes, ","));
   event.timestamp = now;
   event.normalize();
-  if (auto status = forward(options_.database, {event}); !status.ok()) {
-    LMS_WARN("router") << "job_end annotation failed: " << status.message();
+  if (auto out = forward(options_.database, {event}); !out.status.ok()) {
+    LMS_WARN("router") << "job_end annotation failed: " << out.status.message();
   }
   if (broker_ != nullptr && options_.publish) {
     json::Object meta;
@@ -267,6 +474,8 @@ MetricsRouter::Stats MetricsRouter::stats() const {
   s.jobs_ended = jobs_ended_.value();
   s.points_spooled = points_spooled_.value();
   s.spool_dropped = spool_dropped_.value();
+  s.ingest_rejected = ingest_rejected_.value();
+  s.ingest_flushed = ingest_flushed_.value();
   return s;
 }
 
@@ -277,7 +486,7 @@ std::size_t MetricsRouter::flush_spool() {
     if (spool_.empty()) return 0;
     batch.assign(spool_.begin(), spool_.end());
   }
-  if (auto status = forward(options_.database, batch); !status.ok()) {
+  if (auto out = forward(options_.database, batch); !out.status.ok()) {
     return 0;  // still down; keep the spool
   }
   {
@@ -309,6 +518,17 @@ net::ComponentHealth MetricsRouter::health(bool readiness) {
     spool_detail += " (spool full, oldest points being dropped)";
   }
   h.add("spool", spool_status, std::move(spool_detail), static_cast<double>(spooled));
+  if (options_.async_ingest) {
+    const std::size_t queued = ingest_queue_points();
+    net::HealthStatus ingest_status = net::HealthStatus::kOk;
+    std::string ingest_detail = std::to_string(queued) + " points queued for flush";
+    if (queued >= options_.ingest_queue_capacity) {
+      ingest_status = net::HealthStatus::kDegraded;
+      ingest_detail += " (queue full, writes rejected with 429)";
+    }
+    h.add("ingest_queue", ingest_status, std::move(ingest_detail),
+          static_cast<double>(queued));
+  }
   {
     const std::lock_guard<std::mutex> lock(jobs_mu_);
     h.add("jobs", net::HealthStatus::kOk, std::to_string(jobs_.size()) + " jobs running",
@@ -329,14 +549,34 @@ net::ComponentHealth MetricsRouter::health(bool readiness) {
 }
 
 net::HttpResponse MetricsRouter::handle_write(const net::HttpRequest& req) {
-  auto result = write_lines(req.body, req.query.get_or("db", ""));
+  // Shared parser with the TSDB façade: same db/precision handling, same
+  // uniform 400 body for an unparseable batch.
+  auto parsed = tsdb::parse_write_request(req, options_.database, clock_.now());
+  if (!parsed.ok()) {
+    parse_errors_.inc();
+    return tsdb::write_error_response(parsed.message());
+  }
+  parse_errors_.inc(parsed->errors.size());
+  auto result = write_points(std::move(parsed->batch));
   if (!result.ok()) {
-    // A malformed batch is the producer's fault (400, do not retry); a
-    // back-end outage is not (503, retry later).
-    if (util::starts_with(result.message(), "forward failed")) {
-      return net::HttpResponse::text(503, result.message());
+    const std::string& msg = result.message();
+    if (util::starts_with(msg, kBackpressurePrefix)) {
+      // The ingest queue is full: explicit backpressure. Producers should
+      // back off and retry instead of dropping the batch.
+      auto resp = net::HttpResponse::json(429, tsdb::influx_error_json(msg));
+      resp.headers.set("Retry-After", "1");
+      return resp;
     }
-    return net::HttpResponse::bad_request(result.message());
+    if (util::starts_with(msg, kUnknownDbPrefix)) {
+      // Pass the back-end's 404 body through byte-identical.
+      return net::HttpResponse::json(404, msg.substr(kUnknownDbPrefix.size()));
+    }
+    if (util::starts_with(msg, kForwardFailedPrefix)) {
+      // A malformed batch is the producer's fault (400, do not retry); a
+      // back-end outage is not (503, retry later).
+      return net::HttpResponse::text(503, msg);
+    }
+    return net::HttpResponse::bad_request(msg);
   }
   return net::HttpResponse::no_content();
 }
@@ -415,6 +655,8 @@ net::HttpResponse MetricsRouter::handle_stats(const net::HttpRequest&) {
   o["forward_failures"] = static_cast<std::int64_t>(s.forward_failures);
   o["jobs_started"] = static_cast<std::int64_t>(s.jobs_started);
   o["jobs_ended"] = static_cast<std::int64_t>(s.jobs_ended);
+  o["ingest_rejected"] = static_cast<std::int64_t>(s.ingest_rejected);
+  o["ingest_queue_points"] = static_cast<std::int64_t>(ingest_queue_points());
   o["tagged_hosts"] = static_cast<std::int64_t>(tags_.host_count());
   return net::HttpResponse::json(200, json::Value(std::move(o)).dump());
 }

@@ -11,11 +11,10 @@ DashboardAgent::DashboardAgent(tsdb::Storage& storage, const analysis::JobReport
     : storage_(storage), reporter_(reporter), clock_(clock), options_(std::move(options)) {}
 
 std::vector<std::string> DashboardAgent::discover_user_fields(const std::string& job_id) const {
-  const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
-  tsdb::Database* db = storage_.find_database_unlocked(options_.database);
-  if (db == nullptr) return {};
+  const tsdb::ReadSnapshot snap = storage_.snapshot(options_.database);
+  if (!snap) return {};
   std::set<std::string> fields;
-  for (const tsdb::Series* s : db->series_matching("usermetric", {{"jobid", job_id}})) {
+  for (const tsdb::Series* s : snap->series_matching("usermetric", {{"jobid", job_id}})) {
     for (const auto& [field, _] : s->columns) fields.insert(field);
   }
   return {fields.begin(), fields.end()};

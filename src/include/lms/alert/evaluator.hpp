@@ -131,9 +131,8 @@ class Evaluator {
   void evaluate_deadman(util::TimeNs now, std::vector<AlertEvent>& events);
   /// Newest sample timestamp written by `host` (0 = never), scanning
   /// deadman_measurement or, when unset, everything but the alerts
-  /// measurement. The caller must hold the storage lock shared.
-  util::TimeNs last_write_unlocked(const tsdb::Database& db,
-                                   const std::string& host) const;
+  /// measurement. The caller must hold a ReadSnapshot of `db`.
+  util::TimeNs last_write_in(const tsdb::Database& db, const std::string& host) const;
   AlertInstance& instance_for(const AlertRule& rule, const std::vector<Tag>& labels);
 
   tsdb::Storage& storage_;

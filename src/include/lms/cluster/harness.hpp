@@ -48,6 +48,11 @@ class ClusterHarness {
     std::vector<std::string> hpm_groups = {"MEM_DP", "FLOPS_DP", "BRANCH", "ENERGY"};
     std::string database = "lms";
     bool duplicate_per_user = false;
+    /// Route writes through the router's batched async ingest queues. The
+    /// harness drains them synchronously at the end of every step
+    /// (flush_ingest()), so simulations stay deterministic while still
+    /// exercising the queued write path.
+    bool async_ingest = false;
     double counter_noise_sigma = 0.01;
     std::uint64_t seed = 42;
     util::TimeNs start_time = 1'500'000'000LL * util::kNanosPerSecond;  // epoch offset

@@ -24,12 +24,22 @@
 //   GET  /health                liveness (spool depth, jobs) as JSON
 //   GET  /ready                 readiness: health + DB back-end reachability
 //
+// Ingest runs as a single pass parse -> route -> append: the body is parsed
+// once into a tsdb::WriteBatch (the same parser the TSDB façade uses, so the
+// 400/404 error responses are byte-identical on both services), enriched,
+// and either forwarded inline (default) or coalesced into per-destination
+// queues drained by a background flusher (Options::async_ingest). The async
+// queues are bounded; when full the write is rejected with an explicit
+// backpressure error that the HTTP layer turns into 429 + Retry-After, and
+// the rejection is surfaced through the router_ingest_* instruments.
+//
 // All counters live in an lms::obs metrics registry ("router_*" instruments)
 // so the self-scrape loop can feed them back into the stack's own TSDB; the
 // legacy Stats struct and the /stats JSON shape are kept as a view over the
 // registry.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -37,6 +47,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lms/core/tagstore.hpp"
@@ -44,6 +55,7 @@
 #include "lms/net/pubsub.hpp"
 #include "lms/net/transport.hpp"
 #include "lms/obs/metrics.hpp"
+#include "lms/tsdb/ingest.hpp"
 #include "lms/util/clock.hpp"
 
 namespace lms::core {
@@ -80,6 +92,20 @@ class MetricsRouter {
     /// explicit flush_spool(). 0 disables spooling: forward failures are
     /// reported back to the producer, which keeps its own retry queue.
     std::size_t spool_capacity = 0;
+    /// Batched async ingest: accepted writes are routed into bounded
+    /// per-destination queues and forwarded by a background flusher thread,
+    /// decoupling producer latency from back-end latency. Writes that would
+    /// overflow the queues are rejected with a "backpressure" error
+    /// (HTTP 429 + Retry-After on the wire) instead of blocking producers.
+    bool async_ingest = false;
+    /// Total points buffered across all destination queues before new
+    /// writes are rejected with backpressure.
+    std::size_t ingest_queue_capacity = 8192;
+    /// Points per destination per flush cycle; reaching this many queued
+    /// points also wakes the flusher early.
+    std::size_t ingest_max_batch = 2048;
+    /// Flusher wake-up interval (real time, not SimClock).
+    util::TimeNs ingest_flush_interval = 50 * util::kNanosPerMilli;
     /// Metrics registry for the router_* instruments. nullptr = the router
     /// owns a private registry, so per-instance counts stay exact; pass a
     /// shared registry to fold the router into a stack-wide self-scrape.
@@ -98,6 +124,14 @@ class MetricsRouter {
   /// Ingest a line-protocol batch. Returns the number of accepted points.
   util::Result<std::size_t> write_lines(std::string_view body,
                                         const std::string& db_override = {});
+
+  /// Ingest an already-parsed batch (the core of the write path; both
+  /// write_lines and the /write endpoint land here). Timestamps are
+  /// normalized (precision scale applied, missing stamps filled with
+  /// batch.default_time or now), points are enriched from the tag store,
+  /// then forwarded inline or enqueued for the async flusher. An empty
+  /// batch.db targets the primary database.
+  util::Result<std::size_t> write_points(tsdb::WriteBatch batch);
 
   /// Register a job start: tag store update + DB annotation + publication.
   util::Status job_start(const JobSignal& signal);
@@ -122,6 +156,8 @@ class MetricsRouter {
     std::uint64_t jobs_ended = 0;
     std::uint64_t points_spooled = 0;
     std::uint64_t spool_dropped = 0;
+    std::uint64_t ingest_rejected = 0;
+    std::uint64_t ingest_flushed = 0;
   };
   Stats stats() const;
 
@@ -133,6 +169,15 @@ class MetricsRouter {
   std::size_t flush_spool();
   std::size_t spool_size() const;
 
+  /// Drain the async ingest queues now (all destinations, until empty);
+  /// returns points forwarded or dropped. The flusher calls this on its
+  /// interval; tests and shutdown call it for determinism. No-op (0) when
+  /// async ingest is off.
+  std::size_t flush_ingest();
+
+  /// Points currently buffered across all async ingest queues.
+  std::size_t ingest_queue_points() const;
+
   /// Component health report. `readiness` adds the DB back-end probe
   /// (GET <db_url>/ping), so /ready degrades when the TSDB is unreachable.
   net::ComponentHealth health(bool readiness);
@@ -142,7 +187,28 @@ class MetricsRouter {
   static constexpr std::string_view kTopicJobs = "jobs";
 
  private:
-  util::Status forward(const std::string& db, const std::vector<lineproto::Point>& points);
+  /// Result of one POST to the back-end: ok iff 2xx; http_status is 0 on a
+  /// transport error; body carries the back-end's error payload so unknown-
+  /// database rejections pass through to the producer byte-identical.
+  struct ForwardOutcome {
+    util::Status status;
+    int http_status = 0;
+    std::string body;
+  };
+  /// A routed batch waiting in (or taken from) the async ingest queues.
+  struct IngestBatch {
+    std::string db;
+    bool duplicate = false;  ///< per-user copy (counts as duplicated, never spooled)
+    std::vector<lineproto::Point> points;
+  };
+
+  ForwardOutcome forward(const std::string& db, const std::vector<lineproto::Point>& points);
+  util::Result<std::size_t> forward_sync(tsdb::WriteBatch& batch);
+  util::Result<std::size_t> enqueue_ingest(const tsdb::WriteBatch& batch);
+  std::vector<IngestBatch> take_ingest_locked(std::size_t max_points);
+  void forward_ingest(IngestBatch batch);
+  void flusher_loop();
+  void spool_points(const std::vector<lineproto::Point>& points);
   net::HttpResponse handle_write(const net::HttpRequest& req);
   net::HttpResponse handle_job_start(const net::HttpRequest& req);
   net::HttpResponse handle_job_end(const net::HttpRequest& req);
@@ -159,6 +225,14 @@ class MetricsRouter {
   mutable std::mutex spool_mu_;
   std::deque<lineproto::Point> spool_;  // primary-db points awaiting retry
 
+  // Async ingest pipeline (Options::async_ingest).
+  mutable std::mutex ingest_mu_;
+  std::condition_variable ingest_cv_;
+  std::map<std::string, IngestBatch> ingest_q_;  // keyed by destination db
+  std::size_t ingest_points_ = 0;                // total across ingest_q_
+  bool ingest_stop_ = false;
+  std::thread flusher_;
+
   std::unique_ptr<obs::Registry> own_registry_;  // when Options::registry == nullptr
   obs::Registry* registry_;
   // Cached instrument handles: the hot path touches only these atomics.
@@ -171,8 +245,11 @@ class MetricsRouter {
   obs::Counter& jobs_ended_;
   obs::Counter& points_spooled_;
   obs::Counter& spool_dropped_;
+  obs::Counter& ingest_rejected_;
+  obs::Counter& ingest_flushed_;
   obs::Histogram& write_ns_;
   obs::Histogram& forward_ns_;
+  obs::Histogram& ingest_flush_ns_;
 };
 
 }  // namespace lms::core

@@ -34,6 +34,10 @@ class HttpApi {
     TimeNs retention = 0;
     /// Database auto-created for writes without ?db=.
     std::string default_db = "lms";
+    /// Create databases on first write (InfluxDB-style). When false, writes
+    /// to a database that was not pre-created via Storage::database() get
+    /// the uniform 404 unknown-database response (tsdb/ingest.hpp).
+    bool auto_create_dbs = true;
     /// Metrics registry for the tsdb_* instruments. nullptr = private
     /// registry (exact per-instance counts); pass a shared registry to fold
     /// the engine into a stack-wide self-scrape.

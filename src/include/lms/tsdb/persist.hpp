@@ -29,7 +29,8 @@ util::Status save_snapshot(Storage& storage, const std::string& path);
 util::Result<std::size_t> load_snapshot(Storage& storage, const std::string& path);
 
 /// Serialize one database's full content as line protocol (used by
-/// save_snapshot and the /dump HTTP endpoint).
+/// save_snapshot and the /dump HTTP endpoint). Concurrent callers must hold
+/// a ReadSnapshot of `db` while this runs.
 std::string dump_database(const Database& db);
 
 }  // namespace lms::tsdb

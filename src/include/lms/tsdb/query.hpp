@@ -120,11 +120,16 @@ struct QueryResult {
   std::vector<ResultSeries> series;
 };
 
-/// Execute against one database. The caller must hold storage.mutex()
-/// shared; use Engine for the locked convenience API.
+/// Execute against a read snapshot (the snapshot keeps the series views
+/// stable for the duration of the query). An empty snapshot is an error.
+util::Result<QueryResult> execute(const ReadSnapshot& snapshot, const Statement& stmt);
+
+/// Execute against one database. Concurrency note: the caller must hold a
+/// ReadSnapshot of this database (or be the sole thread touching it, as in
+/// unit tests); prefer the snapshot overload.
 util::Result<QueryResult> execute(const Database& db, const Statement& stmt);
 
-/// Convenience façade combining storage, locking, parsing and execution.
+/// Convenience façade combining storage, snapshotting, parsing and execution.
 class Engine {
  public:
   explicit Engine(Storage& storage) : storage_(storage) {}

@@ -9,9 +9,17 @@
 // (events are string-valued points). Writes are typically time-ordered per
 // series; out-of-order writes are handled by sorted insertion.
 //
-// Thread-safety: Storage is guarded by a shared_mutex — concurrent queries,
-// exclusive writes. The HTTP façade in http_api.hpp exposes this engine with
-// the InfluxDB wire API the rest of the stack expects.
+// Concurrency: each Database is partitioned into N lock-striped shards keyed
+// by series-key hash (measurement + tag set), so writes to different series
+// proceed in parallel and retention sweeps one stripe at a time instead of
+// stalling the world. Readers never touch a mutex directly: the only way to
+// reach series data concurrently is a ReadSnapshot — an RAII guard that
+// acquires every stripe shared once and hands out stable `const Series*`
+// views for its lifetime. Writers use the WriteBatch value object (database +
+// precision + default timestamp + points), which the storage applies shard by
+// shard. A snapshot taken while a batch is being applied may observe a prefix
+// of that batch (per-stripe atomicity, not per-batch) — acceptable for a
+// monitoring store and the price of not having a global lock.
 
 #include <cstdint>
 #include <functional>
@@ -70,17 +78,74 @@ struct Series {
   std::string_view tag(std::string_view key) const;
 };
 
-/// A single database.
+/// A write in one value object: database + timestamp handling + points.
+/// This is the unit the HTTP façade and the router's ingest/spool paths
+/// produce and the storage consumes.
+struct WriteBatch {
+  std::string db;
+  /// Timestamp assigned to points whose own timestamp is 0.
+  TimeNs default_time = 0;
+  /// Precision multiplier applied to non-zero point timestamps: 1 for ns
+  /// (the wire default), 1e3 for u, 1e6 for ms, 1e9 for s.
+  TimeNs timestamp_scale = 1;
+  std::vector<Point> points;
+};
+
+class Database;
+
+/// RAII read guard over one database: acquires every shard lock shared on
+/// construction and releases on destruction. While it lives, `const Series*`
+/// views obtained through the database are stable (writes and retention to
+/// the guarded shards are blocked). Default-constructed or failed lookups are
+/// empty; test with operator bool.
+class ReadSnapshot {
+ public:
+  ReadSnapshot() = default;
+  /// Snapshot a database directly (also used for standalone Database tests).
+  explicit ReadSnapshot(const Database& db);
+  ReadSnapshot(ReadSnapshot&&) = default;
+  ReadSnapshot& operator=(ReadSnapshot&&) = default;
+
+  explicit operator bool() const { return db_ != nullptr; }
+  const Database* operator->() const { return db_; }
+  const Database& operator*() const { return *db_; }
+  const Database* get() const { return db_; }
+
+  /// Release the locks early (the snapshot becomes empty).
+  void release();
+
+ private:
+  const Database* db_ = nullptr;
+  std::vector<std::shared_lock<std::shared_mutex>> locks_;
+};
+
+/// A single database, internally partitioned into lock-striped shards.
+///
+/// Write/retention entry points lock the stripes they touch internally. Read
+/// accessors (series_of, measurements, counts, ...) do NOT lock: concurrent
+/// callers must hold a ReadSnapshot; single-threaded callers (unit tests)
+/// may call them directly.
 class Database {
  public:
-  explicit Database(std::string name) : name_(std::move(name)) {}
+  static constexpr std::size_t kDefaultShards = 16;
+
+  explicit Database(std::string name, std::size_t shard_count = kDefaultShards);
 
   const std::string& name() const { return name_; }
+  std::size_t shard_count() const { return shards_.size(); }
 
   /// Ingest one normalized point. Points with timestamp 0 get `default_time`.
   void write(const Point& point, TimeNs default_time);
 
-  /// All series of a measurement (pointers remain valid until retention runs).
+  /// Ingest a batch: points are bucketed per shard first, so each stripe is
+  /// locked exactly once per batch. Non-zero timestamps are multiplied by
+  /// `timestamp_scale` (precision handling); zero timestamps get
+  /// `default_time` unscaled.
+  void write_batch(const std::vector<Point>& points, TimeNs default_time,
+                   TimeNs timestamp_scale = 1);
+
+  /// All series of a measurement (pointers stable while a ReadSnapshot is
+  /// held; single-threaded callers: until the next retention run).
   std::vector<const Series*> series_of(std::string_view measurement) const;
 
   /// Series of a measurement filtered by required tag equalities.
@@ -98,6 +163,8 @@ class Database {
   std::size_t series_count() const;
 
   /// Retention: drop samples older than cutoff; removes emptied series.
+  /// Locks one stripe at a time (exclusive), so queries on other stripes
+  /// proceed while old data is swept.
   std::size_t drop_before(TimeNs cutoff);
 
   /// Retention limited to measurements selected by `pred` — lets raw data
@@ -106,6 +173,8 @@ class Database {
                              const std::function<bool(const std::string&)>& pred);
 
  private:
+  friend class ReadSnapshot;
+
   struct SeriesKey {
     std::string measurement;
     std::vector<Tag> tags;
@@ -114,30 +183,64 @@ class Database {
       return tags < other.tags;
     }
   };
+
+  /// One lock stripe: its own mutex, series map and per-measurement indexes.
+  /// A series lives entirely inside the shard its key hashes to.
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::map<SeriesKey, std::unique_ptr<Series>> series;
+    // measurement -> tag key -> tag value -> series pointers
+    std::map<std::string, std::map<std::string, std::map<std::string, std::set<Series*>>>> index;
+    std::map<std::string, std::set<Series*>> by_measurement;
+  };
+
+  std::size_t shard_of(const Point& point) const;
+  void write_into(Shard& shard, const Point& point, TimeNs t) const;
+  std::size_t drop_before_shard(Shard& shard, TimeNs cutoff,
+                                const std::function<bool(const std::string&)>& pred);
+
   std::string name_;
-  std::map<SeriesKey, std::unique_ptr<Series>> series_;
-  // measurement -> tag key -> tag value -> series pointers
-  std::map<std::string, std::map<std::string, std::map<std::string, std::set<Series*>>>> index_;
-  std::map<std::string, std::set<Series*>> by_measurement_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
-/// Multi-database storage with a global lock, the unit the HTTP API serves.
+/// Multi-database storage — the unit the HTTP API serves. The database map
+/// has its own (tiny) lock; all series-level concurrency lives in the
+/// per-database shards. Databases are never destroyed, so Database pointers
+/// stay valid for the storage's lifetime.
 class Storage {
  public:
+  Storage() = default;
+  /// Override the stripe count of databases created by this storage
+  /// (1 = the old global-lock behaviour, used as the bench baseline).
+  explicit Storage(std::size_t shards_per_db) : shards_per_db_(shards_per_db) {}
+
   /// Get or create a database.
   Database& database(const std::string& name);
 
-  /// Database lookup without creation.
+  /// Database lookup without creation (nullptr if absent). The returned
+  /// pointer is stable; concurrent readers must go through snapshot().
   Database* find_database(const std::string& name);
 
-  /// Lookup without taking the lock; the caller must already hold mutex().
-  Database* find_database_unlocked(const std::string& name);
+  /// Acquire a read snapshot of one database. Empty when the database does
+  /// not exist — test with operator bool.
+  ReadSnapshot snapshot(const std::string& name) const;
 
-  /// Write a batch into a database (created on demand). Points without
-  /// timestamps are stamped with `default_time`.
+  /// Apply a write batch (database created on demand).
+  void write(const WriteBatch& batch);
+
+  /// Convenience: write `points` into `db` at ns precision.
   void write(const std::string& db, const std::vector<Point>& points, TimeNs default_time);
 
   std::vector<std::string> databases() const;
+
+  /// Aggregate size counters, sampled under per-database snapshots (feeds
+  /// the tsdb_series/tsdb_samples gauges, /stats and /health).
+  struct Totals {
+    std::size_t databases = 0;
+    std::size_t series = 0;
+    std::size_t samples = 0;
+  };
+  Totals totals() const;
 
   /// Apply retention to every database.
   std::size_t drop_before(TimeNs cutoff);
@@ -146,11 +249,11 @@ class Storage {
   std::size_t drop_before_if(TimeNs cutoff,
                              const std::function<bool(const std::string&)>& pred);
 
-  /// Shared lock for readers executing queries against Database pointers.
-  std::shared_mutex& mutex() { return mu_; }
-
  private:
-  mutable std::shared_mutex mu_;
+  Database& get_or_create(const std::string& name);
+
+  std::size_t shards_per_db_ = Database::kDefaultShards;
+  mutable std::shared_mutex mu_;  // guards dbs_ (map structure only)
   std::map<std::string, std::unique_ptr<Database>> dbs_;
 };
 

@@ -1,7 +1,5 @@
 #include "lms/tsdb/continuous.hpp"
 
-#include <mutex>
-
 #include "lms/util/logging.hpp"
 
 namespace lms::tsdb {
@@ -55,10 +53,9 @@ std::size_t CqRunner::run_one(Registered& registered, TimeNs now) {
 
   QueryResult result;
   {
-    const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
-    Database* db = storage_.find_database_unlocked(database_);
-    if (db == nullptr) return 0;
-    auto r = execute(*db, stmt);
+    const ReadSnapshot snap = storage_.snapshot(database_);
+    if (!snap) return 0;
+    auto r = execute(snap, stmt);
     if (!r.ok()) {
       LMS_WARN("cq") << cq.name << ": " << r.message();
       return 0;

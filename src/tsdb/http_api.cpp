@@ -1,8 +1,8 @@
 #include "lms/tsdb/http_api.hpp"
 
 #include "lms/json/json.hpp"
-#include "lms/lineproto/codec.hpp"
 #include "lms/obs/trace.hpp"
+#include "lms/tsdb/ingest.hpp"
 #include "lms/tsdb/persist.hpp"
 #include "lms/util/logging.hpp"
 
@@ -24,29 +24,12 @@ HttpApi::HttpApi(Storage& storage, const util::Clock& clock, Options options)
       parse_errors_(registry_->counter("tsdb_parse_errors")),
       write_ns_(registry_->histogram("tsdb_write_ns")),
       query_ns_(registry_->histogram("tsdb_query_ns")) {
-  // Sampled at collect time; enumerate first, then lock for the reads
-  // (databases() takes the storage lock itself).
+  // Sampled at collect time; totals() snapshots one database at a time.
   registry_->gauge_fn("tsdb_series", {}, [this] {
-    double total = 0;
-    const std::vector<std::string> names = storage_.databases();
-    const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
-    for (const auto& name : names) {
-      if (Database* db = storage_.find_database_unlocked(name); db != nullptr) {
-        total += static_cast<double>(db->series_count());
-      }
-    }
-    return total;
+    return static_cast<double>(storage_.totals().series);
   });
   registry_->gauge_fn("tsdb_samples", {}, [this] {
-    double total = 0;
-    const std::vector<std::string> names = storage_.databases();
-    const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
-    for (const auto& name : names) {
-      if (Database* db = storage_.find_database_unlocked(name); db != nullptr) {
-        total += static_cast<double>(db->sample_count());
-      }
-    }
-    return total;
+    return static_cast<double>(storage_.totals().samples);
   });
 }
 
@@ -70,12 +53,11 @@ net::HttpHandler HttpApi::handler() {
     if (req.path == "/ready") return net::ready_response(health());
     if (req.path == "/dump") {
       const std::string db_name = req.query.get_or("db", options_.default_db);
-      Database* db = storage_.find_database(db_name);
-      if (db == nullptr) {
+      const ReadSnapshot snap = storage_.snapshot(db_name);
+      if (!snap) {
         return net::HttpResponse::json(404, influx_error_json("database not found"));
       }
-      const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
-      return net::HttpResponse::text(200, dump_database(*db));
+      return net::HttpResponse::text(200, dump_database(*snap));
     }
     return net::HttpResponse::not_found();
   };
@@ -85,18 +67,21 @@ net::HttpResponse HttpApi::handle_write(const net::HttpRequest& req) {
   obs::Span span("tsdb.write", "tsdb");
   const util::TimeNs t0 = util::monotonic_now_ns();
   write_requests_.inc();
-  const std::string db = req.query.get_or("db", options_.default_db);
-  std::vector<std::string> errors;
-  std::vector<Point> points = lineproto::parse_lenient(req.body, &errors);
-  parse_errors_.inc(errors.size());
-  if (points.empty() && !errors.empty()) {
+  auto parsed = parse_write_request(req, options_.default_db, clock_.now());
+  if (!parsed.ok()) {
+    parse_errors_.inc();
     span.set_ok(false);
-    return net::HttpResponse::json(400, influx_error_json(errors.front()));
+    return write_error_response(parsed.message());
   }
-  storage_.write(db, points, clock_.now());
-  points_written_.inc(points.size());
-  if (!errors.empty()) {
-    LMS_WARN("tsdb") << errors.size() << " malformed lines dropped in /write";
+  parse_errors_.inc(parsed->errors.size());
+  if (!options_.auto_create_dbs && storage_.find_database(parsed->batch.db) == nullptr) {
+    span.set_ok(false);
+    return unknown_db_response(parsed->batch.db);
+  }
+  storage_.write(parsed->batch);
+  points_written_.inc(parsed->batch.points.size());
+  if (!parsed->errors.empty()) {
+    LMS_WARN("tsdb") << parsed->errors.size() << " malformed lines dropped in /write";
   }
   write_ns_.record_since(t0);
   return net::HttpResponse::no_content();
@@ -132,13 +117,12 @@ net::HttpResponse HttpApi::handle_stats(const net::HttpRequest&) {
   stats["parse_errors"] = static_cast<std::int64_t>(parse_errors());
   json::Array dbs;
   for (const auto& name : storage_.databases()) {
-    Database* db = storage_.find_database(name);
-    if (db == nullptr) continue;
+    const ReadSnapshot snap = storage_.snapshot(name);
+    if (!snap) continue;
     json::Object d;
     d["name"] = name;
-    const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
-    d["series"] = static_cast<std::int64_t>(db->series_count());
-    d["samples"] = static_cast<std::int64_t>(db->sample_count());
+    d["series"] = static_cast<std::int64_t>(snap->series_count());
+    d["samples"] = static_cast<std::int64_t>(snap->sample_count());
     dbs.emplace_back(std::move(d));
   }
   stats["databases"] = std::move(dbs);
@@ -149,21 +133,11 @@ net::ComponentHealth HttpApi::health() const {
   net::ComponentHealth h;
   h.component = "tsdb";
   h.time = clock_.now();
-  std::size_t dbs = 0, series = 0, samples = 0;
-  {
-    const std::vector<std::string> names = storage_.databases();
-    const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
-    for (const auto& name : names) {
-      if (Database* db = storage_.find_database_unlocked(name); db != nullptr) {
-        ++dbs;
-        series += db->series_count();
-        samples += db->sample_count();
-      }
-    }
-  }
+  const Storage::Totals totals = storage_.totals();
   h.add("storage", net::HealthStatus::kOk,
-        std::to_string(dbs) + " databases, " + std::to_string(series) + " series",
-        static_cast<double>(samples));
+        std::to_string(totals.databases) + " databases, " + std::to_string(totals.series) +
+            " series",
+        static_cast<double>(totals.samples));
   h.add("ingest", net::HealthStatus::kOk,
         std::to_string(points_written()) + " points written",
         static_cast<double>(points_written()));

@@ -1,0 +1,42 @@
+#include "lms/tsdb/ingest.hpp"
+
+#include "lms/lineproto/codec.hpp"
+#include "lms/tsdb/query.hpp"
+
+namespace lms::tsdb {
+
+util::Result<TimeNs> parse_precision(std::string_view precision) {
+  if (precision.empty() || precision == "ns") return TimeNs{1};
+  if (precision == "u" || precision == "us") return util::kNanosPerMicro;
+  if (precision == "ms") return util::kNanosPerMilli;
+  if (precision == "s") return util::kNanosPerSecond;
+  if (precision == "m") return util::kNanosPerMinute;
+  if (precision == "h") return util::kNanosPerHour;
+  return util::Result<TimeNs>::error("invalid precision '" + std::string(precision) + "'");
+}
+
+util::Result<WriteRequest> parse_write_request(const net::HttpRequest& req,
+                                               const std::string& default_db,
+                                               TimeNs default_time) {
+  const auto scale = parse_precision(req.query.get_or("precision", ""));
+  if (!scale.ok()) return util::Result<WriteRequest>::error(scale.message());
+  WriteRequest out;
+  out.batch.db = req.query.get_or("db", default_db);
+  out.batch.timestamp_scale = *scale;
+  out.batch.default_time = default_time;
+  out.batch.points = lineproto::parse_lenient(req.body, &out.errors);
+  if (out.batch.points.empty() && !out.errors.empty()) {
+    return util::Result<WriteRequest>::error("unable to parse batch: " + out.errors.front());
+  }
+  return out;
+}
+
+net::HttpResponse write_error_response(std::string_view message) {
+  return net::HttpResponse::json(400, influx_error_json(message));
+}
+
+net::HttpResponse unknown_db_response(const std::string& db) {
+  return net::HttpResponse::json(404, influx_error_json("database not found: \"" + db + "\""));
+}
+
+}  // namespace lms::tsdb

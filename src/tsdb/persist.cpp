@@ -3,7 +3,6 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <sstream>
 
 #include "lms/lineproto/codec.hpp"
@@ -47,13 +46,11 @@ util::Status save_snapshot(Storage& storage, const std::string& path) {
     std::ofstream file(tmp, std::ios::trunc);
     if (!file) return util::Status::error("cannot open '" + tmp + "' for writing");
     file << "# lms-snapshot v1\n";
-    const auto names = storage.databases();
-    const std::shared_lock<std::shared_mutex> lock(storage.mutex());
-    for (const auto& name : names) {
-      Database* db = storage.find_database_unlocked(name);
-      if (db == nullptr) continue;
+    for (const auto& name : storage.databases()) {
+      const ReadSnapshot snap = storage.snapshot(name);
+      if (!snap) continue;
       file << "# database: " << name << "\n";
-      file << dump_database(*db);
+      file << dump_database(*snap);
     }
     if (!file.good()) return util::Status::error("write to '" + tmp + "' failed");
   }

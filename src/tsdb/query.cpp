@@ -892,6 +892,13 @@ util::Result<QueryResult> execute(const Database& db, const Statement& stmt) {
   return util::Result<QueryResult>::error("unhandled statement kind");
 }
 
+util::Result<QueryResult> execute(const ReadSnapshot& snapshot, const Statement& stmt) {
+  if (!snapshot) {
+    return util::Result<QueryResult>::error("query against empty snapshot");
+  }
+  return execute(*snapshot, stmt);
+}
+
 util::Result<QueryResult> Engine::query(const std::string& db, std::string_view query_text,
                                         TimeNs now) {
   auto stmt = parse_query(query_text, now);
@@ -907,12 +914,11 @@ util::Result<QueryResult> Engine::query(const std::string& db, std::string_view 
     r.series.push_back(std::move(rs));
     return r;
   }
-  const std::shared_lock<std::shared_mutex> lock(storage_.mutex());
-  Database* database = storage_.find_database_unlocked(db);
-  if (database == nullptr) {
+  const ReadSnapshot snap = storage_.snapshot(db);
+  if (!snap) {
     return util::Result<QueryResult>::error("database '" + db + "' not found");
   }
-  return execute(*database, *stmt);
+  return execute(*snap, *stmt);
 }
 
 namespace {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <thread>
 
 namespace lms::tsdb {
 
@@ -38,71 +39,196 @@ std::string_view Series::tag(std::string_view key) const {
   return {};
 }
 
-void Database::write(const Point& point, TimeNs default_time) {
+// ---------------------------------------------------------------- snapshot
+
+ReadSnapshot::ReadSnapshot(const Database& db) : db_(&db) {
+  // All-or-nothing acquisition: block on stripe 0, then try the rest. If a
+  // stripe is write-locked, drop everything and start over — holding some
+  // stripes while blocked on another would stall writers on the held ones
+  // (a lock convoy under mixed load). Bounded retries, then a blocking pass
+  // in fixed 0..N-1 order (deadlock-free: concurrent snapshots acquire in
+  // the same order and writers only ever hold a single stripe).
+  locks_.reserve(db.shards_.size());
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    locks_.emplace_back(db.shards_[0]->mu);
+    bool all = true;
+    for (std::size_t i = 1; i < db.shards_.size(); ++i) {
+      std::shared_lock<std::shared_mutex> lock(db.shards_[i]->mu, std::try_to_lock);
+      if (!lock.owns_lock()) {
+        all = false;
+        break;
+      }
+      locks_.push_back(std::move(lock));
+    }
+    if (all) return;
+    locks_.clear();
+    std::this_thread::yield();
+  }
+  for (const auto& shard : db.shards_) {
+    locks_.emplace_back(shard->mu);
+  }
+}
+
+void ReadSnapshot::release() {
+  locks_.clear();
+  db_ = nullptr;
+}
+
+// ---------------------------------------------------------------- database
+
+namespace {
+
+/// FNV-1a over the series identity (measurement + sorted tag set). The tag
+/// set is sorted on normalized points, so the hash is canonical.
+std::size_t series_hash(const Point& point) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::string_view s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xff;  // separator so ("ab","c") != ("a","bc")
+    h *= 1099511628211ULL;
+  };
+  mix(point.measurement);
+  for (const auto& [k, v] : point.tags) {
+    mix(k);
+    mix(v);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace
+
+Database::Database(std::string name, std::size_t shard_count) : name_(std::move(name)) {
+  if (shard_count == 0) shard_count = 1;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::size_t Database::shard_of(const Point& point) const {
+  return series_hash(point) % shards_.size();
+}
+
+void Database::write_into(Shard& shard, const Point& point, TimeNs t) const {
   SeriesKey key{point.measurement, point.tags};
-  auto it = series_.find(key);
-  if (it == series_.end()) {
+  auto it = shard.series.find(key);
+  if (it == shard.series.end()) {
     auto s = std::make_unique<Series>();
     s->measurement = point.measurement;
     s->tags = point.tags;
     Series* raw = s.get();
-    it = series_.emplace(std::move(key), std::move(s)).first;
-    by_measurement_[point.measurement].insert(raw);
-    auto& meas_index = index_[point.measurement];
+    it = shard.series.emplace(std::move(key), std::move(s)).first;
+    shard.by_measurement[point.measurement].insert(raw);
+    auto& meas_index = shard.index[point.measurement];
     for (const auto& [tk, tv] : point.tags) {
       meas_index[tk][tv].insert(raw);
     }
   }
   Series& s = *it->second;
-  const TimeNs t = point.timestamp != 0 ? point.timestamp : default_time;
   for (const auto& [fk, fv] : point.fields) {
     s.columns[fk].append(t, fv);
   }
 }
 
+void Database::write(const Point& point, TimeNs default_time) {
+  Shard& shard = *shards_[shard_of(point)];
+  const TimeNs t = point.timestamp != 0 ? point.timestamp : default_time;
+  const std::unique_lock<std::shared_mutex> lock(shard.mu);
+  write_into(shard, point, t);
+}
+
+void Database::write_batch(const std::vector<Point>& points, TimeNs default_time,
+                           TimeNs timestamp_scale) {
+  if (points.empty()) return;
+  if (timestamp_scale <= 0) timestamp_scale = 1;
+  if (shards_.size() == 1) {
+    Shard& shard = *shards_[0];
+    const std::unique_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& p : points) {
+      const TimeNs t = p.timestamp != 0 ? p.timestamp * timestamp_scale : default_time;
+      write_into(shard, p, t);
+    }
+    return;
+  }
+  // Bucket per stripe so each stripe mutex is taken exactly once per batch.
+  std::vector<std::vector<const Point*>> buckets(shards_.size());
+  for (const auto& p : points) {
+    buckets[shard_of(p)].push_back(&p);
+  }
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i].empty()) continue;
+    Shard& shard = *shards_[i];
+    const std::unique_lock<std::shared_mutex> lock(shard.mu);
+    for (const Point* p : buckets[i]) {
+      const TimeNs t = p->timestamp != 0 ? p->timestamp * timestamp_scale : default_time;
+      write_into(shard, *p, t);
+    }
+  }
+}
+
 std::vector<const Series*> Database::series_of(std::string_view measurement) const {
   std::vector<const Series*> out;
-  const auto it = by_measurement_.find(std::string(measurement));
-  if (it == by_measurement_.end()) return out;
-  out.assign(it->second.begin(), it->second.end());
+  const std::string key(measurement);
+  for (const auto& shard : shards_) {
+    const auto it = shard->by_measurement.find(key);
+    if (it == shard->by_measurement.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
   return out;
 }
 
 std::vector<const Series*> Database::series_matching(
     std::string_view measurement, const std::vector<Tag>& required_tags) const {
-  std::vector<const Series*> out;
   if (required_tags.empty()) return series_of(measurement);
-  const auto mit = index_.find(std::string(measurement));
-  if (mit == index_.end()) return out;
-  // Intersect the per-tag posting sets, starting from the smallest.
-  std::vector<const std::set<Series*>*> postings;
-  for (const auto& [tk, tv] : required_tags) {
-    const auto kit = mit->second.find(tk);
-    if (kit == mit->second.end()) return out;
-    const auto vit = kit->second.find(tv);
-    if (vit == kit->second.end()) return out;
-    postings.push_back(&vit->second);
-  }
-  std::sort(postings.begin(), postings.end(),
-            [](const auto* a, const auto* b) { return a->size() < b->size(); });
-  for (Series* candidate : *postings.front()) {
-    bool in_all = true;
-    for (std::size_t i = 1; i < postings.size(); ++i) {
-      if (postings[i]->count(candidate) == 0) {
-        in_all = false;
+  std::vector<const Series*> out;
+  const std::string meas(measurement);
+  for (const auto& shard : shards_) {
+    const auto mit = shard->index.find(meas);
+    if (mit == shard->index.end()) continue;
+    // Intersect the per-tag posting sets, starting from the smallest.
+    std::vector<const std::set<Series*>*> postings;
+    bool missing = false;
+    for (const auto& [tk, tv] : required_tags) {
+      const auto kit = mit->second.find(tk);
+      if (kit == mit->second.end()) {
+        missing = true;
         break;
       }
+      const auto vit = kit->second.find(tv);
+      if (vit == kit->second.end()) {
+        missing = true;
+        break;
+      }
+      postings.push_back(&vit->second);
     }
-    if (in_all) out.push_back(candidate);
+    if (missing) continue;
+    std::sort(postings.begin(), postings.end(),
+              [](const auto* a, const auto* b) { return a->size() < b->size(); });
+    for (Series* candidate : *postings.front()) {
+      bool in_all = true;
+      for (std::size_t i = 1; i < postings.size(); ++i) {
+        if (postings[i]->count(candidate) == 0) {
+          in_all = false;
+          break;
+        }
+      }
+      if (in_all) out.push_back(candidate);
+    }
   }
   return out;
 }
 
 std::vector<std::string> Database::measurements() const {
-  std::vector<std::string> out;
-  out.reserve(by_measurement_.size());
-  for (const auto& [m, _] : by_measurement_) out.push_back(m);
-  return out;
+  std::set<std::string> names;
+  for (const auto& shard : shards_) {
+    for (const auto& [m, _] : shard->by_measurement) {
+      if (!_.empty()) names.insert(m);
+    }
+  }
+  return {names.begin(), names.end()};
 }
 
 std::vector<std::string> Database::field_keys(std::string_view measurement) const {
@@ -114,35 +240,48 @@ std::vector<std::string> Database::field_keys(std::string_view measurement) cons
 }
 
 std::vector<std::string> Database::tag_keys(std::string_view measurement) const {
-  std::vector<std::string> out;
-  const auto it = index_.find(std::string(measurement));
-  if (it == index_.end()) return out;
-  for (const auto& [k, _] : it->second) out.push_back(k);
-  return out;
+  std::set<std::string> keys;
+  const std::string meas(measurement);
+  for (const auto& shard : shards_) {
+    const auto it = shard->index.find(meas);
+    if (it == shard->index.end()) continue;
+    for (const auto& [k, _] : it->second) keys.insert(k);
+  }
+  return {keys.begin(), keys.end()};
 }
 
 std::vector<std::string> Database::tag_values(std::string_view measurement,
                                               std::string_view tag_key) const {
-  std::vector<std::string> out;
-  const auto it = index_.find(std::string(measurement));
-  if (it == index_.end()) return out;
-  const auto kit = it->second.find(std::string(tag_key));
-  if (kit == it->second.end()) return out;
-  for (const auto& [v, series_set] : kit->second) {
-    if (!series_set.empty()) out.push_back(v);
+  std::set<std::string> values;
+  const std::string meas(measurement);
+  const std::string key(tag_key);
+  for (const auto& shard : shards_) {
+    const auto it = shard->index.find(meas);
+    if (it == shard->index.end()) continue;
+    const auto kit = it->second.find(key);
+    if (kit == it->second.end()) continue;
+    for (const auto& [v, series_set] : kit->second) {
+      if (!series_set.empty()) values.insert(v);
+    }
   }
-  return out;
+  return {values.begin(), values.end()};
 }
 
 std::size_t Database::sample_count() const {
   std::size_t n = 0;
-  for (const auto& [_, s] : series_) {
-    for (const auto& [__, col] : s->columns) n += col.size();
+  for (const auto& shard : shards_) {
+    for (const auto& [_, s] : shard->series) {
+      for (const auto& [__, col] : s->columns) n += col.size();
+    }
   }
   return n;
 }
 
-std::size_t Database::series_count() const { return series_.size(); }
+std::size_t Database::series_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard->series.size();
+  return n;
+}
 
 std::size_t Database::drop_before(TimeNs cutoff) {
   return drop_before_if(cutoff, [](const std::string&) { return true; });
@@ -151,7 +290,17 @@ std::size_t Database::drop_before(TimeNs cutoff) {
 std::size_t Database::drop_before_if(TimeNs cutoff,
                                      const std::function<bool(const std::string&)>& pred) {
   std::size_t dropped = 0;
-  for (auto it = series_.begin(); it != series_.end();) {
+  for (const auto& shard : shards_) {
+    const std::unique_lock<std::shared_mutex> lock(shard->mu);
+    dropped += drop_before_shard(*shard, cutoff, pred);
+  }
+  return dropped;
+}
+
+std::size_t Database::drop_before_shard(Shard& shard, TimeNs cutoff,
+                                        const std::function<bool(const std::string&)>& pred) {
+  std::size_t dropped = 0;
+  for (auto it = shard.series.begin(); it != shard.series.end();) {
     Series& s = *it->second;
     if (!pred(s.measurement)) {
       ++it;
@@ -169,12 +318,12 @@ std::size_t Database::drop_before_if(TimeNs cutoff,
     }
     if (all_empty) {
       Series* raw = it->second.get();
-      by_measurement_[s.measurement].erase(raw);
-      auto& meas_index = index_[s.measurement];
+      shard.by_measurement[s.measurement].erase(raw);
+      auto& meas_index = shard.index[s.measurement];
       for (const auto& [tk, tv] : s.tags) {
         meas_index[tk][tv].erase(raw);
       }
-      it = series_.erase(it);
+      it = shard.series.erase(it);
     } else {
       ++it;
     }
@@ -182,35 +331,50 @@ std::size_t Database::drop_before_if(TimeNs cutoff,
   return dropped;
 }
 
-Database& Storage::database(const std::string& name) {
+// ---------------------------------------------------------------- storage
+
+Database& Storage::get_or_create(const std::string& name) {
+  {
+    const std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = dbs_.find(name);
+    if (it != dbs_.end()) return *it->second;
+  }
   const std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = dbs_.find(name);
   if (it == dbs_.end()) {
-    it = dbs_.emplace(name, std::make_unique<Database>(name)).first;
+    it = dbs_.emplace(name, std::make_unique<Database>(name, shards_per_db_)).first;
   }
   return *it->second;
 }
 
+Database& Storage::database(const std::string& name) { return get_or_create(name); }
+
 Database* Storage::find_database(const std::string& name) {
   const std::shared_lock<std::shared_mutex> lock(mu_);
-  return find_database_unlocked(name);
-}
-
-Database* Storage::find_database_unlocked(const std::string& name) {
   const auto it = dbs_.find(name);
   return it != dbs_.end() ? it->second.get() : nullptr;
 }
 
+ReadSnapshot Storage::snapshot(const std::string& name) const {
+  const Database* db = nullptr;
+  {
+    const std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = dbs_.find(name);
+    if (it != dbs_.end()) db = it->second.get();
+  }
+  // Databases are never destroyed, so the pointer stays valid after the map
+  // lock is dropped; the snapshot then pins the shard contents.
+  return db != nullptr ? ReadSnapshot(*db) : ReadSnapshot();
+}
+
+void Storage::write(const WriteBatch& batch) {
+  get_or_create(batch.db).write_batch(batch.points, batch.default_time,
+                                      batch.timestamp_scale);
+}
+
 void Storage::write(const std::string& db, const std::vector<Point>& points,
                     TimeNs default_time) {
-  const std::unique_lock<std::shared_mutex> lock(mu_);
-  auto it = dbs_.find(db);
-  if (it == dbs_.end()) {
-    it = dbs_.emplace(db, std::make_unique<Database>(db)).first;
-  }
-  for (const auto& p : points) {
-    it->second->write(p, default_time);
-  }
+  get_or_create(db).write_batch(points, default_time, 1);
 }
 
 std::vector<std::string> Storage::databases() const {
@@ -221,18 +385,29 @@ std::vector<std::string> Storage::databases() const {
   return out;
 }
 
+Storage::Totals Storage::totals() const {
+  Totals t;
+  for (const auto& name : databases()) {
+    const ReadSnapshot snap = snapshot(name);
+    if (!snap) continue;
+    ++t.databases;
+    t.series += snap->series_count();
+    t.samples += snap->sample_count();
+  }
+  return t;
+}
+
 std::size_t Storage::drop_before(TimeNs cutoff) {
-  const std::unique_lock<std::shared_mutex> lock(mu_);
-  std::size_t dropped = 0;
-  for (auto& [_, db] : dbs_) dropped += db->drop_before(cutoff);
-  return dropped;
+  return drop_before_if(cutoff, [](const std::string&) { return true; });
 }
 
 std::size_t Storage::drop_before_if(TimeNs cutoff,
                                     const std::function<bool(const std::string&)>& pred) {
-  const std::unique_lock<std::shared_mutex> lock(mu_);
   std::size_t dropped = 0;
-  for (auto& [_, db] : dbs_) dropped += db->drop_before_if(cutoff, pred);
+  for (const auto& name : databases()) {
+    Database* db = find_database(name);
+    if (db != nullptr) dropped += db->drop_before_if(cutoff, pred);
+  }
   return dropped;
 }
 

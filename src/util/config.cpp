@@ -4,6 +4,22 @@
 
 namespace lms::util {
 
+namespace {
+
+// INI-style inline comments: a ';' or '#' that starts the value or follows
+// whitespace opens a comment. Separators embedded in a value ("a;b") stay.
+std::string_view strip_inline_comment(std::string_view value) {
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if ((value[i] == ';' || value[i] == '#') &&
+        (i == 0 || value[i - 1] == ' ' || value[i - 1] == '\t')) {
+      return value.substr(0, i);
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
 Result<Config> Config::parse(std::string_view text) {
   Config cfg;
   Section* current = nullptr;
@@ -32,7 +48,7 @@ Result<Config> Config::parse(std::string_view text) {
       current = &cfg.sections_.back();
     }
     current->entries.push_back(
-        Entry{std::string(trim(key_sv)), std::string(trim(value_sv))});
+        Entry{std::string(trim(key_sv)), std::string(trim(strip_inline_comment(value_sv)))});
   }
   return cfg;
 }

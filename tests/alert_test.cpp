@@ -157,10 +157,9 @@ TEST(Evaluator, ThresholdRuleFiresPerHostAndWritesHistory) {
   EXPECT_EQ(eval.run(t1), 1u);  // only h1 fires
 
   // The transition is queryable history in the lms_alerts measurement.
-  const std::shared_lock<std::shared_mutex> lock(storage.mutex());
-  tsdb::Database* db = storage.find_database_unlocked("lms");
-  ASSERT_NE(db, nullptr);
-  const auto series = db->series_matching("lms_alerts", {{"rule", "cpu_hot"}});
+  const tsdb::ReadSnapshot snap = storage.snapshot("lms");
+  ASSERT_TRUE(snap);
+  const auto series = snap->series_matching("lms_alerts", {{"rule", "cpu_hot"}});
   ASSERT_EQ(series.size(), 1u);
   EXPECT_EQ(series[0]->tag("state"), "firing");
   EXPECT_EQ(series[0]->tag("hostname"), "h1");

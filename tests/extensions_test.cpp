@@ -479,11 +479,9 @@ TEST(PersistTest, MultiFieldPointsStayMerged) {
   p.timestamp = 500;
   p.normalize();
   storage.write("lms", {p}, 0);
-  tsdb::Database* db = storage.find_database("lms");
-  const std::string dump = [&] {
-    const std::shared_lock<std::shared_mutex> lock(storage.mutex());
-    return tsdb::dump_database(*db);
-  }();
+  const tsdb::ReadSnapshot snap = storage.snapshot("lms");
+  ASSERT_TRUE(snap);
+  const std::string dump = tsdb::dump_database(*snap);
   // Both fields on one line: the dump re-merges columns by timestamp.
   EXPECT_EQ(dump, "cpu,hostname=h1 system=2,user=1 500\n");
 }

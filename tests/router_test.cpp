@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "lms/core/pullproxy.hpp"
 #include "lms/core/router.hpp"
 #include "lms/json/json.hpp"
@@ -78,6 +81,26 @@ class RouterTest : public ::testing::Test {
     s.nodes = std::move(nodes);
     s.extra_tags = {{"queue", "batch"}};
     return s;
+  }
+
+  /// Options for a router with async ingest that only flushes on demand
+  /// (the interval is an hour, so the background flusher never interferes
+  /// with deterministic assertions).
+  MetricsRouter::Options async_opts() {
+    MetricsRouter::Options opts;
+    opts.db_url = "inproc://tsdb";
+    opts.database = "lms";
+    opts.async_ingest = true;
+    opts.ingest_flush_interval = util::kNanosPerHour;
+    return opts;
+  }
+
+  net::HttpResponse post_write(MetricsRouter& router, const std::string& body,
+                               const std::string& db = {}, const std::string& precision = {}) {
+    net::HttpRequest req = net::HttpRequest::post("/write", body, "text/plain");
+    if (!db.empty()) req.query.set("db", db);
+    if (!precision.empty()) req.query.set("precision", precision);
+    return router.handler()(req);
   }
 
   tsdb::Storage storage_;
@@ -233,6 +256,141 @@ TEST_F(RouterTest, UnstampedPointsGetRouterTime) {
   const auto series = db->series_of("cpu");
   ASSERT_EQ(series.size(), 1u);
   EXPECT_EQ(series[0]->columns.at("v").times()[0], 100 * kSec);
+}
+
+TEST_F(RouterTest, PrecisionParameterScalesTimestamps) {
+  EXPECT_EQ(post_write(*router_, "cpu,hostname=h1 v=1 5\n", "", "s").status, 204);
+  const auto series = storage_.find_database("lms")->series_of("cpu");
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0]->columns.at("v").times()[0], 5 * kSec);
+  // And the same invalid-precision rejection as the TSDB façade.
+  EXPECT_EQ(post_write(*router_, "cpu,hostname=h1 v=1\n", "", "parsec").status, 400);
+}
+
+// ---------------------------------------------------------------- async ingest
+
+TEST_F(RouterTest, AsyncIngestBuffersUntilFlush) {
+  router_ = std::make_unique<MetricsRouter>(client_, clock_, async_opts(), &broker_);
+  auto n = router_->write_lines("cpu,hostname=h1 v=1 1000\ncpu,hostname=h2 v=2 1000\n");
+  ASSERT_TRUE(n.ok()) << n.message();
+  EXPECT_EQ(*n, 2u);
+  // Accepted but not forwarded yet.
+  EXPECT_EQ(router_->ingest_queue_points(), 2u);
+  EXPECT_EQ(storage_.totals().samples, 0u);
+  EXPECT_EQ(router_->stats().points_out, 0u);
+
+  EXPECT_EQ(router_->flush_ingest(), 2u);
+  EXPECT_EQ(router_->ingest_queue_points(), 0u);
+  EXPECT_EQ(storage_.totals().samples, 2u);
+  const auto s = router_->stats();
+  EXPECT_EQ(s.points_out, 2u);
+  EXPECT_EQ(s.ingest_flushed, 2u);
+}
+
+TEST_F(RouterTest, AsyncIngestBackpressureIs429WithRetryAfter) {
+  auto opts = async_opts();
+  opts.ingest_queue_capacity = 4;
+  router_ = std::make_unique<MetricsRouter>(client_, clock_, opts, &broker_);
+
+  ASSERT_TRUE(router_->write_lines("a,hostname=h1 v=1 1\na,hostname=h2 v=1 1\na,hostname=h3 v=1 1\n").ok());
+  const auto resp = post_write(
+      *router_, "b,hostname=h1 v=1 1\nb,hostname=h2 v=1 1\nb,hostname=h3 v=1 1\n");
+  EXPECT_EQ(resp.status, 429);
+  EXPECT_EQ(resp.headers.get_or("Retry-After", ""), "1");
+  auto body = json::parse(resp.body);
+  ASSERT_TRUE(body.ok()) << resp.body;
+  EXPECT_TRUE(util::starts_with((*body)["error"].as_string(), "backpressure"));
+  EXPECT_EQ(router_->stats().ingest_rejected, 3u);
+  // The rejected batch left no partial residue.
+  EXPECT_EQ(router_->ingest_queue_points(), 3u);
+
+  // Draining the queue makes room again.
+  EXPECT_EQ(router_->flush_ingest(), 3u);
+  EXPECT_EQ(post_write(*router_, "b,hostname=h1 v=1 1\n").status, 204);
+}
+
+TEST_F(RouterTest, AsyncIngestRoutesPerUserDuplicates) {
+  auto opts = async_opts();
+  opts.duplicate_per_user = true;
+  router_ = std::make_unique<MetricsRouter>(client_, clock_, opts, &broker_);
+
+  ASSERT_TRUE(router_->write_lines("cpu,hostname=h1,user=alice v=1 1000\n").ok());
+  // Primary point + its per-user copy, routed at accept time.
+  EXPECT_EQ(router_->ingest_queue_points(), 2u);
+  EXPECT_EQ(router_->flush_ingest(), 2u);
+  EXPECT_EQ(storage_.find_database("lms")->sample_count(), 1u);
+  ASSERT_NE(storage_.find_database("user_alice"), nullptr);
+  EXPECT_EQ(storage_.find_database("user_alice")->sample_count(), 1u);
+  const auto s = router_->stats();
+  EXPECT_EQ(s.points_out, 1u);
+  EXPECT_EQ(s.points_duplicated, 1u);
+}
+
+TEST_F(RouterTest, AsyncIngestShutdownDrainsQueue) {
+  router_ = std::make_unique<MetricsRouter>(client_, clock_, async_opts(), &broker_);
+  ASSERT_TRUE(router_->write_lines("cpu,hostname=h1 v=1 1000\n").ok());
+  EXPECT_EQ(storage_.totals().samples, 0u);
+  router_.reset();  // joins the flusher and drains what is left
+  EXPECT_EQ(storage_.totals().samples, 1u);
+}
+
+TEST_F(RouterTest, AsyncIngestBackgroundFlusherDelivers) {
+  auto opts = async_opts();
+  opts.ingest_flush_interval = util::kNanosPerMilli;  // real-time cadence
+  router_ = std::make_unique<MetricsRouter>(client_, clock_, opts, &broker_);
+  ASSERT_TRUE(router_->write_lines("cpu,hostname=h1 v=1 1000\n").ok());
+  // totals() snapshots, so polling concurrently with the flusher is safe.
+  for (int i = 0; i < 2000 && storage_.totals().samples == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(storage_.totals().samples, 1u);
+  EXPECT_EQ(router_->ingest_queue_points(), 0u);
+}
+
+// ---------------------------------------------------------------- shared errors
+
+TEST_F(RouterTest, WriteErrorResponsesMatchTsdbFacade) {
+  // The router and the TSDB façade share one parser: a hopeless batch and an
+  // invalid precision produce byte-identical error responses on both.
+  for (const auto& [body, precision] :
+       std::vector<std::pair<std::string, std::string>>{{"completely broken", ""},
+                                                        {"cpu,hostname=h1 v=1", "parsec"}}) {
+    net::HttpRequest req = net::HttpRequest::post("/write", body, "text/plain");
+    req.query.set("db", "lms");
+    if (!precision.empty()) req.query.set("precision", precision);
+    const auto from_router = router_->handler()(req);
+    const auto from_tsdb = db_api_.handler()(req);
+    EXPECT_EQ(from_router.status, 400);
+    EXPECT_EQ(from_router.status, from_tsdb.status);
+    EXPECT_EQ(from_router.body, from_tsdb.body);
+  }
+}
+
+TEST_F(RouterTest, UnknownDatabasePassesThrough404) {
+  // A back-end with auto-creation off rejects unknown databases; the router
+  // relays that 404 body unchanged so producers see one error shape.
+  tsdb::Storage strict_storage;
+  strict_storage.database("lms");
+  tsdb::HttpApi::Options api_opts;
+  api_opts.auto_create_dbs = false;
+  tsdb::HttpApi strict_api(strict_storage, clock_, api_opts);
+  network_.bind("strict", strict_api.handler());
+  MetricsRouter::Options opts;
+  opts.db_url = "inproc://strict";
+  opts.database = "lms";
+  MetricsRouter router(client_, clock_, opts, &broker_);
+
+  net::HttpRequest req =
+      net::HttpRequest::post("/write", "cpu,hostname=h1 v=1 1000\n", "text/plain");
+  req.query.set("db", "ghost");
+  const auto from_router = router.handler()(req);
+  const auto from_tsdb = strict_api.handler()(req);
+  EXPECT_EQ(from_router.status, 404);
+  EXPECT_EQ(from_tsdb.status, 404);
+  EXPECT_EQ(from_router.body, from_tsdb.body);
+  // Writes to the known database still pass.
+  EXPECT_EQ(router.handler()(net::HttpRequest::post(
+                "/write", "cpu,hostname=h1 v=1 1000\n", "text/plain")).status, 204);
 }
 
 // ---------------------------------------------------------------- pullproxy

@@ -278,6 +278,22 @@ TEST(Config, RejectsMalformedSection) {
   EXPECT_FALSE(Config::parse("[unclosed\nkey = v").ok());
 }
 
+TEST(Config, StripsInlineComments) {
+  const auto cfg = Config::parse(R"(
+[router]
+spool = 10000   ; store-and-forward cap
+async = true    # hash-style too
+path =          ; empty value, only a comment
+url = http://h:1/a;b?x#y
+)");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->get_int("router", "spool"), 10000);
+  EXPECT_EQ(cfg->get_bool("router", "async"), true);
+  EXPECT_EQ(cfg->get("router", "path"), "");
+  // Separators embedded in a value (no preceding whitespace) are kept.
+  EXPECT_EQ(cfg->get("router", "url"), "http://h:1/a;b?x#y");
+}
+
 TEST(Config, SetAndSerializeRoundTrip) {
   Config cfg;
   cfg.set("a", "x", "1");
