@@ -2,9 +2,11 @@
 # Sanitizer gate for the concurrency-heavy suites. Builds the stack twice
 # (-DLMS_SANITIZE=thread and =address, same flags the CMake presets use) and
 # runs the suites that exercise threads and raw buffers: obs (self-scrape
-# thread, tracing), net (TCP transport, pub/sub HWM), alert (evaluator vs.
-# gauge callbacks), tsdb (sharded storage under concurrent writers/queries/
-# retention), router (async ingest flusher thread).
+# thread, span recorder/exporter, the TracingStress.* concurrent
+# producers-vs-exporter-vs-sampling test), net (TCP transport, pub/sub HWM),
+# alert (evaluator vs. gauge callbacks), tsdb (sharded storage under
+# concurrent writers/queries/retention, trace assembly), router (async
+# ingest flusher thread, trace context hand-off to the flusher).
 #
 # Usage: ci/sanitize.sh [thread|address|all]   (default: all)
 

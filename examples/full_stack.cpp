@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "lms/cluster/harness.hpp"
+#include "lms/tsdb/trace_assembly.hpp"
 
 using namespace lms;
 
@@ -24,6 +25,7 @@ int main() {
   opts.record_findings = true;      // online findings stored as alert events
   opts.enable_self_scrape = true;   // the stack monitors itself (lms_internal)
   opts.enable_alerts = true;        // rule engine + per-host deadman watch
+  opts.enable_tracing = true;       // spans exported into the shared TSDB
   cluster::ClusterHarness harness(opts);
 
   // Alert on the stack's own ingest: if the router forwards nothing for a
@@ -178,6 +180,32 @@ int main() {
     if (!result.ok() || result->series.empty() || result->series[0].values.empty()) continue;
     std::printf("  %-22s %.0f\n", metric,
                 result->series[0].values[0][1].as_double());
+  }
+
+  // Distributed tracing: pick one collector delivery, export every span the
+  // stack recorded for it and print the assembled waterfall — one write,
+  // collector -> router -> TSDB, as a single story.
+  std::printf("\n-- distributed tracing (lms_traces -> /trace/<id>) --\n");
+  harness.run_for(opts.collect_interval);  // one more delivery cycle
+  const std::size_t exported = harness.drain_traces();
+  std::printf("exported %zu spans into the shared TSDB\n", exported);
+  const tsdb::ReadSnapshot snap = harness.storage().snapshot("lms");
+  std::uint64_t trace_id = 0;
+  util::TimeNs best_start = 0;
+  for (const tsdb::Series* s :
+       snap->series_matching(std::string(obs::kTraceMeasurement), {{"component", "collector"}})) {
+    const auto it = s->columns.find("span");
+    if (it == s->columns.end() || it->second.times().empty()) continue;
+    if (it->second.times().back() >= best_start) {
+      best_start = it->second.times().back();
+      trace_id = obs::parse_trace_id_hex(s->tag("trace_id")).value_or(0);
+    }
+  }
+  if (trace_id != 0) {
+    const tsdb::TraceTree tree = tsdb::assemble_trace(snap, trace_id);
+    std::printf("%s", tsdb::trace_tree_to_waterfall(tree).c_str());
+  } else {
+    std::printf("no collector trace found\n");
   }
   return 0;
 }

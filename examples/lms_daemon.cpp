@@ -18,6 +18,8 @@
 #include "lms/net/tcp_http.hpp"
 #include "lms/obs/metrics.hpp"
 #include "lms/obs/selfscrape.hpp"
+#include "lms/obs/trace.hpp"
+#include "lms/obs/traceexport.hpp"
 #include "lms/tsdb/http_api.hpp"
 #include "lms/tsdb/persist.hpp"
 #include "lms/util/config.hpp"
@@ -46,6 +48,12 @@ snapshot =               ; path for save/load across restarts (empty = off)
 [alerting]
 interval_seconds = 5     ; evaluator cadence while serving
 deadman_seconds = 30     ; fire when a host stops writing this long (0 = off)
+
+[tracing]
+sample_rate = 1.0        ; head-sampling probability for new root traces
+slow_keep_ms = 250       ; always keep spans slower than this (0 = off)
+export_seconds = 5       ; span-export cadence into the TSDB
+log_ring = 512           ; /debug/logs retention (entries)
 )";
 
 }  // namespace
@@ -64,12 +72,25 @@ int main(int argc, char** argv) {
   // servers/clients) reports into it, so GET /metrics shows the whole
   // process and one self-scrape covers the whole stack.
   obs::Registry registry;
+  // Span-ring gauges next to everything else; RAII unregistration.
+  obs::ScopedTraceMetrics trace_metrics(registry);
+
+  // Tracing policy from [tracing]: head sampling plus the slow-span
+  // always-keep rule, and a log ring so /debug/logs can answer "what did
+  // this trace log" on both services.
+  obs::set_trace_sample_rate(config->get_double_or("tracing", "sample_rate", 1.0));
+  obs::set_trace_slow_keep_ns(config->get_int_or("tracing", "slow_keep_ms", 0) *
+                              util::kNanosPerMilli);
+  util::LogRing log_ring(
+      static_cast<std::size_t>(config->get_int_or("tracing", "log_ring", 512)));
+  util::Logger::instance().set_sink(log_ring.sink());
 
   // Database back-end with its InfluxDB-compatible HTTP API.
   tsdb::Storage storage;
   util::WallClock& clock = util::WallClock::instance();
   tsdb::HttpApi::Options db_opts;
   db_opts.registry = &registry;
+  db_opts.log_ring = &log_ring;
   db_opts.default_db = config->get_or("database", "default_db", "lms");
   if (const auto r = config->get("database", "retention")) {
     if (auto d = tsdb::parse_duration(*r); d.ok()) db_opts.retention = *d;
@@ -96,6 +117,7 @@ int main(int argc, char** argv) {
   net::TcpHttpClient db_client(db_client_opts);
   core::MetricsRouter::Options router_opts;
   router_opts.registry = &registry;
+  router_opts.log_ring = &log_ring;
   router_opts.db_url = db_server.url();
   router_opts.database = db_opts.default_db;
   router_opts.duplicate_per_user = config->get_bool_or("router", "duplicate_per_user", false);
@@ -135,6 +157,23 @@ int main(int argc, char** argv) {
         return util::Status();
       },
       ss_opts);
+
+  // Trace exporter: the daemon's own spans (HTTP server/client, router
+  // write path, query execution) land in the TSDB it serves, so
+  // GET <db>/trace/<id> works on a live deployment.
+  obs::TraceExporter::Options te_opts;
+  te_opts.host = "lms-daemon";
+  te_opts.interval = static_cast<util::TimeNs>(
+      config->get_int_or("tracing", "export_seconds", 5)) * util::kNanosPerSecond;
+  obs::TraceExporter trace_exporter(
+      [&](const std::string& body) -> util::Status {
+        auto resp = scrape_client.post(
+            router_server.url() + "/write?db=" + db_opts.default_db, body, "text/plain");
+        if (!resp.ok()) return util::Status::error(resp.message());
+        if (!resp->ok()) return util::Status::error("HTTP " + std::to_string(resp->status));
+        return util::Status();
+      },
+      te_opts);
 
   // Alert evaluator against the same storage, driven from wall time in the
   // serve loop below: deadman watch over every host that ever wrote, plus a
@@ -204,6 +243,7 @@ int main(int argc, char** argv) {
 
   if (serve) {
     self_scrape.start();
+    trace_exporter.start();
     std::printf("serving for %d seconds (self-scrape every %lld s, alert eval every %lld s, "
                 "deadman %lld s)...\n",
                 serve_seconds,
@@ -216,6 +256,7 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::nanoseconds(alert_interval));
       alerts.run(clock.now());
     }
+    trace_exporter.stop();
     self_scrape.stop();
     std::printf("alerting: %llu evaluations, %llu transitions, %zu firing at shutdown\n",
                 static_cast<unsigned long long>(alerts.evaluations()),
@@ -236,6 +277,7 @@ int main(int argc, char** argv) {
     resp = client.post(router_server.url() + "/write?db=lms",
                        "cpu,hostname=selftest-host user_percent=42\n", "text/plain");
     check("metric write through router", resp.ok() && resp->status == 204);
+    (void)router.flush_ingest();  // don't race the async flusher before querying
     resp = client.get(db_server.url() + "/query?db=lms&q=" +
                       util::url_encode("SELECT user_percent FROM cpu WHERE jobid='1'"));
     check("enriched query via DB API",
@@ -249,6 +291,7 @@ int main(int argc, char** argv) {
           resp.ok() && resp->status == 200 &&
               resp->body.find("router_points_in 1") != std::string::npos);
     check("self-scrape into own TSDB", self_scrape.scrape_once().ok());
+    (void)router.flush_ingest();
     resp = client.get(db_server.url() + "/query?db=lms&q=" +
                       util::url_encode(
                           "SELECT last(value) FROM lms_internal WHERE metric='router_points_in'"));
@@ -270,12 +313,34 @@ int main(int argc, char** argv) {
     alerts.run(clock.now());
     check("alert evaluation (deadman clear)",
           alerts.evaluations() > 0 && alerts.firing_count() == 0);
+    // Tracing round trip: a root span around a write, exported into the
+    // TSDB, assembled back by the /trace endpoint.
+    std::uint64_t trace_id = 0;
+    {
+      obs::Span span("selftest.write", "daemon");
+      trace_id = span.context().trace_id;
+      resp = client.post(router_server.url() + "/write?db=lms",
+                         "cpu,hostname=selftest-host user_percent=43\n", "text/plain");
+      check("traced write through router", resp.ok() && resp->status == 204);
+    }
+    check("span export into own TSDB", trace_exporter.export_once().ok());
+    (void)router.flush_ingest();  // land the queued span points deterministically
+    resp = client.get(db_server.url() + "/trace/" + obs::trace_id_hex(trace_id));
+    check("trace assembly via /trace/<id>",
+          resp.ok() && resp->status == 200 &&
+              resp->body.find("selftest.write") != std::string::npos);
+    resp = client.get(db_server.url() + "/debug/logs");
+    check("/debug/logs serves the log ring", resp.ok() && resp->status == 200);
     std::printf("self-test %s\n", ok ? "passed" : "failed");
-    if (!ok) return 1;
+    if (!ok) {
+      util::Logger::instance().set_sink(nullptr);
+      return 1;
+    }
   }
 
   router_server.stop();
   db_server.stop();
+  util::Logger::instance().set_sink(nullptr);  // the ring dies with main()
   if (!snapshot_path.empty()) {
     if (auto status = tsdb::save_snapshot(storage, snapshot_path); status.ok()) {
       std::printf("snapshot saved to %s\n", snapshot_path.c_str());

@@ -156,9 +156,28 @@ ClusterHarness::ClusterHarness(Options options)
         ss_opts);
   }
 
-  // Trace-ring visibility: span recorded/evicted counts ride the same
-  // self-scrape as every other instrument.
-  obs::register_trace_metrics(registry_);
+  // Distributed tracing: head-sampling rate + a deterministic exporter
+  // draining the process-global recorder through the router (the same hop
+  // every collector batch takes). drain_traces() drives it; the real-time
+  // thread stays off so simulations remain reproducible.
+  prev_trace_sample_rate_ = obs::trace_sample_rate();
+  if (options_.enable_tracing) {
+    obs::set_trace_sample_rate(options_.trace_sample_rate);
+    obs::TraceExporter::Options te_opts;
+    te_opts.host = "lms-stack";
+    trace_exporter_ = std::make_unique<obs::TraceExporter>(
+        [this](const std::string& body) -> util::Status {
+          const std::string url = std::string("inproc://") + kRouterEndpoint +
+                                  "/write?db=" + options_.database;
+          auto resp = client_->post(url, body, "text/plain");
+          if (!resp.ok()) return util::Status::error(resp.message());
+          if (!resp->ok()) {
+            return util::Status::error("HTTP " + std::to_string(resp->status));
+          }
+          return util::Status();
+        },
+        te_opts);
+  }
 
   // Alerting: an evaluator over the shared storage, with a deadman watch
   // per node and transitions published on the "alerts" topic.
@@ -184,7 +203,21 @@ ClusterHarness::ClusterHarness(Options options)
   idle_activity_.kernel.mem_used_bytes = 2e9;
 }
 
-ClusterHarness::~ClusterHarness() { obs::remove_trace_metrics(registry_); }
+ClusterHarness::~ClusterHarness() {
+  // Head sampling is process-global; hand back whatever was configured
+  // before this harness so tests cannot leak a rate into each other.
+  obs::set_trace_sample_rate(prev_trace_sample_rate_);
+}
+
+std::size_t ClusterHarness::drain_traces() {
+  if (trace_exporter_ == nullptr) return 0;
+  const std::uint64_t before = trace_exporter_->spans_exported();
+  (void)trace_exporter_->export_once();
+  // Land the exported spans: with async ingest on they are still sitting in
+  // the router's queues after the POST above.
+  if (options_.async_ingest) (void)router_->flush_ingest();
+  return static_cast<std::size_t>(trace_exporter_->spans_exported() - before);
+}
 
 void ClusterHarness::set_node_active(const std::string& name, bool active) {
   for (auto& node : nodes_) {

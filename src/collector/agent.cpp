@@ -2,6 +2,7 @@
 
 #include "lms/lineproto/codec.hpp"
 #include "lms/obs/metrics.hpp"
+#include "lms/obs/trace.hpp"
 #include "lms/util/logging.hpp"
 
 namespace lms::collector {
@@ -87,6 +88,9 @@ std::size_t HostAgent::tick(util::TimeNs now) {
 }
 
 void HostAgent::flush(util::TimeNs now) {
+  // Root span of the delivery: every downstream hop (router write, async
+  // flush, TSDB append) joins this trace through the injected header.
+  obs::Span span("collector.flush", "collector");
   last_flush_ = now;
   while (!buffer_.empty()) {
     const std::size_t n = std::min(buffer_.size(), options_.max_batch_points);
@@ -97,6 +101,8 @@ void HostAgent::flush(util::TimeNs now) {
     if (outcome == SendOutcome::kRetryLater) {
       ++stats_.send_failures;
       if (failures_c_ != nullptr) failures_c_->inc();
+      span.set_ok(false);
+      span.set_note("send failed, batch requeued");
       return;  // keep the points queued for the next flush
     }
     buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(n));
@@ -150,16 +156,23 @@ net::HttpHandler HostAgent::handler() {
 }
 
 HostAgent::SendOutcome HostAgent::send_batch(const std::vector<lineproto::Point>& points) {
+  obs::Span span("collector.send", "collector");
+  span.set_note("points=" + std::to_string(points.size()));
   const std::string body = lineproto::serialize_batch(points);
   const std::string url = options_.router_url + "/write?db=" + options_.database;
   auto resp = client_.post(url, body, "text/plain");
   if (!resp.ok()) {
     LMS_WARN("agent") << "send failed: " << resp.message();
+    span.set_ok(false);
     return SendOutcome::kRetryLater;
   }
   if (!resp->ok()) {
     LMS_WARN("agent") << "router rejected batch: HTTP " << resp->status << " " << resp->body;
+    span.set_ok(false);
+    if (resp->status == 429) span.set_note("error=backpressure");
     // 4xx means the batch itself is malformed; retrying would loop forever.
+    // 429 is explicit backpressure: back off and retry, the points are fine.
+    if (resp->status == 429) return SendOutcome::kRetryLater;
     return resp->status >= 400 && resp->status < 500 ? SendOutcome::kDropBatch
                                                      : SendOutcome::kRetryLater;
   }

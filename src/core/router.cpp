@@ -89,6 +89,9 @@ net::HttpHandler MetricsRouter::handler() {
     }
     if (req.path == "/health") return net::health_response(health(false));
     if (req.path == "/ready") return net::ready_response(health(true));
+    if (req.path == "/debug/logs" && options_.log_ring != nullptr) {
+      return net::debug_logs_response(*options_.log_ring, req);
+    }
     return net::HttpResponse::not_found();
   };
 }
@@ -153,6 +156,11 @@ util::Result<std::size_t> MetricsRouter::write_points(tsdb::WriteBatch batch) {
     auto accepted = enqueue_ingest(batch);
     if (!accepted.ok()) {
       span.set_ok(false);
+      if (util::starts_with(accepted.message(), kBackpressurePrefix)) {
+        // Tag the span so a 429'd producer's trace shows *why* the write
+        // failed without needing the response body.
+        span.set_note("error=backpressure");
+      }
       return accepted;
     }
     // Publish on accept: stream analyzers see the enriched batch as soon as
@@ -248,13 +256,19 @@ util::Result<std::size_t> MetricsRouter::enqueue_ingest(const tsdb::WriteBatch& 
           std::to_string(ingest_points_) + " points queued, capacity " +
           std::to_string(options_.ingest_queue_capacity) + ")");
     }
+    // Capture the producer's trace context with the queued points: the
+    // batch that opens a queue carries its trace to the flusher (later
+    // coalesced writes ride along — first writer wins).
+    const obs::TraceContext trace = obs::current_trace();
     IngestBatch& primary = ingest_q_[batch.db];
     primary.db = batch.db;
+    if (primary.points.empty() && trace.valid()) primary.trace = trace;
     primary.points.insert(primary.points.end(), batch.points.begin(), batch.points.end());
     for (auto& [user, pts] : per_user) {
       IngestBatch& q = ingest_q_[options_.user_db_prefix + user];
       q.db = options_.user_db_prefix + user;
       q.duplicate = true;
+      if (q.points.empty() && trace.valid()) q.trace = trace;
       q.points.insert(q.points.end(), std::make_move_iterator(pts.begin()),
                       std::make_move_iterator(pts.end()));
     }
@@ -273,9 +287,11 @@ std::vector<MetricsRouter::IngestBatch> MetricsRouter::take_ingest_locked(
     IngestBatch taken;
     taken.db = q.db;
     taken.duplicate = q.duplicate;
+    taken.trace = q.trace;
     if (q.points.size() <= max_points) {
       taken.points = std::move(q.points);
       q.points.clear();
+      q.trace = obs::TraceContext{};  // next writer re-opens the batch
     } else {
       taken.points.assign(std::make_move_iterator(q.points.begin()),
                           std::make_move_iterator(q.points.begin() +
@@ -290,7 +306,13 @@ std::vector<MetricsRouter::IngestBatch> MetricsRouter::take_ingest_locked(
 }
 
 void MetricsRouter::forward_ingest(IngestBatch batch) {
+  // Adopt the enqueuing producer's context so the flush span (and the
+  // forward span + injected header below it) join the originating trace.
+  const obs::ScopedTraceContext adopt(batch.trace);
+  obs::Span span("router.flush", "router");
+  span.set_note("db=" + batch.db + " points=" + std::to_string(batch.points.size()));
   auto out = forward(batch.db, batch.points);
+  if (!out.status.ok()) span.set_ok(false);
   if (out.status.ok()) {
     if (batch.duplicate) {
       points_duplicated_.inc(batch.points.size());

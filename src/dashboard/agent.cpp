@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "lms/obs/trace.hpp"
+#include "lms/tsdb/trace_assembly.hpp"
 #include "lms/util/strings.hpp"
 
 namespace lms::dashboard {
@@ -393,10 +395,50 @@ net::HttpHandler DashboardAgent::handler() {
       }
       return net::HttpResponse::json(200, json::Value(std::move(out)).dump());
     }
+    if (util::starts_with(req.path, "/trace/")) return handle_trace(req);
     if (req.path == "/health") return net::health_response(health(false));
     if (req.path == "/ready") return net::ready_response(health(true));
     return net::HttpResponse::not_found();
   };
+}
+
+net::HttpResponse DashboardAgent::handle_trace(const net::HttpRequest& req) {
+  const auto id = obs::parse_trace_id_hex(
+      std::string_view(req.path).substr(std::string_view("/trace/").size()));
+  if (!id || *id == 0) {
+    return net::HttpResponse::bad_request("bad trace id (want 16 hex characters)");
+  }
+  const std::string db = req.query.get_or("db", options_.trace_database);
+  const tsdb::ReadSnapshot snap = storage_.snapshot(db);
+  if (!snap) return net::HttpResponse::not_found();
+  const tsdb::TraceTree tree = tsdb::assemble_trace(snap, *id);
+  if (req.query.get_or("format", "") == "json") {
+    return net::HttpResponse::json(200, tsdb::trace_tree_to_json(tree));
+  }
+  // Human view: the text waterfall wrapped in a minimal HTML page, linked
+  // from nothing — operators paste the trace id from a log line, an
+  // exemplar on /metrics or a slow-query entry.
+  std::string body = "<!DOCTYPE html><html><head><title>trace " +
+                     obs::trace_id_hex(*id) + "</title></head><body><pre>";
+  for (const char c : tsdb::trace_tree_to_waterfall(tree)) {
+    switch (c) {
+      case '&':
+        body += "&amp;";
+        break;
+      case '<':
+        body += "&lt;";
+        break;
+      case '>':
+        body += "&gt;";
+        break;
+      default:
+        body += c;
+    }
+  }
+  body += "</pre></body></html>";
+  auto resp = net::HttpResponse::text(200, std::move(body));
+  resp.headers.set("Content-Type", "text/html; charset=utf-8");
+  return resp;
 }
 
 }  // namespace lms::dashboard

@@ -30,6 +30,8 @@
 #include "lms/hpm/monitor.hpp"
 #include "lms/obs/metrics.hpp"
 #include "lms/obs/selfscrape.hpp"
+#include "lms/obs/trace.hpp"
+#include "lms/obs/traceexport.hpp"
 #include "lms/sched/scheduler.hpp"
 #include "lms/tsdb/continuous.hpp"
 #include "lms/tsdb/http_api.hpp"
@@ -79,6 +81,12 @@ class ClusterHarness {
     bool enable_alerts = false;
     util::TimeNs alert_interval = 30 * util::kNanosPerSecond;
     util::TimeNs deadman_window = 2 * util::kNanosPerMinute;
+    /// Distributed tracing: set the process-global head-sampling rate and
+    /// wire a TraceExporter that drains the span recorder through the
+    /// router into the shared TSDB. The exporter's real-time thread is
+    /// never started — traces land deterministically via drain_traces().
+    bool enable_tracing = false;
+    double trace_sample_rate = 1.0;
   };
 
   explicit ClusterHarness(Options options);
@@ -123,7 +131,15 @@ class ClusterHarness {
   obs::SelfScrape* self_scrape() { return self_scrape_.get(); }
   /// Present iff Options::enable_alerts.
   alert::Evaluator* alerts() { return alert_evaluator_.get(); }
+  /// Present iff Options::enable_tracing.
+  obs::TraceExporter* trace_exporter() { return trace_exporter_.get(); }
   const Options& options() const { return options_; }
+
+  /// Export every finished span into the TSDB now (and land it through the
+  /// async ingest queues when those are on), so a test can assemble traces
+  /// deterministically right after the spans of interest closed. Returns
+  /// the number of spans exported by this call. No-op without tracing.
+  std::size_t drain_traces();
 
   /// Simulate an agent crash: an inactive node's collector stops ticking
   /// (its kernel keeps running), so its metrics stop arriving and the
@@ -175,6 +191,11 @@ class ClusterHarness {
   Options options_;
   util::SimClock clock_;
   obs::Registry registry_;  // declared before the components that report into it
+  // Trace-ring gauges (spans recorded/evicted/retained) ride the same
+  // self-scrape as every other instrument; RAII so the callbacks can never
+  // outlive the registry.
+  obs::ScopedTraceMetrics trace_metrics_{registry_};
+  double prev_trace_sample_rate_ = 1.0;
   net::InprocNetwork network_;
   std::unique_ptr<net::InprocHttpClient> client_;
 
@@ -192,6 +213,7 @@ class ClusterHarness {
   std::unique_ptr<analysis::FindingRecorder> finding_recorder_;
   std::unique_ptr<tsdb::CqRunner> cq_runner_;
   std::unique_ptr<obs::SelfScrape> self_scrape_;
+  std::unique_ptr<obs::TraceExporter> trace_exporter_;
   std::unique_ptr<alert::Evaluator> alert_evaluator_;
   util::TimeNs last_maintenance_ = 0;
   util::TimeNs last_self_scrape_ = 0;

@@ -57,6 +57,7 @@
 #include "lms/obs/metrics.hpp"
 #include "lms/tsdb/ingest.hpp"
 #include "lms/util/clock.hpp"
+#include "lms/util/logging.hpp"
 
 namespace lms::core {
 
@@ -110,6 +111,9 @@ class MetricsRouter {
     /// owns a private registry, so per-instance counts stay exact; pass a
     /// shared registry to fold the router into a stack-wide self-scrape.
     obs::Registry* registry = nullptr;
+    /// Recent-log ring served at /debug/logs (nullptr = endpoint disabled).
+    /// The ring must outlive this router.
+    util::LogRing* log_ring = nullptr;
   };
 
   MetricsRouter(net::HttpClient& db_client, const util::Clock& clock, Options options,
@@ -200,6 +204,11 @@ class MetricsRouter {
     std::string db;
     bool duplicate = false;  ///< per-user copy (counts as duplicated, never spooled)
     std::vector<lineproto::Point> points;
+    /// Trace context of the producer whose write opened this batch (first
+    /// writer wins when batches coalesce). The flusher adopts it, so the
+    /// background forward span joins the trace that enqueued the points
+    /// instead of starting an anonymous root.
+    obs::TraceContext trace;
   };
 
   ForwardOutcome forward(const std::string& db, const std::vector<lineproto::Point>& points);

@@ -27,6 +27,9 @@ class DashboardAgent {
   struct Options {
     std::string database = "lms";
     std::string datasource = "lms";  ///< name of the Grafana datasource
+    /// Database holding the exported lms_traces spans (the waterfall view
+    /// reads it directly; usually the same shared TSDB the router feeds).
+    std::string trace_database = "lms";
   };
 
   DashboardAgent(tsdb::Storage& storage, const analysis::JobReporter& reporter,
@@ -74,10 +77,12 @@ class DashboardAgent {
   /// HTTP façade mimicking the relevant Grafana API surface:
   ///   GET  /api/dashboards/uid/<uid>  -> dashboard JSON
   ///   GET  /api/search                -> [{uid,title}]
+  ///   GET  /trace/<id16hex>           -> span waterfall (HTML; ?format=json)
   ///   GET  /health, /ready            -> JSON component status
   net::HttpHandler handler();
 
  private:
+  net::HttpResponse handle_trace(const net::HttpRequest& req);
   /// Discover application-level metric fields the job reported.
   std::vector<std::string> discover_user_fields(const std::string& job_id) const;
 

@@ -22,6 +22,7 @@
 
 #include "lms/net/http.hpp"
 #include "lms/util/clock.hpp"
+#include "lms/util/logging.hpp"
 
 namespace lms::net {
 
@@ -64,5 +65,12 @@ HttpResponse health_response(const ComponentHealth& health);
 
 /// Readiness answer: 200 only when status() is kOk, 503 otherwise.
 HttpResponse ready_response(const ComponentHealth& health);
+
+/// Shared GET /debug/logs answer: the ring's retained entries as JSON
+/// ({"dropped":N,"entries":[{"level","component","message"[,"trace_id"]}]}),
+/// filterable with ?trace=<id16hex> (400 on a malformed id). Served by the
+/// router and the TSDB API so every hop offers the same log/trace
+/// correlation view.
+HttpResponse debug_logs_response(const util::LogRing& ring, const HttpRequest& req);
 
 }  // namespace lms::net

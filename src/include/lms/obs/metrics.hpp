@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "lms/lineproto/point.hpp"
+#include "lms/obs/trace.hpp"
 #include "lms/util/clock.hpp"
 
 namespace lms::obs {
@@ -92,6 +93,7 @@ class Histogram {
   void record(std::uint64_t v) {
     buckets_[static_cast<std::size_t>(std::bit_width(v))].fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(v, std::memory_order_relaxed);
+    if (exemplar_enabled_.load(std::memory_order_relaxed)) maybe_record_exemplar(v);
   }
 
   /// Record the elapsed real time since `start_mono` (util::monotonic_now_ns).
@@ -114,11 +116,47 @@ class Histogram {
   };
   Summary summary() const;
 
+  /// Exemplars: an opt-in link from a latency distribution to one concrete
+  /// trace — the trace id active when the slowest observation (since the
+  /// last reset) was recorded. An alert firing on p99 can then jump straight
+  /// to `GET /trace/<id>` instead of guessing which request was slow. Only
+  /// head-sampled traces are eligible (an unsampled trace would dangle).
+  struct Exemplar {
+    std::uint64_t trace_id = 0;  ///< 0 = no exemplar captured yet
+    std::uint64_t value = 0;     ///< the recorded observation (e.g. ns)
+  };
+  void enable_exemplar() { exemplar_enabled_.store(true, std::memory_order_relaxed); }
+  bool exemplar_enabled() const { return exemplar_enabled_.load(std::memory_order_relaxed); }
+  Exemplar exemplar() const {
+    return Exemplar{ex_trace_.load(std::memory_order_relaxed),
+                    ex_value_.load(std::memory_order_relaxed)};
+  }
+  /// Restart the "slowest recent" window (e.g. after the alert resolved).
+  void reset_exemplar() {
+    ex_value_.store(0, std::memory_order_relaxed);
+    ex_trace_.store(0, std::memory_order_relaxed);
+  }
+
  private:
   friend class Registry;
   Histogram() = default;
+
+  /// value/trace stores are two separate relaxed atomics: a racing reader
+  /// can pair a value with a neighbouring trace — acceptable for a
+  /// monitoring hint, and the price of keeping record() lock-free.
+  void maybe_record_exemplar(std::uint64_t v) {
+    if (v < ex_value_.load(std::memory_order_relaxed)) return;
+    const TraceContext ctx = current_trace();
+    if (!ctx.valid() || !ctx.sampled) return;
+    ex_value_.store(v, std::memory_order_relaxed);
+    ex_trace_.store(ctx.trace_id, std::memory_order_relaxed);
+  }
+
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> sum_{0};
+  std::atomic<bool> exemplar_enabled_{false};
+  std::atomic<std::uint64_t> ex_value_{0};
+  std::atomic<std::uint64_t> ex_trace_{0};
 };
 
 /// A collected instrument value (see Registry::collect()).
@@ -129,6 +167,7 @@ struct Sample {
   Kind kind = Kind::kCounter;
   double value = 0;               ///< counter / gauge value
   Histogram::Summary histogram;   ///< kHistogram only
+  Histogram::Exemplar exemplar;   ///< kHistogram only; trace_id 0 = none
 };
 
 /// Named-instrument registry. Lookup interns the instrument under a mutex;

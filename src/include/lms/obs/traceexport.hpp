@@ -1,0 +1,113 @@
+#pragma once
+
+// Trace exporter: spans leave the process and land in the shared TSDB.
+//
+// The SpanRecorder (trace.hpp) is a per-process ring — good enough to ask
+// "where did this request spend its time" inside one process, useless once a
+// write crosses collector -> router -> TSDB. The TraceExporter closes that
+// gap: it periodically drains a recorder and writes the finished spans as
+// line-protocol points under one measurement ("lms_traces" by default)
+// through the same pipeline every collector batch takes, so spans from every
+// process of a deployment accumulate in one database and GET /trace/<id> on
+// the TSDB API (see tsdb/trace_assembly.hpp) can stitch them back into a
+// single waterfall.
+//
+// Export format — one point per span:
+//   measurement  lms_traces
+//   tags         trace_id=<016x>  component=<span component>  host=<host>
+//   fields       span="<self-contained JSON record>"   (string-valued)
+//                duration_ns=<int>  name="<span name>"
+//   timestamp    span start (wall ns)
+// The span JSON carries ids, name, parent, timing, ok and note, so a reader
+// never needs to row-align separate field columns — each value is the whole
+// span. Tagging by trace_id makes assembly a tag-index lookup.
+//
+// The write target is a callback (obs must not depend on net), exactly like
+// SelfScrape: pass a lambda that posts to "<router>/write?db=...". The
+// exporter wraps the write in a TraceSuppressGuard so exporting spans can
+// never generate spans about exporting spans.
+//
+// Two driving modes, mirroring SelfScrape:
+//   - export_once(): synchronous, for sim-clocked harnesses and tests,
+//   - start()/stop(): a real-time background thread for deployments.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "lms/lineproto/point.hpp"
+#include "lms/obs/trace.hpp"
+#include "lms/util/clock.hpp"
+#include "lms/util/status.hpp"
+
+namespace lms::obs {
+
+/// Default measurement span points are exported under.
+inline constexpr std::string_view kTraceMeasurement = "lms_traces";
+
+/// One span as one line-protocol point (see the format comment above).
+lineproto::Point span_to_point(const SpanRecord& span, std::string_view measurement,
+                               std::string_view host);
+
+class TraceExporter {
+ public:
+  /// Deliver one serialized line-protocol batch to the stack.
+  using WriteFn = std::function<util::Status(const std::string& lineproto_body)>;
+
+  struct Options {
+    std::string measurement = std::string(kTraceMeasurement);
+    /// Stamped as the `host` tag on every exported span — in a multi-process
+    /// deployment this is what tells two "router" spans apart.
+    std::string host;
+    /// Interval for the background thread (real time).
+    util::TimeNs interval = 10 * util::kNanosPerSecond;
+    /// Upper bound on spans taken per export (0 = drain everything).
+    std::size_t max_spans_per_export = 2048;
+    /// Recorder to drain; nullptr = SpanRecorder::global().
+    SpanRecorder* recorder = nullptr;
+  };
+
+  TraceExporter(WriteFn write, Options options);
+  ~TraceExporter();
+  TraceExporter(const TraceExporter&) = delete;
+  TraceExporter& operator=(const TraceExporter&) = delete;
+
+  /// Drain + serialize + write one batch now. Returns OK when there was
+  /// nothing to export. Spans of a failed write are dropped (counted in
+  /// spans_dropped) — the recorder ring would only re-evict them anyway.
+  util::Status export_once();
+
+  /// Start the periodic background exporter. No-op if already running.
+  void start();
+  /// Stop and join the background thread (also run by the destructor).
+  void stop();
+  bool running() const { return running_.load(); }
+
+  std::uint64_t exports() const { return exports_.load(); }
+  std::uint64_t failures() const { return failures_.load(); }
+  std::uint64_t spans_exported() const { return spans_exported_.load(); }
+  std::uint64_t spans_dropped() const { return spans_dropped_.load(); }
+
+ private:
+  void run();
+
+  WriteFn write_;
+  Options options_;
+  SpanRecorder& recorder_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> exports_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> spans_exported_{0};
+  std::atomic<std::uint64_t> spans_dropped_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace lms::obs

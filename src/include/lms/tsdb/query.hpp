@@ -11,7 +11,8 @@
 //     [ORDER BY time DESC] [LIMIT n]
 //   SHOW DATABASES | SHOW MEASUREMENTS | SHOW SERIES [FROM m] |
 //   SHOW FIELD KEYS FROM m | SHOW TAG KEYS FROM m |
-//   SHOW TAG VALUES FROM m WITH KEY = "k"
+//   SHOW TAG VALUES FROM m WITH KEY = "k" |
+//   EXPLAIN SELECT ...  (scan statistics only — series, points, shards)
 //
 //   <expr> := field | <agg>(field) [AS alias] | percentile(field, p)
 //           | derivative(field[, <dur>])
@@ -96,10 +97,23 @@ struct Statement {
   SelectStatement select;     // for kSelect
   std::string measurement;    // for SHOW ... FROM m
   std::string with_key;       // for SHOW TAG VALUES
+  /// "EXPLAIN SELECT ...": walk the same series/columns and report the scan
+  /// statistics, but skip materializing result rows.
+  bool explain = false;
 };
 
 /// Parse one statement. `now` resolves now() in time conditions.
 util::Result<Statement> parse_query(std::string_view text, TimeNs now);
+
+/// Query-engine introspection: what one statement actually scanned. Filled
+/// by execute()/Engine::query() when the caller passes a stats out-param,
+/// attached to the per-query span, the slow-query ring and EXPLAIN output.
+struct QueryStats {
+  std::uint64_t measurements_scanned = 0;  ///< >1 only for measurement globs
+  std::uint64_t series_scanned = 0;        ///< series surviving tag filtering
+  std::uint64_t points_examined = 0;       ///< samples gathered across field exprs
+  std::uint64_t shards_touched = 0;        ///< distinct storage stripes hit
+};
 
 /// Marker value used in result rows for missing cells under fill(null);
 /// encoded as JSON null by to_influx_json().
@@ -122,12 +136,16 @@ struct QueryResult {
 
 /// Execute against a read snapshot (the snapshot keeps the series views
 /// stable for the duration of the query). An empty snapshot is an error.
-util::Result<QueryResult> execute(const ReadSnapshot& snapshot, const Statement& stmt);
+/// `stats`, when non-null, receives the scan statistics; for explain
+/// statements the result is empty and only the statistics are produced.
+util::Result<QueryResult> execute(const ReadSnapshot& snapshot, const Statement& stmt,
+                                  QueryStats* stats = nullptr);
 
 /// Execute against one database. Concurrency note: the caller must hold a
 /// ReadSnapshot of this database (or be the sole thread touching it, as in
 /// unit tests); prefer the snapshot overload.
-util::Result<QueryResult> execute(const Database& db, const Statement& stmt);
+util::Result<QueryResult> execute(const Database& db, const Statement& stmt,
+                                  QueryStats* stats = nullptr);
 
 /// Convenience façade combining storage, snapshotting, parsing and execution.
 class Engine {
@@ -136,7 +154,7 @@ class Engine {
 
   /// Parse + execute `query` against database `db`.
   util::Result<QueryResult> query(const std::string& db, std::string_view query_text,
-                                  TimeNs now);
+                                  TimeNs now, QueryStats* stats = nullptr);
 
   /// SHOW DATABASES works without a database.
   Storage& storage() { return storage_; }

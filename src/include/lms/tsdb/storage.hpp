@@ -134,6 +134,11 @@ class Database {
   const std::string& name() const { return name_; }
   std::size_t shard_count() const { return shards_.size(); }
 
+  /// Which stripe a series identity hashes to — the query engine uses this
+  /// to report how many distinct shards a statement touched (EXPLAIN,
+  /// /debug/slow_queries). `tags` must be the series' sorted tag set.
+  std::size_t shard_of_key(std::string_view measurement, const std::vector<Tag>& tags) const;
+
   /// Ingest one normalized point. Points with timestamp 0 get `default_time`.
   void write(const Point& point, TimeNs default_time);
 

@@ -22,7 +22,17 @@ std::string_view log_level_name(LogLevel level);
 /// Process-wide logging configuration.
 class Logger {
  public:
-  using Sink = std::function<void(LogLevel, std::string_view component, std::string_view msg)>;
+  /// `trace_id` is the active trace of the logging thread (0 = untraced),
+  /// resolved through the trace provider at log time.
+  using Sink = std::function<void(LogLevel, std::string_view component, std::string_view msg,
+                                  std::uint64_t trace_id)>;
+
+  /// Log/trace correlation hook: returns the calling thread's active trace
+  /// id, or 0 when untraced. util cannot depend on obs, so the tracing layer
+  /// installs this at static-init time (see obs/trace.cpp); a plain function
+  /// pointer keeps the lookup lock-free on the log path.
+  using TraceIdFn = std::uint64_t (*)();
+  static void set_trace_provider(TraceIdFn fn);
 
   static Logger& instance();
 
@@ -31,9 +41,10 @@ class Logger {
 
   /// Replace the output sink. Pass nullptr to restore the default sink,
   /// which writes to stderr as
-  ///   <utc-timestamp> mono=<ns> [LEVEL] component: message
-  /// carrying both wall-clock time (for humans correlating with external
-  /// events) and the monotonic counter (for ordering across clock jumps).
+  ///   <utc-timestamp> mono=<ns> [trace=<id:016x>] [LEVEL] component: message
+  /// carrying wall-clock time (for humans correlating with external events),
+  /// the monotonic counter (for ordering across clock jumps) and — for lines
+  /// emitted inside an active span — the trace id.
   void set_sink(Sink sink);
 
   void log(LogLevel level, std::string_view component, std::string_view msg);
@@ -56,6 +67,7 @@ class LogRing {
     LogLevel level;
     std::string component;
     std::string message;
+    std::uint64_t trace_id = 0;  ///< active trace at log time (0 = untraced)
   };
 
   explicit LogRing(std::size_t capacity = 256);
@@ -65,7 +77,11 @@ class LogRing {
 
   /// Snapshot of the retained entries, oldest first.
   std::vector<Entry> entries() const;
-  /// Retained entries formatted as "[LEVEL] component: message".
+  /// Retained entries of one trace, oldest first (the /debug/logs?trace=
+  /// filter).
+  std::vector<Entry> entries_for_trace(std::uint64_t trace_id) const;
+  /// Retained entries formatted as "[LEVEL] trace=<id:016x> component:
+  /// message" (the trace token is omitted for untraced lines).
   std::vector<std::string> lines() const;
 
   std::size_t size() const;

@@ -1,6 +1,7 @@
 #include "lms/net/health.hpp"
 
 #include "lms/json/json.hpp"
+#include "lms/obs/trace.hpp"
 
 namespace lms::net {
 
@@ -61,6 +62,35 @@ HttpResponse health_response(const ComponentHealth& health) {
 HttpResponse ready_response(const ComponentHealth& health) {
   const int status = health.status() == HealthStatus::kOk ? 200 : 503;
   return HttpResponse::json(status, health.to_json());
+}
+
+HttpResponse debug_logs_response(const util::LogRing& ring, const HttpRequest& req) {
+  std::uint64_t trace_filter = 0;
+  const std::string want = req.query.get_or("trace", "");
+  if (!want.empty()) {
+    const auto id = obs::parse_trace_id_hex(want);
+    if (!id || *id == 0) {
+      json::Object err;
+      err["error"] = "bad trace id (want 16 hex characters)";
+      return HttpResponse::json(400, json::Value(std::move(err)).dump());
+    }
+    trace_filter = *id;
+  }
+  const std::vector<util::LogRing::Entry> entries =
+      trace_filter != 0 ? ring.entries_for_trace(trace_filter) : ring.entries();
+  json::Object top;
+  top["dropped"] = static_cast<std::int64_t>(ring.dropped());
+  json::Array arr;
+  for (const util::LogRing::Entry& e : entries) {
+    json::Object o;
+    o["level"] = std::string(util::log_level_name(e.level));
+    o["component"] = e.component;
+    o["message"] = e.message;
+    if (e.trace_id != 0) o["trace_id"] = obs::trace_id_hex(e.trace_id);
+    arr.emplace_back(std::move(o));
+  }
+  top["entries"] = std::move(arr);
+  return HttpResponse::json(200, json::Value(std::move(top)).dump());
 }
 
 }  // namespace lms::net

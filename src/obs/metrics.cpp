@@ -127,6 +127,7 @@ std::vector<Sample> Registry::collect() const {
       s.labels = key.labels;
       s.kind = Sample::Kind::kHistogram;
       s.histogram = h->summary();
+      if (h->exemplar_enabled()) s.exemplar = h->exemplar();
       out.push_back(std::move(s));
     }
     fns.reserve(gauge_fns_.size());
@@ -211,6 +212,14 @@ std::string render_text(const Registry& registry) {
         append_series(out, s.name, s.labels, "_p50", s.histogram.p50);
         append_series(out, s.name, s.labels, "_p90", s.histogram.p90);
         append_series(out, s.name, s.labels, "_p99", s.histogram.p99);
+        if (s.exemplar.trace_id != 0) {
+          // The slowest recent observation with the trace that produced it —
+          // the alert-to-waterfall bridge (fetch it at GET /trace/<id>).
+          Labels ex_labels = s.labels;
+          ex_labels.emplace_back("trace_id", trace_id_hex(s.exemplar.trace_id));
+          append_series(out, s.name, ex_labels, "_exemplar",
+                        static_cast<double>(s.exemplar.value));
+        }
         break;
     }
   }

@@ -1,17 +1,26 @@
 #include "lms/obs/trace.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 
 #include "lms/obs/metrics.hpp"
+#include "lms/util/logging.hpp"
 
 namespace lms::obs {
 
 namespace {
 
 thread_local TraceContext t_current;
+thread_local int t_suppress_depth = 0;
 
 std::atomic<bool> g_tracing_enabled{true};
+/// Head-sampling state: the rate (double bits, for readback) plus the
+/// precomputed uint64 threshold the per-trace hash is compared against.
+std::atomic<std::uint64_t> g_sample_rate_bits{std::bit_cast<std::uint64_t>(1.0)};
+std::atomic<std::uint64_t> g_sample_threshold{~0ULL};
+std::atomic<bool> g_keep_errors{true};
+std::atomic<std::int64_t> g_slow_keep_ns{0};
 
 std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
@@ -19,6 +28,16 @@ std::uint64_t splitmix64(std::uint64_t x) {
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
 }
+
+/// Log/trace correlation: installed into util::Logger at static-init time
+/// (util cannot depend on obs, so the dependency is inverted through a
+/// function pointer). Every binary that links obs gets correlated logs.
+std::uint64_t current_trace_id_for_logging() { return t_current.trace_id; }
+
+const bool g_log_provider_installed = [] {
+  util::Logger::set_trace_provider(&current_trace_id_for_logging);
+  return true;
+}();
 
 }  // namespace
 
@@ -32,11 +51,17 @@ std::uint64_t new_trace_id() {
   return id;
 }
 
+std::string trace_id_hex(std::uint64_t id) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(id));
+  return std::string(buf);
+}
+
 std::string format_trace_header(const TraceContext& ctx) {
-  char buf[36];
-  std::snprintf(buf, sizeof(buf), "%016llx-%016llx",
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%016llx-%016llx%s",
                 static_cast<unsigned long long>(ctx.trace_id),
-                static_cast<unsigned long long>(ctx.span_id));
+                static_cast<unsigned long long>(ctx.span_id), ctx.sampled ? "" : "-u");
   return std::string(buf);
 }
 
@@ -62,12 +87,19 @@ std::optional<std::uint64_t> parse_hex16(std::string_view s) {
 
 }  // namespace
 
+std::optional<std::uint64_t> parse_trace_id_hex(std::string_view s) { return parse_hex16(s); }
+
 std::optional<TraceContext> parse_trace_header(std::string_view value) {
+  bool sampled = true;
+  if (value.size() == 35 && value.substr(33) == "-u") {
+    sampled = false;
+    value = value.substr(0, 33);
+  }
   if (value.size() != 33 || value[16] != '-') return std::nullopt;
   const auto trace = parse_hex16(value.substr(0, 16));
   const auto span = parse_hex16(value.substr(17));
   if (!trace || !span || *trace == 0) return std::nullopt;
-  return TraceContext{*trace, *span};
+  return TraceContext{*trace, *span, sampled};
 }
 
 void set_tracing_enabled(bool enabled) {
@@ -75,6 +107,36 @@ void set_tracing_enabled(bool enabled) {
 }
 
 bool tracing_enabled() { return g_tracing_enabled.load(std::memory_order_relaxed); }
+
+void set_trace_sample_rate(double rate) {
+  rate = std::clamp(rate, 0.0, 1.0);
+  g_sample_rate_bits.store(std::bit_cast<std::uint64_t>(rate), std::memory_order_relaxed);
+  // rate 1.0 maps to "every hash passes": 2^64 does not fit a uint64, so the
+  // all-ones threshold is used (loses one trace in 2^64 — irrelevant).
+  const std::uint64_t threshold =
+      rate >= 1.0 ? ~0ULL : static_cast<std::uint64_t>(rate * 18446744073709551616.0);
+  g_sample_threshold.store(threshold, std::memory_order_relaxed);
+}
+
+double trace_sample_rate() {
+  return std::bit_cast<double>(g_sample_rate_bits.load(std::memory_order_relaxed));
+}
+
+bool trace_head_sampled(std::uint64_t trace_id) {
+  const std::uint64_t threshold = g_sample_threshold.load(std::memory_order_relaxed);
+  if (threshold == ~0ULL) return true;
+  // Re-mix the id so the decision is independent of the id-generation
+  // sequence (ids are themselves splitmix outputs of a counter).
+  return splitmix64(trace_id ^ 0xa5a5a5a5a5a5a5a5ULL) < threshold;
+}
+
+void set_trace_keep_errors(bool keep) { g_keep_errors.store(keep, std::memory_order_relaxed); }
+bool trace_keep_errors() { return g_keep_errors.load(std::memory_order_relaxed); }
+
+void set_trace_slow_keep_ns(std::int64_t threshold_ns) {
+  g_slow_keep_ns.store(threshold_ns, std::memory_order_relaxed);
+}
+std::int64_t trace_slow_keep_ns() { return g_slow_keep_ns.load(std::memory_order_relaxed); }
 
 SpanRecorder::SpanRecorder(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
 
@@ -108,6 +170,20 @@ std::vector<SpanRecord> SpanRecorder::recent(std::size_t n) const {
   return std::vector<SpanRecord>(ring_.end() - static_cast<std::ptrdiff_t>(count), ring_.end());
 }
 
+std::vector<SpanRecord> SpanRecorder::drain(std::size_t max_spans) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t count =
+      max_spans == 0 ? ring_.size() : std::min(max_spans, ring_.size());
+  std::vector<SpanRecord> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(std::move(ring_.front()));
+    ring_.pop_front();
+  }
+  drained_.fetch_add(count, std::memory_order_relaxed);
+  return out;
+}
+
 std::size_t SpanRecorder::size() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return ring_.size();
@@ -119,22 +195,38 @@ void SpanRecorder::clear() {
 }
 
 Span::Span(std::string name, std::string component, SpanRecorder* recorder) {
-  if (!tracing_enabled()) return;
+  if (!tracing_enabled() || tracing_suppressed()) return;
   active_ = true;
   recorder_ = recorder != nullptr ? recorder : &SpanRecorder::global();
   prev_ = t_current;
-  ctx_.trace_id = prev_.valid() ? prev_.trace_id : new_trace_id();
+  if (prev_.valid()) {
+    ctx_.trace_id = prev_.trace_id;
+    ctx_.sampled = prev_.sampled;
+  } else {
+    ctx_.trace_id = new_trace_id();
+    ctx_.sampled = trace_head_sampled(ctx_.trace_id);
+  }
   ctx_.span_id = new_trace_id();
   t_current = ctx_;
   name_ = std::move(name);
   component_ = std::move(component);
-  start_wall_ = util::WallClock::instance().now();
   start_mono_ = util::monotonic_now_ns();
+  // Unsampled spans skip the wall-clock read; if a tail-keep rule fires the
+  // destructor reconstructs the start from now - duration.
+  if (ctx_.sampled) start_wall_ = util::WallClock::instance().now();
 }
 
 Span::~Span() {
   if (!active_) return;
   t_current = prev_;
+  const std::int64_t duration = util::monotonic_now_ns() - start_mono_;
+  if (!ctx_.sampled) {
+    const std::int64_t slow = trace_slow_keep_ns();
+    const bool keep =
+        (!ok_ && trace_keep_errors()) || (slow > 0 && duration >= slow);
+    if (!keep) return;
+    start_wall_ = util::WallClock::instance().now() - duration;
+  }
   SpanRecord r;
   r.trace_id = ctx_.trace_id;
   r.span_id = ctx_.span_id;
@@ -142,11 +234,16 @@ Span::~Span() {
   r.name = std::move(name_);
   r.component = std::move(component_);
   r.start_wall_ns = start_wall_;
-  r.duration_ns = util::monotonic_now_ns() - start_mono_;
+  r.duration_ns = duration;
   r.ok = ok_;
   r.note = std::move(note_);
   recorder_->record(std::move(r));
 }
+
+TraceSuppressGuard::TraceSuppressGuard() { ++t_suppress_depth; }
+TraceSuppressGuard::~TraceSuppressGuard() { --t_suppress_depth; }
+
+bool tracing_suppressed() { return t_suppress_depth > 0; }
 
 void register_trace_metrics(Registry& registry) {
   register_trace_metrics(registry, SpanRecorder::global());
@@ -166,6 +263,17 @@ void remove_trace_metrics(Registry& registry) {
   registry.remove_gauge_fn("trace_spans_evicted");
   registry.remove_gauge_fn("trace_spans_retained");
 }
+
+ScopedTraceMetrics::ScopedTraceMetrics(Registry& registry) : registry_(registry) {
+  register_trace_metrics(registry_);
+}
+
+ScopedTraceMetrics::ScopedTraceMetrics(Registry& registry, SpanRecorder& recorder)
+    : registry_(registry) {
+  register_trace_metrics(registry_, recorder);
+}
+
+ScopedTraceMetrics::~ScopedTraceMetrics() { remove_trace_metrics(registry_); }
 
 ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx) : prev_(t_current) {
   if (ctx.valid()) t_current = ctx;

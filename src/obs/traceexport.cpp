@@ -1,0 +1,148 @@
+#include "lms/obs/traceexport.hpp"
+
+#include <chrono>
+
+#include "lms/lineproto/codec.hpp"
+#include "lms/util/logging.hpp"
+
+namespace lms::obs {
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+/// The self-contained span record carried in the "span" field. Ids are hex
+/// strings (JSON numbers lose precision past 2^53), timings are integers.
+std::string span_json(const SpanRecord& s) {
+  std::string out = "{\"span_id\":\"";
+  out += trace_id_hex(s.span_id);
+  out += "\",\"parent\":\"";
+  out += trace_id_hex(s.parent_span_id);
+  out += "\",\"name\":\"";
+  append_json_escaped(out, s.name);
+  out += "\",\"start_ns\":";
+  out += std::to_string(s.start_wall_ns);
+  out += ",\"duration_ns\":";
+  out += std::to_string(s.duration_ns);
+  out += ",\"ok\":";
+  out += s.ok ? "true" : "false";
+  if (!s.note.empty()) {
+    out += ",\"note\":\"";
+    append_json_escaped(out, s.note);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+lineproto::Point span_to_point(const SpanRecord& span, std::string_view measurement,
+                               std::string_view host) {
+  lineproto::Point p;
+  p.measurement = std::string(measurement);
+  p.set_tag("trace_id", trace_id_hex(span.trace_id));
+  p.set_tag("component", span.component);
+  if (!host.empty()) p.set_tag("host", host);
+  p.add_field("span", span_json(span));
+  p.add_field("duration_ns", span.duration_ns);
+  p.add_field("name", span.name);
+  p.timestamp = span.start_wall_ns;
+  p.normalize();
+  return p;
+}
+
+TraceExporter::TraceExporter(WriteFn write, Options options)
+    : write_(std::move(write)),
+      options_(std::move(options)),
+      recorder_(options_.recorder != nullptr ? *options_.recorder : SpanRecorder::global()) {}
+
+TraceExporter::~TraceExporter() { stop(); }
+
+util::Status TraceExporter::export_once() {
+  // Suppress tracing for the whole export: the write below travels through
+  // the router like any batch, and spans about span export would feed back.
+  const TraceSuppressGuard suppress;
+  const std::vector<SpanRecord> spans = recorder_.drain(options_.max_spans_per_export);
+  if (spans.empty()) return {};
+  std::vector<lineproto::Point> points;
+  points.reserve(spans.size());
+  for (const SpanRecord& s : spans) {
+    points.push_back(span_to_point(s, options_.measurement, options_.host));
+  }
+  util::Status status = write_(lineproto::serialize_batch(points));
+  exports_.fetch_add(1, std::memory_order_relaxed);
+  if (!status.ok()) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    spans_dropped_.fetch_add(spans.size(), std::memory_order_relaxed);
+    LMS_WARN("obs") << "trace export failed (" << spans.size()
+                    << " spans dropped): " << status.message();
+    return status;
+  }
+  spans_exported_.fetch_add(spans.size(), std::memory_order_relaxed);
+  return status;
+}
+
+void TraceExporter::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void TraceExporter::stop() {
+  if (!running_.exchange(false)) return;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final drain so spans recorded just before shutdown are not lost.
+  export_once();
+}
+
+void TraceExporter::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    const auto wait = std::chrono::nanoseconds(options_.interval > 0 ? options_.interval
+                                                                     : util::kNanosPerSecond);
+    if (cv_.wait_for(lock, wait, [this] { return stop_requested_; })) break;
+    lock.unlock();
+    export_once();
+    lock.lock();
+  }
+}
+
+}  // namespace lms::obs

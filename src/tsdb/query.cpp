@@ -520,9 +520,15 @@ Result<Statement> parse_show(Lexer& lex) {
 
 util::Result<Statement> parse_query(std::string_view text, TimeNs now) {
   Lexer lex(text);
+  if (lex.accept_keyword("explain")) {
+    if (!lex.accept_keyword("select")) return parse_error("expected SELECT after EXPLAIN");
+    auto stmt = parse_select(lex, now);
+    if (stmt.ok()) stmt->explain = true;
+    return stmt;
+  }
   if (lex.accept_keyword("select")) return parse_select(lex, now);
   if (lex.accept_keyword("show")) return parse_show(lex);
-  return parse_error("expected SELECT or SHOW");
+  return parse_error("expected SELECT, EXPLAIN SELECT or SHOW");
 }
 
 // ---------------------------------------------------------------- executor
@@ -545,9 +551,19 @@ struct SamplesView {
   std::vector<Sample> samples;  // merged, sorted by time
 };
 
+/// Accumulates scan statistics across the (possibly glob-expanded) selects
+/// of one statement; the shard set dedups stripes across measurements.
+struct StatsCollector {
+  QueryStats stats;
+  std::set<std::size_t> shards;
+};
+
 /// Merge samples of `field` from all series in `group` within [tmin, tmax).
+/// `points_examined` counts the gathered samples (also in count-only mode,
+/// where nothing is materialized — the EXPLAIN path).
 SamplesView gather(const std::vector<const Series*>& group, const std::string& field,
-                   std::optional<TimeNs> tmin, std::optional<TimeNs> tmax) {
+                   std::optional<TimeNs> tmin, std::optional<TimeNs> tmax,
+                   std::uint64_t* points_examined, bool materialize = true) {
   SamplesView out;
   for (const Series* s : group) {
     const auto cit = s->columns.find(field);
@@ -555,6 +571,8 @@ SamplesView gather(const std::vector<const Series*>& group, const std::string& f
     const Column& col = cit->second;
     const std::size_t begin = tmin ? col.lower_bound(*tmin) : 0;
     const std::size_t end = tmax ? col.lower_bound(*tmax) : col.size();
+    if (points_examined != nullptr) *points_examined += end - begin;
+    if (!materialize) continue;
     for (std::size_t i = begin; i < end; ++i) {
       out.samples.push_back(Sample{col.times()[i], col.values()[i]});
     }
@@ -754,7 +772,8 @@ ResultSeries build_result_series(const SelectStatement& sel, const std::string& 
   return rs;
 }
 
-util::Result<QueryResult> execute_select(const Database& db, const SelectStatement& sel) {
+util::Result<QueryResult> execute_select(const Database& db, const SelectStatement& sel,
+                                         StatsCollector* sc, bool explain_only) {
   QueryResult result;
   // Tag equality conditions narrow the series set through the index;
   // negations and glob matches filter the candidates afterwards.
@@ -778,6 +797,13 @@ util::Result<QueryResult> execute_select(const Database& db, const SelectStateme
                        return false;
                      }),
       candidates.end());
+  if (sc != nullptr) {
+    sc->stats.measurements_scanned += 1;
+    sc->stats.series_scanned += candidates.size();
+    for (const Series* s : candidates) {
+      sc->shards.insert(db.shard_of_key(s->measurement, s->tags));
+    }
+  }
   if (candidates.empty()) return result;
 
   // Group series by the group-by tag values ("*" = every tag distinct).
@@ -797,13 +823,17 @@ util::Result<QueryResult> execute_select(const Database& db, const SelectStateme
     groups[key].push_back(s);
   }
 
+  std::uint64_t* points_counter = sc != nullptr ? &sc->stats.points_examined : nullptr;
   for (const auto& [group_tags, group_series] : groups) {
     std::vector<ColumnSeries> columns;
     columns.reserve(sel.fields.size());
     for (const auto& fe : sel.fields) {
-      const SamplesView view = gather(group_series, fe.field, sel.time_min, sel.time_max);
+      const SamplesView view = gather(group_series, fe.field, sel.time_min, sel.time_max,
+                                      points_counter, /*materialize=*/!explain_only);
+      if (explain_only) continue;
       columns.push_back(evaluate_expr(fe, view, sel));
     }
+    if (explain_only) continue;
     ResultSeries rs = build_result_series(sel, sel.measurement, group_tags, columns);
     if (!rs.values.empty()) result.series.push_back(std::move(rs));
   }
@@ -823,7 +853,17 @@ ResultSeries single_column_series(std::string name, std::string column,
 
 }  // namespace
 
-util::Result<QueryResult> execute(const Database& db, const Statement& stmt) {
+util::Result<QueryResult> execute(const Database& db, const Statement& stmt,
+                                  QueryStats* stats) {
+  StatsCollector collector;
+  StatsCollector* sc = stats != nullptr ? &collector : nullptr;
+  const auto finish = [&](util::Result<QueryResult> r) {
+    if (stats != nullptr) {
+      collector.stats.shards_touched = collector.shards.size();
+      *stats = collector.stats;
+    }
+    return r;
+  };
   switch (stmt.kind) {
     case StatementKind::kSelect: {
       // Measurement globs ("likwid_*"): run the select once per matching
@@ -836,13 +876,13 @@ util::Result<QueryResult> execute(const Database& db, const Statement& stmt) {
           if (!util::glob_match(stmt.select.measurement, m)) continue;
           SelectStatement per = stmt.select;
           per.measurement = m;
-          auto r = execute_select(db, per);
-          if (!r.ok()) return r;
+          auto r = execute_select(db, per, sc, stmt.explain);
+          if (!r.ok()) return finish(std::move(r));
           for (auto& rs : r->series) combined.series.push_back(std::move(rs));
         }
-        return combined;
+        return finish(std::move(combined));
       }
-      return execute_select(db, stmt.select);
+      return finish(execute_select(db, stmt.select, sc, stmt.explain));
     }
     case StatementKind::kShowMeasurements: {
       QueryResult r;
@@ -892,15 +932,16 @@ util::Result<QueryResult> execute(const Database& db, const Statement& stmt) {
   return util::Result<QueryResult>::error("unhandled statement kind");
 }
 
-util::Result<QueryResult> execute(const ReadSnapshot& snapshot, const Statement& stmt) {
+util::Result<QueryResult> execute(const ReadSnapshot& snapshot, const Statement& stmt,
+                                  QueryStats* stats) {
   if (!snapshot) {
     return util::Result<QueryResult>::error("query against empty snapshot");
   }
-  return execute(*snapshot, stmt);
+  return execute(*snapshot, stmt, stats);
 }
 
 util::Result<QueryResult> Engine::query(const std::string& db, std::string_view query_text,
-                                        TimeNs now) {
+                                        TimeNs now, QueryStats* stats) {
   auto stmt = parse_query(query_text, now);
   if (!stmt.ok()) return util::Result<QueryResult>::error(stmt.message());
   if (stmt->kind == StatementKind::kShowDatabases) {
@@ -918,7 +959,7 @@ util::Result<QueryResult> Engine::query(const std::string& db, std::string_view 
   if (!snap) {
     return util::Result<QueryResult>::error("database '" + db + "' not found");
   }
-  return execute(*snap, *stmt);
+  return execute(*snap, *stmt, stats);
 }
 
 namespace {

@@ -80,7 +80,7 @@ namespace {
 
 /// FNV-1a over the series identity (measurement + sorted tag set). The tag
 /// set is sorted on normalized points, so the hash is canonical.
-std::size_t series_hash(const Point& point) {
+std::size_t series_hash(std::string_view measurement, const std::vector<Tag>& tags) {
   std::uint64_t h = 1469598103934665603ULL;
   const auto mix = [&h](std::string_view s) {
     for (const char c : s) {
@@ -90,8 +90,8 @@ std::size_t series_hash(const Point& point) {
     h ^= 0xff;  // separator so ("ab","c") != ("a","bc")
     h *= 1099511628211ULL;
   };
-  mix(point.measurement);
-  for (const auto& [k, v] : point.tags) {
+  mix(measurement);
+  for (const auto& [k, v] : tags) {
     mix(k);
     mix(v);
   }
@@ -109,7 +109,12 @@ Database::Database(std::string name, std::size_t shard_count) : name_(std::move(
 }
 
 std::size_t Database::shard_of(const Point& point) const {
-  return series_hash(point) % shards_.size();
+  return series_hash(point.measurement, point.tags) % shards_.size();
+}
+
+std::size_t Database::shard_of_key(std::string_view measurement,
+                                   const std::vector<Tag>& tags) const {
+  return series_hash(measurement, tags) % shards_.size();
 }
 
 void Database::write_into(Shard& shard, const Point& point, TimeNs t) const {

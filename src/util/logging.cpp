@@ -1,10 +1,24 @@
 #include "lms/util/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 #include "lms/util/clock.hpp"
 
 namespace lms::util {
+
+namespace {
+std::atomic<Logger::TraceIdFn> g_trace_provider{nullptr};
+
+std::uint64_t active_trace_id() {
+  const Logger::TraceIdFn fn = g_trace_provider.load(std::memory_order_acquire);
+  return fn != nullptr ? fn() : 0;
+}
+}  // namespace
+
+void Logger::set_trace_provider(TraceIdFn fn) {
+  g_trace_provider.store(fn, std::memory_order_release);
+}
 
 std::string_view log_level_name(LogLevel level) {
   switch (level) {
@@ -51,13 +65,20 @@ void Logger::log(LogLevel level, std::string_view component, std::string_view ms
     if (level < level_) return;
     sink = sink_;
   }
+  const std::uint64_t trace_id = active_trace_id();
   if (sink) {
-    sink(level, component, msg);
+    sink(level, component, msg, trace_id);
     return;
   }
   const std::string wall = format_utc(WallClock::instance().now());
-  std::fprintf(stderr, "%s mono=%lld [%.*s] %.*s: %.*s\n", wall.c_str(),
-               static_cast<long long>(monotonic_now_ns()),
+  char trace_buf[32];
+  trace_buf[0] = '\0';
+  if (trace_id != 0) {
+    std::snprintf(trace_buf, sizeof(trace_buf), "trace=%016llx ",
+                  static_cast<unsigned long long>(trace_id));
+  }
+  std::fprintf(stderr, "%s mono=%lld %s[%.*s] %.*s: %.*s\n", wall.c_str(),
+               static_cast<long long>(monotonic_now_ns()), trace_buf,
                static_cast<int>(log_level_name(level).size()), log_level_name(level).data(),
                static_cast<int>(component.size()), component.data(), static_cast<int>(msg.size()),
                msg.data());
@@ -66,19 +87,29 @@ void Logger::log(LogLevel level, std::string_view component, std::string_view ms
 LogRing::LogRing(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
 
 Logger::Sink LogRing::sink() {
-  return [this](LogLevel level, std::string_view component, std::string_view msg) {
+  return [this](LogLevel level, std::string_view component, std::string_view msg,
+                std::uint64_t trace_id) {
     const std::lock_guard<std::mutex> lock(mu_);
     if (ring_.size() >= capacity_) {
       ring_.pop_front();
       ++dropped_;
     }
-    ring_.push_back(Entry{level, std::string(component), std::string(msg)});
+    ring_.push_back(Entry{level, std::string(component), std::string(msg), trace_id});
   };
 }
 
 std::vector<LogRing::Entry> LogRing::entries() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return {ring_.begin(), ring_.end()};
+}
+
+std::vector<LogRing::Entry> LogRing::entries_for_trace(std::uint64_t trace_id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  for (const Entry& e : ring_) {
+    if (e.trace_id == trace_id) out.push_back(e);
+  }
+  return out;
 }
 
 std::vector<std::string> LogRing::lines() const {
@@ -89,6 +120,12 @@ std::vector<std::string> LogRing::lines() const {
     std::string line = "[";
     line += log_level_name(e.level);
     line += "] ";
+    if (e.trace_id != 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "trace=%016llx ",
+                    static_cast<unsigned long long>(e.trace_id));
+      line += buf;
+    }
     line += e.component;
     line += ": ";
     line += e.message;

@@ -4,10 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
+#include <set>
 
 #include "lms/cluster/harness.hpp"
 #include "lms/cluster/minimd.hpp"
 #include "lms/cluster/workload.hpp"
+#include "lms/tsdb/trace_assembly.hpp"
 
 namespace lms::cluster {
 namespace {
@@ -267,6 +270,98 @@ TEST(HarnessTest, SelfScrapeFeedsLmsInternal) {
   const auto dash = harness.dashboards().generate_internals_dashboard(harness.now());
   EXPECT_NE(harness.dashboards().find_dashboard("internals"), nullptr);
   EXPECT_NE(dash.dump().find("lms_internal"), std::string::npos);
+}
+
+TEST(HarnessTest, DistributedTraceCoversCollectorRouterAndTsdb) {
+  ClusterHarness::Options opts;
+  opts.nodes = 2;
+  opts.enable_tracing = true;
+  opts.async_ingest = true;  // spans must survive the queued write path
+  ClusterHarness harness(opts);
+  obs::SpanRecorder::global().clear();
+
+  harness.submit("dgemm", "alice", 2, 5 * kNanosPerMinute);
+  harness.run_for(3 * opts.collect_interval);  // a few delivery cycles
+  ASSERT_NE(harness.trace_exporter(), nullptr);
+  const std::size_t exported = harness.drain_traces();
+  EXPECT_GT(exported, 0u);
+
+  // Every collector flush opens a root span; the batch carries its context
+  // through the router's async ingest queue into the TSDB append. Find a
+  // flush whose trace covers all three processes.
+  const tsdb::ReadSnapshot snap = harness.storage().snapshot("lms");
+  ASSERT_TRUE(snap);
+  std::set<std::string> best_components;
+  std::uint64_t full_trace = 0;
+  for (const tsdb::Series* s : snap->series_matching(std::string(obs::kTraceMeasurement),
+                                                     {{"component", "collector"}})) {
+    const auto id = obs::parse_trace_id_hex(s->tag("trace_id"));
+    if (!id) continue;
+    const tsdb::TraceTree tree = tsdb::assemble_trace(snap, *id);
+    std::set<std::string> components;
+    std::function<void(const tsdb::TraceNode&)> visit = [&](const tsdb::TraceNode& n) {
+      components.insert(n.component);
+      for (const auto& c : n.children) visit(c);
+    };
+    for (const auto& r : tree.roots) visit(r);
+    if (components.count("collector") != 0u && components.count("router") != 0u &&
+        components.count("tsdb") != 0u) {
+      best_components = components;
+      full_trace = *id;
+      break;
+    }
+  }
+  ASSERT_NE(full_trace, 0u) << "no collector flush trace reached the TSDB";
+  EXPECT_GE(best_components.size(), 3u);
+
+  // The same story through the HTTP surfaces: the TSDB serves the tree, the
+  // dashboard agent renders the waterfall page.
+  const std::string hex = obs::trace_id_hex(full_trace);
+  auto api = harness.client().get("inproc://tsdb/trace/" + hex);
+  ASSERT_TRUE(api.ok());
+  EXPECT_EQ(api->status, 200);
+  EXPECT_NE(api->body.find("collector.flush"), std::string::npos);
+  EXPECT_NE(api->body.find("tsdb.write"), std::string::npos);
+
+  auto page = harness.client().get("inproc://grafana/trace/" + hex);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->status, 200);
+  EXPECT_NE(page->headers.get_or("Content-Type", "").find("text/html"), std::string::npos);
+  EXPECT_NE(page->body.find("collector.flush"), std::string::npos);
+}
+
+TEST(HarnessTest, BackpressuredWriteProducesErrorSpan) {
+  // A router with room for a single point rejects a two-point batch with
+  // 429 + Retry-After, and the router.write span records the backpressure.
+  util::SimClock clock(0);
+  net::InprocNetwork network;
+  net::InprocHttpClient client(network);
+  tsdb::Storage storage;
+  tsdb::HttpApi db_api(storage, clock);
+  network.bind("tsdb", db_api.handler());
+  core::MetricsRouter::Options router_opts;
+  router_opts.db_url = "inproc://tsdb";
+  router_opts.async_ingest = true;
+  router_opts.ingest_queue_capacity = 1;
+  core::MetricsRouter router(client, clock, router_opts, nullptr);
+  network.bind("router", router.handler());
+
+  obs::SpanRecorder::global().clear();
+  auto resp = client.post("inproc://router/write?db=lms",
+                          "cpu,hostname=h1 v=1 10\ncpu,hostname=h1 v=2 20\n", "text/plain");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 429);
+  EXPECT_FALSE(resp->headers.get_or("Retry-After", "").empty());
+  EXPECT_EQ(router.stats().ingest_rejected, 2u);
+
+  bool found = false;
+  for (const auto& s : obs::SpanRecorder::global().recent(16)) {
+    if (s.name == "router.write" && s.note == "error=backpressure") {
+      EXPECT_FALSE(s.ok);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "no router.write span tagged error=backpressure";
 }
 
 }  // namespace

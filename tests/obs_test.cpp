@@ -16,6 +16,7 @@
 #include "lms/obs/metrics.hpp"
 #include "lms/obs/selfscrape.hpp"
 #include "lms/obs/trace.hpp"
+#include "lms/obs/traceexport.hpp"
 #include "lms/tsdb/http_api.hpp"
 #include "lms/tsdb/storage.hpp"
 #include "lms/util/clock.hpp"
@@ -223,6 +224,188 @@ TEST(Trace, DisabledTracingIsNoOp) {
   }
   set_tracing_enabled(true);
   EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST(Trace, UnsampledHeaderRoundTrip) {
+  // The head-sampling decision travels with the header: "-u" marks an
+  // unsampled trace; the sampled form stays the pre-sampling 33 characters.
+  TraceContext ctx{0x0123456789abcdefULL, 0xfedcba9876543210ULL, false};
+  const std::string header = format_trace_header(ctx);
+  EXPECT_EQ(header, "0123456789abcdef-fedcba9876543210-u");
+  const auto parsed = parse_trace_header(header);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trace_id, ctx.trace_id);
+  EXPECT_EQ(parsed->span_id, ctx.span_id);
+  EXPECT_FALSE(parsed->sampled);
+
+  ctx.sampled = true;
+  const std::string sampled_header = format_trace_header(ctx);
+  EXPECT_EQ(sampled_header.size(), 33u);
+  const auto sampled_parsed = parse_trace_header(sampled_header);
+  ASSERT_TRUE(sampled_parsed.has_value());
+  EXPECT_TRUE(sampled_parsed->sampled);
+  EXPECT_FALSE(parse_trace_header("0123456789abcdef-fedcba9876543210-x").has_value());
+}
+
+TEST(Trace, HeadSamplingIsDeterministicPerTraceId) {
+  const double prev = trace_sample_rate();
+  set_trace_sample_rate(1.0);
+  EXPECT_TRUE(trace_head_sampled(1));
+  EXPECT_TRUE(trace_head_sampled(0xdeadbeefULL));
+  set_trace_sample_rate(0.0);
+  EXPECT_FALSE(trace_head_sampled(1));
+  EXPECT_FALSE(trace_head_sampled(0xdeadbeefULL));
+
+  // The decision is a hash of the id, not a coin flip: stable across calls,
+  // and at 50% roughly half of a batch of ids is kept.
+  set_trace_sample_rate(0.5);
+  int kept = 0;
+  for (std::uint64_t id = 1; id <= 1000; ++id) {
+    const bool first = trace_head_sampled(id);
+    EXPECT_EQ(first, trace_head_sampled(id));
+    if (first) ++kept;
+  }
+  EXPECT_GT(kept, 350);
+  EXPECT_LT(kept, 650);
+  set_trace_sample_rate(prev);
+}
+
+TEST(Trace, UnsampledSpansPropagateContextButSkipRecorder) {
+  const double prev = trace_sample_rate();
+  set_trace_sample_rate(0.0);
+  SpanRecorder recorder(16);
+  {
+    Span outer("outer", "test", &recorder);
+    EXPECT_TRUE(outer.active());  // timing still runs; only recording stops
+    EXPECT_FALSE(outer.sampled());
+    EXPECT_TRUE(current_trace().valid());
+    EXPECT_FALSE(current_trace().sampled);
+    Span inner("inner", "test", &recorder);
+    EXPECT_EQ(inner.context().trace_id, outer.context().trace_id);
+    EXPECT_FALSE(inner.sampled());
+  }
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.recorded(), 0u);
+  set_trace_sample_rate(prev);
+}
+
+TEST(Trace, TailKeepRecordsErroredAndSlowSpansOfUnsampledTraces) {
+  const double prev_rate = trace_sample_rate();
+  const bool prev_errors = trace_keep_errors();
+  const std::int64_t prev_slow = trace_slow_keep_ns();
+  set_trace_sample_rate(0.0);
+
+  SpanRecorder recorder(16);
+  {
+    Span fine("fine", "test", &recorder);
+  }
+  EXPECT_EQ(recorder.size(), 0u);  // unsampled + healthy + fast: dropped
+
+  set_trace_keep_errors(true);
+  {
+    Span failed("failed", "test", &recorder);
+    failed.set_ok(false);
+    failed.set_note("boom");
+  }
+  auto spans = recorder.recent(4);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "failed");
+  EXPECT_FALSE(spans[0].ok);
+  EXPECT_NE(spans[0].trace_id, 0u);  // reconstructed despite head-drop
+
+  set_trace_keep_errors(false);
+  {
+    Span failed_again("failed_again", "test", &recorder);
+    failed_again.set_ok(false);
+  }
+  EXPECT_EQ(recorder.recent(4).size(), 1u);  // keep-errors off: dropped
+
+  set_trace_slow_keep_ns(1);  // any measurable duration counts as slow
+  {
+    Span slow("slow", "test", &recorder);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  spans = recorder.recent(4);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].name, "slow");
+  EXPECT_GE(spans[1].duration_ns, 1);
+
+  set_trace_sample_rate(prev_rate);
+  set_trace_keep_errors(prev_errors);
+  set_trace_slow_keep_ns(prev_slow);
+}
+
+TEST(Trace, SuppressGuardStopsSpansAndNests) {
+  SpanRecorder recorder(16);
+  EXPECT_FALSE(tracing_suppressed());
+  {
+    TraceSuppressGuard outer;
+    EXPECT_TRUE(tracing_suppressed());
+    {
+      TraceSuppressGuard inner;
+      Span s("invisible", "test", &recorder);
+      EXPECT_FALSE(s.active());
+    }
+    EXPECT_TRUE(tracing_suppressed());  // survives inner guard exit
+  }
+  EXPECT_FALSE(tracing_suppressed());
+  EXPECT_EQ(recorder.recorded(), 0u);
+  {
+    Span s("visible", "test", &recorder);
+    EXPECT_TRUE(s.active());
+  }
+  EXPECT_EQ(recorder.recorded(), 1u);
+}
+
+TEST(Trace, DrainEmptiesRingWithoutCountingEviction) {
+  SpanRecorder recorder(8);
+  for (int i = 0; i < 5; ++i) {
+    Span s("s" + std::to_string(i), "test", &recorder);
+  }
+  auto first = recorder.drain(2);  // bounded take: oldest first
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].name, "s0");
+  EXPECT_EQ(first[1].name, "s1");
+  auto rest = recorder.drain();
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[2].name, "s4");
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.drained(), 5u);
+  EXPECT_EQ(recorder.evicted(), 0u);  // drained spans were consumed, not lost
+  EXPECT_TRUE(recorder.drain().empty());
+}
+
+TEST(Trace, SpanToPointCarriesWholeSpan) {
+  SpanRecord span;
+  span.trace_id = 0x0123456789abcdefULL;
+  span.span_id = 2;
+  span.parent_span_id = 1;
+  span.name = "tsdb.write";
+  span.component = "tsdb";
+  span.start_wall_ns = 1'500'000'000'000'000'000LL;
+  span.duration_ns = 4200;
+  span.ok = false;
+  span.note = "error=backpressure";
+
+  const lineproto::Point pt = span_to_point(span, kTraceMeasurement, "h7");
+  EXPECT_EQ(pt.measurement, "lms_traces");
+  EXPECT_EQ(pt.tag("trace_id"), "0123456789abcdef");
+  EXPECT_EQ(pt.tag("component"), "tsdb");
+  EXPECT_EQ(pt.tag("host"), "h7");
+  EXPECT_EQ(pt.timestamp, span.start_wall_ns);
+  ASSERT_NE(pt.field("duration_ns"), nullptr);
+  EXPECT_EQ(pt.field("duration_ns")->as_int(), 4200);
+  ASSERT_NE(pt.field("name"), nullptr);
+  EXPECT_EQ(pt.field("name")->as_string(), "tsdb.write");
+  // The span field is a self-contained JSON record — every attribute
+  // survives the trip without row-aligning separate columns.
+  ASSERT_NE(pt.field("span"), nullptr);
+  const std::string json = pt.field("span")->as_string();
+  EXPECT_NE(json.find("\"span_id\":\"0000000000000002\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\":\"0000000000000001\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("error=backpressure"), std::string::npos);
+  EXPECT_NE(json.find("tsdb.write"), std::string::npos);
 }
 
 // ------------------------------------------------------- stack integration
@@ -466,6 +649,193 @@ TEST(ObsIntegration, TcpTracePropagationAndClientMetrics) {
     if (s.name == "http_server_requests" && s.value == 1) server_counted = true;
   }
   EXPECT_TRUE(server_counted);
+}
+
+TEST(ObsIntegration, TraceExporterLandsSpansInTsdbAndTraceEndpointAssembles) {
+  MiniStack stack;
+  SpanRecorder recorder(64);
+  std::uint64_t trace_id = 0;
+  {
+    Span root("selftest.root", "test", &recorder);
+    trace_id = root.context().trace_id;
+    Span child("selftest.child", "test", &recorder);
+    child.set_note("points=3");
+  }
+  ASSERT_EQ(recorder.size(), 2u);
+
+  TraceExporter::Options opts;
+  opts.host = "h1";
+  opts.recorder = &recorder;
+  TraceExporter exporter(
+      [&](const std::string& body) -> util::Status {
+        auto resp = stack.client.post("inproc://router/write?db=lms", body, "text/plain");
+        if (!resp.ok()) return util::Status::error(resp.message());
+        if (!resp->ok()) return util::Status::error("HTTP " + std::to_string(resp->status));
+        return util::Status();
+      },
+      opts);
+  ASSERT_TRUE(exporter.export_once().ok());
+  EXPECT_EQ(exporter.exports(), 1u);
+  EXPECT_EQ(exporter.spans_exported(), 2u);
+  EXPECT_EQ(exporter.spans_dropped(), 0u);
+  EXPECT_EQ(recorder.size(), 0u);  // drained, not evicted
+  // The export write itself ran under a TraceSuppressGuard: no spans about
+  // exporting spans showed up in the recorder afterwards.
+  EXPECT_EQ(recorder.recorded(), 2u);
+
+  // The spans are regular lms_traces points now; /trace/<id> on the TSDB
+  // API stitches them back into one tree.
+  auto resp = stack.client.get("inproc://tsdb/trace/" + trace_id_hex(trace_id));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_NE(resp->body.find("selftest.root"), std::string::npos);
+  EXPECT_NE(resp->body.find("selftest.child"), std::string::npos);
+  EXPECT_NE(resp->body.find("points=3"), std::string::npos);
+
+  auto waterfall =
+      stack.client.get("inproc://tsdb/trace/" + trace_id_hex(trace_id) + "?format=waterfall");
+  ASSERT_TRUE(waterfall.ok());
+  EXPECT_EQ(waterfall->status, 200);
+  EXPECT_NE(waterfall->body.find("selftest.root"), std::string::npos);
+
+  auto bad = stack.client.get("inproc://tsdb/trace/nothex");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->status, 400);
+  auto missing = stack.client.get("inproc://tsdb/trace/00000000000000ff");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 200);  // empty trace: a tree with zero spans
+  EXPECT_NE(missing->body.find("\"span_count\":0"), std::string::npos);
+
+  // Exporting with nothing pending is OK and writes nothing.
+  ASSERT_TRUE(exporter.export_once().ok());
+  EXPECT_EQ(exporter.spans_exported(), 2u);
+}
+
+TEST(ObsIntegration, TraceExporterCountsFailedWritesAndDropsSpans) {
+  SpanRecorder recorder(16);
+  {
+    Span s("doomed", "test", &recorder);
+  }
+  TraceExporter::Options opts;
+  opts.recorder = &recorder;
+  TraceExporter exporter(
+      [](const std::string&) { return util::Status::error("stack unreachable"); }, opts);
+  EXPECT_FALSE(exporter.export_once().ok());
+  EXPECT_EQ(exporter.failures(), 1u);
+  EXPECT_EQ(exporter.spans_exported(), 0u);
+  EXPECT_EQ(exporter.spans_dropped(), 1u);
+  EXPECT_EQ(recorder.size(), 0u);  // not re-queued: the ring would re-evict
+}
+
+TEST(ObsIntegration, HistogramExemplarLinksSlowObservationToTrace) {
+  const double prev = trace_sample_rate();
+  set_trace_sample_rate(1.0);
+  Registry reg;
+  Histogram& h = reg.histogram("write_ns");
+  h.enable_exemplar();
+
+  SpanRecorder recorder(16);
+  std::uint64_t slow_trace = 0;
+  {
+    Span s("slow write", "test", &recorder);
+    slow_trace = s.context().trace_id;
+    h.record(5000);
+  }
+  {
+    Span s("fast write", "test", &recorder);
+    h.record(10);  // smaller: must not displace the slow exemplar
+  }
+  const Histogram::Exemplar ex = h.exemplar();
+  EXPECT_EQ(ex.trace_id, slow_trace);
+  EXPECT_EQ(ex.value, 5000u);
+
+  const std::string text = render_text(reg);
+  EXPECT_NE(text.find("write_ns_exemplar{trace_id=\"" + trace_id_hex(slow_trace) + "\"} 5000"),
+            std::string::npos);
+
+  h.reset_exemplar();
+  EXPECT_EQ(h.exemplar().trace_id, 0u);
+  // Without an active sampled trace no exemplar is captured (it would dangle).
+  h.record(9000);
+  EXPECT_EQ(h.exemplar().trace_id, 0u);
+  EXPECT_EQ(render_text(reg).find("_exemplar"), std::string::npos);
+  set_trace_sample_rate(prev);
+}
+
+TEST(ObsIntegration, ScopedTraceMetricsUnregistersOnDestruction) {
+  Registry reg;
+  SpanRecorder recorder(8);
+  {
+    ScopedTraceMetrics scoped(reg, recorder);
+    {
+      Span s("one", "test", &recorder);
+    }
+    EXPECT_NE(render_text(reg).find("trace_spans_retained 1\n"), std::string::npos);
+  }
+  EXPECT_EQ(render_text(reg).find("trace_spans_retained"), std::string::npos);
+}
+
+// Concurrency stress for the tracing pipeline, sized for the sanitizer jobs
+// in ci/sanitize.sh: parallel span producers (nested spans, errors, notes)
+// race an exporter draining the shared ring while another thread flips the
+// sampling rate. TSan watches the recorder/exporter locks, ASan the span
+// string handling.
+TEST(TracingStress, ConcurrentProducersExporterAndSamplingFlips) {
+  const double prev = trace_sample_rate();
+  SpanRecorder recorder(256);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> produced{0};
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&recorder, &produced, t] {
+      for (int i = 0; i < 2000; ++i) {
+        Span outer("stress.outer", "test", &recorder);
+        Span inner("stress.inner." + std::to_string(t), "test", &recorder);
+        if (i % 7 == 0) inner.set_ok(false);
+        if (i % 5 == 0) inner.set_note("iteration=" + std::to_string(i));
+        produced.fetch_add(2);
+      }
+    });
+  }
+
+  std::atomic<std::uint64_t> exported_bytes{0};
+  TraceExporter::Options opts;
+  opts.recorder = &recorder;
+  opts.max_spans_per_export = 128;
+  TraceExporter exporter(
+      [&exported_bytes](const std::string& body) {
+        exported_bytes.fetch_add(body.size());
+        return util::Status();
+      },
+      opts);
+  std::thread drainer([&] {
+    while (!stop.load()) {
+      (void)exporter.export_once();
+    }
+    (void)exporter.export_once();  // final sweep
+  });
+  std::thread sampler([&] {
+    while (!stop.load()) {
+      set_trace_sample_rate(0.5);
+      set_trace_sample_rate(1.0);
+    }
+    set_trace_sample_rate(1.0);
+  });
+
+  for (auto& th : producers) th.join();
+  stop.store(true);
+  drainer.join();
+  sampler.join();
+
+  // Conservation: every produced span was recorded or head-dropped, and every
+  // recorded span was exported, evicted, or still sits in the ring.
+  EXPECT_LE(recorder.recorded(), produced.load());
+  EXPECT_EQ(recorder.recorded(),
+            exporter.spans_exported() + recorder.evicted() + recorder.size());
+  EXPECT_GT(exporter.spans_exported(), 0u);
+  EXPECT_GT(exported_bytes.load(), 0u);
+  set_trace_sample_rate(prev);
 }
 
 }  // namespace

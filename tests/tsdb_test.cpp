@@ -4,15 +4,20 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <thread>
 
 #include "lms/json/json.hpp"
 #include "lms/lineproto/codec.hpp"
 #include "lms/net/transport.hpp"
+#include "lms/obs/trace.hpp"
+#include "lms/obs/traceexport.hpp"
 #include "lms/tsdb/http_api.hpp"
 #include "lms/tsdb/ingest.hpp"
 #include "lms/tsdb/query.hpp"
 #include "lms/tsdb/storage.hpp"
+#include "lms/tsdb/trace_assembly.hpp"
+#include "lms/util/logging.hpp"
 #include "lms/util/rng.hpp"
 #include "lms/util/strings.hpp"
 
@@ -744,6 +749,303 @@ TEST(HttpApiTest, UnknownDatabase404WhenAutoCreateOff) {
 
   EXPECT_EQ(client.post("inproc://db/write?db=lms", "cpu v=1 10", "text/plain")->status, 204);
   EXPECT_EQ(api.points_written(), 1u);
+}
+
+// ----------------------------------------------- query-engine introspection
+
+TEST(QueryStatsTest, GroundTruthCountsAndExplainParity) {
+  Storage storage;
+  // Known shape: cpu has 3 series x 10 points, mem has 1 series x 5 points.
+  std::vector<Point> points;
+  for (const char* host : {"h1", "h2", "h3"}) {
+    for (int i = 1; i <= 10; ++i) points.push_back(pt("cpu", host, "v", i, i * kSec));
+  }
+  for (int i = 1; i <= 5; ++i) points.push_back(pt("mem", "h1", "v", i, i * kSec));
+  storage.write("lms", points, 0);
+  Engine engine(storage);
+
+  QueryStats stats;
+  auto r = engine.query("lms", "SELECT mean(v) FROM cpu", 1000 * kSec, &stats);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->series.empty());
+  EXPECT_EQ(stats.measurements_scanned, 1u);
+  EXPECT_EQ(stats.series_scanned, 3u);
+  EXPECT_EQ(stats.points_examined, 30u);
+  EXPECT_GE(stats.shards_touched, 1u);
+  EXPECT_LE(stats.shards_touched, 3u);
+
+  // Tag filtering prunes via the index before any points are gathered.
+  QueryStats filtered;
+  r = engine.query("lms", "SELECT mean(v) FROM cpu WHERE hostname='h1'", 1000 * kSec,
+                   &filtered);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(filtered.series_scanned, 1u);
+  EXPECT_EQ(filtered.points_examined, 10u);
+  EXPECT_EQ(filtered.shards_touched, 1u);
+
+  // A measurement glob scans both measurements.
+  QueryStats globbed;
+  r = engine.query("lms", "SELECT mean(v) FROM \"*\"", 1000 * kSec, &globbed);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(globbed.measurements_scanned, 2u);
+  EXPECT_EQ(globbed.series_scanned, 4u);
+  EXPECT_EQ(globbed.points_examined, 35u);
+
+  // EXPLAIN walks exactly the same series and counts exactly the same
+  // points, but materializes nothing.
+  QueryStats explained;
+  r = engine.query("lms", "EXPLAIN SELECT mean(v) FROM cpu", 1000 * kSec, &explained);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->series.empty());
+  EXPECT_EQ(explained.measurements_scanned, stats.measurements_scanned);
+  EXPECT_EQ(explained.series_scanned, stats.series_scanned);
+  EXPECT_EQ(explained.points_examined, stats.points_examined);
+  EXPECT_EQ(explained.shards_touched, stats.shards_touched);
+}
+
+TEST(HttpApiTest, ExplainEndpointReturnsStatsNotRows) {
+  Storage storage;
+  util::SimClock clock(1000 * kSec);
+  HttpApi api(storage, clock);
+  net::InprocNetwork net;
+  net.bind("db", api.handler());
+  net::InprocHttpClient client(net);
+  client.post("inproc://db/write?db=lms",
+              "cpu,hostname=h1 v=1 " + std::to_string(990 * kSec) + "\ncpu,hostname=h2 v=2 " +
+                  std::to_string(995 * kSec) + "\n",
+              "text/plain");
+
+  auto resp = client.get("inproc://db/query?db=lms&q=" +
+                         util::url_encode("EXPLAIN SELECT mean(v) FROM cpu"));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  auto body = json::parse(resp->body);
+  ASSERT_TRUE(body.ok()) << resp->body;
+  const json::Value& series = (*body)["results"][0]["series"][0];
+  EXPECT_EQ(series["name"].as_string(), "explain");
+  ASSERT_EQ(series["values"].get_array().size(), 1u);
+  // columns: measurements_scanned, series_scanned, points_examined, shards.
+  EXPECT_EQ(series["columns"][0].as_string(), "measurements_scanned");
+  EXPECT_EQ(series["values"][0][0].as_int(), 1);
+  EXPECT_EQ(series["values"][0][1].as_int(), 2);  // two cpu series
+  EXPECT_EQ(series["values"][0][2].as_int(), 2);  // two points examined
+  EXPECT_GE(series["values"][0][3].as_int(), 1);
+
+  // Case-insensitive keyword; "explainx" is not EXPLAIN.
+  resp = client.get("inproc://db/query?db=lms&q=" +
+                    util::url_encode("explain SELECT mean(v) FROM cpu"));
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_NE(resp->body.find("\"explain\""), std::string::npos);
+  resp = client.get("inproc://db/query?db=lms&q=" +
+                    util::url_encode("explainx SELECT mean(v) FROM cpu"));
+  EXPECT_EQ(resp->status, 400);
+}
+
+TEST(HttpApiTest, SlowQueryRingCapturesStatsAndEvicts) {
+  Storage storage;
+  util::SimClock clock(1000 * kSec);
+  HttpApi::Options opts;
+  opts.slow_query_threshold = 1;  // every real query is slower than 1ns
+  opts.slow_query_capacity = 2;
+  HttpApi api(storage, clock, opts);
+  net::InprocNetwork net;
+  net.bind("db", api.handler());
+  net::InprocHttpClient client(net);
+  client.post("inproc://db/write?db=lms", "cpu,hostname=h1 v=1 " + std::to_string(990 * kSec),
+              "text/plain");
+
+  for (const char* q : {"SELECT mean(v) FROM cpu", "SELECT max(v) FROM cpu",
+                        "SELECT min(v) FROM cpu"}) {
+    ASSERT_EQ(client.get("inproc://db/query?db=lms&q=" + util::url_encode(q))->status, 200);
+  }
+
+  // Capacity 2: the oldest entry was evicted; newest first.
+  const auto ring = api.slow_query_ring();
+  ASSERT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring[0].query, "SELECT min(v) FROM cpu");
+  EXPECT_EQ(ring[1].query, "SELECT max(v) FROM cpu");
+  EXPECT_EQ(ring[0].db, "lms");
+  EXPECT_GE(ring[0].duration_ns, 1);
+  EXPECT_EQ(ring[0].stats.series_scanned, 1u);
+  EXPECT_EQ(ring[0].stats.points_examined, 1u);
+  EXPECT_EQ(ring[0].wall_ns, 1000 * kSec);
+  EXPECT_EQ(api.slow_queries(), 3u);
+
+  auto resp = client.get("inproc://db/debug/slow_queries");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  auto body = json::parse(resp->body);
+  ASSERT_TRUE(body.ok()) << resp->body;
+  EXPECT_EQ((*body)["threshold_ns"].as_int(), 1);
+  ASSERT_EQ((*body)["slow_queries"].get_array().size(), 2u);
+  EXPECT_EQ((*body)["slow_queries"][0]["query"].as_string(), "SELECT min(v) FROM cpu");
+  EXPECT_EQ((*body)["slow_queries"][0]["stats"]["points_examined"].as_int(), 1);
+}
+
+TEST(HttpApiTest, SlowQueryRingDisabledByZeroThreshold) {
+  Storage storage;
+  util::SimClock clock(0);
+  HttpApi::Options opts;
+  opts.slow_query_threshold = 0;
+  HttpApi api(storage, clock, opts);
+  net::InprocNetwork net;
+  net.bind("db", api.handler());
+  net::InprocHttpClient client(net);
+  client.post("inproc://db/write?db=lms", "cpu v=1 10", "text/plain");
+  ASSERT_EQ(client.get("inproc://db/query?db=lms&q=" +
+                       util::url_encode("SELECT mean(v) FROM cpu"))
+                ->status,
+            200);
+  EXPECT_TRUE(api.slow_query_ring().empty());
+  EXPECT_EQ(api.slow_queries(), 0u);
+}
+
+TEST(HttpApiTest, DebugLogsServedWhenRingWired) {
+  Storage storage;
+  util::SimClock clock(0);
+  util::LogRing ring(8);
+  HttpApi::Options opts;
+  opts.log_ring = &ring;
+  HttpApi api(storage, clock, opts);
+  net::InprocNetwork net;
+  net.bind("db", api.handler());
+  net::InprocHttpClient client(net);
+
+  ring.sink()(util::LogLevel::kWarn, "tsdb", "compaction behind", 0xabcULL);
+  auto resp = client.get("inproc://db/debug/logs");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  auto body = json::parse(resp->body);
+  ASSERT_TRUE(body.ok()) << resp->body;
+  ASSERT_EQ((*body)["entries"].get_array().size(), 1u);
+  EXPECT_EQ((*body)["entries"][0]["message"].as_string(), "compaction behind");
+  EXPECT_EQ((*body)["entries"][0]["trace_id"].as_string(), "0000000000000abc");
+
+  // Filter by trace: a match, a non-match, and a malformed id.
+  EXPECT_NE(client.get("inproc://db/debug/logs?trace=0000000000000abc")
+                ->body.find("compaction behind"),
+            std::string::npos);
+  auto miss = client.get("inproc://db/debug/logs?trace=0000000000000fff");
+  EXPECT_EQ((*json::parse(miss->body))["entries"].get_array().size(), 0u);
+  EXPECT_EQ(client.get("inproc://db/debug/logs?trace=xyz")->status, 400);
+
+  // No ring wired: the endpoint does not exist.
+  HttpApi bare(storage, clock);
+  net::InprocNetwork net2;
+  net2.bind("db", bare.handler());
+  net::InprocHttpClient client2(net2);
+  EXPECT_EQ(client2.get("inproc://db/debug/logs")->status, 404);
+}
+
+// ------------------------------------------------------------ trace assembly
+
+/// Store one exported span (as the TraceExporter would write it) directly.
+void store_span(Storage& storage, std::uint64_t trace_id, std::uint64_t span_id,
+                std::uint64_t parent, const char* name, TimeNs start, std::int64_t duration,
+                bool ok = true, const char* note = "", const char* component = "test",
+                const char* host = "h1") {
+  obs::SpanRecord rec;
+  rec.trace_id = trace_id;
+  rec.span_id = span_id;
+  rec.parent_span_id = parent;
+  rec.name = name;
+  rec.component = component;
+  rec.start_wall_ns = start;
+  rec.duration_ns = duration;
+  rec.ok = ok;
+  rec.note = note;
+  storage.write("lms", {obs::span_to_point(rec, obs::kTraceMeasurement, host)}, 0);
+}
+
+TEST(TraceAssembly, BuildsOrderedTreeWithGapAnalysis) {
+  Storage storage;
+  constexpr std::uint64_t kTrace = 0xfeedULL;
+  // root [1000, 1100); children c1 [1010, 1060) and c2 [1040, 1080) overlap:
+  // merged coverage 70ns -> self 30ns; gaps 10ns (before c1) and 20ns (after
+  // c2) -> largest 20ns.
+  store_span(storage, kTrace, 1, 0, "root", 1000, 100);
+  store_span(storage, kTrace, 3, 1, "late_child", 1040, 40);
+  store_span(storage, kTrace, 2, 1, "early_child", 1010, 50, false, "deadline exceeded");
+  store_span(storage, 0xbeefULL, 9, 0, "unrelated", 500, 10);
+
+  const TraceTree tree = assemble_trace(storage.snapshot("lms"), kTrace);
+  EXPECT_EQ(tree.trace_id, kTrace);
+  EXPECT_EQ(tree.span_count, 3u);
+  EXPECT_EQ(tree.malformed_spans, 0u);
+  ASSERT_EQ(tree.roots.size(), 1u);
+  const TraceNode& root = tree.roots[0];
+  EXPECT_EQ(root.name, "root");
+  EXPECT_FALSE(root.orphan);
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].name, "early_child");  // sorted by start_ns
+  EXPECT_EQ(root.children[1].name, "late_child");
+  EXPECT_FALSE(root.children[0].ok);
+  EXPECT_EQ(root.children[0].note, "deadline exceeded");
+  EXPECT_EQ(root.self_ns, 30);
+  EXPECT_EQ(root.largest_gap_ns, 20);
+  // Leaves: self time is the whole span, no gaps.
+  EXPECT_EQ(root.children[0].self_ns, 50);
+  EXPECT_EQ(root.children[0].largest_gap_ns, 0);
+
+  const std::string json_text = trace_tree_to_json(tree);
+  EXPECT_NE(json_text.find("\"span_count\":3"), std::string::npos);
+  EXPECT_NE(json_text.find("\"self_ns\":30"), std::string::npos);
+
+  const std::string waterfall = trace_tree_to_waterfall(tree);
+  EXPECT_NE(waterfall.find("3 spans"), std::string::npos);
+  EXPECT_NE(waterfall.find("root (test@h1) 100ns self=30ns"), std::string::npos);
+  EXPECT_NE(waterfall.find("ERROR [deadline exceeded]"), std::string::npos);
+  EXPECT_NE(waterfall.find('#'), std::string::npos);
+  // Children are indented one level below the root.
+  EXPECT_NE(waterfall.find("|   early_child"), std::string::npos);
+}
+
+TEST(TraceAssembly, OrphansCyclesDuplicatesAndMalformedRecords) {
+  Storage storage;
+  constexpr std::uint64_t kTrace = 0xc0ffeeULL;
+  // A span whose parent never got exported: shown as an orphan root.
+  store_span(storage, kTrace, 5, 99, "orphaned", 2000, 10);
+  // A parent cycle (malformed export): assembly must terminate and keep both.
+  store_span(storage, kTrace, 6, 7, "cycle_a", 2100, 10);
+  store_span(storage, kTrace, 7, 6, "cycle_b", 2200, 10);
+  // A record that is not valid JSON, and one whose span field is not a string.
+  Point bad = make_point(std::string(obs::kTraceMeasurement), "span", 123.0, 2300,
+                         {{"trace_id", obs::trace_id_hex(kTrace)}, {"component", "test"}});
+  storage.write("lms", {bad}, 0);
+  Point garbled;
+  garbled.measurement = std::string(obs::kTraceMeasurement);
+  garbled.set_tag("trace_id", obs::trace_id_hex(kTrace));
+  garbled.add_field("span", "this is not json");
+  garbled.timestamp = 2400;
+  garbled.normalize();
+  storage.write("lms", {garbled}, 0);
+
+  const TraceTree tree = assemble_trace(storage.snapshot("lms"), kTrace);
+  EXPECT_EQ(tree.span_count, 3u);
+  EXPECT_EQ(tree.malformed_spans, 2u);
+  ASSERT_GE(tree.roots.size(), 2u);
+  EXPECT_EQ(tree.roots[0].name, "orphaned");
+  EXPECT_TRUE(tree.roots[0].orphan);
+  // The cycle pair surfaced exactly once each (visited-set break).
+  std::size_t total = 0;
+  std::function<void(const TraceNode&)> count = [&](const TraceNode& n) {
+    ++total;
+    for (const auto& c : n.children) count(c);
+  };
+  for (const auto& r : tree.roots) count(r);
+  EXPECT_EQ(total, 3u);
+  EXPECT_NE(trace_tree_to_json(tree).find("\"malformed_spans\":2"), std::string::npos);
+}
+
+TEST(TraceAssembly, EmptyTraceAndMissingSnapshot) {
+  Storage storage;
+  storage.database("lms");
+  const TraceTree empty = assemble_trace(storage.snapshot("lms"), 0x123ULL);
+  EXPECT_EQ(empty.span_count, 0u);
+  EXPECT_TRUE(empty.roots.empty());
+  const TraceTree no_db = assemble_trace(storage.snapshot("ghost"), 0x123ULL);
+  EXPECT_EQ(no_db.span_count, 0u);
+  EXPECT_NE(trace_tree_to_waterfall(empty).find("0 spans"), std::string::npos);
 }
 
 }  // namespace

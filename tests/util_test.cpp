@@ -519,7 +519,7 @@ TEST(Logging, LogRingKeepsMostRecentAndCountsDropped) {
   LogRing ring(3);
   auto sink = ring.sink();
   for (int i = 0; i < 5; ++i) {
-    sink(LogLevel::kInfo, "comp", "m" + std::to_string(i));
+    sink(LogLevel::kInfo, "comp", "m" + std::to_string(i), 0);
   }
   EXPECT_EQ(ring.size(), 3u);
   EXPECT_EQ(ring.dropped(), 2u);
@@ -545,6 +545,53 @@ TEST(Logging, LogRingCapturesThroughLogger) {
   EXPECT_EQ(entries[0].level, LogLevel::kInfo);
   EXPECT_EQ(entries[0].component, "test");
   EXPECT_EQ(entries[0].message, "hello 42");
+  EXPECT_EQ(entries[0].trace_id, 0u);  // no active span around the LMS_INFO
+}
+
+TEST(Logging, LogRingStoresTraceIdAndFiltersByIt) {
+  LogRing ring(8);
+  auto sink = ring.sink();
+  sink(LogLevel::kInfo, "comp", "untraced", 0);
+  sink(LogLevel::kWarn, "comp", "first of trace", 0xabcdef0123456789ULL);
+  sink(LogLevel::kInfo, "other", "unrelated trace", 0x42ULL);
+  sink(LogLevel::kError, "comp", "second of trace", 0xabcdef0123456789ULL);
+
+  const auto all = ring.entries();
+  ASSERT_EQ(all.size(), 4u);
+  const auto traced = ring.entries_for_trace(0xabcdef0123456789ULL);
+  ASSERT_EQ(traced.size(), 2u);
+  EXPECT_EQ(traced[0].message, "first of trace");
+  EXPECT_EQ(traced[1].message, "second of trace");
+  EXPECT_TRUE(ring.entries_for_trace(0xdeadULL).empty());
+
+  // Formatted lines carry the trace token only for traced entries.
+  const std::vector<std::string> lines = ring.lines();
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "[INFO] comp: untraced");
+  EXPECT_EQ(lines[1], "[WARN] trace=abcdef0123456789 comp: first of trace");
+  EXPECT_EQ(lines[2], "[INFO] trace=0000000000000042 other: unrelated trace");
+}
+
+TEST(Logging, LoggerResolvesTraceProviderAtLogTime) {
+  // The obs layer installs the real provider at static init; override it
+  // here to prove the plumbing and restore the hook afterwards.
+  static std::uint64_t fake_id = 0;
+  Logger::set_trace_provider([] { return fake_id; });
+  LogRing ring(4);
+  const LogLevel prev = Logger::instance().level();
+  Logger::instance().set_sink(ring.sink());
+  Logger::instance().set_level(LogLevel::kInfo);
+  fake_id = 0x1122334455667788ULL;
+  LMS_INFO("test") << "inside";
+  fake_id = 0;
+  LMS_INFO("test") << "outside";
+  Logger::instance().set_sink(nullptr);
+  Logger::instance().set_level(prev);
+  Logger::set_trace_provider(nullptr);
+  const auto entries = ring.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].trace_id, 0x1122334455667788ULL);
+  EXPECT_EQ(entries[1].trace_id, 0u);
 }
 
 }  // namespace
