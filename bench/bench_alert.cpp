@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util.hpp"
 #include "lms/alert/evaluator.hpp"
 #include "lms/json/json.hpp"
 #include "lms/tsdb/storage.hpp"
@@ -18,7 +19,7 @@ using namespace lms;
 
 constexpr util::TimeNs kSec = util::kNanosPerSecond;
 constexpr util::TimeNs kT0 = 1'500'000'000LL * kSec;
-constexpr int kHosts = 1000;
+const int kHosts = bench::scaled(1000, 50);
 constexpr int kSamplesPerHost = 6;  // one 10s-cadence minute of data
 
 void fill_storage(tsdb::Storage& storage) {
@@ -66,7 +67,7 @@ int main() {
   rule.group_by_tags = {"hostname"};
   eval.add(rule);
 
-  const int kRounds = 50;
+  const int kRounds = bench::scaled(50, 3);
   const double rule_ns_per_run =
       time_runs(kRounds, [&](int i) { eval.run(kT0 + 60 * kSec + i * kSec); });
   const double rule_ns_per_series = rule_ns_per_run / kHosts;
@@ -95,15 +96,7 @@ int main() {
   o["threshold_rule_ns_per_series"] = rule_ns_per_series;
   o["deadman_ns_per_run"] = deadman_ns_per_run;
   o["deadman_ns_per_host"] = deadman_ns_per_host;
-  const std::string out = json::Value(std::move(o)).dump_pretty();
-  std::FILE* f = std::fopen("BENCH_alert.json", "w");
-  if (f == nullptr) {
-    std::printf("cannot write BENCH_alert.json\n");
-    return 1;
-  }
-  std::fputs(out.c_str(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
-  std::printf("\nwrote BENCH_alert.json\n");
-  return 0;
+  return bench::write_baseline("BENCH_alert.json", json::Value(std::move(o)).dump_pretty())
+             ? 0
+             : 1;
 }

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "lms/core/router.hpp"
 #include "lms/json/json.hpp"
 #include "lms/net/transport.hpp"
@@ -26,9 +27,9 @@ using namespace lms;
 
 constexpr util::TimeNs kSec = util::kNanosPerSecond;
 constexpr util::TimeNs kT0 = 1'500'000'000LL * kSec;
-constexpr int kBatches = 400;       // requests per run
+const int kBatches = bench::scaled(400, 20);  // requests per run
 constexpr int kBatchPoints = 100;   // points per request, like a collector flush
-constexpr int kReps = 3;            // best-of to shrug off scheduler noise
+const int kReps = bench::scaled(3, 1);  // best-of to shrug off scheduler noise
 
 struct Config {
   const char* name;
@@ -147,16 +148,8 @@ int main() {
   top["runs"] = std::move(runs);
   top["overhead_pct_1pct_sampling"] = overhead_1pct;
   top["overhead_pct_100pct_sampling"] = overhead_100pct;
-  const std::string out = json::Value(std::move(top)).dump_pretty();
-  std::FILE* f = std::fopen("BENCH_trace.json", "w");
-  if (f == nullptr) {
-    std::printf("cannot write BENCH_trace.json\n");
-    return 1;
-  }
-  std::fputs(out.c_str(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
-  std::printf("\noverhead at 1%% sampling: %.1f%% (bar: <5%%)\nwrote BENCH_trace.json\n",
-              overhead_1pct);
-  return 0;
+  std::printf("\noverhead at 1%% sampling: %.1f%% (bar: <5%%)\n", overhead_1pct);
+  return bench::write_baseline("BENCH_trace.json", json::Value(std::move(top)).dump_pretty())
+             ? 0
+             : 1;
 }

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "lms/json/json.hpp"
 #include "lms/tsdb/query.hpp"
 #include "lms/tsdb/storage.hpp"
@@ -24,7 +25,7 @@ using namespace lms;
 
 constexpr util::TimeNs kSec = util::kNanosPerSecond;
 constexpr util::TimeNs kT0 = 1'500'000'000LL * kSec;
-constexpr int kPointsPerWriter = 40'000;
+const int kPointsPerWriter = bench::scaled(40'000, 1'000);
 constexpr int kBatchSize = 100;      // points per storage.write(), like a collector batch
 constexpr int kQueryThreads = 2;     // dashboard-style pollers
 constexpr int kHostsPerWriter = 64;  // distinct series per writer thread
@@ -138,16 +139,9 @@ int main() {
   top["query_threads"] = kQueryThreads;
   top["runs"] = std::move(runs);
   top["speedup_8_writers"] = speedup_at_8;
-  const std::string out = json::Value(std::move(top)).dump_pretty();
-  std::FILE* f = std::fopen("BENCH_tsdb_ingest.json", "w");
-  if (f == nullptr) {
-    std::printf("cannot write BENCH_tsdb_ingest.json\n");
-    return 1;
-  }
-  std::fputs(out.c_str(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
-  std::printf("\nsharded speedup at 8 writers: %.2fx\nwrote BENCH_tsdb_ingest.json\n",
-              speedup_at_8);
-  return 0;
+  std::printf("\nsharded speedup at 8 writers: %.2fx\n", speedup_at_8);
+  return bench::write_baseline("BENCH_tsdb_ingest.json",
+                               json::Value(std::move(top)).dump_pretty())
+             ? 0
+             : 1;
 }

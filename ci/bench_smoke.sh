@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Bench smoke gate: run every bench_* binary with a tiny iteration budget so
+# the benchmarks cannot silently bit-rot. Numbers from this run are
+# meaningless — only "builds, runs, exits 0" is checked.
+#
+#   - plain benches honor LMS_BENCH_SMOKE=1 (shrunken budgets, no
+#     BENCH_*.json baseline writes),
+#   - google-benchmark benches get --benchmark_min_time=0.01 (seconds; the
+#     bundled benchmark release predates the "0.01s"-suffix syntax).
+#
+# Usage: ci/bench_smoke.sh [build-dir]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+mapfile -t BENCHES < <(grep -oE 'lms_bench\(bench_[a-z0-9_]+' bench/CMakeLists.txt |
+  sed 's/lms_bench(//')
+mapfile -t PLAIN < <(grep -oE 'lms_bench\(bench_[a-z0-9_]+ PLAIN' bench/CMakeLists.txt |
+  sed -e 's/lms_bench(//' -e 's/ PLAIN//')
+
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${BENCHES[@]}"
+
+is_plain() {
+  local b="$1" p
+  for p in "${PLAIN[@]}"; do [[ "$p" == "$b" ]] && return 0; done
+  return 1
+}
+
+for bench in "${BENCHES[@]}"; do
+  echo "=== smoke: ${bench} ==="
+  if is_plain "$bench"; then
+    LMS_BENCH_SMOKE=1 "$BUILD_DIR/bench/$bench" >/dev/null
+  else
+    "$BUILD_DIR/bench/$bench" --benchmark_min_time=0.01 >/dev/null
+  fi
+done
+
+echo "bench smoke: all ${#BENCHES[@]} benches ran clean"

@@ -6,14 +6,16 @@
 # producers-vs-exporter-vs-sampling test), net (TCP transport, pub/sub HWM),
 # alert (evaluator vs. gauge callbacks), tsdb (sharded storage under
 # concurrent writers/queries/retention, trace assembly), router (async
-# ingest flusher thread, trace context hand-off to the flusher).
+# ingest flusher thread, trace context hand-off to the flusher), profiling
+# (concurrent region markers against the per-thread stacks and shared
+# aggregates of the marker SDK).
 #
 # Usage: ci/sanitize.sh [thread|address|all]   (default: all)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SUITES=(obs_test net_test alert_test tsdb_test router_test)
+SUITES=(obs_test net_test alert_test tsdb_test router_test profiling_test)
 MODE="${1:-all}"
 
 run_mode() {

@@ -1,13 +1,13 @@
-// likwid-perfctr-style tool over the simulated PMU: run a workload on one
-// node and print the derived metrics of a performance group — the classic
-// LIKWID terminal view the whole stack's HPM layer is modeled after. Useful
-// for exploring what each group measures and how the workload models look
-// to the counters.
+// likwid-perfctr-style tool over the simulated PMU, marker-API edition:
+// run a workload on one node with every phase bracketed in a region marker
+// (the lms::profiling SDK) and print a per-region report — the classic
+// "likwid-perfctr -m" terminal view: one metric table per region, plus the
+// roofline placement of each region when the combined group was measured.
 //
 // Usage: perfctr [workload] [group] [seconds]
-//   workload: minimd|dgemm|stream|idle|scalar|latency|... (default dgemm)
-//   group:    CLOCK|CPI|FLOPS_DP|MEM|MEM_DP|...           (default FLOPS_DP)
-//   seconds:  measurement duration in simulated seconds    (default 10)
+//   workload: minimd|ml_inference|stencil2d|sortmerge|dgemm|... (default minimd)
+//   group:    CLOCK|CPI|FLOPS_DP|MEM|MEM_DP|...                 (default MEM_DP)
+//   seconds:  measurement duration in simulated seconds          (default 10)
 //
 //        perfctr topology     print the machine topology (likwid-topology)
 
@@ -18,6 +18,7 @@
 #include "lms/analysis/roofline.hpp"
 #include "lms/cluster/workload.hpp"
 #include "lms/hpm/monitor.hpp"
+#include "lms/profiling/profiler.hpp"
 
 using namespace lms;
 
@@ -26,8 +27,8 @@ int main(int argc, char** argv) {
     std::printf("%s", hpm::topology_string(hpm::simx86()).c_str());
     return 0;
   }
-  const std::string workload_name = argc > 1 ? argv[1] : "dgemm";
-  const std::string group_name = argc > 2 ? argv[2] : "FLOPS_DP";
+  const std::string workload_name = argc > 1 ? argv[1] : "minimd";
+  const std::string group_name = argc > 2 ? argv[2] : "MEM_DP";
   const double seconds = argc > 3 ? std::atof(argv[3]) : 10.0;
 
   const hpm::CounterArchitecture& arch = hpm::simx86();
@@ -53,51 +54,85 @@ int main(int argc, char** argv) {
   std::printf("CPU:    %s\n", arch.cpu_model.c_str());
   std::printf("Group:  %s — %s\n", group->name().c_str(),
               group->short_description().c_str());
-  std::printf("Run:    %s for %.1f s (simulated)\n", workload_name.c_str(), seconds);
+  std::printf("Run:    %s for %.1f s (simulated), marker API on\n", workload_name.c_str(),
+              seconds);
   std::printf("--------------------------------------------------------------------\n");
   std::printf("Event set:\n");
   for (const auto& ea : group->events()) {
     std::printf("  %-8s %s\n", ea.slot.c_str(), ea.event.c_str());
   }
 
-  // Drive the simulated PMU with the workload.
+  // Marker init (LIKWID_MARKER_INIT): a profiler with an HPM collector over
+  // the simulated PMU attributes the group's counters to each region.
   hpm::CounterSimulator sim(arch, 42, 0.01);
-  hpm::HpmMonitor::Options mon_opts;
-  mon_opts.groups = {group_name};
-  auto monitor = hpm::HpmMonitor::create(registry, sim, mon_opts).take();
-  util::Rng rng(42);
-  util::TimeNs now = 0;
-  monitor.sample(now);  // baseline
-  const auto steps = static_cast<int>(seconds * 10);
-  for (int i = 0; i < steps; ++i) {
-    const cluster::NodeActivity act =
-        workload->activity(0, 1, now, arch, rng);
-    sim.advance(act.hpm, util::kNanosPerSecond / 10);
-    now += util::kNanosPerSecond / 10;
-  }
-  const auto points = monitor.sample(now);
-  if (points.empty()) {
-    std::fprintf(stderr, "no measurement produced\n");
+  profiling::Profiler::Options prof_opts;
+  prof_opts.hostname = "localhost";
+  profiling::Profiler profiler(std::move(prof_opts));
+  auto collector = profiling::HpmRegionCollector::create(registry, sim, group_name);
+  if (!collector.ok()) {
+    std::fprintf(stderr, "%s\n", collector.message().c_str());
     return 1;
   }
+  profiler.add_collector(collector.take());
 
-  std::printf("\n+-----------------------------------------+--------------------+\n");
-  std::printf("| %-39s | %-18s |\n", "Metric", "Value");
-  std::printf("+-----------------------------------------+--------------------+\n");
-  for (const auto& metric : group->metrics()) {
-    const lineproto::FieldValue* v = points[0].field(metric.field_key);
-    if (v == nullptr) continue;
-    std::printf("| %-39s | %18.4f |\n", metric.name.c_str(), v->as_double());
+  // Drive the simulated PMU through the workload's phases, each phase
+  // bracketed in a region marker (LIKWID_MARKER_START/STOP).
+  util::Rng rng(42);
+  util::TimeNs now = 0;
+  const auto steps = static_cast<int>(seconds * 10);
+  const util::TimeNs step = util::kNanosPerSecond / 10;
+  for (int i = 0; i < steps; ++i) {
+    const auto phases = workload->phases(0, 1, now, arch, rng);
+    double total = 0.0;
+    for (const auto& phase : phases) total += phase.fraction;
+    for (const auto& phase : phases) {
+      const auto span = static_cast<util::TimeNs>(
+          static_cast<double>(step) * phase.fraction / (total > 0 ? total : 1.0));
+      profiling::ScopedRegion region(profiler, phase.region, now);
+      sim.advance(phase.activity.hpm, span);
+      for (const auto& [name, value] : phase.values) profiler.value(name, value);
+      now += span;
+      (void)region.stop(now);
+    }
   }
-  std::printf("+-----------------------------------------+--------------------+\n");
 
-  // Roofline position when the combined group was measured.
-  const lineproto::FieldValue* flops = points[0].field("dp_mflop_per_s");
-  const lineproto::FieldValue* bw = points[0].field("memory_bandwidth_mbytes_per_s");
-  if (flops != nullptr && bw != nullptr) {
-    const auto roofline = analysis::roofline_evaluate(flops->as_double() * 1e6,
-                                                      bw->as_double() * 1e6, arch);
-    std::printf("\n%s", analysis::roofline_chart(roofline).c_str());
+  // Marker report (likwid-perfctr -m): one table per region.
+  const auto stats = profiler.stats();
+  if (stats.empty()) {
+    std::fprintf(stderr, "no regions measured\n");
+    return 1;
   }
+  for (const auto& rs : stats) {
+    std::printf("\nRegion %s, calls %llu, inclusive %.3f s, exclusive %.3f s\n",
+                rs.region.c_str(), static_cast<unsigned long long>(rs.count),
+                util::ns_to_seconds(rs.inclusive_ns), util::ns_to_seconds(rs.exclusive_ns));
+    std::printf("+-----------------------------------------+--------------------+\n");
+    std::printf("| %-39s | %-18s |\n", "Metric", "Value");
+    std::printf("+-----------------------------------------+--------------------+\n");
+    for (const auto& metric : group->metrics()) {
+      const auto it = rs.fields.find(metric.field_key);
+      if (it == rs.fields.end()) continue;
+      std::printf("| %-39s | %18.4f |\n", metric.name.c_str(), it->second);
+    }
+    for (const auto& [field, value] : rs.fields) {
+      if (field.rfind("user_", 0) == 0) {
+        std::printf("| %-39s | %18.4f |\n", field.c_str(), value);
+      }
+    }
+    std::printf("+-----------------------------------------+--------------------+\n");
+
+    // Roofline placement per region when the combined group was measured.
+    const auto flops = rs.fields.find("dp_mflop_per_s");
+    const auto bw = rs.fields.find("memory_bandwidth_mbytes_per_s");
+    if (flops != rs.fields.end() && bw != rs.fields.end()) {
+      const auto roofline =
+          analysis::roofline_evaluate(flops->second * 1e6, bw->second * 1e6, arch);
+      std::printf("  %s\n", roofline.to_string().c_str());
+    }
+  }
+  const auto counters = profiler.counters();
+  std::printf("\nMarkers: %llu region instances, %llu unbalanced\n",
+              static_cast<unsigned long long>(counters.markers),
+              static_cast<unsigned long long>(counters.unbalanced));
   return 0;
 }

@@ -115,4 +115,17 @@ std::vector<std::string> MetricFetcher::hosts_of_job(const MetricRef& ref,
   return {hosts.begin(), hosts.end()};
 }
 
+std::vector<std::string> MetricFetcher::tag_values(
+    const std::string& measurement, const std::string& tag_key,
+    const std::vector<lineproto::Tag>& tag_filters) const {
+  const tsdb::ReadSnapshot snap = storage_.snapshot(database_);
+  if (!snap) return {};
+  std::set<std::string> values;
+  for (const tsdb::Series* s : snap->series_matching(measurement, tag_filters)) {
+    const std::string_view v = s->tag(tag_key);
+    if (!v.empty()) values.emplace(v);
+  }
+  return {values.begin(), values.end()};
+}
+
 }  // namespace lms::analysis

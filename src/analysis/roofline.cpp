@@ -62,6 +62,52 @@ util::Result<RooflineResult> roofline_from_db(const MetricFetcher& fetcher,
   return roofline_evaluate(sum_flops / n, sum_bw / n, arch);
 }
 
+util::Result<std::vector<RegionRoofline>> roofline_per_region(
+    const MetricFetcher& fetcher, const std::string& job_id, util::TimeNs t0, util::TimeNs t1,
+    const hpm::CounterArchitecture& arch) {
+  const std::vector<std::string> regions =
+      fetcher.tag_values("lms_regions", "region", {{"jobid", job_id}});
+  if (regions.empty()) {
+    return util::Result<std::vector<RegionRoofline>>::error(
+        "no lms_regions data for job '" + job_id + "' (profiling off or not flushed)");
+  }
+  std::vector<RegionRoofline> out;
+  double total_time = 0.0;
+  for (const auto& region : regions) {
+    const std::vector<lineproto::Tag> filters{{"jobid", job_id}, {"region", region}};
+    auto flops = fetcher.fetch({"lms_regions", "dp_mflop_per_s"}, filters, t0, t1);
+    auto bw = fetcher.fetch({"lms_regions", "memory_bandwidth_mbytes_per_s"}, filters, t0, t1);
+    auto incl = fetcher.fetch({"lms_regions", "inclusive_ns"}, filters, t0, t1);
+    auto calls = fetcher.fetch({"lms_regions", "count"}, filters, t0, t1);
+    if (!flops.ok() || flops->empty() || !bw.ok() || bw->empty()) continue;
+    RegionRoofline rr;
+    rr.region = region;
+    // Each lms_regions point carries the region's rates on one host over one
+    // flush interval; the mean is the per-node average, like roofline_from_db.
+    rr.roofline = roofline_evaluate(flops->mean() * 1e6, bw->mean() * 1e6, arch);
+    if (incl.ok() && !incl->empty()) {
+      rr.time_share = incl->mean() * static_cast<double>(incl->size());  // sum, for now
+      total_time += rr.time_share;
+    }
+    if (calls.ok() && !calls->empty()) {
+      rr.calls = static_cast<std::uint64_t>(
+          calls->mean() * static_cast<double>(calls->size()) + 0.5);
+    }
+    out.push_back(std::move(rr));
+  }
+  if (out.empty()) {
+    return util::Result<std::vector<RegionRoofline>>::error(
+        "lms_regions series of job '" + job_id + "' carry no MEM_DP derived fields");
+  }
+  for (auto& rr : out) {
+    rr.time_share = total_time > 0 ? rr.time_share / total_time : 0.0;
+  }
+  std::sort(out.begin(), out.end(), [](const RegionRoofline& a, const RegionRoofline& b) {
+    return a.time_share > b.time_share;
+  });
+  return out;
+}
+
 std::string roofline_chart(const RooflineResult& r, int width, int height) {
   // Log-log plot: x = OI in [ridge/64, ridge*64], y = GF/s.
   const double x_lo = r.ridge_intensity / 64.0;

@@ -1,7 +1,12 @@
 #include "lms/cluster/harness.hpp"
 
+#include <algorithm>
+#include <iterator>
+
 #include "lms/collector/plugins.hpp"
+#include "lms/lineproto/codec.hpp"
 #include "lms/obs/trace.hpp"
+#include "lms/util/logging.hpp"
 #include "lms/util/strings.hpp"
 
 namespace lms::cluster {
@@ -275,24 +280,44 @@ void ClusterHarness::on_job_start(const sched::Job& job) {
       std::make_unique<usermetric::UserMetricClient>(*client_, clock_, um_opts);
   active.user_client->event("job", "start of " + job.spec.name);
 
-  // Bind nodes to the job.
+  // Bind nodes to the job; with profiling on, each node gets a region
+  // profiler whose HPM collector reads that node's simulated PMU.
   int index = 0;
   for (const auto& node_name : job.assigned_nodes) {
     for (auto& node : nodes_) {
       if (node.name == node_name) {
         node.job_id = job.id;
         node.job_node_index = index;
+        if (options_.enable_profiling) {
+          profiling::Profiler::Options prof_opts;
+          prof_opts.hostname = node.name;
+          prof_opts.clock = &clock_;
+          prof_opts.registry = &registry_;
+          prof_opts.emit_spans = options_.profiling_spans;
+          auto profiler = std::make_unique<profiling::Profiler>(std::move(prof_opts));
+          auto hpm_collector = profiling::HpmRegionCollector::create(
+              groups_, *node.counters, options_.profiling_group);
+          if (hpm_collector.ok()) {
+            profiler->add_collector(hpm_collector.take());
+          } else {
+            LMS_WARN("cluster") << "region profiling without HPM: "
+                                << hpm_collector.message();
+          }
+          active.profilers.emplace(node.name, std::move(profiler));
+        }
         break;
       }
     }
     ++index;
   }
+  active.last_profile_flush = clock_.now();
   active_jobs_.emplace(job.id, std::move(active));
 }
 
 void ClusterHarness::on_job_end(const sched::Job& job) {
   const auto it = active_jobs_.find(job.id);
   if (it == active_jobs_.end()) return;
+  flush_profilers(it->second, clock_.now());  // the tail since the last flush
   it->second.user_client->event("job", "end of " + job.spec.name);
   it->second.user_client->flush();
   it->second.record.end_time = clock_.now();
@@ -304,6 +329,64 @@ void ClusterHarness::on_job_end(const sched::Job& job) {
     }
   }
   active_jobs_.erase(it);
+}
+
+void ClusterHarness::run_phases(SimNode& node, ActiveJob& job, util::TimeNs now) {
+  profiling::Profiler& profiler = *job.profilers[node.name];
+  const util::TimeNs elapsed = now - job.record.start_time;
+  const auto phases =
+      job.workload->phases(node.job_node_index, static_cast<int>(job.record.nodes.size()),
+                           elapsed, *options_.arch, job.rng);
+  double total = 0.0;
+  for (const auto& phase : phases) total += std::max(0.0, phase.fraction);
+  if (phases.empty() || total <= 0.0) {
+    node.kernel->advance(idle_activity_.kernel, options_.step);
+    node.counters->advance(idle_activity_.hpm, options_.step);
+    return;
+  }
+  // The step being simulated is (now - step, now]; phases get synthetic
+  // intra-step timestamps so region times are exact under the sim clock.
+  util::TimeNs t = now - options_.step;
+  util::TimeNs remaining = options_.step;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const Phase& phase = phases[i];
+    util::TimeNs span = i + 1 == phases.size()
+                            ? remaining
+                            : static_cast<util::TimeNs>(static_cast<double>(options_.step) *
+                                                        std::max(0.0, phase.fraction) / total);
+    span = std::min(span, remaining);
+    if (span <= 0) continue;
+    (void)profiler.start(phase.region, t);
+    node.kernel->advance(phase.activity.kernel, span);
+    node.counters->advance(phase.activity.hpm, span);
+    for (const auto& [value_name, value] : phase.values) {
+      (void)profiler.value(value_name, value);
+    }
+    t += span;
+    remaining -= span;
+    (void)profiler.stop(phase.region, t);
+  }
+}
+
+void ClusterHarness::flush_profilers(ActiveJob& job, util::TimeNs now) {
+  job.last_profile_flush = now;
+  std::vector<lineproto::Point> points;
+  const std::vector<lineproto::Tag> job_tags{{"jobid", std::to_string(job.record.id)},
+                                             {"user", job.record.user}};
+  for (auto& [hostname, profiler] : job.profilers) {
+    auto drained = profiler->drain_points(now, job_tags);
+    points.insert(points.end(), std::make_move_iterator(drained.begin()),
+                  std::make_move_iterator(drained.end()));
+  }
+  if (points.empty()) return;
+  const std::string url =
+      std::string("inproc://") + kRouterEndpoint + "/write?db=" + options_.database;
+  auto resp = client_->post(url, lineproto::serialize_batch(points), "text/plain");
+  if (!resp.ok() || !resp->ok()) {
+    LMS_WARN("cluster") << "lms_regions flush failed: "
+                        << (resp.ok() ? "HTTP " + std::to_string(resp->status)
+                                      : resp.message());
+  }
 }
 
 const ClusterHarness::JobRecord* ClusterHarness::job_record(int job_id) const {
@@ -318,13 +401,19 @@ void ClusterHarness::step_once() {
   const util::TimeNs now = clock_.advance(options_.step);
   scheduler_->tick(now);
 
-  // Drive node activity from the running jobs.
+  // Drive node activity from the running jobs. A profiled job node steps
+  // through the workload's phases inside region markers instead of one
+  // flat activity (same counter totals, attributed per region).
   for (auto& node : nodes_) {
     NodeActivity activity;
     if (node.job_id != 0) {
       auto it = active_jobs_.find(node.job_id);
       if (it != active_jobs_.end()) {
         ActiveJob& job = it->second;
+        if (job.profilers.count(node.name) > 0) {
+          run_phases(node, job, now);
+          continue;
+        }
         const util::TimeNs elapsed = now - job.record.start_time;
         activity = job.workload->activity(node.job_node_index,
                                           static_cast<int>(job.record.nodes.size()), elapsed,
@@ -346,6 +435,14 @@ void ClusterHarness::step_once() {
       job.workload->report(*job.user_client, static_cast<int>(i), elapsed, now);
     }
     job.user_client->tick(now);
+  }
+
+  // Per-region aggregates flush through the router on their own cadence.
+  for (auto& [id, job] : active_jobs_) {
+    if (!job.profilers.empty() &&
+        now - job.last_profile_flush >= options_.profiling_flush_interval) {
+      flush_profilers(job, now);
+    }
   }
 
   // Host agents collect and deliver (a crashed agent stops ticking).

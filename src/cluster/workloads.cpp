@@ -11,6 +11,15 @@ namespace lms::cluster {
 
 void Workload::report(usermetric::UserMetricClient&, int, util::TimeNs, util::TimeNs) {}
 
+std::vector<Phase> Workload::phases(int node_index, int node_count, util::TimeNs elapsed,
+                                    const hpm::CounterArchitecture& arch, util::Rng& rng) {
+  Phase phase;
+  phase.region = name();
+  phase.fraction = 1.0;
+  phase.activity = activity(node_index, node_count, elapsed, arch, rng);
+  return {std::move(phase)};
+}
+
 NodeActivity make_uniform_activity(const hpm::CounterArchitecture& arch, double cpu_fraction,
                                    double ipc, double flops_dp_fraction_of_peak,
                                    double simd_fraction, double membw_fraction_of_peak,
@@ -248,6 +257,33 @@ class MiniMdWorkload final : public Workload {
     return act;
   }
 
+  std::vector<Phase> phases(int, int node_count, util::TimeNs,
+                            const hpm::CounterArchitecture& arch, util::Rng& rng) override {
+    // The canonical MD timestep: the vectorized force loop dominates, the
+    // neighbor-list rebuild is branchy and latency-bound, halo exchange
+    // waits on the network, integration streams over the particle arrays.
+    std::vector<Phase> phases(4);
+    phases[0].region = "force";
+    phases[0].fraction = 0.55;
+    phases[0].activity = make_uniform_activity(arch, 0.98, 2.4, 0.50, 0.95, 0.35, 2e9, rng);
+    phases[1].region = "neighbor";
+    phases[1].fraction = 0.20;
+    phases[1].activity = make_uniform_activity(arch, 0.95, 0.9, 0.03, 0.2, 0.45, 2e9, rng);
+    for (auto& core : phases[1].activity.hpm.cores) {
+      core.branch_per_instr = 0.2;
+      core.branch_miss_ratio = 0.06;
+    }
+    phases[2].region = "comm";
+    phases[2].fraction = 0.15;
+    phases[2].activity = make_uniform_activity(arch, 0.30, 0.7, 0.01, 0.1, 0.05, 2e9, rng);
+    add_mpi_traffic(phases[2].activity, node_count, 0.9);
+    phases[3].region = "integrate";
+    phases[3].fraction = 0.10;
+    phases[3].activity = make_uniform_activity(arch, 0.90, 1.2, 0.15, 0.9, 0.60, 2e9, rng);
+    phases[3].values.emplace_back("iterations", 50.0);  // iterations per sim second
+    return phases;
+  }
+
   void report(usermetric::UserMetricClient& client, int node_index, util::TimeNs elapsed,
               util::TimeNs now) override {
     if (node_index != 0) return;  // rank 0 reports, like the real proxy app
@@ -290,6 +326,116 @@ class MiniMdWorkload final : public Workload {
   std::unique_ptr<usermetric::OmpProfiler> omp_;
 };
 
+// ---- phase-instrumented workload proxies (profiling SDK showcases) ----
+
+/// ML-inference serving loop: decode/tokenize, batched matmul, softmax,
+/// response assembly. The matmul phase is the only one near peak flops —
+/// exactly the per-region contrast the roofline view should surface.
+class MlInferenceWorkload final : public Workload {
+ public:
+  std::string name() const override { return "ml_inference"; }
+
+  NodeActivity activity(int, int, util::TimeNs, const hpm::CounterArchitecture& arch,
+                        util::Rng& rng) override {
+    // Step-averaged blend of the phases below.
+    return make_uniform_activity(arch, 0.92, 2.1, 0.44, 0.75, 0.27, 6e9, rng);
+  }
+
+  std::vector<Phase> phases(int, int, util::TimeNs, const hpm::CounterArchitecture& arch,
+                            util::Rng& rng) override {
+    std::vector<Phase> phases(4);
+    phases[0].region = "preprocess";  // request decode + tokenize: scalar, branchy
+    phases[0].fraction = 0.15;
+    phases[0].activity = make_uniform_activity(arch, 0.85, 1.4, 0.02, 0.05, 0.15, 6e9, rng);
+    phases[1].region = "matmul";  // batched GEMM: near-peak vectorized compute
+    phases[1].fraction = 0.60;
+    phases[1].activity = make_uniform_activity(arch, 0.98, 2.6, 0.72, 0.97, 0.30, 6e9, rng);
+    phases[1].values.emplace_back("batch_size", 32.0);
+    phases[2].region = "softmax";  // streaming normalization: vector, bandwidth-lean
+    phases[2].fraction = 0.10;
+    phases[2].activity = make_uniform_activity(arch, 0.95, 1.3, 0.12, 0.90, 0.50, 6e9, rng);
+    phases[3].region = "postprocess";  // response assembly: scalar, light
+    phases[3].fraction = 0.15;
+    phases[3].activity = make_uniform_activity(arch, 0.70, 1.2, 0.01, 0.02, 0.10, 6e9, rng);
+    phases[3].values.emplace_back("requests", 128.0);
+    phases[3].values.emplace_back("latency_ms", rng.normal(7.5, 0.6));
+    return phases;
+  }
+};
+
+/// 2D stencil sweep: MPI halo exchange, a memory-bandwidth-bound sweep over
+/// the grid, and a small convergence reduction.
+class Stencil2dWorkload final : public Workload {
+ public:
+  std::string name() const override { return "stencil2d"; }
+
+  NodeActivity activity(int, int node_count, util::TimeNs, const hpm::CounterArchitecture& arch,
+                        util::Rng& rng) override {
+    NodeActivity act = make_uniform_activity(arch, 0.88, 1.1, 0.17, 0.85, 0.65, 16e9, rng);
+    add_mpi_traffic(act, node_count, 0.5);
+    return act;
+  }
+
+  std::vector<Phase> phases(int, int node_count, util::TimeNs elapsed,
+                            const hpm::CounterArchitecture& arch, util::Rng& rng) override {
+    std::vector<Phase> phases(3);
+    phases[0].region = "halo_exchange";  // boundary swap: cores wait on the network
+    phases[0].fraction = 0.15;
+    phases[0].activity = make_uniform_activity(arch, 0.35, 0.8, 0.01, 0.3, 0.08, 16e9, rng);
+    add_mpi_traffic(phases[0].activity, node_count, 0.9);
+    phases[1].region = "sweep";  // 5-point update: streaming, bandwidth-bound
+    phases[1].fraction = 0.75;
+    phases[1].activity = make_uniform_activity(arch, 0.96, 1.1, 0.20, 0.95, 0.80, 16e9, rng);
+    phases[1].values.emplace_back("grid_updates", 2.6e8);
+    phases[2].region = "reduce";  // residual norm: small compute + allreduce
+    phases[2].fraction = 0.10;
+    phases[2].activity = make_uniform_activity(arch, 0.90, 1.8, 0.10, 0.80, 0.30, 16e9, rng);
+    // Jacobi-style convergence: the residual decays with iteration count.
+    phases[2].values.emplace_back(
+        "residual", 1.0 / (1.0 + util::ns_to_seconds(elapsed)) * rng.normal(1.0, 0.02));
+    return phases;
+  }
+};
+
+/// Out-of-core sort/merge pass: a branchy partitioning scan, a cache-hostile
+/// in-memory sort, and a streaming k-way merge — three distinct bottlenecks
+/// (branch misses, load latency, memory bandwidth) in one job.
+class SortMergeWorkload final : public Workload {
+ public:
+  std::string name() const override { return "sortmerge"; }
+
+  NodeActivity activity(int, int, util::TimeNs, const hpm::CounterArchitecture& arch,
+                        util::Rng& rng) override {
+    return make_uniform_activity(arch, 0.94, 1.0, 0.01, 0.10, 0.42, 20e9, rng);
+  }
+
+  std::vector<Phase> phases(int, int, util::TimeNs, const hpm::CounterArchitecture& arch,
+                            util::Rng& rng) override {
+    std::vector<Phase> phases(3);
+    phases[0].region = "partition";  // pivot scan: scalar, hard-to-predict branches
+    phases[0].fraction = 0.25;
+    phases[0].activity = make_uniform_activity(arch, 0.95, 1.5, 0.01, 0.05, 0.35, 20e9, rng);
+    for (auto& core : phases[0].activity.hpm.cores) {
+      core.branch_per_instr = 0.22;
+      core.branch_miss_ratio = 0.08;
+    }
+    phases[1].region = "sort";  // per-run sort: latency-bound pointer shuffling
+    phases[1].fraction = 0.45;
+    phases[1].activity = make_uniform_activity(arch, 0.97, 0.8, 0.0, 0.02, 0.25, 20e9, rng);
+    for (auto& core : phases[1].activity.hpm.cores) {
+      core.loads_per_instr = 0.42;
+      core.branch_miss_ratio = 0.12;
+      core.dtlb_miss_per_instr = 2e-4;
+    }
+    phases[1].values.emplace_back("comparisons", 4.8e8);
+    phases[2].region = "merge";  // k-way merge: sequential streams, bandwidth-bound
+    phases[2].fraction = 0.30;
+    phases[2].activity = make_uniform_activity(arch, 0.90, 1.0, 0.0, 0.40, 0.70, 20e9, rng);
+    phases[2].values.emplace_back("elements_merged", 1.5e8);
+    return phases;
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<Workload> make_workload(const std::string& name, std::uint64_t seed) {
@@ -306,6 +452,9 @@ std::unique_ptr<Workload> make_workload(const std::string& name, std::uint64_t s
                                                   12 * util::kNanosPerMinute);
   }
   if (name == "minimd") return std::make_unique<MiniMdWorkload>(seed);
+  if (name == "ml_inference") return std::make_unique<MlInferenceWorkload>();
+  if (name == "stencil2d") return std::make_unique<Stencil2dWorkload>();
+  if (name == "sortmerge") return std::make_unique<SortMergeWorkload>();
   return nullptr;
 }
 
@@ -316,7 +465,8 @@ std::unique_ptr<Workload> make_compute_break(util::TimeNs compute_before,
 
 std::vector<std::string> workload_names() {
   return {"minimd",  "dgemm",      "stream", "idle",    "compute_break",
-          "memleak", "imbalanced", "scalar", "latency", "io_heavy"};
+          "memleak", "imbalanced", "scalar", "latency", "io_heavy",
+          "ml_inference", "stencil2d", "sortmerge"};
 }
 
 }  // namespace lms::cluster

@@ -1,12 +1,37 @@
 #include "lms/dashboard/agent.hpp"
 
+#include <cstdlib>
 #include <set>
 
+#include "lms/analysis/roofline.hpp"
 #include "lms/obs/trace.hpp"
 #include "lms/tsdb/trace_assembly.hpp"
 #include "lms/util/strings.hpp"
 
 namespace lms::dashboard {
+
+namespace {
+
+/// Region roofline table -> JSON rows, shared by the /regions endpoint and
+/// the job dashboard's Regions panel.
+json::Value regions_to_json(const std::vector<analysis::RegionRoofline>& regions) {
+  json::Array out;
+  for (const auto& rr : regions) {
+    json::Object o;
+    o["region"] = rr.region;
+    o["time_share"] = rr.time_share;
+    o["calls"] = static_cast<std::int64_t>(rr.calls);
+    o["operational_intensity"] = rr.roofline.operational_intensity;
+    o["measured_gflops"] = rr.roofline.measured_gflops;
+    o["attainable_gflops"] = rr.roofline.attainable_gflops;
+    o["efficiency"] = rr.roofline.efficiency;
+    o["bound"] = rr.roofline.memory_bound ? "memory" : "compute";
+    out.emplace_back(std::move(o));
+  }
+  return json::Value(std::move(out));
+}
+
+}  // namespace
 
 DashboardAgent::DashboardAgent(tsdb::Storage& storage, const analysis::JobReporter& reporter,
                                const util::Clock& clock, Options options)
@@ -20,6 +45,17 @@ std::vector<std::string> DashboardAgent::discover_user_fields(const std::string&
     for (const auto& [field, _] : s->columns) fields.insert(field);
   }
   return {fields.begin(), fields.end()};
+}
+
+std::vector<std::string> DashboardAgent::discover_regions(const std::string& job_id) const {
+  const tsdb::ReadSnapshot snap = storage_.snapshot(options_.database);
+  if (!snap) return {};
+  std::set<std::string> regions;
+  for (const tsdb::Series* s : snap->series_matching("lms_regions", {{"jobid", job_id}})) {
+    const std::string_view r = s->tag("region");
+    if (!r.empty()) regions.emplace(r);
+  }
+  return {regions.begin(), regions.end()};
 }
 
 json::Value DashboardAgent::generate_job_dashboard(const core::RunningJob& job,
@@ -85,6 +121,39 @@ json::Value DashboardAgent::generate_job_dashboard(const core::RunningJob& job,
           substitute(json::Value(panel_query(field, "usermetric", {{"jobid", job.job_id}})),
                      vars)
               .as_string();
+      panel["targets"] = json::Array{json::Value(std::move(target))};
+      panels.emplace_back(std::move(panel));
+    }
+    row["panels"] = std::move(panels);
+    rows.emplace_back(std::move(row));
+  }
+
+  // Per-region profile (profiling SDK): a roofline placement table over the
+  // job's marker regions plus per-region timelines out of lms_regions.
+  const std::vector<std::string> regions = discover_regions(job.job_id);
+  if (!regions.empty()) {
+    json::Object row;
+    row["title"] = "Regions (marker profile)";
+    json::Array panels;
+    json::Object table;
+    table["title"] = "Region roofline";
+    table["type"] = "table";
+    table["datasource"] = options_.datasource;
+    auto per_region = analysis::roofline_per_region(reporter_.fetcher(), job.job_id,
+                                                    job.start_time, now, reporter_.arch());
+    if (per_region.ok()) table["content"] = regions_to_json(*per_region);
+    panels.emplace_back(std::move(table));
+    static constexpr const char* kRegionFields[] = {"dp_mflop_per_s", "exclusive_ns"};
+    for (const char* field : kRegionFields) {
+      json::Object panel;
+      panel["title"] = std::string(field) + " by region";
+      panel["type"] = "graph";
+      panel["datasource"] = options_.datasource;
+      json::Object target;
+      target["query"] = std::string("SELECT mean(") + field +
+                        ") FROM lms_regions WHERE jobid='" + job.job_id +
+                        "' AND time >= " + std::to_string(job.start_time) +
+                        " GROUP BY time(60s), region";
       panel["targets"] = json::Array{json::Value(std::move(target))};
       panels.emplace_back(std::move(panel));
     }
@@ -221,6 +290,8 @@ json::Value DashboardAgent::generate_internals_dashboard(util::TimeNs now) {
       {"TSDB samples stored", "tsdb_samples", "value", ""},
       {"PubSub messages dropped", "pubsub_dropped", "value", ""},
       {"Collector pending points", "collector_pending_points", "value", ", hostname"},
+      {"Profiling active regions", "profiling_active_regions", "value", ", hostname"},
+      {"Profiling marker overhead p99 (ns)", "profiling_marker_overhead_ns", "p99", ""},
   };
   json::Array rows;
   json::Object row;
@@ -396,10 +467,31 @@ net::HttpHandler DashboardAgent::handler() {
       return net::HttpResponse::json(200, json::Value(std::move(out)).dump());
     }
     if (util::starts_with(req.path, "/trace/")) return handle_trace(req);
+    if (util::starts_with(req.path, "/regions/")) return handle_regions(req);
     if (req.path == "/health") return net::health_response(health(false));
     if (req.path == "/ready") return net::ready_response(health(true));
     return net::HttpResponse::not_found();
   };
+}
+
+net::HttpResponse DashboardAgent::handle_regions(const net::HttpRequest& req) {
+  const std::string job_id =
+      std::string(std::string_view(req.path).substr(std::string_view("/regions/").size()));
+  if (job_id.empty()) return net::HttpResponse::bad_request("missing job id");
+  const util::TimeNs t0 =
+      static_cast<util::TimeNs>(std::atoll(req.query.get_or("from", "0").c_str()));
+  const std::string to = req.query.get_or("to", "");
+  const util::TimeNs t1 =
+      to.empty() ? clock_.now() : static_cast<util::TimeNs>(std::atoll(to.c_str()));
+  auto per_region =
+      analysis::roofline_per_region(reporter_.fetcher(), job_id, t0, t1, reporter_.arch());
+  if (!per_region.ok()) return net::HttpResponse::not_found();
+  json::Object out;
+  out["jobid"] = job_id;
+  out["from"] = static_cast<std::int64_t>(t0);
+  out["to"] = static_cast<std::int64_t>(t1);
+  out["regions"] = regions_to_json(*per_region);
+  return net::HttpResponse::json(200, json::Value(std::move(out)).dump());
 }
 
 net::HttpResponse DashboardAgent::handle_trace(const net::HttpRequest& req) {

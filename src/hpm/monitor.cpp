@@ -41,19 +41,13 @@ std::vector<std::vector<std::uint64_t>> HpmMonitor::snapshot() const {
   return snap;
 }
 
-lineproto::Point HpmMonitor::evaluate_group(
-    const PerfGroup& group, const std::vector<std::vector<std::uint64_t>>& before,
-    const std::vector<std::vector<std::uint64_t>>& after, util::TimeNs t0, util::TimeNs t1,
-    int socket) const {
+VarMap HpmMonitor::slot_deltas(const PerfGroup& group,
+                               const std::vector<std::vector<std::uint64_t>>& before,
+                               const std::vector<std::vector<std::uint64_t>>& after,
+                               int socket) const {
   const CounterArchitecture& arch = sim_.architecture();
   const int threads_per_socket = arch.cores_per_socket * arch.threads_per_core;
   VarMap vars;
-  vars["time"] = util::ns_to_seconds(t1 - t0);
-  vars["inverseClock"] = 1.0 / (arch.nominal_clock_ghz * 1e9);
-  vars["num_hwthreads"] =
-      static_cast<double>(socket < 0 ? arch.total_hwthreads() : threads_per_socket);
-  vars["num_sockets"] = socket < 0 ? static_cast<double>(arch.sockets) : 1.0;
-
   for (const auto& assignment : group.events()) {
     const EventDef* event = arch.find_event(assignment.event);
     if (event == nullptr) continue;  // validated at group parse time
@@ -86,6 +80,21 @@ lineproto::Point HpmMonitor::evaluate_group(
     if (event->kind == EventKind::kPkgEnergyUncore) total *= arch.energy_unit_joules;
     vars[assignment.slot] = total;
   }
+  return vars;
+}
+
+lineproto::Point HpmMonitor::evaluate_group(
+    const PerfGroup& group, const std::vector<std::vector<std::uint64_t>>& before,
+    const std::vector<std::vector<std::uint64_t>>& after, util::TimeNs t0, util::TimeNs t1,
+    int socket) const {
+  const CounterArchitecture& arch = sim_.architecture();
+  const int threads_per_socket = arch.cores_per_socket * arch.threads_per_core;
+  VarMap vars = slot_deltas(group, before, after, socket);
+  vars["time"] = util::ns_to_seconds(t1 - t0);
+  vars["inverseClock"] = 1.0 / (arch.nominal_clock_ghz * 1e9);
+  vars["num_hwthreads"] =
+      static_cast<double>(socket < 0 ? arch.total_hwthreads() : threads_per_socket);
+  vars["num_sockets"] = socket < 0 ? static_cast<double>(arch.sockets) : 1.0;
 
   lineproto::Point point;
   point.measurement = group.measurement();

@@ -57,6 +57,12 @@ class MetricFetcher {
   /// Hostnames that reported any sample of `ref` for the given job.
   std::vector<std::string> hosts_of_job(const MetricRef& ref, const std::string& job_id) const;
 
+  /// Distinct values of `tag_key` across the series of `measurement` that
+  /// match `tag_filters` (e.g. the region names of one job's lms_regions).
+  std::vector<std::string> tag_values(const std::string& measurement,
+                                      const std::string& tag_key,
+                                      const std::vector<lineproto::Tag>& tag_filters) const;
+
   const std::string& database() const { return database_; }
 
  private:

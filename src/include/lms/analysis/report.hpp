@@ -71,6 +71,12 @@ class JobReporter {
   JobEvaluation evaluate(const std::string& job_id, const std::vector<std::string>& hosts,
                          util::TimeNs t0, util::TimeNs t1) const;
 
+  /// The data source and machine model the reporter evaluates against —
+  /// shared with consumers (dashboard agent) that run further analyses
+  /// (e.g. the per-region roofline) over the same job data.
+  const MetricFetcher& fetcher() const { return fetcher_; }
+  const hpm::CounterArchitecture& arch() const { return arch_; }
+
  private:
   const MetricFetcher& fetcher_;
   const hpm::CounterArchitecture& arch_;

@@ -12,6 +12,7 @@
 // its current algorithmic intensity* — a sharper statement than "FP rate is
 // low".
 
+#include <cstdint>
 #include <string>
 
 #include "lms/analysis/fetch.hpp"
@@ -47,5 +48,24 @@ util::Result<RooflineResult> roofline_from_db(const MetricFetcher& fetcher,
 /// ASCII rendering of the roofline with the job's point marked — the
 /// log-log plot performance engineers expect.
 std::string roofline_chart(const RooflineResult& result, int width = 60, int height = 14);
+
+// ------------------------------------------------------ per-region mode
+
+/// Roofline placement of one marker region of a profiled job, computed from
+/// the lms_regions measurement the profiling SDK emits.
+struct RegionRoofline {
+  std::string region;
+  double time_share = 0.0;       ///< share of summed inclusive region time
+  std::uint64_t calls = 0;       ///< region instances in [t0, t1)
+  RooflineResult roofline;       ///< placement of this region's rates
+};
+
+/// Per-region roofline of a profiled job over [t0, t1): one entry per
+/// distinct region tag of the job's lms_regions series, sorted by
+/// descending time share. Rates are host-averaged like roofline_from_db.
+/// Fails when the job has no region data (profiling off or not flushed).
+util::Result<std::vector<RegionRoofline>> roofline_per_region(
+    const MetricFetcher& fetcher, const std::string& job_id, util::TimeNs t0, util::TimeNs t1,
+    const hpm::CounterArchitecture& arch);
 
 }  // namespace lms::analysis

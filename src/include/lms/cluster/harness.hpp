@@ -32,6 +32,7 @@
 #include "lms/obs/selfscrape.hpp"
 #include "lms/obs/trace.hpp"
 #include "lms/obs/traceexport.hpp"
+#include "lms/profiling/profiler.hpp"
 #include "lms/sched/scheduler.hpp"
 #include "lms/tsdb/continuous.hpp"
 #include "lms/tsdb/http_api.hpp"
@@ -87,6 +88,18 @@ class ClusterHarness {
     /// never started — traces land deterministically via drain_traces().
     bool enable_tracing = false;
     double trace_sample_rate = 1.0;
+    /// Region profiling: every job node gets a profiling::Profiler with an
+    /// HpmRegionCollector over that node's simulated PMU; each step runs
+    /// the workload's phases() inside region markers and the per-region
+    /// aggregates flush through the router as "lms_regions" points (tagged
+    /// jobid/user on top of region/thread/hostname/group) every
+    /// profiling_flush_interval and at job end.
+    bool enable_profiling = false;
+    std::string profiling_group = "MEM_DP";
+    util::TimeNs profiling_flush_interval = 30 * util::kNanosPerSecond;
+    /// Additionally emit an obs::Span per region instance (requires
+    /// enable_tracing to land anywhere).
+    bool profiling_spans = false;
   };
 
   explicit ClusterHarness(Options options);
@@ -182,11 +195,16 @@ class ClusterHarness {
     std::unique_ptr<Workload> workload;
     std::unique_ptr<usermetric::UserMetricClient> user_client;
     util::Rng rng;
+    /// Per-node region profilers, keyed by hostname (enable_profiling).
+    std::map<std::string, std::unique_ptr<profiling::Profiler>> profilers;
+    util::TimeNs last_profile_flush = 0;
   };
 
   void on_job_start(const sched::Job& job);
   void on_job_end(const sched::Job& job);
   void step_once();
+  void run_phases(SimNode& node, ActiveJob& job, util::TimeNs now);
+  void flush_profilers(ActiveJob& job, util::TimeNs now);
 
   Options options_;
   util::SimClock clock_;

@@ -13,6 +13,8 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "lms/hpm/simulator.hpp"
 #include "lms/sysmon/kernel.hpp"
@@ -27,6 +29,20 @@ struct NodeActivity {
   sysmon::KernelLoad kernel;
 };
 
+/// One marked phase of a simulation step. Instrumented workloads decompose
+/// each step into named phases; with profiling enabled the harness brackets
+/// every phase in a region marker and advances the counter simulator with
+/// the phase's activity for `fraction` of the step, so the HPM deltas (and
+/// the phase's application values) attribute to the region.
+struct Phase {
+  std::string region;     ///< region-marker name ("force", "matmul", ...)
+  double fraction = 1.0;  ///< share of the step; phases should sum to ~1
+  NodeActivity activity;
+  /// Application-level values attributed inside the open region via
+  /// Profiler::value() — the in-region usermetric path.
+  std::vector<std::pair<std::string, double>> values;
+};
+
 class Workload {
  public:
   virtual ~Workload() = default;
@@ -35,6 +51,13 @@ class Workload {
   /// Activity of `node_index` (of `node_count`) at `elapsed` since job start.
   virtual NodeActivity activity(int node_index, int node_count, util::TimeNs elapsed,
                                 const hpm::CounterArchitecture& arch, util::Rng& rng) = 0;
+
+  /// Phase decomposition of one step for region profiling. Default: a
+  /// single phase named after the workload wrapping activity(), so every
+  /// workload is profilable at step granularity; instrumented workloads
+  /// override with their real phase structure.
+  virtual std::vector<Phase> phases(int node_index, int node_count, util::TimeNs elapsed,
+                                    const hpm::CounterArchitecture& arch, util::Rng& rng);
 
   /// Application-level reporting hook, called once per simulation step per
   /// node with the job's libusermetric client. Default: no app-level data.
@@ -61,6 +84,11 @@ NodeActivity make_uniform_activity(const hpm::CounterArchitecture& arch, double 
 ///  "imbalanced"     node 0 carries most of the work (load imbalance)
 ///  "scalar"         unvectorized compute (optimization potential)
 ///  "latency"        pointer-chasing, latency-bound
+///  "ml_inference"   batched serving loop (preprocess/matmul/softmax/post)
+///  "stencil2d"      2D stencil sweep (halo exchange/sweep/reduce)
+///  "sortmerge"      out-of-core sort (partition/sort/merge)
+/// The last three (and minimd) are phase-instrumented: phases() returns
+/// their real region structure for the profiling SDK.
 std::unique_ptr<Workload> make_workload(const std::string& name, std::uint64_t seed);
 
 /// Parameterized Fig. 4 workload: compute for `compute_before`, stall for

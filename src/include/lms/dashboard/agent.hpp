@@ -78,13 +78,18 @@ class DashboardAgent {
   ///   GET  /api/dashboards/uid/<uid>  -> dashboard JSON
   ///   GET  /api/search                -> [{uid,title}]
   ///   GET  /trace/<id16hex>           -> span waterfall (HTML; ?format=json)
+  ///   GET  /regions/<jobid>           -> per-region roofline table (JSON;
+  ///                                      ?from=<ns>&to=<ns> bound the range)
   ///   GET  /health, /ready            -> JSON component status
   net::HttpHandler handler();
 
  private:
   net::HttpResponse handle_trace(const net::HttpRequest& req);
+  net::HttpResponse handle_regions(const net::HttpRequest& req);
   /// Discover application-level metric fields the job reported.
   std::vector<std::string> discover_user_fields(const std::string& job_id) const;
+  /// Region names of the job's lms_regions series (profiled jobs only).
+  std::vector<std::string> discover_regions(const std::string& job_id) const;
 
   tsdb::Storage& storage_;
   const analysis::JobReporter& reporter_;

@@ -50,6 +50,16 @@ class HpmMonitor {
                                   const std::vector<std::vector<std::uint64_t>>& after,
                                   util::TimeNs t0, util::TimeNs t1, int socket = -1) const;
 
+  /// Per-slot counter deltas of `group` between two snapshots — the
+  /// variable bindings evaluate_group feeds to the metric formulas (wrap
+  /// handled, RAPL slots converted to joules). Exposed so region-scoped
+  /// consumers (the profiling SDK) can accumulate raw slot counts and run
+  /// the formulas once over the sums.
+  VarMap slot_deltas(const PerfGroup& group,
+                     const std::vector<std::vector<std::uint64_t>>& before,
+                     const std::vector<std::vector<std::uint64_t>>& after,
+                     int socket = -1) const;
+
   /// Snapshot all counters (indexed [EventKind][unit]).
   std::vector<std::vector<std::uint64_t>> snapshot() const;
 

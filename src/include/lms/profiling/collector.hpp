@@ -1,0 +1,126 @@
+#pragma once
+
+// MetricCollector — the pluggable per-region measurement interface of the
+// profiling SDK, mirroring how TVM's runtime profiler consumes LIKWID: the
+// framework owns the region lifecycle (start/stop markers around code
+// phases) and asks each attached collector to snapshot its counters at the
+// region boundaries, attributing the deltas to the region.
+//
+// A collector's per-instance fields must be *additive* (raw event deltas,
+// byte counts, call counts): the profiler sums them across all instances of
+// a region between two flushes and only then asks the collector to derive
+// rate/ratio metrics from the sums (derive()), so averaging-of-rates bugs
+// cannot happen. This is exactly how likwid-perfctr reports marker regions:
+// raw counts accumulate per region, derived metrics are computed once from
+// the accumulated counts and the accumulated region time.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lms/hpm/perfgroup.hpp"
+#include "lms/hpm/simulator.hpp"
+#include "lms/lineproto/point.hpp"
+#include "lms/util/status.hpp"
+
+namespace lms::profiling {
+
+/// Field sums of one region since the last flush, keyed by field name.
+using FieldSums = std::map<std::string, double, std::less<>>;
+
+class MetricCollector {
+ public:
+  virtual ~MetricCollector() = default;
+
+  /// Collector name, used in logs and error messages.
+  virtual std::string name() const = 0;
+
+  /// Tag value for the "group" tag of lms_regions points produced with this
+  /// collector attached ("" = no group tag).
+  virtual std::string group() const { return {}; }
+
+  /// Open a measurement bracket: snapshot whatever state is needed and
+  /// return an opaque handle. `now` is the region start timestamp.
+  virtual std::uint64_t start(util::TimeNs now) = 0;
+
+  /// Close the bracket opened by `handle` and return the *additive* fields
+  /// attributed to the region instance (raw event deltas). `now` is the
+  /// region stop timestamp. The handle is consumed.
+  virtual std::vector<lineproto::Field> stop(std::uint64_t handle, util::TimeNs now) = 0;
+
+  /// Drop a bracket without attribution (region discarded mid-flight).
+  virtual void discard(std::uint64_t handle) = 0;
+
+  /// Derive rate/ratio metrics from the accumulated field sums of a region
+  /// and its accumulated inclusive time. Called at report time; the result
+  /// is appended to the region's fields. Default: no derived metrics.
+  virtual std::vector<lineproto::Field> derive(const FieldSums& sums,
+                                               util::TimeNs inclusive_ns) const {
+    (void)sums;
+    (void)inclusive_ns;
+    return {};
+  }
+};
+
+/// HPM collector: attributes the hardware events of one performance group to
+/// regions, likwid-perfctr marker-API style. start() snapshots the group's
+/// counters on the simulated PMU; stop() returns one field per event slot
+/// with the wrapped delta ("cnt_pmc0", "cnt_fixc1", ...); derive() evaluates the
+/// group's metric formulas over the accumulated slot sums with
+/// time = accumulated inclusive region seconds, yielding the same field keys
+/// the HpmMonitor publishes ("dp_mflop_per_s", ...), so the per-region
+/// analysis can reuse the node-level formulas and thresholds unchanged.
+class HpmRegionCollector final : public MetricCollector {
+ public:
+  /// Fails if `group_name` is unknown in the registry.
+  static util::Result<std::unique_ptr<HpmRegionCollector>> create(
+      const hpm::GroupRegistry& registry, const hpm::CounterSimulator& sim,
+      const std::string& group_name);
+
+  std::string name() const override { return "hpm:" + group_->name(); }
+  std::string group() const override { return group_->name(); }
+  std::uint64_t start(util::TimeNs now) override;
+  std::vector<lineproto::Field> stop(std::uint64_t handle, util::TimeNs now) override;
+  void discard(std::uint64_t handle) override;
+  std::vector<lineproto::Field> derive(const FieldSums& sums,
+                                       util::TimeNs inclusive_ns) const override;
+
+  /// Field key carrying the raw delta of `slot` ("PMC0" -> "cnt_pmc0").
+  static std::string slot_field_key(std::string_view slot);
+
+  const hpm::PerfGroup& perf_group() const { return *group_; }
+
+ private:
+  HpmRegionCollector(const hpm::CounterSimulator& sim, const hpm::PerfGroup* group);
+
+  /// One event slot of the group, resolved once at construction so a
+  /// bracket only reads the counters the group actually programs (a full
+  /// PMU snapshot reads every event kind — several times more than any one
+  /// group uses, and region brackets are the hot path).
+  struct EventRef {
+    hpm::EventKind kind;
+    int units = 0;             ///< hwthreads or sockets, per the event scope
+    std::uint64_t mask = 0;    ///< counter width for wrap_delta
+    double scale = 1.0;        ///< RAPL slots deliver joules to the formulas
+    std::string field_key;     ///< "cnt_<slot>"
+  };
+  /// Flat per-(event, unit) counter reading of the group's events.
+  std::vector<std::uint64_t> snapshot_group() const;
+
+  const hpm::CounterSimulator& sim_;
+  const hpm::PerfGroup* group_;
+  std::vector<EventRef> events_;
+
+  struct Bracket {
+    std::vector<std::uint64_t> counts;
+    util::TimeNs t0 = 0;
+  };
+  mutable std::mutex mu_;
+  std::uint64_t next_handle_ = 1;
+  std::map<std::uint64_t, Bracket> open_;
+};
+
+}  // namespace lms::profiling

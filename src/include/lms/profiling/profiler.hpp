@@ -1,0 +1,196 @@
+#pragma once
+
+// The profiling SDK: likwid-perfctr marker API for applications.
+//
+// The stack so far observes jobs from the outside (node-level HPM sampling,
+// kernel metrics, usermetric streams). This module is the inside view the
+// paper's job-specific-monitoring promise ultimately needs: an application
+// brackets its phases with named region markers,
+//
+//   profiling::Profiler profiler(opts);
+//   profiler.add_collector(HpmRegionCollector::create(registry, pmu, "MEM_DP").take());
+//   {
+//     profiling::ScopedRegion force(profiler, "force");
+//     compute_forces();                       // exception-safe: dtor stops
+//   }
+//
+// and every attached MetricCollector attributes its counter deltas to the
+// region. Regions nest (per-thread stacks), are safe under exception unwind
+// (ScopedRegion), and aggregate per (region, thread): call count, inclusive
+// and exclusive wall time, raw event sums and — at report time — the perf
+// group's derived metrics. drain_points() turns the aggregate into
+// "lms_regions" line-protocol points (tags: region, thread, hostname,
+// group) that flow through the stock collector -> router -> TSDB pipeline,
+// so per-region timelines come out of the same dashboards as everything
+// else.
+//
+// Marker discipline follows likwid-perfctr: stop() must name the innermost
+// open region of the calling thread. Anything else (stop without start,
+// stop of an outer region, stop on a thread that never started it) is
+// counted as unbalanced, reported via Status, and leaves the region state
+// untouched — a misbehaving caller cannot corrupt the stacks. Recursive
+// regions (same name nested) are allowed and attribute per instance.
+//
+// The profiler monitors itself: with Options::registry set it exposes
+// an active-regions gauge, a per-marker-call overhead histogram and
+// marker/unbalanced counters under the standard lms_internal self-scrape.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lms/obs/metrics.hpp"
+#include "lms/obs/trace.hpp"
+#include "lms/profiling/collector.hpp"
+#include "lms/util/clock.hpp"
+#include "lms/util/status.hpp"
+
+namespace lms::profiling {
+
+/// Measurement name of the per-region points.
+inline constexpr std::string_view kRegionsMeasurement = "lms_regions";
+
+class Profiler {
+ public:
+  struct Options {
+    /// Stamped as the "hostname" tag (the stack's routing key) and as the
+    /// self-metrics label. Empty = no hostname tag.
+    std::string hostname;
+    /// Timestamp source when markers are called without an explicit time
+    /// (nullptr = wall clock). Simulations pass explicit times instead.
+    const util::Clock* clock = nullptr;
+    /// Self-metrics registry (nullptr = no self-metrics).
+    obs::Registry* registry = nullptr;
+    /// Emit an obs::Span per region instance so regions appear inside the
+    /// PR-4 distributed traces of the surrounding request/job.
+    bool emit_spans = false;
+    /// Nesting bound per thread; deeper start() calls are rejected (guards
+    /// against a start() leak in a loop eating memory forever).
+    std::size_t max_depth = 64;
+  };
+
+  Profiler();
+  explicit Profiler(Options options);
+  ~Profiler();
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Attach a collector. Not thread-safe against concurrent markers; attach
+  /// everything before the first region starts (likwid marker init idiom).
+  void add_collector(std::unique_ptr<MetricCollector> collector);
+
+  // ------------------------------------------------------- marker API
+  /// Open a region on the calling thread. `now` 0 = read the clock.
+  util::Status start(std::string_view region, util::TimeNs now = 0);
+
+  /// Close the innermost open region of the calling thread, which must be
+  /// named `region`; anything else is unbalanced and changes nothing.
+  util::Status stop(std::string_view region, util::TimeNs now = 0);
+
+  /// Attribute an application-level value (libusermetric-style) to the
+  /// innermost open region of the calling thread: the region's fields gain
+  /// "user_<name>" (sum) and "user_<name>_count". Returns false (and drops
+  /// the value) when no region is open on this thread.
+  bool value(std::string_view name, double v);
+
+  // -------------------------------------------------------- reporting
+  struct RegionStats {
+    std::string region;
+    std::string thread;  ///< stable per-profiler thread index ("0", "1", ...)
+    std::uint64_t count = 0;          ///< completed instances
+    util::TimeNs inclusive_ns = 0;    ///< sum over instances
+    util::TimeNs exclusive_ns = 0;    ///< inclusive minus child region time
+    FieldSums fields;                 ///< collector sums + derived + user values
+  };
+
+  /// Aggregated per-(region, thread) statistics of all *completed* region
+  /// instances since the last drain, including derived collector metrics.
+  /// Non-destructive.
+  std::vector<RegionStats> stats() const;
+
+  /// Aggregate -> lms_regions points (one per region x thread, stamped
+  /// `now`, tagged region/thread/hostname/group + `extra_tags`) and reset,
+  /// so consecutive drains yield a per-interval region timeline.
+  std::vector<lineproto::Point> drain_points(util::TimeNs now,
+                                             const std::vector<lineproto::Tag>& extra_tags = {});
+
+  /// Drop all aggregated statistics (open regions stay open).
+  void reset();
+
+  struct Counters {
+    std::uint64_t markers = 0;     ///< completed start/stop pairs
+    std::uint64_t unbalanced = 0;  ///< rejected stop() calls
+    std::uint64_t rejected = 0;    ///< start() calls rejected by max_depth
+    std::uint64_t user_values = 0; ///< attributed value() calls
+  };
+  Counters counters() const;
+
+  /// Currently open region instances across all threads.
+  std::size_t active_regions() const;
+
+ private:
+  struct OpenRegion {
+    std::string name;
+    util::TimeNs t0 = 0;
+    util::TimeNs child_ns = 0;           ///< closed children's inclusive time
+    std::vector<std::uint64_t> handles;  ///< one per collector
+    FieldSums user_fields;               ///< value() attributions
+    std::unique_ptr<obs::Span> span;     ///< set iff options_.emit_spans
+  };
+  struct ThreadState {
+    std::string label;
+    std::vector<OpenRegion> stack;
+  };
+  struct Aggregate {
+    std::uint64_t count = 0;
+    util::TimeNs inclusive_ns = 0;
+    util::TimeNs exclusive_ns = 0;
+    FieldSums fields;
+  };
+  using AggKey = std::pair<std::string, std::string>;  // (region, thread label)
+
+  util::TimeNs resolve_now(util::TimeNs now) const;
+  ThreadState& thread_state_locked();
+  void append_derived(const Aggregate& agg, FieldSums& fields) const;
+
+  Options options_;
+  std::vector<std::unique_ptr<MetricCollector>> collectors_;
+  std::string group_tag_;  ///< first non-empty collector group
+
+  mutable std::mutex mu_;
+  std::map<std::thread::id, ThreadState> threads_;
+  std::map<AggKey, Aggregate> aggregates_;
+  std::size_t open_count_ = 0;
+  Counters counters_;
+
+  // Self-metrics handles (null when options_.registry is null).
+  obs::Counter* markers_total_ = nullptr;
+  obs::Counter* unbalanced_total_ = nullptr;
+  obs::Histogram* marker_overhead_ = nullptr;
+};
+
+/// RAII region bracket: starts on construction, stops on destruction —
+/// including during exception unwind, which is the whole point. A bracket
+/// whose start() was rejected (depth bound) stops nothing.
+class ScopedRegion {
+ public:
+  ScopedRegion(Profiler& profiler, std::string region, util::TimeNs now = 0);
+  ~ScopedRegion();
+  ScopedRegion(const ScopedRegion&) = delete;
+  ScopedRegion& operator=(const ScopedRegion&) = delete;
+
+  /// Close early (idempotent; the destructor then does nothing).
+  util::Status stop(util::TimeNs now = 0);
+
+  bool active() const { return active_; }
+
+ private:
+  Profiler& profiler_;
+  std::string region_;
+  bool active_ = false;
+};
+
+}  // namespace lms::profiling

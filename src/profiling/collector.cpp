@@ -1,0 +1,134 @@
+#include "lms/profiling/collector.hpp"
+
+#include <cctype>
+#include <utility>
+
+#include "lms/util/logging.hpp"
+
+namespace lms::profiling {
+
+util::Result<std::unique_ptr<HpmRegionCollector>> HpmRegionCollector::create(
+    const hpm::GroupRegistry& registry, const hpm::CounterSimulator& sim,
+    const std::string& group_name) {
+  const hpm::PerfGroup* group = registry.find(group_name);
+  if (group == nullptr) {
+    return util::Result<std::unique_ptr<HpmRegionCollector>>::error(
+        "HpmRegionCollector: unknown group '" + group_name + "'");
+  }
+  for (const auto& assignment : group->events()) {
+    if (sim.architecture().find_event(assignment.event) == nullptr) {
+      return util::Result<std::unique_ptr<HpmRegionCollector>>::error(
+          "HpmRegionCollector: event '" + assignment.event + "' not in architecture '" +
+          sim.architecture().name + "'");
+    }
+  }
+  return std::unique_ptr<HpmRegionCollector>(new HpmRegionCollector(sim, group));
+}
+
+HpmRegionCollector::HpmRegionCollector(const hpm::CounterSimulator& sim,
+                                       const hpm::PerfGroup* group)
+    : sim_(sim), group_(group) {
+  events_.reserve(group_->events().size());
+  for (const auto& assignment : group_->events()) {
+    const hpm::EventDef* event = sim_.architecture().find_event(assignment.event);
+    EventRef ref;
+    ref.kind = event->kind;
+    ref.units = sim_.units_for(event->kind);
+    ref.mask = event->kind == hpm::EventKind::kPkgEnergyUncore
+                   ? hpm::CounterSimulator::kEnergyCounterMask
+                   : hpm::CounterSimulator::kCoreCounterMask;
+    if (event->kind == hpm::EventKind::kPkgEnergyUncore) {
+      ref.scale = sim_.architecture().energy_unit_joules;
+    }
+    ref.field_key = slot_field_key(assignment.slot);
+    events_.push_back(std::move(ref));
+  }
+}
+
+std::string HpmRegionCollector::slot_field_key(std::string_view slot) {
+  std::string key = "cnt_";
+  for (const char c : slot) {
+    key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return key;
+}
+
+std::vector<std::uint64_t> HpmRegionCollector::snapshot_group() const {
+  std::size_t total = 0;
+  for (const EventRef& e : events_) total += static_cast<std::size_t>(e.units);
+  std::vector<std::uint64_t> counts;
+  counts.reserve(total);
+  for (const EventRef& e : events_) {
+    for (int u = 0; u < e.units; ++u) counts.push_back(sim_.read(e.kind, u));
+  }
+  return counts;
+}
+
+std::uint64_t HpmRegionCollector::start(util::TimeNs now) {
+  Bracket bracket;
+  bracket.counts = snapshot_group();
+  bracket.t0 = now;
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t handle = next_handle_++;
+  open_.emplace(handle, std::move(bracket));
+  return handle;
+}
+
+std::vector<lineproto::Field> HpmRegionCollector::stop(std::uint64_t handle, util::TimeNs now) {
+  (void)now;
+  Bracket bracket;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = open_.find(handle);
+    if (it == open_.end()) return {};
+    bracket = std::move(it->second);
+    open_.erase(it);
+  }
+  std::vector<lineproto::Field> fields;
+  fields.reserve(events_.size());
+  std::size_t offset = 0;
+  for (const EventRef& e : events_) {
+    double total = 0.0;
+    for (int u = 0; u < e.units; ++u, ++offset) {
+      const std::uint64_t before = offset < bracket.counts.size() ? bracket.counts[offset] : 0;
+      total += static_cast<double>(
+          hpm::CounterSimulator::wrap_delta(sim_.read(e.kind, u), before, e.mask));
+    }
+    fields.emplace_back(e.field_key, lineproto::FieldValue(total * e.scale));
+  }
+  return fields;
+}
+
+void HpmRegionCollector::discard(std::uint64_t handle) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  open_.erase(handle);
+}
+
+std::vector<lineproto::Field> HpmRegionCollector::derive(const FieldSums& sums,
+                                                         util::TimeNs inclusive_ns) const {
+  const hpm::CounterArchitecture& arch = sim_.architecture();
+  hpm::VarMap vars;
+  for (const auto& assignment : group_->events()) {
+    const auto it = sums.find(slot_field_key(assignment.slot));
+    vars[assignment.slot] = it != sums.end() ? it->second : 0.0;
+  }
+  vars["time"] = util::ns_to_seconds(inclusive_ns);
+  vars["inverseClock"] = 1.0 / (arch.nominal_clock_ghz * 1e9);
+  vars["num_hwthreads"] = static_cast<double>(arch.total_hwthreads());
+  vars["num_sockets"] = static_cast<double>(arch.sockets);
+
+  std::vector<lineproto::Field> fields;
+  fields.reserve(group_->metrics().size());
+  for (const auto& metric : group_->metrics()) {
+    const auto value = metric.formula.evaluate(vars);
+    if (!value.ok()) {
+      LMS_WARN("profiling") << "region metric '" << metric.name
+                            << "' failed: " << value.message();
+      continue;
+    }
+    fields.emplace_back(metric.field_key, lineproto::FieldValue(*value));
+  }
+  return fields;
+}
+
+}  // namespace lms::profiling

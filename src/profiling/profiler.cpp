@@ -1,0 +1,252 @@
+#include "lms/profiling/profiler.hpp"
+
+#include <algorithm>
+
+#include "lms/hpm/perfgroup.hpp"
+
+namespace lms::profiling {
+
+namespace {
+
+/// Self-metric instrument names (lms_internal, via the standard self-scrape).
+constexpr std::string_view kActiveRegionsGauge = "profiling_active_regions";
+constexpr std::string_view kMarkerOverheadHist = "profiling_marker_overhead_ns";
+constexpr std::string_view kMarkersCounter = "profiling_markers_total";
+constexpr std::string_view kUnbalancedCounter = "profiling_unbalanced_markers";
+
+obs::Labels self_labels(const Profiler::Options& options) {
+  obs::Labels labels;
+  if (!options.hostname.empty()) labels.emplace_back("hostname", options.hostname);
+  return labels;
+}
+
+}  // namespace
+
+Profiler::Profiler() : Profiler(Options{}) {}
+
+Profiler::Profiler(Options options) : options_(std::move(options)) {
+  if (options_.registry != nullptr) {
+    const obs::Labels labels = self_labels(options_);
+    markers_total_ = &options_.registry->counter(kMarkersCounter, labels);
+    unbalanced_total_ = &options_.registry->counter(kUnbalancedCounter, labels);
+    marker_overhead_ = &options_.registry->histogram(kMarkerOverheadHist, labels);
+    options_.registry->gauge_fn(kActiveRegionsGauge, labels,
+                                [this] { return static_cast<double>(active_regions()); });
+  }
+}
+
+Profiler::~Profiler() {
+  if (options_.registry != nullptr) {
+    options_.registry->remove_gauge_fn(kActiveRegionsGauge, self_labels(options_));
+  }
+  // Open brackets of collectors die with the collectors; nothing to unwind.
+}
+
+void Profiler::add_collector(std::unique_ptr<MetricCollector> collector) {
+  if (collector == nullptr) return;
+  if (group_tag_.empty()) group_tag_ = collector->group();
+  collectors_.push_back(std::move(collector));
+}
+
+util::TimeNs Profiler::resolve_now(util::TimeNs now) const {
+  if (now != 0) return now;
+  const util::Clock* clock = options_.clock;
+  return clock != nullptr ? clock->now() : util::WallClock::instance().now();
+}
+
+Profiler::ThreadState& Profiler::thread_state_locked() {
+  const auto id = std::this_thread::get_id();
+  const auto it = threads_.find(id);
+  if (it != threads_.end()) return it->second;
+  ThreadState state;
+  state.label = std::to_string(threads_.size());
+  return threads_.emplace(id, std::move(state)).first->second;
+}
+
+util::Status Profiler::start(std::string_view region, util::TimeNs now) {
+  const util::TimeNs entry = util::monotonic_now_ns();
+  now = resolve_now(now);
+  OpenRegion open;
+  open.name = std::string(region);
+  open.t0 = now;
+  open.handles.reserve(collectors_.size());
+  for (const auto& collector : collectors_) open.handles.push_back(collector->start(now));
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ThreadState& state = thread_state_locked();
+    if (state.stack.size() >= options_.max_depth) {
+      ++counters_.rejected;
+      for (std::size_t i = 0; i < collectors_.size(); ++i) {
+        collectors_[i]->discard(open.handles[i]);
+      }
+      return util::Status::error("profiling: region depth bound (" +
+                                 std::to_string(options_.max_depth) + ") hit starting '" +
+                                 open.name + "'");
+    }
+    if (options_.emit_spans) {
+      open.span = std::make_unique<obs::Span>("region " + open.name, "profiling");
+    }
+    state.stack.push_back(std::move(open));
+    ++open_count_;
+  }
+  if (marker_overhead_ != nullptr) {
+    marker_overhead_->record(static_cast<std::uint64_t>(
+        std::max<util::TimeNs>(0, util::monotonic_now_ns() - entry)));
+  }
+  return util::Status();
+}
+
+util::Status Profiler::stop(std::string_view region, util::TimeNs now) {
+  const util::TimeNs entry = util::monotonic_now_ns();
+  now = resolve_now(now);
+  OpenRegion closed;
+  std::string thread_label;
+  util::TimeNs dt = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ThreadState& state = thread_state_locked();
+    if (state.stack.empty() || state.stack.back().name != region) {
+      ++counters_.unbalanced;
+      if (unbalanced_total_ != nullptr) unbalanced_total_->inc();
+      const std::string open_name =
+          state.stack.empty() ? "<none>" : state.stack.back().name;
+      return util::Status::error("profiling: unbalanced stop('" + std::string(region) +
+                                 "'): innermost open region is '" + open_name + "'");
+    }
+    closed = std::move(state.stack.back());
+    state.stack.pop_back();
+    --open_count_;
+    thread_label = state.label;
+    dt = std::max<util::TimeNs>(0, now - closed.t0);
+    if (!state.stack.empty()) state.stack.back().child_ns += dt;
+  }
+
+  // Collector brackets close outside the profiler lock (each collector has
+  // its own synchronization), then the sums merge back under it.
+  std::vector<std::vector<lineproto::Field>> collected;
+  collected.reserve(collectors_.size());
+  for (std::size_t i = 0; i < collectors_.size(); ++i) {
+    collected.push_back(collectors_[i]->stop(closed.handles[i], now));
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Aggregate& agg = aggregates_[AggKey{closed.name, thread_label}];
+    ++agg.count;
+    agg.inclusive_ns += dt;
+    agg.exclusive_ns += std::max<util::TimeNs>(0, dt - closed.child_ns);
+    for (const auto& fields : collected) {
+      for (const auto& [key, value] : fields) agg.fields[key] += value.as_double();
+    }
+    for (const auto& [key, value] : closed.user_fields) agg.fields[key] += value;
+    ++counters_.markers;
+  }
+  if (markers_total_ != nullptr) markers_total_->inc();
+  // closed.span (if any) is destroyed here, recording the region span with
+  // the surrounding trace as parent.
+  closed.span.reset();
+  if (marker_overhead_ != nullptr) {
+    marker_overhead_->record(static_cast<std::uint64_t>(
+        std::max<util::TimeNs>(0, util::monotonic_now_ns() - entry)));
+  }
+  return util::Status();
+}
+
+bool Profiler::value(std::string_view name, double v) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ThreadState& state = thread_state_locked();
+  if (state.stack.empty()) return false;
+  const std::string key = "user_" + hpm::sanitize_field_key(name);
+  state.stack.back().user_fields[key] += v;
+  state.stack.back().user_fields[key + "_count"] += 1.0;
+  ++counters_.user_values;
+  return true;
+}
+
+void Profiler::append_derived(const Aggregate& agg, FieldSums& fields) const {
+  for (const auto& collector : collectors_) {
+    for (const auto& [key, value] : collector->derive(agg.fields, agg.inclusive_ns)) {
+      fields[key] = value.as_double();
+    }
+  }
+}
+
+std::vector<Profiler::RegionStats> Profiler::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RegionStats> out;
+  out.reserve(aggregates_.size());
+  for (const auto& [key, agg] : aggregates_) {
+    RegionStats stats;
+    stats.region = key.first;
+    stats.thread = key.second;
+    stats.count = agg.count;
+    stats.inclusive_ns = agg.inclusive_ns;
+    stats.exclusive_ns = agg.exclusive_ns;
+    stats.fields = agg.fields;
+    append_derived(agg, stats.fields);
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+std::vector<lineproto::Point> Profiler::drain_points(
+    util::TimeNs now, const std::vector<lineproto::Tag>& extra_tags) {
+  std::map<AggKey, Aggregate> drained;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    drained.swap(aggregates_);
+  }
+  std::vector<lineproto::Point> points;
+  points.reserve(drained.size());
+  for (const auto& [key, agg] : drained) {
+    lineproto::Point point;
+    point.measurement = std::string(kRegionsMeasurement);
+    point.set_tag("region", key.first);
+    point.set_tag("thread", key.second);
+    if (!options_.hostname.empty()) point.set_tag("hostname", options_.hostname);
+    if (!group_tag_.empty()) point.set_tag("group", group_tag_);
+    for (const auto& [tag, tag_value] : extra_tags) point.set_tag(tag, tag_value);
+    point.timestamp = now;
+    point.add_field("count", static_cast<std::int64_t>(agg.count));
+    point.add_field("inclusive_ns", static_cast<std::int64_t>(agg.inclusive_ns));
+    point.add_field("exclusive_ns", static_cast<std::int64_t>(agg.exclusive_ns));
+    FieldSums fields = agg.fields;
+    append_derived(agg, fields);
+    for (const auto& [field, value] : fields) point.add_field(field, value);
+    point.normalize();
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+void Profiler::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  aggregates_.clear();
+}
+
+Profiler::Counters Profiler::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::size_t Profiler::active_regions() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return open_count_;
+}
+
+ScopedRegion::ScopedRegion(Profiler& profiler, std::string region, util::TimeNs now)
+    : profiler_(profiler), region_(std::move(region)) {
+  active_ = profiler_.start(region_, now).ok();
+}
+
+ScopedRegion::~ScopedRegion() {
+  if (active_) (void)profiler_.stop(region_);
+}
+
+util::Status ScopedRegion::stop(util::TimeNs now) {
+  if (!active_) return util::Status::error("profiling: region '" + region_ + "' not open");
+  active_ = false;
+  return profiler_.stop(region_, now);
+}
+
+}  // namespace lms::profiling

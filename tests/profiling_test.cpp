@@ -1,0 +1,468 @@
+// Tests for the lms::profiling SDK: marker discipline (nesting, recursion,
+// unbalanced calls, cross-thread stops, exception unwind), HPM counter
+// attribution, concurrent markers, and the end-to-end path through the
+// cluster harness into the TSDB and the dashboard's per-region view.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "lms/analysis/roofline.hpp"
+#include "lms/cluster/harness.hpp"
+#include "lms/cluster/workload.hpp"
+#include "lms/hpm/monitor.hpp"
+#include "lms/json/json.hpp"
+#include "lms/profiling/profiler.hpp"
+#include "lms/util/strings.hpp"
+
+namespace lms {
+namespace {
+
+using profiling::Profiler;
+using profiling::ScopedRegion;
+
+constexpr util::TimeNs kMs = util::kNanosPerSecond / 1000;
+
+// ------------------------------------------------------ marker discipline
+
+TEST(Profiler, NestedRegionsSplitInclusiveAndExclusiveTime) {
+  Profiler profiler;
+  ASSERT_TRUE(profiler.start("outer", 1 * kMs).ok());
+  ASSERT_TRUE(profiler.start("inner", 2 * kMs).ok());
+  EXPECT_EQ(profiler.active_regions(), 2u);
+  ASSERT_TRUE(profiler.stop("inner", 5 * kMs).ok());
+  ASSERT_TRUE(profiler.stop("outer", 10 * kMs).ok());
+  EXPECT_EQ(profiler.active_regions(), 0u);
+
+  const auto stats = profiler.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  const auto& inner = stats[0].region == "inner" ? stats[0] : stats[1];
+  const auto& outer = stats[0].region == "outer" ? stats[0] : stats[1];
+  EXPECT_EQ(inner.inclusive_ns, 3 * kMs);
+  EXPECT_EQ(inner.exclusive_ns, 3 * kMs);
+  EXPECT_EQ(outer.inclusive_ns, 9 * kMs);
+  EXPECT_EQ(outer.exclusive_ns, 6 * kMs);  // inner's 3 ms subtracted
+  EXPECT_EQ(profiler.counters().markers, 2u);
+}
+
+TEST(Profiler, RecursiveRegionsAttributePerInstance) {
+  Profiler profiler;
+  ASSERT_TRUE(profiler.start("fib", 0 * kMs + 1).ok());
+  ASSERT_TRUE(profiler.start("fib", 1 * kMs).ok());
+  ASSERT_TRUE(profiler.stop("fib", 3 * kMs).ok());
+  ASSERT_TRUE(profiler.stop("fib", 6 * kMs).ok());
+  const auto stats = profiler.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].count, 2u);
+  // Outer instance: ~6 ms inclusive, child 2 ms -> ~4 ms exclusive.
+  EXPECT_EQ(stats[0].inclusive_ns, 2 * kMs + (6 * kMs - 1));
+  EXPECT_EQ(stats[0].exclusive_ns, 2 * kMs + (6 * kMs - 1) - 2 * kMs);
+}
+
+TEST(Profiler, UnbalancedStopsAreCountedAndChangeNothing) {
+  Profiler profiler;
+  // Stop without any start.
+  EXPECT_FALSE(profiler.stop("nothing", 1 * kMs).ok());
+  // Stop of the outer region while the inner one is open.
+  ASSERT_TRUE(profiler.start("outer", 2 * kMs).ok());
+  ASSERT_TRUE(profiler.start("inner", 3 * kMs).ok());
+  EXPECT_FALSE(profiler.stop("outer", 4 * kMs).ok());
+  EXPECT_EQ(profiler.active_regions(), 2u);  // stacks untouched
+  // The well-behaved unwind still works.
+  EXPECT_TRUE(profiler.stop("inner", 5 * kMs).ok());
+  EXPECT_TRUE(profiler.stop("outer", 6 * kMs).ok());
+  EXPECT_EQ(profiler.counters().unbalanced, 2u);
+  EXPECT_EQ(profiler.counters().markers, 2u);
+}
+
+TEST(Profiler, StopFromAnotherThreadIsUnbalanced) {
+  Profiler profiler;
+  ASSERT_TRUE(profiler.start("mine", 1 * kMs).ok());
+  util::Status other_status;
+  std::thread other([&] { other_status = profiler.stop("mine", 2 * kMs); });
+  other.join();
+  // The other thread has no open region of that name on *its* stack.
+  EXPECT_FALSE(other_status.ok());
+  EXPECT_EQ(profiler.counters().unbalanced, 1u);
+  // The owner still closes it fine.
+  EXPECT_TRUE(profiler.stop("mine", 3 * kMs).ok());
+}
+
+TEST(Profiler, ScopedRegionClosesOnExceptionUnwind) {
+  Profiler profiler;
+  try {
+    ScopedRegion region(profiler, "risky", 1 * kMs);
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(profiler.active_regions(), 0u);
+  const auto stats = profiler.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].region, "risky");
+  EXPECT_EQ(stats[0].count, 1u);
+  EXPECT_EQ(profiler.counters().unbalanced, 0u);
+}
+
+TEST(Profiler, ScopedRegionEarlyStopIsIdempotent) {
+  Profiler profiler;
+  ScopedRegion region(profiler, "r", 1 * kMs);
+  EXPECT_TRUE(region.active());
+  EXPECT_TRUE(region.stop(2 * kMs).ok());
+  EXPECT_FALSE(region.active());
+  EXPECT_FALSE(region.stop(3 * kMs).ok());  // already closed
+  EXPECT_EQ(profiler.counters().markers, 1u);
+}
+
+TEST(Profiler, DepthBoundRejectsRunawayStarts) {
+  Profiler::Options options;
+  options.max_depth = 3;
+  Profiler profiler(std::move(options));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(profiler.start("deep", (i + 1) * kMs).ok());
+  }
+  EXPECT_FALSE(profiler.start("deep", 4 * kMs).ok());
+  EXPECT_EQ(profiler.counters().rejected, 1u);
+  EXPECT_EQ(profiler.counters().unbalanced, 0u);
+  EXPECT_EQ(profiler.active_regions(), 3u);
+  // A ScopedRegion whose start was rejected stops nothing.
+  {
+    ScopedRegion rejected(profiler, "deep", 5 * kMs);
+    EXPECT_FALSE(rejected.active());
+  }
+  EXPECT_EQ(profiler.active_regions(), 3u);
+}
+
+TEST(Profiler, ValueAttributesToInnermostOpenRegion) {
+  Profiler profiler;
+  EXPECT_FALSE(profiler.value("orphan", 1.0));  // no region open
+  ASSERT_TRUE(profiler.start("phase", 1 * kMs).ok());
+  EXPECT_TRUE(profiler.value("batch latency", 4.0));
+  EXPECT_TRUE(profiler.value("batch latency", 6.0));
+  ASSERT_TRUE(profiler.stop("phase", 2 * kMs).ok());
+  const auto stats = profiler.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats[0].fields.at("user_batch_latency"), 10.0);
+  EXPECT_DOUBLE_EQ(stats[0].fields.at("user_batch_latency_count"), 2.0);
+  EXPECT_EQ(profiler.counters().user_values, 2u);
+}
+
+TEST(Profiler, DrainPointsCarriesTagsAndResets) {
+  Profiler::Options options;
+  options.hostname = "h7";
+  Profiler profiler(std::move(options));
+  ASSERT_TRUE(profiler.start("force", 1 * kMs).ok());
+  ASSERT_TRUE(profiler.stop("force", 4 * kMs).ok());
+
+  const auto points = profiler.drain_points(10 * kMs, {{"jobid", "42"}});
+  ASSERT_EQ(points.size(), 1u);
+  const auto& p = points[0];
+  EXPECT_EQ(p.measurement, profiling::kRegionsMeasurement);
+  EXPECT_EQ(p.tag("region"), "force");
+  EXPECT_EQ(p.tag("thread"), "0");
+  EXPECT_EQ(p.tag("hostname"), "h7");
+  EXPECT_EQ(p.tag("jobid"), "42");
+  EXPECT_EQ(p.timestamp, 10 * kMs);
+  ASSERT_NE(p.field("count"), nullptr);
+  EXPECT_EQ(p.field("count")->as_double(), 1.0);
+  ASSERT_NE(p.field("inclusive_ns"), nullptr);
+  EXPECT_EQ(p.field("inclusive_ns")->as_double(), static_cast<double>(3 * kMs));
+  // Drained: the next drain is empty, open regions unaffected.
+  EXPECT_TRUE(profiler.drain_points(11 * kMs).empty());
+  EXPECT_TRUE(profiler.stats().empty());
+}
+
+TEST(Profiler, ConcurrentMarkersFromManyThreads) {
+  Profiler profiler;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&profiler, &failures, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const util::TimeNs base = (t * kIters + i + 1) * 10 * kMs;
+        if (!profiler.start("outer", base).ok()) ++failures;
+        if (!profiler.start("inner", base + kMs).ok()) ++failures;
+        if (!profiler.value("work", 1.0)) ++failures;
+        if (!profiler.stop("inner", base + 2 * kMs).ok()) ++failures;
+        if (!profiler.stop("outer", base + 3 * kMs).ok()) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(profiler.counters().markers, 2u * kThreads * kIters);
+  EXPECT_EQ(profiler.counters().unbalanced, 0u);
+  EXPECT_EQ(profiler.active_regions(), 0u);
+  // Every thread has its own (region, thread) aggregate pair.
+  EXPECT_EQ(profiler.stats().size(), 2u * kThreads);
+}
+
+TEST(Profiler, SelfMetricsInRegistry) {
+  obs::Registry registry;
+  const auto sample_value = [&registry](std::string_view name) -> double {
+    for (const auto& s : registry.collect()) {
+      if (s.name == name) return s.value;
+    }
+    return -1.0;
+  };
+  {
+    Profiler::Options options;
+    options.hostname = "h1";
+    options.registry = &registry;
+    Profiler profiler(std::move(options));
+    ASSERT_TRUE(profiler.start("r", 1 * kMs).ok());
+    EXPECT_DOUBLE_EQ(sample_value("profiling_active_regions"), 1.0);
+    ASSERT_TRUE(profiler.stop("r", 2 * kMs).ok());
+    EXPECT_FALSE(profiler.stop("r", 3 * kMs).ok());
+    EXPECT_EQ(registry.counter("profiling_markers_total", {{"hostname", "h1"}}).value(), 1u);
+    EXPECT_EQ(registry.counter("profiling_unbalanced_markers", {{"hostname", "h1"}}).value(),
+              1u);
+    const auto& overhead = registry.histogram("profiling_marker_overhead_ns", {{"hostname", "h1"}});
+    EXPECT_GE(overhead.count(), 2u);  // one record per marker call
+  }
+  // The active-regions gauge callback is unregistered with the profiler.
+  EXPECT_DOUBLE_EQ(sample_value("profiling_active_regions"), -1.0);
+}
+
+// --------------------------------------------------------- HPM collector
+
+TEST(HpmRegionCollector, AttributesCounterDeltasToRegions) {
+  const hpm::CounterArchitecture& arch = hpm::simx86();
+  hpm::GroupRegistry groups(arch);
+  hpm::CounterSimulator sim(arch, 7, 0.0);
+
+  EXPECT_FALSE(profiling::HpmRegionCollector::create(groups, sim, "NO_SUCH_GROUP").ok());
+
+  Profiler profiler;
+  auto collector = profiling::HpmRegionCollector::create(groups, sim, "MEM_DP");
+  ASSERT_TRUE(collector.ok());
+  profiler.add_collector(collector.take());
+
+  util::Rng rng(7);
+  // Compute phase: high flop rate. Memory phase: high bandwidth.
+  const cluster::NodeActivity compute =
+      cluster::make_uniform_activity(arch, 0.98, 2.5, 0.7, 0.95, 0.1, 1e9, rng);
+  const cluster::NodeActivity memory =
+      cluster::make_uniform_activity(arch, 0.95, 0.7, 0.04, 0.9, 0.8, 1e9, rng);
+
+  util::TimeNs now = util::kNanosPerSecond;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(profiler.start("compute", now).ok());
+    sim.advance(compute.hpm, util::kNanosPerSecond);
+    now += util::kNanosPerSecond;
+    ASSERT_TRUE(profiler.stop("compute", now).ok());
+
+    ASSERT_TRUE(profiler.start("memory", now).ok());
+    sim.advance(memory.hpm, util::kNanosPerSecond);
+    now += util::kNanosPerSecond;
+    ASSERT_TRUE(profiler.stop("memory", now).ok());
+  }
+
+  const auto stats = profiler.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  const auto& compute_stats = stats[0].region == "compute" ? stats[0] : stats[1];
+  const auto& memory_stats = stats[0].region == "memory" ? stats[0] : stats[1];
+  // Raw slot sums are attributed (additive fields).
+  EXPECT_GT(compute_stats.fields.at("cnt_pmc2"), 0.0);  // 256b packed DP
+  // Derived metrics come from the accumulated sums over the accumulated
+  // time: the compute region's flop rate is far above the memory region's,
+  // the bandwidth relation is reversed.
+  const double compute_flops = compute_stats.fields.at("dp_mflop_per_s");
+  const double memory_flops = memory_stats.fields.at("dp_mflop_per_s");
+  const double compute_bw = compute_stats.fields.at("memory_bandwidth_mbytes_per_s");
+  const double memory_bw = memory_stats.fields.at("memory_bandwidth_mbytes_per_s");
+  EXPECT_GT(compute_flops, 5.0 * memory_flops);
+  EXPECT_GT(memory_bw, 5.0 * compute_bw);
+
+  // The group tag rides along in drained points.
+  const auto points = profiler.drain_points(now);
+  ASSERT_FALSE(points.empty());
+  EXPECT_EQ(points[0].tag("group"), "MEM_DP");
+}
+
+// ------------------------------------------------- workload phase models
+
+TEST(WorkloadPhases, DefaultIsSingleRegionNamedAfterWorkload) {
+  auto workload = cluster::make_workload("dgemm", 1);
+  ASSERT_NE(workload, nullptr);
+  util::Rng rng(1);
+  const auto phases = workload->phases(0, 1, 0, hpm::simx86(), rng);
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].region, "dgemm");
+  EXPECT_DOUBLE_EQ(phases[0].fraction, 1.0);
+}
+
+TEST(WorkloadPhases, InstrumentedWorkloadsDecomposeIntoNamedPhases) {
+  const struct {
+    const char* workload;
+    std::vector<std::string> regions;
+  } kCases[] = {
+      {"minimd", {"force", "neighbor", "comm", "integrate"}},
+      {"ml_inference", {"preprocess", "matmul", "softmax", "postprocess"}},
+      {"stencil2d", {"halo_exchange", "sweep", "reduce"}},
+      {"sortmerge", {"partition", "sort", "merge"}},
+  };
+  for (const auto& c : kCases) {
+    auto workload = cluster::make_workload(c.workload, 1);
+    ASSERT_NE(workload, nullptr) << c.workload;
+    util::Rng rng(1);
+    const auto phases = workload->phases(0, 2, util::kNanosPerSecond, hpm::simx86(), rng);
+    ASSERT_EQ(phases.size(), c.regions.size()) << c.workload;
+    double total = 0.0;
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      EXPECT_EQ(phases[i].region, c.regions[i]) << c.workload;
+      total += phases[i].fraction;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << c.workload;
+  }
+}
+
+// ------------------------------------------------ harness + TSDB + views
+
+TEST(ProfilingEndToEnd, RegionsFlowThroughRouterIntoTsdbAndDashboard) {
+  cluster::ClusterHarness::Options options;
+  options.nodes = 2;
+  options.enable_profiling = true;
+  options.profiling_flush_interval = 30 * util::kNanosPerSecond;
+  options.enable_self_scrape = true;
+  cluster::ClusterHarness harness(options);
+
+  const int job = harness.submit("stencil2d", "ada", 2, 3 * util::kNanosPerMinute);
+  ASSERT_GE(job, 0);
+  ASSERT_TRUE(harness.run_until_done(job, 10 * util::kNanosPerMinute));
+  const std::string job_id = std::to_string(job);
+
+  // The per-region series are queryable through the stock TSDB HTTP API.
+  auto resp = harness.client().get(
+      "inproc://tsdb/query?db=lms&q=" +
+      util::url_encode("SELECT mean(dp_mflop_per_s) FROM lms_regions WHERE jobid='" +
+                       job_id + "' GROUP BY region"));
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status, 200);
+  for (const char* region : {"halo_exchange", "sweep", "reduce"}) {
+    EXPECT_NE(resp->body.find(region), std::string::npos) << resp->body;
+  }
+
+  const auto* record = harness.job_record(job);
+  ASSERT_NE(record, nullptr);
+
+  // Per-region roofline: the sweep dominates the time share and is
+  // memory-bound; the rates of the phases differ by construction.
+  auto per_region =
+      analysis::roofline_per_region(harness.fetcher(), job_id, record->start_time,
+                                    record->end_time + 1, *options.arch);
+  ASSERT_TRUE(per_region.ok()) << per_region.message();
+  ASSERT_EQ(per_region->size(), 3u);
+  EXPECT_EQ((*per_region)[0].region, "sweep");
+  EXPECT_GT((*per_region)[0].time_share, 0.5);
+  EXPECT_TRUE((*per_region)[0].roofline.memory_bound);
+  EXPECT_GT((*per_region)[0].calls, 0u);
+
+  // The dashboard agent serves the same table as JSON.
+  auto dash_resp = harness.client().get(
+      "inproc://grafana/regions/" + job_id + "?from=" +
+      std::to_string(record->start_time) + "&to=" + std::to_string(record->end_time + 1));
+  ASSERT_TRUE(dash_resp.ok());
+  ASSERT_EQ(dash_resp->status, 200);
+  const auto parsed = json::parse(dash_resp->body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)["jobid"].as_string(), job_id);
+  ASSERT_TRUE((*parsed)["regions"].is_array());
+  EXPECT_EQ((*parsed)["regions"].get_array().size(), 3u);
+
+  // In-region usermetric attribution (Phase::values) landed as fields.
+  auto user_resp = harness.client().get(
+      "inproc://tsdb/query?db=lms&q=" +
+      util::url_encode("SELECT mean(user_grid_updates) FROM lms_regions WHERE jobid='" +
+                       job_id + "' AND region='sweep'"));
+  ASSERT_TRUE(user_resp.ok());
+  ASSERT_EQ(user_resp->status, 200);
+  // A non-empty result names the series; an empty one has no series at all.
+  EXPECT_NE(user_resp->body.find("lms_regions"), std::string::npos) << user_resp->body;
+
+  // The SDK's self-metrics ride the standard lms_internal self-scrape.
+  auto internal_resp = harness.client().get(
+      "inproc://tsdb/query?db=lms&q=" +
+      util::url_encode(
+          "SELECT last(value) FROM lms_internal WHERE metric='profiling_markers_total'"));
+  ASSERT_TRUE(internal_resp.ok());
+  ASSERT_EQ(internal_resp->status, 200);
+  EXPECT_NE(internal_resp->body.find("lms_internal"), std::string::npos)
+      << internal_resp->body;
+
+  // The internals dashboard charts the profiling instruments.
+  const auto internals = harness.dashboards().generate_internals_dashboard(harness.now());
+  EXPECT_NE(internals.dump().find("profiling_active_regions"), std::string::npos);
+  EXPECT_NE(internals.dump().find("profiling_marker_overhead_ns"), std::string::npos);
+}
+
+TEST(ProfilingEndToEnd, AllInstrumentedWorkloadsProduceRegionSeries) {
+  cluster::ClusterHarness::Options options;
+  options.nodes = 3;
+  options.enable_profiling = true;
+  cluster::ClusterHarness harness(options);
+
+  const int ml = harness.submit("ml_inference", "ada", 1, 2 * util::kNanosPerMinute);
+  const int sort = harness.submit("sortmerge", "bob", 1, 2 * util::kNanosPerMinute);
+  const int md = harness.submit("minimd", "cyd", 1, 2 * util::kNanosPerMinute);
+  ASSERT_TRUE(harness.run_until_done(ml, 10 * util::kNanosPerMinute));
+  ASSERT_TRUE(harness.run_until_done(sort, 10 * util::kNanosPerMinute));
+  ASSERT_TRUE(harness.run_until_done(md, 10 * util::kNanosPerMinute));
+
+  const struct {
+    int job;
+    const char* region;
+  } kExpect[] = {{ml, "matmul"}, {sort, "merge"}, {md, "force"}};
+  for (const auto& e : kExpect) {
+    const auto regions = harness.fetcher().tag_values(
+        "lms_regions", "region", {{"jobid", std::to_string(e.job)}});
+    EXPECT_NE(std::find(regions.begin(), regions.end(), e.region), regions.end())
+        << "job " << e.job << " missing region " << e.region;
+  }
+
+  // Distinct phase profiles: the ml_inference matmul runs much hotter in
+  // DP flops than its preprocess phase.
+  const auto* record = harness.job_record(ml);
+  ASSERT_NE(record, nullptr);
+  const std::string ml_id = std::to_string(ml);
+  auto matmul = harness.fetcher().fetch(
+      {"lms_regions", "dp_mflop_per_s"}, {{"jobid", ml_id}, {"region", "matmul"}},
+      record->start_time, record->end_time + 1);
+  auto preprocess = harness.fetcher().fetch(
+      {"lms_regions", "dp_mflop_per_s"}, {{"jobid", ml_id}, {"region", "preprocess"}},
+      record->start_time, record->end_time + 1);
+  ASSERT_TRUE(matmul.ok());
+  ASSERT_TRUE(preprocess.ok());
+  ASSERT_FALSE(matmul->empty());
+  ASSERT_FALSE(preprocess->empty());
+  EXPECT_GT(matmul->mean(), 10.0 * preprocess->mean());
+}
+
+TEST(ProfilingEndToEnd, RegionSpansJoinTracesWhenEnabled) {
+  cluster::ClusterHarness::Options options;
+  options.nodes = 1;
+  options.enable_profiling = true;
+  options.profiling_spans = true;
+  options.enable_tracing = true;
+  cluster::ClusterHarness harness(options);
+
+  const int job = harness.submit("sortmerge", "ada", 1, util::kNanosPerMinute);
+  ASSERT_TRUE(harness.run_until_done(job, 5 * util::kNanosPerMinute));
+  ASSERT_GT(harness.drain_traces(), 0u);
+
+  auto resp = harness.client().get(
+      "inproc://tsdb/query?db=lms&q=" +
+      util::url_encode("SELECT count(duration_ns) FROM lms_traces WHERE "
+                       "component='profiling'"));
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status, 200);
+  EXPECT_NE(resp->body.find("lms_traces"), std::string::npos) << resp->body;
+}
+
+}  // namespace
+}  // namespace lms
