@@ -144,7 +144,7 @@ NotifierSink& Evaluator::add_sink(std::unique_ptr<NotifierSink> sink) {
 }
 
 void Evaluator::register_host(const std::string& hostname) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   hosts_.emplace(hostname, 0);  // first_seen stamped lazily on the next sweep
 }
 
@@ -358,7 +358,7 @@ std::size_t Evaluator::run(util::TimeNs now) {
   const util::TimeNs t0 = util::monotonic_now_ns();
   std::vector<AlertEvent> events;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     for (const AlertRule& rule : rules_) {
       evaluate_rule(rule, now, events);
     }
@@ -390,7 +390,7 @@ std::size_t Evaluator::run(util::TimeNs now) {
 }
 
 std::vector<AlertInstance> Evaluator::instances() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   std::vector<AlertInstance> out;
   out.reserve(states_.size());
   for (const auto& [_, inst] : states_) out.push_back(inst);
@@ -398,7 +398,7 @@ std::vector<AlertInstance> Evaluator::instances() const {
 }
 
 std::size_t Evaluator::firing_count() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   std::size_t n = 0;
   for (const auto& [_, inst] : states_) {
     if (inst.state == AlertState::kFiring) ++n;

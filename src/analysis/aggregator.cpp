@@ -51,7 +51,7 @@ void StreamAggregator::consume(const lineproto::Point& point) {
 
 std::size_t StreamAggregator::pump(util::TimeNs now) {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     while (auto msg = subscription_->try_receive()) {
       for (const auto& p : lineproto::parse_lenient(msg->payload, nullptr)) {
         consume(p);
@@ -69,7 +69,7 @@ std::size_t StreamAggregator::flush(util::TimeNs now) {
 std::size_t StreamAggregator::emit_completed(util::TimeNs now, bool force) {
   std::vector<lineproto::Point> out;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     for (auto it = windows_.begin(); it != windows_.end();) {
       const Key& key = it->first;
       const WindowState& w = it->second;
@@ -96,7 +96,7 @@ std::size_t StreamAggregator::emit_completed(util::TimeNs now, bool force) {
   const std::string body = lineproto::serialize_batch(out);
   auto resp = client_.post(options_.router_url + "/write?db=" + options_.database, body,
                            "text/plain");
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   if (!resp.ok() || !resp->ok()) {
     ++stats_.send_failures;
     LMS_WARN("aggregator") << "emit failed";
@@ -107,7 +107,7 @@ std::size_t StreamAggregator::emit_completed(util::TimeNs now, bool force) {
 }
 
 StreamAggregator::Stats StreamAggregator::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return stats_;
 }
 

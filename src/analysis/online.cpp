@@ -12,7 +12,7 @@ void OnlineRuleEngine::observe(const lineproto::Point& point) {
   if (hostname.empty()) return;
   const std::string job_id(point.tag("jobid"));
 
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   if (job_id.empty()) {
     // Un-enriched point: the host is not allocated to any job (the router
     // only tags hosts between the job start and end signals). Pathology
@@ -100,14 +100,14 @@ void OnlineRuleEngine::observe_lines(std::string_view body) {
 }
 
 std::vector<Finding> OnlineRuleEngine::take_findings() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   std::vector<Finding> out;
   out.swap(fired_);
   return out;
 }
 
 std::vector<Finding> OnlineRuleEngine::active() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   std::vector<Finding> out;
   for (const auto& [key, state] : states_) {
     if (!state.fired) continue;

@@ -45,7 +45,7 @@ MetricsRouter::MetricsRouter(net::HttpClient& db_client, const util::Clock& cloc
       ingest_flush_ns_(registry_->histogram("router_ingest_flush_ns")) {
   registry_->gauge_fn("router_spool_points", {}, [this] { return double(spool_size()); });
   registry_->gauge_fn("router_jobs_running", {}, [this] {
-    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    const core::sync::LockGuard lock(jobs_mu_);
     return double(jobs_.size());
   });
   registry_->gauge_fn("router_tagged_hosts", {}, [this] { return double(tags_.host_count()); });
@@ -59,7 +59,7 @@ MetricsRouter::MetricsRouter(net::HttpClient& db_client, const util::Clock& cloc
 MetricsRouter::~MetricsRouter() {
   if (flusher_.joinable()) {
     {
-      const std::lock_guard<std::mutex> lock(ingest_mu_);
+      const core::sync::LockGuard lock(ingest_mu_);
       ingest_stop_ = true;
     }
     ingest_cv_.notify_all();
@@ -248,7 +248,7 @@ util::Result<std::size_t> MetricsRouter::enqueue_ingest(const tsdb::WriteBatch& 
 
   bool wake = false;
   {
-    const std::lock_guard<std::mutex> lock(ingest_mu_);
+    const core::sync::LockGuard lock(ingest_mu_);
     if (ingest_points_ + incoming > options_.ingest_queue_capacity) {
       ingest_rejected_.inc(batch.points.size());
       return util::Result<std::size_t>::error(
@@ -338,7 +338,7 @@ std::size_t MetricsRouter::flush_ingest() {
   for (;;) {
     std::vector<IngestBatch> batches;
     {
-      const std::lock_guard<std::mutex> lock(ingest_mu_);
+      const core::sync::LockGuard lock(ingest_mu_);
       batches = take_ingest_locked(options_.ingest_max_batch);
     }
     if (batches.empty()) return total;
@@ -352,12 +352,16 @@ std::size_t MetricsRouter::flush_ingest() {
 }
 
 void MetricsRouter::flusher_loop() {
-  std::unique_lock<std::mutex> lock(ingest_mu_);
+  core::sync::UniqueLock lock(ingest_mu_);
   while (!ingest_stop_) {
-    ingest_cv_.wait_for(lock, std::chrono::nanoseconds(options_.ingest_flush_interval),
-                        [this] {
-                          return ingest_stop_ || ingest_points_ >= options_.ingest_max_batch;
-                        });
+    // Sleep until the interval elapses, a batch-size wake arrives, or stop.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::nanoseconds(options_.ingest_flush_interval);
+    while (!ingest_stop_ && ingest_points_ < options_.ingest_max_batch) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) break;
+      ingest_cv_.wait_for(lock, deadline - now);
+    }
     if (ingest_stop_) return;
     auto batches = take_ingest_locked(options_.ingest_max_batch);
     if (batches.empty()) continue;
@@ -370,14 +374,14 @@ void MetricsRouter::flusher_loop() {
 }
 
 std::size_t MetricsRouter::ingest_queue_points() const {
-  const std::lock_guard<std::mutex> lock(ingest_mu_);
+  const core::sync::LockGuard lock(ingest_mu_);
   return ingest_points_;
 }
 
 void MetricsRouter::spool_points(const std::vector<lineproto::Point>& points) {
   std::size_t dropped = 0;
   {
-    const std::lock_guard<std::mutex> lock(spool_mu_);
+    const core::sync::LockGuard lock(spool_mu_);
     for (const auto& p : points) {
       if (spool_.size() >= options_.spool_capacity) {
         spool_.pop_front();
@@ -395,7 +399,7 @@ util::Status MetricsRouter::job_start(const JobSignal& signal) {
   const util::TimeNs now = clock_.now();
   RunningJob job{signal.job_id, signal.user, signal.nodes, signal.extra_tags, now};
   {
-    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    const core::sync::LockGuard lock(jobs_mu_);
     jobs_[signal.job_id] = job;
   }
   jobs_started_.inc();
@@ -437,7 +441,7 @@ util::Status MetricsRouter::job_start(const JobSignal& signal) {
 util::Status MetricsRouter::job_end(const std::string& job_id) {
   RunningJob job;
   {
-    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    const core::sync::LockGuard lock(jobs_mu_);
     const auto it = jobs_.find(job_id);
     if (it == jobs_.end()) return util::Status::error("unknown job '" + job_id + "'");
     job = it->second;
@@ -471,7 +475,7 @@ util::Status MetricsRouter::job_end(const std::string& job_id) {
 }
 
 std::vector<RunningJob> MetricsRouter::running_jobs() const {
-  const std::lock_guard<std::mutex> lock(jobs_mu_);
+  const core::sync::LockGuard lock(jobs_mu_);
   std::vector<RunningJob> out;
   out.reserve(jobs_.size());
   for (const auto& [_, job] : jobs_) out.push_back(job);
@@ -479,7 +483,7 @@ std::vector<RunningJob> MetricsRouter::running_jobs() const {
 }
 
 std::optional<RunningJob> MetricsRouter::find_job(const std::string& job_id) const {
-  const std::lock_guard<std::mutex> lock(jobs_mu_);
+  const core::sync::LockGuard lock(jobs_mu_);
   const auto it = jobs_.find(job_id);
   if (it == jobs_.end()) return std::nullopt;
   return it->second;
@@ -504,7 +508,7 @@ MetricsRouter::Stats MetricsRouter::stats() const {
 std::size_t MetricsRouter::flush_spool() {
   std::vector<lineproto::Point> batch;
   {
-    const std::lock_guard<std::mutex> lock(spool_mu_);
+    const core::sync::LockGuard lock(spool_mu_);
     if (spool_.empty()) return 0;
     batch.assign(spool_.begin(), spool_.end());
   }
@@ -512,7 +516,7 @@ std::size_t MetricsRouter::flush_spool() {
     return 0;  // still down; keep the spool
   }
   {
-    const std::lock_guard<std::mutex> lock(spool_mu_);
+    const core::sync::LockGuard lock(spool_mu_);
     // Concurrent writers may have appended while we forwarded; remove only
     // what we actually sent.
     const std::size_t n = std::min(batch.size(), spool_.size());
@@ -523,7 +527,7 @@ std::size_t MetricsRouter::flush_spool() {
 }
 
 std::size_t MetricsRouter::spool_size() const {
-  const std::lock_guard<std::mutex> lock(spool_mu_);
+  const core::sync::LockGuard lock(spool_mu_);
   return spool_.size();
 }
 
@@ -552,7 +556,7 @@ net::ComponentHealth MetricsRouter::health(bool readiness) {
           static_cast<double>(queued));
   }
   {
-    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    const core::sync::LockGuard lock(jobs_mu_);
     h.add("jobs", net::HealthStatus::kOk, std::to_string(jobs_.size()) + " jobs running",
           static_cast<double>(jobs_.size()));
   }

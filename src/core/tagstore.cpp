@@ -3,18 +3,18 @@
 namespace lms::core {
 
 void TagStore::set_tags(std::string_view hostname, std::vector<lineproto::Tag> tags) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   tags_[std::string(hostname)] = std::move(tags);
 }
 
 void TagStore::clear_tags(std::string_view hostname) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   const auto it = tags_.find(hostname);
   if (it != tags_.end()) tags_.erase(it);
 }
 
 std::vector<lineproto::Tag> TagStore::tags_for(std::string_view hostname) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   const auto it = tags_.find(hostname);
   return it != tags_.end() ? it->second : std::vector<lineproto::Tag>{};
 }
@@ -22,7 +22,7 @@ std::vector<lineproto::Tag> TagStore::tags_for(std::string_view hostname) const 
 std::size_t TagStore::enrich(lineproto::Point& point) const {
   const std::string_view host = point.hostname();
   if (host.empty()) return 0;
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   const auto it = tags_.find(host);
   if (it == tags_.end()) return 0;
   std::size_t added = 0;
@@ -37,7 +37,7 @@ std::size_t TagStore::enrich(lineproto::Point& point) const {
 }
 
 std::size_t TagStore::host_count() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return tags_.size();
 }
 

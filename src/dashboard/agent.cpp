@@ -166,7 +166,7 @@ json::Value DashboardAgent::generate_job_dashboard(const core::RunningJob& job,
 
   const std::string uid = dash["uid"].as_string("job-" + job.job_id);
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     dashboards_[uid] = dash;
   }
   return dash;
@@ -208,7 +208,7 @@ json::Value DashboardAgent::generate_admin_dashboard(const std::vector<core::Run
   dash["rows"] = std::move(rows);
   json::Value v(std::move(dash));
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     dashboards_["admin"] = v;
   }
   return v;
@@ -260,7 +260,7 @@ json::Value DashboardAgent::generate_user_dashboard(const std::string& user,
   dash["rows"] = std::move(rows);
   json::Value v(std::move(dash));
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     dashboards_["user-" + user] = v;
   }
   return v;
@@ -315,7 +315,7 @@ json::Value DashboardAgent::generate_internals_dashboard(util::TimeNs now) {
 
   json::Value v(std::move(dash));
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     dashboards_["internals"] = v;
   }
   return v;
@@ -387,7 +387,7 @@ json::Value DashboardAgent::generate_alerts_dashboard(util::TimeNs now) {
   dash["rows"] = std::move(rows);
   json::Value v(std::move(dash));
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     dashboards_["alerts"] = v;
   }
   return v;
@@ -398,7 +398,7 @@ net::ComponentHealth DashboardAgent::health(bool readiness) const {
   h.component = "dashboard";
   h.time = clock_.now();
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     h.add("dashboards", net::HealthStatus::kOk,
           std::to_string(dashboards_.size()) + " dashboards stored",
           static_cast<double>(dashboards_.size()));
@@ -433,13 +433,13 @@ std::size_t DashboardAgent::refresh(const std::vector<core::RunningJob>& jobs,
 }
 
 const json::Value* DashboardAgent::find_dashboard(const std::string& uid) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   const auto it = dashboards_.find(uid);
   return it != dashboards_.end() ? &it->second : nullptr;
 }
 
 std::vector<std::string> DashboardAgent::dashboard_uids() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   std::vector<std::string> out;
   out.reserve(dashboards_.size());
   for (const auto& [uid, _] : dashboards_) out.push_back(uid);
@@ -450,14 +450,14 @@ net::HttpHandler DashboardAgent::handler() {
   return [this](const net::HttpRequest& req) -> net::HttpResponse {
     if (util::starts_with(req.path, "/api/dashboards/uid/")) {
       const std::string uid = req.path.substr(std::string("/api/dashboards/uid/").size());
-      const std::lock_guard<std::mutex> lock(mu_);
+      const core::sync::LockGuard lock(mu_);
       const auto it = dashboards_.find(uid);
       if (it == dashboards_.end()) return net::HttpResponse::not_found();
       return net::HttpResponse::json(200, it->second.dump());
     }
     if (req.path == "/api/search") {
       json::Array out;
-      const std::lock_guard<std::mutex> lock(mu_);
+      const core::sync::LockGuard lock(mu_);
       for (const auto& [uid, dash] : dashboards_) {
         json::Object entry;
         entry["uid"] = uid;

@@ -20,12 +20,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "lms/alert/rule.hpp"
+#include "lms/core/sync.hpp"
 #include "lms/net/pubsub.hpp"
 #include "lms/net/transport.hpp"
 #include "lms/obs/metrics.hpp"
@@ -127,13 +127,15 @@ class Evaluator {
  private:
   std::string build_query(const AlertRule& rule, util::TimeNs now) const;
   void evaluate_rule(const AlertRule& rule, util::TimeNs now,
-                     std::vector<AlertEvent>& events);
-  void evaluate_deadman(util::TimeNs now, std::vector<AlertEvent>& events);
+                     std::vector<AlertEvent>& events) LMS_REQUIRES(mu_);
+  void evaluate_deadman(util::TimeNs now, std::vector<AlertEvent>& events)
+      LMS_REQUIRES(mu_);
   /// Newest sample timestamp written by `host` (0 = never), scanning
   /// deadman_measurement or, when unset, everything but the alerts
   /// measurement. The caller must hold a ReadSnapshot of `db`.
   util::TimeNs last_write_in(const tsdb::Database& db, const std::string& host) const;
-  AlertInstance& instance_for(const AlertRule& rule, const std::vector<Tag>& labels);
+  AlertInstance& instance_for(const AlertRule& rule, const std::vector<Tag>& labels)
+      LMS_REQUIRES(mu_);
 
   tsdb::Storage& storage_;
   Options options_;
@@ -142,9 +144,14 @@ class Evaluator {
   std::vector<std::unique_ptr<NotifierSink>> sinks_;
   AlertRule deadman_rule_;  // the implicit absence rule deadman events use
 
-  mutable std::mutex mu_;  // guards states_ and hosts_ (gauge callbacks read)
-  std::map<std::string, AlertInstance> states_;  // "rule|k=v,..." -> instance
-  std::map<std::string, util::TimeNs> hosts_;    // hostname -> first seen
+  /// Guards states_ and hosts_ (gauge callbacks read). Deliberately held
+  /// across the TSDB queries run() issues, so its rank sits below the
+  /// storage-map and shard locks.
+  mutable core::sync::Mutex mu_{core::sync::Rank::kAlert, "alert.evaluator"};
+  /// "rule|k=v,..." -> instance
+  std::map<std::string, AlertInstance> states_ LMS_GUARDED_BY(mu_);
+  /// hostname -> first seen
+  std::map<std::string, util::TimeNs> hosts_ LMS_GUARDED_BY(mu_);
   std::uint64_t evaluations_ = 0;
   std::uint64_t transitions_ = 0;
 

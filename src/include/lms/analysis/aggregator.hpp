@@ -13,11 +13,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "lms/core/sync.hpp"
 #include "lms/lineproto/point.hpp"
 #include "lms/net/pubsub.hpp"
 #include "lms/net/transport.hpp"
@@ -77,16 +77,19 @@ class StreamAggregator {
     }
   };
 
-  void consume(const lineproto::Point& point);
+  void consume(const lineproto::Point& point) LMS_REQUIRES(mu_);
   std::size_t emit_completed(util::TimeNs now, bool force);
   bool measurement_selected(const std::string& measurement) const;
 
   std::shared_ptr<net::Subscription> subscription_;
   net::HttpClient& client_;
   Options options_;
-  mutable std::mutex mu_;
-  std::map<Key, WindowState> windows_;
-  Stats stats_;
+  /// Held across subscription_->try_receive() in pump() — the subscription
+  /// queue ranks far above the analysis layer. The HTTP emit in
+  /// emit_completed() runs with mu_ released.
+  mutable core::sync::Mutex mu_{core::sync::Rank::kAnalysis, "analysis.aggregator"};
+  std::map<Key, WindowState> windows_ LMS_GUARDED_BY(mu_);
+  Stats stats_ LMS_GUARDED_BY(mu_);
 };
 
 }  // namespace lms::analysis

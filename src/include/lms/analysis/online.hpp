@@ -8,12 +8,12 @@
 // re-derives the same findings from the database afterwards.
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "lms/analysis/rules.hpp"
+#include "lms/core/sync.hpp"
 #include "lms/net/pubsub.hpp"
 
 namespace lms::analysis {
@@ -53,13 +53,14 @@ class OnlineRuleEngine {
   using Key = std::pair<std::size_t, std::string>;
 
   void update_rule(std::size_t rule_index, const std::string& hostname,
-                   const std::string& job_id, util::TimeNs now);
+                   const std::string& job_id, util::TimeNs now) LMS_REQUIRES(mu_);
 
   std::vector<Rule> rules_;
-  mutable std::mutex mu_;
-  std::map<Key, RuleState> states_;
-  std::map<std::string, std::string> host_jobs_;  // hostname -> last seen jobid
-  std::vector<Finding> fired_;
+  mutable core::sync::Mutex mu_{core::sync::Rank::kAnalysis, "analysis.online"};
+  std::map<Key, RuleState> states_ LMS_GUARDED_BY(mu_);
+  /// hostname -> last seen jobid
+  std::map<std::string, std::string> host_jobs_ LMS_GUARDED_BY(mu_);
+  std::vector<Finding> fired_ LMS_GUARDED_BY(mu_);
 };
 
 /// Convenience: a thread-less pump that drains a PUB/SUB subscription into

@@ -39,17 +39,16 @@
 // registry.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "lms/core/sync.hpp"
 #include "lms/core/tagstore.hpp"
 #include "lms/net/health.hpp"
 #include "lms/net/pubsub.hpp"
@@ -214,7 +213,8 @@ class MetricsRouter {
   ForwardOutcome forward(const std::string& db, const std::vector<lineproto::Point>& points);
   util::Result<std::size_t> forward_sync(tsdb::WriteBatch& batch);
   util::Result<std::size_t> enqueue_ingest(const tsdb::WriteBatch& batch);
-  std::vector<IngestBatch> take_ingest_locked(std::size_t max_points);
+  std::vector<IngestBatch> take_ingest_locked(std::size_t max_points)
+      LMS_REQUIRES(ingest_mu_);
   void forward_ingest(IngestBatch batch);
   void flusher_loop();
   void spool_points(const std::vector<lineproto::Point>& points);
@@ -229,17 +229,23 @@ class MetricsRouter {
   Options options_;
   net::PubSubBroker* broker_;
   TagStore tags_;
-  mutable std::mutex jobs_mu_;
-  std::map<std::string, RunningJob> jobs_;
-  mutable std::mutex spool_mu_;
-  std::deque<lineproto::Point> spool_;  // primary-db points awaiting retry
+  // The three router locks never nest with each other or with the tag store:
+  // every critical section copies state in/out and forwards/publishes with
+  // all of them released.
+  mutable core::sync::Mutex jobs_mu_{core::sync::Rank::kRouterJobs, "core.router.jobs"};
+  std::map<std::string, RunningJob> jobs_ LMS_GUARDED_BY(jobs_mu_);
+  mutable core::sync::Mutex spool_mu_{core::sync::Rank::kRouterSpool, "core.router.spool"};
+  /// Primary-db points awaiting retry.
+  std::deque<lineproto::Point> spool_ LMS_GUARDED_BY(spool_mu_);
 
   // Async ingest pipeline (Options::async_ingest).
-  mutable std::mutex ingest_mu_;
-  std::condition_variable ingest_cv_;
-  std::map<std::string, IngestBatch> ingest_q_;  // keyed by destination db
-  std::size_t ingest_points_ = 0;                // total across ingest_q_
-  bool ingest_stop_ = false;
+  mutable core::sync::Mutex ingest_mu_{core::sync::Rank::kRouterIngest, "core.router.ingest"};
+  core::sync::CondVar ingest_cv_;
+  /// Keyed by destination db.
+  std::map<std::string, IngestBatch> ingest_q_ LMS_GUARDED_BY(ingest_mu_);
+  /// Total points across ingest_q_.
+  std::size_t ingest_points_ LMS_GUARDED_BY(ingest_mu_) = 0;
+  bool ingest_stop_ LMS_GUARDED_BY(ingest_mu_) = false;
   std::thread flusher_;
 
   std::unique_ptr<obs::Registry> own_registry_;  // when Options::registry == nullptr

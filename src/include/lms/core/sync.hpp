@@ -1,0 +1,541 @@
+#pragma once
+
+// lms::core::sync — the stack's locking vocabulary.
+//
+// Every mutex in src/ is one of the wrappers below instead of a raw
+// std::mutex / std::shared_mutex, which buys two independent layers of
+// lock-discipline enforcement:
+//
+//  1. Compile time (Clang only): the wrappers carry Clang Thread Safety
+//     Analysis capability attributes, and guarded fields / lock-requiring
+//     methods across the stack are annotated with LMS_GUARDED_BY /
+//     LMS_REQUIRES. `clang++ -Wthread-safety -Werror` then proves that no
+//     guarded field is touched without its lock (ci/static_analysis.sh runs
+//     this build). Under GCC all annotation macros expand to nothing.
+//
+//  2. Run time (debug builds only): every Mutex/SharedMutex is constructed
+//     with a Rank from the documented global lock hierarchy (see the
+//     "Concurrency invariants" section of DESIGN.md). A thread-local
+//     held-lock stack asserts that blocking acquisitions happen in strictly
+//     increasing (rank, seq) order, which makes lock-order inversions —
+//     the deadlocks TSan only finds on the interleavings it happens to
+//     execute — deterministic assertion failures on *any* execution that
+//     merely reaches the second acquisition. Same-rank acquisitions are
+//     ordered by a per-lock sequence token (defaults to the object address;
+//     the TSDB shard stripes pass their shard index explicitly, turning the
+//     ReadSnapshot ordered-fallback convention into an enforced invariant).
+//     try_lock acquisitions cannot deadlock and are exempt from the order
+//     check, but still count as held for subsequent blocking acquisitions.
+//     The checker compiles out entirely when LMS_SYNC_RANK_CHECKS is 0
+//     (default in NDEBUG builds): release wrappers are exactly a
+//     std::mutex / std::shared_mutex, zero added state or branches.
+//
+// Annotating new code (the short version; DESIGN.md has the full how-to):
+//
+//   class Thing {
+//     void rebuild() LMS_REQUIRES(mu_);          // caller must hold mu_
+//     core::sync::Mutex mu_{core::sync::Rank::kNet, "thing"};
+//     std::map<...> state_ LMS_GUARDED_BY(mu_);  // only touched under mu_
+//   };
+//
+// and take locks through the scoped wrappers (LockGuard / SharedLockGuard /
+// WriteLockGuard / UniqueLock) so the analysis sees the acquire/release
+// pair. CondVar deliberately has no predicate-taking wait: write the
+// `while (!cond) cv.wait(lock);` loop in the caller, where the analysis
+// knows the lock is held (a predicate lambda would be analyzed as an
+// unannotated separate function and rejected).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+// ---------------------------------------------------------------------------
+// Clang Thread Safety Analysis attribute macros (no-ops elsewhere).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define LMS_TSA_ATTR(x) __attribute__((x))
+#endif
+#endif
+#ifndef LMS_TSA_ATTR
+#define LMS_TSA_ATTR(x)  // not Clang (or too old): annotations vanish
+#endif
+
+#define LMS_CAPABILITY(x) LMS_TSA_ATTR(capability(x))
+#define LMS_SCOPED_CAPABILITY LMS_TSA_ATTR(scoped_lockable)
+#define LMS_GUARDED_BY(x) LMS_TSA_ATTR(guarded_by(x))
+#define LMS_PT_GUARDED_BY(x) LMS_TSA_ATTR(pt_guarded_by(x))
+#define LMS_ACQUIRED_BEFORE(...) LMS_TSA_ATTR(acquired_before(__VA_ARGS__))
+#define LMS_ACQUIRED_AFTER(...) LMS_TSA_ATTR(acquired_after(__VA_ARGS__))
+#define LMS_REQUIRES(...) LMS_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define LMS_REQUIRES_SHARED(...) LMS_TSA_ATTR(requires_shared_capability(__VA_ARGS__))
+#define LMS_ACQUIRE(...) LMS_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define LMS_ACQUIRE_SHARED(...) LMS_TSA_ATTR(acquire_shared_capability(__VA_ARGS__))
+#define LMS_RELEASE(...) LMS_TSA_ATTR(release_capability(__VA_ARGS__))
+#define LMS_RELEASE_SHARED(...) LMS_TSA_ATTR(release_shared_capability(__VA_ARGS__))
+#define LMS_TRY_ACQUIRE(...) LMS_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+#define LMS_TRY_ACQUIRE_SHARED(...) LMS_TSA_ATTR(try_acquire_shared_capability(__VA_ARGS__))
+#define LMS_EXCLUDES(...) LMS_TSA_ATTR(locks_excluded(__VA_ARGS__))
+#define LMS_ASSERT_CAPABILITY(x) LMS_TSA_ATTR(assert_capability(x))
+#define LMS_RETURN_CAPABILITY(x) LMS_TSA_ATTR(lock_returned(x))
+#define LMS_NO_THREAD_SAFETY_ANALYSIS LMS_TSA_ATTR(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------------
+// Runtime lock-rank checking switch. Overridable per-TU / via CMake
+// (-DLMS_RANK_CHECKS=ON|OFF); defaults to "debug builds only".
+// ---------------------------------------------------------------------------
+
+#ifndef LMS_SYNC_RANK_CHECKS
+#ifdef NDEBUG
+#define LMS_SYNC_RANK_CHECKS 0
+#else
+#define LMS_SYNC_RANK_CHECKS 1
+#endif
+#endif
+
+namespace lms::core::sync {
+
+/// The global lock hierarchy. A thread may only block-acquire a lock whose
+/// rank is strictly greater than every lock it already holds (same rank is
+/// allowed with a strictly increasing per-lock `seq`). Ranks are spaced so
+/// new tiers can slot in; the full table (lock, what it guards, allowed
+/// nesting) lives in DESIGN.md "Concurrency invariants".
+enum class Rank : int {
+  kAppShim = 10,             ///< MPI/OpenMP/alloc shims feeding libusermetric
+  kUserMetric = 20,          ///< UserMetricClient buffer (held across the send)
+  kAnalysis = 25,            ///< stream aggregator / online rule engine
+  kAlert = 30,               ///< alert evaluator (held across TSDB queries)
+  kProfiler = 35,            ///< profiling SDK region stacks + aggregates
+  kProfilingCollector = 36,  ///< per-collector open-bracket maps
+  kDashboard = 40,           ///< dashboard agent store
+  kLoopControl = 45,         ///< self-scrape / trace-export sleep+stop locks
+  kNet = 50,                 ///< inproc registry, tcp worker list, pub/sub broker
+  kRouterTags = 54,          ///< router tag store
+  kRouterIngest = 55,        ///< router async-ingest queues
+  kRouterSpool = 56,         ///< router disk-spool deque
+  kRouterJobs = 57,          ///< router running-job table
+  kTsdbMap = 60,             ///< storage database map
+  kTsdbShard = 65,           ///< series shard stripes (seq = shard index)
+  kTsdbAux = 70,             ///< slow-query ring
+  kQueue = 80,               ///< util::BoundedQueue internal lock
+  kObsRegistry = 90,         ///< metrics registry instrument map
+  kObsTrace = 92,            ///< span recorder ring
+  kLogging = 100,            ///< logger/log-ring: any thread may log anywhere
+};
+
+/// True when this translation unit was compiled with the runtime rank
+/// checker; tests assert both states.
+inline constexpr bool kRankCheckingEnabled = LMS_SYNC_RANK_CHECKS != 0;
+
+/// Sentinel for "order same-rank locks by object address" (the default).
+inline constexpr std::uintptr_t kSeqFromAddress = ~std::uintptr_t{0};
+
+/// Called with a human-readable description when a rank violation is
+/// detected. Default (nullptr) prints to stderr and aborts; tests install a
+/// capturing handler instead.
+using RankViolationHandler = void (*)(const char* message);
+
+namespace detail {
+
+inline std::atomic<RankViolationHandler>& violation_handler_slot() {
+  static std::atomic<RankViolationHandler> slot{nullptr};
+  return slot;
+}
+
+#if LMS_SYNC_RANK_CHECKS
+
+struct HeldLock {
+  const void* addr;
+  int rank;
+  std::uintptr_t seq;
+  const char* name;
+  bool try_acquired;
+};
+
+inline std::vector<HeldLock>& held_stack() {
+  static thread_local std::vector<HeldLock> stack;
+  return stack;
+}
+
+inline void report_violation(const char* message) {
+  RankViolationHandler handler = violation_handler_slot().load(std::memory_order_acquire);
+  if (handler != nullptr) {
+    handler(message);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", message);
+  std::abort();
+}
+
+/// Validate a *blocking* acquisition of (rank, seq) against the held stack.
+/// Runs before the acquisition so the report fires even if the acquisition
+/// would deadlock.
+inline void check_order(const void* addr, int rank, std::uintptr_t seq, const char* name) {
+  const std::vector<HeldLock>& held = held_stack();
+  char msg[512];
+  for (const HeldLock& h : held) {
+    if (h.addr == addr) {
+      std::snprintf(msg, sizeof(msg),
+                    "lock-rank violation: re-acquiring lock '%s' (rank %d) already held by "
+                    "this thread (self-deadlock)",
+                    name, rank);
+      report_violation(msg);
+      return;
+    }
+  }
+  const HeldLock* top = nullptr;
+  for (const HeldLock& h : held) {
+    if (top == nullptr || h.rank > top->rank || (h.rank == top->rank && h.seq > top->seq)) {
+      top = &h;
+    }
+  }
+  if (top == nullptr) return;
+  if (rank < top->rank) {
+    std::snprintf(msg, sizeof(msg),
+                  "lock-rank violation: acquiring '%s' (rank %d) while holding '%s' (rank %d); "
+                  "the lock hierarchy requires strictly increasing rank",
+                  name, rank, top->name, top->rank);
+    report_violation(msg);
+  } else if (rank == top->rank && seq <= top->seq) {
+    std::snprintf(msg, sizeof(msg),
+                  "lock-rank violation: same-rank cross-order acquisition of '%s' "
+                  "(rank %d, seq %llu) while holding '%s' (rank %d, seq %llu); same-rank locks "
+                  "must be taken in increasing seq order",
+                  name, rank, static_cast<unsigned long long>(seq), top->name, top->rank,
+                  static_cast<unsigned long long>(top->seq));
+    report_violation(msg);
+  }
+}
+
+/// Reentrance check for try-acquisitions (try_lock of a lock this thread
+/// already holds is UB on std::mutex and a guaranteed-false result at best).
+inline void check_reentrance(const void* addr, const char* name) {
+  for (const HeldLock& h : held_stack()) {
+    if (h.addr == addr) {
+      char msg[512];
+      std::snprintf(msg, sizeof(msg),
+                    "lock-rank violation: try-acquiring lock '%s' already held by this thread",
+                    name);
+      report_violation(msg);
+      return;
+    }
+  }
+}
+
+inline void note_acquire(const void* addr, int rank, std::uintptr_t seq, const char* name,
+                         bool try_acquired) {
+  held_stack().push_back(HeldLock{addr, rank, seq, name, try_acquired});
+}
+
+/// Locks may be released in any order (ReadSnapshot releases front-to-back),
+/// so erase by address rather than popping.
+inline void note_release(const void* addr) {
+  std::vector<HeldLock>& held = held_stack();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->addr == addr) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+#endif  // LMS_SYNC_RANK_CHECKS
+
+}  // namespace detail
+
+/// Install a violation handler (nullptr restores print-and-abort). Returns
+/// the previous handler. Affects all threads; meant for tests.
+inline RankViolationHandler set_rank_violation_handler(RankViolationHandler handler) {
+  return detail::violation_handler_slot().exchange(handler, std::memory_order_acq_rel);
+}
+
+/// Number of sync locks the calling thread currently holds (0 when the
+/// checker is compiled out). Test/debug helper.
+inline std::size_t held_lock_count() {
+#if LMS_SYNC_RANK_CHECKS
+  return detail::held_stack().size();
+#else
+  return 0;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+class LMS_CAPABILITY("mutex") Mutex {
+ public:
+  /// `seq` orders same-rank locks; the default orders by object address.
+  /// Pass an explicit small seq (e.g. a shard index) when same-rank locks
+  /// live behind unique_ptrs and addresses are not meaningful.
+  explicit Mutex(Rank rank, const char* name, std::uintptr_t seq = kSeqFromAddress)
+#if LMS_SYNC_RANK_CHECKS
+      : rank_(static_cast<int>(rank)),
+        seq_(seq == kSeqFromAddress ? reinterpret_cast<std::uintptr_t>(this) : seq),
+        name_(name)
+#endif
+  {
+#if !LMS_SYNC_RANK_CHECKS
+    (void)rank;
+    (void)name;
+    (void)seq;
+#endif
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LMS_ACQUIRE() {
+#if LMS_SYNC_RANK_CHECKS
+    detail::check_order(this, rank_, seq_, name_);
+#endif
+    mu_.lock();
+#if LMS_SYNC_RANK_CHECKS
+    detail::note_acquire(this, rank_, seq_, name_, /*try_acquired=*/false);
+#endif
+  }
+
+  void unlock() LMS_RELEASE() {
+#if LMS_SYNC_RANK_CHECKS
+    detail::note_release(this);
+#endif
+    mu_.unlock();
+  }
+
+  bool try_lock() LMS_TRY_ACQUIRE(true) {
+#if LMS_SYNC_RANK_CHECKS
+    detail::check_reentrance(this, name_);
+#endif
+    const bool locked = mu_.try_lock();
+#if LMS_SYNC_RANK_CHECKS
+    if (locked) detail::note_acquire(this, rank_, seq_, name_, /*try_acquired=*/true);
+#endif
+    return locked;
+  }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+#if LMS_SYNC_RANK_CHECKS
+  int rank_;
+  std::uintptr_t seq_;
+  const char* name_;
+#endif
+};
+
+// ---------------------------------------------------------------------------
+// SharedMutex
+// ---------------------------------------------------------------------------
+
+class LMS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  explicit SharedMutex(Rank rank, const char* name, std::uintptr_t seq = kSeqFromAddress)
+#if LMS_SYNC_RANK_CHECKS
+      : rank_(static_cast<int>(rank)),
+        seq_(seq == kSeqFromAddress ? reinterpret_cast<std::uintptr_t>(this) : seq),
+        name_(name)
+#endif
+  {
+#if !LMS_SYNC_RANK_CHECKS
+    (void)rank;
+    (void)name;
+    (void)seq;
+#endif
+  }
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() LMS_ACQUIRE() {
+#if LMS_SYNC_RANK_CHECKS
+    detail::check_order(this, rank_, seq_, name_);
+#endif
+    mu_.lock();
+#if LMS_SYNC_RANK_CHECKS
+    detail::note_acquire(this, rank_, seq_, name_, /*try_acquired=*/false);
+#endif
+  }
+
+  void unlock() LMS_RELEASE() {
+#if LMS_SYNC_RANK_CHECKS
+    detail::note_release(this);
+#endif
+    mu_.unlock();
+  }
+
+  void lock_shared() LMS_ACQUIRE_SHARED() {
+#if LMS_SYNC_RANK_CHECKS
+    detail::check_order(this, rank_, seq_, name_);
+#endif
+    mu_.lock_shared();
+#if LMS_SYNC_RANK_CHECKS
+    detail::note_acquire(this, rank_, seq_, name_, /*try_acquired=*/false);
+#endif
+  }
+
+  void unlock_shared() LMS_RELEASE_SHARED() {
+#if LMS_SYNC_RANK_CHECKS
+    detail::note_release(this);
+#endif
+    mu_.unlock_shared();
+  }
+
+  bool try_lock_shared() LMS_TRY_ACQUIRE_SHARED(true) {
+#if LMS_SYNC_RANK_CHECKS
+    detail::check_reentrance(this, name_);
+#endif
+    const bool locked = mu_.try_lock_shared();
+#if LMS_SYNC_RANK_CHECKS
+    if (locked) detail::note_acquire(this, rank_, seq_, name_, /*try_acquired=*/true);
+#endif
+    return locked;
+  }
+
+ private:
+  std::shared_mutex mu_;
+#if LMS_SYNC_RANK_CHECKS
+  int rank_;
+  std::uintptr_t seq_;
+  const char* name_;
+#endif
+};
+
+// ---------------------------------------------------------------------------
+// Scoped wrappers
+// ---------------------------------------------------------------------------
+
+/// std::lock_guard equivalent over sync::Mutex.
+class LMS_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) LMS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() LMS_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::shared_lock equivalent over sync::SharedMutex (reader side).
+class LMS_SCOPED_CAPABILITY SharedLockGuard {
+ public:
+  explicit SharedLockGuard(SharedMutex& mu) LMS_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedLockGuard() LMS_RELEASE() { mu_.unlock_shared(); }
+  SharedLockGuard(const SharedLockGuard&) = delete;
+  SharedLockGuard& operator=(const SharedLockGuard&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// std::unique_lock<std::shared_mutex> equivalent (writer side).
+class LMS_SCOPED_CAPABILITY WriteLockGuard {
+ public:
+  explicit WriteLockGuard(SharedMutex& mu) LMS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~WriteLockGuard() LMS_RELEASE() { mu_.unlock(); }
+  WriteLockGuard(const WriteLockGuard&) = delete;
+  WriteLockGuard& operator=(const WriteLockGuard&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Relockable scoped lock over sync::Mutex; the only lock CondVar accepts.
+class LMS_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) LMS_ACQUIRE(mu) : mu_(&mu) {
+    mu_->lock();
+    owned_ = true;
+  }
+  ~UniqueLock() LMS_RELEASE() {
+    if (owned_) mu_->unlock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() LMS_ACQUIRE() {
+    mu_->lock();
+    owned_ = true;
+  }
+  void unlock() LMS_RELEASE() {
+    mu_->unlock();
+    owned_ = false;
+  }
+  bool owns_lock() const { return owned_; }
+
+ private:
+  friend class CondVar;
+
+  Mutex* mu_;
+  bool owned_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// CondVar
+// ---------------------------------------------------------------------------
+
+/// Condition variable bound to sync::Mutex via UniqueLock. Deliberately has
+/// no predicate overloads — spell the `while (!cond) wait(lock);` loop at
+/// the call site so Clang's analysis sees guarded reads under the held lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  /// The lock must be owned. The wait releases and re-acquires it; the rank
+  /// checker unwinds and replays the bookkeeping accordingly, so waiting
+  /// while holding a *higher*-ranked second lock is flagged on wakeup.
+  void wait(UniqueLock& lock) {
+    Mutex& mu = *lock.mu_;
+#if LMS_SYNC_RANK_CHECKS
+    detail::note_release(&mu);
+#endif
+    {
+      std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+      cv_.wait(native);
+      native.release();
+    }
+#if LMS_SYNC_RANK_CHECKS
+    detail::check_order(&mu, mu.rank_, mu.seq_, mu.name_);
+    detail::note_acquire(&mu, mu.rank_, mu.seq_, mu.name_, /*try_acquired=*/false);
+#endif
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(UniqueLock& lock, const std::chrono::duration<Rep, Period>& dur) {
+    Mutex& mu = *lock.mu_;
+#if LMS_SYNC_RANK_CHECKS
+    detail::note_release(&mu);
+#endif
+    std::cv_status status;
+    {
+      std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+      status = cv_.wait_for(native, dur);
+      native.release();
+    }
+#if LMS_SYNC_RANK_CHECKS
+    detail::check_order(&mu, mu.rank_, mu.seq_, mu.name_);
+    detail::note_acquire(&mu, mu.rank_, mu.seq_, mu.name_, /*try_acquired=*/false);
+#endif
+    return status;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace lms::core::sync

@@ -5,11 +5,11 @@
 // onto all measurements and events from that host while a job runs there.
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "lms/core/sync.hpp"
 #include "lms/lineproto/point.hpp"
 
 namespace lms::core {
@@ -33,8 +33,10 @@ class TagStore {
   std::size_t host_count() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::vector<lineproto::Tag>, std::less<>> tags_;
+  /// Leaf within the router layer: every method copies in/out under mu_ and
+  /// never calls back into the stack while holding it.
+  mutable core::sync::Mutex mu_{core::sync::Rank::kRouterTags, "core.tagstore"};
+  std::map<std::string, std::vector<lineproto::Tag>, std::less<>> tags_ LMS_GUARDED_BY(mu_);
 };
 
 }  // namespace lms::core

@@ -9,11 +9,11 @@
 // references to their dashboards.
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "lms/analysis/report.hpp"
+#include "lms/core/sync.hpp"
 #include "lms/core/router.hpp"
 #include "lms/dashboard/templates.hpp"
 #include "lms/net/health.hpp"
@@ -96,8 +96,11 @@ class DashboardAgent {
   const util::Clock& clock_;
   Options options_;
   TemplateStore templates_;
-  mutable std::mutex mu_;
-  std::map<std::string, json::Value> dashboards_;  // uid -> JSON
+  /// Guards the stored-dashboard map only; generation (storage snapshots,
+  /// reporter queries) happens before the store step takes it.
+  mutable core::sync::Mutex mu_{core::sync::Rank::kDashboard, "dashboard.agent"};
+  /// uid -> JSON
+  std::map<std::string, json::Value> dashboards_ LMS_GUARDED_BY(mu_);
 };
 
 }  // namespace lms::dashboard

@@ -10,10 +10,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "lms/core/sync.hpp"
 #include "lms/util/queue.hpp"
 
 namespace lms::obs {
@@ -90,11 +90,14 @@ class PubSubBroker {
   friend class Subscription;
   void unsubscribe(Subscription* sub);
 
-  mutable std::mutex mu_;
-  std::vector<Subscription*> subscribers_;
+  // Held while pushing into subscriber queues (Rank::kQueue) and while
+  // (un)registering registry gauges (Rank::kObsRegistry): both rank above.
+  mutable core::sync::Mutex mu_{core::sync::Rank::kNet, "net.pubsub"};
+  std::vector<Subscription*> subscribers_ LMS_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> published_{0};
-  obs::Registry* registry_ = nullptr;  // guarded by mu_
-  std::uint64_t next_sub_id_ = 0;      // label for per-subscription gauges
+  obs::Registry* registry_ LMS_GUARDED_BY(mu_) = nullptr;
+  /// Label for per-subscription gauges.
+  std::uint64_t next_sub_id_ LMS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lms::net

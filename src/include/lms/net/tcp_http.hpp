@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "lms/core/sync.hpp"
 #include "lms/net/transport.hpp"
 
 namespace lms::obs {
@@ -60,8 +61,8 @@ class TcpHttpServer {
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
-  std::mutex workers_mu_;
-  std::vector<std::thread> workers_;
+  core::sync::Mutex workers_mu_{core::sync::Rank::kNet, "net.tcp.workers"};
+  std::vector<std::thread> workers_ LMS_GUARDED_BY(workers_mu_);
   std::atomic<std::size_t> active_connections_{0};
 };
 

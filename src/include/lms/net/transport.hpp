@@ -13,9 +13,9 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "lms/core/sync.hpp"
 #include "lms/net/http.hpp"
 
 namespace lms::obs {
@@ -79,8 +79,11 @@ class InprocNetwork {
   void set_registry(obs::Registry* registry) { registry_ = registry; }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, HttpHandler> endpoints_;
+  // request() copies the handler out and invokes it unlocked, so the whole
+  // downstream stack can run on the caller's thread without nesting under
+  // this lock.
+  mutable core::sync::Mutex mu_{core::sync::Rank::kNet, "net.inproc"};
+  std::map<std::string, HttpHandler> endpoints_ LMS_GUARDED_BY(mu_);
   obs::Registry* registry_ = nullptr;
 };
 

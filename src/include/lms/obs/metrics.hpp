@@ -37,12 +37,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "lms/core/sync.hpp"
 #include "lms/lineproto/point.hpp"
 #include "lms/obs/trace.hpp"
 #include "lms/util/clock.hpp"
@@ -209,11 +209,13 @@ class Registry {
   };
   static Key make_key(std::string_view name, Labels labels);
 
-  mutable std::mutex mu_;
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<Histogram>> histograms_;
-  std::map<Key, std::function<double()>> gauge_fns_;
+  // Near-leaf rank: collect() copies the gauge-callback list out and
+  // evaluates it unlocked, so instrument lookup is the only work under mu_.
+  mutable core::sync::Mutex mu_{core::sync::Rank::kObsRegistry, "obs.registry"};
+  std::map<Key, std::unique_ptr<Counter>> counters_ LMS_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ LMS_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Histogram>> histograms_ LMS_GUARDED_BY(mu_);
+  std::map<Key, std::function<double()>> gauge_fns_ LMS_GUARDED_BY(mu_);
 };
 
 /// Content-Type of the text exposition format (what Prometheus scrapers

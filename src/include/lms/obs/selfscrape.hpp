@@ -19,13 +19,12 @@
 //   - start()/stop(): a real-time background thread for deployments.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "lms/core/sync.hpp"
 #include "lms/obs/metrics.hpp"
 #include "lms/util/clock.hpp"
 #include "lms/util/status.hpp"
@@ -74,9 +73,9 @@ class SelfScrape {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> scrapes_{0};
   std::atomic<std::uint64_t> failures_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_requested_ = false;
+  core::sync::Mutex mu_{core::sync::Rank::kLoopControl, "obs.selfscrape.loop"};
+  core::sync::CondVar cv_;
+  bool stop_requested_ LMS_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

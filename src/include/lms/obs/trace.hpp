@@ -30,12 +30,12 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "lms/core/sync.hpp"
 #include "lms/util/clock.hpp"
 
 namespace lms::obs {
@@ -136,8 +136,8 @@ class SpanRecorder {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<SpanRecord> ring_;
+  mutable core::sync::Mutex mu_{core::sync::Rank::kObsTrace, "obs.spans"};
+  std::deque<SpanRecord> ring_ LMS_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> recorded_{0};
   std::atomic<std::uint64_t> evicted_{0};
   std::atomic<std::uint64_t> drained_{0};

@@ -32,14 +32,13 @@
 //   - start()/stop(): a real-time background thread for deployments.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "lms/lineproto/point.hpp"
+#include "lms/core/sync.hpp"
 #include "lms/obs/trace.hpp"
 #include "lms/util/clock.hpp"
 #include "lms/util/status.hpp"
@@ -104,9 +103,9 @@ class TraceExporter {
   std::atomic<std::uint64_t> failures_{0};
   std::atomic<std::uint64_t> spans_exported_{0};
   std::atomic<std::uint64_t> spans_dropped_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_requested_ = false;
+  core::sync::Mutex mu_{core::sync::Rank::kLoopControl, "obs.traceexport.loop"};
+  core::sync::CondVar cv_;
+  bool stop_requested_ LMS_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

@@ -17,10 +17,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "lms/core/sync.hpp"
 #include "lms/hpm/perfgroup.hpp"
 #include "lms/hpm/simulator.hpp"
 #include "lms/lineproto/point.hpp"
@@ -118,9 +118,12 @@ class HpmRegionCollector final : public MetricCollector {
     std::vector<std::uint64_t> counts;
     util::TimeNs t0 = 0;
   };
-  mutable std::mutex mu_;
-  std::uint64_t next_handle_ = 1;
-  std::map<std::uint64_t, Bracket> open_;
+  /// Leaf of the profiling layer: brackets are opened/closed while no
+  /// profiler lock is held.
+  mutable core::sync::Mutex mu_{core::sync::Rank::kProfilingCollector,
+                                "profiling.collector"};
+  std::uint64_t next_handle_ LMS_GUARDED_BY(mu_) = 1;
+  std::map<std::uint64_t, Bracket> open_ LMS_GUARDED_BY(mu_);
 };
 
 }  // namespace lms::profiling

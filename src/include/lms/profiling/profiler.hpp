@@ -37,11 +37,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "lms/core/sync.hpp"
 #include "lms/obs/metrics.hpp"
 #include "lms/obs/trace.hpp"
 #include "lms/profiling/collector.hpp"
@@ -153,18 +153,20 @@ class Profiler {
   using AggKey = std::pair<std::string, std::string>;  // (region, thread label)
 
   util::TimeNs resolve_now(util::TimeNs now) const;
-  ThreadState& thread_state_locked();
+  ThreadState& thread_state_locked() LMS_REQUIRES(mu_);
   void append_derived(const Aggregate& agg, FieldSums& fields) const;
 
   Options options_;
   std::vector<std::unique_ptr<MetricCollector>> collectors_;
   std::string group_tag_;  ///< first non-empty collector group
 
-  mutable std::mutex mu_;
-  std::map<std::thread::id, ThreadState> threads_;
-  std::map<AggKey, Aggregate> aggregates_;
-  std::size_t open_count_ = 0;
-  Counters counters_;
+  /// The marker hot-path lock. Collector brackets open and close outside it
+  /// (collectors carry their own, higher-ranked lock).
+  mutable core::sync::Mutex mu_{core::sync::Rank::kProfiler, "profiling.profiler"};
+  std::map<std::thread::id, ThreadState> threads_ LMS_GUARDED_BY(mu_);
+  std::map<AggKey, Aggregate> aggregates_ LMS_GUARDED_BY(mu_);
+  std::size_t open_count_ LMS_GUARDED_BY(mu_) = 0;
+  Counters counters_ LMS_GUARDED_BY(mu_);
 
   // Self-metrics handles (null when options_.registry is null).
   obs::Counter* markers_total_ = nullptr;

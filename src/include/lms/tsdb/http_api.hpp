@@ -25,9 +25,9 @@
 
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "lms/core/sync.hpp"
 #include "lms/net/health.hpp"
 #include "lms/net/transport.hpp"
 #include "lms/obs/metrics.hpp"
@@ -128,8 +128,10 @@ class HttpApi {
   obs::Counter& points_examined_;
   obs::Histogram& write_ns_;
   obs::Histogram& query_ns_;
-  mutable std::mutex slow_mu_;
-  std::deque<SlowQuery> slow_ring_;
+  /// Leaf within the tsdb layer: taken only to append/copy the ring, after
+  /// the query (and its shard locks) completed.
+  mutable core::sync::Mutex slow_mu_{core::sync::Rank::kTsdbAux, "tsdb.slowlog"};
+  std::deque<SlowQuery> slow_ring_ LMS_GUARDED_BY(slow_mu_);
 };
 
 }  // namespace lms::tsdb

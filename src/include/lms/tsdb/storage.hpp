@@ -27,11 +27,11 @@
 #include <memory>
 #include <optional>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "lms/core/sync.hpp"
 #include "lms/lineproto/point.hpp"
 #include "lms/util/status.hpp"
 
@@ -102,9 +102,27 @@ class ReadSnapshot {
  public:
   ReadSnapshot() = default;
   /// Snapshot a database directly (also used for standalone Database tests).
-  explicit ReadSnapshot(const Database& db);
-  ReadSnapshot(ReadSnapshot&&) = default;
-  ReadSnapshot& operator=(ReadSnapshot&&) = default;
+  /// The dynamic set of stripe locks is not expressible in thread-safety
+  /// annotations, so acquisition and release opt out of the analysis; the
+  /// runtime rank checker still validates the stripe order (kTsdbShard with
+  /// seq = stripe index).
+  explicit ReadSnapshot(const Database& db) LMS_NO_THREAD_SAFETY_ANALYSIS;
+  ReadSnapshot(ReadSnapshot&& other) noexcept
+      : db_(other.db_), locks_(std::move(other.locks_)) {
+    other.db_ = nullptr;
+    other.locks_.clear();
+  }
+  ReadSnapshot& operator=(ReadSnapshot&& other) noexcept {
+    if (this != &other) {
+      release();
+      db_ = other.db_;
+      locks_ = std::move(other.locks_);
+      other.db_ = nullptr;
+      other.locks_.clear();
+    }
+    return *this;
+  }
+  ~ReadSnapshot() { release(); }
 
   explicit operator bool() const { return db_ != nullptr; }
   const Database* operator->() const { return db_; }
@@ -112,11 +130,11 @@ class ReadSnapshot {
   const Database* get() const { return db_; }
 
   /// Release the locks early (the snapshot becomes empty).
-  void release();
+  void release() LMS_NO_THREAD_SAFETY_ANALYSIS;
 
  private:
   const Database* db_ = nullptr;
-  std::vector<std::shared_lock<std::shared_mutex>> locks_;
+  std::vector<core::sync::SharedMutex*> locks_;
 };
 
 /// A single database, internally partitioned into lock-striped shards.
@@ -190,9 +208,16 @@ class Database {
   };
 
   /// One lock stripe: its own mutex, series map and per-measurement indexes.
-  /// A series lives entirely inside the shard its key hashes to.
+  /// A series lives entirely inside the shard its key hashes to. Stripe
+  /// mutexes share Rank::kTsdbShard with seq = stripe index, so the rank
+  /// checker enforces the fixed 0..N-1 multi-stripe acquisition order that
+  /// ReadSnapshot's blocking fallback relies on. The data members are not
+  /// GUARDED_BY(mu): read accessors deliberately take no lock (the snapshot
+  /// protocol pins the stripes instead), which static analysis cannot see.
   struct Shard {
-    mutable std::shared_mutex mu;
+    explicit Shard(std::size_t stripe)
+        : mu(core::sync::Rank::kTsdbShard, "tsdb.shard", stripe) {}
+    mutable core::sync::SharedMutex mu;
     std::map<SeriesKey, std::unique_ptr<Series>> series;
     // measurement -> tag key -> tag value -> series pointers
     std::map<std::string, std::map<std::string, std::map<std::string, std::set<Series*>>>> index;
@@ -258,8 +283,11 @@ class Storage {
   Database& get_or_create(const std::string& name);
 
   std::size_t shards_per_db_ = Database::kDefaultShards;
-  mutable std::shared_mutex mu_;  // guards dbs_ (map structure only)
-  std::map<std::string, std::unique_ptr<Database>> dbs_;
+  /// Guards dbs_ (map structure only). Ranked below the shard locks: the
+  /// snapshot path resolves the Database under mu_, drops it, then takes the
+  /// stripe locks.
+  mutable core::sync::SharedMutex mu_{core::sync::Rank::kTsdbMap, "tsdb.storage.map"};
+  std::map<std::string, std::unique_ptr<Database>> dbs_ LMS_GUARDED_BY(mu_);
 };
 
 }  // namespace lms::tsdb

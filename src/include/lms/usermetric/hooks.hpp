@@ -9,9 +9,9 @@
 // differs (see DESIGN.md §1).
 
 #include <cstddef>
-#include <mutex>
 #include <string>
 
+#include "lms/core/sync.hpp"
 #include "lms/usermetric/usermetric.hpp"
 
 namespace lms::usermetric {
@@ -35,11 +35,13 @@ class AllocTracker {
 
   UserMetricClient& client_;
   util::TimeNs interval_;
-  mutable std::mutex mu_;
-  std::int64_t current_ = 0;
-  std::uint64_t total_ = 0;
-  std::uint64_t alloc_calls_ = 0;
-  util::TimeNs last_report_ = 0;
+  /// Shim rank; maybe_report() copies the counters out and reports with the
+  /// lock released.
+  mutable core::sync::Mutex mu_{core::sync::Rank::kAppShim, "usermetric.shim.alloc"};
+  std::int64_t current_ LMS_GUARDED_BY(mu_) = 0;
+  std::uint64_t total_ LMS_GUARDED_BY(mu_) = 0;
+  std::uint64_t alloc_calls_ LMS_GUARDED_BY(mu_) = 0;
+  util::TimeNs last_report_ LMS_GUARDED_BY(mu_) = 0;
 };
 
 /// Reports thread affinity decisions the way a preloaded

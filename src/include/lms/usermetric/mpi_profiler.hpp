@@ -18,9 +18,9 @@
 // path, different interception — DESIGN.md §1).
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 
+#include "lms/core/sync.hpp"
 #include "lms/usermetric/usermetric.hpp"
 
 namespace lms::usermetric {
@@ -66,26 +66,28 @@ class MpiProfiler {
   util::TimeNs total_mpi_time() const;
 
  private:
-  void report_locked(util::TimeNs now);
+  void report_locked(util::TimeNs now) LMS_REQUIRES(mu_);
 
   UserMetricClient& client_;
   const std::string rank_;
   const util::TimeNs interval_;
-  mutable std::mutex mu_;
+  /// Held across the client_.value() calls in report_locked(): shims sit at
+  /// the very bottom of the hierarchy, below the usermetric client.
+  mutable core::sync::Mutex mu_{core::sync::Rank::kAppShim, "usermetric.shim.mpi"};
   // Current call.
-  bool in_call_ = false;
-  MpiCall current_call_ = MpiCall::kSend;
-  util::TimeNs current_enter_ = 0;
-  std::size_t current_bytes_ = 0;
+  bool in_call_ LMS_GUARDED_BY(mu_) = false;
+  MpiCall current_call_ LMS_GUARDED_BY(mu_) = MpiCall::kSend;
+  util::TimeNs current_enter_ LMS_GUARDED_BY(mu_) = 0;
+  std::size_t current_bytes_ LMS_GUARDED_BY(mu_) = 0;
   // Interval accumulators.
-  util::TimeNs interval_start_ = 0;
-  util::TimeNs mpi_time_ = 0;
-  util::TimeNs sync_time_ = 0;
-  std::uint64_t calls_ = 0;
-  std::uint64_t bytes_ = 0;
+  util::TimeNs interval_start_ LMS_GUARDED_BY(mu_) = 0;
+  util::TimeNs mpi_time_ LMS_GUARDED_BY(mu_) = 0;
+  util::TimeNs sync_time_ LMS_GUARDED_BY(mu_) = 0;
+  std::uint64_t calls_ LMS_GUARDED_BY(mu_) = 0;
+  std::uint64_t bytes_ LMS_GUARDED_BY(mu_) = 0;
   // Lifetime totals.
-  std::uint64_t total_calls_ = 0;
-  util::TimeNs total_mpi_time_ = 0;
+  std::uint64_t total_calls_ LMS_GUARDED_BY(mu_) = 0;
+  util::TimeNs total_mpi_time_ LMS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lms::usermetric

@@ -13,9 +13,9 @@
 //   omp_avg_threads        average team size
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "lms/core/sync.hpp"
 #include "lms/usermetric/usermetric.hpp"
 
 namespace lms::usermetric {
@@ -35,17 +35,20 @@ class OmpProfiler {
   std::uint64_t total_regions() const;
 
  private:
-  void report_locked(util::TimeNs now);
+  void report_locked(util::TimeNs now) LMS_REQUIRES(mu_);
 
   UserMetricClient& client_;
   const util::TimeNs interval_;
-  mutable std::mutex mu_;
-  util::TimeNs interval_start_ = 0;
-  util::TimeNs parallel_time_ = 0;
-  double efficiency_weighted_ = 0;  // sum(duration * region efficiency)
-  std::uint64_t regions_ = 0;
-  std::uint64_t thread_sum_ = 0;
-  std::uint64_t total_regions_ = 0;
+  /// Held across the client_.value() calls in report_locked() (shim rank,
+  /// bottom of the hierarchy).
+  mutable core::sync::Mutex mu_{core::sync::Rank::kAppShim, "usermetric.shim.omp"};
+  util::TimeNs interval_start_ LMS_GUARDED_BY(mu_) = 0;
+  util::TimeNs parallel_time_ LMS_GUARDED_BY(mu_) = 0;
+  /// sum(duration * region efficiency)
+  double efficiency_weighted_ LMS_GUARDED_BY(mu_) = 0;
+  std::uint64_t regions_ LMS_GUARDED_BY(mu_) = 0;
+  std::uint64_t thread_sum_ LMS_GUARDED_BY(mu_) = 0;
+  std::uint64_t total_regions_ LMS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lms::usermetric

@@ -8,10 +8,10 @@
 // parse_cli_metric) covers batch scripts.
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "lms/core/sync.hpp"
 #include "lms/lineproto/point.hpp"
 #include "lms/net/transport.hpp"
 #include "lms/util/clock.hpp"
@@ -65,15 +65,18 @@ class UserMetricClient {
 
  private:
   void enqueue(lineproto::Point point);
-  bool flush_locked();
+  bool flush_locked() LMS_REQUIRES(mu_);
 
   net::HttpClient& client_;
   const util::Clock& clock_;
   Options options_;
-  mutable std::mutex mu_;
-  std::vector<lineproto::Point> buffer_;
-  util::TimeNs last_flush_ = 0;
-  Stats stats_;
+  /// Deliberately held across the synchronous send in flush_locked() (the
+  /// buffer must not mutate mid-serialize), which is why this rank sits at
+  /// the bottom of the application layer — below net and logging.
+  mutable core::sync::Mutex mu_{core::sync::Rank::kUserMetric, "usermetric.client"};
+  std::vector<lineproto::Point> buffer_ LMS_GUARDED_BY(mu_);
+  util::TimeNs last_flush_ LMS_GUARDED_BY(mu_) = 0;
+  Stats stats_ LMS_GUARDED_BY(mu_);
 };
 
 /// Parse a command-line metric specification, the libusermetric CLI format:

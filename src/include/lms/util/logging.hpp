@@ -7,11 +7,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "lms/core/sync.hpp"
 
 namespace lms::util {
 
@@ -51,9 +52,11 @@ class Logger {
 
  private:
   Logger();
-  mutable std::mutex mu_;
-  LogLevel level_;
-  Sink sink_;
+  // Rank::kLogging is the hierarchy leaf: any thread may log while holding
+  // any other lock. log() copies the sink out and invokes it unlocked.
+  mutable core::sync::Mutex mu_{core::sync::Rank::kLogging, "util.logger"};
+  LogLevel level_ LMS_GUARDED_BY(mu_);
+  Sink sink_ LMS_GUARDED_BY(mu_);
 };
 
 /// Bounded in-memory log sink: keeps the most recent `capacity` records and
@@ -91,10 +94,10 @@ class LogRing {
   void clear();
 
  private:
-  mutable std::mutex mu_;
+  mutable core::sync::Mutex mu_{core::sync::Rank::kLogging, "util.logring"};
   std::size_t capacity_;
-  std::deque<Entry> ring_;
-  std::uint64_t dropped_ = 0;
+  std::deque<Entry> ring_ LMS_GUARDED_BY(mu_);
+  std::uint64_t dropped_ LMS_GUARDED_BY(mu_) = 0;
 };
 
 namespace detail {

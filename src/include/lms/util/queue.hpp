@@ -3,12 +3,16 @@
 // Bounded thread-safe MPMC queue used between agent threads (collector ->
 // sender, router -> pub/sub subscribers). Blocking pop with timeout plus a
 // close() for clean shutdown: a closed queue rejects pushes and drains.
+//
+// Lock rank: Rank::kQueue. The pub/sub broker pushes into subscriber queues
+// while holding its own (lower-ranked) mutex, so the queue lock must stay a
+// near-leaf: never call out of this class while holding mu_.
 
-#include <condition_variable>
+#include <chrono>
 #include <deque>
-#include <mutex>
 #include <optional>
 
+#include "lms/core/sync.hpp"
 #include "lms/util/clock.hpp"
 
 namespace lms::util {
@@ -20,8 +24,8 @@ class BoundedQueue {
 
   /// Push; blocks while full. Returns false if the queue is closed.
   bool push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    core::sync::UniqueLock lock(mu_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock);
     if (closed_) return false;
     items_.push_back(std::move(item));
     not_empty_.notify_one();
@@ -30,7 +34,7 @@ class BoundedQueue {
 
   /// Non-blocking push. Returns false when full or closed (item dropped).
   bool try_push(T item) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
     not_empty_.notify_one();
@@ -39,23 +43,27 @@ class BoundedQueue {
 
   /// Pop; blocks until an item is available or the queue is closed and empty.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    core::sync::UniqueLock lock(mu_);
+    while (!closed_ && items_.empty()) not_empty_.wait(lock);
     return pop_locked();
   }
 
   /// Pop with a timeout (real time). Returns nullopt on timeout or drained
   /// close.
   std::optional<T> pop_for(TimeNs timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait_for(lock, std::chrono::nanoseconds(timeout),
-                        [&] { return closed_ || !items_.empty(); });
+    core::sync::UniqueLock lock(mu_);
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout);
+    while (!closed_ && items_.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) break;
+      not_empty_.wait_for(lock, deadline - now);
+    }
     return pop_locked();
   }
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -66,26 +74,26 @@ class BoundedQueue {
   /// Close the queue: pushes fail, pops drain remaining items then return
   /// nullopt.
   void close() {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
   bool closed() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     return items_.size();
   }
 
   std::size_t capacity() const { return capacity_; }
 
  private:
-  std::optional<T> pop_locked() {
+  std::optional<T> pop_locked() LMS_REQUIRES(mu_) {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -94,11 +102,11 @@ class BoundedQueue {
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable core::sync::Mutex mu_{core::sync::Rank::kQueue, "util.queue"};
+  core::sync::CondVar not_empty_;
+  core::sync::CondVar not_full_;
+  std::deque<T> items_ LMS_GUARDED_BY(mu_);
+  bool closed_ LMS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace lms::util

@@ -20,7 +20,7 @@ std::optional<PubSubMessage> Subscription::try_receive() { return queue_.try_pop
 std::shared_ptr<Subscription> PubSubBroker::subscribe(std::string topic_prefix, std::size_t hwm) {
   // make_shared not usable: private constructor.
   std::shared_ptr<Subscription> sub(new Subscription(this, std::move(topic_prefix), hwm));
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   subscribers_.push_back(sub.get());
   if (registry_ != nullptr) {
     // Depth gauge over the subscriber's bounded queue — the high-water-mark
@@ -38,7 +38,7 @@ std::size_t PubSubBroker::publish(std::string_view topic, std::string_view paylo
   published_.fetch_add(1, std::memory_order_relaxed);
   std::size_t delivered = 0;
   std::size_t dropped = 0;
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   for (Subscription* sub : subscribers_) {
     if (!util::starts_with(topic, sub->prefix_)) continue;
     if (sub->queue_.try_push(PubSubMessage{std::string(topic), std::string(payload)})) {
@@ -57,12 +57,12 @@ std::size_t PubSubBroker::publish(std::string_view topic, std::string_view paylo
 }
 
 std::size_t PubSubBroker::subscriber_count() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return subscribers_.size();
 }
 
 void PubSubBroker::set_registry(obs::Registry* registry) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   registry_ = registry;
   if (registry_ != nullptr) {
     for (Subscription* sub : subscribers_) {
@@ -77,7 +77,7 @@ void PubSubBroker::set_registry(obs::Registry* registry) {
 }
 
 void PubSubBroker::unsubscribe(Subscription* sub) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   if (registry_ != nullptr && !sub->metric_id_.empty()) {
     registry_->remove_gauge_fn("pubsub_queue_depth",
                                {{"topic", sub->prefix_}, {"sub", sub->metric_id_}});

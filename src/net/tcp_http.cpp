@@ -110,7 +110,7 @@ void TcpHttpServer::stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> workers;
   {
-    const std::lock_guard<std::mutex> lock(workers_mu_);
+    const core::sync::LockGuard lock(workers_mu_);
     workers.swap(workers_);
   }
   for (auto& t : workers) {
@@ -141,7 +141,7 @@ void TcpHttpServer::accept_loop() {
       continue;
     }
     active_connections_.fetch_add(1);
-    const std::lock_guard<std::mutex> lock(workers_mu_);
+    const core::sync::LockGuard lock(workers_mu_);
     // Reap finished workers opportunistically to bound the vector.
     if (workers_.size() > 2 * options_.max_connections) {
       for (auto& t : workers_) {

@@ -41,17 +41,17 @@ util::Result<HttpResponse> HttpClient::get(const std::string& url) {
 }
 
 void InprocNetwork::bind(const std::string& name, HttpHandler handler) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   endpoints_[name] = std::move(handler);
 }
 
 void InprocNetwork::unbind(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   endpoints_.erase(name);
 }
 
 bool InprocNetwork::has(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return endpoints_.count(name) > 0;
 }
 
@@ -59,7 +59,7 @@ util::Result<HttpResponse> InprocNetwork::request(const std::string& name,
                                                   const HttpRequest& req) const {
   HttpHandler handler;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     const auto it = endpoints_.find(name);
     if (it == endpoints_.end()) {
       return util::Result<HttpResponse>::error("inproc endpoint '" + name + "' not bound");

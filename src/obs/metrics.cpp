@@ -63,7 +63,7 @@ Registry::Key Registry::make_key(std::string_view name, Labels labels) {
 
 Counter& Registry::counter(std::string_view name, Labels labels) {
   const Key key = make_key(name, std::move(labels));
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   auto& slot = counters_[key];
   if (!slot) slot.reset(new Counter());
   return *slot;
@@ -71,7 +71,7 @@ Counter& Registry::counter(std::string_view name, Labels labels) {
 
 Gauge& Registry::gauge(std::string_view name, Labels labels) {
   const Key key = make_key(name, std::move(labels));
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   auto& slot = gauges_[key];
   if (!slot) slot.reset(new Gauge());
   return *slot;
@@ -79,7 +79,7 @@ Gauge& Registry::gauge(std::string_view name, Labels labels) {
 
 Histogram& Registry::histogram(std::string_view name, Labels labels) {
   const Key key = make_key(name, std::move(labels));
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   auto& slot = histograms_[key];
   if (!slot) slot.reset(new Histogram());
   return *slot;
@@ -87,13 +87,13 @@ Histogram& Registry::histogram(std::string_view name, Labels labels) {
 
 void Registry::gauge_fn(std::string_view name, Labels labels, std::function<double()> fn) {
   const Key key = make_key(name, std::move(labels));
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   gauge_fns_[key] = std::move(fn);
 }
 
 void Registry::remove_gauge_fn(std::string_view name, const Labels& labels) {
   const Key key = make_key(name, labels);
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   gauge_fns_.erase(key);
 }
 
@@ -103,7 +103,7 @@ std::vector<Sample> Registry::collect() const {
   std::vector<Sample> out;
   std::vector<std::pair<Key, std::function<double()>>> fns;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     out.reserve(counters_.size() + gauges_.size() + histograms_.size() + gauge_fns_.size());
     for (const auto& [key, c] : counters_) {
       Sample s;
@@ -149,7 +149,7 @@ std::vector<Sample> Registry::collect() const {
 }
 
 std::size_t Registry::instrument_count() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size() + gauge_fns_.size();
 }
 

@@ -34,7 +34,7 @@ void SelfScrape::start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     stop_requested_ = false;
   }
   thread_ = std::thread([this] { run(); });
@@ -43,7 +43,7 @@ void SelfScrape::start() {
 void SelfScrape::stop() {
   if (!running_.exchange(false)) return;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     stop_requested_ = true;
   }
   cv_.notify_all();
@@ -51,11 +51,19 @@ void SelfScrape::stop() {
 }
 
 void SelfScrape::run() {
-  std::unique_lock<std::mutex> lock(mu_);
+  core::sync::UniqueLock lock(mu_);
   while (!stop_requested_) {
-    const auto wait = std::chrono::nanoseconds(options_.interval > 0 ? options_.interval
-                                                                     : util::kNanosPerSecond);
-    if (cv_.wait_for(lock, wait, [this] { return stop_requested_; })) break;
+    const auto interval = std::chrono::nanoseconds(options_.interval > 0 ? options_.interval
+                                                                         : util::kNanosPerSecond);
+    // Explicit deadline loop instead of a predicate wait so the guarded
+    // stop_requested_ reads stay in this (lock-holding) function.
+    const auto deadline = std::chrono::steady_clock::now() + interval;
+    while (!stop_requested_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) break;
+      cv_.wait_for(lock, deadline - now);
+    }
+    if (stop_requested_) break;
     lock.unlock();
     scrape_once();
     lock.lock();

@@ -147,7 +147,7 @@ SpanRecorder& SpanRecorder::global() {
 
 void SpanRecorder::record(SpanRecord record) {
   recorded_.fetch_add(1, std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   if (ring_.size() >= capacity_) {
     ring_.pop_front();
     evicted_.fetch_add(1, std::memory_order_relaxed);
@@ -156,7 +156,7 @@ void SpanRecorder::record(SpanRecord record) {
 }
 
 std::vector<SpanRecord> SpanRecorder::by_trace(std::uint64_t trace_id) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   std::vector<SpanRecord> out;
   for (const auto& r : ring_) {
     if (r.trace_id == trace_id) out.push_back(r);
@@ -165,13 +165,13 @@ std::vector<SpanRecord> SpanRecorder::by_trace(std::uint64_t trace_id) const {
 }
 
 std::vector<SpanRecord> SpanRecorder::recent(std::size_t n) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   const std::size_t count = std::min(n, ring_.size());
   return std::vector<SpanRecord>(ring_.end() - static_cast<std::ptrdiff_t>(count), ring_.end());
 }
 
 std::vector<SpanRecord> SpanRecorder::drain(std::size_t max_spans) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   const std::size_t count =
       max_spans == 0 ? ring_.size() : std::min(max_spans, ring_.size());
   std::vector<SpanRecord> out;
@@ -185,12 +185,12 @@ std::vector<SpanRecord> SpanRecorder::drain(std::size_t max_spans) {
 }
 
 std::size_t SpanRecorder::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return ring_.size();
 }
 
 void SpanRecorder::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   ring_.clear();
 }
 

@@ -115,7 +115,7 @@ void TraceExporter::start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     stop_requested_ = false;
   }
   thread_ = std::thread([this] { run(); });
@@ -124,7 +124,7 @@ void TraceExporter::start() {
 void TraceExporter::stop() {
   if (!running_.exchange(false)) return;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     stop_requested_ = true;
   }
   cv_.notify_all();
@@ -134,11 +134,19 @@ void TraceExporter::stop() {
 }
 
 void TraceExporter::run() {
-  std::unique_lock<std::mutex> lock(mu_);
+  core::sync::UniqueLock lock(mu_);
   while (!stop_requested_) {
-    const auto wait = std::chrono::nanoseconds(options_.interval > 0 ? options_.interval
-                                                                     : util::kNanosPerSecond);
-    if (cv_.wait_for(lock, wait, [this] { return stop_requested_; })) break;
+    const auto interval = std::chrono::nanoseconds(options_.interval > 0 ? options_.interval
+                                                                         : util::kNanosPerSecond);
+    // Explicit deadline loop instead of a predicate wait so the guarded
+    // stop_requested_ reads stay in this (lock-holding) function.
+    const auto deadline = std::chrono::steady_clock::now() + interval;
+    while (!stop_requested_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) break;
+      cv_.wait_for(lock, deadline - now);
+    }
+    if (stop_requested_) break;
     lock.unlock();
     export_once();
     lock.lock();

@@ -68,7 +68,7 @@ std::uint64_t HpmRegionCollector::start(util::TimeNs now) {
   Bracket bracket;
   bracket.counts = snapshot_group();
   bracket.t0 = now;
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   const std::uint64_t handle = next_handle_++;
   open_.emplace(handle, std::move(bracket));
   return handle;
@@ -78,7 +78,7 @@ std::vector<lineproto::Field> HpmRegionCollector::stop(std::uint64_t handle, uti
   (void)now;
   Bracket bracket;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     const auto it = open_.find(handle);
     if (it == open_.end()) return {};
     bracket = std::move(it->second);
@@ -100,7 +100,7 @@ std::vector<lineproto::Field> HpmRegionCollector::stop(std::uint64_t handle, uti
 }
 
 void HpmRegionCollector::discard(std::uint64_t handle) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   open_.erase(handle);
 }
 

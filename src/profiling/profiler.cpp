@@ -72,7 +72,7 @@ util::Status Profiler::start(std::string_view region, util::TimeNs now) {
   open.handles.reserve(collectors_.size());
   for (const auto& collector : collectors_) open.handles.push_back(collector->start(now));
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     ThreadState& state = thread_state_locked();
     if (state.stack.size() >= options_.max_depth) {
       ++counters_.rejected;
@@ -103,7 +103,7 @@ util::Status Profiler::stop(std::string_view region, util::TimeNs now) {
   std::string thread_label;
   util::TimeNs dt = 0;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     ThreadState& state = thread_state_locked();
     if (state.stack.empty() || state.stack.back().name != region) {
       ++counters_.unbalanced;
@@ -130,7 +130,7 @@ util::Status Profiler::stop(std::string_view region, util::TimeNs now) {
   }
 
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     Aggregate& agg = aggregates_[AggKey{closed.name, thread_label}];
     ++agg.count;
     agg.inclusive_ns += dt;
@@ -153,7 +153,7 @@ util::Status Profiler::stop(std::string_view region, util::TimeNs now) {
 }
 
 bool Profiler::value(std::string_view name, double v) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   ThreadState& state = thread_state_locked();
   if (state.stack.empty()) return false;
   const std::string key = "user_" + hpm::sanitize_field_key(name);
@@ -172,7 +172,7 @@ void Profiler::append_derived(const Aggregate& agg, FieldSums& fields) const {
 }
 
 std::vector<Profiler::RegionStats> Profiler::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   std::vector<RegionStats> out;
   out.reserve(aggregates_.size());
   for (const auto& [key, agg] : aggregates_) {
@@ -193,7 +193,7 @@ std::vector<lineproto::Point> Profiler::drain_points(
     util::TimeNs now, const std::vector<lineproto::Tag>& extra_tags) {
   std::map<AggKey, Aggregate> drained;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     drained.swap(aggregates_);
   }
   std::vector<lineproto::Point> points;
@@ -220,17 +220,17 @@ std::vector<lineproto::Point> Profiler::drain_points(
 }
 
 void Profiler::reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   aggregates_.clear();
 }
 
 Profiler::Counters Profiler::counters() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return counters_;
 }
 
 std::size_t Profiler::active_regions() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return open_count_;
 }
 

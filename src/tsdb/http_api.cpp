@@ -238,13 +238,13 @@ void HttpApi::note_slow_query(std::string q, std::string db, std::int64_t durati
   s.duration_ns = duration_ns;
   s.trace_id = trace_id;
   s.stats = stats;
-  std::lock_guard<std::mutex> lock(slow_mu_);
+  const core::sync::LockGuard lock(slow_mu_);
   slow_ring_.push_back(std::move(s));
   while (slow_ring_.size() > options_.slow_query_capacity) slow_ring_.pop_front();
 }
 
 std::vector<HttpApi::SlowQuery> HttpApi::slow_query_ring() const {
-  std::lock_guard<std::mutex> lock(slow_mu_);
+  const core::sync::LockGuard lock(slow_mu_);
   return {slow_ring_.rbegin(), slow_ring_.rend()};
 }
 

@@ -1,7 +1,6 @@
 #include "lms/tsdb/storage.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <thread>
 
 namespace lms::tsdb {
@@ -47,29 +46,38 @@ ReadSnapshot::ReadSnapshot(const Database& db) : db_(&db) {
   // stripes while blocked on another would stall writers on the held ones
   // (a lock convoy under mixed load). Bounded retries, then a blocking pass
   // in fixed 0..N-1 order (deadlock-free: concurrent snapshots acquire in
-  // the same order and writers only ever hold a single stripe).
+  // the same order and writers only ever hold a single stripe). The rank
+  // checker enforces the ordered fallback: stripes share Rank::kTsdbShard
+  // with seq = stripe index, so a blocking acquire out of index order aborts.
   locks_.reserve(db.shards_.size());
+  const auto unlock_all = [this] {
+    for (auto* mu : locks_) mu->unlock_shared();
+    locks_.clear();
+  };
   for (int attempt = 0; attempt < 16; ++attempt) {
-    locks_.emplace_back(db.shards_[0]->mu);
+    db.shards_[0]->mu.lock_shared();
+    locks_.push_back(&db.shards_[0]->mu);
     bool all = true;
     for (std::size_t i = 1; i < db.shards_.size(); ++i) {
-      std::shared_lock<std::shared_mutex> lock(db.shards_[i]->mu, std::try_to_lock);
-      if (!lock.owns_lock()) {
+      core::sync::SharedMutex& mu = db.shards_[i]->mu;
+      if (!mu.try_lock_shared()) {
         all = false;
         break;
       }
-      locks_.push_back(std::move(lock));
+      locks_.push_back(&mu);
     }
     if (all) return;
-    locks_.clear();
+    unlock_all();
     std::this_thread::yield();
   }
   for (const auto& shard : db.shards_) {
-    locks_.emplace_back(shard->mu);
+    shard->mu.lock_shared();
+    locks_.push_back(&shard->mu);
   }
 }
 
 void ReadSnapshot::release() {
+  for (auto* mu : locks_) mu->unlock_shared();
   locks_.clear();
   db_ = nullptr;
 }
@@ -104,7 +112,7 @@ Database::Database(std::string name, std::size_t shard_count) : name_(std::move(
   if (shard_count == 0) shard_count = 1;
   shards_.reserve(shard_count);
   for (std::size_t i = 0; i < shard_count; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    shards_.push_back(std::make_unique<Shard>(i));
   }
 }
 
@@ -141,7 +149,7 @@ void Database::write_into(Shard& shard, const Point& point, TimeNs t) const {
 void Database::write(const Point& point, TimeNs default_time) {
   Shard& shard = *shards_[shard_of(point)];
   const TimeNs t = point.timestamp != 0 ? point.timestamp : default_time;
-  const std::unique_lock<std::shared_mutex> lock(shard.mu);
+  const core::sync::WriteLockGuard lock(shard.mu);
   write_into(shard, point, t);
 }
 
@@ -151,7 +159,7 @@ void Database::write_batch(const std::vector<Point>& points, TimeNs default_time
   if (timestamp_scale <= 0) timestamp_scale = 1;
   if (shards_.size() == 1) {
     Shard& shard = *shards_[0];
-    const std::unique_lock<std::shared_mutex> lock(shard.mu);
+    const core::sync::WriteLockGuard lock(shard.mu);
     for (const auto& p : points) {
       const TimeNs t = p.timestamp != 0 ? p.timestamp * timestamp_scale : default_time;
       write_into(shard, p, t);
@@ -166,7 +174,7 @@ void Database::write_batch(const std::vector<Point>& points, TimeNs default_time
   for (std::size_t i = 0; i < buckets.size(); ++i) {
     if (buckets[i].empty()) continue;
     Shard& shard = *shards_[i];
-    const std::unique_lock<std::shared_mutex> lock(shard.mu);
+    const core::sync::WriteLockGuard lock(shard.mu);
     for (const Point* p : buckets[i]) {
       const TimeNs t = p->timestamp != 0 ? p->timestamp * timestamp_scale : default_time;
       write_into(shard, *p, t);
@@ -296,7 +304,7 @@ std::size_t Database::drop_before_if(TimeNs cutoff,
                                      const std::function<bool(const std::string&)>& pred) {
   std::size_t dropped = 0;
   for (const auto& shard : shards_) {
-    const std::unique_lock<std::shared_mutex> lock(shard->mu);
+    const core::sync::WriteLockGuard lock(shard->mu);
     dropped += drop_before_shard(*shard, cutoff, pred);
   }
   return dropped;
@@ -340,11 +348,11 @@ std::size_t Database::drop_before_shard(Shard& shard, TimeNs cutoff,
 
 Database& Storage::get_or_create(const std::string& name) {
   {
-    const std::shared_lock<std::shared_mutex> lock(mu_);
+    const core::sync::SharedLockGuard lock(mu_);
     const auto it = dbs_.find(name);
     if (it != dbs_.end()) return *it->second;
   }
-  const std::unique_lock<std::shared_mutex> lock(mu_);
+  const core::sync::WriteLockGuard lock(mu_);
   auto it = dbs_.find(name);
   if (it == dbs_.end()) {
     it = dbs_.emplace(name, std::make_unique<Database>(name, shards_per_db_)).first;
@@ -355,7 +363,7 @@ Database& Storage::get_or_create(const std::string& name) {
 Database& Storage::database(const std::string& name) { return get_or_create(name); }
 
 Database* Storage::find_database(const std::string& name) {
-  const std::shared_lock<std::shared_mutex> lock(mu_);
+  const core::sync::SharedLockGuard lock(mu_);
   const auto it = dbs_.find(name);
   return it != dbs_.end() ? it->second.get() : nullptr;
 }
@@ -363,7 +371,7 @@ Database* Storage::find_database(const std::string& name) {
 ReadSnapshot Storage::snapshot(const std::string& name) const {
   const Database* db = nullptr;
   {
-    const std::shared_lock<std::shared_mutex> lock(mu_);
+    const core::sync::SharedLockGuard lock(mu_);
     const auto it = dbs_.find(name);
     if (it != dbs_.end()) db = it->second.get();
   }
@@ -383,7 +391,7 @@ void Storage::write(const std::string& db, const std::vector<Point>& points,
 }
 
 std::vector<std::string> Storage::databases() const {
-  const std::shared_lock<std::shared_mutex> lock(mu_);
+  const core::sync::SharedLockGuard lock(mu_);
   std::vector<std::string> out;
   out.reserve(dbs_.size());
   for (const auto& [name, _] : dbs_) out.push_back(name);

@@ -7,7 +7,7 @@ AllocTracker::AllocTracker(UserMetricClient& client, util::TimeNs report_interva
 
 void AllocTracker::on_allocate(std::size_t bytes, util::TimeNs now) {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     current_ += static_cast<std::int64_t>(bytes);
     total_ += bytes;
     ++alloc_calls_;
@@ -17,7 +17,7 @@ void AllocTracker::on_allocate(std::size_t bytes, util::TimeNs now) {
 
 void AllocTracker::on_free(std::size_t bytes, util::TimeNs now) {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     current_ -= static_cast<std::int64_t>(bytes);
     if (current_ < 0) current_ = 0;
   }
@@ -29,7 +29,7 @@ void AllocTracker::maybe_report(util::TimeNs now) {
   std::uint64_t total = 0;
   std::uint64_t calls = 0;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     if (now - last_report_ < interval_) return;
     last_report_ = now;
     current = current_;
@@ -42,12 +42,12 @@ void AllocTracker::maybe_report(util::TimeNs now) {
 }
 
 std::int64_t AllocTracker::current_bytes() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return current_;
 }
 
 std::uint64_t AllocTracker::total_allocated() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return total_;
 }
 

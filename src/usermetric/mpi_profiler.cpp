@@ -42,7 +42,7 @@ MpiProfiler::MpiProfiler(UserMetricClient& client, int rank, util::TimeNs report
     : client_(client), rank_(std::to_string(rank)), interval_(report_interval) {}
 
 void MpiProfiler::on_enter(MpiCall call, util::TimeNs now, std::size_t bytes) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   if (interval_start_ == 0) interval_start_ = now;
   in_call_ = true;
   current_call_ = call;
@@ -51,7 +51,7 @@ void MpiProfiler::on_enter(MpiCall call, util::TimeNs now, std::size_t bytes) {
 }
 
 void MpiProfiler::on_exit(util::TimeNs now) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   if (!in_call_) return;
   in_call_ = false;
   const util::TimeNs duration = now - current_enter_;
@@ -67,7 +67,7 @@ void MpiProfiler::on_exit(util::TimeNs now) {
 void MpiProfiler::record(MpiCall call, util::TimeNs start, util::TimeNs duration,
                          std::size_t bytes) {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     if (interval_start_ == 0) interval_start_ = start;
   }
   on_enter(call, start, bytes);
@@ -75,7 +75,7 @@ void MpiProfiler::record(MpiCall call, util::TimeNs start, util::TimeNs duration
 }
 
 void MpiProfiler::report(util::TimeNs now) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   report_locked(now);
 }
 
@@ -99,12 +99,12 @@ void MpiProfiler::report_locked(util::TimeNs now) {
 }
 
 std::uint64_t MpiProfiler::total_calls() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return total_calls_;
 }
 
 util::TimeNs MpiProfiler::total_mpi_time() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return total_mpi_time_;
 }
 

@@ -11,7 +11,7 @@ void OmpProfiler::record_region(util::TimeNs start, util::TimeNs duration,
                                 const std::vector<util::TimeNs>& thread_busy) {
   util::TimeNs report_at = 0;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     if (interval_start_ == 0) interval_start_ = start;
     parallel_time_ += duration;
     ++regions_;
@@ -38,7 +38,7 @@ void OmpProfiler::record_region(util::TimeNs start, util::TimeNs duration,
 }
 
 void OmpProfiler::report(util::TimeNs now) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   report_locked(now);
 }
 
@@ -66,7 +66,7 @@ void OmpProfiler::report_locked(util::TimeNs now) {
 }
 
 std::uint64_t OmpProfiler::total_regions() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return total_regions_;
 }
 

@@ -26,7 +26,7 @@ void UserMetricClient::value(std::string_view name, double v,
   p.add_field(name, v);
   p.timestamp = timestamp != 0 ? timestamp : clock_.now();
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     ++stats_.values_reported;
   }
   enqueue(std::move(p));
@@ -41,7 +41,7 @@ void UserMetricClient::event(std::string_view name, std::string_view text,
   p.add_field("text", std::string(text));
   p.timestamp = timestamp != 0 ? timestamp : clock_.now();
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     ++stats_.events_reported;
   }
   enqueue(std::move(p));
@@ -52,7 +52,7 @@ void UserMetricClient::enqueue(lineproto::Point point) {
     if (!point.has_tag(k)) point.set_tag(k, v);
   }
   point.normalize();
-  std::unique_lock<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   if (buffer_.size() >= options_.buffer_capacity) {
     if (options_.drop_when_full) {
       ++stats_.points_dropped;
@@ -70,7 +70,7 @@ void UserMetricClient::enqueue(lineproto::Point point) {
 }
 
 bool UserMetricClient::flush() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return flush_locked();
 }
 
@@ -94,7 +94,7 @@ bool UserMetricClient::flush_locked() {
 }
 
 void UserMetricClient::tick(util::TimeNs now) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   if (!buffer_.empty() && now - last_flush_ >= options_.flush_interval) {
     flush_locked();
     last_flush_ = now;
@@ -102,12 +102,12 @@ void UserMetricClient::tick(util::TimeNs now) {
 }
 
 UserMetricClient::Stats UserMetricClient::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return stats_;
 }
 
 std::size_t UserMetricClient::buffered() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return buffer_.size();
 }
 

@@ -44,24 +44,24 @@ Logger& Logger::instance() {
 Logger::Logger() : level_(LogLevel::kWarn), sink_(nullptr) {}
 
 void Logger::set_level(LogLevel level) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   level_ = level;
 }
 
 LogLevel Logger::level() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return level_;
 }
 
 void Logger::set_sink(Sink sink) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   sink_ = std::move(sink);
 }
 
 void Logger::log(LogLevel level, std::string_view component, std::string_view msg) {
   Sink sink;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     if (level < level_) return;
     sink = sink_;
   }
@@ -89,7 +89,7 @@ LogRing::LogRing(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity)
 Logger::Sink LogRing::sink() {
   return [this](LogLevel level, std::string_view component, std::string_view msg,
                 std::uint64_t trace_id) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::sync::LockGuard lock(mu_);
     if (ring_.size() >= capacity_) {
       ring_.pop_front();
       ++dropped_;
@@ -99,12 +99,12 @@ Logger::Sink LogRing::sink() {
 }
 
 std::vector<LogRing::Entry> LogRing::entries() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return {ring_.begin(), ring_.end()};
 }
 
 std::vector<LogRing::Entry> LogRing::entries_for_trace(std::uint64_t trace_id) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   std::vector<Entry> out;
   for (const Entry& e : ring_) {
     if (e.trace_id == trace_id) out.push_back(e);
@@ -113,7 +113,7 @@ std::vector<LogRing::Entry> LogRing::entries_for_trace(std::uint64_t trace_id) c
 }
 
 std::vector<std::string> LogRing::lines() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   std::vector<std::string> out;
   out.reserve(ring_.size());
   for (const Entry& e : ring_) {
@@ -135,17 +135,17 @@ std::vector<std::string> LogRing::lines() const {
 }
 
 std::size_t LogRing::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return ring_.size();
 }
 
 std::uint64_t LogRing::dropped() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return dropped_;
 }
 
 void LogRing::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   ring_.clear();
   dropped_ = 0;
 }

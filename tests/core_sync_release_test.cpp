@@ -1,0 +1,67 @@
+// Release-configuration twin of core_sync_test: compiled with
+// LMS_SYNC_RANK_CHECKS=0 (tests/CMakeLists.txt), proving the rank checker is
+// compiled out entirely — wrappers carry no extra state and inverted
+// acquisition orders go unreported (TSan remains the safety net there).
+
+#include "lms/core/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+namespace csync = lms::core::sync;
+
+namespace {
+
+std::string* g_captured = nullptr;
+
+void capturing_handler(const char* message) {
+  if (g_captured != nullptr) *g_captured = message;
+}
+
+TEST(CoreSyncReleaseTest, CheckerIsCompiledOut) {
+  EXPECT_FALSE(csync::kRankCheckingEnabled);
+  // No rank/seq/name bookkeeping fields: the wrapper is exactly the native
+  // primitive plus nothing.
+  static_assert(sizeof(csync::Mutex) == sizeof(std::mutex));
+  static_assert(sizeof(csync::SharedMutex) == sizeof(std::shared_mutex));
+}
+
+TEST(CoreSyncReleaseTest, InvertedOrderGoesUnreported) {
+  std::string captured;
+  g_captured = &captured;
+  csync::set_rank_violation_handler(&capturing_handler);
+  csync::Mutex net(csync::Rank::kNet, "net.pubsub");
+  csync::Mutex queue(csync::Rank::kQueue, "util.queue");
+  {
+    csync::LockGuard inner(queue);
+    csync::LockGuard outer(net);  // inversion: silently allowed in release
+    EXPECT_EQ(csync::held_lock_count(), 0u);
+  }
+  EXPECT_TRUE(captured.empty());
+  csync::set_rank_violation_handler(nullptr);
+  g_captured = nullptr;
+}
+
+TEST(CoreSyncReleaseTest, PrimitivesStillLockAndUnlock) {
+  csync::Mutex mu(csync::Rank::kNet, "m");
+  csync::CondVar cv;
+  {
+    csync::UniqueLock lock(mu);
+    EXPECT_EQ(cv.wait_for(lock, std::chrono::milliseconds(1)), std::cv_status::timeout);
+    EXPECT_TRUE(lock.owns_lock());
+  }
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+  csync::SharedMutex sm(csync::Rank::kTsdbShard, "s", 0);
+  {
+    csync::SharedLockGuard r1(sm);
+    EXPECT_TRUE(sm.try_lock_shared());
+    sm.unlock_shared();
+  }
+  { csync::WriteLockGuard w(sm); }
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Lock-rank checker tests. This binary is compiled with
+// LMS_SYNC_RANK_CHECKS=1 (see tests/CMakeLists.txt) so the checker is active
+// regardless of the build type; core_sync_release_test covers the
+// compiled-out configuration. The suite installs a throwing violation
+// handler: throwing out of the failed acquisition both captures the message
+// and prevents the test from actually deadlocking on the inverted order.
+
+#include "lms/core/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace csync = lms::core::sync;
+
+namespace {
+
+thread_local std::string g_last_violation;
+
+struct RankViolation : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+void throwing_handler(const char* message) {
+  g_last_violation = message;
+  throw RankViolation(message);
+}
+
+class CoreSyncTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_last_violation.clear();
+    previous_ = csync::set_rank_violation_handler(&throwing_handler);
+  }
+  void TearDown() override { csync::set_rank_violation_handler(previous_); }
+
+  csync::RankViolationHandler previous_ = nullptr;
+};
+
+TEST_F(CoreSyncTest, CheckerIsEnabledInThisBinary) {
+  EXPECT_TRUE(csync::kRankCheckingEnabled);
+}
+
+TEST_F(CoreSyncTest, CorrectOrderPasses) {
+  csync::Mutex net(csync::Rank::kNet, "net.pubsub");
+  csync::Mutex queue(csync::Rank::kQueue, "util.queue");
+  {
+    csync::LockGuard outer(net);
+    csync::LockGuard inner(queue);
+    EXPECT_EQ(csync::held_lock_count(), 2u);
+  }
+  EXPECT_EQ(csync::held_lock_count(), 0u);
+  EXPECT_TRUE(g_last_violation.empty());
+}
+
+TEST_F(CoreSyncTest, InvertedOrderReportsBothLockNames) {
+  csync::Mutex net(csync::Rank::kNet, "net.pubsub");
+  csync::Mutex queue(csync::Rank::kQueue, "util.queue");
+  csync::LockGuard inner(queue);
+  EXPECT_THROW(net.lock(), RankViolation);
+  EXPECT_NE(g_last_violation.find("net.pubsub"), std::string::npos) << g_last_violation;
+  EXPECT_NE(g_last_violation.find("util.queue"), std::string::npos) << g_last_violation;
+  EXPECT_NE(g_last_violation.find("violation"), std::string::npos) << g_last_violation;
+}
+
+TEST_F(CoreSyncTest, SameRankInSeqOrderPasses) {
+  csync::Mutex shard0(csync::Rank::kTsdbShard, "tsdb.shard", 0);
+  csync::Mutex shard1(csync::Rank::kTsdbShard, "tsdb.shard", 1);
+  csync::LockGuard first(shard0);
+  csync::LockGuard second(shard1);
+  EXPECT_TRUE(g_last_violation.empty());
+}
+
+TEST_F(CoreSyncTest, SameRankCrossOrderDetected) {
+  csync::Mutex shard0(csync::Rank::kTsdbShard, "tsdb.shard", 0);
+  csync::Mutex shard1(csync::Rank::kTsdbShard, "tsdb.shard", 1);
+  csync::LockGuard first(shard1);
+  EXPECT_THROW(shard0.lock(), RankViolation);
+  EXPECT_NE(g_last_violation.find("same-rank cross-order"), std::string::npos)
+      << g_last_violation;
+  EXPECT_NE(g_last_violation.find("tsdb.shard"), std::string::npos) << g_last_violation;
+}
+
+TEST_F(CoreSyncTest, ReacquiringHeldLockIsSelfDeadlock) {
+  csync::Mutex mu(csync::Rank::kNet, "net.inproc");
+  csync::LockGuard guard(mu);
+  EXPECT_THROW(mu.lock(), RankViolation);
+  EXPECT_NE(g_last_violation.find("self-deadlock"), std::string::npos) << g_last_violation;
+  EXPECT_NE(g_last_violation.find("net.inproc"), std::string::npos) << g_last_violation;
+}
+
+TEST_F(CoreSyncTest, TryLockIsExemptFromOrdering) {
+  // A try-acquisition cannot deadlock, so taking a *lower* rank via
+  // try_lock while holding a higher rank is allowed...
+  csync::Mutex net(csync::Rank::kNet, "net.pubsub");
+  csync::Mutex queue(csync::Rank::kQueue, "util.queue");
+  csync::LockGuard inner(queue);
+  ASSERT_TRUE(net.try_lock());
+  EXPECT_TRUE(g_last_violation.empty());
+  // ...but the try-held lock still counts for later blocking acquisitions.
+  csync::Mutex tags(csync::Rank::kRouterTags, "core.tagstore");
+  EXPECT_THROW(tags.lock(), RankViolation);
+  EXPECT_NE(g_last_violation.find("core.tagstore"), std::string::npos) << g_last_violation;
+  net.unlock();
+}
+
+TEST_F(CoreSyncTest, SharedMutexFollowsTheSameHierarchy) {
+  csync::SharedMutex map(csync::Rank::kTsdbMap, "tsdb.storage.map");
+  csync::SharedMutex shard(csync::Rank::kTsdbShard, "tsdb.shard", 3);
+  {
+    csync::SharedLockGuard readers(map);
+    csync::SharedLockGuard stripe(shard);
+    EXPECT_EQ(csync::held_lock_count(), 2u);
+  }
+  EXPECT_TRUE(g_last_violation.empty());
+  csync::SharedLockGuard stripe(shard);
+  EXPECT_THROW(map.lock_shared(), RankViolation);
+  EXPECT_NE(g_last_violation.find("tsdb.storage.map"), std::string::npos) << g_last_violation;
+  EXPECT_NE(g_last_violation.find("tsdb.shard"), std::string::npos) << g_last_violation;
+}
+
+TEST_F(CoreSyncTest, ReleaseOrderDoesNotMatter) {
+  // ReadSnapshot releases its stripes front-to-back; the held stack must
+  // tolerate non-LIFO releases.
+  csync::Mutex a(csync::Rank::kNet, "a");
+  csync::Mutex b(csync::Rank::kQueue, "b");
+  csync::Mutex c(csync::Rank::kLogging, "c");
+  a.lock();
+  b.lock();
+  c.lock();
+  a.unlock();
+  b.unlock();
+  EXPECT_EQ(csync::held_lock_count(), 1u);
+  c.unlock();
+  EXPECT_EQ(csync::held_lock_count(), 0u);
+  EXPECT_TRUE(g_last_violation.empty());
+}
+
+TEST_F(CoreSyncTest, CondVarWaitReplaysHeldBookkeeping) {
+  csync::Mutex mu(csync::Rank::kLoopControl, "obs.selfscrape.loop");
+  csync::CondVar cv;
+  bool ready = false;
+  std::thread waker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    csync::LockGuard lock(mu);
+    ready = true;
+    cv.notify_all();
+  });
+  {
+    csync::UniqueLock lock(mu);
+    while (!ready) cv.wait(lock);
+    EXPECT_EQ(csync::held_lock_count(), 1u);  // re-acquired and re-recorded
+  }
+  waker.join();
+  EXPECT_EQ(csync::held_lock_count(), 0u);
+  EXPECT_TRUE(g_last_violation.empty());
+}
+
+TEST_F(CoreSyncTest, CondVarWaitForTimesOutAndStillOwnsLock) {
+  csync::Mutex mu(csync::Rank::kLoopControl, "obs.traceexport.loop");
+  csync::CondVar cv;
+  csync::UniqueLock lock(mu);
+  const auto status = cv.wait_for(lock, std::chrono::milliseconds(1));
+  EXPECT_EQ(status, std::cv_status::timeout);
+  EXPECT_TRUE(lock.owns_lock());
+  EXPECT_EQ(csync::held_lock_count(), 1u);
+}
+
+TEST_F(CoreSyncTest, HierarchyIsPerThread) {
+  // A second thread holding a high-rank lock must not constrain this one.
+  csync::Mutex queue(csync::Rank::kQueue, "util.queue");
+  csync::Mutex net(csync::Rank::kNet, "net.pubsub");
+  csync::LockGuard hold(queue);
+  std::thread other([&] {
+    csync::LockGuard lock(net);  // would be a violation on the first thread
+    EXPECT_EQ(csync::held_lock_count(), 1u);
+  });
+  other.join();
+  EXPECT_TRUE(g_last_violation.empty());
+}
+
+}  // namespace
