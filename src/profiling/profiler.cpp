@@ -71,23 +71,31 @@ util::Status Profiler::start(std::string_view region, util::TimeNs now) {
   open.t0 = now;
   open.handles.reserve(collectors_.size());
   for (const auto& collector : collectors_) open.handles.push_back(collector->start(now));
+  bool rejected = false;
   {
     const core::sync::LockGuard lock(mu_);
     ThreadState& state = thread_state_locked();
     if (state.stack.size() >= options_.max_depth) {
       ++counters_.rejected;
-      for (std::size_t i = 0; i < collectors_.size(); ++i) {
-        collectors_[i]->discard(open.handles[i]);
+      rejected = true;
+    } else {
+      if (options_.emit_spans) {
+        open.span = std::make_unique<obs::Span>("region " + open.name, "profiling");
       }
-      return util::Status::error("profiling: region depth bound (" +
-                                 std::to_string(options_.max_depth) + ") hit starting '" +
-                                 open.name + "'");
+      state.stack.push_back(std::move(open));
+      ++open_count_;
     }
-    if (options_.emit_spans) {
-      open.span = std::make_unique<obs::Span>("region " + open.name, "profiling");
+  }
+  if (rejected) {
+    // Discard with mu_ released: collector brackets open and close outside
+    // the marker hot-path lock (stop() already does), so the profiler never
+    // nests into the collectors' locks.
+    for (std::size_t i = 0; i < collectors_.size(); ++i) {
+      collectors_[i]->discard(open.handles[i]);
     }
-    state.stack.push_back(std::move(open));
-    ++open_count_;
+    return util::Status::error("profiling: region depth bound (" +
+                               std::to_string(options_.max_depth) + ") hit starting '" +
+                               open.name + "'");
   }
   if (marker_overhead_ != nullptr) {
     marker_overhead_->record(static_cast<std::uint64_t>(
