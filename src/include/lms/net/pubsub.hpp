@@ -17,6 +17,7 @@
 #include "lms/util/queue.hpp"
 
 namespace lms::obs {
+class Counter;
 class Registry;
 }
 
@@ -96,6 +97,12 @@ class PubSubBroker {
   std::vector<Subscription*> subscribers_ LMS_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> published_{0};
   obs::Registry* registry_ LMS_GUARDED_BY(mu_) = nullptr;
+  /// Counter handles resolved once at set_registry() time; publish() copies
+  /// the pointers under mu_ and bumps them (atomic) with the lock released,
+  /// keeping registry map lookups off the publish path.
+  obs::Counter* published_counter_ LMS_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* delivered_counter_ LMS_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* dropped_counter_ LMS_GUARDED_BY(mu_) = nullptr;
   /// Label for per-subscription gauges.
   std::uint64_t next_sub_id_ LMS_GUARDED_BY(mu_) = 0;
 };

@@ -38,21 +38,27 @@ std::size_t PubSubBroker::publish(std::string_view topic, std::string_view paylo
   published_.fetch_add(1, std::memory_order_relaxed);
   std::size_t delivered = 0;
   std::size_t dropped = 0;
-  const core::sync::LockGuard lock(mu_);
-  for (Subscription* sub : subscribers_) {
-    if (!util::starts_with(topic, sub->prefix_)) continue;
-    if (sub->queue_.try_push(PubSubMessage{std::string(topic), std::string(payload)})) {
-      ++delivered;
-    } else {
-      sub->dropped_.fetch_add(1, std::memory_order_relaxed);
-      ++dropped;
+  obs::Counter* published_counter = nullptr;
+  obs::Counter* delivered_counter = nullptr;
+  obs::Counter* dropped_counter = nullptr;
+  {
+    const core::sync::LockGuard lock(mu_);
+    for (Subscription* sub : subscribers_) {
+      if (!util::starts_with(topic, sub->prefix_)) continue;
+      if (sub->queue_.try_push(PubSubMessage{std::string(topic), std::string(payload)})) {
+        ++delivered;
+      } else {
+        sub->dropped_.fetch_add(1, std::memory_order_relaxed);
+        ++dropped;
+      }
     }
+    published_counter = published_counter_;
+    delivered_counter = delivered_counter_;
+    dropped_counter = dropped_counter_;
   }
-  if (registry_ != nullptr) {
-    registry_->counter("pubsub_published").inc();
-    if (delivered > 0) registry_->counter("pubsub_delivered").inc(delivered);
-    if (dropped > 0) registry_->counter("pubsub_dropped").inc(dropped);
-  }
+  if (published_counter != nullptr) published_counter->inc();
+  if (delivered_counter != nullptr && delivered > 0) delivered_counter->inc(delivered);
+  if (dropped_counter != nullptr && dropped > 0) dropped_counter->inc(dropped);
   return delivered;
 }
 
@@ -64,6 +70,15 @@ std::size_t PubSubBroker::subscriber_count() const {
 void PubSubBroker::set_registry(obs::Registry* registry) {
   const core::sync::LockGuard lock(mu_);
   registry_ = registry;
+  if (registry_ == nullptr) {
+    published_counter_ = nullptr;
+    delivered_counter_ = nullptr;
+    dropped_counter_ = nullptr;
+  } else {
+    published_counter_ = &registry_->counter("pubsub_published");
+    delivered_counter_ = &registry_->counter("pubsub_delivered");
+    dropped_counter_ = &registry_->counter("pubsub_dropped");
+  }
   if (registry_ != nullptr) {
     for (Subscription* sub : subscribers_) {
       if (!sub->metric_id_.empty()) continue;
