@@ -289,26 +289,32 @@ TEST(HarnessTest, DistributedTraceCoversCollectorRouterAndTsdb) {
   // Every collector flush opens a root span; the batch carries its context
   // through the router's async ingest queue into the TSDB append. Find a
   // flush whose trace covers all three processes.
-  const tsdb::ReadSnapshot snap = harness.storage().snapshot("lms");
-  ASSERT_TRUE(snap);
   std::set<std::string> best_components;
   std::uint64_t full_trace = 0;
-  for (const tsdb::Series* s : snap->series_matching(std::string(obs::kTraceMeasurement),
-                                                     {{"component", "collector"}})) {
-    const auto id = obs::parse_trace_id_hex(s->tag("trace_id"));
-    if (!id) continue;
-    const tsdb::TraceTree tree = tsdb::assemble_trace(snap, *id);
-    std::set<std::string> components;
-    std::function<void(const tsdb::TraceNode&)> visit = [&](const tsdb::TraceNode& n) {
-      components.insert(n.component);
-      for (const auto& c : n.children) visit(c);
-    };
-    for (const auto& r : tree.roots) visit(r);
-    if (components.count("collector") != 0u && components.count("router") != 0u &&
-        components.count("tsdb") != 0u) {
-      best_components = components;
-      full_trace = *id;
-      break;
+  {
+    // Scoped: the snapshot's shard locks must be released before the HTTP
+    // requests below — the inproc handlers run on this thread and take
+    // their own snapshot of the same storage (the lock-rank checker flags
+    // holding tsdb.shard while entering the transport).
+    const tsdb::ReadSnapshot snap = harness.storage().snapshot("lms");
+    ASSERT_TRUE(snap);
+    for (const tsdb::Series* s : snap->series_matching(std::string(obs::kTraceMeasurement),
+                                                       {{"component", "collector"}})) {
+      const auto id = obs::parse_trace_id_hex(s->tag("trace_id"));
+      if (!id) continue;
+      const tsdb::TraceTree tree = tsdb::assemble_trace(snap, *id);
+      std::set<std::string> components;
+      std::function<void(const tsdb::TraceNode&)> visit = [&](const tsdb::TraceNode& n) {
+        components.insert(n.component);
+        for (const auto& c : n.children) visit(c);
+      };
+      for (const auto& r : tree.roots) visit(r);
+      if (components.count("collector") != 0u && components.count("router") != 0u &&
+          components.count("tsdb") != 0u) {
+        best_components = components;
+        full_trace = *id;
+        break;
+      }
     }
   }
   ASSERT_NE(full_trace, 0u) << "no collector flush trace reached the TSDB";
