@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# The whole local gate in one command, in the order a CI pipeline runs it:
+#
+#   1. tier-1: default configure + build + full ctest suite
+#   2. static analysis: warnings-as-errors library build, and — when clang is
+#      installed — thread-safety-analysis build, negative-compile probe and
+#      clang-tidy (ci/static_analysis.sh)
+#   3. bench smoke: every bench_* binary builds and runs with a tiny budget
+#      (ci/bench_smoke.sh)
+#
+# The sanitizer gate (ci/sanitize.sh: tsan+rank-checks / asan / ubsan) is NOT
+# chained here — three extra full builds make it a separate, longer job.
+#
+# Usage: ci/all.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== ci/all 1/3: tier-1 build + tests ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "=== ci/all 2/3: static analysis ==="
+ci/static_analysis.sh
+
+echo "=== ci/all 3/3: bench smoke ==="
+ci/bench_smoke.sh
+
+echo "ci/all: every gate clean"

@@ -10,7 +10,12 @@
 # (concurrent region markers against the per-thread stacks and shared
 # aggregates of the marker SDK).
 #
-# Usage: ci/sanitize.sh [thread|address|all]   (default: all)
+# The thread mode additionally forces -DLMS_RANK_CHECKS=ON so the lock-rank
+# deadlock detector (core/sync.hpp) runs alongside TSan in the same suites;
+# the undefined mode covers UB (signed overflow, misaligned access, bad
+# shifts) in the same concurrency-heavy paths.
+#
+# Usage: ci/sanitize.sh [thread|address|undefined|all]   (default: all)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,9 +25,17 @@ MODE="${1:-all}"
 
 run_mode() {
   local mode="$1" dir
-  if [[ "$mode" == "thread" ]]; then dir=build-tsan; else dir=build-asan; fi
+  local -a extra=()
+  case "$mode" in
+    thread)
+      dir=build-tsan
+      extra+=(-DLMS_RANK_CHECKS=ON)
+      ;;
+    address) dir=build-asan ;;
+    undefined) dir=build-ubsan ;;
+  esac
   echo "=== ${mode} sanitizer: configure + build (${dir}) ==="
-  cmake -B "$dir" -S . -DLMS_SANITIZE="$mode" >/dev/null
+  cmake -B "$dir" -S . -DLMS_SANITIZE="$mode" "${extra[@]}" >/dev/null
   cmake --build "$dir" -j "$(nproc)" --target "${SUITES[@]}"
   for suite in "${SUITES[@]}"; do
     echo "=== ${mode} sanitizer: ${suite} ==="
@@ -31,13 +44,14 @@ run_mode() {
 }
 
 case "$MODE" in
-  thread|address) run_mode "$MODE" ;;
+  thread|address|undefined) run_mode "$MODE" ;;
   all)
     run_mode thread
     run_mode address
+    run_mode undefined
     ;;
   *)
-    echo "usage: $0 [thread|address|all]" >&2
+    echo "usage: $0 [thread|address|undefined|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,35 @@
+// Negative-compile probe for the thread-safety-analysis gate: reading an
+// LMS_GUARDED_BY field without holding its mutex MUST fail to compile under
+// clang -Wthread-safety -Werror. ci/static_analysis.sh compiles this file
+// and fails the gate if it *succeeds* — that would mean the annotations have
+// silently stopped doing anything (macro gate broken, attribute typo, ...).
+//
+// Not part of any CMake target; only the CI script touches it.
+
+#include "lms/core/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    lms::core::sync::LockGuard lock(mu_);
+    ++value_;
+  }
+
+  // BUG (deliberate): reads value_ without mu_ — TSA must reject this.
+  long read_unlocked() const { return value_; }
+
+ private:
+  mutable lms::core::sync::Mutex mu_{lms::core::sync::Rank::kLogging,
+                                     "negative.guarded_by"};
+  long value_ LMS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.increment();
+  return static_cast<int>(c.read_unlocked());
+}
