@@ -10,17 +10,23 @@
 # (concurrent region markers against the per-thread stacks and shared
 # aggregates of the marker SDK).
 #
-# The thread mode additionally forces -DLMS_RANK_CHECKS=ON so the lock-rank
-# deadlock detector (core/sync.hpp) runs alongside TSan in the same suites;
-# the undefined mode covers UB (signed overflow, misaligned access, bad
-# shifts) in the same concurrency-heavy paths.
+# The thread mode additionally forces -DLMS_RANK_CHECKS=ON and
+# -DLMS_LOCK_STATS=ON so the lock-rank deadlock detector and the contention
+# profiler (core/sync.hpp) run alongside TSan in the same suites — TSan is
+# the strongest check that the lock-free lockstats table and the owner-side
+# hold timing are race-free; the undefined mode covers UB (signed overflow,
+# misaligned access, bad shifts) in the same concurrency-heavy paths.
+#
+# core_sync_lockstats_test pins its instrumentation per-TU, so it runs in
+# every mode regardless of the tree-wide -DLMS_LOCK_STATS setting.
 #
 # Usage: ci/sanitize.sh [thread|address|undefined|all]   (default: all)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SUITES=(obs_test net_test alert_test tsdb_test router_test profiling_test)
+SUITES=(obs_test net_test alert_test tsdb_test router_test profiling_test
+        core_sync_lockstats_test)
 MODE="${1:-all}"
 
 run_mode() {
@@ -29,7 +35,7 @@ run_mode() {
   case "$mode" in
     thread)
       dir=build-tsan
-      extra+=(-DLMS_RANK_CHECKS=ON)
+      extra+=(-DLMS_RANK_CHECKS=ON -DLMS_LOCK_STATS=ON)
       ;;
     address) dir=build-asan ;;
     undefined) dir=build-ubsan ;;

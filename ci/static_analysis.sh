@@ -42,8 +42,11 @@ fi
 
 CLANG_DIR="${BUILD_DIR}-clang"
 echo "=== static analysis 2/4: clang -Wthread-safety -Werror build (${CLANG_DIR}) ==="
+# -DLMS_LOCK_STATS=ON so the analysis checks the instrumented wrapper
+# bodies (try_lock fast path, hold bookkeeping), not just the plain ones.
 cmake -B "$CLANG_DIR" -S . \
   -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+  -DLMS_LOCK_STATS=ON \
   -DCMAKE_CXX_FLAGS="-Wthread-safety -Wthread-safety-beta" >/dev/null
 cmake --build "$CLANG_DIR" -j "$JOBS" --target "${LIB_TARGETS[@]}"
 

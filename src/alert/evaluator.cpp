@@ -355,6 +355,7 @@ void Evaluator::evaluate_deadman(util::TimeNs now, std::vector<AlertEvent>& even
 
 std::size_t Evaluator::run(util::TimeNs now) {
   obs::Span span("alert.evaluate", "alert");
+  const core::runtime::BusyScope busy(loop_stats_);
   const util::TimeNs t0 = util::monotonic_now_ns();
   std::vector<AlertEvent> events;
   {

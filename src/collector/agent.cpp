@@ -2,6 +2,7 @@
 
 #include "lms/lineproto/codec.hpp"
 #include "lms/obs/metrics.hpp"
+#include "lms/obs/runtime.hpp"
 #include "lms/obs/trace.hpp"
 #include "lms/util/logging.hpp"
 
@@ -16,6 +17,9 @@ obs::Labels host_labels(const std::string& hostname) {
 
 HostAgent::HostAgent(net::HttpClient& client, Options options)
     : client_(client), options_(std::move(options)) {
+  buffer_stats_.name = "collector.send";
+  buffer_stats_.capacity = options_.retry_queue_capacity;
+  core::runtime::register_queue(&buffer_stats_);
   if (options_.registry != nullptr) {
     const obs::Labels labels = host_labels(options_.hostname);
     collected_c_ = &options_.registry->counter("collector_points_collected", labels);
@@ -29,6 +33,7 @@ HostAgent::HostAgent(net::HttpClient& client, Options options)
 }
 
 HostAgent::~HostAgent() {
+  core::runtime::unregister_queue(&buffer_stats_);
   if (options_.registry != nullptr) {
     options_.registry->remove_gauge_fn("collector_pending_points",
                                        host_labels(options_.hostname));
@@ -52,8 +57,10 @@ std::size_t HostAgent::tick(util::TimeNs now) {
         buffer_.pop_front();
         ++stats_.points_dropped;
         if (dropped_c_ != nullptr) dropped_c_->inc();
+        buffer_stats_.rejected_pushes.fetch_add(1, std::memory_order_relaxed);
       }
       buffer_.push_back(std::move(p));
+      buffer_stats_.on_push(buffer_.size());
     }
   }
   stats_.points_collected += collected;
@@ -74,8 +81,10 @@ std::size_t HostAgent::tick(util::TimeNs now) {
       buffer_.pop_front();
       ++stats_.points_dropped;
       if (dropped_c_ != nullptr) dropped_c_->inc();
+      buffer_stats_.rejected_pushes.fetch_add(1, std::memory_order_relaxed);
     }
     buffer_.push_back(std::move(p));
+    buffer_stats_.on_push(buffer_.size());
     ++collected;
     ++stats_.points_collected;
     if (collected_c_ != nullptr) collected_c_->inc();
@@ -106,6 +115,7 @@ void HostAgent::flush(util::TimeNs now) {
       return;  // keep the points queued for the next flush
     }
     buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(n));
+    buffer_stats_.on_pop(buffer_.size());
     if (outcome == SendOutcome::kSent) {
       stats_.points_sent += n;
       ++stats_.batches_sent;
@@ -151,6 +161,15 @@ net::HttpHandler HostAgent::handler() {
     if (req.path == "/ping") return net::HttpResponse::no_content();
     if (req.path == "/health") return net::health_response(health(false));
     if (req.path == "/ready") return net::ready_response(health(true));
+    if (req.path == "/metrics") {
+      obs::Registry& registry =
+          options_.registry != nullptr ? *options_.registry : obs::Registry::global();
+      obs::update_runtime_metrics(registry);
+      auto resp = net::HttpResponse::text(200, obs::render_text(registry));
+      resp.headers.set("Content-Type", obs::kTextExpositionContentType);
+      return resp;
+    }
+    if (req.path == "/debug/runtime") return net::runtime_debug_response();
     return net::HttpResponse::not_found();
   };
 }

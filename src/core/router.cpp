@@ -5,6 +5,7 @@
 
 #include "lms/json/json.hpp"
 #include "lms/lineproto/codec.hpp"
+#include "lms/obs/runtime.hpp"
 #include "lms/obs/trace.hpp"
 #include "lms/tsdb/query.hpp"
 #include "lms/util/logging.hpp"
@@ -52,6 +53,9 @@ MetricsRouter::MetricsRouter(net::HttpClient& db_client, const util::Clock& cloc
   registry_->gauge_fn("router_ingest_queue_points", {},
                       [this] { return double(ingest_queue_points()); });
   if (options_.async_ingest) {
+    ingest_queue_stats_.name = "core.router.ingest";
+    ingest_queue_stats_.capacity = options_.ingest_queue_capacity;
+    core::runtime::register_queue(&ingest_queue_stats_);
     flusher_ = std::thread([this] { flusher_loop(); });
   }
 }
@@ -65,6 +69,7 @@ MetricsRouter::~MetricsRouter() {
     ingest_cv_.notify_all();
     flusher_.join();
     flush_ingest();  // best-effort final drain
+    core::runtime::unregister_queue(&ingest_queue_stats_);
   }
   // The registry may outlive this router (shared/global registries); drop
   // the callbacks that capture `this`.
@@ -83,6 +88,7 @@ net::HttpHandler MetricsRouter::handler() {
     if (req.path == "/jobs") return handle_jobs(req);
     if (req.path == "/stats") return handle_stats(req);
     if (req.path == "/metrics") {
+      obs::update_runtime_metrics(*registry_);
       auto resp = net::HttpResponse::text(200, obs::render_text(*registry_));
       resp.headers.set("Content-Type", obs::kTextExpositionContentType);
       return resp;
@@ -92,6 +98,7 @@ net::HttpHandler MetricsRouter::handler() {
     if (req.path == "/debug/logs" && options_.log_ring != nullptr) {
       return net::debug_logs_response(*options_.log_ring, req);
     }
+    if (req.path == "/debug/runtime") return net::runtime_debug_response();
     return net::HttpResponse::not_found();
   };
 }
@@ -251,6 +258,7 @@ util::Result<std::size_t> MetricsRouter::enqueue_ingest(const tsdb::WriteBatch& 
     const core::sync::LockGuard lock(ingest_mu_);
     if (ingest_points_ + incoming > options_.ingest_queue_capacity) {
       ingest_rejected_.inc(batch.points.size());
+      ingest_queue_stats_.rejected_pushes.fetch_add(1, std::memory_order_relaxed);
       return util::Result<std::size_t>::error(
           std::string(kBackpressurePrefix) + ": ingest queue full (" +
           std::to_string(ingest_points_) + " points queued, capacity " +
@@ -273,6 +281,7 @@ util::Result<std::size_t> MetricsRouter::enqueue_ingest(const tsdb::WriteBatch& 
                       std::make_move_iterator(pts.end()));
     }
     ingest_points_ += incoming;
+    ingest_queue_stats_.on_push(ingest_points_);
     wake = ingest_points_ >= options_.ingest_max_batch;
   }
   if (wake) ingest_cv_.notify_one();
@@ -300,6 +309,7 @@ std::vector<MetricsRouter::IngestBatch> MetricsRouter::take_ingest_locked(
                      q.points.begin() + static_cast<std::ptrdiff_t>(max_points));
     }
     ingest_points_ -= taken.points.size();
+    ingest_queue_stats_.on_pop(ingest_points_);
     out.push_back(std::move(taken));
   }
   return out;
@@ -363,12 +373,17 @@ void MetricsRouter::flusher_loop() {
       ingest_cv_.wait_for(lock, deadline - now);
     }
     if (ingest_stop_) return;
+    flusher_loop_stats_.begin_busy();
     auto batches = take_ingest_locked(options_.ingest_max_batch);
-    if (batches.empty()) continue;
+    if (batches.empty()) {
+      flusher_loop_stats_.end_busy();
+      continue;
+    }
     lock.unlock();
     const util::TimeNs t0 = util::monotonic_now_ns();
     for (auto& b : batches) forward_ingest(std::move(b));
     ingest_flush_ns_.record_since(t0);
+    flusher_loop_stats_.end_busy();
     lock.lock();
   }
 }

@@ -4,6 +4,8 @@
 #include <set>
 
 #include "lms/analysis/roofline.hpp"
+#include "lms/obs/metrics.hpp"
+#include "lms/obs/runtime.hpp"
 #include "lms/obs/trace.hpp"
 #include "lms/tsdb/trace_assembly.hpp"
 #include "lms/util/strings.hpp"
@@ -393,6 +395,87 @@ json::Value DashboardAgent::generate_alerts_dashboard(util::TimeNs now) {
   return v;
 }
 
+json::Value DashboardAgent::generate_runtime_dashboard(util::TimeNs now) {
+  json::Object dash;
+  dash["title"] = "LMS runtime (locks, queues, loops)";
+  dash["uid"] = "runtime";
+  dash["tags"] = json::Array{json::Value("lms"), json::Value("runtime")};
+  dash["generated_at"] = static_cast<std::int64_t>(now);
+
+  json::Array rows;
+
+  // Lock contention: the lms_lock_* gauges the self-scrape exports, one
+  // series per lock site (tag "lock").
+  {
+    json::Object row;
+    row["title"] = "Lock contention";
+    json::Array panels;
+    struct PanelSpec {
+      const char* title;
+      const char* metric;
+    };
+    static constexpr PanelSpec kPanels[] = {
+        {"Total wait by lock site (ns)", "lms_lock_wait_ns_total"},
+        {"Contended acquisitions by lock site", "lms_lock_contended_total"},
+        {"Wait p99 by lock site (ns)", "lms_lock_wait_p99_ns"},
+        {"Max hold by lock site (ns)", "lms_lock_hold_ns_max"},
+    };
+    for (const PanelSpec& spec : kPanels) {
+      json::Object panel;
+      panel["title"] = spec.title;
+      panel["type"] = "graph";
+      panel["datasource"] = options_.datasource;
+      json::Object target;
+      target["query"] = std::string("SELECT mean(value) FROM lms_internal WHERE metric='") +
+                        spec.metric + "' GROUP BY time(60s), lock";
+      panel["targets"] = json::Array{json::Value(std::move(target))};
+      panels.emplace_back(std::move(panel));
+    }
+    row["panels"] = std::move(panels);
+    rows.emplace_back(std::move(row));
+  }
+
+  // Queue utilization and loop duty cycles.
+  {
+    json::Object row;
+    row["title"] = "Queues & loops";
+    json::Array panels;
+    struct PanelSpec {
+      const char* title;
+      const char* metric;
+      const char* group_tag;
+    };
+    static constexpr PanelSpec kPanels[] = {
+        {"Queue depth", "lms_runtime_queue_depth", "queue"},
+        {"Queue high watermark", "lms_runtime_queue_high_watermark", "queue"},
+        {"Blocked pushes", "lms_runtime_queue_blocked_pushes_total", "queue"},
+        {"Loop duty cycle (%)", "lms_runtime_loop_duty_pct", "loop"},
+        {"Loop iterations", "lms_runtime_loop_iterations_total", "loop"},
+    };
+    for (const PanelSpec& spec : kPanels) {
+      json::Object panel;
+      panel["title"] = spec.title;
+      panel["type"] = "graph";
+      panel["datasource"] = options_.datasource;
+      json::Object target;
+      target["query"] = std::string("SELECT mean(value) FROM lms_internal WHERE metric='") +
+                        spec.metric + "' GROUP BY time(60s), " + spec.group_tag;
+      panel["targets"] = json::Array{json::Value(std::move(target))};
+      panels.emplace_back(std::move(panel));
+    }
+    row["panels"] = std::move(panels);
+    rows.emplace_back(std::move(row));
+  }
+
+  dash["rows"] = std::move(rows);
+  json::Value v(std::move(dash));
+  {
+    const core::sync::LockGuard lock(mu_);
+    dashboards_["runtime"] = v;
+  }
+  return v;
+}
+
 net::ComponentHealth DashboardAgent::health(bool readiness) const {
   net::ComponentHealth h;
   h.component = "dashboard";
@@ -470,6 +553,16 @@ net::HttpHandler DashboardAgent::handler() {
     if (util::starts_with(req.path, "/regions/")) return handle_regions(req);
     if (req.path == "/health") return net::health_response(health(false));
     if (req.path == "/ready") return net::ready_response(health(true));
+    if (req.path == "/metrics") {
+      // The agent keeps no private registry; serve the process-wide one
+      // (transport instrumentation) plus the runtime/lock gauges.
+      obs::Registry& registry = obs::Registry::global();
+      obs::update_runtime_metrics(registry);
+      auto resp = net::HttpResponse::text(200, obs::render_text(registry));
+      resp.headers.set("Content-Type", obs::kTextExpositionContentType);
+      return resp;
+    }
+    if (req.path == "/debug/runtime") return net::runtime_debug_response();
     return net::HttpResponse::not_found();
   };
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "lms/alert/rule.hpp"
+#include "lms/core/runtime.hpp"
 #include "lms/core/sync.hpp"
 #include "lms/net/pubsub.hpp"
 #include "lms/net/transport.hpp"
@@ -158,6 +159,7 @@ class Evaluator {
   obs::Counter* evaluations_c_ = nullptr;
   obs::Counter* transitions_c_ = nullptr;
   obs::Histogram* eval_ns_ = nullptr;
+  core::runtime::LoopStats loop_stats_{"alert.evaluator"};
 };
 
 }  // namespace lms::alert

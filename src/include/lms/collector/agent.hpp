@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "lms/collector/plugin.hpp"
+#include "lms/core/runtime.hpp"
 #include "lms/net/health.hpp"
 #include "lms/net/transport.hpp"
 
@@ -94,6 +95,10 @@ class HostAgent {
   Options options_;
   std::vector<ScheduledPlugin> plugins_;
   std::deque<lineproto::Point> buffer_;
+  /// Depth/watermark stats for the send/retry buffer (GET /debug/runtime);
+  /// the agent is tick-driven single-threaded, counters are atomics for the
+  /// benefit of concurrent snapshot readers only.
+  core::runtime::QueueStats buffer_stats_;
   util::TimeNs last_flush_ = 0;
   util::TimeNs last_tick_ = 0;
   bool last_send_ok_ = true;  ///< outcome of the most recent batch send

@@ -48,6 +48,7 @@
 #include <thread>
 #include <vector>
 
+#include "lms/core/runtime.hpp"
 #include "lms/core/sync.hpp"
 #include "lms/core/tagstore.hpp"
 #include "lms/net/health.hpp"
@@ -246,6 +247,11 @@ class MetricsRouter {
   /// Total points across ingest_q_.
   std::size_t ingest_points_ LMS_GUARDED_BY(ingest_mu_) = 0;
   bool ingest_stop_ LMS_GUARDED_BY(ingest_mu_) = false;
+  /// Depth/watermark/rejection stats for the ingest queues (aggregated over
+  /// all destinations, in points); registered with core::runtime only while
+  /// async ingest is enabled. Counters are atomics, bumped under ingest_mu_.
+  core::runtime::QueueStats ingest_queue_stats_;
+  core::runtime::LoopStats flusher_loop_stats_{"router.flusher"};
   std::thread flusher_;
 
   std::unique_ptr<obs::Registry> own_registry_;  // when Options::registry == nullptr

@@ -1,0 +1,247 @@
+#pragma once
+
+// lms::core::runtime — process-wide runtime-utilization registry.
+//
+// Companion to the lockstats table in lms/core/sync.hpp: where lockstats
+// answers "which lock do threads wait on", this header answers "how full
+// are the queues and how busy are the background loops". Two kinds of
+// participants self-register here:
+//
+//   - util::BoundedQueue (when constructed with a name) exposes a
+//     QueueStats block: pushes/pops, blocked and rejected pushes, current
+//     depth and the high watermark. Counters are relaxed atomics bumped
+//     under the queue's own lock; readers snapshot without coordination.
+//
+//   - Background loops (router flusher, self-scrape, trace exporter, TCP
+//     accept loop, alert evaluator, retention, CQ runner) own a LoopStats
+//     and bracket each iteration's useful work with begin_busy()/end_busy()
+//     (or a BusyScope). Time between an end_busy and the next begin_busy
+//     counts as idle, which makes busy/(busy+idle) the loop's duty cycle.
+//
+// This sits in core (not obs) because util::BoundedQueue must not depend on
+// the metrics registry; lms::obs reads the snapshots and exports them as
+// lms_runtime_* instruments and in GET /debug/runtime.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lms/core/sync.hpp"
+
+namespace lms::core::runtime {
+
+/// Monotonic nanoseconds (shared with the lockstats clock).
+inline std::uint64_t now_ns() { return sync::lockstats::now_ns(); }
+
+// ---------------------------------------------------------------------------
+// Queues
+// ---------------------------------------------------------------------------
+
+/// Stats block embedded in a named util::BoundedQueue. The embedding queue
+/// updates the counters while holding its own lock, so stores are plain
+/// relaxed writes; concurrent readers see a consistent-enough snapshot.
+struct QueueStats {
+  const char* name = nullptr;
+  std::size_t capacity = 0;
+  std::atomic<std::uint64_t> pushes{0};
+  std::atomic<std::uint64_t> pops{0};
+  std::atomic<std::uint64_t> blocked_pushes{0};   ///< push() waited for space
+  std::atomic<std::uint64_t> rejected_pushes{0};  ///< try_push() hit a full queue
+  std::atomic<std::uint64_t> depth{0};
+  std::atomic<std::uint64_t> high_watermark{0};
+
+  void on_push(std::size_t new_depth) {
+    pushes.fetch_add(1, std::memory_order_relaxed);
+    depth.store(new_depth, std::memory_order_relaxed);
+    sync::lockstats::atomic_max(high_watermark, new_depth);
+  }
+  void on_pop(std::size_t new_depth) {
+    pops.fetch_add(1, std::memory_order_relaxed);
+    depth.store(new_depth, std::memory_order_relaxed);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Loops
+// ---------------------------------------------------------------------------
+
+void register_loop(const class LoopStats* loop);
+void unregister_loop(const class LoopStats* loop);
+void register_queue(const QueueStats* stats);
+void unregister_queue(const QueueStats* stats);
+
+/// Duty-cycle tracker for one background loop. begin_busy()/end_busy() are
+/// called from the owning loop thread only; the accumulated totals are
+/// atomics so snapshots can read them from other threads.
+class LoopStats {
+ public:
+  explicit LoopStats(const char* name) : name_(name) { register_loop(this); }
+  ~LoopStats() { unregister_loop(this); }
+  LoopStats(const LoopStats&) = delete;
+  LoopStats& operator=(const LoopStats&) = delete;
+
+  /// Start of an iteration's useful work. Time since the previous
+  /// end_busy() is accounted as idle (sleeping / blocked on a CV or poll).
+  void begin_busy() {
+    const std::uint64_t now = now_ns();
+    if (last_end_ns_ != 0) {
+      idle_ns_.fetch_add(now - last_end_ns_, std::memory_order_relaxed);
+    }
+    busy_start_ns_ = now;
+  }
+
+  /// End of the iteration's useful work.
+  void end_busy() {
+    const std::uint64_t now = now_ns();
+    if (busy_start_ns_ != 0) {
+      busy_ns_.fetch_add(now - busy_start_ns_, std::memory_order_relaxed);
+      iterations_.fetch_add(1, std::memory_order_relaxed);
+      busy_start_ns_ = 0;
+    }
+    last_end_ns_ = now;
+  }
+
+  const char* name() const { return name_; }
+  std::uint64_t iterations() const { return iterations_.load(std::memory_order_relaxed); }
+  std::uint64_t busy_ns() const { return busy_ns_.load(std::memory_order_relaxed); }
+  std::uint64_t idle_ns() const { return idle_ns_.load(std::memory_order_relaxed); }
+
+ private:
+  const char* name_;
+  std::atomic<std::uint64_t> iterations_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
+  std::atomic<std::uint64_t> idle_ns_{0};
+  // Owner-thread scratch (no concurrent access).
+  std::uint64_t busy_start_ns_ = 0;
+  std::uint64_t last_end_ns_ = 0;
+};
+
+/// RAII begin_busy/end_busy bracket for one iteration.
+class BusyScope {
+ public:
+  explicit BusyScope(LoopStats& loop) : loop_(loop) { loop_.begin_busy(); }
+  ~BusyScope() { loop_.end_busy(); }
+  BusyScope(const BusyScope&) = delete;
+  BusyScope& operator=(const BusyScope&) = delete;
+
+ private:
+  LoopStats& loop_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry + snapshots
+// ---------------------------------------------------------------------------
+
+namespace impl {
+
+struct Registry {
+  // Taken while registering (object construction) and snapshotting; ranked
+  // near the top of the hierarchy so registration is legal while holding
+  // any component lock (e.g. the pub/sub broker creating a subscriber
+  // queue under its own mutex).
+  sync::Mutex mu{sync::Rank::kRuntimeRegistry, "core.runtime.registry"};
+  std::vector<const QueueStats*> queues LMS_GUARDED_BY(mu);
+  std::vector<const LoopStats*> loops LMS_GUARDED_BY(mu);
+};
+
+inline Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+template <class T>
+void erase_ptr(std::vector<const T*>& v, const T* p) {
+  for (auto it = v.begin(); it != v.end(); ++it) {
+    if (*it == p) {
+      v.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace impl
+
+inline void register_queue(const QueueStats* stats) {
+  impl::Registry& r = impl::registry();
+  sync::LockGuard lock(r.mu);
+  r.queues.push_back(stats);
+}
+
+inline void unregister_queue(const QueueStats* stats) {
+  impl::Registry& r = impl::registry();
+  sync::LockGuard lock(r.mu);
+  impl::erase_ptr(r.queues, stats);
+}
+
+inline void register_loop(const LoopStats* loop) {
+  impl::Registry& r = impl::registry();
+  sync::LockGuard lock(r.mu);
+  r.loops.push_back(loop);
+}
+
+inline void unregister_loop(const LoopStats* loop) {
+  impl::Registry& r = impl::registry();
+  sync::LockGuard lock(r.mu);
+  impl::erase_ptr(r.loops, loop);
+}
+
+struct QueueSnapshot {
+  std::string name;
+  std::size_t capacity;
+  std::uint64_t pushes;
+  std::uint64_t pops;
+  std::uint64_t blocked_pushes;
+  std::uint64_t rejected_pushes;
+  std::uint64_t depth;
+  std::uint64_t high_watermark;
+};
+
+struct LoopSnapshot {
+  std::string name;
+  std::uint64_t iterations;
+  std::uint64_t busy_ns;
+  std::uint64_t idle_ns;
+  /// busy / (busy + idle) in percent; 0 when the loop has not run.
+  double duty_pct;
+};
+
+inline std::vector<QueueSnapshot> queue_snapshot() {
+  impl::Registry& r = impl::registry();
+  sync::LockGuard lock(r.mu);
+  std::vector<QueueSnapshot> out;
+  out.reserve(r.queues.size());
+  for (const QueueStats* q : r.queues) {
+    QueueSnapshot s;
+    s.name = q->name != nullptr ? q->name : "<unnamed>";
+    s.capacity = q->capacity;
+    s.pushes = q->pushes.load(std::memory_order_relaxed);
+    s.pops = q->pops.load(std::memory_order_relaxed);
+    s.blocked_pushes = q->blocked_pushes.load(std::memory_order_relaxed);
+    s.rejected_pushes = q->rejected_pushes.load(std::memory_order_relaxed);
+    s.depth = q->depth.load(std::memory_order_relaxed);
+    s.high_watermark = q->high_watermark.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+inline std::vector<LoopSnapshot> loop_snapshot() {
+  impl::Registry& r = impl::registry();
+  sync::LockGuard lock(r.mu);
+  std::vector<LoopSnapshot> out;
+  out.reserve(r.loops.size());
+  for (const LoopStats* l : r.loops) {
+    LoopSnapshot s;
+    s.name = l->name() != nullptr ? l->name() : "<unnamed>";
+    s.iterations = l->iterations();
+    s.busy_ns = l->busy_ns();
+    s.idle_ns = l->idle_ns();
+    const double denom = static_cast<double>(s.busy_ns) + static_cast<double>(s.idle_ns);
+    s.duty_pct = denom > 0.0 ? 100.0 * static_cast<double>(s.busy_ns) / denom : 0.0;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace lms::core::runtime

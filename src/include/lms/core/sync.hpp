@@ -30,6 +30,21 @@
 //     (default in NDEBUG builds): release wrappers are exactly a
 //     std::mutex / std::shared_mutex, zero added state or branches.
 //
+//  3. Contention profiling (opt-in, works in release builds): with
+//     LMS_SYNC_LOCK_STATS=1 (-DLMS_LOCK_STATS=ON) every wrapper accumulates
+//     per-lock-site statistics into the process-wide lockstats table, keyed
+//     by the (name, rank) the wrapper already carries — all stripes named
+//     "tsdb.shard" aggregate into one site. Blocking acquisitions first
+//     attempt an uncontended try_lock; only when that fails is the wait
+//     timed (two clock reads), so the uncontended fast path costs one
+//     failed-then-successful atomic exchange, a relaxed counter bump and a
+//     hold-start timestamp. Exclusive holds are timed owner-side (shared
+//     holds are not: a shared hold timestamp would race between readers).
+//     The lockstats table and snapshot API compile unconditionally (they
+//     are cold); only the hot-path hooks are gated, and a runtime toggle
+//     (lockstats::set_enabled) lets one instrumented binary measure its own
+//     overhead against the disabled baseline.
+//
 // Annotating new code (the short version; DESIGN.md has the full how-to):
 //
 //   class Thing {
@@ -45,12 +60,16 @@
 // knows the lock is held (a predicate lambda would be analyzed as an
 // unannotated separate function and rejected).
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <shared_mutex>
 #include <vector>
@@ -100,6 +119,15 @@
 #endif
 #endif
 
+// ---------------------------------------------------------------------------
+// Contention-profiling switch (-DLMS_LOCK_STATS=ON). Off by default; unlike
+// rank checking it is intended to be usable in optimized release builds.
+// ---------------------------------------------------------------------------
+
+#ifndef LMS_SYNC_LOCK_STATS
+#define LMS_SYNC_LOCK_STATS 0
+#endif
+
 namespace lms::core::sync {
 
 /// The global lock hierarchy. A thread may only block-acquire a lock whose
@@ -127,6 +155,7 @@ enum class Rank : int {
   kQueue = 80,               ///< util::BoundedQueue internal lock
   kObsRegistry = 90,         ///< metrics registry instrument map
   kObsTrace = 92,            ///< span recorder ring
+  kRuntimeRegistry = 95,     ///< core::runtime queue/loop stats registry
   kLogging = 100,            ///< logger/log-ring: any thread may log anywhere
 };
 
@@ -134,8 +163,241 @@ enum class Rank : int {
 /// checker; tests assert both states.
 inline constexpr bool kRankCheckingEnabled = LMS_SYNC_RANK_CHECKS != 0;
 
+/// True when this translation unit was compiled with contention profiling
+/// (LMS_SYNC_LOCK_STATS, i.e. -DLMS_LOCK_STATS=ON).
+inline constexpr bool kLockStatsEnabled = LMS_SYNC_LOCK_STATS != 0;
+
 /// Sentinel for "order same-rank locks by object address" (the default).
 inline constexpr std::uintptr_t kSeqFromAddress = ~std::uintptr_t{0};
+
+// ---------------------------------------------------------------------------
+// lockstats — the per-lock-site contention registry.
+//
+// Always compiled (it is cold data + snapshot code); only the wrapper
+// hot-path hooks are gated on LMS_SYNC_LOCK_STATS. That way a test binary
+// that pins the macro per-TU instruments its own header-inline wrappers
+// while still sharing this one process-wide table, and the export layer in
+// lms::obs can read snapshots regardless of how its own TU was compiled.
+// ---------------------------------------------------------------------------
+
+namespace lockstats {
+
+/// Log2 wait-time histogram: bucket i counts waits with
+/// bit_width(wait_ns) == i (bucket 39 is the overflow tail, ~9 minutes+).
+inline constexpr std::size_t kWaitBuckets = 40;
+
+/// Fixed capacity of the site table. Sites are (name, rank) pairs — one per
+/// distinct wrapper construction site, not per instance — so the stack uses
+/// a few dozen. Registrations past the cap are counted in dropped().
+inline constexpr std::size_t kMaxSites = 128;
+
+/// One lock site: every counter is a relaxed atomic bumped from the wrapper
+/// hot path; readers snapshot them without stopping writers.
+struct SiteStats {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<int> rank{0};
+  std::atomic<std::uint64_t> acquisitions{0};  ///< all lock/try_lock successes
+  std::atomic<std::uint64_t> contended{0};     ///< acquisitions that had to wait
+  std::atomic<std::uint64_t> wait_ns_total{0};
+  std::atomic<std::uint64_t> wait_ns_max{0};
+  std::atomic<std::uint64_t> hold_ns_total{0};  ///< exclusive holds only
+  std::atomic<std::uint64_t> hold_ns_max{0};
+  std::array<std::atomic<std::uint64_t>, kWaitBuckets> wait_hist{};
+};
+
+namespace impl {
+
+struct Table {
+  std::array<SiteStats, kMaxSites> slots;
+  std::atomic<std::size_t> used{0};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+inline Table& table() {
+  static Table t;
+  return t;
+}
+
+/// Serializes registration only (construction-time cold path). A raw
+/// std::mutex is fine here: this header is the one place allowed to use
+/// one, it is a leaf (nothing is acquired under it), and it must not be a
+/// sync::Mutex (whose constructor is the caller).
+inline std::mutex& intern_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+inline std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+
+inline bool site_matches(const SiteStats& slot, const char* name, int rank) {
+  const char* slot_name = slot.name.load(std::memory_order_acquire);
+  return slot_name != nullptr && slot.rank.load(std::memory_order_relaxed) == rank &&
+         (slot_name == name || std::strcmp(slot_name, name) == 0);
+}
+
+}  // namespace impl
+
+/// Monotonic nanoseconds for wait/hold timing. Local to this header so core
+/// stays below util in the layering.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+/// Runtime toggle for the (compiled-in) hot-path hooks. Default on. Lets
+/// bench_lock_stats measure instrumented-vs-not in a single binary.
+inline bool enabled() { return impl::enabled_flag().load(std::memory_order_relaxed); }
+inline void set_enabled(bool on) { impl::enabled_flag().store(on, std::memory_order_relaxed); }
+
+/// Sites that could not be registered because the table was full.
+inline std::uint64_t dropped_sites() {
+  return impl::table().dropped.load(std::memory_order_relaxed);
+}
+
+/// Find-or-create the stats slot for (name, rank). Called once per wrapper
+/// construction; nullptr when the table is full (the wrapper then simply
+/// records nothing). Names are compared by content, so identical literals
+/// duplicated across translation units still share one site.
+inline SiteStats* intern_site(const char* name, int rank) {
+  if (name == nullptr) name = "<unnamed>";
+  impl::Table& t = impl::table();
+  const std::size_t seen = t.used.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < seen; ++i) {
+    if (impl::site_matches(t.slots[i], name, rank)) return &t.slots[i];
+  }
+  std::lock_guard<std::mutex> guard(impl::intern_mu());
+  const std::size_t used = t.used.load(std::memory_order_relaxed);
+  for (std::size_t i = seen; i < used; ++i) {
+    if (impl::site_matches(t.slots[i], name, rank)) return &t.slots[i];
+  }
+  if (used >= kMaxSites) {
+    t.dropped.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  SiteStats& slot = t.slots[used];
+  slot.rank.store(rank, std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_release);
+  t.used.store(used + 1, std::memory_order_release);
+  return &slot;
+}
+
+inline void atomic_max(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+inline std::size_t wait_bucket(std::uint64_t wait_ns) {
+  return std::min<std::size_t>(static_cast<std::size_t>(std::bit_width(wait_ns)),
+                               kWaitBuckets - 1);
+}
+
+/// Inclusive upper bound of histogram bucket i in nanoseconds.
+inline std::uint64_t bucket_upper_ns(std::size_t i) {
+  if (i >= kWaitBuckets - 1) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << i) - 1;
+}
+
+inline void record_acquire(SiteStats* s) {
+  s->acquisitions.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void record_wait(SiteStats* s, std::uint64_t wait_ns) {
+  s->contended.fetch_add(1, std::memory_order_relaxed);
+  s->wait_ns_total.fetch_add(wait_ns, std::memory_order_relaxed);
+  atomic_max(s->wait_ns_max, wait_ns);
+  s->wait_hist[wait_bucket(wait_ns)].fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void record_hold(SiteStats* s, std::uint64_t hold_ns) {
+  s->hold_ns_total.fetch_add(hold_ns, std::memory_order_relaxed);
+  atomic_max(s->hold_ns_max, hold_ns);
+}
+
+/// Point-in-time copy of one site. Counters are read relaxed and
+/// independently, so a snapshot taken under load is approximate (e.g.
+/// contended may momentarily exceed the matching histogram sum).
+struct SiteSnapshot {
+  const char* name;
+  int rank;
+  std::uint64_t acquisitions;
+  std::uint64_t contended;
+  std::uint64_t wait_ns_total;
+  std::uint64_t wait_ns_max;
+  std::uint64_t hold_ns_total;
+  std::uint64_t hold_ns_max;
+  std::array<std::uint64_t, kWaitBuckets> wait_hist;
+};
+
+/// Approximate q-quantile (0..1) of the wait distribution: the upper bound
+/// of the first histogram bucket reaching the target cumulative count.
+inline std::uint64_t wait_quantile_ns(const SiteSnapshot& s, double q) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : s.wait_hist) total += c;
+  if (total == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kWaitBuckets; ++i) {
+    cum += s.wait_hist[i];
+    if (cum > target || (q >= 1.0 && cum == total)) return bucket_upper_ns(i);
+  }
+  return bucket_upper_ns(kWaitBuckets - 1);
+}
+
+/// All registered sites, sorted by wait_ns_total descending (the
+/// "contention ranking" /debug/runtime serves).
+inline std::vector<SiteSnapshot> snapshot() {
+  impl::Table& t = impl::table();
+  const std::size_t used = t.used.load(std::memory_order_acquire);
+  std::vector<SiteSnapshot> out;
+  out.reserve(used);
+  for (std::size_t i = 0; i < used; ++i) {
+    const SiteStats& s = t.slots[i];
+    SiteSnapshot snap;
+    snap.name = s.name.load(std::memory_order_acquire);
+    snap.rank = s.rank.load(std::memory_order_relaxed);
+    snap.acquisitions = s.acquisitions.load(std::memory_order_relaxed);
+    snap.contended = s.contended.load(std::memory_order_relaxed);
+    snap.wait_ns_total = s.wait_ns_total.load(std::memory_order_relaxed);
+    snap.wait_ns_max = s.wait_ns_max.load(std::memory_order_relaxed);
+    snap.hold_ns_total = s.hold_ns_total.load(std::memory_order_relaxed);
+    snap.hold_ns_max = s.hold_ns_max.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kWaitBuckets; ++b) {
+      snap.wait_hist[b] = s.wait_hist[b].load(std::memory_order_relaxed);
+    }
+    out.push_back(snap);
+  }
+  std::sort(out.begin(), out.end(), [](const SiteSnapshot& a, const SiteSnapshot& b) {
+    if (a.wait_ns_total != b.wait_ns_total) return a.wait_ns_total > b.wait_ns_total;
+    return a.acquisitions > b.acquisitions;
+  });
+  return out;
+}
+
+/// Zero every counter while keeping site registrations (and the cached
+/// SiteStats* in live wrappers) valid. Tests and the bench use this between
+/// phases; concurrent updates during the reset may survive it.
+inline void reset() {
+  impl::Table& t = impl::table();
+  const std::size_t used = t.used.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < used; ++i) {
+    SiteStats& s = t.slots[i];
+    s.acquisitions.store(0, std::memory_order_relaxed);
+    s.contended.store(0, std::memory_order_relaxed);
+    s.wait_ns_total.store(0, std::memory_order_relaxed);
+    s.wait_ns_max.store(0, std::memory_order_relaxed);
+    s.hold_ns_total.store(0, std::memory_order_relaxed);
+    s.hold_ns_max.store(0, std::memory_order_relaxed);
+    for (auto& b : s.wait_hist) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace lockstats
 
 /// Called with a human-readable description when a rank violation is
 /// detected. Default (nullptr) prints to stderr and aborts; tests install a
@@ -282,9 +544,14 @@ class LMS_CAPABILITY("mutex") Mutex {
         name_(name)
 #endif
   {
-#if !LMS_SYNC_RANK_CHECKS
+#if LMS_SYNC_LOCK_STATS
+    stats_ = lockstats::intern_site(name, static_cast<int>(rank));
+#endif
+#if !LMS_SYNC_RANK_CHECKS && !LMS_SYNC_LOCK_STATS
     (void)rank;
     (void)name;
+#endif
+#if !LMS_SYNC_RANK_CHECKS
     (void)seq;
 #endif
   }
@@ -296,7 +563,23 @@ class LMS_CAPABILITY("mutex") Mutex {
 #if LMS_SYNC_RANK_CHECKS
     detail::check_order(this, rank_, seq_, name_);
 #endif
+#if LMS_SYNC_LOCK_STATS
+    // Uncontended fast path: one try_lock, no clock reads for the wait.
+    if (stats_ != nullptr && lockstats::enabled()) {
+      if (!mu_.try_lock()) {
+        const std::uint64_t wait_start = lockstats::now_ns();
+        mu_.lock();
+        lockstats::record_wait(stats_, lockstats::now_ns() - wait_start);
+      }
+      lockstats::record_acquire(stats_);
+      hold_start_ns_ = lockstats::now_ns();
+    } else {
+      mu_.lock();
+      hold_start_ns_ = 0;
+    }
+#else
     mu_.lock();
+#endif
 #if LMS_SYNC_RANK_CHECKS
     detail::note_acquire(this, rank_, seq_, name_, /*try_acquired=*/false);
 #endif
@@ -306,6 +589,14 @@ class LMS_CAPABILITY("mutex") Mutex {
 #if LMS_SYNC_RANK_CHECKS
     detail::note_release(this);
 #endif
+#if LMS_SYNC_LOCK_STATS
+    // hold_start_ns_ is owner-only state: written after acquiring, read
+    // here before releasing. 0 means "acquired while stats were off".
+    if (stats_ != nullptr && hold_start_ns_ != 0) {
+      lockstats::record_hold(stats_, lockstats::now_ns() - hold_start_ns_);
+      hold_start_ns_ = 0;
+    }
+#endif
     mu_.unlock();
   }
 
@@ -314,6 +605,16 @@ class LMS_CAPABILITY("mutex") Mutex {
     detail::check_reentrance(this, name_);
 #endif
     const bool locked = mu_.try_lock();
+#if LMS_SYNC_LOCK_STATS
+    if (locked) {
+      if (stats_ != nullptr && lockstats::enabled()) {
+        lockstats::record_acquire(stats_);
+        hold_start_ns_ = lockstats::now_ns();
+      } else {
+        hold_start_ns_ = 0;
+      }
+    }
+#endif
 #if LMS_SYNC_RANK_CHECKS
     if (locked) detail::note_acquire(this, rank_, seq_, name_, /*try_acquired=*/true);
 #endif
@@ -328,6 +629,10 @@ class LMS_CAPABILITY("mutex") Mutex {
   int rank_;
   std::uintptr_t seq_;
   const char* name_;
+#endif
+#if LMS_SYNC_LOCK_STATS
+  lockstats::SiteStats* stats_;
+  std::uint64_t hold_start_ns_ = 0;
 #endif
 };
 
@@ -344,9 +649,14 @@ class LMS_CAPABILITY("shared_mutex") SharedMutex {
         name_(name)
 #endif
   {
-#if !LMS_SYNC_RANK_CHECKS
+#if LMS_SYNC_LOCK_STATS
+    stats_ = lockstats::intern_site(name, static_cast<int>(rank));
+#endif
+#if !LMS_SYNC_RANK_CHECKS && !LMS_SYNC_LOCK_STATS
     (void)rank;
     (void)name;
+#endif
+#if !LMS_SYNC_RANK_CHECKS
     (void)seq;
 #endif
   }
@@ -358,7 +668,22 @@ class LMS_CAPABILITY("shared_mutex") SharedMutex {
 #if LMS_SYNC_RANK_CHECKS
     detail::check_order(this, rank_, seq_, name_);
 #endif
+#if LMS_SYNC_LOCK_STATS
+    if (stats_ != nullptr && lockstats::enabled()) {
+      if (!mu_.try_lock()) {
+        const std::uint64_t wait_start = lockstats::now_ns();
+        mu_.lock();
+        lockstats::record_wait(stats_, lockstats::now_ns() - wait_start);
+      }
+      lockstats::record_acquire(stats_);
+      hold_start_ns_ = lockstats::now_ns();
+    } else {
+      mu_.lock();
+      hold_start_ns_ = 0;
+    }
+#else
     mu_.lock();
+#endif
 #if LMS_SYNC_RANK_CHECKS
     detail::note_acquire(this, rank_, seq_, name_, /*try_acquired=*/false);
 #endif
@@ -368,6 +693,12 @@ class LMS_CAPABILITY("shared_mutex") SharedMutex {
 #if LMS_SYNC_RANK_CHECKS
     detail::note_release(this);
 #endif
+#if LMS_SYNC_LOCK_STATS
+    if (stats_ != nullptr && hold_start_ns_ != 0) {
+      lockstats::record_hold(stats_, lockstats::now_ns() - hold_start_ns_);
+      hold_start_ns_ = 0;
+    }
+#endif
     mu_.unlock();
   }
 
@@ -375,7 +706,22 @@ class LMS_CAPABILITY("shared_mutex") SharedMutex {
 #if LMS_SYNC_RANK_CHECKS
     detail::check_order(this, rank_, seq_, name_);
 #endif
+#if LMS_SYNC_LOCK_STATS
+    // Shared waits are timed; shared holds are not (a hold timestamp
+    // shared between concurrent readers would race).
+    if (stats_ != nullptr && lockstats::enabled()) {
+      if (!mu_.try_lock_shared()) {
+        const std::uint64_t wait_start = lockstats::now_ns();
+        mu_.lock_shared();
+        lockstats::record_wait(stats_, lockstats::now_ns() - wait_start);
+      }
+      lockstats::record_acquire(stats_);
+    } else {
+      mu_.lock_shared();
+    }
+#else
     mu_.lock_shared();
+#endif
 #if LMS_SYNC_RANK_CHECKS
     detail::note_acquire(this, rank_, seq_, name_, /*try_acquired=*/false);
 #endif
@@ -393,6 +739,11 @@ class LMS_CAPABILITY("shared_mutex") SharedMutex {
     detail::check_reentrance(this, name_);
 #endif
     const bool locked = mu_.try_lock_shared();
+#if LMS_SYNC_LOCK_STATS
+    if (locked && stats_ != nullptr && lockstats::enabled()) {
+      lockstats::record_acquire(stats_);
+    }
+#endif
 #if LMS_SYNC_RANK_CHECKS
     if (locked) detail::note_acquire(this, rank_, seq_, name_, /*try_acquired=*/true);
 #endif
@@ -405,6 +756,10 @@ class LMS_CAPABILITY("shared_mutex") SharedMutex {
   int rank_;
   std::uintptr_t seq_;
   const char* name_;
+#endif
+#if LMS_SYNC_LOCK_STATS
+  lockstats::SiteStats* stats_;
+  std::uint64_t hold_start_ns_ = 0;
 #endif
 };
 
@@ -504,11 +859,25 @@ class CondVar {
 #if LMS_SYNC_RANK_CHECKS
     detail::note_release(&mu);
 #endif
+#if LMS_SYNC_LOCK_STATS
+    // The wait releases the mutex: close out the current hold so time spent
+    // asleep is not billed as hold time, then restart after re-acquiring.
+    if (mu.stats_ != nullptr && mu.hold_start_ns_ != 0) {
+      lockstats::record_hold(mu.stats_, lockstats::now_ns() - mu.hold_start_ns_);
+      mu.hold_start_ns_ = 0;
+    }
+#endif
     {
       std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
       cv_.wait(native);
       native.release();
     }
+#if LMS_SYNC_LOCK_STATS
+    if (mu.stats_ != nullptr && lockstats::enabled()) {
+      lockstats::record_acquire(mu.stats_);
+      mu.hold_start_ns_ = lockstats::now_ns();
+    }
+#endif
 #if LMS_SYNC_RANK_CHECKS
     detail::check_order(&mu, mu.rank_, mu.seq_, mu.name_);
     detail::note_acquire(&mu, mu.rank_, mu.seq_, mu.name_, /*try_acquired=*/false);
@@ -521,12 +890,24 @@ class CondVar {
 #if LMS_SYNC_RANK_CHECKS
     detail::note_release(&mu);
 #endif
+#if LMS_SYNC_LOCK_STATS
+    if (mu.stats_ != nullptr && mu.hold_start_ns_ != 0) {
+      lockstats::record_hold(mu.stats_, lockstats::now_ns() - mu.hold_start_ns_);
+      mu.hold_start_ns_ = 0;
+    }
+#endif
     std::cv_status status;
     {
       std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
       status = cv_.wait_for(native, dur);
       native.release();
     }
+#if LMS_SYNC_LOCK_STATS
+    if (mu.stats_ != nullptr && lockstats::enabled()) {
+      lockstats::record_acquire(mu.stats_);
+      mu.hold_start_ns_ = lockstats::now_ns();
+    }
+#endif
 #if LMS_SYNC_RANK_CHECKS
     detail::check_order(&mu, mu.rank_, mu.seq_, mu.name_);
     detail::note_acquire(&mu, mu.rank_, mu.seq_, mu.name_, /*try_acquired=*/false);

@@ -62,6 +62,12 @@ class DashboardAgent {
   /// of the monitoring pipeline itself.
   json::Value generate_internals_dashboard(util::TimeNs now);
 
+  /// Generate (and store, uid "runtime") the runtime-contention view:
+  /// charts over the lms_lock_* / lms_runtime_* series the self-scrape
+  /// exports — top lock sites by total wait, contention counts, queue
+  /// depths/watermarks and background-loop duty cycles.
+  json::Value generate_runtime_dashboard(util::TimeNs now);
+
   /// Refresh dashboards for every running job plus the admin view.
   /// Returns the number of dashboards generated.
   std::size_t refresh(const std::vector<core::RunningJob>& jobs, util::TimeNs now);
@@ -81,6 +87,8 @@ class DashboardAgent {
   ///   GET  /regions/<jobid>           -> per-region roofline table (JSON;
   ///                                      ?from=<ns>&to=<ns> bound the range)
   ///   GET  /health, /ready            -> JSON component status
+  ///   GET  /metrics                   -> Prometheus text exposition
+  ///   GET  /debug/runtime             -> lock/queue/loop contention JSON
   net::HttpHandler handler();
 
  private:

@@ -73,4 +73,21 @@ HttpResponse ready_response(const ComponentHealth& health);
 /// correlation view.
 HttpResponse debug_logs_response(const util::LogRing& ring, const HttpRequest& req);
 
+/// Shared GET /debug/runtime answer: the process-wide runtime-contention
+/// picture as JSON —
+///   {"build":{...},
+///    "lock_stats":{"compiled":b,"enabled":b,"sites_dropped":N,
+///                  "sites":[{"lock","rank","acquisitions","contended",
+///                            "contention_pct","wait_ns_total","wait_ns_max",
+///                            "wait_p50_ns","wait_p99_ns","hold_ns_total",
+///                            "hold_ns_max"},...]},   // ranked by total wait
+///    "queues":[{"queue","capacity","depth","high_watermark","pushes",
+///               "pops","blocked_pushes","rejected_pushes"},...],
+///    "loops":[{"loop","iterations","busy_ns","idle_ns","duty_pct"},...]}
+/// Lock sites are sorted by wait_ns_total descending, so the first entry is
+/// the lock the process spends the most time waiting on. The section is
+/// empty (compiled=false) unless built with -DLMS_LOCK_STATS=ON; queues and
+/// loops report in every build. Served by the router and the TSDB API.
+HttpResponse runtime_debug_response();
+
 }  // namespace lms::net

@@ -52,7 +52,7 @@ class Subscription {
  private:
   friend class PubSubBroker;
   Subscription(PubSubBroker* broker, std::string prefix, std::size_t hwm)
-      : broker_(broker), prefix_(std::move(prefix)), queue_(hwm) {}
+      : broker_(broker), prefix_(std::move(prefix)), queue_(hwm, "net.pubsub.sub") {}
 
   PubSubBroker* broker_;
   std::string prefix_;

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "lms/core/runtime.hpp"
 #include "lms/core/sync.hpp"
 #include "lms/net/transport.hpp"
 
@@ -61,6 +62,7 @@ class TcpHttpServer {
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
+  core::runtime::LoopStats accept_loop_stats_{"net.tcp.accept"};
   core::sync::Mutex workers_mu_{core::sync::Rank::kNet, "net.tcp.workers"};
   std::vector<std::thread> workers_ LMS_GUARDED_BY(workers_mu_);
   std::atomic<std::size_t> active_connections_{0};

@@ -1,0 +1,59 @@
+#pragma once
+
+// Runtime-observability export layer: the bridge between the process-wide
+// raw registries in core (lockstats in lms/core/sync.hpp, queue/loop stats
+// in lms/core/runtime.hpp) and the metrics surface of the stack.
+//
+// The raw registries live in core because util::BoundedQueue and the sync
+// wrappers must not depend on lms::obs; this header is where their
+// snapshots become ordinary instruments:
+//
+//   lms_lock_acquisitions_total / lms_lock_contended_total /
+//   lms_lock_wait_ns_{total,max} / lms_lock_wait_p{50,99}_ns /
+//   lms_lock_hold_ns_{total,max}            {lock=<site>, rank=<n>}
+//   lms_lock_stats_enabled, lms_lock_sites_dropped
+//   lms_runtime_queue_{depth,high_watermark,capacity} and
+//   lms_runtime_queue_{pushes,pops,blocked_pushes,rejected_pushes}_total
+//                                           {queue=<name>}
+//   lms_runtime_loop_{iterations,busy_ns,idle_ns}_total,
+//   lms_runtime_loop_duty_pct               {loop=<name>}
+//   lms_build_info                          {build_type, compiler, ...} = 1
+//
+// update_runtime_metrics() refreshes them as plain gauges right before a
+// collection (the /metrics handlers and the self-scrape loop call it), so
+// the values ride the existing export paths: render_text() for Prometheus
+// scrapers and to_points() into the TSDB as lms_internal, where they are
+// queryable, alertable and chartable like any other metric.
+
+#include <string>
+
+#include "lms/obs/metrics.hpp"
+
+namespace lms::obs {
+
+/// Compile-time facts about the linked lms::obs library build.
+struct BuildInfo {
+  std::string build_type;  ///< CMAKE_BUILD_TYPE ("unknown" outside CMake)
+  std::string compiler;    ///< e.g. "gcc 12.2.0"
+  std::string sanitizer;   ///< "none" | "thread" | "address" | "undefined"
+  bool rank_checks = false;
+  bool lock_stats = false;
+};
+
+BuildInfo build_info();
+
+/// One-line rendering for /health:
+///   "type=RelWithDebInfo compiler=gcc 12.2.0 sanitizer=none
+///    rank_checks=off lock_stats=on"
+std::string build_info_summary();
+
+/// Register/refresh the lms_build_info gauge: constant value 1, the facts
+/// ride in the labels (the Prometheus info-metric idiom).
+void register_build_info(Registry& registry);
+
+/// Refresh every lms_lock_* / lms_runtime_* gauge (and lms_build_info)
+/// from the process-wide core registries. Idempotent and cheap relative to
+/// a collection; call right before collect()/render_text().
+void update_runtime_metrics(Registry& registry);
+
+}  // namespace lms::obs

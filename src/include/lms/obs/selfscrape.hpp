@@ -24,6 +24,7 @@
 #include <string>
 #include <thread>
 
+#include "lms/core/runtime.hpp"
 #include "lms/core/sync.hpp"
 #include "lms/obs/metrics.hpp"
 #include "lms/util/clock.hpp"
@@ -76,6 +77,7 @@ class SelfScrape {
   core::sync::Mutex mu_{core::sync::Rank::kLoopControl, "obs.selfscrape.loop"};
   core::sync::CondVar cv_;
   bool stop_requested_ LMS_GUARDED_BY(mu_) = false;
+  core::runtime::LoopStats loop_stats_{"obs.selfscrape"};
   std::thread thread_;
 };
 

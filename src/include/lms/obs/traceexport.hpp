@@ -38,6 +38,7 @@
 #include <thread>
 
 #include "lms/lineproto/point.hpp"
+#include "lms/core/runtime.hpp"
 #include "lms/core/sync.hpp"
 #include "lms/obs/trace.hpp"
 #include "lms/util/clock.hpp"
@@ -106,6 +107,7 @@ class TraceExporter {
   core::sync::Mutex mu_{core::sync::Rank::kLoopControl, "obs.traceexport.loop"};
   core::sync::CondVar cv_;
   bool stop_requested_ LMS_GUARDED_BY(mu_) = false;
+  core::runtime::LoopStats loop_stats_{"obs.traceexport"};
   std::thread thread_;
 };
 

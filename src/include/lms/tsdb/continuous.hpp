@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "lms/core/runtime.hpp"
 #include "lms/tsdb/query.hpp"
 #include "lms/tsdb/storage.hpp"
 
@@ -61,6 +62,7 @@ class CqRunner {
   std::string database_;
   Options options_;
   std::vector<Registered> queries_;
+  core::runtime::LoopStats loop_stats_{"tsdb.cq_runner"};
 };
 
 }  // namespace lms::tsdb

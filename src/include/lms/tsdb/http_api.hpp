@@ -27,6 +27,7 @@
 #include <memory>
 #include <string>
 
+#include "lms/core/runtime.hpp"
 #include "lms/core/sync.hpp"
 #include "lms/net/health.hpp"
 #include "lms/net/transport.hpp"
@@ -132,6 +133,7 @@ class HttpApi {
   /// the query (and its shard locks) completed.
   mutable core::sync::Mutex slow_mu_{core::sync::Rank::kTsdbAux, "tsdb.slowlog"};
   std::deque<SlowQuery> slow_ring_ LMS_GUARDED_BY(slow_mu_);
+  core::runtime::LoopStats retention_loop_stats_{"tsdb.retention"};
 };
 
 }  // namespace lms::tsdb

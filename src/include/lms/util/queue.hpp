@@ -7,11 +7,18 @@
 // Lock rank: Rank::kQueue. The pub/sub broker pushes into subscriber queues
 // while holding its own (lower-ranked) mutex, so the queue lock must stay a
 // near-leaf: never call out of this class while holding mu_.
+//
+// Runtime observability: constructing with a name (a string literal or
+// other static-lifetime string) registers the queue's depth / watermark /
+// blocked-push counters in core::runtime, from where lms::obs exports them
+// as lms_runtime_queue_* metrics and in GET /debug/runtime. Unnamed queues
+// still count, but are not registered (invisible to snapshots).
 
 #include <chrono>
 #include <deque>
 #include <optional>
 
+#include "lms/core/runtime.hpp"
 #include "lms/core/sync.hpp"
 #include "lms/util/clock.hpp"
 
@@ -20,14 +27,30 @@ namespace lms::util {
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+  explicit BoundedQueue(std::size_t capacity, const char* name = nullptr)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    stats_.name = name;
+    stats_.capacity = capacity_;
+    if (name != nullptr) core::runtime::register_queue(&stats_);
+  }
+
+  ~BoundedQueue() {
+    if (stats_.name != nullptr) core::runtime::unregister_queue(&stats_);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Push; blocks while full. Returns false if the queue is closed.
   bool push(T item) {
     core::sync::UniqueLock lock(mu_);
+    if (!closed_ && items_.size() >= capacity_) {
+      stats_.blocked_pushes.fetch_add(1, std::memory_order_relaxed);
+    }
     while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock);
     if (closed_) return false;
     items_.push_back(std::move(item));
+    stats_.on_push(items_.size());
     not_empty_.notify_one();
     return true;
   }
@@ -35,8 +58,12 @@ class BoundedQueue {
   /// Non-blocking push. Returns false when full or closed (item dropped).
   bool try_push(T item) {
     const core::sync::LockGuard lock(mu_);
-    if (closed_ || items_.size() >= capacity_) return false;
+    if (closed_ || items_.size() >= capacity_) {
+      if (!closed_) stats_.rejected_pushes.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     items_.push_back(std::move(item));
+    stats_.on_push(items_.size());
     not_empty_.notify_one();
     return true;
   }
@@ -64,11 +91,7 @@ class BoundedQueue {
   /// Non-blocking pop.
   std::optional<T> try_pop() {
     const core::sync::LockGuard lock(mu_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    not_full_.notify_one();
-    return item;
+    return pop_locked();
   }
 
   /// Close the queue: pushes fail, pops drain remaining items then return
@@ -92,11 +115,16 @@ class BoundedQueue {
 
   std::size_t capacity() const { return capacity_; }
 
+  /// Live counters (always maintained; registered globally only when the
+  /// queue was constructed with a name).
+  const core::runtime::QueueStats& stats() const { return stats_; }
+
  private:
   std::optional<T> pop_locked() LMS_REQUIRES(mu_) {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    stats_.on_pop(items_.size());
     not_full_.notify_one();
     return item;
   }
@@ -107,6 +135,7 @@ class BoundedQueue {
   core::sync::CondVar not_full_;
   std::deque<T> items_ LMS_GUARDED_BY(mu_);
   bool closed_ LMS_GUARDED_BY(mu_) = false;
+  core::runtime::QueueStats stats_;
 };
 
 }  // namespace lms::util

@@ -1,6 +1,9 @@
 #include "lms/net/health.hpp"
 
+#include "lms/core/runtime.hpp"
+#include "lms/core/sync.hpp"
 #include "lms/json/json.hpp"
+#include "lms/obs/runtime.hpp"
 #include "lms/obs/trace.hpp"
 
 namespace lms::net {
@@ -36,11 +39,27 @@ HealthStatus ComponentHealth::status() const {
   return s;
 }
 
+namespace {
+
+json::Object build_info_json() {
+  const obs::BuildInfo b = obs::build_info();
+  json::Object o;
+  o["type"] = b.build_type;
+  o["compiler"] = b.compiler;
+  o["sanitizer"] = b.sanitizer;
+  o["rank_checks"] = b.rank_checks;
+  o["lock_stats"] = b.lock_stats;
+  return o;
+}
+
+}  // namespace
+
 std::string ComponentHealth::to_json() const {
   json::Object o;
   o["component"] = component;
   o["status"] = std::string(health_status_name(status()));
   o["time"] = static_cast<std::int64_t>(time);
+  o["build"] = build_info_json();
   json::Array arr;
   for (const auto& check : checks) {
     json::Object c;
@@ -90,6 +109,67 @@ HttpResponse debug_logs_response(const util::LogRing& ring, const HttpRequest& r
     arr.emplace_back(std::move(o));
   }
   top["entries"] = std::move(arr);
+  return HttpResponse::json(200, json::Value(std::move(top)).dump());
+}
+
+HttpResponse runtime_debug_response() {
+  namespace ls = core::sync::lockstats;
+  json::Object top;
+  top["build"] = build_info_json();
+
+  json::Object locks;
+  locks["compiled"] = core::sync::kLockStatsEnabled;
+  locks["enabled"] = core::sync::kLockStatsEnabled && ls::enabled();
+  locks["sites_dropped"] = static_cast<std::int64_t>(ls::dropped_sites());
+  json::Array sites;
+  for (const ls::SiteSnapshot& s : ls::snapshot()) {
+    json::Object site;
+    site["lock"] = std::string(s.name != nullptr ? s.name : "<unnamed>");
+    site["rank"] = static_cast<std::int64_t>(s.rank);
+    site["acquisitions"] = static_cast<std::int64_t>(s.acquisitions);
+    site["contended"] = static_cast<std::int64_t>(s.contended);
+    site["contention_pct"] =
+        s.acquisitions > 0
+            ? 100.0 * static_cast<double>(s.contended) / static_cast<double>(s.acquisitions)
+            : 0.0;
+    site["wait_ns_total"] = static_cast<std::int64_t>(s.wait_ns_total);
+    site["wait_ns_max"] = static_cast<std::int64_t>(s.wait_ns_max);
+    site["wait_p50_ns"] = static_cast<std::int64_t>(ls::wait_quantile_ns(s, 0.50));
+    site["wait_p99_ns"] = static_cast<std::int64_t>(ls::wait_quantile_ns(s, 0.99));
+    site["hold_ns_total"] = static_cast<std::int64_t>(s.hold_ns_total);
+    site["hold_ns_max"] = static_cast<std::int64_t>(s.hold_ns_max);
+    sites.emplace_back(std::move(site));
+  }
+  locks["sites"] = std::move(sites);
+  top["lock_stats"] = std::move(locks);
+
+  json::Array queues;
+  for (const core::runtime::QueueSnapshot& q : core::runtime::queue_snapshot()) {
+    json::Object o;
+    o["queue"] = q.name;
+    o["capacity"] = static_cast<std::int64_t>(q.capacity);
+    o["depth"] = static_cast<std::int64_t>(q.depth);
+    o["high_watermark"] = static_cast<std::int64_t>(q.high_watermark);
+    o["pushes"] = static_cast<std::int64_t>(q.pushes);
+    o["pops"] = static_cast<std::int64_t>(q.pops);
+    o["blocked_pushes"] = static_cast<std::int64_t>(q.blocked_pushes);
+    o["rejected_pushes"] = static_cast<std::int64_t>(q.rejected_pushes);
+    queues.emplace_back(std::move(o));
+  }
+  top["queues"] = std::move(queues);
+
+  json::Array loops;
+  for (const core::runtime::LoopSnapshot& l : core::runtime::loop_snapshot()) {
+    json::Object o;
+    o["loop"] = l.name;
+    o["iterations"] = static_cast<std::int64_t>(l.iterations);
+    o["busy_ns"] = static_cast<std::int64_t>(l.busy_ns);
+    o["idle_ns"] = static_cast<std::int64_t>(l.idle_ns);
+    o["duty_pct"] = l.duty_pct;
+    loops.emplace_back(std::move(o));
+  }
+  top["loops"] = std::move(loops);
+
   return HttpResponse::json(200, json::Value(std::move(top)).dump());
 }
 

@@ -129,6 +129,8 @@ void TcpHttpServer::accept_loop() {
     pollfd pfd{listen_fd, POLLIN, 0};
     const int pr = ::poll(&pfd, 1, 100);
     if (pr <= 0) continue;
+    // Busy = accept + dispatch; the poll wait above counts as idle.
+    const core::runtime::BusyScope busy_scope(accept_loop_stats_);
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (!running_.load()) return;

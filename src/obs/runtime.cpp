@@ -1,0 +1,150 @@
+#include "lms/obs/runtime.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "lms/core/runtime.hpp"
+#include "lms/core/sync.hpp"
+
+// Stamped by the top-level CMakeLists; default for non-CMake consumers.
+#ifndef LMS_BUILD_TYPE_NAME
+#define LMS_BUILD_TYPE_NAME "unknown"
+#endif
+#ifndef LMS_SANITIZE_NAME
+#define LMS_SANITIZE_NAME "none"
+#endif
+
+namespace lms::obs {
+
+namespace {
+
+std::string compiler_string() {
+#if defined(__clang__)
+  return std::string("clang ") + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." + std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return std::string("gcc ") + std::to_string(__GNUC__) + "." + std::to_string(__GNUC_MINOR__) +
+         "." + std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+const char* onoff(bool b) { return b ? "on" : "off"; }
+
+}  // namespace
+
+BuildInfo build_info() {
+  BuildInfo b;
+  b.build_type = LMS_BUILD_TYPE_NAME;
+  b.compiler = compiler_string();
+  b.sanitizer = LMS_SANITIZE_NAME;
+  b.rank_checks = core::sync::kRankCheckingEnabled;
+  b.lock_stats = core::sync::kLockStatsEnabled;
+  return b;
+}
+
+std::string build_info_summary() {
+  const BuildInfo b = build_info();
+  return "type=" + b.build_type + " compiler=" + b.compiler + " sanitizer=" + b.sanitizer +
+         " rank_checks=" + onoff(b.rank_checks) + " lock_stats=" + onoff(b.lock_stats);
+}
+
+void register_build_info(Registry& registry) {
+  const BuildInfo b = build_info();
+  registry
+      .gauge("lms_build_info", {{"build_type", b.build_type},
+                                {"compiler", b.compiler},
+                                {"sanitizer", b.sanitizer},
+                                {"rank_checks", onoff(b.rank_checks)},
+                                {"lock_stats", onoff(b.lock_stats)}})
+      .set(1.0);
+}
+
+namespace {
+
+double d(std::uint64_t v) { return static_cast<double>(v); }
+
+void update_lock_metrics(Registry& registry) {
+  namespace ls = core::sync::lockstats;
+  registry.gauge("lms_lock_stats_enabled")
+      .set(core::sync::kLockStatsEnabled && ls::enabled() ? 1.0 : 0.0);
+  registry.gauge("lms_lock_sites_dropped").set(d(ls::dropped_sites()));
+  for (const ls::SiteSnapshot& s : ls::snapshot()) {
+    const Labels labels{{"lock", s.name}, {"rank", std::to_string(s.rank)}};
+    registry.gauge("lms_lock_acquisitions_total", labels).set(d(s.acquisitions));
+    registry.gauge("lms_lock_contended_total", labels).set(d(s.contended));
+    registry.gauge("lms_lock_wait_ns_total", labels).set(d(s.wait_ns_total));
+    registry.gauge("lms_lock_wait_ns_max", labels).set(d(s.wait_ns_max));
+    registry.gauge("lms_lock_wait_p50_ns", labels).set(d(ls::wait_quantile_ns(s, 0.50)));
+    registry.gauge("lms_lock_wait_p99_ns", labels).set(d(ls::wait_quantile_ns(s, 0.99)));
+    registry.gauge("lms_lock_hold_ns_total", labels).set(d(s.hold_ns_total));
+    registry.gauge("lms_lock_hold_ns_max", labels).set(d(s.hold_ns_max));
+  }
+}
+
+void update_queue_metrics(Registry& registry) {
+  // Same-named queues (e.g. one per pub/sub subscriber) aggregate into one
+  // labeled series: counters and depth sum, watermark and capacity take
+  // the max.
+  struct Agg {
+    std::uint64_t pushes = 0, pops = 0, blocked = 0, rejected = 0, depth = 0;
+    std::uint64_t high_watermark = 0, capacity = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const core::runtime::QueueSnapshot& q : core::runtime::queue_snapshot()) {
+    Agg& a = by_name[q.name];
+    a.pushes += q.pushes;
+    a.pops += q.pops;
+    a.blocked += q.blocked_pushes;
+    a.rejected += q.rejected_pushes;
+    a.depth += q.depth;
+    a.high_watermark = std::max(a.high_watermark, q.high_watermark);
+    a.capacity = std::max<std::uint64_t>(a.capacity, q.capacity);
+  }
+  for (const auto& [name, a] : by_name) {
+    const Labels labels{{"queue", name}};
+    registry.gauge("lms_runtime_queue_pushes_total", labels).set(d(a.pushes));
+    registry.gauge("lms_runtime_queue_pops_total", labels).set(d(a.pops));
+    registry.gauge("lms_runtime_queue_blocked_pushes_total", labels).set(d(a.blocked));
+    registry.gauge("lms_runtime_queue_rejected_pushes_total", labels).set(d(a.rejected));
+    registry.gauge("lms_runtime_queue_depth", labels).set(d(a.depth));
+    registry.gauge("lms_runtime_queue_high_watermark", labels).set(d(a.high_watermark));
+    registry.gauge("lms_runtime_queue_capacity", labels).set(d(a.capacity));
+  }
+}
+
+void update_loop_metrics(Registry& registry) {
+  struct Agg {
+    std::uint64_t iterations = 0, busy_ns = 0, idle_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const core::runtime::LoopSnapshot& l : core::runtime::loop_snapshot()) {
+    Agg& a = by_name[l.name];
+    a.iterations += l.iterations;
+    a.busy_ns += l.busy_ns;
+    a.idle_ns += l.idle_ns;
+  }
+  for (const auto& [name, a] : by_name) {
+    const Labels labels{{"loop", name}};
+    registry.gauge("lms_runtime_loop_iterations_total", labels).set(d(a.iterations));
+    registry.gauge("lms_runtime_loop_busy_ns_total", labels).set(d(a.busy_ns));
+    registry.gauge("lms_runtime_loop_idle_ns_total", labels).set(d(a.idle_ns));
+    const double denom = d(a.busy_ns) + d(a.idle_ns);
+    registry.gauge("lms_runtime_loop_duty_pct", labels)
+        .set(denom > 0.0 ? 100.0 * d(a.busy_ns) / denom : 0.0);
+  }
+}
+
+}  // namespace
+
+void update_runtime_metrics(Registry& registry) {
+  register_build_info(registry);
+  update_lock_metrics(registry);
+  update_queue_metrics(registry);
+  update_loop_metrics(registry);
+}
+
+}  // namespace lms::obs

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "lms/lineproto/codec.hpp"
+#include "lms/obs/runtime.hpp"
 #include "lms/obs/trace.hpp"
 #include "lms/util/logging.hpp"
 
@@ -16,6 +17,9 @@ SelfScrape::~SelfScrape() { stop(); }
 
 util::Status SelfScrape::scrape_once() {
   Span span("obs.selfscrape", "obs");
+  // Fold the process-wide lock/queue/loop stats into this registry so the
+  // self-scrape carries them into the TSDB as lms_internal points.
+  update_runtime_metrics(registry_);
   const std::vector<lineproto::Point> points =
       to_points(registry_, options_.measurement, options_.tags, clock_.now());
   if (points.empty()) return {};
@@ -65,7 +69,10 @@ void SelfScrape::run() {
     }
     if (stop_requested_) break;
     lock.unlock();
-    scrape_once();
+    {
+      const core::runtime::BusyScope busy(loop_stats_);
+      scrape_once();
+    }
     lock.lock();
   }
 }

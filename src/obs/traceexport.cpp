@@ -148,7 +148,10 @@ void TraceExporter::run() {
     }
     if (stop_requested_) break;
     lock.unlock();
-    export_once();
+    {
+      const core::runtime::BusyScope busy(loop_stats_);
+      export_once();
+    }
     lock.lock();
   }
 }

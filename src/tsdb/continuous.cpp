@@ -22,6 +22,7 @@ std::vector<ContinuousQuery> CqRunner::queries() const {
 }
 
 std::size_t CqRunner::run(TimeNs now) {
+  const core::runtime::BusyScope busy(loop_stats_);
   std::size_t written = 0;
   for (auto& registered : queries_) {
     written += run_one(registered, now);

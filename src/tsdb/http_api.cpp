@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "lms/json/json.hpp"
+#include "lms/obs/runtime.hpp"
 #include "lms/obs/trace.hpp"
 #include "lms/tsdb/ingest.hpp"
 #include "lms/tsdb/persist.hpp"
@@ -100,7 +101,9 @@ net::HttpHandler HttpApi::handler() {
     if (req.path.rfind("/trace/", 0) == 0) return handle_trace(req);
     if (req.path == "/debug/slow_queries") return handle_slow_queries(req);
     if (req.path == "/debug/logs") return handle_debug_logs(req);
+    if (req.path == "/debug/runtime") return net::runtime_debug_response();
     if (req.path == "/metrics") {
+      obs::update_runtime_metrics(*registry_);
       auto resp = net::HttpResponse::text(200, obs::render_text(*registry_));
       resp.headers.set("Content-Type", obs::kTextExpositionContentType);
       return resp;
@@ -286,6 +289,7 @@ net::ComponentHealth HttpApi::health() const {
 
 std::size_t HttpApi::enforce_retention() {
   if (options_.retention <= 0) return 0;
+  const core::runtime::BusyScope busy(retention_loop_stats_);
   return storage_.drop_before(clock_.now() - options_.retention);
 }
 

@@ -1,0 +1,399 @@
+// Lock-contention statistics tests. This binary pins LMS_SYNC_LOCK_STATS=1
+// (see tests/CMakeLists.txt) so the instrumentation is active regardless of
+// the build-wide -DLMS_LOCK_STATS setting; like the rank-checker suites it
+// is header-only (no lms:: library deps), because the wrapper layout differs
+// with the macro and must not mix with library objects compiled without it.
+//
+// Also covers the core::runtime registry (BoundedQueue watermarks, LoopStats
+// duty cycles) — header-only as well, BoundedQueue being a template.
+
+#include "lms/core/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lms/core/runtime.hpp"
+#include "lms/util/queue.hpp"
+
+namespace csync = lms::core::sync;
+namespace lockstats = lms::core::sync::lockstats;
+namespace runtime = lms::core::runtime;
+
+namespace {
+
+/// Find a site in the ranking by name; nullopt if absent.
+std::optional<lockstats::SiteSnapshot> find_site(const char* name) {
+  for (const lockstats::SiteSnapshot& s : lockstats::snapshot()) {
+    if (s.name != nullptr && std::string(s.name) == name) return s;
+  }
+  return std::nullopt;
+}
+
+void spin_for_ns(std::uint64_t ns) {
+  const std::uint64_t start = lockstats::now_ns();
+  while (lockstats::now_ns() - start < ns) {
+  }
+}
+
+class LockStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lockstats::set_enabled(true);
+    lockstats::reset();
+  }
+};
+
+TEST_F(LockStatsTest, StatsAreCompiledInForThisBinary) {
+  static_assert(csync::kLockStatsEnabled);
+  EXPECT_TRUE(lockstats::enabled());
+}
+
+TEST_F(LockStatsTest, UncontendedLockCountsAcquisitionsOnly) {
+  csync::Mutex mu(csync::Rank::kQueue, "test.uncontended");
+  for (int i = 0; i < 10; ++i) {
+    mu.lock();
+    spin_for_ns(1000);
+    mu.unlock();
+  }
+  const auto site = find_site("test.uncontended");
+  ASSERT_TRUE(site.has_value());
+  EXPECT_EQ(site->acquisitions, 10u);
+  EXPECT_EQ(site->contended, 0u);
+  EXPECT_EQ(site->wait_ns_total, 0u);
+  EXPECT_GT(site->hold_ns_total, 0u);
+  EXPECT_GE(site->hold_ns_max, 1000u);
+}
+
+TEST_F(LockStatsTest, ContendedLockRecordsWaits) {
+  // Deterministic contention (robust on single-core runners): the main
+  // thread holds the mutex while a second thread blocks in lock().
+  csync::Mutex mu(csync::Rank::kQueue, "test.contended");
+  mu.lock();
+  std::atomic<bool> about_to_lock{false};
+  std::thread waiter([&] {
+    about_to_lock.store(true);
+    const csync::LockGuard lock(mu);
+  });
+  while (!about_to_lock.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  mu.unlock();
+  waiter.join();
+  const auto site = find_site("test.contended");
+  ASSERT_TRUE(site.has_value());
+  EXPECT_EQ(site->acquisitions, 2u);
+  EXPECT_EQ(site->contended, 1u);
+  EXPECT_GT(site->wait_ns_total, 1'000'000u);  // blocked for most of the 5 ms
+  EXPECT_EQ(site->wait_ns_max, site->wait_ns_total);
+  std::uint64_t hist_sum = 0;
+  for (std::uint64_t c : site->wait_hist) hist_sum += c;
+  EXPECT_EQ(hist_sum, site->contended);
+  // The single wait dominates every quantile of its own histogram.
+  EXPECT_GE(lockstats::wait_quantile_ns(*site, 0.99), site->wait_ns_max);
+}
+
+TEST_F(LockStatsTest, TryLockSuccessCountsFailureDoesNot) {
+  csync::Mutex mu(csync::Rank::kQueue, "test.trylock");
+  ASSERT_TRUE(mu.try_lock());
+  std::thread failer([&mu] { EXPECT_FALSE(mu.try_lock()); });
+  failer.join();
+  mu.unlock();
+  const auto site = find_site("test.trylock");
+  ASSERT_TRUE(site.has_value());
+  EXPECT_EQ(site->acquisitions, 1u);
+  EXPECT_EQ(site->contended, 0u);
+}
+
+TEST_F(LockStatsTest, SharedMutexTimesExclusiveHoldsOnly) {
+  csync::SharedMutex mu(csync::Rank::kTsdbMap, "test.shared");
+  {
+    mu.lock();
+    spin_for_ns(5'000);
+    mu.unlock();
+  }
+  {
+    mu.lock_shared();
+    spin_for_ns(5'000);
+    mu.unlock_shared();
+  }
+  const auto site = find_site("test.shared");
+  ASSERT_TRUE(site.has_value());
+  EXPECT_EQ(site->acquisitions, 2u);  // one exclusive + one shared
+  EXPECT_GE(site->hold_ns_max, 5'000u);
+  // The shared hold is not timed (concurrent readers would race on the
+  // owner-side scratch), so the total reflects the exclusive hold alone.
+  EXPECT_LT(site->hold_ns_total, 1'000'000'000u);
+}
+
+TEST_F(LockStatsTest, SameNameAndRankSharesOneSite) {
+  csync::Mutex a(csync::Rank::kTsdbShard, "test.striped", 0);
+  csync::Mutex b(csync::Rank::kTsdbShard, "test.striped", 1);
+  {
+    const csync::LockGuard la(a);
+  }
+  {
+    const csync::LockGuard lb(b);
+  }
+  std::size_t matching = 0;
+  for (const auto& s : lockstats::snapshot()) {
+    if (s.name != nullptr && std::string(s.name) == "test.striped") ++matching;
+  }
+  EXPECT_EQ(matching, 1u);
+  const auto site = find_site("test.striped");
+  ASSERT_TRUE(site.has_value());
+  EXPECT_EQ(site->acquisitions, 2u);
+}
+
+TEST_F(LockStatsTest, ConcurrentAggregationLosesNoAcquisitions) {
+  constexpr int kThreads = 8;
+  constexpr int kMutexes = 4;
+  constexpr int kIters = 200;
+  std::vector<std::unique_ptr<csync::Mutex>> mus;
+  for (int i = 0; i < kMutexes; ++i) {
+    mus.push_back(std::make_unique<csync::Mutex>(csync::Rank::kQueue, "test.aggregate",
+                                                 static_cast<std::uintptr_t>(i)));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mus, t] {
+      for (int i = 0; i < kIters; ++i) {
+        csync::Mutex& mu = *mus[static_cast<std::size_t>((t + i) % kMutexes)];
+        const csync::LockGuard lock(mu);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto site = find_site("test.aggregate");
+  ASSERT_TRUE(site.has_value());
+  EXPECT_EQ(site->acquisitions, static_cast<std::uint64_t>(kThreads * kIters));
+}
+
+TEST_F(LockStatsTest, DisablingStopsCounting) {
+  csync::Mutex mu(csync::Rank::kQueue, "test.disabled");
+  lockstats::set_enabled(false);
+  {
+    const csync::LockGuard lock(mu);
+  }
+  lockstats::set_enabled(true);
+  const auto site = find_site("test.disabled");
+  ASSERT_TRUE(site.has_value());  // the site itself registers at construction
+  EXPECT_EQ(site->acquisitions, 0u);
+  EXPECT_EQ(site->hold_ns_total, 0u);
+}
+
+TEST_F(LockStatsTest, ResetZeroesCountersButKeepsSites) {
+  csync::Mutex mu(csync::Rank::kQueue, "test.reset");
+  {
+    const csync::LockGuard lock(mu);
+  }
+  ASSERT_TRUE(find_site("test.reset").has_value());
+  lockstats::reset();
+  const auto site = find_site("test.reset");
+  ASSERT_TRUE(site.has_value());
+  EXPECT_EQ(site->acquisitions, 0u);
+  {
+    const csync::LockGuard lock(mu);  // cached SiteStats* still valid
+  }
+  EXPECT_EQ(find_site("test.reset")->acquisitions, 1u);
+}
+
+TEST_F(LockStatsTest, CondVarWaitCountsReacquisition) {
+  csync::Mutex mu(csync::Rank::kQueue, "test.condvar");
+  csync::CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    csync::UniqueLock lock(mu);
+    while (!ready) cv.wait(lock);
+  });
+  // Let the waiter reach the wait (releasing the mutex) before signaling.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    const csync::LockGuard lock(mu);
+    ready = true;
+    cv.notify_one();
+  }
+  waiter.join();
+  const auto site = find_site("test.condvar");
+  ASSERT_TRUE(site.has_value());
+  // Initial acquisitions (waiter + signaler) plus one re-acquire per wakeup.
+  EXPECT_GE(site->acquisitions, 3u);
+}
+
+TEST_F(LockStatsTest, WaitQuantileReadsHistogram) {
+  lockstats::SiteSnapshot s{};
+  s.wait_hist.fill(0);
+  s.wait_hist[4] = 90;   // waits in [8, 15] ns
+  s.wait_hist[10] = 10;  // waits in [512, 1023] ns
+  EXPECT_EQ(lockstats::wait_quantile_ns(s, 0.5), lockstats::bucket_upper_ns(4));
+  EXPECT_EQ(lockstats::wait_quantile_ns(s, 0.99), lockstats::bucket_upper_ns(10));
+  lockstats::SiteSnapshot empty{};
+  empty.wait_hist.fill(0);
+  EXPECT_EQ(lockstats::wait_quantile_ns(empty, 0.99), 0u);
+}
+
+TEST_F(LockStatsTest, SnapshotRanksByTotalWait) {
+  csync::Mutex hot(csync::Rank::kQueue, "test.rank.hot");
+  csync::Mutex cold(csync::Rank::kQueue, "test.rank.cold");
+  {
+    const csync::LockGuard lock(cold);
+  }
+  std::thread holder([&hot] {
+    const csync::LockGuard lock(hot);
+    spin_for_ns(5'000'000);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  {
+    const csync::LockGuard lock(hot);  // forced to wait on the holder
+  }
+  holder.join();
+  const auto ranking = lockstats::snapshot();
+  std::size_t hot_idx = ranking.size();
+  std::size_t cold_idx = ranking.size();
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    if (ranking[i].name == nullptr) continue;
+    if (std::string(ranking[i].name) == "test.rank.hot") hot_idx = i;
+    if (std::string(ranking[i].name) == "test.rank.cold") cold_idx = i;
+  }
+  ASSERT_LT(hot_idx, ranking.size());
+  ASSERT_LT(cold_idx, ranking.size());
+  EXPECT_LT(hot_idx, cold_idx);  // contended site sorts first
+}
+
+// With both features pinned on, the rank checker still fires through the
+// instrumented lock() path and the violation is not recorded as a wait.
+#if LMS_SYNC_RANK_CHECKS
+namespace {
+thread_local std::string g_violation;
+struct RankViolation : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+[[noreturn]] void throwing_handler(const char* message) {
+  g_violation = message;
+  throw RankViolation(message);
+}
+}  // namespace
+
+TEST_F(LockStatsTest, RankCheckingInterplay) {
+  static_assert(csync::kRankCheckingEnabled);
+  const auto previous = csync::set_rank_violation_handler(&throwing_handler);
+  csync::Mutex low(csync::Rank::kQueue, "test.interplay.low");
+  csync::Mutex high(csync::Rank::kNet, "test.interplay.high");
+  {
+    const csync::LockGuard outer(high);
+    const csync::LockGuard inner(low);
+  }
+  {
+    csync::LockGuard inner(low);
+    EXPECT_THROW(high.lock(), RankViolation);
+  }
+  csync::set_rank_violation_handler(previous);
+  const auto low_site = find_site("test.interplay.low");
+  const auto high_site = find_site("test.interplay.high");
+  ASSERT_TRUE(low_site.has_value());
+  ASSERT_TRUE(high_site.has_value());
+  EXPECT_EQ(low_site->acquisitions, 2u);
+  // The rank check runs before the instrumented acquire, so the rejected
+  // lock() never reaches the stats hooks: only the legal acquisition counts.
+  EXPECT_EQ(high_site->acquisitions, 1u);
+  EXPECT_EQ(high_site->contended, 0u);
+}
+#endif  // LMS_SYNC_RANK_CHECKS
+
+// ---------------------------------------------------------------------------
+// core::runtime — queue watermarks and loop duty cycles
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::optional<runtime::QueueSnapshot> find_queue(const std::string& name) {
+  for (auto& q : runtime::queue_snapshot()) {
+    if (q.name == name) return q;
+  }
+  return std::nullopt;
+}
+
+std::optional<runtime::LoopSnapshot> find_loop(const std::string& name) {
+  for (auto& l : runtime::loop_snapshot()) {
+    if (l.name == name) return l;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+TEST(RuntimeQueueStatsTest, NamedQueueRegistersAndTracksWatermark) {
+  {
+    lms::util::BoundedQueue<int> q(4, "test.queue.watermark");
+    ASSERT_TRUE(find_queue("test.queue.watermark").has_value());
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_TRUE(q.push(3));
+    EXPECT_TRUE(q.try_pop().has_value());
+    EXPECT_TRUE(q.push(4));
+    const auto s = find_queue("test.queue.watermark");
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->capacity, 4u);
+    EXPECT_EQ(s->pushes, 4u);
+    EXPECT_EQ(s->pops, 1u);
+    EXPECT_EQ(s->depth, 3u);
+    EXPECT_EQ(s->high_watermark, 3u);
+    EXPECT_EQ(s->blocked_pushes, 0u);
+    EXPECT_EQ(s->rejected_pushes, 0u);
+  }
+  // Destruction unregisters.
+  EXPECT_FALSE(find_queue("test.queue.watermark").has_value());
+}
+
+TEST(RuntimeQueueStatsTest, RejectedAndBlockedPushesCounted) {
+  lms::util::BoundedQueue<int> q(1, "test.queue.full");
+  ASSERT_TRUE(q.push(1));
+  EXPECT_FALSE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  std::thread blocked([&q] { EXPECT_TRUE(q.push(4)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(q.try_pop().has_value());  // frees the blocked pusher
+  blocked.join();
+  const auto s = find_queue("test.queue.full");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->rejected_pushes, 2u);
+  EXPECT_EQ(s->blocked_pushes, 1u);
+  EXPECT_EQ(s->pushes, 2u);
+  EXPECT_EQ(s->high_watermark, 1u);
+}
+
+TEST(RuntimeQueueStatsTest, UnnamedQueueStaysUnregisteredButCounts) {
+  const std::size_t before = runtime::queue_snapshot().size();
+  lms::util::BoundedQueue<int> q(2);
+  EXPECT_EQ(runtime::queue_snapshot().size(), before);
+  ASSERT_TRUE(q.push(1));
+  EXPECT_EQ(q.stats().pushes.load(), 1u);
+  EXPECT_EQ(q.stats().high_watermark.load(), 1u);
+}
+
+TEST(RuntimeLoopStatsTest, DutyCycleReflectsBusyShare) {
+  {
+    runtime::LoopStats loop("test.loop.duty");
+    for (int i = 0; i < 3; ++i) {
+      {
+        const runtime::BusyScope busy(loop);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    const auto s = find_loop("test.loop.duty");
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->iterations, 3u);
+    EXPECT_GT(s->busy_ns, 0u);
+    EXPECT_GT(s->idle_ns, 0u);  // the sleeps between brackets
+    EXPECT_GT(s->duty_pct, 0.0);
+    EXPECT_LT(s->duty_pct, 100.0);
+  }
+  EXPECT_FALSE(find_loop("test.loop.duty").has_value());
+}
+
+}  // namespace

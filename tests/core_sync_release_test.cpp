@@ -24,9 +24,13 @@ void capturing_handler(const char* message) {
 TEST(CoreSyncReleaseTest, CheckerIsCompiledOut) {
   EXPECT_FALSE(csync::kRankCheckingEnabled);
   // No rank/seq/name bookkeeping fields: the wrapper is exactly the native
-  // primitive plus nothing.
-  static_assert(sizeof(csync::Mutex) == sizeof(std::mutex));
-  static_assert(sizeof(csync::SharedMutex) == sizeof(std::shared_mutex));
+  // primitive plus nothing. The contention profiler (-DLMS_LOCK_STATS=ON)
+  // is an orthogonal switch that adds its own two fields; only assert the
+  // exact layout when it is off too.
+  if constexpr (!csync::kLockStatsEnabled) {
+    EXPECT_EQ(sizeof(csync::Mutex), sizeof(std::mutex));
+    EXPECT_EQ(sizeof(csync::SharedMutex), sizeof(std::shared_mutex));
+  }
 }
 
 TEST(CoreSyncReleaseTest, InvertedOrderGoesUnreported) {

@@ -227,5 +227,40 @@ TEST_F(DashboardAgentTest, CustomTemplateOverridesBuiltin) {
   EXPECT_EQ(dash["title"].as_string(), "Site " + std::to_string(job_id_));
 }
 
+TEST_F(DashboardAgentTest, RuntimeDashboardChartsLocksQueuesLoops) {
+  const json::Value dash =
+      harness_->dashboards().generate_runtime_dashboard(harness_->now());
+  EXPECT_EQ(dash["uid"].as_string(), "runtime");
+  const auto& rows = dash["rows"].get_array();
+  ASSERT_EQ(rows.size(), 2u);
+  const std::string lock_query =
+      rows[0]["panels"][0]["targets"][0]["query"].as_string();
+  EXPECT_NE(lock_query.find("lms_lock_wait_ns_total"), std::string::npos);
+  EXPECT_NE(lock_query.find("GROUP BY time(60s), lock"), std::string::npos);
+  const std::string loop_query =
+      rows[1]["panels"][3]["targets"][0]["query"].as_string();
+  EXPECT_NE(loop_query.find("lms_runtime_loop_duty_pct"), std::string::npos);
+  EXPECT_NE(loop_query.find("GROUP BY time(60s), loop"), std::string::npos);
+  // Stored and retrievable through the Grafana-style API.
+  EXPECT_NE(harness_->dashboards().find_dashboard("runtime"), nullptr);
+}
+
+TEST_F(DashboardAgentTest, ServesMetricsAndRuntimeDebugEndpoints) {
+  auto resp = harness_->client().get(std::string("inproc://") +
+                                     cluster::ClusterHarness::kDashboardEndpoint + "/metrics");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_NE(resp->body.find("lms_lock_stats_enabled"), std::string::npos);
+
+  resp = harness_->client().get(std::string("inproc://") +
+                                cluster::ClusterHarness::kDashboardEndpoint + "/debug/runtime");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  const auto body = json::parse(resp->body);
+  ASSERT_TRUE(body.ok()) << resp->body;
+  EXPECT_TRUE((*body)["lock_stats"]["sites"].is_array());
+  EXPECT_TRUE((*body)["loops"].is_array());
+}
+
 }  // namespace
 }  // namespace lms::dashboard

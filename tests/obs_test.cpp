@@ -13,13 +13,16 @@
 #include "lms/lineproto/codec.hpp"
 #include "lms/net/tcp_http.hpp"
 #include "lms/net/transport.hpp"
+#include "lms/core/runtime.hpp"
 #include "lms/obs/metrics.hpp"
+#include "lms/obs/runtime.hpp"
 #include "lms/obs/selfscrape.hpp"
 #include "lms/obs/trace.hpp"
 #include "lms/obs/traceexport.hpp"
 #include "lms/tsdb/http_api.hpp"
 #include "lms/tsdb/storage.hpp"
 #include "lms/util/clock.hpp"
+#include "lms/util/queue.hpp"
 
 namespace lms::obs {
 namespace {
@@ -836,6 +839,63 @@ TEST(TracingStress, ConcurrentProducersExporterAndSamplingFlips) {
   EXPECT_GT(exporter.spans_exported(), 0u);
   EXPECT_GT(exported_bytes.load(), 0u);
   set_trace_sample_rate(prev);
+}
+
+// ------------------------------------------------------- runtime export
+
+TEST(RuntimeExport, BuildInfoGaugeCarriesConfiguration) {
+  Registry reg;
+  register_build_info(reg);
+  const std::string text = render_text(reg);
+  EXPECT_NE(text.find("lms_build_info{"), std::string::npos);
+  EXPECT_NE(text.find("build_type="), std::string::npos);
+  EXPECT_NE(text.find("lock_stats="), std::string::npos);
+  EXPECT_NE(text.find("rank_checks="), std::string::npos);
+  const BuildInfo info = build_info();
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_FALSE(info.build_type.empty());
+  EXPECT_FALSE(build_info_summary().empty());
+}
+
+TEST(RuntimeExport, UpdateRuntimeMetricsExportsQueuesAndLoops) {
+  util::BoundedQueue<int> q(8, "obs.test.queue");
+  core::runtime::LoopStats loop("obs.test.loop");
+  {
+    const core::runtime::BusyScope busy(loop);
+  }
+  ASSERT_TRUE(q.push(1));
+
+  Registry reg;
+  update_runtime_metrics(reg);
+  const std::string text = render_text(reg);
+  EXPECT_NE(text.find("lms_runtime_queue_depth{queue=\"obs.test.queue\"}"), std::string::npos);
+  EXPECT_NE(text.find("lms_runtime_queue_capacity{queue=\"obs.test.queue\"}"), std::string::npos);
+  EXPECT_NE(text.find("lms_runtime_queue_pushes_total{queue=\"obs.test.queue\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("lms_runtime_loop_iterations_total{loop=\"obs.test.loop\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("lms_runtime_loop_duty_pct{loop=\"obs.test.loop\"}"), std::string::npos);
+  EXPECT_NE(text.find("lms_lock_stats_enabled"), std::string::npos);
+  // Per-site lock series only exist when the binary carries the
+  // instrumented wrappers (-DLMS_LOCK_STATS=ON CI pass).
+  if constexpr (core::sync::kLockStatsEnabled) {
+    EXPECT_NE(text.find("lms_lock_acquisitions_total"), std::string::npos);
+    EXPECT_NE(text.find("lms_lock_wait_ns_total"), std::string::npos);
+  }
+}
+
+TEST(RuntimeExport, RefreshedGaugesTrackCounters) {
+  util::BoundedQueue<int> q(4, "obs.test.refresh");
+  Registry reg;
+  update_runtime_metrics(reg);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  update_runtime_metrics(reg);  // plain gauges are re-set on every update
+  const std::string text = render_text(reg);
+  EXPECT_NE(text.find("lms_runtime_queue_depth{queue=\"obs.test.refresh\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("lms_runtime_queue_high_watermark{queue=\"obs.test.refresh\"} 2"),
+            std::string::npos);
 }
 
 }  // namespace

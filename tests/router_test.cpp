@@ -457,5 +457,33 @@ TEST_F(RouterTest, PullProxyCountsFailures) {
   EXPECT_EQ(proxy.pull_failures(), 1u);
 }
 
+TEST_F(RouterTest, DebugRuntimeEndpointRanksContention) {
+  auto resp = client_.get("inproc://router/debug/runtime");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->headers.get_or("Content-Type", ""), "application/json");
+  auto body = json::parse(resp->body);
+  ASSERT_TRUE(body.ok()) << resp->body;
+  EXPECT_TRUE((*body)["build"].is_object());
+  EXPECT_TRUE((*body)["lock_stats"].is_object());
+  EXPECT_TRUE((*body)["lock_stats"]["sites"].is_array());
+  EXPECT_TRUE((*body)["queues"].is_array());
+  EXPECT_TRUE((*body)["loops"].is_array());
+  // The contention table is only populated when the process was built with
+  // -DLMS_LOCK_STATS=ON; the endpoint itself works either way.
+  EXPECT_EQ((*body)["lock_stats"]["compiled"].as_bool(),
+            core::sync::kLockStatsEnabled);
+}
+
+TEST_F(RouterTest, HealthReportsBuildInfo) {
+  auto resp = client_.get("inproc://router/health");
+  ASSERT_TRUE(resp.ok());
+  auto body = json::parse(resp->body);
+  ASSERT_TRUE(body.ok()) << resp->body;
+  EXPECT_TRUE((*body)["build"].is_object());
+  EXPECT_TRUE((*body)["build"]["type"].is_string());
+  EXPECT_TRUE((*body)["build"]["compiler"].is_string());
+}
+
 }  // namespace
 }  // namespace lms::core

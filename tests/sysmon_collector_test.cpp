@@ -7,6 +7,7 @@
 #include "lms/lineproto/codec.hpp"
 #include "lms/collector/plugins.hpp"
 #include "lms/net/transport.hpp"
+#include "lms/obs/metrics.hpp"
 #include "lms/sysmon/kernel.hpp"
 
 namespace lms::collector {
@@ -284,6 +285,30 @@ TEST(Agent, StatsTrackCollectedAndSent) {
   EXPECT_EQ(agent.stats().points_collected, 20u);
   EXPECT_EQ(agent.stats().points_sent, 20u);
   EXPECT_EQ(router.points.load(), 20);
+}
+
+TEST(Agent, ServesMetricsAndRuntimeDebugEndpoints) {
+  FakeRouter router;
+  net::InprocHttpClient client(router.net);
+  obs::Registry registry;
+  HostAgent::Options options = agent_options();
+  options.registry = &registry;
+  HostAgent agent(client, options);
+  agent.add_plugin(std::make_unique<FakePlugin>("a"), kSec);
+  agent.tick(kSec);
+
+  auto metrics = agent.handler()(net::HttpRequest::get("/metrics"));
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.headers.get_or("Content-Type", ""), obs::kTextExpositionContentType);
+  EXPECT_NE(metrics.body.find("collector_points_collected"), std::string::npos);
+  // The runtime gauges are folded in on scrape.
+  EXPECT_NE(metrics.body.find("lms_lock_stats_enabled"), std::string::npos);
+
+  auto dbg = agent.handler()(net::HttpRequest::get("/debug/runtime"));
+  EXPECT_EQ(dbg.status, 200);
+  EXPECT_EQ(dbg.headers.get_or("Content-Type", ""), "application/json");
+  EXPECT_NE(dbg.body.find("\"lock_stats\""), std::string::npos);
+  EXPECT_NE(dbg.body.find("\"queues\""), std::string::npos);
 }
 
 }  // namespace

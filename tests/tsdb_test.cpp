@@ -1048,5 +1048,26 @@ TEST(TraceAssembly, EmptyTraceAndMissingSnapshot) {
   EXPECT_NE(trace_tree_to_waterfall(empty).find("0 spans"), std::string::npos);
 }
 
+TEST(HttpApiTest, DebugRuntimeEndpointServesContentionReport) {
+  Storage storage;
+  util::SimClock clock(1000 * kSec);
+  HttpApi api(storage, clock);
+  net::InprocNetwork net;
+  net.bind("db", api.handler());
+  net::InprocHttpClient client(net);
+
+  auto resp = client.get("inproc://db/debug/runtime");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->headers.get_or("Content-Type", ""), "application/json");
+  auto body = json::parse(resp->body);
+  ASSERT_TRUE(body.ok()) << resp->body;
+  EXPECT_TRUE((*body)["lock_stats"].is_object());
+  EXPECT_TRUE((*body)["lock_stats"]["sites"].is_array());
+  EXPECT_TRUE((*body)["queues"].is_array());
+  EXPECT_TRUE((*body)["loops"].is_array());
+  EXPECT_EQ((*body)["lock_stats"]["compiled"].as_bool(), core::sync::kLockStatsEnabled);
+}
+
 }  // namespace
 }  // namespace lms::tsdb
