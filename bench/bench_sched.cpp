@@ -1,0 +1,233 @@
+// Prices the core::TaskScheduler runtime that carries every background
+// loop of the stack (ISSUE: router flusher, CQ runner, retention, alerts,
+// trace export, self-scrape, collector ticks) plus the TSDB staged-write
+// offload:
+//
+//   1. fan-out   — a burst of no-op tasks submitted from one producer
+//                  thread, drained by the worker pool (the steal path);
+//   2. pinned    — the same burst spread over affinity keys, exercising the
+//                  per-key FIFO lanes the storage drain tasks ride;
+//   3. delayed   — a batch of sub-millisecond timers through the shared
+//                  min-heap;
+//   4. periodic  — manual-mode cadence: a fixed-delay task stepped across a
+//                  simulated hour must fire exactly once per interval;
+//   5. ingest    — the bench_tsdb_ingest 8-writer mix with the scheduler
+//                  attached to the storage (Database::set_scheduler), i.e.
+//                  the scheduler path of ROADMAP item 2. In a build with
+//                  -DLMS_LOCK_STATS=ON the run also records the tsdb.shard
+//                  wait ranking (see BENCH_lock_stats.json for the
+//                  direct-vs-offload comparison).
+//
+// Results land in BENCH_sched.json. LMS_BENCH_SMOKE=1 shrinks the budgets
+// and suppresses the baseline write.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "lms/core/sync.hpp"
+#include "lms/core/taskscheduler.hpp"
+#include "lms/json/json.hpp"
+#include "lms/tsdb/storage.hpp"
+#include "lms/util/clock.hpp"
+
+namespace {
+
+using namespace lms;
+namespace lockstats = core::sync::lockstats;
+
+constexpr util::TimeNs kSec = util::kNanosPerSecond;
+constexpr util::TimeNs kT0 = 1'500'000'000LL * kSec;
+
+const int kFanoutTasks = bench::scaled(200'000, 2'000);
+const int kPinnedKeys = 16;  // one per storage stripe, the affinity use case
+const int kPinnedTasks = bench::scaled(200'000, 2'000);
+const int kDelayedTasks = bench::scaled(20'000, 200);
+const int kManualSteps = bench::scaled(3'600, 60);  // one simulated hour
+const int kIngestPointsPerWriter = bench::scaled(20'000, 500);
+constexpr int kIngestWriters = 8;
+constexpr int kIngestBatch = 100;
+constexpr int kIngestHosts = 64;
+
+/// Spin until the counter reaches `want` (worker completion barrier).
+void await(const std::atomic<int>& counter, int want) {
+  while (counter.load(std::memory_order_acquire) < want) {
+    std::this_thread::yield();
+  }
+}
+
+double fanout_rate(core::TaskScheduler& sched) {
+  std::atomic<int> done{0};
+  const util::TimeNs start = util::monotonic_now_ns();
+  for (int i = 0; i < kFanoutTasks; ++i) {
+    sched.submit([&done] { done.fetch_add(1, std::memory_order_acq_rel); });
+  }
+  await(done, kFanoutTasks);
+  const double wall_ns = static_cast<double>(util::monotonic_now_ns() - start);
+  return kFanoutTasks / (wall_ns / 1e9);
+}
+
+double pinned_rate(core::TaskScheduler& sched) {
+  std::atomic<int> done{0};
+  const util::TimeNs start = util::monotonic_now_ns();
+  for (int i = 0; i < kPinnedTasks; ++i) {
+    sched.submit([&done] { done.fetch_add(1, std::memory_order_acq_rel); },
+                 static_cast<std::uint64_t>(i % kPinnedKeys));
+  }
+  await(done, kPinnedTasks);
+  const double wall_ns = static_cast<double>(util::monotonic_now_ns() - start);
+  return kPinnedTasks / (wall_ns / 1e9);
+}
+
+double delayed_drain_ms(core::TaskScheduler& sched) {
+  std::atomic<int> done{0};
+  const util::TimeNs start = util::monotonic_now_ns();
+  for (int i = 0; i < kDelayedTasks; ++i) {
+    // Staggered sub-ms due times: the heap stays populated while draining.
+    sched.submit_after(static_cast<util::TimeNs>(i % 97) * 10'000,
+                       [&done] { done.fetch_add(1, std::memory_order_acq_rel); });
+  }
+  await(done, kDelayedTasks);
+  return static_cast<double>(util::monotonic_now_ns() - start) / 1e6;
+}
+
+/// Manual-mode cadence: stepping one simulated hour in 1 s steps must run a
+/// 1 s fixed-delay periodic exactly once per step. Returns the run count.
+std::uint64_t manual_periodic_runs() {
+  core::TaskScheduler::Options opts;
+  opts.manual = true;
+  opts.workers = 1;
+  opts.name = "bench.sched.manual";
+  core::TaskScheduler sched(opts);
+  std::atomic<std::uint64_t> runs{0};
+  auto task = sched.submit_periodic("bench.periodic", kSec, [&runs] { ++runs; });
+  for (int i = 1; i <= kManualSteps; ++i) {
+    (void)sched.advance_to(static_cast<util::TimeNs>(i) * kSec);
+  }
+  task.cancel();
+  sched.stop();
+  return runs.load();
+}
+
+/// The bench_tsdb_ingest multi-writer mix on the scheduler path: contended
+/// stripe writes stage and pinned per-stripe tasks drain them.
+double ingest_offload_rate(core::TaskScheduler& sched) {
+  tsdb::Storage storage(tsdb::Database::kDefaultShards);
+  storage.database("lms");
+  storage.set_scheduler(&sched);
+
+  const util::TimeNs start = util::monotonic_now_ns();
+  std::vector<std::thread> writers;
+  writers.reserve(kIngestWriters);
+  for (int w = 0; w < kIngestWriters; ++w) {
+    writers.emplace_back([&storage, w] {
+      std::vector<lineproto::Point> batch;
+      batch.reserve(kIngestBatch);
+      int written = 0;
+      while (written < kIngestPointsPerWriter) {
+        batch.clear();
+        for (int i = 0; i < kIngestBatch && written < kIngestPointsPerWriter;
+             ++i, ++written) {
+          lineproto::Point p;
+          p.measurement = "cpu";
+          p.set_tag("hostname",
+                    "w" + std::to_string(w) + "h" + std::to_string(written % kIngestHosts));
+          p.add_field("v", static_cast<double>(written));
+          p.timestamp = kT0 + static_cast<util::TimeNs>(written) * kSec;
+          p.normalize();
+          batch.push_back(std::move(p));
+        }
+        storage.write("lms", batch, kT0);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  const double wall_ns = static_cast<double>(util::monotonic_now_ns() - start);
+  // Quiesce queued drain tasks before the storage goes out of scope.
+  storage.set_scheduler(nullptr);
+  return double(kIngestWriters) * kIngestPointsPerWriter / (wall_ns / 1e9);
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  core::TaskScheduler sched;  // worker count from LMS_SCHED_WORKERS / hw
+  std::printf("=== bench_sched: %zu workers, %u hardware threads ===\n\n",
+              sched.worker_count(), hw);
+
+  const double fanout = fanout_rate(sched);
+  const double pinned = pinned_rate(sched);
+  const double delayed_ms = delayed_drain_ms(sched);
+  const core::runtime::SchedStats& stats = sched.stats();
+  const std::uint64_t stolen = stats.stolen.load();
+  const std::uint64_t steal_attempts = stats.steal_attempts.load();
+  std::printf("fan-out:  %10.2f Ktasks/s  (stolen %llu / attempts %llu)\n", fanout / 1e3,
+              static_cast<unsigned long long>(stolen),
+              static_cast<unsigned long long>(steal_attempts));
+  std::printf("pinned:   %10.2f Ktasks/s  (%d keys)\n", pinned / 1e3, kPinnedKeys);
+  std::printf("delayed:  %d timers drained in %.2f ms\n", kDelayedTasks, delayed_ms);
+
+  const std::uint64_t periodic_runs = manual_periodic_runs();
+  std::printf("periodic: %llu runs over %d manual 1 s steps (want %d)\n",
+              static_cast<unsigned long long>(periodic_runs), kManualSteps, kManualSteps);
+
+  if (core::sync::kLockStatsEnabled) {
+    lockstats::set_enabled(true);
+    lockstats::reset();
+  }
+  const double ingest = ingest_offload_rate(sched);
+  std::printf("ingest:   %10.2f Mpts/s on the scheduler offload path (%d writers)\n",
+              ingest / 1e6, kIngestWriters);
+
+  json::Object top;
+  top["bench"] = "bench_sched";
+  top["hardware_threads"] = static_cast<std::int64_t>(hw);
+  top["workers"] = static_cast<std::int64_t>(sched.worker_count());
+  top["fanout_tasks"] = kFanoutTasks;
+  top["fanout_tasks_per_sec"] = fanout;
+  top["stolen"] = static_cast<std::int64_t>(stolen);
+  top["steal_attempts"] = static_cast<std::int64_t>(steal_attempts);
+  top["pinned_keys"] = kPinnedKeys;
+  top["pinned_tasks"] = kPinnedTasks;
+  top["pinned_tasks_per_sec"] = pinned;
+  top["delayed_tasks"] = kDelayedTasks;
+  top["delayed_drain_ms"] = delayed_ms;
+  top["manual_steps"] = kManualSteps;
+  top["periodic_runs"] = static_cast<std::int64_t>(periodic_runs);
+  top["ingest_writers"] = kIngestWriters;
+  top["ingest_points_per_writer"] = kIngestPointsPerWriter;
+  top["ingest_points_per_sec_offload"] = ingest;
+  top["lock_stats_compiled"] = core::sync::kLockStatsEnabled;
+  if (core::sync::kLockStatsEnabled) {
+    // The tsdb.shard wait picture of the offload run — what /debug/runtime
+    // would rank for this workload on the scheduler path.
+    json::Array sites;
+    for (const auto& s : lockstats::snapshot()) {
+      if (s.acquisitions == 0 || sites.size() >= 8) continue;
+      json::Object o;
+      o["lock"] = std::string(s.name);
+      o["rank"] = s.rank;
+      o["acquisitions"] = static_cast<std::int64_t>(s.acquisitions);
+      o["contended"] = static_cast<std::int64_t>(s.contended);
+      o["wait_ns_total"] = static_cast<std::int64_t>(s.wait_ns_total);
+      sites.emplace_back(std::move(o));
+    }
+    top["ingest_ranking"] = std::move(sites);
+  }
+
+  sched.stop();
+  const bool fired_right = periodic_runs == static_cast<std::uint64_t>(kManualSteps);
+  if (!fired_right) {
+    std::printf("FAIL: periodic ran %llu times, want %d\n",
+                static_cast<unsigned long long>(periodic_runs), kManualSteps);
+  }
+  const bool wrote =
+      bench::write_baseline("BENCH_sched.json", json::Value(std::move(top)).dump_pretty());
+  return wrote && fired_right ? 0 : 1;
+}

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # The whole local gate in one command, in the order a CI pipeline runs it:
 #
-#   1. tier-1: default configure + build + full ctest suite
+#   1. tier-1: default configure + build + full ctest suite, then the same
+#      suite again with LMS_SCHED_WORKERS=1 — every TaskScheduler that
+#      sizes itself from the environment collapses to one worker, so the
+#      work-stealing runtime must also be correct fully serialized
 #   2. tier-1 again with -DLMS_LOCK_STATS=ON: the contention-instrumented
 #      wrapper layout (lms::core::sync lockstats) must pass the same suite,
 #      and the instrumented bench_lock_stats must run (smoke budget)
@@ -23,6 +26,8 @@ echo "=== ci/all 1/4: tier-1 build + tests ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+echo "=== ci/all 1/4 (bis): tier-1 tests with LMS_SCHED_WORKERS=1 ==="
+LMS_SCHED_WORKERS=1 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 echo "=== ci/all 2/4: tier-1 with -DLMS_LOCK_STATS=ON ==="
 cmake -B build-lockstats -S . -DLMS_LOCK_STATS=ON >/dev/null

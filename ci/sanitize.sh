@@ -6,9 +6,11 @@
 # producers-vs-exporter-vs-sampling test), net (TCP transport, pub/sub HWM),
 # alert (evaluator vs. gauge callbacks), tsdb (sharded storage under
 # concurrent writers/queries/retention, trace assembly), router (async
-# ingest flusher thread, trace context hand-off to the flusher), profiling
+# ingest flusher task, trace context hand-off to the flusher), profiling
 # (concurrent region markers against the per-thread stacks and shared
-# aggregates of the marker SDK).
+# aggregates of the marker SDK), core_sched (the TaskScheduler runtime:
+# work stealing, pinned affinity lanes, timer heap, periodic fixed-delay
+# re-arm, shutdown drain, and the TSDB staged-write offload).
 #
 # The thread mode additionally forces -DLMS_RANK_CHECKS=ON and
 # -DLMS_LOCK_STATS=ON so the lock-rank deadlock detector and the contention
@@ -26,7 +28,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SUITES=(obs_test net_test alert_test tsdb_test router_test profiling_test
-        core_sync_lockstats_test)
+        core_sched_test core_sync_lockstats_test)
 MODE="${1:-all}"
 
 run_mode() {

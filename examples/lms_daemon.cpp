@@ -15,6 +15,7 @@
 
 #include "lms/alert/evaluator.hpp"
 #include "lms/core/router.hpp"
+#include "lms/core/taskscheduler.hpp"
 #include "lms/net/tcp_http.hpp"
 #include "lms/obs/metrics.hpp"
 #include "lms/obs/selfscrape.hpp"
@@ -175,14 +176,17 @@ int main(int argc, char** argv) {
       },
       te_opts);
 
-  // Alert evaluator against the same storage, driven from wall time in the
-  // serve loop below: deadman watch over every host that ever wrote, plus a
-  // self-metrics rule; transitions land in lms_alerts and the log.
+  // Alert evaluator against the same storage, run as a periodic scheduler
+  // task while serving: deadman watch over every host that ever wrote, plus
+  // a self-metrics rule; transitions land in lms_alerts and the log.
   alert::Evaluator::Options alert_opts;
   alert_opts.database = db_opts.default_db;
   alert_opts.deadman_window =
       config->get_int_or("alerting", "deadman_seconds", 30) * util::kNanosPerSecond;
   alert_opts.registry = &registry;
+  alert_opts.eval_interval =
+      config->get_int_or("alerting", "interval_seconds", 5) * util::kNanosPerSecond;
+  alert_opts.clock = &clock;
   alert::Evaluator alerts(storage, alert_opts);
   alerts.add_sink(std::make_unique<alert::LogSink>());
   {
@@ -217,8 +221,7 @@ int main(int argc, char** argv) {
     ingest_rule.for_duration = 30 * util::kNanosPerSecond;
     alerts.add(ingest_rule);
   }
-  const util::TimeNs alert_interval =
-      config->get_int_or("alerting", "interval_seconds", 5) * util::kNanosPerSecond;
+  const util::TimeNs alert_interval = alert_opts.eval_interval;
 
   std::printf("== LMS daemon ==\n");
   std::printf("database (InfluxDB-compatible): %s\n", db_server.url().c_str());
@@ -242,22 +245,26 @@ int main(int argc, char** argv) {
               router_server.url().c_str());
 
   if (serve) {
-    self_scrape.start();
-    trace_exporter.start();
-    std::printf("serving for %d seconds (self-scrape every %lld s, alert eval every %lld s, "
-                "deadman %lld s)...\n",
-                serve_seconds,
+    // One shared work-stealing runtime drives every background loop of the
+    // daemon: self-scrape, trace export and alert evaluation all become
+    // periodic tasks (visible under GET /debug/runtime on either port).
+    core::TaskScheduler::Options sched_opts;
+    sched_opts.name = "daemon.sched";
+    core::TaskScheduler sched(sched_opts);
+    self_scrape.attach(sched);
+    trace_exporter.attach(sched);
+    alerts.attach(sched);
+    std::printf("serving for %d seconds (%zu scheduler workers, self-scrape every %lld s, "
+                "alert eval every %lld s, deadman %lld s)...\n",
+                serve_seconds, sched.worker_count(),
                 static_cast<long long>(ss_opts.interval / util::kNanosPerSecond),
                 static_cast<long long>(alert_interval / util::kNanosPerSecond),
                 static_cast<long long>(alert_opts.deadman_window / util::kNanosPerSecond));
-    const auto deadline =
-        std::chrono::steady_clock::now() + std::chrono::seconds(serve_seconds);
-    while (std::chrono::steady_clock::now() < deadline) {
-      std::this_thread::sleep_for(std::chrono::nanoseconds(alert_interval));
-      alerts.run(clock.now());
-    }
-    trace_exporter.stop();
-    self_scrape.stop();
+    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+    alerts.detach();
+    trace_exporter.detach();
+    self_scrape.detach();
+    sched.stop();
     std::printf("alerting: %llu evaluations, %llu transitions, %zu firing at shutdown\n",
                 static_cast<unsigned long long>(alerts.evaluations()),
                 static_cast<unsigned long long>(alerts.transitions()),

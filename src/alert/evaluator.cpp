@@ -130,6 +130,7 @@ Evaluator::Evaluator(tsdb::Storage& storage, Options options)
 }
 
 Evaluator::~Evaluator() {
+  detach();
   if (options_.registry != nullptr) {
     options_.registry->remove_gauge_fn("alert_firing");
     options_.registry->remove_gauge_fn("alert_rules");
@@ -137,6 +138,17 @@ Evaluator::~Evaluator() {
 }
 
 void Evaluator::add(AlertRule rule) { rules_.push_back(std::move(rule)); }
+
+void Evaluator::on_attach(core::TaskScheduler& sched) {
+  const util::TimeNs interval =
+      options_.eval_interval > 0 ? options_.eval_interval : util::kNanosPerSecond;
+  const util::Clock* clock =
+      options_.clock != nullptr ? options_.clock : &util::WallClock::instance();
+  task_ = sched.submit_periodic("alert.evaluator", interval,
+                                [this, clock] { run(clock->now()); });
+}
+
+void Evaluator::on_detach() { task_.cancel(); }
 
 NotifierSink& Evaluator::add_sink(std::unique_ptr<NotifierSink> sink) {
   sinks_.push_back(std::move(sink));
@@ -355,7 +367,6 @@ void Evaluator::evaluate_deadman(util::TimeNs now, std::vector<AlertEvent>& even
 
 std::size_t Evaluator::run(util::TimeNs now) {
   obs::Span span("alert.evaluate", "alert");
-  const core::runtime::BusyScope busy(loop_stats_);
   const util::TimeNs t0 = util::monotonic_now_ns();
   std::vector<AlertEvent> events;
   {

@@ -14,6 +14,13 @@ namespace lms::cluster {
 ClusterHarness::ClusterHarness(Options options)
     : options_(std::move(options)),
       clock_(options_.start_time),
+      sched_([] {
+        core::TaskScheduler::Options o;
+        o.manual = true;  // step_once() advances it along the sim clock
+        o.workers = 1;
+        o.name = "harness.sched";
+        return o;
+      }()),
       groups_(*options_.arch),
       rng_(options_.seed) {
   client_ = std::make_unique<net::InprocHttpClient>(network_);
@@ -35,6 +42,7 @@ ClusterHarness::ClusterHarness(Options options)
   router_opts.database = options_.database;
   router_opts.duplicate_per_user = options_.duplicate_per_user;
   router_opts.async_ingest = options_.async_ingest;
+  router_opts.scheduler = &sched_;  // flusher task rides the manual scheduler
   router_opts.registry = &registry_;
   router_ = std::make_unique<core::MetricsRouter>(*client_, clock_, router_opts, &broker_);
   network_.bind(kRouterEndpoint, router_->handler());
@@ -85,7 +93,10 @@ ClusterHarness::ClusterHarness(Options options)
   // Optional downsampling rollups (continuous queries) for the data-volume
   // story: raw expires with `retention`, rollups persist.
   if (options_.enable_rollups) {
-    cq_runner_ = std::make_unique<tsdb::CqRunner>(storage_, options_.database);
+    tsdb::CqRunner::Options cq_opts;
+    cq_opts.run_interval = util::kNanosPerMinute;  // the old maintenance cadence
+    cq_opts.clock = &clock_;
+    cq_runner_ = std::make_unique<tsdb::CqRunner>(storage_, options_.database, cq_opts);
     tsdb::ContinuousQuery cpu_cq;
     cpu_cq.name = "cpu_rollup";
     cpu_cq.source_measurement = "cpu";
@@ -194,12 +205,33 @@ ClusterHarness::ClusterHarness(Options options)
     // keep flowing while an agent is down and must not mask its silence.
     alert_opts.deadman_measurement = "cpu";
     alert_opts.registry = &registry_;
+    alert_opts.eval_interval = options_.alert_interval;
+    alert_opts.clock = &clock_;
     alert_evaluator_ = std::make_unique<alert::Evaluator>(storage_, alert_opts);
     for (const auto& name : node_names_) {
       alert_evaluator_->register_host(name);
     }
     alert_evaluator_->add_sink(std::make_unique<alert::LogSink>());
     alert_evaluator_->add_sink(std::make_unique<alert::PubSubSink>(broker_));
+  }
+
+  // Periodic work attaches to the manual scheduler in the order the old
+  // per-step cadence checks ran: self-scrape, alert evaluation, then
+  // maintenance (continuous queries + retention). The router's ingest
+  // flusher attached first, in the router's constructor.
+  if (self_scrape_ != nullptr) self_scrape_->attach(sched_);
+  if (alert_evaluator_ != nullptr) alert_evaluator_->attach(sched_);
+  if (cq_runner_ != nullptr) cq_runner_->attach(sched_);
+  if (options_.retention > 0) {
+    retention_task_ =
+        sched_.submit_periodic("harness.retention", util::kNanosPerMinute, [this] {
+          // Raw data expires; rollups and job-level aggregates persist.
+          storage_.drop_before_if(clock_.now() - options_.retention,
+                                  [](const std::string& m) {
+                                    return !util::ends_with(m, "_rollup") &&
+                                           !util::ends_with(m, "_job");
+                                  });
+        });
   }
 
   idle_activity_.hpm = hpm::idle_load(*options_.arch);
@@ -461,30 +493,12 @@ void ClusterHarness::step_once() {
   }
   if (aggregator_ != nullptr) aggregator_->pump(now);
 
-  // Self-scrape on its own (sim-clock) cadence.
-  if (self_scrape_ != nullptr &&
-      now - last_self_scrape_ >= options_.self_scrape_interval) {
-    last_self_scrape_ = now;
-    (void)self_scrape_->scrape_once();
-  }
-
-  // Alert evaluation on its own (sim-clock) cadence.
-  if (alert_evaluator_ != nullptr && now - last_alert_eval_ >= options_.alert_interval) {
-    last_alert_eval_ = now;
-    alert_evaluator_->run(now);
-  }
-
-  // Periodic maintenance: continuous queries and retention, once a minute.
-  if (now - last_maintenance_ >= util::kNanosPerMinute) {
-    last_maintenance_ = now;
-    if (cq_runner_ != nullptr) cq_runner_->run(now);
-    if (options_.retention > 0) {
-      // Raw data expires; rollups and job-level aggregates persist.
-      storage_.drop_before_if(now - options_.retention, [](const std::string& m) {
-        return !util::ends_with(m, "_rollup") && !util::ends_with(m, "_job");
-      });
-    }
-  }
+  // Self-scrape, alert evaluation, continuous queries and retention fire on
+  // their own sim-clock cadences as periodic tasks on the manual scheduler;
+  // one advance runs everything due this step. (The router's flusher task
+  // also fires here — a no-op, since the explicit flush above already
+  // landed this step's writes.)
+  (void)sched_.advance_to(now);
 }
 
 void ClusterHarness::run_for(util::TimeNs duration) {

@@ -33,6 +33,7 @@ HostAgent::HostAgent(net::HttpClient& client, Options options)
 }
 
 HostAgent::~HostAgent() {
+  detach();
   core::runtime::unregister_queue(&buffer_stats_);
   if (options_.registry != nullptr) {
     options_.registry->remove_gauge_fn("collector_pending_points",
@@ -42,6 +43,23 @@ HostAgent::~HostAgent() {
 
 void HostAgent::add_plugin(std::unique_ptr<CollectorPlugin> plugin, util::TimeNs interval) {
   plugins_.push_back(ScheduledPlugin{std::move(plugin), interval, 0});
+}
+
+void HostAgent::on_attach(core::TaskScheduler& sched) {
+  const util::TimeNs interval =
+      options_.tick_interval > 0 ? options_.tick_interval : util::kNanosPerSecond;
+  const util::Clock* clock =
+      options_.clock != nullptr ? options_.clock : &util::WallClock::instance();
+  tick_task_ = sched.submit_periodic("collector.agent", interval,
+                                     [this, clock] { tick(clock->now()); });
+}
+
+void HostAgent::on_detach() {
+  tick_task_.cancel();
+  // Final flush so points collected just before shutdown still ship.
+  const util::Clock* clock =
+      options_.clock != nullptr ? options_.clock : &util::WallClock::instance();
+  flush(clock->now());
 }
 
 std::size_t HostAgent::tick(util::TimeNs now) {

@@ -56,19 +56,19 @@ MetricsRouter::MetricsRouter(net::HttpClient& db_client, const util::Clock& cloc
     ingest_queue_stats_.name = "core.router.ingest";
     ingest_queue_stats_.capacity = options_.ingest_queue_capacity;
     core::runtime::register_queue(&ingest_queue_stats_);
-    flusher_ = std::thread([this] { flusher_loop(); });
+    if (options_.scheduler == nullptr) {
+      TaskScheduler::Options sched_opts;
+      sched_opts.workers = 1;
+      sched_opts.name = "core.router.sched";
+      own_sched_ = std::make_unique<TaskScheduler>(sched_opts);
+    }
+    attach(options_.scheduler != nullptr ? *options_.scheduler : *own_sched_);
   }
 }
 
 MetricsRouter::~MetricsRouter() {
-  if (flusher_.joinable()) {
-    {
-      const core::sync::LockGuard lock(ingest_mu_);
-      ingest_stop_ = true;
-    }
-    ingest_cv_.notify_all();
-    flusher_.join();
-    flush_ingest();  // best-effort final drain
+  detach();
+  if (options_.async_ingest) {
     core::runtime::unregister_queue(&ingest_queue_stats_);
   }
   // The registry may outlive this router (shared/global registries); drop
@@ -77,6 +77,17 @@ MetricsRouter::~MetricsRouter() {
   registry_->remove_gauge_fn("router_jobs_running");
   registry_->remove_gauge_fn("router_tagged_hosts");
   registry_->remove_gauge_fn("router_ingest_queue_points");
+}
+
+void MetricsRouter::on_attach(TaskScheduler& sched) {
+  if (!options_.async_ingest) return;
+  flusher_task_ = sched.submit_periodic("router.flusher", options_.ingest_flush_interval,
+                                        [this] { flush_ingest(); });
+}
+
+void MetricsRouter::on_detach() {
+  flusher_task_.cancel();
+  if (options_.async_ingest) flush_ingest();  // best-effort final drain
 }
 
 net::HttpHandler MetricsRouter::handler() {
@@ -284,7 +295,7 @@ util::Result<std::size_t> MetricsRouter::enqueue_ingest(const tsdb::WriteBatch& 
     ingest_queue_stats_.on_push(ingest_points_);
     wake = ingest_points_ >= options_.ingest_max_batch;
   }
-  if (wake) ingest_cv_.notify_one();
+  if (wake) flusher_task_.trigger();
   return batch.points.size();
 }
 
@@ -358,33 +369,6 @@ std::size_t MetricsRouter::flush_ingest() {
       forward_ingest(std::move(b));
     }
     ingest_flush_ns_.record_since(t0);
-  }
-}
-
-void MetricsRouter::flusher_loop() {
-  core::sync::UniqueLock lock(ingest_mu_);
-  while (!ingest_stop_) {
-    // Sleep until the interval elapses, a batch-size wake arrives, or stop.
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::nanoseconds(options_.ingest_flush_interval);
-    while (!ingest_stop_ && ingest_points_ < options_.ingest_max_batch) {
-      const auto now = std::chrono::steady_clock::now();
-      if (now >= deadline) break;
-      ingest_cv_.wait_for(lock, deadline - now);
-    }
-    if (ingest_stop_) return;
-    flusher_loop_stats_.begin_busy();
-    auto batches = take_ingest_locked(options_.ingest_max_batch);
-    if (batches.empty()) {
-      flusher_loop_stats_.end_busy();
-      continue;
-    }
-    lock.unlock();
-    const util::TimeNs t0 = util::monotonic_now_ns();
-    for (auto& b : batches) forward_ingest(std::move(b));
-    ingest_flush_ns_.record_since(t0);
-    flusher_loop_stats_.end_busy();
-    lock.lock();
   }
 }
 
@@ -585,6 +569,13 @@ net::ComponentHealth MetricsRouter::health(bool readiness) {
                     : "db back-end unreachable at " + options_.db_url + ": " +
                           (resp.ok() ? "HTTP " + std::to_string(resp->status)
                                      : resp.message()));
+    // Attachment state feeds readiness: a router whose flusher task was
+    // detached stopped forwarding; one that never attached (sync ingest)
+    // reports no scheduler check at all.
+    if (ever_attached()) {
+      h.add("scheduler", attached() ? net::HealthStatus::kOk : net::HealthStatus::kDegraded,
+            attached() ? "flusher task attached" : "detached: background flush stopped");
+    }
   }
   return h;
 }

@@ -2,8 +2,11 @@
 
 // Alert evaluator — scheduled like tsdb::CqRunner, against the same storage.
 //
-// The owner calls run(now) on its own cadence (the cluster harness drives it
-// from the sim clock, lms_daemon from wall time). Each run evaluates every
+// The owner calls run(now) on its own cadence, or attaches the evaluator to
+// a core::TaskScheduler so a periodic "alert.evaluator" task calls run()
+// every Options::eval_interval against Options::clock (the cluster harness
+// attaches to a manual-mode scheduler on the sim clock, lms_daemon to the
+// threaded scheduler on wall time). Each run evaluates every
 // rule over its lookback window, advances the per-instance state machines,
 // and emits every transition twice:
 //   - as a point in the alerts measurement ("lms_alerts"), so alert history
@@ -25,8 +28,9 @@
 #include <vector>
 
 #include "lms/alert/rule.hpp"
-#include "lms/core/runtime.hpp"
+#include "lms/core/runnable.hpp"
 #include "lms/core/sync.hpp"
+#include "lms/core/taskscheduler.hpp"
 #include "lms/net/pubsub.hpp"
 #include "lms/net/transport.hpp"
 #include "lms/obs/metrics.hpp"
@@ -75,7 +79,7 @@ class PubSubSink final : public NotifierSink {
   std::string topic_;
 };
 
-class Evaluator {
+class Evaluator : public core::Runnable {
  public:
   /// Rule name used for the implicit per-host absence watch.
   static constexpr std::string_view kDeadmanRule = "deadman";
@@ -97,6 +101,10 @@ class Evaluator {
     /// Registry for the alert_* instruments (evaluations/transitions
     /// counters, firing gauge, evaluation latency). nullptr = none.
     obs::Registry* registry = nullptr;
+    /// Cadence of the periodic evaluation task once attached.
+    util::TimeNs eval_interval = 5 * util::kNanosPerSecond;
+    /// Clock the periodic task evaluates against. nullptr = wall clock.
+    const util::Clock* clock = nullptr;
   };
 
   Evaluator(tsdb::Storage& storage, Options options);
@@ -124,6 +132,10 @@ class Evaluator {
 
   std::uint64_t evaluations() const { return evaluations_; }
   std::uint64_t transitions() const { return transitions_; }
+
+ protected:
+  void on_attach(core::TaskScheduler& sched) override;
+  void on_detach() override;
 
  private:
   std::string build_query(const AlertRule& rule, util::TimeNs now) const;
@@ -159,7 +171,9 @@ class Evaluator {
   obs::Counter* evaluations_c_ = nullptr;
   obs::Counter* transitions_c_ = nullptr;
   obs::Histogram* eval_ns_ = nullptr;
-  core::runtime::LoopStats loop_stats_{"alert.evaluator"};
+  /// Duty-cycle accounting lives on the periodic task's own LoopStats row
+  /// ("alert.evaluator" in /debug/runtime) once attached.
+  core::PeriodicTaskHandle task_;
 };
 
 }  // namespace lms::alert

@@ -11,7 +11,11 @@
 //
 // Everything runs on a virtual clock over the in-process transport, so an
 // hour of cluster time simulates in well under a second and every test and
-// bench is deterministic.
+// bench is deterministic. All periodic background work (router ingest
+// flusher, self-scrape, alert evaluation, continuous queries, retention)
+// runs as periodic tasks on one manual-mode core::TaskScheduler that
+// step_once() advances along the sim clock — the same Runnable/
+// submit_periodic API the real deployment drives with worker threads.
 
 #include <map>
 #include <memory>
@@ -26,6 +30,7 @@
 #include "lms/cluster/workload.hpp"
 #include "lms/collector/agent.hpp"
 #include "lms/core/router.hpp"
+#include "lms/core/taskscheduler.hpp"
 #include "lms/dashboard/agent.hpp"
 #include "lms/hpm/monitor.hpp"
 #include "lms/obs/metrics.hpp"
@@ -138,6 +143,9 @@ class ClusterHarness {
   net::PubSubBroker& broker() { return broker_; }
   net::InprocNetwork& network() { return network_; }
   net::HttpClient& client() { return *client_; }
+  /// The manual-mode scheduler every periodic component is attached to;
+  /// step_once() advances it to the sim clock at the end of each step.
+  core::TaskScheduler& task_scheduler() { return sched_; }
   /// The stack-wide metrics registry every component reports into.
   obs::Registry& registry() { return registry_; }
   /// Present iff Options::enable_self_scrape.
@@ -216,6 +224,10 @@ class ClusterHarness {
   double prev_trace_sample_rate_ = 1.0;
   net::InprocNetwork network_;
   std::unique_ptr<net::InprocHttpClient> client_;
+  /// Manual-mode runtime for all periodic tasks. Declared before every
+  /// component that attaches to it, so components detach (cancelling their
+  /// tasks) before the scheduler is torn down.
+  core::TaskScheduler sched_;
 
   tsdb::Storage storage_;
   std::unique_ptr<tsdb::HttpApi> db_api_;
@@ -233,9 +245,9 @@ class ClusterHarness {
   std::unique_ptr<obs::SelfScrape> self_scrape_;
   std::unique_ptr<obs::TraceExporter> trace_exporter_;
   std::unique_ptr<alert::Evaluator> alert_evaluator_;
-  util::TimeNs last_maintenance_ = 0;
-  util::TimeNs last_self_scrape_ = 0;
-  util::TimeNs last_alert_eval_ = 0;
+  /// Raw-data expiry with the rollup/job-aggregate filter; runs once a
+  /// simulated minute (Options::retention > 0 only).
+  core::PeriodicTaskHandle retention_task_;
 
   hpm::GroupRegistry groups_;
   std::vector<std::string> node_names_;

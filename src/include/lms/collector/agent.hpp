@@ -7,9 +7,13 @@
 // router restart loses as little data as possible without unbounded memory
 // growth on the node.
 //
-// The agent is externally clocked: the owner calls tick(now) — a real
-// deployment loop drives it with wall time, the cluster simulator with
-// virtual time. This keeps every test deterministic.
+// The agent is externally clocked: the owner calls tick(now) — the cluster
+// simulator drives it with virtual time, which keeps every test
+// deterministic. A real deployment instead attaches the agent to a
+// core::TaskScheduler: a periodic "collector.agent" task then calls
+// tick(clock->now()) every Options::tick_interval. The agent's state is
+// intentionally unsynchronized, so drive it through exactly one of the two
+// modes at a time (the periodic task itself never overlaps its own runs).
 
 #include <cstdint>
 #include <deque>
@@ -18,9 +22,12 @@
 #include <vector>
 
 #include "lms/collector/plugin.hpp"
+#include "lms/core/runnable.hpp"
 #include "lms/core/runtime.hpp"
+#include "lms/core/taskscheduler.hpp"
 #include "lms/net/health.hpp"
 #include "lms/net/transport.hpp"
+#include "lms/util/clock.hpp"
 
 namespace lms::obs {
 class Registry;
@@ -29,7 +36,7 @@ class Counter;
 
 namespace lms::collector {
 
-class HostAgent {
+class HostAgent : public core::Runnable {
  public:
   struct Options {
     std::string router_url;      ///< e.g. "inproc://router" or "http://host:8086"
@@ -46,6 +53,10 @@ class HostAgent {
     /// (labelled {hostname}) plus a collector_pending_points gauge over the
     /// retry buffer. nullptr = no mirroring. Must outlive the agent.
     obs::Registry* registry = nullptr;
+    /// Cadence of the periodic "collector.agent" tick task once attached.
+    util::TimeNs tick_interval = util::kNanosPerSecond;
+    /// Clock the periodic task ticks against. nullptr = wall clock.
+    const util::Clock* clock = nullptr;
   };
 
   HostAgent(net::HttpClient& client, Options options);
@@ -81,6 +92,10 @@ class HostAgent {
   /// HTTP probe surface for the agent itself: GET /health and /ready.
   net::HttpHandler handler();
 
+ protected:
+  void on_attach(core::TaskScheduler& sched) override;
+  void on_detach() override;
+
  private:
   enum class SendOutcome { kSent, kRetryLater, kDropBatch };
   SendOutcome send_batch(const std::vector<lineproto::Point>& points);
@@ -110,6 +125,7 @@ class HostAgent {
   obs::Counter* batches_c_ = nullptr;
   obs::Counter* failures_c_ = nullptr;
   obs::Counter* dropped_c_ = nullptr;
+  core::PeriodicTaskHandle tick_task_;
 };
 
 }  // namespace lms::collector

@@ -45,9 +45,9 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "lms/core/runnable.hpp"
 #include "lms/core/runtime.hpp"
 #include "lms/core/sync.hpp"
 #include "lms/core/tagstore.hpp"
@@ -78,7 +78,7 @@ struct RunningJob {
   util::TimeNs start_time = 0;
 };
 
-class MetricsRouter {
+class MetricsRouter : public Runnable {
  public:
   struct Options {
     std::string db_url;              ///< back-end base URL, e.g. "inproc://tsdb"
@@ -94,11 +94,20 @@ class MetricsRouter {
     /// reported back to the producer, which keeps its own retry queue.
     std::size_t spool_capacity = 0;
     /// Batched async ingest: accepted writes are routed into bounded
-    /// per-destination queues and forwarded by a background flusher thread,
-    /// decoupling producer latency from back-end latency. Writes that would
-    /// overflow the queues are rejected with a "backpressure" error
-    /// (HTTP 429 + Retry-After on the wire) instead of blocking producers.
+    /// per-destination queues and forwarded by a periodic "router.flusher"
+    /// task on a TaskScheduler, decoupling producer latency from back-end
+    /// latency. Writes that would overflow the queues are rejected with a
+    /// "backpressure" error (HTTP 429 + Retry-After on the wire) instead of
+    /// blocking producers.
     bool async_ingest = false;
+    /// Scheduler the flusher task runs on (async_ingest only). nullptr =
+    /// the router owns a private single-worker TaskScheduler, so standalone
+    /// construction keeps its old semantics; pass the stack-wide scheduler
+    /// to fold the flusher into the shared runtime. Must outlive the
+    /// router. The router attaches itself in the constructor; callers using
+    /// a manual-mode scheduler drive the flusher with advance_to()/
+    /// flush_ingest() instead of wall time.
+    TaskScheduler* scheduler = nullptr;
     /// Total points buffered across all destination queues before new
     /// writes are rejected with backpressure.
     std::size_t ingest_queue_capacity = 8192;
@@ -190,6 +199,12 @@ class MetricsRouter {
   static constexpr std::string_view kTopicMetrics = "metrics";
   static constexpr std::string_view kTopicJobs = "jobs";
 
+ protected:
+  // Runnable contract: attaching declares the periodic flusher task (async
+  // ingest only); detaching cancels it and drains the queues one last time.
+  void on_attach(TaskScheduler& sched) override;
+  void on_detach() override;
+
  private:
   /// Result of one POST to the back-end: ok iff 2xx; http_status is 0 on a
   /// transport error; body carries the back-end's error payload so unknown-
@@ -217,7 +232,6 @@ class MetricsRouter {
   std::vector<IngestBatch> take_ingest_locked(std::size_t max_points)
       LMS_REQUIRES(ingest_mu_);
   void forward_ingest(IngestBatch batch);
-  void flusher_loop();
   void spool_points(const std::vector<lineproto::Point>& points);
   net::HttpResponse handle_write(const net::HttpRequest& req);
   net::HttpResponse handle_job_start(const net::HttpRequest& req);
@@ -241,18 +255,20 @@ class MetricsRouter {
 
   // Async ingest pipeline (Options::async_ingest).
   mutable core::sync::Mutex ingest_mu_{core::sync::Rank::kRouterIngest, "core.router.ingest"};
-  core::sync::CondVar ingest_cv_;
   /// Keyed by destination db.
   std::map<std::string, IngestBatch> ingest_q_ LMS_GUARDED_BY(ingest_mu_);
   /// Total points across ingest_q_.
   std::size_t ingest_points_ LMS_GUARDED_BY(ingest_mu_) = 0;
-  bool ingest_stop_ LMS_GUARDED_BY(ingest_mu_) = false;
   /// Depth/watermark/rejection stats for the ingest queues (aggregated over
   /// all destinations, in points); registered with core::runtime only while
   /// async ingest is enabled. Counters are atomics, bumped under ingest_mu_.
   core::runtime::QueueStats ingest_queue_stats_;
-  core::runtime::LoopStats flusher_loop_stats_{"router.flusher"};
-  std::thread flusher_;
+  /// Private runtime when async_ingest is on but Options::scheduler is
+  /// null (standalone routers, most router_test cases).
+  std::unique_ptr<TaskScheduler> own_sched_;
+  /// The periodic flusher. trigger() replaces the old CV notify when a
+  /// batch-size worth of points is queued.
+  PeriodicTaskHandle flusher_task_;
 
   std::unique_ptr<obs::Registry> own_registry_;  // when Options::registry == nullptr
   obs::Registry* registry_;

@@ -70,10 +70,40 @@ void register_loop(const class LoopStats* loop);
 void unregister_loop(const class LoopStats* loop);
 void register_queue(const QueueStats* stats);
 void unregister_queue(const QueueStats* stats);
+void register_scheduler(const struct SchedStats* stats);
+void unregister_scheduler(const struct SchedStats* stats);
 
-/// Duty-cycle tracker for one background loop. begin_busy()/end_busy() are
-/// called from the owning loop thread only; the accumulated totals are
-/// atomics so snapshots can read them from other threads.
+// ---------------------------------------------------------------------------
+// Schedulers
+// ---------------------------------------------------------------------------
+
+/// Stats block embedded in a core::TaskScheduler. Counters are relaxed
+/// atomics bumped by workers and submitters; readers snapshot without
+/// coordination (same contract as QueueStats).
+struct SchedStats {
+  const char* name = nullptr;
+  std::size_t workers = 0;
+  std::atomic<std::uint64_t> submitted{0};       ///< tasks handed to the scheduler
+  std::atomic<std::uint64_t> executed{0};        ///< tasks that ran to completion
+  std::atomic<std::uint64_t> stolen{0};          ///< tasks taken from another worker
+  std::atomic<std::uint64_t> steal_attempts{0};  ///< steal scans (incl. empty-handed)
+  std::atomic<std::uint64_t> pinned{0};          ///< affinity submissions (non-stealable)
+  std::atomic<std::uint64_t> delayed{0};         ///< submit_after / periodic re-arms
+  std::atomic<std::uint64_t> periodic_runs{0};   ///< periodic-task iterations
+  std::atomic<std::uint64_t> depth{0};           ///< ready tasks across all queues
+  std::atomic<std::uint64_t> high_watermark{0};  ///< max observed ready depth
+
+  void on_enqueue(std::uint64_t new_depth) {
+    depth.store(new_depth, std::memory_order_relaxed);
+    sync::lockstats::atomic_max(high_watermark, new_depth);
+  }
+};
+
+/// Duty-cycle tracker for one background loop or periodic task. Iterations
+/// never overlap, but successive begin_busy()/end_busy() brackets may come
+/// from *different* threads — a periodic task hops across scheduler workers
+/// while remaining one logical loop — so the between-iteration scratch is
+/// atomic (relaxed: the scheduler's queue handoff orders the accesses).
 class LoopStats {
  public:
   explicit LoopStats(const char* name) : name_(name) { register_loop(this); }
@@ -82,24 +112,26 @@ class LoopStats {
   LoopStats& operator=(const LoopStats&) = delete;
 
   /// Start of an iteration's useful work. Time since the previous
-  /// end_busy() is accounted as idle (sleeping / blocked on a CV or poll).
+  /// end_busy() is accounted as idle (sleeping / blocked on a CV or poll,
+  /// or waiting in a scheduler timer heap).
   void begin_busy() {
     const std::uint64_t now = now_ns();
-    if (last_end_ns_ != 0) {
-      idle_ns_.fetch_add(now - last_end_ns_, std::memory_order_relaxed);
+    const std::uint64_t last_end = last_end_ns_.load(std::memory_order_relaxed);
+    if (last_end != 0 && now > last_end) {
+      idle_ns_.fetch_add(now - last_end, std::memory_order_relaxed);
     }
-    busy_start_ns_ = now;
+    busy_start_ns_.store(now, std::memory_order_relaxed);
   }
 
   /// End of the iteration's useful work.
   void end_busy() {
     const std::uint64_t now = now_ns();
-    if (busy_start_ns_ != 0) {
-      busy_ns_.fetch_add(now - busy_start_ns_, std::memory_order_relaxed);
+    const std::uint64_t start = busy_start_ns_.exchange(0, std::memory_order_relaxed);
+    if (start != 0) {
+      if (now > start) busy_ns_.fetch_add(now - start, std::memory_order_relaxed);
       iterations_.fetch_add(1, std::memory_order_relaxed);
-      busy_start_ns_ = 0;
     }
-    last_end_ns_ = now;
+    last_end_ns_.store(now, std::memory_order_relaxed);
   }
 
   const char* name() const { return name_; }
@@ -112,9 +144,10 @@ class LoopStats {
   std::atomic<std::uint64_t> iterations_{0};
   std::atomic<std::uint64_t> busy_ns_{0};
   std::atomic<std::uint64_t> idle_ns_{0};
-  // Owner-thread scratch (no concurrent access).
-  std::uint64_t busy_start_ns_ = 0;
-  std::uint64_t last_end_ns_ = 0;
+  // Between-iteration scratch. Written by whichever thread ran the last
+  // iteration; iterations themselves never overlap.
+  std::atomic<std::uint64_t> busy_start_ns_{0};
+  std::atomic<std::uint64_t> last_end_ns_{0};
 };
 
 /// RAII begin_busy/end_busy bracket for one iteration.
@@ -143,6 +176,7 @@ struct Registry {
   sync::Mutex mu{sync::Rank::kRuntimeRegistry, "core.runtime.registry"};
   std::vector<const QueueStats*> queues LMS_GUARDED_BY(mu);
   std::vector<const LoopStats*> loops LMS_GUARDED_BY(mu);
+  std::vector<const SchedStats*> scheds LMS_GUARDED_BY(mu);
 };
 
 inline Registry& registry() {
@@ -180,6 +214,18 @@ inline void register_loop(const LoopStats* loop) {
   r.loops.push_back(loop);
 }
 
+inline void register_scheduler(const SchedStats* stats) {
+  impl::Registry& r = impl::registry();
+  sync::LockGuard lock(r.mu);
+  r.scheds.push_back(stats);
+}
+
+inline void unregister_scheduler(const SchedStats* stats) {
+  impl::Registry& r = impl::registry();
+  sync::LockGuard lock(r.mu);
+  impl::erase_ptr(r.scheds, stats);
+}
+
 inline void unregister_loop(const LoopStats* loop) {
   impl::Registry& r = impl::registry();
   sync::LockGuard lock(r.mu);
@@ -204,6 +250,20 @@ struct LoopSnapshot {
   std::uint64_t idle_ns;
   /// busy / (busy + idle) in percent; 0 when the loop has not run.
   double duty_pct;
+};
+
+struct SchedSnapshot {
+  std::string name;
+  std::size_t workers;
+  std::uint64_t submitted;
+  std::uint64_t executed;
+  std::uint64_t stolen;
+  std::uint64_t steal_attempts;
+  std::uint64_t pinned;
+  std::uint64_t delayed;
+  std::uint64_t periodic_runs;
+  std::uint64_t depth;
+  std::uint64_t high_watermark;
 };
 
 inline std::vector<QueueSnapshot> queue_snapshot() {
@@ -239,6 +299,29 @@ inline std::vector<LoopSnapshot> loop_snapshot() {
     s.idle_ns = l->idle_ns();
     const double denom = static_cast<double>(s.busy_ns) + static_cast<double>(s.idle_ns);
     s.duty_pct = denom > 0.0 ? 100.0 * static_cast<double>(s.busy_ns) / denom : 0.0;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+inline std::vector<SchedSnapshot> sched_snapshot() {
+  impl::Registry& r = impl::registry();
+  sync::LockGuard lock(r.mu);
+  std::vector<SchedSnapshot> out;
+  out.reserve(r.scheds.size());
+  for (const SchedStats* sc : r.scheds) {
+    SchedSnapshot s;
+    s.name = sc->name != nullptr ? sc->name : "<unnamed>";
+    s.workers = sc->workers;
+    s.submitted = sc->submitted.load(std::memory_order_relaxed);
+    s.executed = sc->executed.load(std::memory_order_relaxed);
+    s.stolen = sc->stolen.load(std::memory_order_relaxed);
+    s.steal_attempts = sc->steal_attempts.load(std::memory_order_relaxed);
+    s.pinned = sc->pinned.load(std::memory_order_relaxed);
+    s.delayed = sc->delayed.load(std::memory_order_relaxed);
+    s.periodic_runs = sc->periodic_runs.load(std::memory_order_relaxed);
+    s.depth = sc->depth.load(std::memory_order_relaxed);
+    s.high_watermark = sc->high_watermark.load(std::memory_order_relaxed);
     out.push_back(std::move(s));
   }
   return out;

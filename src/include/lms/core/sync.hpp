@@ -143,16 +143,19 @@ enum class Rank : int {
   kProfiler = 35,            ///< profiling SDK region stacks + aggregates
   kProfilingCollector = 36,  ///< per-collector open-bracket maps
   kDashboard = 40,           ///< dashboard agent store
-  kLoopControl = 45,         ///< self-scrape / trace-export sleep+stop locks
+  // 45 (kLoopControl) retired: the per-loop sleep/stop condvar locks died
+  // with the migration of every background loop onto the TaskScheduler.
   kNet = 50,                 ///< inproc registry, tcp worker list, pub/sub broker
   kRouterTags = 54,          ///< router tag store
   kRouterIngest = 55,        ///< router async-ingest queues
   kRouterSpool = 56,         ///< router disk-spool deque
   kRouterJobs = 57,          ///< router running-job table
   kTsdbMap = 60,             ///< storage database map
+  kTsdbStage = 63,           ///< per-shard staged-write buffers (scheduler offload)
   kTsdbShard = 65,           ///< series shard stripes (seq = shard index)
   kTsdbAux = 70,             ///< slow-query ring
   kQueue = 80,               ///< util::BoundedQueue internal lock
+  kSched = 85,               ///< TaskScheduler worker queues + timer heap (seq = worker)
   kObsRegistry = 90,         ///< metrics registry instrument map
   kObsTrace = 92,            ///< span recorder ring
   kRuntimeRegistry = 95,     ///< core::runtime queue/loop stats registry
@@ -732,6 +735,27 @@ class LMS_CAPABILITY("shared_mutex") SharedMutex {
     detail::note_release(this);
 #endif
     mu_.unlock_shared();
+  }
+
+  bool try_lock() LMS_TRY_ACQUIRE(true) {
+#if LMS_SYNC_RANK_CHECKS
+    detail::check_reentrance(this, name_);
+#endif
+    const bool locked = mu_.try_lock();
+#if LMS_SYNC_LOCK_STATS
+    if (locked) {
+      if (stats_ != nullptr && lockstats::enabled()) {
+        lockstats::record_acquire(stats_);
+        hold_start_ns_ = lockstats::now_ns();
+      } else {
+        hold_start_ns_ = 0;
+      }
+    }
+#endif
+#if LMS_SYNC_RANK_CHECKS
+    if (locked) detail::note_acquire(this, rank_, seq_, name_, /*try_acquired=*/true);
+#endif
+    return locked;
   }
 
   bool try_lock_shared() LMS_TRY_ACQUIRE_SHARED(true) {

@@ -83,11 +83,16 @@ HttpResponse debug_logs_response(const util::LogRing& ring, const HttpRequest& r
 ///                            "hold_ns_max"},...]},   // ranked by total wait
 ///    "queues":[{"queue","capacity","depth","high_watermark","pushes",
 ///               "pops","blocked_pushes","rejected_pushes"},...],
-///    "loops":[{"loop","iterations","busy_ns","idle_ns","duty_pct"},...]}
+///    "loops":[{"loop","iterations","busy_ns","idle_ns","duty_pct"},...],
+///    "scheds":[{"scheduler","workers","submitted","executed","stolen",
+///               "steal_attempts","pinned","delayed","periodic_runs",
+///               "queue_depth","queue_high_watermark"},...]}
 /// Lock sites are sorted by wait_ns_total descending, so the first entry is
 /// the lock the process spends the most time waiting on. The section is
-/// empty (compiled=false) unless built with -DLMS_LOCK_STATS=ON; queues and
-/// loops report in every build. Served by the router and the TSDB API.
+/// empty (compiled=false) unless built with -DLMS_LOCK_STATS=ON; queues,
+/// loops and scheds (one row per live TaskScheduler, including every
+/// periodic task as a named loop row) report in every build. Served by the
+/// router and the TSDB API.
 HttpResponse runtime_debug_response();
 
 }  // namespace lms::net

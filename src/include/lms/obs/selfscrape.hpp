@@ -16,23 +16,23 @@
 //
 // Two driving modes:
 //   - scrape_once(): synchronous, for sim-clocked harnesses and tests,
-//   - start()/stop(): a real-time background thread for deployments.
+//   - attach(scheduler): a periodic "obs.selfscrape" task for deployments
+//     (manual-mode schedulers drive the same task deterministically).
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <thread>
 
-#include "lms/core/runtime.hpp"
-#include "lms/core/sync.hpp"
+#include "lms/core/runnable.hpp"
+#include "lms/core/taskscheduler.hpp"
 #include "lms/obs/metrics.hpp"
 #include "lms/util/clock.hpp"
 #include "lms/util/status.hpp"
 
 namespace lms::obs {
 
-class SelfScrape {
+class SelfScrape : public core::Runnable {
  public:
   /// Deliver one serialized line-protocol batch to the stack.
   using WriteFn = std::function<util::Status(const std::string& lineproto_body)>;
@@ -42,7 +42,7 @@ class SelfScrape {
     /// Tags stamped on every exported point (set at least hostname so the
     /// router's enrichment and the dashboards can key on it).
     Labels tags;
-    /// Interval for the background thread (real time).
+    /// Cadence of the periodic scrape task once attached.
     util::TimeNs interval = 10 * util::kNanosPerSecond;
   };
 
@@ -54,31 +54,22 @@ class SelfScrape {
   /// Collect + serialize + write one snapshot now (timestamped clock.now()).
   util::Status scrape_once();
 
-  /// Start the periodic background scraper. No-op if already running.
-  void start();
-  /// Stop and join the background thread (also run by the destructor).
-  void stop();
-  bool running() const { return running_.load(); }
-
   std::uint64_t scrapes() const { return scrapes_.load(); }
   std::uint64_t failures() const { return failures_.load(); }
 
- private:
-  void run();
+ protected:
+  void on_attach(core::TaskScheduler& sched) override;
+  void on_detach() override;
 
+ private:
   Registry& registry_;
   const util::Clock& clock_;
   WriteFn write_;
   Options options_;
 
-  std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> scrapes_{0};
   std::atomic<std::uint64_t> failures_{0};
-  core::sync::Mutex mu_{core::sync::Rank::kLoopControl, "obs.selfscrape.loop"};
-  core::sync::CondVar cv_;
-  bool stop_requested_ LMS_GUARDED_BY(mu_) = false;
-  core::runtime::LoopStats loop_stats_{"obs.selfscrape"};
-  std::thread thread_;
+  core::PeriodicTaskHandle task_;
 };
 
 }  // namespace lms::obs

@@ -29,17 +29,16 @@
 //
 // Two driving modes, mirroring SelfScrape:
 //   - export_once(): synchronous, for sim-clocked harnesses and tests,
-//   - start()/stop(): a real-time background thread for deployments.
+//   - attach(scheduler): a periodic "obs.traceexport" task for deployments.
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <thread>
 
 #include "lms/lineproto/point.hpp"
-#include "lms/core/runtime.hpp"
-#include "lms/core/sync.hpp"
+#include "lms/core/runnable.hpp"
+#include "lms/core/taskscheduler.hpp"
 #include "lms/obs/trace.hpp"
 #include "lms/util/clock.hpp"
 #include "lms/util/status.hpp"
@@ -53,7 +52,7 @@ inline constexpr std::string_view kTraceMeasurement = "lms_traces";
 lineproto::Point span_to_point(const SpanRecord& span, std::string_view measurement,
                                std::string_view host);
 
-class TraceExporter {
+class TraceExporter : public core::Runnable {
  public:
   /// Deliver one serialized line-protocol batch to the stack.
   using WriteFn = std::function<util::Status(const std::string& lineproto_body)>;
@@ -63,7 +62,7 @@ class TraceExporter {
     /// Stamped as the `host` tag on every exported span — in a multi-process
     /// deployment this is what tells two "router" spans apart.
     std::string host;
-    /// Interval for the background thread (real time).
+    /// Cadence of the periodic export task once attached.
     util::TimeNs interval = 10 * util::kNanosPerSecond;
     /// Upper bound on spans taken per export (0 = drain everything).
     std::size_t max_spans_per_export = 2048;
@@ -81,34 +80,25 @@ class TraceExporter {
   /// spans_dropped) — the recorder ring would only re-evict them anyway.
   util::Status export_once();
 
-  /// Start the periodic background exporter. No-op if already running.
-  void start();
-  /// Stop and join the background thread (also run by the destructor).
-  void stop();
-  bool running() const { return running_.load(); }
-
   std::uint64_t exports() const { return exports_.load(); }
   std::uint64_t failures() const { return failures_.load(); }
   std::uint64_t spans_exported() const { return spans_exported_.load(); }
   std::uint64_t spans_dropped() const { return spans_dropped_.load(); }
 
- private:
-  void run();
+ protected:
+  void on_attach(core::TaskScheduler& sched) override;
+  void on_detach() override;
 
+ private:
   WriteFn write_;
   Options options_;
   SpanRecorder& recorder_;
 
-  std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> exports_{0};
   std::atomic<std::uint64_t> failures_{0};
   std::atomic<std::uint64_t> spans_exported_{0};
   std::atomic<std::uint64_t> spans_dropped_{0};
-  core::sync::Mutex mu_{core::sync::Rank::kLoopControl, "obs.traceexport.loop"};
-  core::sync::CondVar cv_;
-  bool stop_requested_ LMS_GUARDED_BY(mu_) = false;
-  core::runtime::LoopStats loop_stats_{"obs.traceexport"};
-  std::thread thread_;
+  core::PeriodicTaskHandle task_;
 };
 
 }  // namespace lms::obs

@@ -15,7 +15,8 @@
 #include <string>
 #include <vector>
 
-#include "lms/core/runtime.hpp"
+#include "lms/core/runnable.hpp"
+#include "lms/core/taskscheduler.hpp"
 #include "lms/tsdb/query.hpp"
 #include "lms/tsdb/storage.hpp"
 
@@ -33,23 +34,34 @@ struct ContinuousQuery {
   std::vector<std::string> group_tags = {"hostname", "jobid"};
 };
 
-class CqRunner {
+class CqRunner : public core::Runnable {
  public:
   struct Options {
     /// Windows are only processed once `lag` past their end, so straggling
     /// points still land in the right rollup.
     TimeNs lag = 30 * util::kNanosPerSecond;
+    /// Cadence of the periodic "tsdb.cq_runner" task once attached.
+    TimeNs run_interval = 30 * util::kNanosPerSecond;
+    /// Clock the periodic task evaluates against. nullptr = wall clock.
+    const util::Clock* clock = nullptr;
   };
 
   CqRunner(Storage& storage, std::string database);
   CqRunner(Storage& storage, std::string database, Options options);
+  ~CqRunner();
 
   void add(ContinuousQuery query);
   std::vector<ContinuousQuery> queries() const;
 
   /// Execute every query over (watermark, now - lag], writing rollup points
   /// back into the database. Returns the number of rollup points written.
+  /// Owners may call this directly (sim-clocked harnesses) or attach the
+  /// runner to a TaskScheduler for a periodic cadence.
   std::size_t run(TimeNs now);
+
+ protected:
+  void on_attach(core::TaskScheduler& sched) override;
+  void on_detach() override;
 
  private:
   struct Registered {
@@ -62,7 +74,9 @@ class CqRunner {
   std::string database_;
   Options options_;
   std::vector<Registered> queries_;
-  core::runtime::LoopStats loop_stats_{"tsdb.cq_runner"};
+  /// Duty-cycle accounting lives on the periodic task's own LoopStats row
+  /// ("tsdb.cq_runner" in /debug/runtime) once attached.
+  core::PeriodicTaskHandle task_;
 };
 
 }  // namespace lms::tsdb

@@ -27,8 +27,9 @@
 #include <memory>
 #include <string>
 
-#include "lms/core/runtime.hpp"
+#include "lms/core/runnable.hpp"
 #include "lms/core/sync.hpp"
+#include "lms/core/taskscheduler.hpp"
 #include "lms/net/health.hpp"
 #include "lms/net/transport.hpp"
 #include "lms/obs/metrics.hpp"
@@ -40,11 +41,14 @@
 
 namespace lms::tsdb {
 
-class HttpApi {
+class HttpApi : public core::Runnable {
  public:
   struct Options {
     /// Retention window; 0 = keep everything.
     TimeNs retention = 0;
+    /// Cadence of the periodic "tsdb.retention" enforcement task once the
+    /// API is attached to a TaskScheduler (no-op while retention == 0).
+    TimeNs retention_interval = util::kNanosPerMinute;
     /// Database auto-created for writes without ?db=.
     std::string default_db = "lms";
     /// Create databases on first write (InfluxDB-style). When false, writes
@@ -103,6 +107,10 @@ class HttpApi {
   /// Snapshot of the ring, most recent first.
   std::vector<SlowQuery> slow_query_ring() const;
 
+ protected:
+  void on_attach(core::TaskScheduler& sched) override;
+  void on_detach() override;
+
  private:
   net::HttpResponse handle_write(const net::HttpRequest& req);
   net::HttpResponse handle_query(const net::HttpRequest& req);
@@ -133,7 +141,9 @@ class HttpApi {
   /// the query (and its shard locks) completed.
   mutable core::sync::Mutex slow_mu_{core::sync::Rank::kTsdbAux, "tsdb.slowlog"};
   std::deque<SlowQuery> slow_ring_ LMS_GUARDED_BY(slow_mu_);
-  core::runtime::LoopStats retention_loop_stats_{"tsdb.retention"};
+  /// Duty-cycle accounting lives on the periodic task's own LoopStats row
+  /// ("tsdb.retention" in /debug/runtime) once attached.
+  core::PeriodicTaskHandle retention_task_;
 };
 
 }  // namespace lms::tsdb

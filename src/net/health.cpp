@@ -170,6 +170,24 @@ HttpResponse runtime_debug_response() {
   }
   top["loops"] = std::move(loops);
 
+  json::Array scheds;
+  for (const core::runtime::SchedSnapshot& s : core::runtime::sched_snapshot()) {
+    json::Object o;
+    o["scheduler"] = s.name;
+    o["workers"] = static_cast<std::int64_t>(s.workers);
+    o["submitted"] = static_cast<std::int64_t>(s.submitted);
+    o["executed"] = static_cast<std::int64_t>(s.executed);
+    o["stolen"] = static_cast<std::int64_t>(s.stolen);
+    o["steal_attempts"] = static_cast<std::int64_t>(s.steal_attempts);
+    o["pinned"] = static_cast<std::int64_t>(s.pinned);
+    o["delayed"] = static_cast<std::int64_t>(s.delayed);
+    o["periodic_runs"] = static_cast<std::int64_t>(s.periodic_runs);
+    o["queue_depth"] = static_cast<std::int64_t>(s.depth);
+    o["queue_high_watermark"] = static_cast<std::int64_t>(s.high_watermark);
+    scheds.emplace_back(std::move(o));
+  }
+  top["scheds"] = std::move(scheds);
+
   return HttpResponse::json(200, json::Value(std::move(top)).dump());
 }
 

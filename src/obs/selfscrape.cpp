@@ -1,7 +1,5 @@
 #include "lms/obs/selfscrape.hpp"
 
-#include <chrono>
-
 #include "lms/lineproto/codec.hpp"
 #include "lms/obs/runtime.hpp"
 #include "lms/obs/trace.hpp"
@@ -13,7 +11,7 @@ SelfScrape::SelfScrape(Registry& registry, const util::Clock& clock, WriteFn wri
                        Options options)
     : registry_(registry), clock_(clock), write_(std::move(write)), options_(std::move(options)) {}
 
-SelfScrape::~SelfScrape() { stop(); }
+SelfScrape::~SelfScrape() { detach(); }
 
 util::Status SelfScrape::scrape_once() {
   Span span("obs.selfscrape", "obs");
@@ -34,47 +32,12 @@ util::Status SelfScrape::scrape_once() {
   return status;
 }
 
-void SelfScrape::start() {
-  bool expected = false;
-  if (!running_.compare_exchange_strong(expected, true)) return;
-  {
-    const core::sync::LockGuard lock(mu_);
-    stop_requested_ = false;
-  }
-  thread_ = std::thread([this] { run(); });
+void SelfScrape::on_attach(core::TaskScheduler& sched) {
+  const util::TimeNs interval =
+      options_.interval > 0 ? options_.interval : util::kNanosPerSecond;
+  task_ = sched.submit_periodic("obs.selfscrape", interval, [this] { scrape_once(); });
 }
 
-void SelfScrape::stop() {
-  if (!running_.exchange(false)) return;
-  {
-    const core::sync::LockGuard lock(mu_);
-    stop_requested_ = true;
-  }
-  cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
-}
-
-void SelfScrape::run() {
-  core::sync::UniqueLock lock(mu_);
-  while (!stop_requested_) {
-    const auto interval = std::chrono::nanoseconds(options_.interval > 0 ? options_.interval
-                                                                         : util::kNanosPerSecond);
-    // Explicit deadline loop instead of a predicate wait so the guarded
-    // stop_requested_ reads stay in this (lock-holding) function.
-    const auto deadline = std::chrono::steady_clock::now() + interval;
-    while (!stop_requested_) {
-      const auto now = std::chrono::steady_clock::now();
-      if (now >= deadline) break;
-      cv_.wait_for(lock, deadline - now);
-    }
-    if (stop_requested_) break;
-    lock.unlock();
-    {
-      const core::runtime::BusyScope busy(loop_stats_);
-      scrape_once();
-    }
-    lock.lock();
-  }
-}
+void SelfScrape::on_detach() { task_.cancel(); }
 
 }  // namespace lms::obs

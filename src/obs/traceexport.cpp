@@ -1,6 +1,6 @@
 #include "lms/obs/traceexport.hpp"
 
-#include <chrono>
+#include <cstdio>
 
 #include "lms/lineproto/codec.hpp"
 #include "lms/util/logging.hpp"
@@ -85,7 +85,7 @@ TraceExporter::TraceExporter(WriteFn write, Options options)
       options_(std::move(options)),
       recorder_(options_.recorder != nullptr ? *options_.recorder : SpanRecorder::global()) {}
 
-TraceExporter::~TraceExporter() { stop(); }
+TraceExporter::~TraceExporter() { detach(); }
 
 util::Status TraceExporter::export_once() {
   // Suppress tracing for the whole export: the write below travels through
@@ -111,49 +111,16 @@ util::Status TraceExporter::export_once() {
   return status;
 }
 
-void TraceExporter::start() {
-  bool expected = false;
-  if (!running_.compare_exchange_strong(expected, true)) return;
-  {
-    const core::sync::LockGuard lock(mu_);
-    stop_requested_ = false;
-  }
-  thread_ = std::thread([this] { run(); });
+void TraceExporter::on_attach(core::TaskScheduler& sched) {
+  const util::TimeNs interval =
+      options_.interval > 0 ? options_.interval : util::kNanosPerSecond;
+  task_ = sched.submit_periodic("obs.traceexport", interval, [this] { export_once(); });
 }
 
-void TraceExporter::stop() {
-  if (!running_.exchange(false)) return;
-  {
-    const core::sync::LockGuard lock(mu_);
-    stop_requested_ = true;
-  }
-  cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+void TraceExporter::on_detach() {
+  task_.cancel();
   // Final drain so spans recorded just before shutdown are not lost.
   export_once();
-}
-
-void TraceExporter::run() {
-  core::sync::UniqueLock lock(mu_);
-  while (!stop_requested_) {
-    const auto interval = std::chrono::nanoseconds(options_.interval > 0 ? options_.interval
-                                                                         : util::kNanosPerSecond);
-    // Explicit deadline loop instead of a predicate wait so the guarded
-    // stop_requested_ reads stay in this (lock-holding) function.
-    const auto deadline = std::chrono::steady_clock::now() + interval;
-    while (!stop_requested_) {
-      const auto now = std::chrono::steady_clock::now();
-      if (now >= deadline) break;
-      cv_.wait_for(lock, deadline - now);
-    }
-    if (stop_requested_) break;
-    lock.unlock();
-    {
-      const core::runtime::BusyScope busy(loop_stats_);
-      export_once();
-    }
-    lock.lock();
-  }
 }
 
 }  // namespace lms::obs

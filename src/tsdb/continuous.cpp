@@ -10,6 +10,19 @@ CqRunner::CqRunner(Storage& storage, std::string database)
 CqRunner::CqRunner(Storage& storage, std::string database, Options options)
     : storage_(storage), database_(std::move(database)), options_(options) {}
 
+CqRunner::~CqRunner() { detach(); }
+
+void CqRunner::on_attach(core::TaskScheduler& sched) {
+  const TimeNs interval =
+      options_.run_interval > 0 ? options_.run_interval : util::kNanosPerSecond;
+  const util::Clock* clock =
+      options_.clock != nullptr ? options_.clock : &util::WallClock::instance();
+  task_ = sched.submit_periodic("tsdb.cq_runner", interval,
+                                [this, clock] { run(clock->now()); });
+}
+
+void CqRunner::on_detach() { task_.cancel(); }
+
 void CqRunner::add(ContinuousQuery query) {
   queries_.push_back(Registered{std::move(query), 0});
 }
@@ -22,7 +35,6 @@ std::vector<ContinuousQuery> CqRunner::queries() const {
 }
 
 std::size_t CqRunner::run(TimeNs now) {
-  const core::runtime::BusyScope busy(loop_stats_);
   std::size_t written = 0;
   for (auto& registered : queries_) {
     written += run_one(registered, now);

@@ -88,9 +88,20 @@ HttpApi::HttpApi(Storage& storage, const util::Clock& clock, Options options)
 }
 
 HttpApi::~HttpApi() {
+  detach();
   registry_->remove_gauge_fn("tsdb_series");
   registry_->remove_gauge_fn("tsdb_samples");
 }
+
+void HttpApi::on_attach(core::TaskScheduler& sched) {
+  if (options_.retention <= 0) return;
+  const TimeNs interval =
+      options_.retention_interval > 0 ? options_.retention_interval : util::kNanosPerMinute;
+  retention_task_ =
+      sched.submit_periodic("tsdb.retention", interval, [this] { enforce_retention(); });
+}
+
+void HttpApi::on_detach() { retention_task_.cancel(); }
 
 net::HttpHandler HttpApi::handler() {
   return [this](const net::HttpRequest& req) -> net::HttpResponse {
@@ -289,7 +300,6 @@ net::ComponentHealth HttpApi::health() const {
 
 std::size_t HttpApi::enforce_retention() {
   if (options_.retention <= 0) return 0;
-  const core::runtime::BusyScope busy(retention_loop_stats_);
   return storage_.drop_before(clock_.now() - options_.retention);
 }
 

@@ -140,7 +140,7 @@ TEST_F(CoreSyncTest, ReleaseOrderDoesNotMatter) {
 }
 
 TEST_F(CoreSyncTest, CondVarWaitReplaysHeldBookkeeping) {
-  csync::Mutex mu(csync::Rank::kLoopControl, "obs.selfscrape.loop");
+  csync::Mutex mu(csync::Rank::kSched, "sched.worker");
   csync::CondVar cv;
   bool ready = false;
   std::thread waker([&] {
@@ -160,7 +160,7 @@ TEST_F(CoreSyncTest, CondVarWaitReplaysHeldBookkeeping) {
 }
 
 TEST_F(CoreSyncTest, CondVarWaitForTimesOutAndStillOwnsLock) {
-  csync::Mutex mu(csync::Rank::kLoopControl, "obs.traceexport.loop");
+  csync::Mutex mu(csync::Rank::kSched, "sched.timers");
   csync::CondVar cv;
   csync::UniqueLock lock(mu);
   const auto status = cv.wait_for(lock, std::chrono::milliseconds(1));

@@ -582,7 +582,7 @@ TEST(ObsIntegration, SelfScrapeLandsInOwnTsdbQueryable) {
   EXPECT_NE(hist->body.find("lms_internal"), std::string::npos);
 }
 
-TEST(ObsIntegration, SelfScrapeBackgroundThreadWritesPeriodically) {
+TEST(ObsIntegration, SelfScrapeAttachedToSchedulerWritesPeriodically) {
   Registry reg;
   reg.counter("ticks").inc();
   util::WallClock clock;
@@ -597,14 +597,18 @@ TEST(ObsIntegration, SelfScrapeBackgroundThreadWritesPeriodically) {
         return util::Status();
       },
       ss_opts);
-  scrape.start();
-  EXPECT_TRUE(scrape.running());
+  core::TaskScheduler::Options sched_opts;
+  sched_opts.workers = 1;
+  sched_opts.name = "test.obs.sched";
+  core::TaskScheduler sched(sched_opts);
+  scrape.attach(sched);
+  EXPECT_TRUE(scrape.attached());
   const util::TimeNs deadline = util::monotonic_now_ns() + 2 * util::kNanosPerSecond;
   while (writes.load() < 2 && util::monotonic_now_ns() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  scrape.stop();
-  EXPECT_FALSE(scrape.running());
+  scrape.detach();
+  EXPECT_FALSE(scrape.attached());
   EXPECT_GE(writes.load(), 2);
 }
 
