@@ -10,7 +10,11 @@
 # (concurrent region markers against the per-thread stacks and shared
 # aggregates of the marker SDK), core_sched (the TaskScheduler runtime:
 # work stealing, pinned affinity lanes, timer heap, periodic fixed-delay
-# re-arm, shutdown drain, and the TSDB staged-write offload).
+# re-arm, shutdown drain, and the TSDB staged-write offload), cpuprofile
+# (the sampling CPU profiler: SIGPROF handler vs. the per-thread SPSC rings
+# vs. the fold task, plus the timer-mode busy-loop capture — TSan/ASan are
+# the strongest checks that the signal-context ring writes are race- and
+# overflow-free).
 #
 # The thread mode additionally forces -DLMS_RANK_CHECKS=ON and
 # -DLMS_LOCK_STATS=ON so the lock-rank deadlock detector and the contention
@@ -28,7 +32,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SUITES=(obs_test net_test alert_test tsdb_test router_test profiling_test
-        core_sched_test core_sync_lockstats_test)
+        core_sched_test core_sync_lockstats_test cpuprofile_test)
 MODE="${1:-all}"
 
 run_mode() {

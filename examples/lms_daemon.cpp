@@ -11,12 +11,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <thread>
 
 #include "lms/alert/evaluator.hpp"
 #include "lms/core/router.hpp"
 #include "lms/core/taskscheduler.hpp"
 #include "lms/net/tcp_http.hpp"
+#include "lms/obs/cpuprofiler.hpp"
 #include "lms/obs/metrics.hpp"
 #include "lms/obs/selfscrape.hpp"
 #include "lms/obs/trace.hpp"
@@ -55,6 +57,13 @@ sample_rate = 1.0        ; head-sampling probability for new root traces
 slow_keep_ms = 250       ; always keep spans slower than this (0 = off)
 export_seconds = 5       ; span-export cadence into the TSDB
 log_ring = 512           ; /debug/logs retention (entries)
+
+[profiling]
+enable = true            ; continuous CPU sampling (GET /debug/pprof)
+hz = 99                  ; SIGPROF ticks per second of on-CPU time
+wall = false             ; true = wall-clock sampling (idle threads tick too)
+export_seconds = 10      ; lms_profiles top-K export cadence into the TSDB
+top_k = 20               ; stacks per lms_profiles export
 )";
 
 }  // namespace
@@ -176,6 +185,40 @@ int main(int argc, char** argv) {
       },
       te_opts);
 
+  // CPU profiler from [profiling]: continuous SIGPROF sampling of the
+  // daemon itself. Collapsed stacks are served at GET /debug/pprof (and an
+  // HTML flamegraph on the dashboard agent, when one runs); the top-K
+  // stacks land in the TSDB as lms_profiles through the router, tagged
+  // with the trace id of whatever request was in flight when sampled.
+  const bool profiling_enabled = config->get_bool_or("profiling", "enable", true);
+  std::unique_ptr<obs::ProfileExporter> profile_exporter;
+  if (profiling_enabled) {
+    obs::CpuProfiler::Options prof_opts;
+    prof_opts.hz = static_cast<int>(config->get_int_or("profiling", "hz", 99));
+    prof_opts.wall = config->get_bool_or("profiling", "wall", false);
+    if (auto status = obs::CpuProfiler::instance().start(prof_opts); !status.ok()) {
+      std::fprintf(stderr, "profiler: %s\n", status.message().c_str());
+    } else {
+      obs::ProfileExporter::Options pe_opts;
+      pe_opts.host = "lms-daemon";
+      pe_opts.interval = static_cast<util::TimeNs>(
+          config->get_int_or("profiling", "export_seconds", 10)) * util::kNanosPerSecond;
+      pe_opts.top_k =
+          static_cast<std::size_t>(config->get_int_or("profiling", "top_k", 20));
+      profile_exporter = std::make_unique<obs::ProfileExporter>(
+          [&](const std::string& body) -> util::Status {
+            auto resp = scrape_client.post(
+                router_server.url() + "/write?db=" + db_opts.default_db, body, "text/plain");
+            if (!resp.ok()) return util::Status::error(resp.message());
+            if (!resp->ok()) {
+              return util::Status::error("HTTP " + std::to_string(resp->status));
+            }
+            return util::Status();
+          },
+          pe_opts);
+    }
+  }
+
   // Alert evaluator against the same storage, run as a periodic scheduler
   // task while serving: deadman watch over every host that ever wrote, plus
   // a self-metrics rule; transitions land in lms_alerts and the log.
@@ -254,6 +297,8 @@ int main(int argc, char** argv) {
     self_scrape.attach(sched);
     trace_exporter.attach(sched);
     alerts.attach(sched);
+    if (obs::CpuProfiler::instance().running()) obs::CpuProfiler::instance().attach(sched);
+    if (profile_exporter != nullptr) profile_exporter->attach(sched);
     std::printf("serving for %d seconds (%zu scheduler workers, self-scrape every %lld s, "
                 "alert eval every %lld s, deadman %lld s)...\n",
                 serve_seconds, sched.worker_count(),
@@ -261,6 +306,8 @@ int main(int argc, char** argv) {
                 static_cast<long long>(alert_interval / util::kNanosPerSecond),
                 static_cast<long long>(alert_opts.deadman_window / util::kNanosPerSecond));
     std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+    if (profile_exporter != nullptr) profile_exporter->detach();
+    obs::CpuProfiler::instance().detach();
     alerts.detach();
     trace_exporter.detach();
     self_scrape.detach();
@@ -338,6 +385,20 @@ int main(int argc, char** argv) {
               resp->body.find("selftest.write") != std::string::npos);
     resp = client.get(db_server.url() + "/debug/logs");
     check("/debug/logs serves the log ring", resp.ok() && resp->status == 200);
+    // Profiler surface: burn a little CPU so SIGPROF has ticks to deliver,
+    // then check the debug endpoints answer on both ports.
+    if (profiling_enabled && obs::CpuProfiler::instance().running()) {
+      volatile double sink = 0;
+      for (int i = 0; i < 30'000'000; ++i) sink = sink + static_cast<double>(i) * 0.5;
+      obs::CpuProfiler::instance().process_once();
+      resp = client.get(router_server.url() + "/debug/pprof");
+      check("/debug/pprof collapsed stacks", resp.ok() && resp->status == 200);
+      resp = client.get(db_server.url() + "/debug/runtime");
+      check("/debug/runtime profiler section",
+            resp.ok() && resp->status == 200 &&
+                resp->body.find("\"profiler\"") != std::string::npos &&
+                resp->body.find("\"running\":true") != std::string::npos);
+    }
     std::printf("self-test %s\n", ok ? "passed" : "failed");
     if (!ok) {
       util::Logger::instance().set_sink(nullptr);
@@ -347,6 +408,7 @@ int main(int argc, char** argv) {
 
   router_server.stop();
   db_server.stop();
+  obs::CpuProfiler::instance().stop();  // disarm the timer before teardown
   util::Logger::instance().set_sink(nullptr);  // the ring dies with main()
   if (!snapshot_path.empty()) {
     if (auto status = tsdb::save_snapshot(storage, snapshot_path); status.ok()) {

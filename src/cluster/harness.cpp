@@ -195,6 +195,40 @@ ClusterHarness::ClusterHarness(Options options)
         te_opts);
   }
 
+  // Continuous CPU profiling, deterministic flavor: the process-wide
+  // profiler starts timer-less (no SIGPROF in a simulation), step_once()
+  // captures one sample per step, the fold task rides the manual scheduler
+  // and the exporter writes lms_profiles through the router with sim-clock
+  // timestamps. start() can fail when another harness (or a daemon in the
+  // same process) already owns the profiler — then this harness simply
+  // runs without one.
+  if (options_.enable_cpuprofile) {
+    obs::CpuProfiler::Options prof_opts;
+    prof_opts.hz = options_.cpuprofile_hz;
+    prof_opts.timer = false;
+    prof_opts.fold_interval = options_.step;
+    cpuprofile_started_ = obs::CpuProfiler::instance().start(prof_opts).ok();
+    if (cpuprofile_started_) {
+      obs::ProfileExporter::Options pe_opts;
+      pe_opts.host = "lms-stack";
+      pe_opts.interval = options_.cpuprofile_export_interval;
+      pe_opts.top_k = options_.cpuprofile_top_k;
+      pe_opts.clock = &clock_;
+      profile_exporter_ = std::make_unique<obs::ProfileExporter>(
+          [this](const std::string& body) -> util::Status {
+            const std::string url = std::string("inproc://") + kRouterEndpoint +
+                                    "/write?db=" + options_.database;
+            auto resp = client_->post(url, body, "text/plain");
+            if (!resp.ok()) return util::Status::error(resp.message());
+            if (!resp->ok()) {
+              return util::Status::error("HTTP " + std::to_string(resp->status));
+            }
+            return util::Status();
+          },
+          pe_opts);
+    }
+  }
+
   // Alerting: an evaluator over the shared storage, with a deadman watch
   // per node and transitions published on the "alerts" topic.
   if (options_.enable_alerts) {
@@ -222,6 +256,8 @@ ClusterHarness::ClusterHarness(Options options)
   if (self_scrape_ != nullptr) self_scrape_->attach(sched_);
   if (alert_evaluator_ != nullptr) alert_evaluator_->attach(sched_);
   if (cq_runner_ != nullptr) cq_runner_->attach(sched_);
+  if (cpuprofile_started_) obs::CpuProfiler::instance().attach(sched_);
+  if (profile_exporter_ != nullptr) profile_exporter_->attach(sched_);
   if (options_.retention > 0) {
     retention_task_ =
         sched_.submit_periodic("harness.retention", util::kNanosPerMinute, [this] {
@@ -244,6 +280,16 @@ ClusterHarness::~ClusterHarness() {
   // Head sampling is process-global; hand back whatever was configured
   // before this harness so tests cannot leak a rate into each other.
   obs::set_trace_sample_rate(prev_trace_sample_rate_);
+  // The CpuProfiler is process-global too: let the exporter's detach write
+  // its final batch while the stack is still up, then stop the profiler and
+  // clear its aggregate so the next harness starts from an empty profile.
+  if (cpuprofile_started_) {
+    profile_exporter_.reset();
+    obs::CpuProfiler& prof = obs::CpuProfiler::instance();
+    prof.detach();
+    prof.stop();
+    prof.clear();
+  }
 }
 
 std::size_t ClusterHarness::drain_traces() {
@@ -254,6 +300,16 @@ std::size_t ClusterHarness::drain_traces() {
   // the router's queues after the POST above.
   if (options_.async_ingest) (void)router_->flush_ingest();
   return static_cast<std::size_t>(trace_exporter_->spans_exported() - before);
+}
+
+std::size_t ClusterHarness::drain_profiles() {
+  if (profile_exporter_ == nullptr) return 0;
+  const std::uint64_t before = profile_exporter_->stacks_exported();
+  (void)profile_exporter_->export_once();
+  // Land the exported stacks: with async ingest on they are still sitting
+  // in the router's queues after the POST above.
+  if (options_.async_ingest) (void)router_->flush_ingest();
+  return static_cast<std::size_t>(profile_exporter_->stacks_exported() - before);
 }
 
 void ClusterHarness::set_node_active(const std::string& name, bool active) {
@@ -492,6 +548,11 @@ void ClusterHarness::step_once() {
     finding_recorder_->record(analyzer_->engine().take_findings());
   }
   if (aggregator_ != nullptr) aggregator_->pump(now);
+
+  // Deterministic CPU sample: one capture of the harness thread per step
+  // (the sim stand-in for a SIGPROF tick); the fold task below aggregates
+  // it on its own cadence.
+  if (cpuprofile_started_) obs::CpuProfiler::instance().sample_once();
 
   // Self-scrape, alert evaluation, continuous queries and retention fire on
   // their own sim-clock cadences as periodic tasks on the manual scheduler;

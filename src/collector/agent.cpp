@@ -188,6 +188,7 @@ net::HttpHandler HostAgent::handler() {
       return resp;
     }
     if (req.path == "/debug/runtime") return net::runtime_debug_response();
+    if (req.path == "/debug/pprof") return net::pprof_response(req);
     return net::HttpResponse::not_found();
   };
 }

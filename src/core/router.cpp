@@ -110,6 +110,7 @@ net::HttpHandler MetricsRouter::handler() {
       return net::debug_logs_response(*options_.log_ring, req);
     }
     if (req.path == "/debug/runtime") return net::runtime_debug_response();
+    if (req.path == "/debug/pprof") return net::pprof_response(req);
     return net::HttpResponse::not_found();
   };
 }

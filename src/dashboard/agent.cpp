@@ -1,9 +1,11 @@
 #include "lms/dashboard/agent.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <set>
 
 #include "lms/analysis/roofline.hpp"
+#include "lms/obs/cpuprofiler.hpp"
 #include "lms/obs/metrics.hpp"
 #include "lms/obs/runtime.hpp"
 #include "lms/obs/trace.hpp"
@@ -550,6 +552,7 @@ net::HttpHandler DashboardAgent::handler() {
       return net::HttpResponse::json(200, json::Value(std::move(out)).dump());
     }
     if (util::starts_with(req.path, "/trace/")) return handle_trace(req);
+    if (req.path == "/flamegraph") return handle_flamegraph(req);
     if (util::starts_with(req.path, "/regions/")) return handle_regions(req);
     if (req.path == "/health") return net::health_response(health(false));
     if (req.path == "/ready") return net::ready_response(health(true));
@@ -563,6 +566,7 @@ net::HttpHandler DashboardAgent::handler() {
       return resp;
     }
     if (req.path == "/debug/runtime") return net::runtime_debug_response();
+    if (req.path == "/debug/pprof") return net::pprof_response(req);
     return net::HttpResponse::not_found();
   };
 }
@@ -621,6 +625,141 @@ net::HttpResponse DashboardAgent::handle_trace(const net::HttpRequest& req) {
     }
   }
   body += "</pre></body></html>";
+  auto resp = net::HttpResponse::text(200, std::move(body));
+  resp.headers.set("Content-Type", "text/html; charset=utf-8");
+  return resp;
+}
+
+namespace {
+
+void append_html_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+/// Merge tree built from the profiler's folded stacks. std::map keeps
+/// sibling order stable across refreshes.
+struct FlameNode {
+  std::uint64_t total = 0;    ///< samples in this frame + descendants
+  std::uint64_t self = 0;     ///< samples ending exactly here
+  std::uint64_t trace_id = 0; ///< a sampled trace that ended here (0 = none)
+  std::map<std::string, FlameNode> children;
+};
+
+/// Deterministic pastel from the frame name, flamegraph-style.
+std::string flame_color(const std::string& name) {
+  std::uint32_t h = 2166136261u;
+  for (const char c : name) h = (h ^ static_cast<unsigned char>(c)) * 16777619u;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "hsl(%u,%u%%,%u%%)", h % 50, 60 + (h / 50) % 30,
+                62 + (h / 1500) % 14);
+  return buf;
+}
+
+/// Nested flexbox boxes: each child's flex weight is its sample count, so
+/// the browser does the width math and no JavaScript is needed.
+void render_flame(const FlameNode& node, std::uint64_t root_total, std::string& out) {
+  if (node.children.empty()) return;
+  out += "<div class=\"row\">";
+  for (const auto& [name, child] : node.children) {
+    const double pct =
+        root_total > 0 ? 100.0 * static_cast<double>(child.total) / root_total : 0.0;
+    char pct_buf[16];
+    std::snprintf(pct_buf, sizeof(pct_buf), "%.2f", pct);
+    out += "<div class=\"node\" style=\"flex-grow:";
+    out += std::to_string(child.total);
+    out += ";background:";
+    out += flame_color(name);
+    out += "\" title=\"";
+    append_html_escaped(out, name);
+    out += " — ";
+    out += std::to_string(child.total);
+    out += " samples (";
+    out += pct_buf;
+    out += "%)\"><div class=\"label\">";
+    if (child.trace_id != 0) {
+      out += "<a href=\"/trace/" + obs::trace_id_hex(child.trace_id) + "\">";
+      append_html_escaped(out, name);
+      out += "</a>";
+    } else {
+      append_html_escaped(out, name);
+    }
+    out += "</div>";
+    render_flame(child, root_total, out);
+    out += "</div>";
+  }
+  out += "</div>";
+}
+
+}  // namespace
+
+net::HttpResponse DashboardAgent::handle_flamegraph(const net::HttpRequest& req) {
+  obs::CpuProfiler& prof = obs::CpuProfiler::instance();
+  prof.process_once();
+  const std::size_t max_stacks = static_cast<std::size_t>(
+      std::atoll(req.query.get_or("stacks", "400").c_str()));
+  const std::vector<obs::ProfileStack> stacks = prof.snapshot(max_stacks);
+
+  FlameNode root;
+  for (const obs::ProfileStack& s : stacks) {
+    root.total += s.count;
+    FlameNode* node = &root;
+    std::size_t pos = 0;
+    while (pos <= s.stack.size()) {
+      const std::size_t sep = s.stack.find(';', pos);
+      const std::string frame =
+          s.stack.substr(pos, sep == std::string::npos ? std::string::npos : sep - pos);
+      node = &node->children[frame];
+      node->total += s.count;
+      if (sep == std::string::npos) break;
+      pos = sep + 1;
+    }
+    node->self += s.count;
+    if (s.trace_id != 0) node->trace_id = s.trace_id;
+  }
+
+  const obs::CpuProfiler::Stats stats = prof.stats();
+  std::string body =
+      "<!DOCTYPE html><html><head><title>cpu flamegraph</title><style>"
+      "body{font:12px monospace;margin:12px}"
+      ".row{display:flex;width:100%}"
+      ".node{display:flex;flex-direction:column;flex-basis:0;min-width:0;"
+      "border:1px solid #fff;border-radius:2px;overflow:hidden}"
+      ".label{white-space:nowrap;overflow:hidden;text-overflow:ellipsis;"
+      "padding:0 2px}"
+      ".label a{color:#036;}"
+      ".meta{color:#666;margin-bottom:8px}"
+      "</style></head><body><h2>CPU profile</h2><p class=\"meta\">";
+  body += prof.running() ? "profiler running at " + std::to_string(stats.hz) + " Hz"
+                         : "profiler stopped";
+  body += " · " + std::to_string(stats.samples_folded) + " samples · " +
+          std::to_string(stats.stacks) +
+          " stacks · frames link to traces where sampled · raw view: <a "
+          "href=\"/debug/pprof\">/debug/pprof</a></p>";
+  if (root.total == 0) {
+    body += "<p>no samples yet</p>";
+  } else {
+    body += "<div class=\"flame\">";
+    render_flame(root, root.total, body);
+    body += "</div>";
+  }
+  body += "</body></html>";
   auto resp = net::HttpResponse::text(200, std::move(body));
   resp.headers.set("Content-Type", "text/html; charset=utf-8");
   return resp;

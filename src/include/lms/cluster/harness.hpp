@@ -33,6 +33,7 @@
 #include "lms/core/taskscheduler.hpp"
 #include "lms/dashboard/agent.hpp"
 #include "lms/hpm/monitor.hpp"
+#include "lms/obs/cpuprofiler.hpp"
 #include "lms/obs/metrics.hpp"
 #include "lms/obs/selfscrape.hpp"
 #include "lms/obs/trace.hpp"
@@ -105,6 +106,16 @@ class ClusterHarness {
     /// Additionally emit an obs::Span per region instance (requires
     /// enable_tracing to land anywhere).
     bool profiling_spans = false;
+    /// Continuous CPU profiling in deterministic mode: start the
+    /// process-wide obs::CpuProfiler timer-less (no SIGPROF — the harness
+    /// captures one sample per simulation step via sample_once()), fold on
+    /// the manual scheduler's periodic task, and export the top stacks
+    /// through the router as "lms_profiles" points stamped from the sim
+    /// clock. drain_profiles() forces an export mid-test.
+    bool enable_cpuprofile = false;
+    int cpuprofile_hz = 99;  ///< recorded in stats; no real timer fires
+    util::TimeNs cpuprofile_export_interval = 30 * util::kNanosPerSecond;
+    std::size_t cpuprofile_top_k = 20;
   };
 
   explicit ClusterHarness(Options options);
@@ -154,6 +165,9 @@ class ClusterHarness {
   alert::Evaluator* alerts() { return alert_evaluator_.get(); }
   /// Present iff Options::enable_tracing.
   obs::TraceExporter* trace_exporter() { return trace_exporter_.get(); }
+  /// Present iff Options::enable_cpuprofile (and the process-wide profiler
+  /// was free to start).
+  obs::ProfileExporter* profile_exporter() { return profile_exporter_.get(); }
   const Options& options() const { return options_; }
 
   /// Export every finished span into the TSDB now (and land it through the
@@ -161,6 +175,12 @@ class ClusterHarness {
   /// deterministically right after the spans of interest closed. Returns
   /// the number of spans exported by this call. No-op without tracing.
   std::size_t drain_traces();
+
+  /// Fold pending CPU samples and export the current top stacks into the
+  /// TSDB now (landing them through the async ingest queues when those are
+  /// on). Returns the number of stacks exported by this call. No-op without
+  /// enable_cpuprofile.
+  std::size_t drain_profiles();
 
   /// Simulate an agent crash: an inactive node's collector stops ticking
   /// (its kernel keeps running), so its metrics stop arriving and the
@@ -244,6 +264,10 @@ class ClusterHarness {
   std::unique_ptr<tsdb::CqRunner> cq_runner_;
   std::unique_ptr<obs::SelfScrape> self_scrape_;
   std::unique_ptr<obs::TraceExporter> trace_exporter_;
+  std::unique_ptr<obs::ProfileExporter> profile_exporter_;
+  /// True when this harness started the process-wide CpuProfiler (and so
+  /// owns stopping + clearing it on teardown).
+  bool cpuprofile_started_ = false;
   std::unique_ptr<alert::Evaluator> alert_evaluator_;
   /// Raw-data expiry with the rollup/job-aggregate filter; runs once a
   /// simulated minute (Options::retention > 0 only).

@@ -22,8 +22,12 @@
 // the metrics registry; lms::obs reads the snapshots and exports them as
 // lms_runtime_* instruments and in GET /debug/runtime.
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -61,6 +65,183 @@ struct QueueStats {
     depth.store(new_depth, std::memory_order_relaxed);
   }
 };
+
+// ---------------------------------------------------------------------------
+// Scheduler task identity
+// ---------------------------------------------------------------------------
+
+namespace impl {
+/// Name of the scheduler task the calling thread is currently running.
+/// Written only by TaskNameScope in normal (non-signal) context; read by
+/// the same thread, including from the CPU profiler's signal handler — a
+/// plain thread-local pointer read is async-signal-safe.
+inline thread_local const char* tls_task_name = nullptr;
+}  // namespace impl
+
+/// The scheduler task (periodic task name, or the generic "sched.submit"/
+/// "sched.pinned"/"sched.delayed" lanes) the calling thread is executing,
+/// nullptr outside any task. The CPU profiler tags samples with this, so a
+/// hot periodic task can be pivoted straight into its flamegraph.
+inline const char* current_task_name() { return impl::tls_task_name; }
+
+/// RAII task-name bracket. The name must stay valid for the scope's
+/// lifetime (the scheduler passes names owned by live PeriodicState /
+/// string literals, both of which outlive the run).
+class TaskNameScope {
+ public:
+  explicit TaskNameScope(const char* name) : prev_(impl::tls_task_name) {
+    impl::tls_task_name = name;
+  }
+  ~TaskNameScope() { impl::tls_task_name = prev_; }
+  TaskNameScope(const TaskNameScope&) = delete;
+  TaskNameScope& operator=(const TaskNameScope&) = delete;
+
+ private:
+  const char* prev_;
+};
+
+// ---------------------------------------------------------------------------
+// Scheduler queueing delay (submit -> run latency)
+// ---------------------------------------------------------------------------
+
+namespace sched_delay {
+
+/// Log2 delay histogram, same bucketing as the lockstats wait histogram
+/// (bucket i counts delays with bit_width(ns) == i; bucket 39 = overflow).
+inline constexpr std::size_t kBuckets = sync::lockstats::kWaitBuckets;
+
+/// Fixed capacity of the per-task-name table. Names are the periodic task
+/// names plus the three anonymous lanes, so a process uses a couple dozen.
+inline constexpr std::size_t kMaxTasks = 64;
+
+/// Per-slot name storage. Names are copied in (periodic task names are
+/// std::strings owned by a PeriodicState that can die before the table is
+/// next read); over-long names are truncated, which at worst merges two
+/// rows sharing a 47-char prefix.
+inline constexpr std::size_t kMaxTaskName = 48;
+
+/// One task name's delay distribution. Relaxed atomics bumped by whichever
+/// worker pops the task; readers snapshot without coordination. The name
+/// bytes are written before the slot is published via Table::used
+/// (release/acquire), then never change.
+struct TaskStats {
+  char name[kMaxTaskName] = {};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> delay_ns_total{0};
+  std::atomic<std::uint64_t> delay_ns_max{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> hist{};
+};
+
+namespace impl {
+
+struct Table {
+  std::array<TaskStats, kMaxTasks> slots;
+  std::atomic<std::size_t> used{0};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+inline Table& table() {
+  static Table t;
+  return t;
+}
+
+/// Registration-only serialization, same rationale as lockstats::intern_mu.
+inline std::mutex& intern_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace impl
+
+/// Find-or-create the stats slot for a task name (content-compared, so the
+/// same name from two schedulers shares one row). nullptr when full.
+inline TaskStats* intern(const char* name) {
+  if (name == nullptr || name[0] == '\0') name = "<unnamed>";
+  impl::Table& t = impl::table();
+  const std::size_t seen = t.used.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < seen; ++i) {
+    if (std::strncmp(t.slots[i].name, name, kMaxTaskName - 1) == 0) return &t.slots[i];
+  }
+  std::lock_guard<std::mutex> guard(impl::intern_mu());
+  const std::size_t used = t.used.load(std::memory_order_relaxed);
+  for (std::size_t i = seen; i < used; ++i) {
+    if (std::strncmp(t.slots[i].name, name, kMaxTaskName - 1) == 0) return &t.slots[i];
+  }
+  if (used >= kMaxTasks) {
+    t.dropped.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  TaskStats& slot = t.slots[used];
+  std::strncpy(slot.name, name, kMaxTaskName - 1);
+  slot.name[kMaxTaskName - 1] = '\0';
+  t.used.store(used + 1, std::memory_order_release);
+  return &slot;
+}
+
+inline void record(TaskStats* s, std::uint64_t delay_ns) {
+  if (s == nullptr) return;
+  s->count.fetch_add(1, std::memory_order_relaxed);
+  s->delay_ns_total.fetch_add(delay_ns, std::memory_order_relaxed);
+  sync::lockstats::atomic_max(s->delay_ns_max, delay_ns);
+  s->hist[sync::lockstats::wait_bucket(delay_ns)].fetch_add(1, std::memory_order_relaxed);
+}
+
+inline std::uint64_t dropped_tasks() {
+  return impl::table().dropped.load(std::memory_order_relaxed);
+}
+
+struct TaskDelaySnapshot {
+  const char* name;
+  std::uint64_t count;
+  std::uint64_t delay_ns_total;
+  std::uint64_t delay_ns_max;
+  std::array<std::uint64_t, kBuckets> hist;
+};
+
+/// Approximate q-quantile of one task's delay distribution (upper bound of
+/// the first bucket reaching the target cumulative count).
+inline std::uint64_t delay_quantile_ns(const TaskDelaySnapshot& s, double q) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : s.hist) total += c;
+  if (total == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += s.hist[i];
+    if (cum > target || (q >= 1.0 && cum == total)) {
+      return sync::lockstats::bucket_upper_ns(i);
+    }
+  }
+  return sync::lockstats::bucket_upper_ns(kBuckets - 1);
+}
+
+/// All task rows with at least one recorded delay, sorted by total delay
+/// descending (the ranking /debug/runtime serves).
+inline std::vector<TaskDelaySnapshot> snapshot() {
+  impl::Table& t = impl::table();
+  const std::size_t used = t.used.load(std::memory_order_acquire);
+  std::vector<TaskDelaySnapshot> out;
+  out.reserve(used);
+  for (std::size_t i = 0; i < used; ++i) {
+    const TaskStats& s = t.slots[i];
+    TaskDelaySnapshot snap;
+    snap.name = s.name;  // points into static table storage, never freed
+    snap.count = s.count.load(std::memory_order_relaxed);
+    if (snap.count == 0) continue;
+    snap.delay_ns_total = s.delay_ns_total.load(std::memory_order_relaxed);
+    snap.delay_ns_max = s.delay_ns_max.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      snap.hist[b] = s.hist[b].load(std::memory_order_relaxed);
+    }
+    out.push_back(snap);
+  }
+  std::sort(out.begin(), out.end(), [](const TaskDelaySnapshot& a, const TaskDelaySnapshot& b) {
+    return a.delay_ns_total > b.delay_ns_total;
+  });
+  return out;
+}
+
+}  // namespace sched_delay
 
 // ---------------------------------------------------------------------------
 // Loops

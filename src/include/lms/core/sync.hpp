@@ -158,6 +158,7 @@ enum class Rank : int {
   kSched = 85,               ///< TaskScheduler worker queues + timer heap (seq = worker)
   kObsRegistry = 90,         ///< metrics registry instrument map
   kObsTrace = 92,            ///< span recorder ring
+  kObsProfile = 93,          ///< CPU profiler fold table + symbol cache
   kRuntimeRegistry = 95,     ///< core::runtime queue/loop stats registry
   kLogging = 100,            ///< logger/log-ring: any thread may log anywhere
 };

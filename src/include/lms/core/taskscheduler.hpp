@@ -72,6 +72,7 @@ class TaskScheduler;
 
 namespace sched_detail {
 struct PeriodicState;
+struct QueuedTask;
 struct Worker;
 struct TimerQueue;
 }  // namespace sched_detail
@@ -180,9 +181,10 @@ class TaskScheduler {
   friend class PeriodicTaskHandle;
   friend struct sched_detail::PeriodicState;
 
-  void enqueue_local(std::size_t index, Task fn);
-  void enqueue_pinned(std::size_t index, Task fn);
-  void schedule_timer(util::TimeNs due, Task fn, bool pinned, std::uint64_t key);
+  void enqueue_local(std::size_t index, Task fn, const char* name);
+  void enqueue_pinned(std::size_t index, Task fn, const char* name);
+  void schedule_timer(util::TimeNs due, Task fn, bool pinned, std::uint64_t key,
+                      const char* name);
   void notify_all_workers();
   void worker_loop(std::size_t index);
   /// Move due timer entries into the worker queues. Returns promoted count.
@@ -190,6 +192,10 @@ class TaskScheduler {
   util::TimeNs next_timer_due() const;
   util::TimeNs scheduler_now() const;
   void run_task(Task& fn);
+  /// Record the queued task's submit→run delay, set the task-name TLS scope,
+  /// and execute it. Queue bookkeeping (ready_count_, depth) stays at the
+  /// pop site.
+  void run_queued(sched_detail::QueuedTask& qt);
   void run_periodic(const std::shared_ptr<sched_detail::PeriodicState>& state,
                     std::uint64_t gen);
   void trigger_periodic(const std::shared_ptr<sched_detail::PeriodicState>& state);
@@ -219,6 +225,16 @@ class TaskScheduler {
 
 namespace sched_detail {
 
+/// A task in a worker lane, stamped with its name (for the task-name TLS
+/// scope and the queue-delay table; always a string literal or a string
+/// owned by a PeriodicState the closure keeps alive) and its enqueue time
+/// on the scheduler's clock, so the pop site can record submit→run latency.
+struct QueuedTask {
+  TaskScheduler::Task fn;
+  const char* name = nullptr;
+  util::TimeNs enqueued_ns = 0;
+};
+
 struct Worker {
   explicit Worker(std::size_t index)
       : mu(sync::Rank::kSched, "sched.worker", index),
@@ -229,9 +245,9 @@ struct Worker {
   sync::CondVar cv;
   /// Stealable lane: owner pushes/pops at the back (LIFO, cache-warm),
   /// thieves take from the front (FIFO, oldest first).
-  std::deque<TaskScheduler::Task> local LMS_GUARDED_BY(mu);
+  std::deque<QueuedTask> local LMS_GUARDED_BY(mu);
   /// Affinity lane: strictly FIFO, never stolen.
-  std::deque<TaskScheduler::Task> pinned LMS_GUARDED_BY(mu);
+  std::deque<QueuedTask> pinned LMS_GUARDED_BY(mu);
   std::string loop_name;
   runtime::LoopStats loop;
   std::thread thread;
@@ -243,6 +259,7 @@ struct TimerEntry {
   TaskScheduler::Task fn;
   bool pinned;
   std::uint64_t key;
+  const char* name;
 };
 
 /// Comparator for std::push_heap/pop_heap (max-heap order inverted into a
@@ -392,21 +409,30 @@ inline void TaskScheduler::run_task(Task& fn) {
   stats_.executed.fetch_add(1, std::memory_order_relaxed);
 }
 
-inline void TaskScheduler::enqueue_local(std::size_t index, Task fn) {
+inline void TaskScheduler::run_queued(sched_detail::QueuedTask& qt) {
+  const util::TimeNs now = scheduler_now();
+  const std::uint64_t delay_ns =
+      now > qt.enqueued_ns ? static_cast<std::uint64_t>(now - qt.enqueued_ns) : 0;
+  runtime::sched_delay::record(runtime::sched_delay::intern(qt.name), delay_ns);
+  runtime::TaskNameScope name_scope(qt.name);
+  run_task(qt.fn);
+}
+
+inline void TaskScheduler::enqueue_local(std::size_t index, Task fn, const char* name) {
   sched_detail::Worker& w = *workers_[index];
   {
     sync::LockGuard lock(w.mu);
-    w.local.push_back(std::move(fn));
+    w.local.push_back(sched_detail::QueuedTask{std::move(fn), name, scheduler_now()});
   }
   stats_.on_enqueue(ready_count_.fetch_add(1, std::memory_order_relaxed) + 1);
   if (!options_.manual) w.cv.notify_one();
 }
 
-inline void TaskScheduler::enqueue_pinned(std::size_t index, Task fn) {
+inline void TaskScheduler::enqueue_pinned(std::size_t index, Task fn, const char* name) {
   sched_detail::Worker& w = *workers_[index];
   {
     sync::LockGuard lock(w.mu);
-    w.pinned.push_back(std::move(fn));
+    w.pinned.push_back(sched_detail::QueuedTask{std::move(fn), name, scheduler_now()});
   }
   stats_.on_enqueue(ready_count_.fetch_add(1, std::memory_order_relaxed) + 1);
   if (!options_.manual) w.cv.notify_one();
@@ -426,7 +452,7 @@ inline void TaskScheduler::submit(Task fn) {
     index = static_cast<std::size_t>(rr_next_.fetch_add(1, std::memory_order_relaxed)) %
             workers_.size();
   }
-  enqueue_local(index, std::move(fn));
+  enqueue_local(index, std::move(fn), "sched.submit");
 }
 
 inline void TaskScheduler::submit(Task fn, std::uint64_t affinity_key) {
@@ -436,7 +462,8 @@ inline void TaskScheduler::submit(Task fn, std::uint64_t affinity_key) {
     run_task(fn);
     return;
   }
-  enqueue_pinned(static_cast<std::size_t>(affinity_key % workers_.size()), std::move(fn));
+  enqueue_pinned(static_cast<std::size_t>(affinity_key % workers_.size()), std::move(fn),
+                 "sched.pinned");
 }
 
 inline void TaskScheduler::submit_after(util::TimeNs delay, Task fn) {
@@ -444,7 +471,8 @@ inline void TaskScheduler::submit_after(util::TimeNs delay, Task fn) {
   stats_.delayed.fetch_add(1, std::memory_order_relaxed);
   if (stopping_.load(std::memory_order_acquire)) return;  // undue timers are dropped
   if (delay < 0) delay = 0;
-  schedule_timer(scheduler_now() + delay, std::move(fn), /*pinned=*/false, 0);
+  schedule_timer(scheduler_now() + delay, std::move(fn), /*pinned=*/false, 0,
+                 "sched.delayed");
 }
 
 inline PeriodicTaskHandle TaskScheduler::submit_periodic(std::string name,
@@ -462,7 +490,7 @@ inline PeriodicTaskHandle TaskScheduler::submit_periodic(std::string name,
     const std::uint64_t gen = state->gen.load(std::memory_order_relaxed);
     schedule_timer(
         first_due, [this, self, gen] { run_periodic(self, gen); }, /*pinned=*/true,
-        reinterpret_cast<std::uintptr_t>(state.get()));
+        reinterpret_cast<std::uintptr_t>(state.get()), state->name.c_str());
   }
   return PeriodicTaskHandle(std::move(state));
 }
@@ -474,8 +502,14 @@ inline void TaskScheduler::trigger_periodic(
   // from its own completion.
   const std::uint64_t gen = state->gen.fetch_add(1, std::memory_order_acq_rel) + 1;
   std::shared_ptr<sched_detail::PeriodicState> self = state;
-  submit([this, self, gen] { run_periodic(self, gen); },
-         reinterpret_cast<std::uintptr_t>(state.get()));
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  stats_.pinned.fetch_add(1, std::memory_order_relaxed);
+  // Bypass submit(fn, key) so the queued run keeps the periodic task's name
+  // (the closure's shared_ptr keeps the name's storage alive while queued).
+  enqueue_pinned(
+      static_cast<std::size_t>(reinterpret_cast<std::uintptr_t>(state.get()) %
+                               workers_.size()),
+      [this, self, gen] { run_periodic(self, gen); }, state->name.c_str());
 }
 
 inline void TaskScheduler::run_periodic(
@@ -506,15 +540,15 @@ inline void TaskScheduler::run_periodic(
   std::shared_ptr<sched_detail::PeriodicState> self = state;
   schedule_timer(
       scheduler_now() + state->interval, [this, self, gen] { run_periodic(self, gen); },
-      /*pinned=*/true, reinterpret_cast<std::uintptr_t>(state.get()));
+      /*pinned=*/true, reinterpret_cast<std::uintptr_t>(state.get()), state->name.c_str());
 }
 
 inline void TaskScheduler::schedule_timer(util::TimeNs due, Task fn, bool pinned,
-                                          std::uint64_t key) {
+                                          std::uint64_t key, const char* name) {
   {
     sync::LockGuard lock(timers_->mu);
-    timers_->heap.push_back(
-        sched_detail::TimerEntry{due, timers_->next_order++, std::move(fn), pinned, key});
+    timers_->heap.push_back(sched_detail::TimerEntry{due, timers_->next_order++,
+                                                     std::move(fn), pinned, key, name});
     std::push_heap(timers_->heap.begin(), timers_->heap.end(), sched_detail::timer_later);
   }
   timer_version_.fetch_add(1, std::memory_order_release);
@@ -534,14 +568,15 @@ inline std::size_t TaskScheduler::promote_due_timers(util::TimeNs now) {
   for (sched_detail::TimerEntry& e : due) {
     if (e.pinned) {
       stats_.pinned.fetch_add(1, std::memory_order_relaxed);
-      enqueue_pinned(static_cast<std::size_t>(e.key % workers_.size()), std::move(e.fn));
+      enqueue_pinned(static_cast<std::size_t>(e.key % workers_.size()), std::move(e.fn),
+                     e.name);
     } else if (!options_.manual && sched_detail::tls_scheduler == this) {
-      enqueue_local(sched_detail::tls_worker_index, std::move(e.fn));
+      enqueue_local(sched_detail::tls_worker_index, std::move(e.fn), e.name);
     } else {
       enqueue_local(static_cast<std::size_t>(
                         rr_next_.fetch_add(1, std::memory_order_relaxed)) %
                         workers_.size(),
-                    std::move(e.fn));
+                    std::move(e.fn), e.name);
     }
   }
   return due.size();
@@ -568,7 +603,7 @@ inline bool TaskScheduler::steal_into(std::size_t thief) {
   for (std::size_t off = 1; off < n; ++off) {
     const std::size_t victim = (thief + off) % n;
     stats_.steal_attempts.fetch_add(1, std::memory_order_relaxed);
-    std::vector<Task> loot;
+    std::vector<sched_detail::QueuedTask> loot;
     {
       sched_detail::Worker& v = *workers_[victim];
       sync::LockGuard lock(v.mu);
@@ -592,7 +627,7 @@ inline bool TaskScheduler::steal_into(std::size_t thief) {
     stats_.depth.store(ready_count_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
     runtime::BusyScope scope(workers_[thief]->loop);
-    run_task(loot.front());
+    run_queued(loot.front());
     return true;
   }
   return false;
@@ -603,7 +638,7 @@ inline void TaskScheduler::worker_loop(std::size_t index) {
   sched_detail::tls_worker_index = index;
   sched_detail::Worker& w = *workers_[index];
   for (;;) {
-    Task task;
+    sched_detail::QueuedTask task;
     bool have = false;
     {
       sync::LockGuard lock(w.mu);
@@ -622,7 +657,7 @@ inline void TaskScheduler::worker_loop(std::size_t index) {
       stats_.depth.store(ready_count_.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
       runtime::BusyScope scope(w.loop);
-      run_task(task);
+      run_queued(task);
       continue;
     }
     const std::uint64_t tv = timer_version_.load(std::memory_order_acquire);
@@ -653,7 +688,7 @@ inline std::size_t TaskScheduler::drain_queues() {
     for (auto& wp : workers_) {
       sched_detail::Worker& w = *wp;
       for (;;) {
-        Task task;
+        sched_detail::QueuedTask task;
         bool have = false;
         {
           sync::LockGuard lock(w.mu);
@@ -674,7 +709,7 @@ inline std::size_t TaskScheduler::drain_queues() {
         ready_count_.fetch_sub(1, std::memory_order_relaxed);
         stats_.depth.store(ready_count_.load(std::memory_order_relaxed),
                            std::memory_order_relaxed);
-        run_task(task);
+        run_queued(task);
         ++ran;
       }
     }

@@ -88,11 +88,14 @@ class DashboardAgent {
   ///                                      ?from=<ns>&to=<ns> bound the range)
   ///   GET  /health, /ready            -> JSON component status
   ///   GET  /metrics                   -> Prometheus text exposition
-  ///   GET  /debug/runtime             -> lock/queue/loop contention JSON
+  ///   GET  /debug/runtime             -> lock/queue/loop/profiler JSON
+  ///   GET  /debug/pprof               -> collapsed CPU stacks (?seconds=N)
+  ///   GET  /flamegraph                -> HTML flamegraph of the CPU profile
   net::HttpHandler handler();
 
  private:
   net::HttpResponse handle_trace(const net::HttpRequest& req);
+  net::HttpResponse handle_flamegraph(const net::HttpRequest& req);
   net::HttpResponse handle_regions(const net::HttpRequest& req);
   /// Discover application-level metric fields the job reported.
   std::vector<std::string> discover_user_fields(const std::string& job_id) const;

@@ -86,13 +86,27 @@ HttpResponse debug_logs_response(const util::LogRing& ring, const HttpRequest& r
 ///    "loops":[{"loop","iterations","busy_ns","idle_ns","duty_pct"},...],
 ///    "scheds":[{"scheduler","workers","submitted","executed","stolen",
 ///               "steal_attempts","pinned","delayed","periodic_runs",
-///               "queue_depth","queue_high_watermark"},...]}
+///               "queue_depth","queue_high_watermark"},...],
+///    "queue_delays":[{"task","count","delay_ns_total","delay_ns_max",
+///                     "delay_ns_avg","delay_p50_ns","delay_p99_ns"},...],
+///    "profiler":{"running","timer","hz","samples_captured",
+///                "samples_dropped","samples_folded","folds","rings_active",
+///                "rings_reclaimed","stacks","stack_overflows"}}
 /// Lock sites are sorted by wait_ns_total descending, so the first entry is
 /// the lock the process spends the most time waiting on. The section is
 /// empty (compiled=false) unless built with -DLMS_LOCK_STATS=ON; queues,
 /// loops and scheds (one row per live TaskScheduler, including every
-/// periodic task as a named loop row) report in every build. Served by the
-/// router and the TSDB API.
+/// periodic task as a named loop row) report in every build. queue_delays
+/// ranks scheduler tasks by total submit→run latency; profiler reflects the
+/// process-wide obs::CpuProfiler. Served by the router and the TSDB API.
 HttpResponse runtime_debug_response();
+
+/// Shared GET /debug/pprof answer: the CPU profiler's aggregate as
+/// collapsed-stack text ("frame;frame;leaf count\n" per line, heaviest
+/// first — feed it straight to flamegraph.pl / speedscope). With
+/// ?seconds=N (clamped to [0,30], timer mode only) blocks for the window
+/// and returns only the samples captured during it, pprof-style. 503 when
+/// the profiler is not running.
+HttpResponse pprof_response(const HttpRequest& req);
 
 }  // namespace lms::net

@@ -1,8 +1,15 @@
 #include "lms/net/health.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <unordered_map>
+
 #include "lms/core/runtime.hpp"
 #include "lms/core/sync.hpp"
 #include "lms/json/json.hpp"
+#include "lms/obs/cpuprofiler.hpp"
 #include "lms/obs/runtime.hpp"
 #include "lms/obs/trace.hpp"
 
@@ -188,7 +195,83 @@ HttpResponse runtime_debug_response() {
   }
   top["scheds"] = std::move(scheds);
 
+  namespace sd = core::runtime::sched_delay;
+  json::Array queue_delays;
+  for (const sd::TaskDelaySnapshot& t : sd::snapshot()) {
+    json::Object o;
+    o["task"] = std::string(t.name);
+    o["count"] = static_cast<std::int64_t>(t.count);
+    o["delay_ns_total"] = static_cast<std::int64_t>(t.delay_ns_total);
+    o["delay_ns_max"] = static_cast<std::int64_t>(t.delay_ns_max);
+    o["delay_ns_avg"] =
+        static_cast<std::int64_t>(t.count > 0 ? t.delay_ns_total / t.count : 0);
+    o["delay_p50_ns"] = static_cast<std::int64_t>(sd::delay_quantile_ns(t, 0.50));
+    o["delay_p99_ns"] = static_cast<std::int64_t>(sd::delay_quantile_ns(t, 0.99));
+    queue_delays.emplace_back(std::move(o));
+  }
+  top["queue_delays"] = std::move(queue_delays);
+
+  const obs::CpuProfiler::Stats prof = obs::CpuProfiler::instance().stats();
+  json::Object profiler;
+  profiler["running"] = prof.running;
+  profiler["timer"] = prof.timer;
+  profiler["hz"] = static_cast<std::int64_t>(prof.hz);
+  profiler["samples_captured"] = static_cast<std::int64_t>(prof.samples_captured);
+  profiler["samples_dropped"] = static_cast<std::int64_t>(prof.samples_dropped);
+  profiler["samples_folded"] = static_cast<std::int64_t>(prof.samples_folded);
+  profiler["folds"] = static_cast<std::int64_t>(prof.folds);
+  profiler["rings_active"] = static_cast<std::int64_t>(prof.rings_active);
+  profiler["rings_reclaimed"] = static_cast<std::int64_t>(prof.rings_reclaimed);
+  profiler["stacks"] = static_cast<std::int64_t>(prof.stacks);
+  profiler["stack_overflows"] = static_cast<std::int64_t>(prof.stack_overflows);
+  top["profiler"] = std::move(profiler);
+
   return HttpResponse::json(200, json::Value(std::move(top)).dump());
+}
+
+HttpResponse pprof_response(const HttpRequest& req) {
+  obs::CpuProfiler& prof = obs::CpuProfiler::instance();
+  if (!prof.running()) {
+    return HttpResponse::text(503, "cpu profiler not running (enable [profiling])\n");
+  }
+  int seconds = 0;
+  const std::string want = req.query.get_or("seconds", "0");
+  seconds = std::clamp(std::atoi(want.c_str()), 0, 30);
+  std::string body;
+  if (seconds > 0 && prof.options().timer) {
+    // pprof-style delta: fold what's pending, remember the counts, let the
+    // timer sample for the window, and emit only the growth.
+    prof.process_once();
+    std::unordered_map<std::string, std::uint64_t> before;
+    for (const obs::ProfileStack& s : prof.snapshot()) before[s.stack] = s.count;
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+    prof.process_once();
+    std::vector<obs::ProfileStack> delta;
+    for (obs::ProfileStack& s : prof.snapshot()) {
+      const auto it = before.find(s.stack);
+      const std::uint64_t base = it != before.end() ? it->second : 0;
+      if (s.count > base) {
+        s.count -= base;
+        delta.push_back(std::move(s));
+      }
+    }
+    std::sort(delta.begin(), delta.end(),
+              [](const obs::ProfileStack& a, const obs::ProfileStack& b) {
+                return a.count > b.count;
+              });
+    for (const obs::ProfileStack& s : delta) {
+      body += s.stack;
+      body += ' ';
+      body += std::to_string(s.count);
+      body += '\n';
+    }
+  } else {
+    // Cumulative profile since start/clear (also the deterministic-mode
+    // path, where no timer ticks during a sleep anyway).
+    prof.process_once();
+    body = prof.collapsed();
+  }
+  return HttpResponse::text(200, std::move(body));
 }
 
 }  // namespace lms::net

@@ -196,32 +196,116 @@ void append_series(std::string& out, std::string_view name, const Labels& labels
   out.push_back('\n');
 }
 
+// One `# HELP` / `# TYPE` pair introducing a metric family. Prometheus
+// requires the pair to precede the family's series and each family's series
+// to be contiguous, which is why render_text groups samples by name below.
+void append_family_header(std::string& out, std::string_view name, std::string_view suffix,
+                          std::string_view type, std::string_view help) {
+  out.append("# HELP ");
+  out.append(name);
+  out.append(suffix);
+  out.push_back(' ');
+  for (const char c : help) {  // HELP text escaping: backslash and newline
+    if (c == '\\') {
+      out.append("\\\\");
+    } else if (c == '\n') {
+      out.append("\\n");
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('\n');
+  out.append("# TYPE ");
+  out.append(name);
+  out.append(suffix);
+  out.push_back(' ');
+  out.append(type);
+  out.push_back('\n');
+}
+
 }  // namespace
 
 std::string render_text(const Registry& registry) {
+  const std::vector<Sample> samples = registry.collect();
   std::string out;
-  for (const Sample& s : registry.collect()) {
-    switch (s.kind) {
+  // collect() sorts by name, so a family's label sets form one contiguous
+  // run. Emit the HELP/TYPE header once per run, then its series; histogram
+  // runs expand suffix-by-suffix so each derived family (<name>_count,
+  // <name>_sum, percentiles) stays contiguous too.
+  std::size_t i = 0;
+  while (i < samples.size()) {
+    std::size_t j = i;
+    while (j < samples.size() && samples[j].name == samples[i].name &&
+           samples[j].kind == samples[i].kind) {
+      ++j;
+    }
+    const Sample& first = samples[i];
+    switch (first.kind) {
       case Sample::Kind::kCounter:
-      case Sample::Kind::kGauge:
-        append_series(out, s.name, s.labels, "", s.value);
-        break;
-      case Sample::Kind::kHistogram:
-        append_series(out, s.name, s.labels, "_count", static_cast<double>(s.histogram.count));
-        append_series(out, s.name, s.labels, "_sum", static_cast<double>(s.histogram.sum));
-        append_series(out, s.name, s.labels, "_p50", s.histogram.p50);
-        append_series(out, s.name, s.labels, "_p90", s.histogram.p90);
-        append_series(out, s.name, s.labels, "_p99", s.histogram.p99);
-        if (s.exemplar.trace_id != 0) {
-          // The slowest recent observation with the trace that produced it —
-          // the alert-to-waterfall bridge (fetch it at GET /trace/<id>).
-          Labels ex_labels = s.labels;
-          ex_labels.emplace_back("trace_id", trace_id_hex(s.exemplar.trace_id));
-          append_series(out, s.name, ex_labels, "_exemplar",
-                        static_cast<double>(s.exemplar.value));
+      case Sample::Kind::kGauge: {
+        const bool is_counter = first.kind == Sample::Kind::kCounter;
+        append_family_header(out, first.name, "", is_counter ? "counter" : "gauge",
+                             is_counter ? "Monotonic counter." : "Instantaneous gauge.");
+        for (std::size_t k = i; k < j; ++k) {
+          append_series(out, samples[k].name, samples[k].labels, "", samples[k].value);
         }
         break;
+      }
+      case Sample::Kind::kHistogram: {
+        const std::string base(first.name);
+        append_family_header(out, first.name, "_count", "counter",
+                             "Observations recorded by histogram " + base + ".");
+        for (std::size_t k = i; k < j; ++k) {
+          append_series(out, samples[k].name, samples[k].labels, "_count",
+                        static_cast<double>(samples[k].histogram.count));
+        }
+        append_family_header(out, first.name, "_sum", "counter",
+                             "Sum of observations recorded by histogram " + base + ".");
+        for (std::size_t k = i; k < j; ++k) {
+          append_series(out, samples[k].name, samples[k].labels, "_sum",
+                        static_cast<double>(samples[k].histogram.sum));
+        }
+        struct Pct {
+          const char* suffix;
+          double Histogram::Summary::*field;
+          const char* help;
+        };
+        static constexpr Pct kPcts[] = {
+            {"_p50", &Histogram::Summary::p50, "50th percentile of histogram "},
+            {"_p90", &Histogram::Summary::p90, "90th percentile of histogram "},
+            {"_p99", &Histogram::Summary::p99, "99th percentile of histogram "},
+        };
+        for (const Pct& pct : kPcts) {
+          append_family_header(out, first.name, pct.suffix, "gauge", pct.help + base + ".");
+          for (std::size_t k = i; k < j; ++k) {
+            append_series(out, samples[k].name, samples[k].labels, pct.suffix,
+                          samples[k].histogram.*pct.field);
+          }
+        }
+        bool any_exemplar = false;
+        for (std::size_t k = i; k < j; ++k) {
+          any_exemplar = any_exemplar || samples[k].exemplar.trace_id != 0;
+        }
+        if (any_exemplar) {
+          // The slowest recent observation with the trace that produced it —
+          // the alert-to-waterfall bridge (fetch it at GET /trace/<id>).
+          // Header and series only exist when an exemplar was captured, so
+          // exemplar-free expositions stay free of the suffix entirely.
+          append_family_header(out, first.name, "_exemplar", "gauge",
+                               "Slowest recent observation of histogram " + base +
+                                   " with its originating trace_id.");
+          for (std::size_t k = i; k < j; ++k) {
+            if (samples[k].exemplar.trace_id == 0) continue;
+            Labels ex_labels = samples[k].labels;
+            ex_labels.emplace_back("trace_id", trace_id_hex(samples[k].exemplar.trace_id));
+            append_series(out, samples[k].name, ex_labels, "_exemplar",
+                          static_cast<double>(samples[k].exemplar.value));
+          }
+        }
+        break;
+      }
     }
+    i = j;
   }
   return out;
 }

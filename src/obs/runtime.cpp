@@ -7,6 +7,7 @@
 
 #include "lms/core/runtime.hpp"
 #include "lms/core/sync.hpp"
+#include "lms/obs/cpuprofiler.hpp"
 
 // Stamped by the top-level CMakeLists; default for non-CMake consumers.
 #ifndef LMS_BUILD_TYPE_NAME
@@ -156,6 +157,35 @@ void update_sched_metrics(Registry& registry) {
   }
 }
 
+void update_sched_delay_metrics(Registry& registry) {
+  namespace sd = core::runtime::sched_delay;
+  for (const sd::TaskDelaySnapshot& t : sd::snapshot()) {
+    const Labels labels{{"task", t.name}};
+    registry.gauge("lms_runtime_sched_queue_delay_count", labels).set(d(t.count));
+    registry.gauge("lms_runtime_sched_queue_delay_ns_total", labels)
+        .set(d(t.delay_ns_total));
+    registry.gauge("lms_runtime_sched_queue_delay_ns_max", labels).set(d(t.delay_ns_max));
+    registry.gauge("lms_runtime_sched_queue_delay_p50_ns", labels)
+        .set(d(sd::delay_quantile_ns(t, 0.50)));
+    registry.gauge("lms_runtime_sched_queue_delay_p99_ns", labels)
+        .set(d(sd::delay_quantile_ns(t, 0.99)));
+  }
+}
+
+void update_profiler_metrics(Registry& registry) {
+  const CpuProfiler::Stats s = CpuProfiler::instance().stats();
+  registry.gauge("lms_profile_running").set(s.running ? 1.0 : 0.0);
+  registry.gauge("lms_profile_hz").set(d(static_cast<std::uint64_t>(s.hz)));
+  registry.gauge("lms_profile_samples_captured_total").set(d(s.samples_captured));
+  registry.gauge("lms_profile_samples_dropped_total").set(d(s.samples_dropped));
+  registry.gauge("lms_profile_samples_folded_total").set(d(s.samples_folded));
+  registry.gauge("lms_profile_folds_total").set(d(s.folds));
+  registry.gauge("lms_profile_rings_active").set(d(s.rings_active));
+  registry.gauge("lms_profile_rings_reclaimed_total").set(d(s.rings_reclaimed));
+  registry.gauge("lms_profile_stacks").set(d(s.stacks));
+  registry.gauge("lms_profile_stack_overflows_total").set(d(s.stack_overflows));
+}
+
 }  // namespace
 
 void update_runtime_metrics(Registry& registry) {
@@ -164,6 +194,8 @@ void update_runtime_metrics(Registry& registry) {
   update_queue_metrics(registry);
   update_loop_metrics(registry);
   update_sched_metrics(registry);
+  update_sched_delay_metrics(registry);
+  update_profiler_metrics(registry);
 }
 
 }  // namespace lms::obs

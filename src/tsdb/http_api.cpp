@@ -113,6 +113,7 @@ net::HttpHandler HttpApi::handler() {
     if (req.path == "/debug/slow_queries") return handle_slow_queries(req);
     if (req.path == "/debug/logs") return handle_debug_logs(req);
     if (req.path == "/debug/runtime") return net::runtime_debug_response();
+    if (req.path == "/debug/pprof") return net::pprof_response(req);
     if (req.path == "/metrics") {
       obs::update_runtime_metrics(*registry_);
       auto resp = net::HttpResponse::text(200, obs::render_text(*registry_));

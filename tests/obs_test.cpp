@@ -123,6 +123,39 @@ TEST(Registry, RenderTextFormat) {
   EXPECT_NE(text.find("temp 1.5\n"), std::string::npos);
   EXPECT_NE(text.find("lat_count 1\n"), std::string::npos);
   EXPECT_NE(text.find("lat_p99 "), std::string::npos);
+  // Every family carries a HELP/TYPE header ahead of its series.
+  EXPECT_NE(text.find("# TYPE reqs counter\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE temp gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_count counter\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_sum counter\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_p99 gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# HELP reqs "), std::string::npos);
+  EXPECT_NE(text.find("# HELP lat_count "), std::string::npos);
+  // The header precedes the series it introduces.
+  EXPECT_LT(text.find("# TYPE lat_count counter\n"), text.find("lat_count 1\n"));
+  // No exemplar family appears when no exemplar was captured.
+  EXPECT_EQ(text.find("_exemplar"), std::string::npos);
+}
+
+TEST(Registry, RenderTextKeepsHistogramFamiliesContiguous) {
+  Registry reg;
+  reg.histogram("lat", {{"route", "/a"}}).record(100);
+  reg.histogram("lat", {{"route", "/b"}}).record(200);
+  const std::string text = render_text(reg);
+  // Both label sets of the _count family sit together, before any _sum
+  // series (Prometheus requires a family's series to be contiguous).
+  const auto count_a = text.find("lat_count{route=\"/a\"}");
+  const auto count_b = text.find("lat_count{route=\"/b\"}");
+  const auto sum_a = text.find("lat_sum{route=\"/a\"}");
+  ASSERT_NE(count_a, std::string::npos);
+  ASSERT_NE(count_b, std::string::npos);
+  ASSERT_NE(sum_a, std::string::npos);
+  EXPECT_LT(count_a, sum_a);
+  EXPECT_LT(count_b, sum_a);
+  // One header per family, not one per label set.
+  const auto first_type = text.find("# TYPE lat_count counter\n");
+  ASSERT_NE(first_type, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE lat_count counter\n", first_type + 1), std::string::npos);
 }
 
 TEST(Registry, ToPointsCarriesTagsAndFields) {
